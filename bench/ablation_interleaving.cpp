@@ -1,0 +1,66 @@
+// Ablation A1 — Spike-style interleaving (paper §III-A): "interleaving had
+// to be disabled in Spike … as the number of cores grows, reuse increases
+// and so does performance, as the impact of disabling interleaving
+// decreases."
+//
+// Sweep: quantum 1 (paper-accurate, interleaving disabled) vs 8 vs 64
+// instructions per scheduling round, across core counts. The paper's claim
+// reads as: host_MIPS(quantum>1) / host_MIPS(quantum=1) shrinks toward 1 as
+// the simulated core count grows.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+void BM_Interleave_Matmul(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto quantum = static_cast<std::uint32_t>(state.range(1));
+  const auto workload = kernels::MatmulWorkload::generate(96, 42);
+  for (auto _ : state) {
+    core::SimConfig config = machine(cores);
+    config.interleave_quantum = quantum;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_matmul_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
+BENCHMARK(BM_Interleave_Matmul)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32}, {1, 8, 64}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Fast-forward is a related orchestration optimization (skip cycles where
+// every live core sleeps); results are bit-identical, only host time moves.
+void BM_FastForward_SpMV(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const bool fast_forward = state.range(1) != 0;
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(16384, 16384, 8, 7), 8);
+  for (auto _ : state) {
+    core::SimConfig config = machine(cores);
+    config.fast_forward_idle = fast_forward;
+    config.mc.latency = 300;  // long memory latency: idle stretches matter
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_spmv_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
+BENCHMARK(BM_FastForward_SpMV)
+    ->ArgsProduct({{1, 8, 32}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Ablation A3 — L2 organisation (paper §III-A): "The L2 can be configured
+// as fully-shared across the system or private to the cores of each tile."
+//
+// Shared L2 gives each core reach into the full aggregate capacity (good
+// for shared read-only data like SpMV's x vector) at the cost of NoC
+// traffic to remote banks; private L2 keeps traffic tile-local but
+// replicates shared data and wastes capacity.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+void run_l2org(benchmark::State& state, core::L2Sharing sharing,
+               std::uint32_t cores, bool spmv) {
+  const auto matmul = kernels::MatmulWorkload::generate(96, 21);
+  const auto spmv_workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 16, 22), 23);
+  for (auto _ : state) {
+    core::SimConfig config = machine(cores);
+    config.l2_sharing = sharing;
+    config.fast_forward_idle = true;
+    // Use a mesh NoC so remote-bank distance actually costs cycles.
+    config.noc.model = memhier::NocModel::kMesh2D;
+    config.noc.mesh_width = 4;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) {
+          if (spmv) {
+            spmv_workload.install(sim.memory());
+          } else {
+            matmul.install(sim.memory());
+          }
+        },
+        [&](std::uint32_t n) {
+          return spmv ? kernels::build_spmv_scalar(spmv_workload, n)
+                      : kernels::build_matmul_scalar(matmul, n);
+        });
+    report(state, run);
+    state.counters["l2_miss_rate"] =
+        run.l2_accesses == 0
+            ? 0.0
+            : static_cast<double>(run.l2_misses) / run.l2_accesses;
+    state.counters["mc_reads"] = static_cast<double>(run.mc_reads);
+  }
+}
+
+void BM_L2Shared_Matmul(benchmark::State& state) {
+  run_l2org(state, core::L2Sharing::kShared,
+            static_cast<std::uint32_t>(state.range(0)), false);
+}
+void BM_L2Private_Matmul(benchmark::State& state) {
+  run_l2org(state, core::L2Sharing::kPrivate,
+            static_cast<std::uint32_t>(state.range(0)), false);
+}
+void BM_L2Shared_Spmv(benchmark::State& state) {
+  run_l2org(state, core::L2Sharing::kShared,
+            static_cast<std::uint32_t>(state.range(0)), true);
+}
+void BM_L2Private_Spmv(benchmark::State& state) {
+  run_l2org(state, core::L2Sharing::kPrivate,
+            static_cast<std::uint32_t>(state.range(0)), true);
+}
+
+BENCHMARK(BM_L2Shared_Matmul)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_L2Private_Matmul)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_L2Shared_Spmv)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_L2Private_Spmv)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

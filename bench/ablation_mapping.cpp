@@ -1,0 +1,104 @@
+// Ablation A2 — L2 data-mapping policies (paper §III-A): "Two different
+// well-known data mapping policies have been implemented, that use
+// different bits of the address to identify the L2 bank that holds a
+// certain memory block: page-to-bank and set-interleaving."
+//
+// Reports, per policy and kernel, the simulated execution time and the L2
+// bank-load imbalance (max/min accesses across banks). Set-interleaving
+// spreads a dense stream across all banks; page-to-bank concentrates each
+// page's traffic, which hurts streaming kernels and helps page-local ones.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+void run_mapping(benchmark::State& state, memhier::MappingPolicy policy,
+                 bool vector_kernel) {
+  const std::uint32_t cores = 64;
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 16, 5), 6);
+  for (auto _ : state) {
+    core::SimConfig config = machine(cores);
+    config.mapping = policy;
+    config.fast_forward_idle = true;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return vector_kernel ? kernels::build_spmv_row_gather(workload, n)
+                               : kernels::build_spmv_scalar(workload, n);
+        });
+    report(state, run);
+    state.counters["bank_max_acc"] =
+        static_cast<double>(run.l2_bank_access_max);
+    state.counters["bank_min_acc"] =
+        static_cast<double>(run.l2_bank_access_min);
+    state.counters["bank_imbalance"] =
+        run.l2_bank_access_min == 0
+            ? 0.0
+            : static_cast<double>(run.l2_bank_access_max) /
+                  static_cast<double>(run.l2_bank_access_min);
+  }
+}
+
+void BM_Mapping_SetInterleave_SpmvScalar(benchmark::State& state) {
+  run_mapping(state, memhier::MappingPolicy::kSetInterleave, false);
+}
+void BM_Mapping_PageToBank_SpmvScalar(benchmark::State& state) {
+  run_mapping(state, memhier::MappingPolicy::kPageToBank, false);
+}
+void BM_Mapping_SetInterleave_SpmvVector(benchmark::State& state) {
+  run_mapping(state, memhier::MappingPolicy::kSetInterleave, true);
+}
+void BM_Mapping_PageToBank_SpmvVector(benchmark::State& state) {
+  run_mapping(state, memhier::MappingPolicy::kPageToBank, true);
+}
+
+BENCHMARK(BM_Mapping_SetInterleave_SpmvScalar)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Mapping_PageToBank_SpmvScalar)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Mapping_SetInterleave_SpmvVector)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Mapping_PageToBank_SpmvVector)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Dense streaming case where the policy contrast is sharpest.
+void BM_Mapping_Matmul(benchmark::State& state) {
+  const auto policy = state.range(0) == 0
+                          ? memhier::MappingPolicy::kSetInterleave
+                          : memhier::MappingPolicy::kPageToBank;
+  const auto workload = kernels::MatmulWorkload::generate(96, 11);
+  for (auto _ : state) {
+    core::SimConfig config = machine(32);
+    config.mapping = policy;
+    config.fast_forward_idle = true;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_matmul_scalar(workload, n);
+        });
+    report(state, run);
+    state.counters["bank_imbalance"] =
+        run.l2_bank_access_min == 0
+            ? 0.0
+            : static_cast<double>(run.l2_bank_access_max) /
+                  static_cast<double>(run.l2_bank_access_min);
+  }
+}
+
+BENCHMARK(BM_Mapping_Matmul)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

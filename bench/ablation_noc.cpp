@@ -1,0 +1,117 @@
+// Ablation A4 — NoC and memory sensitivity (paper §III-A/§IV): the NoC is
+// "currently modelled as a highly idealized crossbar, that uses fixed,
+// configurable latencies"; the memory controllers are the module §IV singles
+// out as the high-leverage component ("ample opportunity to tweak and
+// optimize just this one module with a global effect on an entire system").
+//
+// Sweeps: crossbar latency, the 2D-mesh extension, memory latency, memory
+// bandwidth (service rate) and the DRAM row-buffer model.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+const kernels::SpmvWorkload& spmv_workload() {
+  static const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 16, 33), 34);
+  return workload;
+}
+
+SimRun run_spmv(const core::SimConfig& config) {
+  return run_kernel(
+      config,
+      [&](core::Simulator& sim) { spmv_workload().install(sim.memory()); },
+      [&](std::uint32_t n) {
+        return kernels::build_spmv_scalar(spmv_workload(), n);
+      });
+}
+
+void BM_NocCrossbarLatency(benchmark::State& state) {
+  const auto latency = static_cast<Cycle>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig config = machine(64);
+    config.fast_forward_idle = true;
+    config.noc.crossbar_latency = latency;
+    report(state, run_spmv(config));
+  }
+}
+BENCHMARK(BM_NocCrossbarLatency)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_NocMesh(benchmark::State& state) {
+  const auto hop = static_cast<Cycle>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig config = machine(64);
+    config.fast_forward_idle = true;
+    config.noc.model = memhier::NocModel::kMesh2D;
+    config.noc.mesh_width = 4;
+    config.noc.mesh_hop_latency = hop;
+    report(state, run_spmv(config));
+  }
+}
+BENCHMARK(BM_NocMesh)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_MemoryLatency(benchmark::State& state) {
+  const auto latency = static_cast<Cycle>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig config = machine(64);
+    config.fast_forward_idle = true;
+    config.mc.latency = latency;
+    report(state, run_spmv(config));
+  }
+}
+BENCHMARK(BM_MemoryLatency)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_MemoryBandwidth(benchmark::State& state) {
+  const auto cycles_per_request = static_cast<Cycle>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig config = machine(64);
+    config.fast_forward_idle = true;
+    config.mc.cycles_per_request = cycles_per_request;
+    report(state, run_spmv(config));
+  }
+}
+BENCHMARK(BM_MemoryBandwidth)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DramRowBuffer(benchmark::State& state) {
+  const bool banded = state.range(0) != 0;
+  // Banded (clustered) non-zeros give the row buffer locality to exploit —
+  // the §IV observation that "clustering of non-zero values in sparse
+  // matrices can be exploited".
+  const auto workload =
+      banded ? kernels::SpmvWorkload::generate(
+                   kernels::CsrMatrix::banded(8192, 8192, 16, 256, 35), 36)
+             : spmv_workload();
+  for (auto _ : state) {
+    core::SimConfig config = machine(64);
+    config.fast_forward_idle = true;
+    config.mc.model = memhier::McModel::kDramRowBuffer;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_spmv_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+BENCHMARK(BM_DramRowBuffer)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

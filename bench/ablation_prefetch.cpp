@@ -1,0 +1,86 @@
+// Extension ablation — L2 next-line prefetching (paper §III-A future work:
+// "different data management policies such as prefetching, streaming ...").
+//
+// Expected shape: streaming kernels (stencil, dense matmul) benefit —
+// sequential lines are fetched before the demand arrives — while the
+// random-gather side of SpMV sees little gain and some wasted bandwidth
+// (issued-but-unused prefetches). Reported per run: prefetches issued,
+// useful fraction, and simulated cycles.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+template <typename Workload>
+void run_prefetch(benchmark::State& state, const Workload& workload,
+                  kernels::Program (*build)(const Workload&, std::uint32_t),
+                  std::uint32_t degree) {
+  for (auto _ : state) {
+    core::SimConfig config = machine(16);
+    config.fast_forward_idle = true;
+    if (degree > 0) {
+      config.l2_bank.prefetch = memhier::PrefetchPolicy::kNextLine;
+      config.l2_bank.prefetch_degree = degree;
+    }
+    core::Simulator sim(config);
+    workload.install(sim.memory());
+    const auto program = build(workload, config.num_cores);
+    sim.load_program(program.base, program.words, program.entry);
+    SimRun run;
+    run.result = sim.run(~Cycle{0});
+    if (!run.result.all_exited) throw SimError("prefetch bench timed out");
+    std::uint64_t issued = 0;
+    std::uint64_t useful = 0;
+    for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+      issued +=
+          sim.l2_bank(bank).stats().find_counter("prefetches_issued").get();
+      useful +=
+          sim.l2_bank(bank).stats().find_counter("prefetches_useful").get();
+    }
+    for (McId mc = 0; mc < config.num_mcs; ++mc) {
+      run.mc_reads += sim.mc(mc).stats().find_counter("reads").get();
+    }
+    report(state, run);
+    state.counters["pf_issued"] = static_cast<double>(issued);
+    state.counters["pf_useful_frac"] =
+        issued == 0 ? 0.0 : static_cast<double>(useful) / issued;
+    state.counters["mc_reads"] = static_cast<double>(run.mc_reads);
+  }
+}
+
+void BM_Prefetch_Stencil(benchmark::State& state) {
+  static const auto workload =
+      kernels::StencilWorkload::generate(1 << 20, 1, 81);
+  run_prefetch(state, workload, kernels::build_stencil_vector,
+               static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_Prefetch_Stencil)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Prefetch_Matmul(benchmark::State& state) {
+  static const auto workload = kernels::MatmulWorkload::generate(96, 82);
+  run_prefetch(state, workload, kernels::build_matmul_scalar,
+               static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_Prefetch_Matmul)
+    ->Arg(0)->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Prefetch_SpmvGather(benchmark::State& state) {
+  static const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 16, 83), 84);
+  run_prefetch(state, workload, kernels::build_spmv_row_gather,
+               static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_Prefetch_SpmvGather)
+    ->Arg(0)->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

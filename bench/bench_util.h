@@ -1,0 +1,92 @@
+// Shared plumbing for the Coyote benchmark harnesses. Every harness builds a
+// Simulator from a SimConfig, runs one kernel to completion, and reports the
+// paper's metrics as google-benchmark counters:
+//   host_MIPS   — aggregate simulation throughput (Figure 3's y-axis)
+//   sim_cycles  — simulated execution time of the kernel
+//   sim_instr   — instructions retired
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::bench {
+
+/// Standard machine shape used across the harnesses (8-core tiles with two
+/// L2 banks each, as in the ACME-like sample system of the paper's Fig. 2).
+inline core::SimConfig machine(std::uint32_t cores) {
+  core::SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 8;
+  config.l2_banks_per_tile = 2;
+  config.num_mcs = 2;
+  return config;
+}
+
+struct SimRun {
+  core::RunResult result;
+  double l1d_miss_rate = 0.0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_bank_access_max = 0;
+  std::uint64_t l2_bank_access_min = 0;
+  std::uint64_t mc_reads = 0;
+  std::uint64_t raw_stall_cycles = 0;
+};
+
+/// Builds the simulator, installs the workload via `install`, builds the
+/// program via `build`, runs to completion and gathers the metric bundle.
+inline SimRun run_kernel(
+    const core::SimConfig& config,
+    const std::function<void(core::Simulator&)>& install,
+    const std::function<kernels::Program(std::uint32_t)>& build) {
+  core::Simulator sim(config);
+  install(sim);
+  const auto program = build(config.num_cores);
+  sim.load_program(program.base, program.words, program.entry);
+
+  SimRun run;
+  run.result = sim.run(~Cycle{0});
+  if (!run.result.all_exited) {
+    throw SimError("benchmark kernel did not run to completion");
+  }
+
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    const auto& counters = sim.core(core).counters();
+    l1d_accesses += counters.l1d_accesses;
+    l1d_misses += counters.l1d_misses;
+    run.raw_stall_cycles += counters.raw_stall_cycles;
+  }
+  run.l1d_miss_rate =
+      l1d_accesses == 0 ? 0.0
+                        : static_cast<double>(l1d_misses) / l1d_accesses;
+  run.l2_bank_access_min = ~std::uint64_t{0};
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    const auto accesses =
+        sim.l2_bank(bank).stats().find_counter("accesses").get();
+    run.l2_accesses += accesses;
+    run.l2_misses += sim.l2_bank(bank).stats().find_counter("misses").get();
+    run.l2_bank_access_max = std::max(run.l2_bank_access_max, accesses);
+    run.l2_bank_access_min = std::min(run.l2_bank_access_min, accesses);
+  }
+  for (McId mc = 0; mc < config.num_mcs; ++mc) {
+    run.mc_reads += sim.mc(mc).stats().find_counter("reads").get();
+  }
+  return run;
+}
+
+/// Publishes the standard counter set on a benchmark state.
+inline void report(benchmark::State& state, const SimRun& run) {
+  state.counters["host_MIPS"] = run.result.mips;
+  state.counters["sim_cycles"] = static_cast<double>(run.result.cycles);
+  state.counters["sim_instr"] =
+      static_cast<double>(run.result.instructions);
+  state.counters["l1d_miss_rate"] = run.l1d_miss_rate;
+}
+
+}  // namespace coyote::bench

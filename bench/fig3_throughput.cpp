@@ -1,0 +1,59 @@
+// Figure 3 reproduction: "Evolution of the simulation throughput with the
+// number of simulated cores" — aggregate host-side MIPS for scalar matmul
+// and scalar SpMV as the simulated core count sweeps 1..128.
+//
+// The paper's claim is the *shape*: per-cycle round-robin overhead dominates
+// at low core counts (Spike interleaving disabled), so aggregate throughput
+// grows with the simulated core count and saturates (paper peak: ~6 MIPS at
+// 128 cores on their host). Absolute numbers depend on the host machine.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+void BM_Fig3_Matmul(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  // Fixed problem (strong scaling): 128 rows so every core count up to 128
+  // has at least one row of work.
+  const auto workload = kernels::MatmulWorkload::generate(128, 42);
+  for (auto _ : state) {
+    const SimRun run = run_kernel(
+        machine(cores),
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_matmul_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
+void BM_Fig3_SpMV(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(65536, 65536, 16, 42), 43);
+  for (auto _ : state) {
+    const SimRun run = run_kernel(
+        machine(cores),
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_spmv_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
+BENCHMARK(BM_Fig3_Matmul)
+    ->RangeMultiplier(2)
+    ->Range(1, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig3_SpMV)
+    ->RangeMultiplier(2)
+    ->Range(1, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Ablation A5 — vector vs scalar data movement (paper §III-A: the kernels
+// "form a basis to study the behavior of memory accesses under dense and
+// sparse workloads"). For every kernel in the suite, reports instructions,
+// simulated cycles, and L1D traffic. The vector kernels retire far fewer
+// instructions for the same work while generating the same (or more, for
+// gather-based SpMV) memory-system traffic — the data-movement focus of the
+// tool in one table.
+#include "bench_util.h"
+
+namespace coyote::bench {
+namespace {
+
+constexpr std::uint32_t kCores = 16;
+
+template <typename Workload>
+void run_and_report(
+    benchmark::State& state, const Workload& workload,
+    kernels::Program (*build)(const Workload&, std::uint32_t)) {
+  for (auto _ : state) {
+    core::SimConfig config = machine(kCores);
+    config.fast_forward_idle = true;
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) { return build(workload, n); });
+    report(state, run);
+    state.counters["l2_accesses"] = static_cast<double>(run.l2_accesses);
+    state.counters["mc_reads"] = static_cast<double>(run.mc_reads);
+  }
+}
+
+const kernels::MatmulWorkload& matmul() {
+  static const auto workload = kernels::MatmulWorkload::generate(96, 71);
+  return workload;
+}
+const kernels::SpmvWorkload& spmv() {
+  static const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 12, 72), 73);
+  return workload;
+}
+const kernels::StencilWorkload& stencil() {
+  static const auto workload =
+      kernels::StencilWorkload::generate(1 << 20, 1, 74);
+  return workload;
+}
+
+void BM_Kernel_MatmulScalar(benchmark::State& state) {
+  run_and_report(state, matmul(), kernels::build_matmul_scalar);
+}
+void BM_Kernel_MatmulVector(benchmark::State& state) {
+  run_and_report(state, matmul(), kernels::build_matmul_vector);
+}
+void BM_Kernel_SpmvScalar(benchmark::State& state) {
+  run_and_report(state, spmv(), kernels::build_spmv_scalar);
+}
+void BM_Kernel_SpmvRowGather(benchmark::State& state) {
+  run_and_report(state, spmv(), kernels::build_spmv_row_gather);
+}
+void BM_Kernel_SpmvEll(benchmark::State& state) {
+  run_and_report(state, spmv(), kernels::build_spmv_ell);
+}
+void BM_Kernel_SpmvTwoPhase(benchmark::State& state) {
+  run_and_report(state, spmv(), kernels::build_spmv_two_phase);
+}
+void BM_Kernel_StencilScalar(benchmark::State& state) {
+  run_and_report(state, stencil(), kernels::build_stencil_scalar);
+}
+void BM_Kernel_StencilVector(benchmark::State& state) {
+  run_and_report(state, stencil(), kernels::build_stencil_vector);
+}
+const kernels::Blas1Workload& blas1() {
+  static const auto workload = kernels::Blas1Workload::generate(1 << 19, 75);
+  return workload;
+}
+const kernels::FftWorkload& fft() {
+  static const auto workload = kernels::FftWorkload::generate(1 << 14, 76);
+  return workload;
+}
+const kernels::HistogramWorkload& histogram() {
+  static const auto workload =
+      kernels::HistogramWorkload::generate(1 << 17, 4096, 0.0, 77);
+  return workload;
+}
+void BM_Kernel_Axpy(benchmark::State& state) {
+  run_and_report(state, blas1(), kernels::build_axpy_vector);
+}
+void BM_Kernel_Dot(benchmark::State& state) {
+  run_and_report(state, blas1(), kernels::build_dot_vector);
+}
+void BM_Kernel_Fft(benchmark::State& state) {
+  run_and_report(state, fft(), kernels::build_fft_scalar);
+}
+void BM_Kernel_Histogram(benchmark::State& state) {
+  run_and_report(state, histogram(), kernels::build_histogram_atomic);
+}
+const kernels::Stencil2dWorkload& stencil2d() {
+  static const auto workload =
+      kernels::Stencil2dWorkload::generate(512, 512, 78);
+  return workload;
+}
+void BM_Kernel_Stencil2d(benchmark::State& state) {
+  run_and_report(state, stencil2d(), kernels::build_stencil2d_vector);
+}
+
+BENCHMARK(BM_Kernel_MatmulScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_MatmulVector)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_SpmvScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_SpmvRowGather)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_SpmvEll)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_SpmvTwoPhase)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_StencilScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_StencilVector)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_Axpy)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_Dot)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_Fft)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_Histogram)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Kernel_Stencil2d)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace coyote::bench
+
+BENCHMARK_MAIN();

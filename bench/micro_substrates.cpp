@@ -1,0 +1,172 @@
+// Microbenchmarks of the substrate layers: instruction decode/encode, the
+// cache tag array, the event scheduler, sparse memory, and raw functional
+// hart stepping. These establish where a Coyote cycle's host time goes and
+// are regression guards for the hot paths behind Figure 3.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/decoder.h"
+#include "iss/hart.h"
+#include "iss/memory.h"
+#include "memhier/cache_array.h"
+#include "simfw/scheduler.h"
+
+namespace coyote {
+namespace {
+
+void BM_Decode(benchmark::State& state) {
+  // A realistic mix of words taken from an assembled kernel-style loop.
+  isa::Assembler as(0x1000);
+  as.li(isa::s1, 0x123456789AB);
+  as.ld(isa::a1, 8, isa::s1);
+  as.fld(isa::fa0, 0, isa::s1);
+  as.fmadd_d(isa::fa0, isa::fa1, isa::fa2, isa::fa0);
+  as.add(isa::a2, isa::a1, isa::s1);
+  as.vsetvli(isa::a3, isa::a2, isa::Sew::kE64, isa::Lmul::kM4);
+  as.vle64(isa::v8, isa::s1);
+  as.vfmacc_vf(isa::v8, isa::fa0, isa::v16);
+  auto loop = as.here();
+  as.bne(isa::a1, isa::a2, loop);
+  const auto words = as.finish();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[index]));
+    index = (index + 1) % words.size();
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_OperandExtraction(benchmark::State& state) {
+  const auto inst = isa::decode(0x02A58513);  // addi a0, a1, 42
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::source_regs(inst));
+    benchmark::DoNotOptimize(isa::dest_regs(inst));
+  }
+}
+BENCHMARK(BM_OperandExtraction);
+
+void BM_AssembleKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    isa::Assembler as(0x1000);
+    as.li(isa::s1, 0x10000000);
+    as.li(isa::a2, 64);
+    auto loop = as.here();
+    as.fld(isa::fa0, 0, isa::s1);
+    as.fmadd_d(isa::fa1, isa::fa0, isa::fa0, isa::fa1);
+    as.addi(isa::s1, isa::s1, 8);
+    as.addi(isa::a2, isa::a2, -1);
+    as.bnez(isa::a2, loop);
+    benchmark::DoNotOptimize(as.finish());
+  }
+}
+BENCHMARK(BM_AssembleKernel);
+
+void BM_CacheArrayHit(benchmark::State& state) {
+  memhier::CacheArray cache({32 * 1024, 8, 64});
+  for (Addr line = 0; line < 32 * 1024; line += 64) cache.insert(line, false);
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(line));
+    line = (line + 64) & (32 * 1024 - 1);
+  }
+}
+BENCHMARK(BM_CacheArrayHit);
+
+void BM_CacheArrayMissInsert(benchmark::State& state) {
+  memhier::CacheArray cache({32 * 1024, 8, 64});
+  Addr line = 0;
+  for (auto _ : state) {
+    if (!cache.lookup(line)) {
+      benchmark::DoNotOptimize(cache.insert(line, false));
+    }
+    line += 64;  // endless cold stream
+  }
+}
+BENCHMARK(BM_CacheArrayMissInsert);
+
+void BM_SchedulerEventChurn(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  simfw::Scheduler sched;
+  std::uint64_t sink = 0;
+  // Keep `depth` events in flight; each firing schedules its successor.
+  // The callbacks live in a fixed-size vector so self-references stay valid.
+  std::vector<std::function<void()>> callbacks(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    callbacks[i] = [&sched, &sink, &self = callbacks[i]]() {
+      ++sink;
+      sched.schedule(1 + (sink % 7), simfw::SchedPriority::kTick, self);
+    };
+    sched.schedule(1 + i, simfw::SchedPriority::kTick, callbacks[i]);
+  }
+  for (auto _ : state) {
+    sched.advance_to(sched.now() + 1);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_SchedulerEventChurn)->Arg(8)->Arg(256)->Arg(4096);
+
+void BM_SparseMemoryRead(benchmark::State& state) {
+  iss::SparseMemory memory;
+  for (Addr addr = 0; addr < (1 << 20); addr += 4096) {
+    memory.write<std::uint64_t>(addr, addr);
+  }
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memory.read<std::uint64_t>(rng.below(1 << 20) & ~7ULL));
+  }
+}
+BENCHMARK(BM_SparseMemoryRead);
+
+void BM_HartStepScalarLoop(benchmark::State& state) {
+  // Raw functional stepping rate of the ISS on a tight dependency-free
+  // loop — the upper bound on per-core simulation speed.
+  iss::SparseMemory memory;
+  iss::Hart hart(0, &memory, {});
+  isa::Assembler as(0x1000);
+  auto loop = as.here();
+  as.addi(isa::a1, isa::a1, 1);
+  as.addi(isa::a2, isa::a2, 3);
+  as.xor_(isa::a3, isa::a1, isa::a2);
+  as.j(loop);
+  memory.poke_words(0x1000, as.finish());
+  hart.reset(0x1000);
+  iss::StepInfo info;
+  for (auto _ : state) {
+    const auto inst = isa::decode(memory.read<std::uint32_t>(hart.pc()));
+    info.clear();
+    hart.execute(inst, info);
+  }
+  state.counters["instr_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HartStepScalarLoop);
+
+void BM_HartStepVectorFma(benchmark::State& state) {
+  iss::SparseMemory memory;
+  iss::Hart hart(0, &memory, {512});
+  isa::Assembler as(0x1000);
+  as.li(isa::a0, 32);
+  as.vsetvli(isa::a1, isa::a0, isa::Sew::kE64, isa::Lmul::kM4);
+  as.li(isa::s1, 0x100000);
+  auto loop = as.here();
+  as.vle64(isa::v8, isa::s1);
+  as.vfmacc_vv(isa::v16, isa::v8, isa::v8);
+  as.j(loop);
+  memory.poke_words(0x1000, as.finish());
+  hart.reset(0x1000);
+  iss::StepInfo info;
+  for (auto _ : state) {
+    const auto inst = isa::decode(memory.read<std::uint32_t>(hart.pc()));
+    info.clear();
+    hart.execute(inst, info);
+  }
+}
+BENCHMARK(BM_HartStepVectorFma);
+
+}  // namespace
+}  // namespace coyote
+
+BENCHMARK_MAIN();

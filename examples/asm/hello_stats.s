@@ -1,0 +1,24 @@
+# Example program for coyote_sim --program: every core streams over a
+# private 4 KiB block (so the L1/L2 counters have something to show),
+# sums it, stores the result and exits with code 0.
+.org 0x1000
+    csrr  t0, 0xF14           # hartid
+    slli  t1, t0, 12          # 4 KiB per core
+    li    s1, 0x100000
+    add   s1, s1, t1          # my block
+    li    s2, 512             # 512 doublewords
+    li    a0, 0
+loop:
+    ld    t2, 0(s1)
+    add   a0, a0, t2
+    addi  s1, s1, 8
+    addi  s2, s2, -1
+    bnez  s2, loop
+    csrr  t0, 0xF14
+    slli  t1, t0, 3
+    li    s3, 0x200000
+    add   s3, s3, t1
+    sd    a0, 0(s3)           # result[hartid]
+    li    a7, 93
+    li    a0, 0
+    ecall

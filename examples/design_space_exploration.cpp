@@ -1,0 +1,125 @@
+// Design-space exploration — the workflow Coyote exists for (paper §III:
+// "fast and flexible tool for HPC design space exploration"). Sweeps a grid
+// of memory-hierarchy design points (L2 capacity, bank count, mapping
+// policy, NoC latency) against the SpMV workload and ranks them by
+// simulated execution time, printing the kind of first-order comparison
+// table an architect would use to pick candidates for FPGA emulation.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+using namespace coyote;
+
+namespace {
+
+struct DesignPoint {
+  std::string name;
+  std::uint64_t l2_bank_kb;
+  std::uint32_t banks_per_tile;
+  memhier::MappingPolicy mapping;
+  Cycle noc_latency;
+};
+
+struct Outcome {
+  DesignPoint point;
+  Cycle cycles;
+  double l1d_miss_rate;
+  double l2_miss_rate;
+  std::uint64_t mc_reads;
+};
+
+Outcome evaluate(const DesignPoint& point,
+                 const kernels::SpmvWorkload& workload) {
+  core::SimConfig config;
+  config.num_cores = 32;
+  config.cores_per_tile = 8;
+  config.l2_banks_per_tile = point.banks_per_tile;
+  config.num_mcs = 2;
+  config.fast_forward_idle = true;
+  config.l2_bank.size_bytes = point.l2_bank_kb * 1024;
+  config.mapping = point.mapping;
+  config.noc.crossbar_latency = point.noc_latency;
+
+  core::Simulator sim(config);
+  workload.install(sim.memory());
+  const auto program = kernels::build_spmv_row_gather(workload, config.num_cores);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(2'000'000'000ULL);
+  if (!result.all_exited) {
+    throw SimError("design point did not finish: " + point.name);
+  }
+
+  Outcome outcome{point, result.cycles, 0.0, 0.0, 0};
+  std::uint64_t l1_acc = 0;
+  std::uint64_t l1_miss = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    l1_acc += sim.core(core).counters().l1d_accesses;
+    l1_miss += sim.core(core).counters().l1d_misses;
+  }
+  outcome.l1d_miss_rate = l1_acc ? static_cast<double>(l1_miss) / l1_acc : 0;
+  std::uint64_t l2_acc = 0;
+  std::uint64_t l2_miss = 0;
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    l2_acc += sim.l2_bank(bank).stats().find_counter("accesses").get();
+    l2_miss += sim.l2_bank(bank).stats().find_counter("misses").get();
+  }
+  outcome.l2_miss_rate = l2_acc ? static_cast<double>(l2_miss) / l2_acc : 0;
+  for (McId mc = 0; mc < config.num_mcs; ++mc) {
+    outcome.mc_reads += sim.mc(mc).stats().find_counter("reads").get();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  // One representative sparse workload, reused across all design points.
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(8192, 8192, 16, 2024), 7);
+
+  std::vector<DesignPoint> grid;
+  for (const std::uint64_t size_kb : {128ULL, 256ULL, 512ULL}) {
+    for (const std::uint32_t banks : {1u, 2u, 4u}) {
+      for (const auto policy : {memhier::MappingPolicy::kSetInterleave,
+                                memhier::MappingPolicy::kPageToBank}) {
+        grid.push_back(DesignPoint{
+            std::to_string(size_kb) + "KB x" + std::to_string(banks) + " " +
+                memhier::mapping_policy_name(policy),
+            size_kb, banks, policy, /*noc_latency=*/4});
+      }
+    }
+  }
+  grid.push_back(DesignPoint{"256KB x2 set-interleave slow-noc", 256, 2,
+                             memhier::MappingPolicy::kSetInterleave, 32});
+
+  std::printf("evaluating %zu design points (32-core SpMV, 8192x8192, "
+              "16 nnz/row)...\n\n",
+              grid.size());
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(grid.size());
+  for (const DesignPoint& point : grid) {
+    outcomes.push_back(evaluate(point, workload));
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) {
+              return a.cycles < b.cycles;
+            });
+
+  std::printf("%-38s %12s %10s %10s %10s\n", "design point", "sim cycles",
+              "L1D miss", "L2 miss", "mem reads");
+  for (const Outcome& outcome : outcomes) {
+    std::printf("%-38s %12llu %9.1f%% %9.1f%% %10llu\n",
+                outcome.point.name.c_str(),
+                static_cast<unsigned long long>(outcome.cycles),
+                100.0 * outcome.l1d_miss_rate, 100.0 * outcome.l2_miss_rate,
+                static_cast<unsigned long long>(outcome.mc_reads));
+  }
+  std::printf("\nbest candidate: %s (%llu cycles)\n",
+              outcomes.front().point.name.c_str(),
+              static_cast<unsigned long long>(outcomes.front().cycles));
+  return 0;
+}

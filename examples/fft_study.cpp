@@ -1,0 +1,73 @@
+// FFT strong-scaling study: runs the barrier-synchronized radix-2 FFT on
+// 1..32 cores, validates each run against the host reference, and prints
+// speedup plus where the time goes (butterfly work vs barrier stalls) — a
+// compact demonstration of studying a synchronization-bound kernel with
+// Coyote.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+using namespace coyote;
+
+int main() {
+  const std::size_t n = 1 << 14;
+  const auto workload = kernels::FftWorkload::generate(n, 99);
+  std::vector<double> expected_re;
+  std::vector<double> expected_im;
+  workload.reference(expected_re, expected_im);
+
+  std::printf("radix-2 FFT, n = %zu (%u stages), strong scaling\n\n", n,
+              static_cast<unsigned>(std::log2(n)));
+  std::printf("%6s %12s %10s %14s %16s\n", "cores", "sim cycles", "speedup",
+              "instructions", "stall cycles/core");
+
+  Cycle base_cycles = 0;
+  for (const std::uint32_t cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    core::SimConfig config;
+    config.num_cores = cores;
+    config.cores_per_tile = 8;
+    config.num_mcs = 2;
+    core::Simulator sim(config);
+    workload.install(sim.memory());
+    const auto program = kernels::build_fft_scalar(workload, cores);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(5'000'000'000ULL);
+    if (!result.all_exited) {
+      std::printf("ERROR: %u-core run hit the cycle limit\n", cores);
+      return 1;
+    }
+
+    std::vector<double> actual_re;
+    std::vector<double> actual_im;
+    workload.result(sim.memory(), actual_re, actual_im);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::fabs(expected_re[i] - actual_re[i]) > 1e-9 ||
+          std::fabs(expected_im[i] - actual_im[i]) > 1e-9) {
+        std::printf("ERROR: %u-core result mismatch at %zu\n", cores, i);
+        return 1;
+      }
+    }
+
+    std::uint64_t stall_cycles = 0;
+    for (CoreId core = 0; core < cores; ++core) {
+      stall_cycles += sim.core(core).counters().raw_stall_cycles +
+                      sim.core(core).counters().ifetch_stall_cycles;
+    }
+    if (cores == 1) base_cycles = result.cycles;
+    std::printf("%6u %12llu %9.2fx %14llu %16llu\n", cores,
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<double>(base_cycles) /
+                    static_cast<double>(result.cycles),
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(stall_cycles / cores));
+  }
+
+  std::printf(
+      "\nall runs validated against the host FFT reference (<= 1e-9).\n"
+      "Speedup saturates as per-stage barriers and shared memory bandwidth\n"
+      "dominate the shrinking per-core butterfly work.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Bit-manipulation helpers used by the ISA encoders/decoders and the cache
+// index/tag arithmetic. All helpers are constexpr and total (no UB for the
+// documented argument ranges).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace coyote {
+
+/// Extracts bits [lo, hi] (inclusive, hi >= lo, hi < 64) of `value`,
+/// right-aligned.
+constexpr std::uint64_t bits(std::uint64_t value, unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < 64);
+  const unsigned width = hi - lo + 1;
+  if (width == 64) return value >> lo;
+  return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Extracts the single bit `pos` of `value`.
+constexpr std::uint64_t bit(std::uint64_t value, unsigned pos) {
+  assert(pos < 64);
+  return (value >> pos) & 1;
+}
+
+/// Sign-extends the low `width` bits of `value` to 64 bits (1 <= width <= 64).
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  value &= mask;
+  return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/// True iff `value` is zero or a power of two.
+constexpr bool is_pow2_or_zero(std::uint64_t value) {
+  return (value & (value - 1)) == 0;
+}
+
+/// True iff `value` is a (nonzero) power of two.
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && is_pow2_or_zero(value);
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t value) {
+  assert(is_pow2(value));
+  unsigned n = 0;
+  while ((value & 1) == 0) {
+    value >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Rounds `value` down to a multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t align_down(std::uint64_t value, std::uint64_t align) {
+  assert(is_pow2(align));
+  return value & ~(align - 1);
+}
+
+/// Rounds `value` up to a multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  assert(is_pow2(align));
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Inserts the low `width` bits of `field` into `base` at bit position `lo`.
+constexpr std::uint32_t insert_bits(std::uint32_t base, std::uint32_t field,
+                                    unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < 32);
+  const unsigned width = hi - lo + 1;
+  const std::uint32_t mask =
+      (width == 32) ? ~std::uint32_t{0} : ((std::uint32_t{1} << width) - 1);
+  return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+}  // namespace coyote

@@ -1,0 +1,49 @@
+// Error reporting. Coyote follows the C++ Core Guidelines' advice to use
+// exceptions for error handling: configuration mistakes and simulated-machine
+// faults (misaligned vector accesses, illegal instructions in a kernel, ...)
+// are programming errors of the *user of the simulator* and abort the
+// simulation with a diagnostic.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace coyote {
+
+/// Base class for every error Coyote raises.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// A structural/configuration mistake (bad parameter value, mismatched
+/// topology, ...). Raised while building the simulated machine.
+class ConfigError : public SimError {
+ public:
+  explicit ConfigError(std::string what) : SimError(std::move(what)) {}
+};
+
+/// A fault raised by the simulated machine itself (illegal instruction,
+/// access to unmapped memory when strict, ...).
+class ExecutionError : public SimError {
+ public:
+  explicit ExecutionError(std::string what) : SimError(std::move(what)) {}
+};
+
+/// printf-style message formatting for exception texts.
+[[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace coyote

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Logging in the simulator hot loop is guarded by a
+// level check so a disabled message costs one branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coyote {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink writing to stderr. Not synchronized: the simulator
+/// is single-threaded by design (determinism).
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  /// Emits one line: "[LEVEL] message".
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+#define COYOTE_LOG(level, ...)                                     \
+  do {                                                             \
+    if (::coyote::Log::enabled(level)) {                           \
+      ::coyote::Log::write(level, ::coyote::strfmt(__VA_ARGS__));  \
+    }                                                              \
+  } while (0)
+
+#define COYOTE_DEBUG(...) COYOTE_LOG(::coyote::LogLevel::kDebug, __VA_ARGS__)
+#define COYOTE_INFO(...) COYOTE_LOG(::coyote::LogLevel::kInfo, __VA_ARGS__)
+#define COYOTE_WARN(...) COYOTE_LOG(::coyote::LogLevel::kWarn, __VA_ARGS__)
+#define COYOTE_ERROR(...) COYOTE_LOG(::coyote::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace coyote

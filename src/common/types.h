@@ -1,0 +1,29 @@
+// Fundamental scalar types shared across every Coyote module.
+#pragma once
+
+#include <cstdint>
+
+namespace coyote {
+
+/// A physical (== virtual, we run baremetal without translation) byte address.
+using Addr = std::uint64_t;
+
+/// A simulated-time cycle count.
+using Cycle = std::uint64_t;
+
+/// Identifies a simulated hardware thread (core). Dense, 0-based.
+using CoreId = std::uint32_t;
+
+/// Identifies a tile (group of cores sharing L2 banks). Dense, 0-based.
+using TileId = std::uint32_t;
+
+/// Identifies an L2 bank within the whole system. Dense, 0-based.
+using BankId = std::uint32_t;
+
+/// Identifies a memory controller. Dense, 0-based.
+using McId = std::uint32_t;
+
+/// Sentinel for "no core".
+inline constexpr CoreId kInvalidCore = ~CoreId{0};
+
+}  // namespace coyote

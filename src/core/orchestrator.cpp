@@ -1,0 +1,191 @@
+#include "core/orchestrator.h"
+
+namespace coyote::core {
+
+using memhier::MemOp;
+using memhier::MemRequest;
+using memhier::MemResponse;
+
+Orchestrator::Orchestrator(simfw::Unit* parent, const SimConfig& config,
+                           std::vector<std::unique_ptr<iss::CoreModel>>* cores,
+                           std::vector<std::unique_ptr<memhier::L2Bank>>* banks,
+                           memhier::Noc* noc, ParaverTraceWriter* trace)
+    : simfw::Unit(parent, "orchestrator"),
+      config_(config),
+      cores_(cores),
+      noc_(noc),
+      trace_(trace),
+      core_states_(config.num_cores, CoreState::kActive),
+      stall_since_(config.num_cores, 0),
+      shared_mapper_(config.mapping, config.num_l2_banks(),
+                     config.core.line_bytes),
+      private_mapper_(config.mapping, config.l2_banks_per_tile,
+                      config.core.line_bytes),
+      resp_in_(this, "resp_in"),
+      exit_codes_(config.num_cores, 0),
+      cycles_(stats().counter("cycles", "simulated cycles")),
+      retired_(stats().counter("instructions", "instructions retired")),
+      l1_miss_requests_(
+          stats().counter("l1_miss_requests", "requests sent into the L2")),
+      fills_(stats().counter("fills", "line fills delivered to cores")),
+      fast_forwarded_cycles_(stats().counter(
+          "fast_forwarded_cycles",
+          "cycles skipped while every live core was stalled")) {
+  req_out_.reserve(banks->size());
+  for (BankId bank = 0; bank < banks->size(); ++bank) {
+    req_out_.push_back(std::make_unique<simfw::DataOutPort<MemRequest>>(
+        this, strfmt("req_out%u", bank)));
+    req_out_.back()->bind((*banks)[bank]->cpu_req_in());
+    (*banks)[bank]->cpu_resp_out().bind(resp_in_);
+  }
+  resp_in_.register_handler(
+      [this](const MemResponse& response) { on_response(response); });
+  live_cores_ = config.num_cores;
+  active_cores_ = config.num_cores;
+}
+
+BankId Orchestrator::bank_for(CoreId core, Addr line_addr) const {
+  if (config_.l2_sharing == L2Sharing::kShared) {
+    return shared_mapper_.bank_of(line_addr);
+  }
+  const TileId tile = tile_of_core(core);
+  return tile * config_.l2_banks_per_tile + private_mapper_.bank_of(line_addr);
+}
+
+void Orchestrator::route_request(CoreId core,
+                                 const iss::LineRequest& request) {
+  MemOp op = MemOp::kLoad;
+  if (request.is_writeback) {
+    op = MemOp::kWriteback;
+  } else if (request.is_ifetch) {
+    op = MemOp::kIFetch;
+  } else if (request.is_store) {
+    op = MemOp::kStore;
+  }
+  const BankId bank = bank_for(core, request.line_addr);
+  const TileId src_tile = tile_of_core(core);
+  ++l1_miss_requests_;
+  if (trace_ != nullptr && !request.is_writeback) {
+    trace_->record(scheduler().now(), core,
+                   request.is_ifetch ? TraceEvent::kL1IMiss
+                                     : TraceEvent::kL1DMiss,
+                   request.line_addr);
+  }
+  req_out_[bank]->send(
+      MemRequest{request.line_addr, op, core, src_tile, bank},
+      noc_->traverse(noc_->tile_node(src_tile),
+                     noc_->tile_node(tile_of_bank(bank))));
+}
+
+void Orchestrator::on_response(const MemResponse& response) {
+  ++fills_;
+  iss::CoreModel& core = *(*cores_)[response.core];
+  if (trace_ != nullptr) {
+    trace_->record(scheduler().now(), response.core, TraceEvent::kL2MissFill,
+                   response.line_addr);
+  }
+  writeback_buffer_.clear();
+  core.fill(response.line_addr, writeback_buffer_);
+  for (const iss::LineRequest& writeback : writeback_buffer_) {
+    route_request(response.core, writeback);
+  }
+  // The fill may satisfy the dependency (or instruction line) the core is
+  // sleeping on: reactivate it. If another dependency is still pending the
+  // next step() attempt re-stalls it — one retry per fill, as in the paper.
+  if (core_states_[response.core] == CoreState::kStalled) {
+    const Cycle now = scheduler().now();
+    const Cycle slept = now - stall_since_[response.core];
+    // The stalling attempt itself already accounted one cycle.
+    if (slept > 1) core.account_stall_cycles(slept - 1);
+    if (trace_ != nullptr && slept > 0) {
+      trace_->record_state(stall_since_[response.core], now, response.core,
+                           TraceState::kStalled);
+    }
+    core_states_[response.core] = CoreState::kActive;
+    ++active_cores_;
+  }
+}
+
+RunStats Orchestrator::run(Cycle max_cycles) {
+  auto& sched = scheduler();
+  const Cycle start_cycle = sched.now();
+  const std::uint64_t start_instret = retired_.get();
+  const std::uint32_t quantum = config_.interleave_quantum;
+  const std::uint32_t num_cores = config_.num_cores;
+
+  // Re-derive scheduling state (cores may have been reset since the last
+  // run; halted() is authoritative).
+  live_cores_ = 0;
+  active_cores_ = 0;
+  for (CoreId id = 0; id < num_cores; ++id) {
+    if ((*cores_)[id]->halted()) {
+      core_states_[id] = CoreState::kHalted;
+    } else {
+      core_states_[id] = CoreState::kActive;
+      ++live_cores_;
+      ++active_cores_;
+    }
+  }
+
+  RunStats stats_out;
+  iss::CoreStepResult result;
+
+  while (live_cores_ > 0 && sched.now() - start_cycle < max_cycles) {
+    if (active_cores_ == 0) {
+      // Every live core sleeps on a fill.
+      if (!sched.has_pending()) {
+        throw SimError(
+            "Orchestrator: deadlock — all cores stalled and no events "
+            "pending");
+      }
+      if (config_.fast_forward_idle) {
+        const Cycle wake =
+            std::max(sched.next_event_cycle(), sched.now() + 1);
+        fast_forwarded_cycles_ += wake - sched.now() - 1;
+        sched.advance_to(wake);
+      } else {
+        sched.tick();  // paper-faithful: one cycle at a time
+      }
+      continue;
+    }
+
+    for (CoreId id = 0; id < num_cores; ++id) {
+      if (core_states_[id] != CoreState::kActive) continue;
+      iss::CoreModel& core = *(*cores_)[id];
+      for (std::uint32_t slot = 0; slot < quantum; ++slot) {
+        core.step(result, sched.now());
+        for (const iss::LineRequest& request : result.requests) {
+          route_request(id, request);
+        }
+        if (result.status == iss::StepStatus::kRetired) {
+          ++retired_;
+          if (result.exited) {
+            exit_codes_[id] = result.exit_code;
+            core_states_[id] = CoreState::kHalted;
+            --live_cores_;
+            --active_cores_;
+            break;
+          }
+          continue;
+        }
+        // RAW or ifetch stall: deactivate until a fill arrives.
+        core_states_[id] = CoreState::kStalled;
+        stall_since_[id] = sched.now();
+        --active_cores_;
+        break;
+      }
+    }
+
+    sched.advance_to(sched.now() + quantum);
+  }
+
+  stats_out.all_exited = live_cores_ == 0;
+  stats_out.cycles = sched.now() - start_cycle;
+  cycles_ += stats_out.cycles;
+  stats_out.instructions = retired_.get() - start_instret;
+  stats_out.hit_cycle_limit = !stats_out.all_exited;
+  stats_out.exit_codes = exit_codes_;
+  return stats_out;
+}
+
+}  // namespace coyote::core

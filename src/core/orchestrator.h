@@ -1,0 +1,101 @@
+// The Orchestrator (paper §III-A): "Spike and Sparta are slaves to an
+// Orchestrator that handles the simulation, keeping track of timing, and
+// synchronizing both parts. Every cycle, the Orchestrator first tries to
+// simulate an instruction on each of the active cores using Spike … Once an
+// instruction has been simulated in each of the active cores, the
+// Orchestrator checks if Sparta has any in-flight events for the current
+// cycle [and] the Sparta model is advanced to keep it in sync."
+//
+// Two execution modes:
+//  * interleave_quantum == 1 — the paper's cycle-accurate round-robin.
+//  * interleave_quantum > 1 — Spike-style interleaving (ablation A1): each
+//    core runs up to Q instructions back-to-back per round and the event
+//    model advances Q cycles at once. Faster, lower timing fidelity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "core/trace.h"
+#include "iss/core_model.h"
+#include "memhier/l2bank.h"
+#include "simfw/port.h"
+
+namespace coyote::core {
+
+/// Outcome of one run() call.
+struct RunStats {
+  Cycle cycles = 0;               ///< simulated cycles elapsed in this run
+  std::uint64_t instructions = 0; ///< instructions retired in this run
+  bool all_exited = false;        ///< every core ran to completion
+  bool hit_cycle_limit = false;
+  std::vector<std::int64_t> exit_codes;  ///< per core; 0 until it exits
+};
+
+class Orchestrator : public simfw::Unit {
+ public:
+  Orchestrator(simfw::Unit* parent, const SimConfig& config,
+               std::vector<std::unique_ptr<iss::CoreModel>>* cores,
+               std::vector<std::unique_ptr<memhier::L2Bank>>* banks,
+               memhier::Noc* noc, ParaverTraceWriter* trace);
+
+  /// One request out-port per L2 bank (bound to the bank's cpu_req_in) and
+  /// one response in-port shared by all banks.
+  simfw::DataOutPort<memhier::MemRequest>& req_out(BankId bank) {
+    return *req_out_.at(bank);
+  }
+  simfw::DataInPort<memhier::MemResponse>& resp_in() { return resp_in_; }
+
+  /// Selects the L2 bank serving `line_addr` for requests from `core`
+  /// (shared: system-wide interleave; private: within the core's tile).
+  BankId bank_for(CoreId core, Addr line_addr) const;
+
+  TileId tile_of_core(CoreId core) const {
+    return core / config_.cores_per_tile;
+  }
+  TileId tile_of_bank(BankId bank) const {
+    return bank / config_.l2_banks_per_tile;
+  }
+
+  /// Runs until every core exits or `max_cycles` elapse.
+  RunStats run(Cycle max_cycles);
+
+ private:
+  void route_request(CoreId core, const iss::LineRequest& request);
+  void on_response(const memhier::MemResponse& response);
+
+  /// Scheduling state of one core. Stalled cores are *not* stepped (paper:
+  /// "the core is marked as inactive. No further instructions will be
+  /// simulated on this core until the dependency is satisfied"); a fill
+  /// addressed to the core reactivates it.
+  enum class CoreState : std::uint8_t { kActive, kStalled, kHalted };
+
+  SimConfig config_;
+  std::vector<std::unique_ptr<iss::CoreModel>>* cores_;
+  memhier::Noc* noc_;
+  ParaverTraceWriter* trace_;
+
+  std::vector<CoreState> core_states_;
+  std::vector<Cycle> stall_since_;
+  std::uint32_t live_cores_ = 0;    ///< not halted
+  std::uint32_t active_cores_ = 0;  ///< runnable this round
+
+  memhier::BankMapper shared_mapper_;
+  memhier::BankMapper private_mapper_;
+
+  simfw::DataInPort<memhier::MemResponse> resp_in_;
+  std::vector<std::unique_ptr<simfw::DataOutPort<memhier::MemRequest>>>
+      req_out_;
+
+  std::vector<iss::LineRequest> writeback_buffer_;
+  std::vector<std::int64_t> exit_codes_;
+
+  simfw::Counter& cycles_;
+  simfw::Counter& retired_;
+  simfw::Counter& l1_miss_requests_;
+  simfw::Counter& fills_;
+  simfw::Counter& fast_forwarded_cycles_;
+};
+
+}  // namespace coyote::core

@@ -1,0 +1,106 @@
+// Top-level simulation configuration: the tiled topology (paper §III-A:
+// "Coyote models tiled systems that resemble the ACME architecture. Each
+// tile holds a number of cores and L2 cache banks"), the L2 organisation
+// (fully-shared or tile-private), the data-mapping policy, the NoC and the
+// memory controllers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "iss/core_model.h"
+#include "memhier/l2bank.h"
+#include "memhier/llc.h"
+#include "memhier/mapping.h"
+#include "memhier/memctrl.h"
+#include "memhier/noc.h"
+
+namespace coyote::core {
+
+enum class L2Sharing : std::uint8_t {
+  kShared,   ///< one address-interleaved L2 spanning every bank in the system
+  kPrivate,  ///< each tile's banks serve only that tile's cores
+};
+
+inline const char* l2_sharing_name(L2Sharing sharing) {
+  return sharing == L2Sharing::kShared ? "shared" : "private";
+}
+
+struct SimConfig {
+  // ----- topology -----
+  std::uint32_t num_cores = 1;
+  std::uint32_t cores_per_tile = 8;
+  std::uint32_t l2_banks_per_tile = 2;
+
+  // ----- cores (ISS + L1, the "Spike side") -----
+  iss::CoreConfig core;
+
+  // ----- L2 (the "Sparta side") -----
+  L2Sharing l2_sharing = L2Sharing::kShared;
+  memhier::L2BankConfig l2_bank;
+  memhier::MappingPolicy mapping = memhier::MappingPolicy::kSetInterleave;
+
+  // ----- interconnect and memory -----
+  memhier::NocConfig noc;
+  std::uint32_t num_mcs = 2;
+  memhier::MemCtrlConfig mc;
+  std::uint32_t mc_interleave_bytes = 4096;
+  /// Optional third cache level: one LLC slice in front of each memory
+  /// controller (the deepest level of the paper's Fig. 2 sample system).
+  memhier::LlcConfig llc;
+
+  // ----- orchestration -----
+  /// 1 reproduces the paper's cycle-accurate round-robin (interleaving
+  /// disabled). Larger values emulate Spike-style interleaving: each core
+  /// executes up to this many instructions back-to-back per scheduling
+  /// round, trading timing fidelity for simulation speed (ablation A1).
+  std::uint32_t interleave_quantum = 1;
+
+  /// When every live core is asleep on a fill, jump simulated time straight
+  /// to the next event instead of ticking cycle by cycle. Results are
+  /// identical; host time improves for long-latency configurations. Off by
+  /// default: the paper's Orchestrator advances every cycle, and Figure 3's
+  /// throughput curve reflects that per-cycle synchronization cost.
+  bool fast_forward_idle = false;
+
+  // ----- outputs -----
+  bool enable_trace = false;
+  std::string trace_basename = "coyote_trace";
+
+  std::uint32_t num_tiles() const {
+    return (num_cores + cores_per_tile - 1) / cores_per_tile;
+  }
+  std::uint32_t num_l2_banks() const {
+    return num_tiles() * l2_banks_per_tile;
+  }
+
+  /// Throws ConfigError if inconsistent.
+  void validate() const {
+    if (num_cores == 0) throw ConfigError("SimConfig: num_cores == 0");
+    if (cores_per_tile == 0) {
+      throw ConfigError("SimConfig: cores_per_tile == 0");
+    }
+    if (l2_banks_per_tile == 0) {
+      throw ConfigError("SimConfig: l2_banks_per_tile == 0");
+    }
+    if (num_mcs == 0) throw ConfigError("SimConfig: num_mcs == 0");
+    if (interleave_quantum == 0) {
+      throw ConfigError("SimConfig: interleave_quantum == 0");
+    }
+    if (core.line_bytes != l2_bank.line_bytes) {
+      throw ConfigError(strfmt(
+          "SimConfig: L1 line (%u) != L2 line (%u)", core.line_bytes,
+          l2_bank.line_bytes));
+    }
+    if (mc_interleave_bytes < core.line_bytes) {
+      throw ConfigError("SimConfig: MC interleave below line size");
+    }
+    if (llc.enable && llc.line_bytes != core.line_bytes) {
+      throw ConfigError(strfmt("SimConfig: LLC line (%u) != L1 line (%u)",
+                               llc.line_bytes, core.line_bytes));
+    }
+  }
+};
+
+}  // namespace coyote::core

@@ -1,0 +1,180 @@
+#include "core/simulator.h"
+
+#include <chrono>
+
+namespace coyote::core {
+
+Simulator::Simulator(const SimConfig& config) : config_(config) {
+  config_.validate();
+
+  root_ = std::make_unique<simfw::Unit>(&scheduler_, "top");
+  mc_mapper_ = std::make_unique<memhier::McMapper>(config_.num_mcs,
+                                                   config_.mc_interleave_bytes);
+  noc_ = std::make_unique<memhier::Noc>(root_.get(), config_.noc,
+                                        config_.num_tiles(), config_.num_mcs);
+
+  // Memory controllers, optionally fronted by an LLC slice each.
+  mcs_.reserve(config_.num_mcs);
+  for (McId mc = 0; mc < config_.num_mcs; ++mc) {
+    mcs_.push_back(std::make_unique<memhier::MemoryController>(
+        root_.get(), strfmt("mc%u", mc), mc, config_.mc, noc_.get(),
+        config_.num_l2_banks()));
+  }
+  if (config_.llc.enable) {
+    llcs_.reserve(config_.num_mcs);
+    for (McId mc = 0; mc < config_.num_mcs; ++mc) {
+      llcs_.push_back(std::make_unique<memhier::LlcSlice>(
+          root_.get(), strfmt("llc%u", mc), mc, config_.llc, noc_.get(),
+          config_.num_l2_banks()));
+      llcs_[mc]->mem_req_out().bind(mcs_[mc]->req_in());
+    }
+  }
+
+  // Tiles: cores and L2 banks.
+  const std::uint32_t num_tiles = config_.num_tiles();
+  tile_units_.reserve(num_tiles);
+  for (TileId tile = 0; tile < num_tiles; ++tile) {
+    tile_units_.push_back(
+        std::make_unique<simfw::Unit>(root_.get(), strfmt("tile%u", tile)));
+  }
+
+  cores_.reserve(config_.num_cores);
+  for (CoreId id = 0; id < config_.num_cores; ++id) {
+    cores_.push_back(
+        std::make_unique<iss::CoreModel>(id, &memory_, config_.core));
+  }
+
+  // Teach the prefetcher the mapping stride: the next line a bank owns is
+  // `num-banks-in-its-interleave-domain` lines away under set-interleaving,
+  // or simply the next line under page-to-bank.
+  if (config_.l2_bank.prefetch_stride_bytes == 0) {
+    if (config_.mapping == memhier::MappingPolicy::kSetInterleave) {
+      const std::uint32_t domain =
+          config_.l2_sharing == L2Sharing::kShared
+              ? config_.num_l2_banks()
+              : config_.l2_banks_per_tile;
+      config_.l2_bank.prefetch_stride_bytes =
+          static_cast<std::uint64_t>(domain) * config_.l2_bank.line_bytes;
+    } else {
+      config_.l2_bank.prefetch_stride_bytes = config_.l2_bank.line_bytes;
+    }
+  }
+
+  banks_.reserve(config_.num_l2_banks());
+  for (BankId bank = 0; bank < config_.num_l2_banks(); ++bank) {
+    const TileId tile = bank / config_.l2_banks_per_tile;
+    banks_.push_back(std::make_unique<memhier::L2Bank>(
+        tile_units_[tile].get(), strfmt("l2bank%u", bank), bank, tile,
+        config_.l2_bank, noc_.get(), mc_mapper_.get()));
+    // Bank <-> (LLC slice <->) memory-controller wiring.
+    for (McId mc = 0; mc < config_.num_mcs; ++mc) {
+      if (config_.llc.enable) {
+        banks_[bank]->mem_req_out(mc).bind(llcs_[mc]->req_in());
+        llcs_[mc]->resp_out(bank).bind(banks_[bank]->mem_resp_in());
+        mcs_[mc]->resp_out(bank).bind(llcs_[mc]->mem_resp_in());
+      } else {
+        banks_[bank]->mem_req_out(mc).bind(mcs_[mc]->req_in());
+        mcs_[mc]->resp_out(bank).bind(banks_[bank]->mem_resp_in());
+      }
+    }
+  }
+
+  if (config_.enable_trace) {
+    trace_ = std::make_unique<ParaverTraceWriter>(config_.trace_basename,
+                                                  config_.num_cores);
+  }
+
+  orchestrator_ = std::make_unique<Orchestrator>(
+      root_.get(), config_, &cores_, &banks_, noc_.get(), trace_.get());
+
+  // Per-core statistics: live views over the CoreModel counters, hung under
+  // the owning tile so the report mirrors the topology.
+  core_stat_units_.reserve(config_.num_cores);
+  for (CoreId id = 0; id < config_.num_cores; ++id) {
+    const TileId tile = id / config_.cores_per_tile;
+    auto unit = std::make_unique<simfw::Unit>(tile_units_[tile].get(),
+                                              strfmt("core%u", id));
+    const iss::CoreModel* core = cores_[id].get();
+    auto live = [core](std::uint64_t iss::CoreCounters::* member) {
+      return [core, member]() {
+        return static_cast<double>(core->counters().*member);
+      };
+    };
+    auto& stats = unit->stats();
+    stats.statistic("instructions", "instructions retired",
+                    live(&iss::CoreCounters::instructions));
+    stats.statistic("vector_instructions", "vector instructions retired",
+                    live(&iss::CoreCounters::vector_instructions));
+    stats.statistic("loads", "data loads executed",
+                    live(&iss::CoreCounters::loads));
+    stats.statistic("stores", "data stores executed",
+                    live(&iss::CoreCounters::stores));
+    stats.statistic("l1d_accesses", "L1D line lookups",
+                    live(&iss::CoreCounters::l1d_accesses));
+    stats.statistic("l1d_misses", "L1D misses",
+                    live(&iss::CoreCounters::l1d_misses));
+    stats.statistic("l1i_accesses", "L1I line lookups",
+                    live(&iss::CoreCounters::l1i_accesses));
+    stats.statistic("l1i_misses", "L1I misses",
+                    live(&iss::CoreCounters::l1i_misses));
+    stats.statistic("raw_stall_cycles",
+                    "cycles stalled on RAW vs in-flight fills",
+                    live(&iss::CoreCounters::raw_stall_cycles));
+    stats.statistic("ifetch_stall_cycles", "cycles stalled on ifetch misses",
+                    live(&iss::CoreCounters::ifetch_stall_cycles));
+    stats.statistic("writebacks", "dirty L1 lines written back",
+                    live(&iss::CoreCounters::writebacks));
+    stats.statistic("branch_instructions", "branches and jumps retired",
+                    live(&iss::CoreCounters::branch_instructions));
+    stats.statistic("fp_instructions", "scalar FP instructions retired",
+                    live(&iss::CoreCounters::fp_instructions));
+    stats.statistic("amo_instructions", "atomic instructions retired",
+                    live(&iss::CoreCounters::amo_instructions));
+    stats.statistic("l1d_miss_rate", "L1D misses / accesses", [core]() {
+      const auto& counters = core->counters();
+      return counters.l1d_accesses == 0
+                 ? 0.0
+                 : static_cast<double>(counters.l1d_misses) /
+                       static_cast<double>(counters.l1d_accesses);
+    });
+    core_stat_units_.push_back(std::move(unit));
+  }
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::load_program(Addr base, const std::vector<std::uint32_t>& words,
+                             Addr entry) {
+  memory_.poke_words(base, words);
+  for (auto& core : cores_) core->reset(entry);
+}
+
+RunResult Simulator::run(Cycle max_cycles) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const RunStats stats = orchestrator_->run(max_cycles);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.cycles = stats.cycles;
+  result.instructions = stats.instructions;
+  result.all_exited = stats.all_exited;
+  result.hit_cycle_limit = stats.hit_cycle_limit;
+  result.exit_codes = stats.exit_codes;
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.mips = result.wall_seconds > 0.0
+                    ? static_cast<double>(result.instructions) /
+                          result.wall_seconds / 1e6
+                    : 0.0;
+
+  if (trace_ != nullptr && stats.all_exited) {
+    trace_->finish(scheduler_.now());
+  }
+  return result;
+}
+
+std::string Simulator::report(simfw::ReportFormat format) const {
+  return simfw::Report(*root_).to_string(format);
+}
+
+}  // namespace coyote::core

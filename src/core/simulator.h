@@ -1,0 +1,98 @@
+// The public facade: builds the whole simulated machine from a SimConfig
+// (cores with L1s, tiles, L2 banks, NoC, memory controllers, orchestrator,
+// optional Paraver tracing), loads baremetal programs, runs them, and
+// produces statistics reports. This is the API every example, test and
+// benchmark in the repository drives.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.h"
+#include "core/sim_config.h"
+#include "core/trace.h"
+#include "iss/core_model.h"
+#include "memhier/l2bank.h"
+#include "memhier/llc.h"
+#include "memhier/memctrl.h"
+#include "memhier/noc.h"
+#include "simfw/report.h"
+#include "simfw/scheduler.h"
+
+namespace coyote::core {
+
+/// Result of Simulator::run, including host-side throughput (the paper's
+/// Figure 3 metric).
+struct RunResult {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  bool all_exited = false;
+  bool hit_cycle_limit = false;
+  std::vector<std::int64_t> exit_codes;
+  double wall_seconds = 0.0;
+  /// Aggregate simulation throughput in million instructions per second.
+  double mips = 0.0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  const SimConfig& config() const { return config_; }
+  iss::SparseMemory& memory() { return memory_; }
+  simfw::Scheduler& scheduler() { return scheduler_; }
+  simfw::Unit& root() { return *root_; }
+  const simfw::Unit& root() const { return *root_; }
+
+  std::uint32_t num_cores() const { return config_.num_cores; }
+  iss::CoreModel& core(CoreId id) { return *cores_.at(id); }
+  memhier::Noc& noc() { return *noc_; }
+  memhier::L2Bank& l2_bank(BankId id) { return *banks_.at(id); }
+  std::uint32_t num_l2_banks() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  memhier::MemoryController& mc(McId id) { return *mcs_.at(id); }
+  /// LLC slice for controller `id`; nullptr when the LLC is disabled.
+  memhier::LlcSlice* llc(McId id) {
+    return id < llcs_.size() ? llcs_[id].get() : nullptr;
+  }
+  Orchestrator& orchestrator() { return *orchestrator_; }
+  ParaverTraceWriter* trace() { return trace_.get(); }
+
+  /// Copies `words` into simulated memory at `base` and resets every core
+  /// to start executing at `entry`.
+  void load_program(Addr base, const std::vector<std::uint32_t>& words,
+                    Addr entry);
+
+  /// Runs until every core's program exits or `max_cycles` elapse.
+  RunResult run(Cycle max_cycles = ~Cycle{0});
+
+  /// Renders the statistics tree. Per-core statistics are live views of the
+  /// CoreModel counters, so the report is always current.
+  std::string report(simfw::ReportFormat format = simfw::ReportFormat::kText)
+      const;
+
+ private:
+  SimConfig config_;
+  simfw::Scheduler scheduler_;
+  iss::SparseMemory memory_;
+
+  std::unique_ptr<simfw::Unit> root_;
+  std::unique_ptr<memhier::McMapper> mc_mapper_;
+  std::unique_ptr<memhier::Noc> noc_;
+  std::vector<std::unique_ptr<iss::CoreModel>> cores_;
+  std::vector<std::unique_ptr<simfw::Unit>> tile_units_;
+  std::vector<std::unique_ptr<simfw::Unit>> core_stat_units_;
+  std::vector<std::unique_ptr<memhier::L2Bank>> banks_;
+  std::vector<std::unique_ptr<memhier::MemoryController>> mcs_;
+  std::vector<std::unique_ptr<memhier::LlcSlice>> llcs_;
+  std::unique_ptr<ParaverTraceWriter> trace_;
+  std::unique_ptr<Orchestrator> orchestrator_;
+};
+
+}  // namespace coyote::core

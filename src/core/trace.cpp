@@ -1,0 +1,92 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace coyote::core {
+
+ParaverTraceWriter::ParaverTraceWriter(std::string basename,
+                                       std::uint32_t num_cores)
+    : basename_(std::move(basename)), num_cores_(num_cores) {}
+
+void ParaverTraceWriter::record(Cycle cycle, CoreId core, TraceEvent event,
+                                std::uint64_t value) {
+  records_.push_back(Record{cycle, core, event, value});
+}
+
+void ParaverTraceWriter::record_state(Cycle begin, Cycle end, CoreId core,
+                                      TraceState state) {
+  states_.push_back(StateRecord{begin, end, core, state});
+}
+
+void ParaverTraceWriter::finish(Cycle total_cycles) {
+  // Events arrive in simulated-time order, but state intervals are recorded
+  // at their *end* (wake-up), so their begin cycles interleave across cores.
+  std::stable_sort(states_.begin(), states_.end(),
+                   [](const StateRecord& a, const StateRecord& b) {
+                     return a.begin < b.begin;
+                   });
+  // ----- .prv -----
+  {
+    std::ofstream prv(basename_ + ".prv");
+    if (!prv) throw SimError("trace: cannot open " + basename_ + ".prv");
+    // Header: #Paraver(dd/mm/yy at hh:mm):duration:nodes:appls:appl_desc
+    // One node with num_cores cpus; one application with one task and
+    // num_cores threads, all on node 1.
+    prv << "#Paraver (01/01/26 at 00:00):" << total_cycles << ":1("
+        << num_cores_ << "):1:1(" << num_cores_ << ":1)\n";
+    // Emit in time order, states (type 1) before events (type 2) at equal
+    // timestamps — the ordering Paraver's loader prefers.
+    std::size_t state_index = 0;
+    std::size_t event_index = 0;
+    while (state_index < states_.size() || event_index < records_.size()) {
+      const bool take_state =
+          state_index < states_.size() &&
+          (event_index >= records_.size() ||
+           states_[state_index].begin <= records_[event_index].cycle);
+      if (take_state) {
+        const StateRecord& state = states_[state_index++];
+        // Record type 1 (state): 1:cpu:appl:task:thread:begin:end:state
+        prv << "1:" << (state.core + 1) << ":1:1:" << (state.core + 1) << ":"
+            << state.begin << ":" << state.end << ":"
+            << static_cast<std::uint32_t>(state.state) << "\n";
+      } else {
+        const Record& record = records_[event_index++];
+        // Record type 2 (event): 2:cpu:appl:task:thread:time:type:value
+        prv << "2:" << (record.core + 1) << ":1:1:" << (record.core + 1)
+            << ":" << record.cycle << ":"
+            << static_cast<std::uint32_t>(record.event) << ":" << record.value
+            << "\n";
+      }
+    }
+  }
+  // ----- .pcf -----
+  {
+    std::ofstream pcf(basename_ + ".pcf");
+    if (!pcf) throw SimError("trace: cannot open " + basename_ + ".pcf");
+    pcf << "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS     "
+           "          CYCLES\n\n";
+    pcf << "STATES\n1    Running\n5    Stalled on fill\n7    Finished\n\n";
+    const auto emit = [&pcf](TraceEvent event, const char* label) {
+      pcf << "EVENT_TYPE\n0    " << static_cast<std::uint32_t>(event) << "    "
+          << label << "\n\n";
+    };
+    emit(TraceEvent::kL1DMiss, "Coyote L1D miss (value: line address)");
+    emit(TraceEvent::kL1IMiss, "Coyote L1I miss (value: line address)");
+    emit(TraceEvent::kRawStall, "Coyote RAW stall (value: stalled cycles)");
+    emit(TraceEvent::kL2MissFill, "Coyote fill (value: line address)");
+    emit(TraceEvent::kInstrRetired, "Coyote retired (value: instructions)");
+  }
+  // ----- .row -----
+  {
+    std::ofstream row(basename_ + ".row");
+    if (!row) throw SimError("trace: cannot open " + basename_ + ".row");
+    row << "LEVEL THREAD SIZE " << num_cores_ << "\n";
+    for (std::uint32_t core = 0; core < num_cores_; ++core) {
+      row << "core." << core << "\n";
+    }
+  }
+}
+
+}  // namespace coyote::core

@@ -1,0 +1,75 @@
+// Paraver trace production (paper §III-A: "Simulation outputs … a trace of
+// L1 misses. This trace can be analyzed using the Paraver Visualization
+// Tools"). Writes the classic three-file set:
+//   <base>.prv — the event records,
+//   <base>.pcf — event-type/value definitions,
+//   <base>.row — object (core) labels.
+// Event encoding: one Paraver "thread" per simulated core; punctual events
+// carry the event type below and the line address (or stall kind) as value.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace coyote::core {
+
+/// Paraver event-type ids emitted by Coyote.
+enum class TraceEvent : std::uint32_t {
+  kL1DMiss = 42001001,
+  kL1IMiss = 42001002,
+  kRawStall = 42001003,
+  kL2MissFill = 42001004,  ///< fill observed by the core (service completed)
+  kInstrRetired = 42001005,
+};
+
+/// Paraver thread-state values (record type 1).
+enum class TraceState : std::uint32_t {
+  kRunning = 1,
+  kStalled = 5,   ///< asleep on a RAW dependency or ifetch fill
+  kFinished = 7,  ///< program exited
+};
+
+class ParaverTraceWriter {
+ public:
+  /// Buffers records in memory; files are produced by finish().
+  ParaverTraceWriter(std::string basename, std::uint32_t num_cores);
+
+  void record(Cycle cycle, CoreId core, TraceEvent event, std::uint64_t value);
+
+  /// Records a state interval [begin, end) for one core (Paraver record
+  /// type 1). Gaps between intervals render as running.
+  void record_state(Cycle begin, Cycle end, CoreId core, TraceState state);
+
+  std::uint64_t record_count() const {
+    return records_.size() + states_.size();
+  }
+
+  /// Writes the .prv/.pcf/.row triple. `total_cycles` becomes the trace
+  /// duration in the header.
+  void finish(Cycle total_cycles);
+
+ private:
+  struct Record {
+    Cycle cycle;
+    CoreId core;
+    TraceEvent event;
+    std::uint64_t value;
+  };
+  struct StateRecord {
+    Cycle begin;
+    Cycle end;
+    CoreId core;
+    TraceState state;
+  };
+
+  std::string basename_;
+  std::uint32_t num_cores_;
+  std::vector<Record> records_;
+  std::vector<StateRecord> states_;
+};
+
+}  // namespace coyote::core

@@ -1,0 +1,99 @@
+#include "isa/assembler.h"
+
+#include "common/bits.h"
+
+namespace coyote::isa {
+
+void Assembler::bind(Label label) {
+  if (label.id_ >= labels_.size()) {
+    throw SimError("Assembler: bind of a foreign label");
+  }
+  if (labels_[label.id_] != kUnbound) {
+    throw SimError("Assembler: label bound twice");
+  }
+  labels_[label.id_] = pc();
+}
+
+void Assembler::branch(std::uint32_t funct3, Xreg rs1, Xreg rs2,
+                       Label target) {
+  if (target.id_ >= labels_.size()) {
+    throw SimError("Assembler: branch to a foreign label");
+  }
+  const std::size_t index = words_.size();
+  if (labels_[target.id_] != kUnbound) {
+    emit(encode::b_type(0x63, funct3, rs1, rs2,
+                        static_cast<std::int32_t>(
+                            offset_to(labels_[target.id_], index))));
+  } else {
+    fixups_.push_back(Fixup{index, target.id_, /*is_jal=*/false});
+    emit(encode::b_type(0x63, funct3, rs1, rs2, 0));
+  }
+}
+
+void Assembler::jal(Xreg rd, Label target) {
+  if (target.id_ >= labels_.size()) {
+    throw SimError("Assembler: jump to a foreign label");
+  }
+  const std::size_t index = words_.size();
+  if (labels_[target.id_] != kUnbound) {
+    emit(encode::j_type(0x6F, rd,
+                        static_cast<std::int32_t>(
+                            offset_to(labels_[target.id_], index))));
+  } else {
+    fixups_.push_back(Fixup{index, target.id_, /*is_jal=*/true});
+    emit(encode::j_type(0x6F, rd, 0));
+  }
+}
+
+const std::vector<std::uint32_t>& Assembler::finish() {
+  for (const Fixup& fixup : fixups_) {
+    const std::uint64_t target = labels_[fixup.label_id];
+    if (target == kUnbound) {
+      throw SimError("Assembler: finish() with an unbound label");
+    }
+    const auto offset =
+        static_cast<std::int32_t>(offset_to(target, fixup.word_index));
+    std::uint32_t& word = words_[fixup.word_index];
+    if (fixup.is_jal) {
+      if (offset < -(1 << 20) || offset >= (1 << 20)) {
+        throw SimError("Assembler: jal offset out of range");
+      }
+      word = encode::j_type(0x6F, bits(word, 11, 7), offset);
+    } else {
+      if (offset < -(1 << 12) || offset >= (1 << 12)) {
+        throw SimError("Assembler: branch offset out of range");
+      }
+      // Rebuild, preserving opcode/funct3/rs1/rs2.
+      word = encode::b_type(0x63, bits(word, 14, 12), bits(word, 19, 15),
+                            bits(word, 24, 20), offset);
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+void Assembler::li(Xreg rd, std::int64_t value) {
+  if (rd == zero) return;
+  if (value >= -2048 && value < 2048) {
+    addi(rd, zero, static_cast<std::int32_t>(value));
+    return;
+  }
+  if (value >= INT64_C(-0x80000000) && value <= INT64_C(0x7FFFFFFF)) {
+    const auto lo12 = static_cast<std::int32_t>(sign_extend(
+        static_cast<std::uint64_t>(value) & 0xFFF, 12));
+    const auto hi20 = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(value - lo12) >> 12) & 0xFFFFF);
+    lui(rd, hi20);
+    if (lo12 != 0) addiw(rd, rd, lo12);
+    return;
+  }
+  // General case: materialize the upper bits, shift, add 12 bits.
+  const auto lo12 = static_cast<std::int32_t>(
+      sign_extend(static_cast<std::uint64_t>(value) & 0xFFF, 12));
+  const std::int64_t hi = (value - lo12) >> 12;
+  li(rd, hi);
+  slli(rd, rd, 12);
+  if (lo12 != 0) addi(rd, rd, lo12);
+}
+
+}  // namespace coyote::isa

@@ -1,0 +1,463 @@
+// Programmatic RISC-V assembler. Coyote runs baremetal kernels; since no
+// cross-toolchain is assumed to exist on the host, kernels are emitted as
+// genuine RV64 machine code through this API and decoded/executed by the ISS
+// exactly as toolchain-produced code would be.
+//
+// Supports forward/backward labels with automatic branch/jump fixups, the
+// usual pseudo-instructions (li/mv/nop/j/ret/...), and the vector subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "isa/encoding.h"
+#include "isa/registers.h"
+
+namespace coyote::isa {
+
+/// Element width selector for vsetvli and vector loads/stores.
+enum class Sew : std::uint8_t { kE8 = 0, kE16 = 1, kE32 = 2, kE64 = 3 };
+/// Register-group multiplier (integral LMUL only).
+enum class Lmul : std::uint8_t { kM1 = 0, kM2 = 1, kM4 = 2, kM8 = 3 };
+
+class Assembler {
+ public:
+  /// A position in the program, resolvable after `bind`.
+  class Label {
+   public:
+    Label() = default;
+
+   private:
+    friend class Assembler;
+    explicit Label(std::uint32_t id) : id_(id) {}
+    std::uint32_t id_ = ~std::uint32_t{0};
+  };
+
+  /// `base` is the address the first emitted word will live at.
+  explicit Assembler(std::uint64_t base) : base_(base) {}
+
+  std::uint64_t base() const { return base_; }
+  /// Address of the *next* instruction to be emitted.
+  std::uint64_t pc() const { return base_ + 4 * words_.size(); }
+  std::size_t size_bytes() const { return 4 * words_.size(); }
+
+  /// Finished program. Throws if any label is still unresolved.
+  const std::vector<std::uint32_t>& finish();
+
+  // ----- labels -----
+  Label make_label() {
+    labels_.push_back(kUnbound);
+    return Label(static_cast<std::uint32_t>(labels_.size() - 1));
+  }
+  void bind(Label label);
+  /// Creates a label already bound to the current pc.
+  Label here() {
+    Label label = make_label();
+    bind(label);
+    return label;
+  }
+
+  // ----- raw -----
+  void emit(std::uint32_t word) { words_.push_back(word); }
+
+  // ----- RV64I -----
+  void lui(Xreg rd, std::int32_t imm20) {
+    emit(encode::u_type(0x37, rd, static_cast<std::uint32_t>(imm20)));
+  }
+  void auipc(Xreg rd, std::int32_t imm20) {
+    emit(encode::u_type(0x17, rd, static_cast<std::uint32_t>(imm20)));
+  }
+  void jal(Xreg rd, Label target);
+  void jalr(Xreg rd, Xreg rs1, std::int32_t offset) {
+    emit(encode::i_type(0x67, 0, rd, rs1, offset));
+  }
+
+  void beq(Xreg rs1, Xreg rs2, Label target) { branch(0, rs1, rs2, target); }
+  void bne(Xreg rs1, Xreg rs2, Label target) { branch(1, rs1, rs2, target); }
+  void blt(Xreg rs1, Xreg rs2, Label target) { branch(4, rs1, rs2, target); }
+  void bge(Xreg rs1, Xreg rs2, Label target) { branch(5, rs1, rs2, target); }
+  void bltu(Xreg rs1, Xreg rs2, Label target) { branch(6, rs1, rs2, target); }
+  void bgeu(Xreg rs1, Xreg rs2, Label target) { branch(7, rs1, rs2, target); }
+  // Pseudo: swapped-operand conditions.
+  void bgt(Xreg rs1, Xreg rs2, Label target) { blt(rs2, rs1, target); }
+  void ble(Xreg rs1, Xreg rs2, Label target) { bge(rs2, rs1, target); }
+  void beqz(Xreg rs1, Label target) { beq(rs1, zero, target); }
+  void bnez(Xreg rs1, Label target) { bne(rs1, zero, target); }
+  void blez(Xreg rs1, Label target) { bge(zero, rs1, target); }
+  void bgtz(Xreg rs1, Label target) { blt(zero, rs1, target); }
+
+  void lb(Xreg rd, std::int32_t off, Xreg rs1) { load(0, rd, rs1, off); }
+  void lh(Xreg rd, std::int32_t off, Xreg rs1) { load(1, rd, rs1, off); }
+  void lw(Xreg rd, std::int32_t off, Xreg rs1) { load(2, rd, rs1, off); }
+  void ld(Xreg rd, std::int32_t off, Xreg rs1) { load(3, rd, rs1, off); }
+  void lbu(Xreg rd, std::int32_t off, Xreg rs1) { load(4, rd, rs1, off); }
+  void lhu(Xreg rd, std::int32_t off, Xreg rs1) { load(5, rd, rs1, off); }
+  void lwu(Xreg rd, std::int32_t off, Xreg rs1) { load(6, rd, rs1, off); }
+  void sb(Xreg rs2, std::int32_t off, Xreg rs1) { store(0, rs1, rs2, off); }
+  void sh(Xreg rs2, std::int32_t off, Xreg rs1) { store(1, rs1, rs2, off); }
+  void sw(Xreg rs2, std::int32_t off, Xreg rs1) { store(2, rs1, rs2, off); }
+  void sd(Xreg rs2, std::int32_t off, Xreg rs1) { store(3, rs1, rs2, off); }
+
+  void addi(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(0, rd, rs1, imm); }
+  void slti(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(2, rd, rs1, imm); }
+  void sltiu(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(3, rd, rs1, imm); }
+  void xori(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(4, rd, rs1, imm); }
+  void ori(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(6, rd, rs1, imm); }
+  void andi(Xreg rd, Xreg rs1, std::int32_t imm) { opimm(7, rd, rs1, imm); }
+  void slli(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x13, 1, rd, rs1, static_cast<std::int32_t>(shamt)));
+  }
+  void srli(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x13, 5, rd, rs1, static_cast<std::int32_t>(shamt)));
+  }
+  void srai(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x13, 5, rd, rs1,
+                        static_cast<std::int32_t>(shamt | 0x400)));
+  }
+
+  void add(Xreg rd, Xreg rs1, Xreg rs2) { op(0, 0x00, rd, rs1, rs2); }
+  void sub(Xreg rd, Xreg rs1, Xreg rs2) { op(0, 0x20, rd, rs1, rs2); }
+  void sll(Xreg rd, Xreg rs1, Xreg rs2) { op(1, 0x00, rd, rs1, rs2); }
+  void slt(Xreg rd, Xreg rs1, Xreg rs2) { op(2, 0x00, rd, rs1, rs2); }
+  void sltu(Xreg rd, Xreg rs1, Xreg rs2) { op(3, 0x00, rd, rs1, rs2); }
+  void xor_(Xreg rd, Xreg rs1, Xreg rs2) { op(4, 0x00, rd, rs1, rs2); }
+  void srl(Xreg rd, Xreg rs1, Xreg rs2) { op(5, 0x00, rd, rs1, rs2); }
+  void sra(Xreg rd, Xreg rs1, Xreg rs2) { op(5, 0x20, rd, rs1, rs2); }
+  void or_(Xreg rd, Xreg rs1, Xreg rs2) { op(6, 0x00, rd, rs1, rs2); }
+  void and_(Xreg rd, Xreg rs1, Xreg rs2) { op(7, 0x00, rd, rs1, rs2); }
+
+  void addiw(Xreg rd, Xreg rs1, std::int32_t imm) {
+    emit(encode::i_type(0x1B, 0, rd, rs1, imm));
+  }
+  void slliw(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x1B, 1, rd, rs1, static_cast<std::int32_t>(shamt)));
+  }
+  void srliw(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x1B, 5, rd, rs1, static_cast<std::int32_t>(shamt)));
+  }
+  void sraiw(Xreg rd, Xreg rs1, unsigned shamt) {
+    emit(encode::i_type(0x1B, 5, rd, rs1,
+                        static_cast<std::int32_t>(shamt | 0x400)));
+  }
+  void addw(Xreg rd, Xreg rs1, Xreg rs2) { op32(0, 0x00, rd, rs1, rs2); }
+  void subw(Xreg rd, Xreg rs1, Xreg rs2) { op32(0, 0x20, rd, rs1, rs2); }
+  void sllw(Xreg rd, Xreg rs1, Xreg rs2) { op32(1, 0x00, rd, rs1, rs2); }
+  void srlw(Xreg rd, Xreg rs1, Xreg rs2) { op32(5, 0x00, rd, rs1, rs2); }
+  void sraw(Xreg rd, Xreg rs1, Xreg rs2) { op32(5, 0x20, rd, rs1, rs2); }
+
+  void fence() { emit(0x0FF0000F); }
+  void ecall() { emit(0x00000073); }
+  void ebreak() { emit(0x00100073); }
+
+  // ----- RV64A -----
+  void lr_w(Xreg rd, Xreg rs1) { amo(0x02, 2, rd, rs1, zero); }
+  void lr_d(Xreg rd, Xreg rs1) { amo(0x02, 3, rd, rs1, zero); }
+  void sc_w(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x03, 2, rd, rs1, rs2); }
+  void sc_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x03, 3, rd, rs1, rs2); }
+  void amoswap_w(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x01, 2, rd, rs1, rs2); }
+  void amoswap_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x01, 3, rd, rs1, rs2); }
+  void amoadd_w(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x00, 2, rd, rs1, rs2); }
+  void amoadd_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x00, 3, rd, rs1, rs2); }
+  void amoxor_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x04, 3, rd, rs1, rs2); }
+  void amoand_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x0C, 3, rd, rs1, rs2); }
+  void amoor_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x08, 3, rd, rs1, rs2); }
+  void amomin_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x10, 3, rd, rs1, rs2); }
+  void amomax_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x14, 3, rd, rs1, rs2); }
+  void amominu_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x18, 3, rd, rs1, rs2); }
+  void amomaxu_d(Xreg rd, Xreg rs2, Xreg rs1) { amo(0x1C, 3, rd, rs1, rs2); }
+
+  // ----- Zicsr -----
+  void csrrw(Xreg rd, std::uint32_t csr, Xreg rs1) {
+    emit(encode::i_type(0x73, 1, rd, rs1, static_cast<std::int32_t>(csr)));
+  }
+  void csrrs(Xreg rd, std::uint32_t csr, Xreg rs1) {
+    emit(encode::i_type(0x73, 2, rd, rs1, static_cast<std::int32_t>(csr)));
+  }
+  void csrr(Xreg rd, std::uint32_t csr) { csrrs(rd, csr, zero); }
+  void csrw(std::uint32_t csr, Xreg rs1) { csrrw(zero, csr, rs1); }
+
+  // ----- RV64M -----
+  void mul(Xreg rd, Xreg rs1, Xreg rs2) { op(0, 0x01, rd, rs1, rs2); }
+  void mulh(Xreg rd, Xreg rs1, Xreg rs2) { op(1, 0x01, rd, rs1, rs2); }
+  void mulhsu(Xreg rd, Xreg rs1, Xreg rs2) { op(2, 0x01, rd, rs1, rs2); }
+  void mulhu(Xreg rd, Xreg rs1, Xreg rs2) { op(3, 0x01, rd, rs1, rs2); }
+  void div(Xreg rd, Xreg rs1, Xreg rs2) { op(4, 0x01, rd, rs1, rs2); }
+  void divu(Xreg rd, Xreg rs1, Xreg rs2) { op(5, 0x01, rd, rs1, rs2); }
+  void rem(Xreg rd, Xreg rs1, Xreg rs2) { op(6, 0x01, rd, rs1, rs2); }
+  void remu(Xreg rd, Xreg rs1, Xreg rs2) { op(7, 0x01, rd, rs1, rs2); }
+  void mulw(Xreg rd, Xreg rs1, Xreg rs2) { op32(0, 0x01, rd, rs1, rs2); }
+  void divw(Xreg rd, Xreg rs1, Xreg rs2) { op32(4, 0x01, rd, rs1, rs2); }
+  void divuw(Xreg rd, Xreg rs1, Xreg rs2) { op32(5, 0x01, rd, rs1, rs2); }
+  void remw(Xreg rd, Xreg rs1, Xreg rs2) { op32(6, 0x01, rd, rs1, rs2); }
+  void remuw(Xreg rd, Xreg rs1, Xreg rs2) { op32(7, 0x01, rd, rs1, rs2); }
+
+  // ----- F/D -----
+  void flw(Freg rd, std::int32_t off, Xreg rs1) {
+    emit(encode::i_type(0x07, 2, rd, rs1, check_imm12(off)));
+  }
+  void fld(Freg rd, std::int32_t off, Xreg rs1) {
+    emit(encode::i_type(0x07, 3, rd, rs1, check_imm12(off)));
+  }
+  void fsw(Freg rs2, std::int32_t off, Xreg rs1) {
+    emit(encode::s_type(0x27, 2, rs1, rs2, check_imm12(off)));
+  }
+  void fsd(Freg rs2, std::int32_t off, Xreg rs1) {
+    emit(encode::s_type(0x27, 3, rs1, rs2, check_imm12(off)));
+  }
+  void fadd_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x01, 7, rd, rs1, rs2); }
+  void fsub_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x05, 7, rd, rs1, rs2); }
+  void fmul_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x09, 7, rd, rs1, rs2); }
+  void fdiv_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x0D, 7, rd, rs1, rs2); }
+  void fsqrt_d(Freg rd, Freg rs1) { opfp(0x2D, 7, rd, rs1, Freg(0)); }
+  void fsgnj_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x11, 0, rd, rs1, rs2); }
+  void fmin_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x15, 0, rd, rs1, rs2); }
+  void fmax_d(Freg rd, Freg rs1, Freg rs2) { opfp(0x15, 1, rd, rs1, rs2); }
+  void fmv_d(Freg rd, Freg rs1) { fsgnj_d(rd, rs1, rs1); }
+  void fadd_s(Freg rd, Freg rs1, Freg rs2) { opfp(0x00, 7, rd, rs1, rs2); }
+  void fsub_s(Freg rd, Freg rs1, Freg rs2) { opfp(0x04, 7, rd, rs1, rs2); }
+  void fmul_s(Freg rd, Freg rs1, Freg rs2) { opfp(0x08, 7, rd, rs1, rs2); }
+  void fmadd_d(Freg rd, Freg rs1, Freg rs2, Freg rs3) { fma(0x43, rd, rs1, rs2, rs3); }
+  void fmsub_d(Freg rd, Freg rs1, Freg rs2, Freg rs3) { fma(0x47, rd, rs1, rs2, rs3); }
+  void fnmsub_d(Freg rd, Freg rs1, Freg rs2, Freg rs3) { fma(0x4B, rd, rs1, rs2, rs3); }
+  void fnmadd_d(Freg rd, Freg rs1, Freg rs2, Freg rs3) { fma(0x4F, rd, rs1, rs2, rs3); }
+  void feq_d(Xreg rd, Freg rs1, Freg rs2) {
+    emit(encode::r_type(0x53, 2, 0x51, rd, rs1, rs2));
+  }
+  void flt_d(Xreg rd, Freg rs1, Freg rs2) {
+    emit(encode::r_type(0x53, 1, 0x51, rd, rs1, rs2));
+  }
+  void fle_d(Xreg rd, Freg rs1, Freg rs2) {
+    emit(encode::r_type(0x53, 0, 0x51, rd, rs1, rs2));
+  }
+  void fcvt_d_l(Freg rd, Xreg rs1) {
+    emit(encode::r_type(0x53, 7, 0x69, rd, rs1, 2));
+  }
+  void fcvt_d_w(Freg rd, Xreg rs1) {
+    emit(encode::r_type(0x53, 7, 0x69, rd, rs1, 0));
+  }
+  void fcvt_l_d(Xreg rd, Freg rs1) {
+    emit(encode::r_type(0x53, 1 /*rtz*/, 0x61, rd, rs1, 2));
+  }
+  void fcvt_w_d(Xreg rd, Freg rs1) {
+    emit(encode::r_type(0x53, 1 /*rtz*/, 0x61, rd, rs1, 0));
+  }
+  void fmv_x_d(Xreg rd, Freg rs1) {
+    emit(encode::r_type(0x53, 0, 0x71, rd, rs1, 0));
+  }
+  void fmv_d_x(Freg rd, Xreg rs1) {
+    emit(encode::r_type(0x53, 0, 0x79, rd, rs1, 0));
+  }
+
+  // ----- V: configuration -----
+  void vsetvli(Xreg rd, Xreg rs1, Sew sew, Lmul lmul) {
+    const std::uint32_t vt = encode::vtype_imm(static_cast<std::uint32_t>(sew),
+                                               static_cast<std::uint32_t>(lmul));
+    emit(encode::i_type(0x57, 7, rd, rs1, static_cast<std::int32_t>(vt)));
+  }
+  void vsetivli(Xreg rd, std::uint8_t avl, Sew sew, Lmul lmul) {
+    const std::uint32_t vt = encode::vtype_imm(static_cast<std::uint32_t>(sew),
+                                               static_cast<std::uint32_t>(lmul));
+    emit(encode::i_type(0x57, 7, rd, static_cast<Xreg>(avl & 0x1F),
+                        static_cast<std::int32_t>(vt | 0xC00)));
+  }
+
+  // ----- V: memory -----
+  void vle8(Vreg vd, Xreg rs1, bool vm = true) { vmem_unit(0x07, 0, vd, rs1, vm); }
+  void vle16(Vreg vd, Xreg rs1, bool vm = true) { vmem_unit(0x07, 5, vd, rs1, vm); }
+  void vle32(Vreg vd, Xreg rs1, bool vm = true) { vmem_unit(0x07, 6, vd, rs1, vm); }
+  void vle64(Vreg vd, Xreg rs1, bool vm = true) { vmem_unit(0x07, 7, vd, rs1, vm); }
+  void vse8(Vreg vs3, Xreg rs1, bool vm = true) { vmem_unit(0x27, 0, vs3, rs1, vm); }
+  void vse16(Vreg vs3, Xreg rs1, bool vm = true) { vmem_unit(0x27, 5, vs3, rs1, vm); }
+  void vse32(Vreg vs3, Xreg rs1, bool vm = true) { vmem_unit(0x27, 6, vs3, rs1, vm); }
+  void vse64(Vreg vs3, Xreg rs1, bool vm = true) { vmem_unit(0x27, 7, vs3, rs1, vm); }
+  void vlse32(Vreg vd, Xreg rs1, Xreg stride, bool vm = true) {
+    emit(encode::v_mem(0x07, 6, 2, vm, stride, rs1, vd));
+  }
+  void vlse64(Vreg vd, Xreg rs1, Xreg stride, bool vm = true) {
+    emit(encode::v_mem(0x07, 7, 2, vm, stride, rs1, vd));
+  }
+  void vsse32(Vreg vs3, Xreg rs1, Xreg stride, bool vm = true) {
+    emit(encode::v_mem(0x27, 6, 2, vm, stride, rs1, vs3));
+  }
+  void vsse64(Vreg vs3, Xreg rs1, Xreg stride, bool vm = true) {
+    emit(encode::v_mem(0x27, 7, 2, vm, stride, rs1, vs3));
+  }
+  void vluxei32(Vreg vd, Xreg rs1, Vreg idx, bool vm = true) {
+    emit(encode::v_mem(0x07, 6, 1, vm, idx, rs1, vd));
+  }
+  void vluxei64(Vreg vd, Xreg rs1, Vreg idx, bool vm = true) {
+    emit(encode::v_mem(0x07, 7, 1, vm, idx, rs1, vd));
+  }
+  void vsuxei64(Vreg vs3, Xreg rs1, Vreg idx, bool vm = true) {
+    emit(encode::v_mem(0x27, 7, 1, vm, idx, rs1, vs3));
+  }
+
+  // ----- V: integer arithmetic -----
+  void vadd_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vivv(0x00, vd, vs2, vs1, vm); }
+  void vadd_vx(Vreg vd, Vreg vs2, Xreg rs1, bool vm = true) { vivx(0x00, vd, vs2, rs1, vm); }
+  void vadd_vi(Vreg vd, Vreg vs2, std::int8_t imm, bool vm = true) { vivi(0x00, vd, vs2, imm, vm); }
+  void vsub_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vivv(0x02, vd, vs2, vs1, vm); }
+  void vand_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vivv(0x09, vd, vs2, vs1, vm); }
+  void vor_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vivv(0x0A, vd, vs2, vs1, vm); }
+  void vxor_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vivv(0x0B, vd, vs2, vs1, vm); }
+  void vsll_vi(Vreg vd, Vreg vs2, std::uint8_t shamt, bool vm = true) {
+    vivi(0x25, vd, vs2, static_cast<std::int8_t>(shamt), vm);
+  }
+  void vsll_vx(Vreg vd, Vreg vs2, Xreg rs1, bool vm = true) { vivx(0x25, vd, vs2, rs1, vm); }
+  void vsrl_vi(Vreg vd, Vreg vs2, std::uint8_t shamt, bool vm = true) {
+    vivi(0x28, vd, vs2, static_cast<std::int8_t>(shamt), vm);
+  }
+  void vmul_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vmvv(0x25, vd, vs2, vs1, vm); }
+  void vmul_vx(Vreg vd, Vreg vs2, Xreg rs1, bool vm = true) { vmvx(0x25, vd, vs2, rs1, vm); }
+  void vmacc_vv(Vreg vd, Vreg vs1, Vreg vs2, bool vm = true) { vmvv(0x2D, vd, vs2, vs1, vm); }
+  void vmv_v_v(Vreg vd, Vreg vs1) { vivv(0x17, vd, Vreg(0), vs1, true); }
+  void vmv_v_x(Vreg vd, Xreg rs1) { vivx(0x17, vd, Vreg(0), rs1, true); }
+  void vmv_v_i(Vreg vd, std::int8_t imm) { vivi(0x17, vd, Vreg(0), imm, true); }
+  void vmerge_vvm(Vreg vd, Vreg vs2, Vreg vs1) { vivv(0x17, vd, vs2, vs1, false); }
+  void vid_v(Vreg vd, bool vm = true) {
+    emit(encode::v_arith(0x14, vm, 0, 0x11, 2, vd));
+  }
+  void vmv_x_s(Xreg rd, Vreg vs2) {
+    emit(encode::v_arith(0x10, true, vs2, 0, 2, rd));
+  }
+  void vmv_s_x(Vreg vd, Xreg rs1) {
+    emit(encode::v_arith(0x10, true, 0, rs1, 6, vd));
+  }
+  void vslide1down_vx(Vreg vd, Vreg vs2, Xreg rs1, bool vm = true) {
+    vmvx(0x0F, vd, vs2, rs1, vm);
+  }
+  void vslidedown_vi(Vreg vd, Vreg vs2, std::uint8_t offset, bool vm = true) {
+    vivi(0x0F, vd, vs2, static_cast<std::int8_t>(offset), vm);
+  }
+  void vmseq_vx(Vreg vd, Vreg vs2, Xreg rs1) { vivx(0x18, vd, vs2, rs1, true); }
+  void vmslt_vx(Vreg vd, Vreg vs2, Xreg rs1) { vivx(0x1B, vd, vs2, rs1, true); }
+  void vredsum_vs(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) {
+    vmvv(0x00, vd, vs2, vs1, vm);
+  }
+
+  // ----- V: floating point -----
+  void vfadd_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vfvv(0x00, vd, vs2, vs1, vm); }
+  void vfadd_vf(Vreg vd, Vreg vs2, Freg rs1, bool vm = true) { vfvf(0x00, vd, vs2, rs1, vm); }
+  void vfsub_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vfvv(0x02, vd, vs2, vs1, vm); }
+  void vfmul_vv(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) { vfvv(0x24, vd, vs2, vs1, vm); }
+  void vfmul_vf(Vreg vd, Vreg vs2, Freg rs1, bool vm = true) { vfvf(0x24, vd, vs2, rs1, vm); }
+  /// vfmacc.vv vd, vs1, vs2 : vd[i] += vs1[i] * vs2[i]
+  void vfmacc_vv(Vreg vd, Vreg vs1, Vreg vs2, bool vm = true) { vfvv(0x2C, vd, vs2, vs1, vm); }
+  void vfmacc_vf(Vreg vd, Freg rs1, Vreg vs2, bool vm = true) { vfvf(0x2C, vd, vs2, rs1, vm); }
+  void vfmv_v_f(Vreg vd, Freg rs1) { vfvf(0x17, vd, Vreg(0), rs1, true); }
+  void vfmv_f_s(Freg rd, Vreg vs2) {
+    emit(encode::v_arith(0x10, true, vs2, 0, 1, rd));
+  }
+  void vfmv_s_f(Vreg vd, Freg rs1) {
+    emit(encode::v_arith(0x10, true, 0, rs1, 5, vd));
+  }
+  void vfredusum_vs(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) {
+    vfvv(0x01, vd, vs2, vs1, vm);
+  }
+  void vfredosum_vs(Vreg vd, Vreg vs2, Vreg vs1, bool vm = true) {
+    vfvv(0x03, vd, vs2, vs1, vm);
+  }
+
+  // ----- pseudo-instructions -----
+  void nop() { addi(zero, zero, 0); }
+  void mv(Xreg rd, Xreg rs1) { addi(rd, rs1, 0); }
+  void neg(Xreg rd, Xreg rs1) { sub(rd, zero, rs1); }
+  void seqz(Xreg rd, Xreg rs1) { sltiu(rd, rs1, 1); }
+  void snez(Xreg rd, Xreg rs1) { sltu(rd, zero, rs1); }
+  void j(Label target) { jal(zero, target); }
+  void ret() { jalr(zero, ra, 0); }
+  void call(Label target) { jal(ra, target); }
+  /// Materializes an arbitrary 64-bit constant (1..8 instructions).
+  void li(Xreg rd, std::int64_t value);
+
+ private:
+  static constexpr std::uint64_t kUnbound = ~std::uint64_t{0};
+
+  struct Fixup {
+    std::size_t word_index;
+    std::uint32_t label_id;
+    bool is_jal;  // else conditional branch
+  };
+
+  /// 12-bit signed immediates (loads/stores/op-imm/jalr) must fit; a silent
+  /// wrap would corrupt the program.
+  static std::int32_t check_imm12(std::int32_t imm) {
+    if (imm < -2048 || imm > 2047) {
+      throw SimError(strfmt("assembler: immediate %d out of 12-bit range",
+                            imm));
+    }
+    return imm;
+  }
+
+  void load(std::uint32_t funct3, Xreg rd, Xreg rs1, std::int32_t off) {
+    emit(encode::i_type(0x03, funct3, rd, rs1, check_imm12(off)));
+  }
+  void store(std::uint32_t funct3, Xreg rs1, Xreg rs2, std::int32_t off) {
+    emit(encode::s_type(0x23, funct3, rs1, rs2, check_imm12(off)));
+  }
+  void opimm(std::uint32_t funct3, Xreg rd, Xreg rs1, std::int32_t imm) {
+    emit(encode::i_type(0x13, funct3, rd, rs1, check_imm12(imm)));
+  }
+  void op(std::uint32_t funct3, std::uint32_t funct7, Xreg rd, Xreg rs1,
+          Xreg rs2) {
+    emit(encode::r_type(0x33, funct3, funct7, rd, rs1, rs2));
+  }
+  void op32(std::uint32_t funct3, std::uint32_t funct7, Xreg rd, Xreg rs1,
+            Xreg rs2) {
+    emit(encode::r_type(0x3B, funct3, funct7, rd, rs1, rs2));
+  }
+  void amo(std::uint32_t funct5, std::uint32_t funct3, Xreg rd, Xreg rs1,
+           Xreg rs2) {
+    emit(encode::r_type(0x2F, funct3, funct5 << 2, rd, rs1, rs2));
+  }
+  void opfp(std::uint32_t funct7, std::uint32_t funct3, Freg rd, Freg rs1,
+            Freg rs2) {
+    emit(encode::r_type(0x53, funct3, funct7, rd, rs1, rs2));
+  }
+  void fma(std::uint32_t opcode, Freg rd, Freg rs1, Freg rs2, Freg rs3) {
+    emit(encode::r_type(opcode, 7, (static_cast<std::uint32_t>(rs3) << 2) | 1,
+                        rd, rs1, rs2));
+  }
+  void vmem_unit(std::uint32_t opcode, std::uint32_t width, Vreg v, Xreg rs1,
+                 bool vm) {
+    emit(encode::v_mem(opcode, width, 0, vm, 0, rs1, v));
+  }
+  void vivv(std::uint32_t f6, Vreg vd, Vreg vs2, Vreg vs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, vs1, 0, vd));
+  }
+  void vivx(std::uint32_t f6, Vreg vd, Vreg vs2, Xreg rs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, rs1, 4, vd));
+  }
+  void vivi(std::uint32_t f6, Vreg vd, Vreg vs2, std::int8_t imm, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, static_cast<std::uint32_t>(imm) & 0x1F,
+                         3, vd));
+  }
+  void vmvv(std::uint32_t f6, Vreg vd, Vreg vs2, Vreg vs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, vs1, 2, vd));
+  }
+  void vmvx(std::uint32_t f6, Vreg vd, Vreg vs2, Xreg rs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, rs1, 6, vd));
+  }
+  void vfvv(std::uint32_t f6, Vreg vd, Vreg vs2, Vreg vs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, vs1, 1, vd));
+  }
+  void vfvf(std::uint32_t f6, Vreg vd, Vreg vs2, Freg rs1, bool vm) {
+    emit(encode::v_arith(f6, vm, vs2, rs1, 5, vd));
+  }
+
+  void branch(std::uint32_t funct3, Xreg rs1, Xreg rs2, Label target);
+  std::int64_t offset_to(std::uint64_t target_addr, std::size_t word_index)
+      const {
+    return static_cast<std::int64_t>(target_addr) -
+           static_cast<std::int64_t>(base_ + 4 * word_index);
+  }
+
+  std::uint64_t base_;
+  std::vector<std::uint32_t> words_;
+  std::vector<std::uint64_t> labels_;  // bound address or kUnbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace coyote::isa

@@ -1,0 +1,551 @@
+#include "isa/decoder.h"
+
+#include "common/bits.h"
+
+namespace coyote::isa {
+namespace {
+
+// Field extractors for the base instruction formats.
+std::uint8_t rd_of(std::uint32_t w) { return bits(w, 11, 7); }
+std::uint8_t rs1_of(std::uint32_t w) { return bits(w, 19, 15); }
+std::uint8_t rs2_of(std::uint32_t w) { return bits(w, 24, 20); }
+std::uint8_t rs3_of(std::uint32_t w) { return bits(w, 31, 27); }
+std::uint32_t funct3_of(std::uint32_t w) { return bits(w, 14, 12); }
+std::uint32_t funct7_of(std::uint32_t w) { return bits(w, 31, 25); }
+
+std::int64_t imm_i(std::uint32_t w) { return sign_extend(bits(w, 31, 20), 12); }
+std::int64_t imm_s(std::uint32_t w) {
+  return sign_extend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+std::int64_t imm_b(std::uint32_t w) {
+  const std::uint64_t imm = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                            (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1);
+  return sign_extend(imm, 13);
+}
+std::int64_t imm_u(std::uint32_t w) {
+  return sign_extend(bits(w, 31, 12) << 12, 32);
+}
+std::int64_t imm_j(std::uint32_t w) {
+  const std::uint64_t imm = (bit(w, 31) << 20) | (bits(w, 19, 12) << 12) |
+                            (bit(w, 20) << 11) | (bits(w, 30, 21) << 1);
+  return sign_extend(imm, 21);
+}
+
+DecodedInst make(Op op, std::uint32_t w) {
+  DecodedInst inst;
+  inst.op = op;
+  inst.raw = w;
+  inst.rd = rd_of(w);
+  inst.rs1 = rs1_of(w);
+  inst.rs2 = rs2_of(w);
+  return inst;
+}
+
+DecodedInst illegal(std::uint32_t w) {
+  DecodedInst inst;
+  inst.op = Op::kIllegal;
+  inst.raw = w;
+  return inst;
+}
+
+DecodedInst decode_load(std::uint32_t w) {
+  static constexpr Op kOps[8] = {Op::kLb,  Op::kLh,  Op::kLw,  Op::kLd,
+                                 Op::kLbu, Op::kLhu, Op::kLwu, Op::kIllegal};
+  DecodedInst inst = make(kOps[funct3_of(w)], w);
+  inst.imm = imm_i(w);
+  return inst.op == Op::kIllegal ? illegal(w) : inst;
+}
+
+DecodedInst decode_store(std::uint32_t w) {
+  static constexpr Op kOps[8] = {Op::kSb,      Op::kSh,      Op::kSw,
+                                 Op::kSd,      Op::kIllegal, Op::kIllegal,
+                                 Op::kIllegal, Op::kIllegal};
+  DecodedInst inst = make(kOps[funct3_of(w)], w);
+  inst.imm = imm_s(w);
+  return inst.op == Op::kIllegal ? illegal(w) : inst;
+}
+
+DecodedInst decode_branch(std::uint32_t w) {
+  static constexpr Op kOps[8] = {Op::kBeq,     Op::kBne, Op::kIllegal,
+                                 Op::kIllegal, Op::kBlt, Op::kBge,
+                                 Op::kBltu,    Op::kBgeu};
+  DecodedInst inst = make(kOps[funct3_of(w)], w);
+  inst.imm = imm_b(w);
+  return inst.op == Op::kIllegal ? illegal(w) : inst;
+}
+
+DecodedInst decode_op_imm(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  DecodedInst inst = make(Op::kIllegal, w);
+  inst.imm = imm_i(w);
+  switch (funct3) {
+    case 0: inst.op = Op::kAddi; break;
+    case 2: inst.op = Op::kSlti; break;
+    case 3: inst.op = Op::kSltiu; break;
+    case 4: inst.op = Op::kXori; break;
+    case 6: inst.op = Op::kOri; break;
+    case 7: inst.op = Op::kAndi; break;
+    case 1:
+      if (bits(w, 31, 26) != 0) return illegal(w);
+      inst.op = Op::kSlli;
+      inst.imm = bits(w, 25, 20);  // RV64 shamt is 6 bits
+      break;
+    case 5:
+      if (bits(w, 31, 26) == 0x00) {
+        inst.op = Op::kSrli;
+      } else if (bits(w, 31, 26) == 0x10) {
+        inst.op = Op::kSrai;
+      } else {
+        return illegal(w);
+      }
+      inst.imm = bits(w, 25, 20);
+      break;
+  }
+  return inst;
+}
+
+DecodedInst decode_op_imm32(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  DecodedInst inst = make(Op::kIllegal, w);
+  inst.imm = imm_i(w);
+  switch (funct3) {
+    case 0: inst.op = Op::kAddiw; break;
+    case 1:
+      if (funct7_of(w) != 0) return illegal(w);
+      inst.op = Op::kSlliw;
+      inst.imm = bits(w, 24, 20);
+      break;
+    case 5:
+      if (funct7_of(w) == 0x00) {
+        inst.op = Op::kSrliw;
+      } else if (funct7_of(w) == 0x20) {
+        inst.op = Op::kSraiw;
+      } else {
+        return illegal(w);
+      }
+      inst.imm = bits(w, 24, 20);
+      break;
+    default:
+      return illegal(w);
+  }
+  return inst;
+}
+
+DecodedInst decode_op(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  const auto funct7 = funct7_of(w);
+  Op op = Op::kIllegal;
+  if (funct7 == 0x00) {
+    static constexpr Op kOps[8] = {Op::kAdd, Op::kSll, Op::kSlt, Op::kSltu,
+                                   Op::kXor, Op::kSrl, Op::kOr,  Op::kAnd};
+    op = kOps[funct3];
+  } else if (funct7 == 0x20) {
+    if (funct3 == 0) op = Op::kSub;
+    if (funct3 == 5) op = Op::kSra;
+  } else if (funct7 == 0x01) {
+    static constexpr Op kOps[8] = {Op::kMul,  Op::kMulh, Op::kMulhsu,
+                                   Op::kMulhu, Op::kDiv, Op::kDivu,
+                                   Op::kRem,  Op::kRemu};
+    op = kOps[funct3];
+  }
+  return op == Op::kIllegal ? illegal(w) : make(op, w);
+}
+
+DecodedInst decode_op32(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  const auto funct7 = funct7_of(w);
+  Op op = Op::kIllegal;
+  if (funct7 == 0x00) {
+    if (funct3 == 0) op = Op::kAddw;
+    if (funct3 == 1) op = Op::kSllw;
+    if (funct3 == 5) op = Op::kSrlw;
+  } else if (funct7 == 0x20) {
+    if (funct3 == 0) op = Op::kSubw;
+    if (funct3 == 5) op = Op::kSraw;
+  } else if (funct7 == 0x01) {
+    if (funct3 == 0) op = Op::kMulw;
+    if (funct3 == 4) op = Op::kDivw;
+    if (funct3 == 5) op = Op::kDivuw;
+    if (funct3 == 6) op = Op::kRemw;
+    if (funct3 == 7) op = Op::kRemuw;
+  }
+  return op == Op::kIllegal ? illegal(w) : make(op, w);
+}
+
+DecodedInst decode_amo(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  if (funct3 != 2 && funct3 != 3) return illegal(w);
+  const bool is_d = funct3 == 3;
+  const auto funct5 = bits(w, 31, 27);
+  Op op = Op::kIllegal;
+  switch (funct5) {
+    case 0x02:
+      if (rs2_of(w) != 0) return illegal(w);
+      op = is_d ? Op::kLrD : Op::kLrW;
+      break;
+    case 0x03: op = is_d ? Op::kScD : Op::kScW; break;
+    case 0x01: op = is_d ? Op::kAmoswapD : Op::kAmoswapW; break;
+    case 0x00: op = is_d ? Op::kAmoaddD : Op::kAmoaddW; break;
+    case 0x04: op = is_d ? Op::kAmoxorD : Op::kAmoxorW; break;
+    case 0x0C: op = is_d ? Op::kAmoandD : Op::kAmoandW; break;
+    case 0x08: op = is_d ? Op::kAmoorD : Op::kAmoorW; break;
+    case 0x10: op = is_d ? Op::kAmominD : Op::kAmominW; break;
+    case 0x14: op = is_d ? Op::kAmomaxD : Op::kAmomaxW; break;
+    case 0x18: op = is_d ? Op::kAmominuD : Op::kAmominuW; break;
+    case 0x1C: op = is_d ? Op::kAmomaxuD : Op::kAmomaxuW; break;
+    default: return illegal(w);
+  }
+  return make(op, w);  // aq/rl bits are accepted and ignored (strong model)
+}
+
+DecodedInst decode_system(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  if (funct3 == 0) {
+    if (w == 0x00000073) return make(Op::kEcall, w);
+    if (w == 0x00100073) return make(Op::kEbreak, w);
+    return illegal(w);
+  }
+  static constexpr Op kOps[8] = {Op::kIllegal, Op::kCsrrw,  Op::kCsrrs,
+                                 Op::kCsrrc,   Op::kIllegal, Op::kCsrrwi,
+                                 Op::kCsrrsi,  Op::kCsrrci};
+  DecodedInst inst = make(kOps[funct3], w);
+  if (inst.op == Op::kIllegal) return illegal(w);
+  inst.imm = static_cast<std::int64_t>(bits(w, 31, 20));  // CSR address
+  inst.uimm = inst.rs1;  // zimm for the *i forms
+  return inst;
+}
+
+// Vector memory: opcode LOAD-FP/STORE-FP with width in {0,5,6,7};
+// mop selects unit-stride / indexed / strided.
+DecodedInst decode_vmem(std::uint32_t w, bool is_load_op) {
+  const auto width = funct3_of(w);
+  const auto mop = bits(w, 27, 26);
+  const auto nf = bits(w, 31, 29);
+  if (nf != 0) return illegal(w);  // segment loads unsupported
+  int size_index;  // 0->8b, 1->16b, 2->32b, 3->64b
+  switch (width) {
+    case 0: size_index = 0; break;
+    case 5: size_index = 1; break;
+    case 6: size_index = 2; break;
+    case 7: size_index = 3; break;
+    default: return illegal(w);
+  }
+  static constexpr Op kUnitLoad[4] = {Op::kVle8, Op::kVle16, Op::kVle32,
+                                      Op::kVle64};
+  static constexpr Op kUnitStore[4] = {Op::kVse8, Op::kVse16, Op::kVse32,
+                                       Op::kVse64};
+  static constexpr Op kStridedLoad[4] = {Op::kVlse8, Op::kVlse16, Op::kVlse32,
+                                         Op::kVlse64};
+  static constexpr Op kStridedStore[4] = {Op::kVsse8, Op::kVsse16,
+                                          Op::kVsse32, Op::kVsse64};
+  static constexpr Op kIndexedLoad[4] = {Op::kVluxei8, Op::kVluxei16,
+                                         Op::kVluxei32, Op::kVluxei64};
+  static constexpr Op kIndexedStore[4] = {Op::kVsuxei8, Op::kVsuxei16,
+                                          Op::kVsuxei32, Op::kVsuxei64};
+  Op op = Op::kIllegal;
+  switch (mop) {
+    case 0:  // unit-stride; lumop/sumop (rs2 field) must be 0
+      if (rs2_of(w) != 0) return illegal(w);
+      op = is_load_op ? kUnitLoad[size_index] : kUnitStore[size_index];
+      break;
+    case 1:  // indexed-unordered
+      op = is_load_op ? kIndexedLoad[size_index] : kIndexedStore[size_index];
+      break;
+    case 2:  // strided
+      op = is_load_op ? kStridedLoad[size_index] : kStridedStore[size_index];
+      break;
+    default:
+      return illegal(w);  // indexed-ordered unsupported
+  }
+  DecodedInst inst = make(op, w);
+  inst.vm = bit(w, 25) != 0;
+  return inst;
+}
+
+DecodedInst decode_load_fp(std::uint32_t w) {
+  const auto width = funct3_of(w);
+  if (width == 2 || width == 3) {
+    DecodedInst inst = make(width == 2 ? Op::kFlw : Op::kFld, w);
+    inst.imm = imm_i(w);
+    return inst;
+  }
+  return decode_vmem(w, /*is_load_op=*/true);
+}
+
+DecodedInst decode_store_fp(std::uint32_t w) {
+  const auto width = funct3_of(w);
+  if (width == 2 || width == 3) {
+    DecodedInst inst = make(width == 2 ? Op::kFsw : Op::kFsd, w);
+    inst.imm = imm_s(w);
+    return inst;
+  }
+  return decode_vmem(w, /*is_load_op=*/false);
+}
+
+DecodedInst decode_op_fp(std::uint32_t w) {
+  const auto funct7 = funct7_of(w);
+  const auto funct3 = funct3_of(w);
+  const auto rs2 = rs2_of(w);
+  Op op = Op::kIllegal;
+  switch (funct7) {
+    case 0x00: op = Op::kFaddS; break;
+    case 0x01: op = Op::kFaddD; break;
+    case 0x04: op = Op::kFsubS; break;
+    case 0x05: op = Op::kFsubD; break;
+    case 0x08: op = Op::kFmulS; break;
+    case 0x09: op = Op::kFmulD; break;
+    case 0x0C: op = Op::kFdivS; break;
+    case 0x0D: op = Op::kFdivD; break;
+    case 0x2D:
+      if (rs2 == 0) op = Op::kFsqrtD;
+      break;
+    case 0x11:
+      if (funct3 == 0) op = Op::kFsgnjD;
+      if (funct3 == 1) op = Op::kFsgnjnD;
+      if (funct3 == 2) op = Op::kFsgnjxD;
+      break;
+    case 0x15:
+      if (funct3 == 0) op = Op::kFminD;
+      if (funct3 == 1) op = Op::kFmaxD;
+      break;
+    case 0x51:
+      if (funct3 == 2) op = Op::kFeqD;
+      if (funct3 == 1) op = Op::kFltD;
+      if (funct3 == 0) op = Op::kFleD;
+      break;
+    case 0x61:
+      if (rs2 == 0) op = Op::kFcvtWD;
+      if (rs2 == 1) op = Op::kFcvtWuD;
+      if (rs2 == 2) op = Op::kFcvtLD;
+      if (rs2 == 3) op = Op::kFcvtLuD;
+      break;
+    case 0x69:
+      if (rs2 == 0) op = Op::kFcvtDW;
+      if (rs2 == 1) op = Op::kFcvtDWu;
+      if (rs2 == 2) op = Op::kFcvtDL;
+      if (rs2 == 3) op = Op::kFcvtDLu;
+      break;
+    case 0x21:
+      if (rs2 == 0) op = Op::kFcvtDS;
+      break;
+    case 0x20:
+      if (rs2 == 1) op = Op::kFcvtSD;
+      break;
+    case 0x71:
+      if (rs2 == 0 && funct3 == 0) op = Op::kFmvXD;
+      break;
+    case 0x79:
+      if (rs2 == 0 && funct3 == 0) op = Op::kFmvDX;
+      break;
+    case 0x70:
+      if (rs2 == 0 && funct3 == 0) op = Op::kFmvXW;
+      break;
+    case 0x78:
+      if (rs2 == 0 && funct3 == 0) op = Op::kFmvWX;
+      break;
+  }
+  return op == Op::kIllegal ? illegal(w) : make(op, w);
+}
+
+DecodedInst decode_fma(std::uint32_t w, Op d_op) {
+  // Only the double-precision (fmt=01) forms are supported.
+  if (bits(w, 26, 25) != 1) return illegal(w);
+  DecodedInst inst = make(d_op, w);
+  inst.rs3 = rs3_of(w);
+  return inst;
+}
+
+DecodedInst decode_vsetcfg(std::uint32_t w) {
+  DecodedInst inst = make(Op::kIllegal, w);
+  if (bit(w, 31) == 0) {
+    inst.op = Op::kVsetvli;
+    inst.imm = static_cast<std::int64_t>(bits(w, 30, 20));  // vtype imm
+  } else if (bits(w, 31, 30) == 3) {
+    inst.op = Op::kVsetivli;
+    inst.imm = static_cast<std::int64_t>(bits(w, 29, 20));
+    inst.uimm = rs1_of(w);  // AVL as immediate
+  } else if (bits(w, 31, 25) == 0x40) {
+    inst.op = Op::kVsetvl;
+  } else {
+    return illegal(w);
+  }
+  return inst;
+}
+
+struct VArithEntry {
+  std::uint8_t funct6;
+  Op op;
+};
+
+// OPIVV (funct3=0) / OPIVX (4) / OPIVI (3) tables.
+constexpr VArithEntry kOpIVV[] = {
+    {0x00, Op::kVaddVV},   {0x02, Op::kVsubVV},   {0x04, Op::kVminuVV},
+    {0x05, Op::kVminVV},   {0x06, Op::kVmaxuVV},  {0x07, Op::kVmaxVV},
+    {0x09, Op::kVandVV},   {0x0A, Op::kVorVV},    {0x0B, Op::kVxorVV},
+    {0x0C, Op::kVrgatherVV},
+    {0x17, Op::kVmvVV},    {0x18, Op::kVmseqVV},  {0x19, Op::kVmsneVV},
+    {0x1A, Op::kVmsltuVV}, {0x1B, Op::kVmsltVV},  {0x1D, Op::kVmsleVV},
+    {0x25, Op::kVsllVV},   {0x28, Op::kVsrlVV},   {0x29, Op::kVsraVV},
+};
+constexpr VArithEntry kOpIVX[] = {
+    {0x00, Op::kVaddVX},   {0x02, Op::kVsubVX},  {0x03, Op::kVrsubVX},
+    {0x09, Op::kVandVX},   {0x0A, Op::kVorVX},   {0x0B, Op::kVxorVX},
+    {0x0E, Op::kVslideupVX},
+    {0x0F, Op::kVslidedownVX},
+    {0x17, Op::kVmvVX},    {0x18, Op::kVmseqVX}, {0x19, Op::kVmsneVX},
+    {0x1A, Op::kVmsltuVX}, {0x1B, Op::kVmsltVX}, {0x1D, Op::kVmsleVX},
+    {0x25, Op::kVsllVX},   {0x28, Op::kVsrlVX},  {0x29, Op::kVsraVX},
+};
+constexpr VArithEntry kOpIVI[] = {
+    {0x00, Op::kVaddVI}, {0x03, Op::kVrsubVI}, {0x09, Op::kVandVI},
+    {0x0A, Op::kVorVI},  {0x0B, Op::kVxorVI},  {0x0F, Op::kVslidedownVI},
+    {0x0E, Op::kVslideupVI},
+    {0x17, Op::kVmvVI},  {0x18, Op::kVmseqVI}, {0x25, Op::kVsllVI},
+    {0x28, Op::kVsrlVI}, {0x29, Op::kVsraVI},
+};
+constexpr VArithEntry kOpMVV[] = {
+    {0x00, Op::kVredsumVS}, {0x05, Op::kVredminVS}, {0x07, Op::kVredmaxVS},
+    {0x20, Op::kVdivuVV},   {0x21, Op::kVdivVV},    {0x22, Op::kVremuVV},
+    {0x23, Op::kVremVV},    {0x25, Op::kVmulVV},    {0x2D, Op::kVmaccVV},
+};
+constexpr VArithEntry kOpMVX[] = {
+    {0x0F, Op::kVslide1downVX},
+    {0x25, Op::kVmulVX},
+    {0x2D, Op::kVmaccVX},
+};
+constexpr VArithEntry kOpFVV[] = {
+    {0x00, Op::kVfaddVV},     {0x01, Op::kVfredusumVS},
+    {0x02, Op::kVfsubVV},     {0x03, Op::kVfredosumVS},
+    {0x04, Op::kVfminVV},     {0x05, Op::kVfredminVS},
+    {0x06, Op::kVfmaxVV},     {0x07, Op::kVfredmaxVS},
+    {0x20, Op::kVfdivVV},     {0x24, Op::kVfmulVV},
+    {0x28, Op::kVfmaddVV},    {0x2C, Op::kVfmaccVV},
+    {0x2D, Op::kVfnmaccVV},   {0x2E, Op::kVfmsacVV},
+};
+constexpr VArithEntry kOpFVF[] = {
+    {0x00, Op::kVfaddVF}, {0x02, Op::kVfsubVF}, {0x24, Op::kVfmulVF},
+    {0x2C, Op::kVfmaccVF},
+};
+
+Op lookup_varith(const VArithEntry* table, std::size_t count,
+                 std::uint8_t funct6) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (table[i].funct6 == funct6) return table[i].op;
+  }
+  return Op::kIllegal;
+}
+
+DecodedInst decode_op_v(std::uint32_t w) {
+  const auto funct3 = funct3_of(w);
+  if (funct3 == 7) return decode_vsetcfg(w);
+
+  const std::uint8_t funct6 = bits(w, 31, 26);
+  const bool vm = bit(w, 25) != 0;
+  Op op = Op::kIllegal;
+  switch (funct3) {
+    case 0:  // OPIVV
+      op = lookup_varith(kOpIVV, std::size(kOpIVV), funct6);
+      if (funct6 == 0x17 && !vm) op = Op::kVmergeVVM;
+      break;
+    case 3:  // OPIVI
+      op = lookup_varith(kOpIVI, std::size(kOpIVI), funct6);
+      break;
+    case 4:  // OPIVX
+      op = lookup_varith(kOpIVX, std::size(kOpIVX), funct6);
+      if (funct6 == 0x17 && !vm) op = Op::kVmergeVXM;
+      break;
+    case 2:  // OPMVV
+      if (funct6 == 0x10) {
+        // VWXUNARY0: vmv.x.s when vs1 == 0.
+        op = (rs1_of(w) == 0) ? Op::kVmvXS : Op::kIllegal;
+      } else if (funct6 == 0x14) {
+        // VMUNARY0: vid.v when vs1 == 0b10001.
+        op = (rs1_of(w) == 0x11) ? Op::kVidV : Op::kIllegal;
+      } else {
+        op = lookup_varith(kOpMVV, std::size(kOpMVV), funct6);
+      }
+      break;
+    case 6:  // OPMVX
+      if (funct6 == 0x10) {
+        op = (rs2_of(w) == 0) ? Op::kVmvSX : Op::kIllegal;
+      } else {
+        op = lookup_varith(kOpMVX, std::size(kOpMVX), funct6);
+      }
+      break;
+    case 1:  // OPFVV
+      if (funct6 == 0x10) {
+        op = (rs1_of(w) == 0) ? Op::kVfmvFS : Op::kIllegal;
+      } else {
+        op = lookup_varith(kOpFVV, std::size(kOpFVV), funct6);
+      }
+      break;
+    case 5:  // OPFVF
+      if (funct6 == 0x10) {
+        op = (rs2_of(w) == 0) ? Op::kVfmvSF : Op::kIllegal;
+      } else if (funct6 == 0x17 && vm) {
+        op = Op::kVfmvVF;
+      } else {
+        op = lookup_varith(kOpFVF, std::size(kOpFVF), funct6);
+      }
+      break;
+  }
+  if (op == Op::kIllegal) return illegal(w);
+  DecodedInst inst = make(op, w);
+  inst.vm = vm;
+  // OPIVI: rs1 field carries a 5-bit signed immediate; vsll/vsrl/vsra take
+  // it unsigned. Keep the signed value; the executor masks for shifts.
+  if (funct3 == 3) inst.imm = sign_extend(rs1_of(w), 5);
+  return inst;
+}
+
+}  // namespace
+
+DecodedInst decode(std::uint32_t w) {
+  // Only 32-bit (non-compressed) encodings are supported: low 2 bits == 11.
+  if ((w & 0x3) != 0x3) return illegal(w);
+  switch (bits(w, 6, 0)) {
+    case 0x37: {
+      DecodedInst inst = make(Op::kLui, w);
+      inst.imm = imm_u(w);
+      return inst;
+    }
+    case 0x17: {
+      DecodedInst inst = make(Op::kAuipc, w);
+      inst.imm = imm_u(w);
+      return inst;
+    }
+    case 0x6F: {
+      DecodedInst inst = make(Op::kJal, w);
+      inst.imm = imm_j(w);
+      return inst;
+    }
+    case 0x67: {
+      if (funct3_of(w) != 0) return illegal(w);
+      DecodedInst inst = make(Op::kJalr, w);
+      inst.imm = imm_i(w);
+      return inst;
+    }
+    case 0x63: return decode_branch(w);
+    case 0x03: return decode_load(w);
+    case 0x23: return decode_store(w);
+    case 0x13: return decode_op_imm(w);
+    case 0x1B: return decode_op_imm32(w);
+    case 0x33: return decode_op(w);
+    case 0x3B: return decode_op32(w);
+    case 0x0F:
+      return make(funct3_of(w) == 1 ? Op::kFenceI : Op::kFence, w);
+    case 0x2F: return decode_amo(w);
+    case 0x73: return decode_system(w);
+    case 0x07: return decode_load_fp(w);
+    case 0x27: return decode_store_fp(w);
+    case 0x53: return decode_op_fp(w);
+    case 0x43: return decode_fma(w, Op::kFmaddD);
+    case 0x47: return decode_fma(w, Op::kFmsubD);
+    case 0x4B: return decode_fma(w, Op::kFnmsubD);
+    case 0x4F: return decode_fma(w, Op::kFnmaddD);
+    case 0x57: return decode_op_v(w);
+    default: return illegal(w);
+  }
+}
+
+}  // namespace coyote::isa

@@ -1,0 +1,15 @@
+// Machine-word -> DecodedInst translation for the supported RV64IMFD+V
+// subset. Unknown words decode to Op::kIllegal (the executor raises the
+// fault; the decoder itself is total).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace coyote::isa {
+
+/// Decodes one 32-bit instruction word.
+DecodedInst decode(std::uint32_t word);
+
+}  // namespace coyote::isa

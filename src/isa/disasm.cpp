@@ -1,0 +1,117 @@
+#include "isa/disasm.h"
+
+#include "common/error.h"
+
+namespace coyote::isa {
+
+namespace {
+
+std::string vreg(std::uint8_t index) { return strfmt("v%u", index); }
+
+std::string mask_suffix(const DecodedInst& inst) {
+  return inst.vm ? "" : ", v0.t";
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInst& inst) {
+  const std::string name = op_name(inst.op);
+  const char* rd = xreg_name(inst.rd);
+  const char* rs1 = xreg_name(inst.rs1);
+  const char* rs2 = xreg_name(inst.rs2);
+  const long long imm = static_cast<long long>(inst.imm);
+
+  switch (inst.op) {
+    case Op::kIllegal:
+      return strfmt("illegal 0x%08x", inst.raw);
+    case Op::kLui:
+    case Op::kAuipc:
+      return strfmt("%s %s, 0x%llx", name.c_str(), rd,
+                    static_cast<unsigned long long>(
+                        (static_cast<std::uint64_t>(inst.imm) >> 12) &
+                        0xFFFFF));
+    case Op::kJal:
+      return strfmt("%s %s, %lld", name.c_str(), rd, imm);
+    case Op::kJalr:
+      return strfmt("%s %s, %lld(%s)", name.c_str(), rd, imm, rs1);
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return strfmt("%s %s, %s, %lld", name.c_str(), rs1, rs2, imm);
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu:
+      return strfmt("%s %s, %lld(%s)", name.c_str(), rd, imm, rs1);
+    case Op::kFlw: case Op::kFld:
+      return strfmt("%s %s, %lld(%s)", name.c_str(), freg_name(inst.rd), imm,
+                    rs1);
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      return strfmt("%s %s, %lld(%s)", name.c_str(), rs2, imm, rs1);
+    case Op::kFsw: case Op::kFsd:
+      return strfmt("%s %s, %lld(%s)", name.c_str(), freg_name(inst.rs2), imm,
+                    rs1);
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+    case Op::kSraiw:
+      return strfmt("%s %s, %s, %lld", name.c_str(), rd, rs1, imm);
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      return strfmt("%s %s, 0x%llx, %s", name.c_str(), rd,
+                    static_cast<unsigned long long>(inst.imm), rs1);
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      return strfmt("%s %s, 0x%llx, %u", name.c_str(), rd,
+                    static_cast<unsigned long long>(inst.imm), inst.uimm);
+    case Op::kFence: case Op::kFenceI: case Op::kEcall: case Op::kEbreak:
+      return name;
+    case Op::kFmaddD: case Op::kFmsubD: case Op::kFnmsubD: case Op::kFnmaddD:
+      return strfmt("%s %s, %s, %s, %s", name.c_str(), freg_name(inst.rd),
+                    freg_name(inst.rs1), freg_name(inst.rs2),
+                    freg_name(inst.rs3));
+    case Op::kVsetvli:
+      return strfmt("%s %s, %s, 0x%llx", name.c_str(), rd, rs1,
+                    static_cast<unsigned long long>(inst.imm));
+    case Op::kVsetivli:
+      return strfmt("%s %s, %u, 0x%llx", name.c_str(), rd, inst.uimm,
+                    static_cast<unsigned long long>(inst.imm));
+    case Op::kVle8: case Op::kVle16: case Op::kVle32: case Op::kVle64:
+    case Op::kVse8: case Op::kVse16: case Op::kVse32: case Op::kVse64:
+      return strfmt("%s %s, (%s)%s", name.c_str(), vreg(inst.rd).c_str(), rs1,
+                    mask_suffix(inst).c_str());
+    case Op::kVlse8: case Op::kVlse16: case Op::kVlse32: case Op::kVlse64:
+    case Op::kVsse8: case Op::kVsse16: case Op::kVsse32: case Op::kVsse64:
+      return strfmt("%s %s, (%s), %s%s", name.c_str(), vreg(inst.rd).c_str(),
+                    rs1, rs2, mask_suffix(inst).c_str());
+    case Op::kVluxei8: case Op::kVluxei16: case Op::kVluxei32:
+    case Op::kVluxei64: case Op::kVsuxei8: case Op::kVsuxei16:
+    case Op::kVsuxei32: case Op::kVsuxei64:
+      return strfmt("%s %s, (%s), %s%s", name.c_str(), vreg(inst.rd).c_str(),
+                    rs1, vreg(inst.rs2).c_str(), mask_suffix(inst).c_str());
+    default:
+      break;
+  }
+
+  if (is_vector(inst.op)) {
+    // Generic vector-arithmetic rendering: vd, vs2, {vs1|rs1|imm}.
+    const std::string vd = vreg(inst.rd);
+    const std::string vs2 = vreg(inst.rs2);
+    if (name.size() > 3 && name.substr(name.size() - 3) == ".vx") {
+      return strfmt("%s %s, %s, %s%s", name.c_str(), vd.c_str(), vs2.c_str(),
+                    rs1, mask_suffix(inst).c_str());
+    }
+    if (name.size() > 3 && name.substr(name.size() - 3) == ".vi") {
+      return strfmt("%s %s, %s, %lld%s", name.c_str(), vd.c_str(),
+                    vs2.c_str(), imm, mask_suffix(inst).c_str());
+    }
+    if (name.size() > 3 && name.substr(name.size() - 3) == ".vf") {
+      return strfmt("%s %s, %s, %s%s", name.c_str(), vd.c_str(), vs2.c_str(),
+                    freg_name(inst.rs1), mask_suffix(inst).c_str());
+    }
+    return strfmt("%s %s, %s, %s%s", name.c_str(), vd.c_str(), vs2.c_str(),
+                  vreg(inst.rs1).c_str(), mask_suffix(inst).c_str());
+  }
+  if (is_fp(inst.op)) {
+    return strfmt("%s %s, %s, %s", name.c_str(), freg_name(inst.rd),
+                  freg_name(inst.rs1), freg_name(inst.rs2));
+  }
+  return strfmt("%s %s, %s, %s", name.c_str(), rd, rs1, rs2);
+}
+
+}  // namespace coyote::isa

@@ -1,0 +1,14 @@
+// Human-readable rendering of decoded instructions, used in logs, traces and
+// test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "isa/inst.h"
+
+namespace coyote::isa {
+
+/// Renders e.g. "addi a0, a0, 16" or "vle64.v v8, (a1)".
+std::string disassemble(const DecodedInst& inst);
+
+}  // namespace coyote::isa

@@ -1,0 +1,90 @@
+// Raw instruction-word construction for every supported format. These free
+// functions are the inverse of the decoder and are exercised against it by
+// round-trip property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace coyote::isa::encode {
+
+inline std::uint32_t r_type(std::uint32_t opcode, std::uint32_t funct3,
+                            std::uint32_t funct7, std::uint32_t rd,
+                            std::uint32_t rs1, std::uint32_t rs2) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (funct7 << 25);
+}
+
+inline std::uint32_t i_type(std::uint32_t opcode, std::uint32_t funct3,
+                            std::uint32_t rd, std::uint32_t rs1,
+                            std::int32_t imm) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+         (static_cast<std::uint32_t>(imm & 0xFFF) << 20);
+}
+
+inline std::uint32_t s_type(std::uint32_t opcode, std::uint32_t funct3,
+                            std::uint32_t rs1, std::uint32_t rs2,
+                            std::int32_t imm) {
+  const auto uimm = static_cast<std::uint32_t>(imm & 0xFFF);
+  return opcode | ((uimm & 0x1F) << 7) | (funct3 << 12) | (rs1 << 15) |
+         (rs2 << 20) | ((uimm >> 5) << 25);
+}
+
+inline std::uint32_t b_type(std::uint32_t opcode, std::uint32_t funct3,
+                            std::uint32_t rs1, std::uint32_t rs2,
+                            std::int32_t offset) {
+  const auto uoff = static_cast<std::uint32_t>(offset);
+  std::uint32_t w = opcode | (funct3 << 12) | (rs1 << 15) | (rs2 << 20);
+  w |= ((uoff >> 11) & 0x1) << 7;
+  w |= ((uoff >> 1) & 0xF) << 8;
+  w |= ((uoff >> 5) & 0x3F) << 25;
+  w |= ((uoff >> 12) & 0x1) << 31;
+  return w;
+}
+
+inline std::uint32_t u_type(std::uint32_t opcode, std::uint32_t rd,
+                            std::uint32_t imm20) {
+  return opcode | (rd << 7) | ((imm20 & 0xFFFFF) << 12);
+}
+
+inline std::uint32_t j_type(std::uint32_t opcode, std::uint32_t rd,
+                            std::int32_t offset) {
+  const auto uoff = static_cast<std::uint32_t>(offset);
+  std::uint32_t w = opcode | (rd << 7);
+  w |= ((uoff >> 12) & 0xFF) << 12;
+  w |= ((uoff >> 11) & 0x1) << 20;
+  w |= ((uoff >> 1) & 0x3FF) << 21;
+  w |= ((uoff >> 20) & 0x1) << 31;
+  return w;
+}
+
+/// Vector arithmetic (OP-V major opcode 0x57).
+inline std::uint32_t v_arith(std::uint32_t funct6, bool vm,
+                             std::uint32_t vs2, std::uint32_t vs1_rs1_imm,
+                             std::uint32_t funct3, std::uint32_t vd) {
+  return 0x57 | (vd << 7) | (funct3 << 12) | ((vs1_rs1_imm & 0x1F) << 15) |
+         (vs2 << 20) | (static_cast<std::uint32_t>(vm) << 25) |
+         (funct6 << 26);
+}
+
+/// Vector memory (LOAD-FP 0x07 / STORE-FP 0x27). `mop`: 0 unit-stride,
+/// 1 indexed-unordered, 2 strided. `width`: funct3 width code.
+inline std::uint32_t v_mem(std::uint32_t opcode, std::uint32_t width,
+                           std::uint32_t mop, bool vm, std::uint32_t rs2_vs2,
+                           std::uint32_t rs1, std::uint32_t vd_vs3) {
+  return opcode | (vd_vs3 << 7) | (width << 12) | (rs1 << 15) |
+         (rs2_vs2 << 20) | (static_cast<std::uint32_t>(vm) << 25) |
+         (mop << 26);
+}
+
+/// vtype immediate for vsetvli: e8/e16/e32/e64 as sew code 0..3,
+/// m1..m8 as lmul code 0..3 (fractional LMUL unsupported).
+inline std::uint32_t vtype_imm(std::uint32_t sew_code, std::uint32_t lmul_code,
+                               bool ta = true, bool ma = true) {
+  return (lmul_code & 0x7) | ((sew_code & 0x7) << 3) |
+         (static_cast<std::uint32_t>(ta) << 6) |
+         (static_cast<std::uint32_t>(ma) << 7);
+}
+
+}  // namespace coyote::isa::encode

@@ -1,0 +1,560 @@
+#include "isa/inst.h"
+
+#include "common/error.h"
+
+namespace coyote::isa {
+
+namespace {
+
+// (enum, mnemonic) table; kept in one place so op_name stays in sync with
+// the enum.
+struct OpName {
+  Op op;
+  const char* name;
+};
+
+constexpr OpName kOpNames[] = {
+    {Op::kIllegal, "illegal"},
+    {Op::kLui, "lui"}, {Op::kAuipc, "auipc"}, {Op::kJal, "jal"},
+    {Op::kJalr, "jalr"}, {Op::kBeq, "beq"}, {Op::kBne, "bne"},
+    {Op::kBlt, "blt"}, {Op::kBge, "bge"}, {Op::kBltu, "bltu"},
+    {Op::kBgeu, "bgeu"}, {Op::kLb, "lb"}, {Op::kLh, "lh"}, {Op::kLw, "lw"},
+    {Op::kLd, "ld"}, {Op::kLbu, "lbu"}, {Op::kLhu, "lhu"}, {Op::kLwu, "lwu"},
+    {Op::kSb, "sb"}, {Op::kSh, "sh"}, {Op::kSw, "sw"}, {Op::kSd, "sd"},
+    {Op::kAddi, "addi"}, {Op::kSlti, "slti"}, {Op::kSltiu, "sltiu"},
+    {Op::kXori, "xori"}, {Op::kOri, "ori"}, {Op::kAndi, "andi"},
+    {Op::kSlli, "slli"}, {Op::kSrli, "srli"}, {Op::kSrai, "srai"},
+    {Op::kAdd, "add"}, {Op::kSub, "sub"}, {Op::kSll, "sll"},
+    {Op::kSlt, "slt"}, {Op::kSltu, "sltu"}, {Op::kXor, "xor"},
+    {Op::kSrl, "srl"}, {Op::kSra, "sra"}, {Op::kOr, "or"}, {Op::kAnd, "and"},
+    {Op::kAddiw, "addiw"}, {Op::kSlliw, "slliw"}, {Op::kSrliw, "srliw"},
+    {Op::kSraiw, "sraiw"}, {Op::kAddw, "addw"}, {Op::kSubw, "subw"},
+    {Op::kSllw, "sllw"}, {Op::kSrlw, "srlw"}, {Op::kSraw, "sraw"},
+    {Op::kFence, "fence"}, {Op::kFenceI, "fence.i"}, {Op::kEcall, "ecall"},
+    {Op::kEbreak, "ebreak"},
+    {Op::kLrW, "lr.w"}, {Op::kLrD, "lr.d"}, {Op::kScW, "sc.w"},
+    {Op::kScD, "sc.d"},
+    {Op::kAmoswapW, "amoswap.w"}, {Op::kAmoswapD, "amoswap.d"},
+    {Op::kAmoaddW, "amoadd.w"}, {Op::kAmoaddD, "amoadd.d"},
+    {Op::kAmoxorW, "amoxor.w"}, {Op::kAmoxorD, "amoxor.d"},
+    {Op::kAmoandW, "amoand.w"}, {Op::kAmoandD, "amoand.d"},
+    {Op::kAmoorW, "amoor.w"}, {Op::kAmoorD, "amoor.d"},
+    {Op::kAmominW, "amomin.w"}, {Op::kAmominD, "amomin.d"},
+    {Op::kAmomaxW, "amomax.w"}, {Op::kAmomaxD, "amomax.d"},
+    {Op::kAmominuW, "amominu.w"}, {Op::kAmominuD, "amominu.d"},
+    {Op::kAmomaxuW, "amomaxu.w"}, {Op::kAmomaxuD, "amomaxu.d"},
+    {Op::kCsrrw, "csrrw"}, {Op::kCsrrs, "csrrs"}, {Op::kCsrrc, "csrrc"},
+    {Op::kCsrrwi, "csrrwi"}, {Op::kCsrrsi, "csrrsi"}, {Op::kCsrrci, "csrrci"},
+    {Op::kMul, "mul"}, {Op::kMulh, "mulh"}, {Op::kMulhsu, "mulhsu"},
+    {Op::kMulhu, "mulhu"}, {Op::kDiv, "div"}, {Op::kDivu, "divu"},
+    {Op::kRem, "rem"}, {Op::kRemu, "remu"}, {Op::kMulw, "mulw"},
+    {Op::kDivw, "divw"}, {Op::kDivuw, "divuw"}, {Op::kRemw, "remw"},
+    {Op::kRemuw, "remuw"},
+    {Op::kFlw, "flw"}, {Op::kFld, "fld"}, {Op::kFsw, "fsw"},
+    {Op::kFsd, "fsd"},
+    {Op::kFaddD, "fadd.d"}, {Op::kFsubD, "fsub.d"}, {Op::kFmulD, "fmul.d"},
+    {Op::kFdivD, "fdiv.d"}, {Op::kFsqrtD, "fsqrt.d"},
+    {Op::kFsgnjD, "fsgnj.d"}, {Op::kFsgnjnD, "fsgnjn.d"},
+    {Op::kFsgnjxD, "fsgnjx.d"}, {Op::kFminD, "fmin.d"},
+    {Op::kFmaxD, "fmax.d"},
+    {Op::kFaddS, "fadd.s"}, {Op::kFsubS, "fsub.s"}, {Op::kFmulS, "fmul.s"},
+    {Op::kFdivS, "fdiv.s"},
+    {Op::kFmaddD, "fmadd.d"}, {Op::kFmsubD, "fmsub.d"},
+    {Op::kFnmsubD, "fnmsub.d"}, {Op::kFnmaddD, "fnmadd.d"},
+    {Op::kFeqD, "feq.d"}, {Op::kFltD, "flt.d"}, {Op::kFleD, "fle.d"},
+    {Op::kFcvtWD, "fcvt.w.d"}, {Op::kFcvtWuD, "fcvt.wu.d"},
+    {Op::kFcvtLD, "fcvt.l.d"}, {Op::kFcvtLuD, "fcvt.lu.d"},
+    {Op::kFcvtDW, "fcvt.d.w"}, {Op::kFcvtDWu, "fcvt.d.wu"},
+    {Op::kFcvtDL, "fcvt.d.l"}, {Op::kFcvtDLu, "fcvt.d.lu"},
+    {Op::kFcvtDS, "fcvt.d.s"}, {Op::kFcvtSD, "fcvt.s.d"},
+    {Op::kFmvXD, "fmv.x.d"}, {Op::kFmvDX, "fmv.d.x"},
+    {Op::kFmvXW, "fmv.x.w"}, {Op::kFmvWX, "fmv.w.x"},
+    {Op::kVsetvli, "vsetvli"}, {Op::kVsetivli, "vsetivli"},
+    {Op::kVsetvl, "vsetvl"},
+    {Op::kVle8, "vle8.v"}, {Op::kVle16, "vle16.v"}, {Op::kVle32, "vle32.v"},
+    {Op::kVle64, "vle64.v"}, {Op::kVse8, "vse8.v"}, {Op::kVse16, "vse16.v"},
+    {Op::kVse32, "vse32.v"}, {Op::kVse64, "vse64.v"},
+    {Op::kVlse8, "vlse8.v"}, {Op::kVlse16, "vlse16.v"},
+    {Op::kVlse32, "vlse32.v"}, {Op::kVlse64, "vlse64.v"},
+    {Op::kVsse8, "vsse8.v"}, {Op::kVsse16, "vsse16.v"},
+    {Op::kVsse32, "vsse32.v"}, {Op::kVsse64, "vsse64.v"},
+    {Op::kVluxei8, "vluxei8.v"}, {Op::kVluxei16, "vluxei16.v"},
+    {Op::kVluxei32, "vluxei32.v"}, {Op::kVluxei64, "vluxei64.v"},
+    {Op::kVsuxei8, "vsuxei8.v"}, {Op::kVsuxei16, "vsuxei16.v"},
+    {Op::kVsuxei32, "vsuxei32.v"}, {Op::kVsuxei64, "vsuxei64.v"},
+    {Op::kVaddVV, "vadd.vv"}, {Op::kVaddVX, "vadd.vx"},
+    {Op::kVaddVI, "vadd.vi"}, {Op::kVsubVV, "vsub.vv"},
+    {Op::kVsubVX, "vsub.vx"}, {Op::kVrsubVX, "vrsub.vx"},
+    {Op::kVrsubVI, "vrsub.vi"},
+    {Op::kVandVV, "vand.vv"}, {Op::kVandVX, "vand.vx"},
+    {Op::kVandVI, "vand.vi"}, {Op::kVorVV, "vor.vv"},
+    {Op::kVorVX, "vor.vx"}, {Op::kVorVI, "vor.vi"},
+    {Op::kVxorVV, "vxor.vv"}, {Op::kVxorVX, "vxor.vx"},
+    {Op::kVxorVI, "vxor.vi"},
+    {Op::kVsllVV, "vsll.vv"}, {Op::kVsllVX, "vsll.vx"},
+    {Op::kVsllVI, "vsll.vi"}, {Op::kVsrlVV, "vsrl.vv"},
+    {Op::kVsrlVX, "vsrl.vx"}, {Op::kVsrlVI, "vsrl.vi"},
+    {Op::kVsraVV, "vsra.vv"}, {Op::kVsraVX, "vsra.vx"},
+    {Op::kVsraVI, "vsra.vi"},
+    {Op::kVminuVV, "vminu.vv"}, {Op::kVminVV, "vmin.vv"},
+    {Op::kVmaxuVV, "vmaxu.vv"}, {Op::kVmaxVV, "vmax.vv"},
+    {Op::kVmulVV, "vmul.vv"}, {Op::kVmulVX, "vmul.vx"},
+    {Op::kVmaccVV, "vmacc.vv"}, {Op::kVmaccVX, "vmacc.vx"},
+    {Op::kVdivVV, "vdiv.vv"}, {Op::kVdivuVV, "vdivu.vv"},
+    {Op::kVremVV, "vrem.vv"}, {Op::kVremuVV, "vremu.vv"},
+    {Op::kVmvVV, "vmv.v.v"}, {Op::kVmvVX, "vmv.v.x"},
+    {Op::kVmvVI, "vmv.v.i"}, {Op::kVmergeVVM, "vmerge.vvm"},
+    {Op::kVmergeVXM, "vmerge.vxm"},
+    {Op::kVidV, "vid.v"}, {Op::kVmvXS, "vmv.x.s"}, {Op::kVmvSX, "vmv.s.x"},
+    {Op::kVslide1downVX, "vslide1down.vx"},
+    {Op::kVslidedownVX, "vslidedown.vx"},
+    {Op::kVslidedownVI, "vslidedown.vi"},
+    {Op::kVslideupVX, "vslideup.vx"},
+    {Op::kVslideupVI, "vslideup.vi"},
+    {Op::kVrgatherVV, "vrgather.vv"},
+    {Op::kVmseqVV, "vmseq.vv"}, {Op::kVmseqVX, "vmseq.vx"},
+    {Op::kVmseqVI, "vmseq.vi"}, {Op::kVmsneVV, "vmsne.vv"},
+    {Op::kVmsneVX, "vmsne.vx"}, {Op::kVmsltVV, "vmslt.vv"},
+    {Op::kVmsltVX, "vmslt.vx"}, {Op::kVmsltuVV, "vmsltu.vv"},
+    {Op::kVmsltuVX, "vmsltu.vx"}, {Op::kVmsleVV, "vmsle.vv"},
+    {Op::kVmsleVX, "vmsle.vx"},
+    {Op::kVredsumVS, "vredsum.vs"}, {Op::kVredmaxVS, "vredmax.vs"},
+    {Op::kVredminVS, "vredmin.vs"},
+    {Op::kVfaddVV, "vfadd.vv"}, {Op::kVfaddVF, "vfadd.vf"},
+    {Op::kVfsubVV, "vfsub.vv"}, {Op::kVfsubVF, "vfsub.vf"},
+    {Op::kVfmulVV, "vfmul.vv"}, {Op::kVfmulVF, "vfmul.vf"},
+    {Op::kVfdivVV, "vfdiv.vv"}, {Op::kVfmaccVV, "vfmacc.vv"},
+    {Op::kVfmaccVF, "vfmacc.vf"}, {Op::kVfnmaccVV, "vfnmacc.vv"},
+    {Op::kVfmsacVV, "vfmsac.vv"}, {Op::kVfmaddVV, "vfmadd.vv"},
+    {Op::kVfminVV, "vfmin.vv"}, {Op::kVfmaxVV, "vfmax.vv"},
+    {Op::kVfmvVF, "vfmv.v.f"}, {Op::kVfmvFS, "vfmv.f.s"},
+    {Op::kVfmvSF, "vfmv.s.f"},
+    {Op::kVfredusumVS, "vfredusum.vs"}, {Op::kVfredosumVS, "vfredosum.vs"},
+    {Op::kVfredmaxVS, "vfredmax.vs"}, {Op::kVfredminVS, "vfredmin.vs"},
+};
+
+}  // namespace
+
+const char* op_name(Op op) {
+  for (const auto& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+bool is_load(Op op) {
+  switch (op) {
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu:
+    case Op::kFlw: case Op::kFld:
+    case Op::kVle8: case Op::kVle16: case Op::kVle32: case Op::kVle64:
+    case Op::kVlse8: case Op::kVlse16: case Op::kVlse32: case Op::kVlse64:
+    case Op::kVluxei8: case Op::kVluxei16: case Op::kVluxei32:
+    case Op::kVluxei64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store(Op op) {
+  switch (op) {
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+    case Op::kFsw: case Op::kFsd:
+    case Op::kVse8: case Op::kVse16: case Op::kVse32: case Op::kVse64:
+    case Op::kVsse8: case Op::kVsse16: case Op::kVsse32: case Op::kVsse64:
+    case Op::kVsuxei8: case Op::kVsuxei16: case Op::kVsuxei32:
+    case Op::kVsuxei64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_amo(Op op) {
+  return op >= Op::kLrW && op <= Op::kAmomaxuD;
+}
+
+bool is_vector(Op op) {
+  return op >= Op::kVsetvli && op < Op::kOpCount;
+}
+
+bool is_branch_or_jump(Op op) {
+  switch (op) {
+    case Op::kJal: case Op::kJalr:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fp(Op op) {
+  return (op >= Op::kFlw && op <= Op::kFmvWX) || op == Op::kVfaddVF ||
+         op == Op::kVfsubVF || op == Op::kVfmulVF || op == Op::kVfmaccVF ||
+         op == Op::kVfmvVF || op == Op::kVfmvFS || op == Op::kVfmvSF;
+}
+
+namespace {
+
+void push_x(std::vector<RegRef>& out, std::uint8_t index) {
+  if (index != 0) out.push_back(RegRef{RegFile::kX, index});
+}
+void push_f(std::vector<RegRef>& out, std::uint8_t index) {
+  out.push_back(RegRef{RegFile::kF, index});
+}
+void push_v(std::vector<RegRef>& out, std::uint8_t index) {
+  out.push_back(RegRef{RegFile::kV, index});
+}
+
+/// Operand shape of an instruction, driving both reg-ref functions.
+enum class Shape {
+  kNone,          // fence, ecall, ...
+  kRArith,        // x = x op x
+  kIArith,        // x = x op imm
+  kUType,         // x = imm (lui/auipc)
+  kJal,           // x =
+  kJalr,          // x = x
+  kBranch,        // reads x, x
+  kLoadX,         // x = M[x]
+  kLoadF,         // f = M[x]
+  kStoreX,        // M[x] = x
+  kStoreF,        // M[x] = f
+  kCsr,           // x = csr, csr op= x
+  kCsrImm,        // x = csr
+  kAmo,           // x = M[x]; M[x] = f(M[x], x)
+  kLr,            // x = M[x]
+  kFArith2,       // f = f op f
+  kFArith1,       // f = op f
+  kFma,           // f = f*f+f
+  kFcmp,          // x = f op f
+  kFcvtToX,       // x = f
+  kFcvtFromX,     // f = x
+  kVset,          // x = x (vsetvli) / x = (vsetivli) / x = x,x (vsetvl)
+  kVLoadUnit,     // v = M[x]
+  kVLoadStride,   // v = M[x, x]
+  kVLoadIndex,    // v = M[x, v]
+  kVStoreUnit,    // M[x] = v
+  kVStoreStride,  // M[x, x] = v
+  kVStoreIndex,   // M[x, v] = v
+  kVArithVV,      // v = v op v
+  kVArithVX,      // v = v op x
+  kVArithVI,      // v = v op imm
+  kVMacVV,        // v += v*v (also reads vd)
+  kVMacVX,        // v += x*v
+  kVRed,          // v[0] = reduce(v, v[0])
+  kVMvVF,         // v = f
+  kVMvFS,         // f = v[0]
+  kVMvSF,         // v[0] = f
+  kVMvXS,         // x = v[0]
+  kVMvSX,         // v[0] = x
+  kVId,           // v = iota
+  kVArithVF,      // v = v op f
+};
+
+Shape shape_of(Op op) {
+  switch (op) {
+    case Op::kIllegal: case Op::kFence: case Op::kFenceI:
+    case Op::kEcall: case Op::kEbreak:
+      return Shape::kNone;
+    case Op::kLui: case Op::kAuipc:
+      return Shape::kUType;
+    case Op::kJal:
+      return Shape::kJal;
+    case Op::kJalr:
+      return Shape::kJalr;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return Shape::kBranch;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu:
+      return Shape::kLoadX;
+    case Op::kFlw: case Op::kFld:
+      return Shape::kLoadF;
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      return Shape::kStoreX;
+    case Op::kFsw: case Op::kFsd:
+      return Shape::kStoreF;
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+    case Op::kSraiw:
+      return Shape::kIArith;
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+    case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+    case Op::kOr: case Op::kAnd: case Op::kAddw: case Op::kSubw:
+    case Op::kSllw: case Op::kSrlw: case Op::kSraw:
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kMulw: case Op::kDivw: case Op::kDivuw: case Op::kRemw:
+    case Op::kRemuw:
+      return Shape::kRArith;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      return Shape::kCsr;
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      return Shape::kCsrImm;
+    case Op::kLrW: case Op::kLrD:
+      return Shape::kLr;
+    case Op::kScW: case Op::kScD:
+    case Op::kAmoswapW: case Op::kAmoswapD: case Op::kAmoaddW:
+    case Op::kAmoaddD: case Op::kAmoxorW: case Op::kAmoxorD:
+    case Op::kAmoandW: case Op::kAmoandD: case Op::kAmoorW: case Op::kAmoorD:
+    case Op::kAmominW: case Op::kAmominD: case Op::kAmomaxW:
+    case Op::kAmomaxD: case Op::kAmominuW: case Op::kAmominuD:
+    case Op::kAmomaxuW: case Op::kAmomaxuD:
+      return Shape::kAmo;
+    case Op::kFaddD: case Op::kFsubD: case Op::kFmulD: case Op::kFdivD:
+    case Op::kFsgnjD: case Op::kFsgnjnD: case Op::kFsgnjxD:
+    case Op::kFminD: case Op::kFmaxD:
+    case Op::kFaddS: case Op::kFsubS: case Op::kFmulS: case Op::kFdivS:
+      return Shape::kFArith2;
+    case Op::kFsqrtD: case Op::kFcvtDS: case Op::kFcvtSD:
+      return Shape::kFArith1;
+    case Op::kFmaddD: case Op::kFmsubD: case Op::kFnmsubD: case Op::kFnmaddD:
+      return Shape::kFma;
+    case Op::kFeqD: case Op::kFltD: case Op::kFleD:
+      return Shape::kFcmp;
+    case Op::kFcvtWD: case Op::kFcvtWuD: case Op::kFcvtLD: case Op::kFcvtLuD:
+    case Op::kFmvXD: case Op::kFmvXW:
+      return Shape::kFcvtToX;
+    case Op::kFcvtDW: case Op::kFcvtDWu: case Op::kFcvtDL: case Op::kFcvtDLu:
+    case Op::kFmvDX: case Op::kFmvWX:
+      return Shape::kFcvtFromX;
+    case Op::kVsetvli: case Op::kVsetivli: case Op::kVsetvl:
+      return Shape::kVset;
+    case Op::kVle8: case Op::kVle16: case Op::kVle32: case Op::kVle64:
+      return Shape::kVLoadUnit;
+    case Op::kVlse8: case Op::kVlse16: case Op::kVlse32: case Op::kVlse64:
+      return Shape::kVLoadStride;
+    case Op::kVluxei8: case Op::kVluxei16: case Op::kVluxei32:
+    case Op::kVluxei64:
+      return Shape::kVLoadIndex;
+    case Op::kVse8: case Op::kVse16: case Op::kVse32: case Op::kVse64:
+      return Shape::kVStoreUnit;
+    case Op::kVsse8: case Op::kVsse16: case Op::kVsse32: case Op::kVsse64:
+      return Shape::kVStoreStride;
+    case Op::kVsuxei8: case Op::kVsuxei16: case Op::kVsuxei32:
+    case Op::kVsuxei64:
+      return Shape::kVStoreIndex;
+    case Op::kVaddVV: case Op::kVsubVV: case Op::kVandVV: case Op::kVorVV:
+    case Op::kVxorVV: case Op::kVsllVV: case Op::kVsrlVV: case Op::kVsraVV:
+    case Op::kVminuVV: case Op::kVminVV: case Op::kVmaxuVV: case Op::kVmaxVV:
+    case Op::kVmulVV: case Op::kVdivVV: case Op::kVdivuVV: case Op::kVremVV:
+    case Op::kVremuVV: case Op::kVmseqVV: case Op::kVmsneVV:
+    case Op::kVmsltVV: case Op::kVmsltuVV: case Op::kVmsleVV:
+    case Op::kVfaddVV: case Op::kVfsubVV: case Op::kVfmulVV:
+    case Op::kVfdivVV: case Op::kVfminVV: case Op::kVfmaxVV:
+    case Op::kVmergeVVM: case Op::kVrgatherVV:
+      return Shape::kVArithVV;
+    case Op::kVmvVV:
+      return Shape::kVArithVV;  // vs2 field is 0; harmless extra source
+    case Op::kVaddVX: case Op::kVsubVX: case Op::kVrsubVX: case Op::kVandVX:
+    case Op::kVorVX: case Op::kVxorVX: case Op::kVsllVX: case Op::kVsrlVX:
+    case Op::kVsraVX: case Op::kVmulVX: case Op::kVmseqVX: case Op::kVmsneVX:
+    case Op::kVmsltVX: case Op::kVmsltuVX: case Op::kVmsleVX:
+    case Op::kVmvVX: case Op::kVmergeVXM: case Op::kVslide1downVX:
+    case Op::kVslidedownVX: case Op::kVslideupVX:
+      return Shape::kVArithVX;
+    case Op::kVaddVI: case Op::kVrsubVI: case Op::kVandVI: case Op::kVorVI:
+    case Op::kVxorVI: case Op::kVsllVI: case Op::kVsrlVI: case Op::kVsraVI:
+    case Op::kVmvVI: case Op::kVmseqVI: case Op::kVslidedownVI:
+    case Op::kVslideupVI:
+      return Shape::kVArithVI;
+    case Op::kVmaccVV: case Op::kVfmaccVV: case Op::kVfnmaccVV:
+    case Op::kVfmsacVV: case Op::kVfmaddVV:
+      return Shape::kVMacVV;
+    case Op::kVmaccVX:
+      return Shape::kVMacVX;
+    case Op::kVfmaccVF:
+      return Shape::kVArithVF;  // reads vd too; handled in source_regs
+    case Op::kVredsumVS: case Op::kVredmaxVS: case Op::kVredminVS:
+    case Op::kVfredusumVS: case Op::kVfredosumVS: case Op::kVfredmaxVS:
+    case Op::kVfredminVS:
+      return Shape::kVRed;
+    case Op::kVfaddVF: case Op::kVfsubVF: case Op::kVfmulVF:
+      return Shape::kVArithVF;
+    case Op::kVfmvVF:
+      return Shape::kVMvVF;
+    case Op::kVfmvFS:
+      return Shape::kVMvFS;
+    case Op::kVfmvSF:
+      return Shape::kVMvSF;
+    case Op::kVmvXS:
+      return Shape::kVMvXS;
+    case Op::kVmvSX:
+      return Shape::kVMvSX;
+    case Op::kVidV:
+      return Shape::kVId;
+    case Op::kOpCount:
+      return Shape::kNone;
+  }
+  return Shape::kNone;
+}
+
+}  // namespace
+
+std::vector<RegRef> source_regs(const DecodedInst& inst) {
+  std::vector<RegRef> out;
+  const Shape shape = shape_of(inst.op);
+  switch (shape) {
+    case Shape::kNone: case Shape::kUType: case Shape::kJal:
+    case Shape::kCsrImm: case Shape::kVId:
+      break;
+    case Shape::kIArith: case Shape::kJalr: case Shape::kLoadX:
+    case Shape::kLoadF: case Shape::kCsr: case Shape::kFcvtFromX:
+    case Shape::kLr:
+      push_x(out, inst.rs1);
+      break;
+    case Shape::kAmo:
+      push_x(out, inst.rs1);
+      push_x(out, inst.rs2);
+      break;
+    case Shape::kRArith: case Shape::kBranch:
+      push_x(out, inst.rs1);
+      push_x(out, inst.rs2);
+      break;
+    case Shape::kStoreX:
+      push_x(out, inst.rs1);
+      push_x(out, inst.rs2);
+      break;
+    case Shape::kStoreF:
+      push_x(out, inst.rs1);
+      push_f(out, inst.rs2);
+      break;
+    case Shape::kFArith2: case Shape::kFcmp:
+      push_f(out, inst.rs1);
+      push_f(out, inst.rs2);
+      break;
+    case Shape::kFArith1: case Shape::kFcvtToX:
+      push_f(out, inst.rs1);
+      break;
+    case Shape::kFma:
+      push_f(out, inst.rs1);
+      push_f(out, inst.rs2);
+      push_f(out, inst.rs3);
+      break;
+    case Shape::kVset:
+      if (inst.op == Op::kVsetvli) push_x(out, inst.rs1);
+      if (inst.op == Op::kVsetvl) {
+        push_x(out, inst.rs1);
+        push_x(out, inst.rs2);
+      }
+      break;
+    case Shape::kVLoadUnit:
+      push_x(out, inst.rs1);
+      break;
+    case Shape::kVLoadStride:
+      push_x(out, inst.rs1);
+      push_x(out, inst.rs2);
+      break;
+    case Shape::kVLoadIndex:
+      push_x(out, inst.rs1);
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVStoreUnit:
+      push_x(out, inst.rs1);
+      push_v(out, inst.rd);  // vs3 lives in the rd field
+      break;
+    case Shape::kVStoreStride:
+      push_x(out, inst.rs1);
+      push_x(out, inst.rs2);
+      push_v(out, inst.rd);
+      break;
+    case Shape::kVStoreIndex:
+      push_x(out, inst.rs1);
+      push_v(out, inst.rs2);
+      push_v(out, inst.rd);
+      break;
+    case Shape::kVArithVV:
+      push_v(out, inst.rs1);
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVArithVX:
+      push_x(out, inst.rs1);
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVArithVI:
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVMacVV:
+      push_v(out, inst.rs1);
+      push_v(out, inst.rs2);
+      push_v(out, inst.rd);
+      break;
+    case Shape::kVMacVX:
+      push_x(out, inst.rs1);
+      push_v(out, inst.rs2);
+      push_v(out, inst.rd);
+      break;
+    case Shape::kVRed:
+      push_v(out, inst.rs1);
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVArithVF:
+      push_f(out, inst.rs1);
+      push_v(out, inst.rs2);
+      if (inst.op == Op::kVfmaccVF) push_v(out, inst.rd);
+      break;
+    case Shape::kVMvVF: case Shape::kVMvSF:
+      push_f(out, inst.rs1);
+      break;
+    case Shape::kVMvFS: case Shape::kVMvXS:
+      push_v(out, inst.rs2);
+      break;
+    case Shape::kVMvSX:
+      push_x(out, inst.rs1);
+      break;
+  }
+  // A masked vector op additionally reads the mask register v0.
+  if (is_vector(inst.op) && !inst.vm) push_v(out, 0);
+  return out;
+}
+
+std::vector<RegRef> dest_regs(const DecodedInst& inst) {
+  std::vector<RegRef> out;
+  switch (shape_of(inst.op)) {
+    case Shape::kNone: case Shape::kBranch: case Shape::kStoreX:
+    case Shape::kStoreF: case Shape::kVStoreUnit: case Shape::kVStoreStride:
+    case Shape::kVStoreIndex:
+      break;
+    case Shape::kRArith: case Shape::kIArith: case Shape::kUType:
+    case Shape::kJal: case Shape::kJalr: case Shape::kLoadX:
+    case Shape::kCsr: case Shape::kCsrImm: case Shape::kFcmp:
+    case Shape::kFcvtToX: case Shape::kVset: case Shape::kVMvXS:
+    case Shape::kAmo: case Shape::kLr:
+      push_x(out, inst.rd);
+      break;
+    case Shape::kLoadF: case Shape::kFArith2: case Shape::kFArith1:
+    case Shape::kFma: case Shape::kFcvtFromX: case Shape::kVMvFS:
+      push_f(out, inst.rd);
+      break;
+    case Shape::kVLoadUnit: case Shape::kVLoadStride: case Shape::kVLoadIndex:
+    case Shape::kVArithVV: case Shape::kVArithVX: case Shape::kVArithVI:
+    case Shape::kVMacVV: case Shape::kVMacVX: case Shape::kVRed:
+    case Shape::kVMvVF: case Shape::kVMvSF: case Shape::kVMvSX:
+    case Shape::kVId: case Shape::kVArithVF:
+      push_v(out, inst.rd);
+      break;
+  }
+  return out;
+}
+
+const char* xreg_name(std::uint8_t index) {
+  static constexpr const char* kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return index < 32 ? kNames[index] : "x?";
+}
+
+const char* freg_name(std::uint8_t index) {
+  static constexpr const char* kNames[32] = {
+      "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6",  "ft7",
+      "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4",  "fa5",
+      "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6",  "fs7",
+      "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+  return index < 32 ? kNames[index] : "f?";
+}
+
+}  // namespace coyote::isa

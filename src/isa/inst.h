@@ -1,0 +1,325 @@
+// Decoded-instruction representation shared by the decoder, the executor and
+// the disassembler. Coyote supports RV64IMFD plus the subset of the vector
+// extension (v1.0) exercised by HPC kernels; see DESIGN.md §5 for the exact
+// coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/registers.h"
+
+namespace coyote::isa {
+
+/// Every instruction mnemonic Coyote can decode and execute.
+enum class Op : std::uint16_t {
+  kIllegal = 0,
+
+  // --- RV64I ---
+  kLui,
+  kAuipc,
+  kJal,
+  kJalr,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kLb,
+  kLh,
+  kLw,
+  kLd,
+  kLbu,
+  kLhu,
+  kLwu,
+  kSb,
+  kSh,
+  kSw,
+  kSd,
+  kAddi,
+  kSlti,
+  kSltiu,
+  kXori,
+  kOri,
+  kAndi,
+  kSlli,
+  kSrli,
+  kSrai,
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kAddiw,
+  kSlliw,
+  kSrliw,
+  kSraiw,
+  kAddw,
+  kSubw,
+  kSllw,
+  kSrlw,
+  kSraw,
+  kFence,
+  kFenceI,
+  kEcall,
+  kEbreak,
+
+  // --- RV64A (atomics) ---
+  kLrW,
+  kLrD,
+  kScW,
+  kScD,
+  kAmoswapW,
+  kAmoswapD,
+  kAmoaddW,
+  kAmoaddD,
+  kAmoxorW,
+  kAmoxorD,
+  kAmoandW,
+  kAmoandD,
+  kAmoorW,
+  kAmoorD,
+  kAmominW,
+  kAmominD,
+  kAmomaxW,
+  kAmomaxD,
+  kAmominuW,
+  kAmominuD,
+  kAmomaxuW,
+  kAmomaxuD,
+
+  // --- Zicsr ---
+  kCsrrw,
+  kCsrrs,
+  kCsrrc,
+  kCsrrwi,
+  kCsrrsi,
+  kCsrrci,
+
+  // --- RV64M ---
+  kMul,
+  kMulh,
+  kMulhsu,
+  kMulhu,
+  kDiv,
+  kDivu,
+  kRem,
+  kRemu,
+  kMulw,
+  kDivw,
+  kDivuw,
+  kRemw,
+  kRemuw,
+
+  // --- RV64F/D (load/store + D arithmetic + minimal S arithmetic) ---
+  kFlw,
+  kFld,
+  kFsw,
+  kFsd,
+  kFaddD,
+  kFsubD,
+  kFmulD,
+  kFdivD,
+  kFsqrtD,
+  kFsgnjD,
+  kFsgnjnD,
+  kFsgnjxD,
+  kFminD,
+  kFmaxD,
+  kFaddS,
+  kFsubS,
+  kFmulS,
+  kFdivS,
+  kFmaddD,
+  kFmsubD,
+  kFnmsubD,
+  kFnmaddD,
+  kFeqD,
+  kFltD,
+  kFleD,
+  kFcvtWD,
+  kFcvtWuD,
+  kFcvtLD,
+  kFcvtLuD,
+  kFcvtDW,
+  kFcvtDWu,
+  kFcvtDL,
+  kFcvtDLu,
+  kFcvtDS,
+  kFcvtSD,
+  kFmvXD,
+  kFmvDX,
+  kFmvXW,
+  kFmvWX,
+
+  // --- V: configuration ---
+  kVsetvli,
+  kVsetivli,
+  kVsetvl,
+
+  // --- V: memory (unit-stride / strided / indexed-unordered) ---
+  kVle8,
+  kVle16,
+  kVle32,
+  kVle64,
+  kVse8,
+  kVse16,
+  kVse32,
+  kVse64,
+  kVlse8,
+  kVlse16,
+  kVlse32,
+  kVlse64,
+  kVsse8,
+  kVsse16,
+  kVsse32,
+  kVsse64,
+  kVluxei8,
+  kVluxei16,
+  kVluxei32,
+  kVluxei64,
+  kVsuxei8,
+  kVsuxei16,
+  kVsuxei32,
+  kVsuxei64,
+
+  // --- V: integer arithmetic ---
+  kVaddVV,
+  kVaddVX,
+  kVaddVI,
+  kVsubVV,
+  kVsubVX,
+  kVrsubVX,
+  kVrsubVI,
+  kVandVV,
+  kVandVX,
+  kVandVI,
+  kVorVV,
+  kVorVX,
+  kVorVI,
+  kVxorVV,
+  kVxorVX,
+  kVxorVI,
+  kVsllVV,
+  kVsllVX,
+  kVsllVI,
+  kVsrlVV,
+  kVsrlVX,
+  kVsrlVI,
+  kVsraVV,
+  kVsraVX,
+  kVsraVI,
+  kVminuVV,
+  kVminVV,
+  kVmaxuVV,
+  kVmaxVV,
+  kVmulVV,
+  kVmulVX,
+  kVmaccVV,
+  kVmaccVX,
+  kVdivVV,
+  kVdivuVV,
+  kVremVV,
+  kVremuVV,
+  kVmvVV,
+  kVmvVX,
+  kVmvVI,
+  kVmergeVVM,
+  kVmergeVXM,
+  kVidV,
+  kVmvXS,
+  kVmvSX,
+  kVslide1downVX,
+  kVslidedownVX,
+  kVslidedownVI,
+  kVslideupVX,
+  kVslideupVI,
+  kVrgatherVV,
+
+  // --- V: integer compares (write mask registers) ---
+  kVmseqVV,
+  kVmseqVX,
+  kVmseqVI,
+  kVmsneVV,
+  kVmsneVX,
+  kVmsltVV,
+  kVmsltVX,
+  kVmsltuVV,
+  kVmsltuVX,
+  kVmsleVV,
+  kVmsleVX,
+
+  // --- V: integer reductions ---
+  kVredsumVS,
+  kVredmaxVS,
+  kVredminVS,
+
+  // --- V: floating point ---
+  kVfaddVV,
+  kVfaddVF,
+  kVfsubVV,
+  kVfsubVF,
+  kVfmulVV,
+  kVfmulVF,
+  kVfdivVV,
+  kVfmaccVV,
+  kVfmaccVF,
+  kVfnmaccVV,
+  kVfmsacVV,
+  kVfmaddVV,
+  kVfminVV,
+  kVfmaxVV,
+  kVfmvVF,
+  kVfmvFS,
+  kVfmvSF,
+  kVfredusumVS,
+  kVfredosumVS,
+  kVfredmaxVS,
+  kVfredminVS,
+
+  kOpCount,
+};
+
+/// One decoded instruction. `imm` carries the sign-extended immediate for
+/// I/S/B/U/J formats, the CSR address for Zicsr ops, the shift amount for
+/// shifts, the vtype immediate for vsetvli, and the 5-bit simm for OPIVI
+/// vector forms.
+struct DecodedInst {
+  Op op = Op::kIllegal;
+  std::uint32_t raw = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;    ///< FMA only
+  std::int64_t imm = 0;
+  bool vm = true;          ///< vector-mask bit (true = unmasked)
+  std::uint8_t uimm = 0;   ///< vsetivli AVL / rounding-mode field
+
+  friend bool operator==(const DecodedInst&, const DecodedInst&) = default;
+};
+
+/// Instruction attribute queries used by the ISS and dependency tracking.
+bool is_load(Op op);          ///< scalar or vector load
+bool is_store(Op op);         ///< scalar or vector store
+bool is_amo(Op op);           ///< read-modify-write (LR/SC/AMO*)
+bool is_vector(Op op);        ///< any OP-V / vector-memory instruction
+bool is_branch_or_jump(Op op);
+bool is_fp(Op op);            ///< touches the f register file
+
+/// Registers the instruction reads (for RAW-dependency tracking). Includes
+/// x, f and v sources; excludes x0.
+std::vector<RegRef> source_regs(const DecodedInst& inst);
+
+/// Registers the instruction writes. Excludes x0.
+std::vector<RegRef> dest_regs(const DecodedInst& inst);
+
+/// Mnemonic text ("addi", "vle64.v", ...).
+const char* op_name(Op op);
+
+}  // namespace coyote::isa

@@ -1,0 +1,131 @@
+// Architectural register numbers and RISC-V ABI names.
+#pragma once
+
+#include <cstdint>
+
+namespace coyote::isa {
+
+/// Integer (x) registers, by ABI name.
+enum Xreg : std::uint8_t {
+  zero = 0,
+  ra = 1,
+  sp = 2,
+  gp = 3,
+  tp = 4,
+  t0 = 5,
+  t1 = 6,
+  t2 = 7,
+  s0 = 8,
+  fp = 8,  // alias of s0
+  s1 = 9,
+  a0 = 10,
+  a1 = 11,
+  a2 = 12,
+  a3 = 13,
+  a4 = 14,
+  a5 = 15,
+  a6 = 16,
+  a7 = 17,
+  s2 = 18,
+  s3 = 19,
+  s4 = 20,
+  s5 = 21,
+  s6 = 22,
+  s7 = 23,
+  s8 = 24,
+  s9 = 25,
+  s10 = 26,
+  s11 = 27,
+  t3 = 28,
+  t4 = 29,
+  t5 = 30,
+  t6 = 31,
+};
+
+/// Floating-point (f) registers, by ABI name.
+enum Freg : std::uint8_t {
+  ft0 = 0,
+  ft1 = 1,
+  ft2 = 2,
+  ft3 = 3,
+  ft4 = 4,
+  ft5 = 5,
+  ft6 = 6,
+  ft7 = 7,
+  fs0 = 8,
+  fs1 = 9,
+  fa0 = 10,
+  fa1 = 11,
+  fa2 = 12,
+  fa3 = 13,
+  fa4 = 14,
+  fa5 = 15,
+  fa6 = 16,
+  fa7 = 17,
+  fs2 = 18,
+  fs3 = 19,
+  fs4 = 20,
+  fs5 = 21,
+  fs6 = 22,
+  fs7 = 23,
+  fs8 = 24,
+  fs9 = 25,
+  fs10 = 26,
+  fs11 = 27,
+  ft8 = 28,
+  ft9 = 29,
+  ft10 = 30,
+  ft11 = 31,
+};
+
+/// Vector (v) registers.
+enum Vreg : std::uint8_t {
+  v0 = 0,
+  v1 = 1,
+  v2 = 2,
+  v3 = 3,
+  v4 = 4,
+  v5 = 5,
+  v6 = 6,
+  v7 = 7,
+  v8 = 8,
+  v9 = 9,
+  v10 = 10,
+  v11 = 11,
+  v12 = 12,
+  v13 = 13,
+  v14 = 14,
+  v15 = 15,
+  v16 = 16,
+  v17 = 17,
+  v18 = 18,
+  v19 = 19,
+  v20 = 20,
+  v21 = 21,
+  v22 = 22,
+  v23 = 23,
+  v24 = 24,
+  v25 = 25,
+  v26 = 26,
+  v27 = 27,
+  v28 = 28,
+  v29 = 29,
+  v30 = 30,
+  v31 = 31,
+};
+
+/// The three architectural register files.
+enum class RegFile : std::uint8_t { kX, kF, kV };
+
+/// A reference to one architectural register, used for dependency tracking.
+struct RegRef {
+  RegFile file;
+  std::uint8_t index;
+
+  friend bool operator==(const RegRef&, const RegRef&) = default;
+};
+
+const char* xreg_name(std::uint8_t index);
+const char* freg_name(std::uint8_t index);
+
+}  // namespace coyote::isa

@@ -1,0 +1,688 @@
+#include "isa/text_asm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "isa/assembler.h"
+
+namespace coyote::isa {
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+std::string strip_comment(const std::string& line) {
+  std::size_t cut = line.size();
+  for (const char* marker : {"#", "//", ";"}) {
+    const auto pos = line.find(marker);
+    if (pos != std::string::npos) cut = std::min(cut, pos);
+  }
+  return line.substr(0, cut);
+}
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+/// Splits "a0, 8(sp)" -> {"a0", "8(sp)"}.
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      out.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string tail = trim(current);
+  if (!tail.empty()) out.push_back(tail);
+  return out;
+}
+
+const std::unordered_map<std::string, Xreg>& xreg_table() {
+  static const auto* table = [] {
+    auto* map = new std::unordered_map<std::string, Xreg>;
+    const char* names[32] = {"zero", "ra", "sp", "gp", "tp",  "t0",  "t1",
+                             "t2",   "s0", "s1", "a0", "a1",  "a2",  "a3",
+                             "a4",   "a5", "a6", "a7", "s2",  "s3",  "s4",
+                             "s5",   "s6", "s7", "s8", "s9",  "s10", "s11",
+                             "t3",   "t4", "t5", "t6"};
+    for (unsigned i = 0; i < 32; ++i) {
+      (*map)[names[i]] = static_cast<Xreg>(i);
+      (*map)[strfmt("x%u", i)] = static_cast<Xreg>(i);
+    }
+    (*map)["fp"] = s0;
+    return map;
+  }();
+  return *table;
+}
+
+const std::unordered_map<std::string, Freg>& freg_table() {
+  static const auto* table = [] {
+    auto* map = new std::unordered_map<std::string, Freg>;
+    const char* names[32] = {"ft0", "ft1", "ft2",  "ft3",  "ft4", "ft5",
+                             "ft6", "ft7", "fs0",  "fs1",  "fa0", "fa1",
+                             "fa2", "fa3", "fa4",  "fa5",  "fa6", "fa7",
+                             "fs2", "fs3", "fs4",  "fs5",  "fs6", "fs7",
+                             "fs8", "fs9", "fs10", "fs11", "ft8", "ft9",
+                             "ft10", "ft11"};
+    for (unsigned i = 0; i < 32; ++i) {
+      (*map)[names[i]] = static_cast<Freg>(i);
+      (*map)[strfmt("f%u", i)] = static_cast<Freg>(i);
+    }
+    return map;
+  }();
+  return *table;
+}
+
+/// Per-line parse context handed to mnemonic handlers.
+struct Ctx {
+  Assembler& as;
+  std::vector<std::string> ops;
+  std::size_t line;
+  std::function<Assembler::Label(const std::string&)> label_of;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw AsmError(line, message);
+  }
+  void expect(std::size_t count) const {
+    if (ops.size() != count) {
+      fail(strfmt("expected %zu operands, got %zu", count, ops.size()));
+    }
+  }
+  Xreg x(std::size_t i) const {
+    const auto it = xreg_table().find(lower(ops.at(i)));
+    if (it == xreg_table().end()) fail("bad integer register '" + ops[i] + "'");
+    return it->second;
+  }
+  Freg f(std::size_t i) const {
+    const auto it = freg_table().find(lower(ops.at(i)));
+    if (it == freg_table().end()) fail("bad FP register '" + ops[i] + "'");
+    return it->second;
+  }
+  Vreg v(std::size_t i) const {
+    const std::string name = lower(ops.at(i));
+    if (name.size() >= 2 && name[0] == 'v') {
+      char* end = nullptr;
+      const long index = std::strtol(name.c_str() + 1, &end, 10);
+      if (*end == '\0' && index >= 0 && index < 32) {
+        return static_cast<Vreg>(index);
+      }
+    }
+    fail("bad vector register '" + ops[i] + "'");
+  }
+  std::int64_t imm(std::size_t i) const {
+    const std::string text = trim(ops.at(i));
+    try {
+      std::size_t used = 0;
+      const long long value = std::stoll(text, &used, 0);
+      if (used != text.size()) fail("bad immediate '" + text + "'");
+      return value;
+    } catch (const AsmError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad immediate '" + text + "'");
+    }
+  }
+  /// Parses "off(reg)".
+  std::pair<std::int32_t, Xreg> memref(std::size_t i) const {
+    const std::string text = trim(ops.at(i));
+    const auto open = text.find('(');
+    const auto close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail("bad memory operand '" + text + "' (want off(reg))");
+    }
+    const std::string off_text = trim(text.substr(0, open));
+    std::int32_t offset = 0;
+    if (!off_text.empty()) {
+      try {
+        offset = static_cast<std::int32_t>(std::stol(off_text, nullptr, 0));
+      } catch (const std::exception&) {
+        fail("bad offset '" + off_text + "'");
+      }
+    }
+    const std::string reg = lower(trim(text.substr(open + 1,
+                                                   close - open - 1)));
+    const auto it = xreg_table().find(reg);
+    if (it == xreg_table().end()) fail("bad base register '" + reg + "'");
+    return {offset, it->second};
+  }
+  /// Parses "(reg)" (vector memory base).
+  Xreg memref_base(std::size_t i) const { return memref(i).second; }
+  Assembler::Label label(std::size_t i) const {
+    return label_of(trim(ops.at(i)));
+  }
+  Sew sew(std::size_t i) const {
+    const std::string text = lower(trim(ops.at(i)));
+    if (text == "e8") return Sew::kE8;
+    if (text == "e16") return Sew::kE16;
+    if (text == "e32") return Sew::kE32;
+    if (text == "e64") return Sew::kE64;
+    fail("bad SEW '" + text + "'");
+  }
+  Lmul lmul(std::size_t i) const {
+    const std::string text = lower(trim(ops.at(i)));
+    if (text == "m1") return Lmul::kM1;
+    if (text == "m2") return Lmul::kM2;
+    if (text == "m4") return Lmul::kM4;
+    if (text == "m8") return Lmul::kM8;
+    fail("bad LMUL '" + text + "'");
+  }
+};
+
+using Handler = std::function<void(Ctx&)>;
+
+const std::unordered_map<std::string, Handler>& handlers() {
+  static const auto* table = [] {
+    auto* map = new std::unordered_map<std::string, Handler>;
+    auto& h = *map;
+
+    // ----- R-type x = x op x -----
+    const auto rrr = [&h](const char* name,
+                          void (Assembler::*fn)(Xreg, Xreg, Xreg)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.x(0), c.x(1), c.x(2));
+      };
+    };
+    rrr("add", &Assembler::add);       rrr("sub", &Assembler::sub);
+    rrr("sll", &Assembler::sll);       rrr("slt", &Assembler::slt);
+    rrr("sltu", &Assembler::sltu);     rrr("xor", &Assembler::xor_);
+    rrr("srl", &Assembler::srl);       rrr("sra", &Assembler::sra);
+    rrr("or", &Assembler::or_);        rrr("and", &Assembler::and_);
+    rrr("addw", &Assembler::addw);     rrr("subw", &Assembler::subw);
+    rrr("sllw", &Assembler::sllw);     rrr("srlw", &Assembler::srlw);
+    rrr("sraw", &Assembler::sraw);     rrr("mul", &Assembler::mul);
+    rrr("mulh", &Assembler::mulh);     rrr("mulhu", &Assembler::mulhu);
+    rrr("mulhsu", &Assembler::mulhsu); rrr("div", &Assembler::div);
+    rrr("divu", &Assembler::divu);     rrr("rem", &Assembler::rem);
+    rrr("remu", &Assembler::remu);     rrr("mulw", &Assembler::mulw);
+    rrr("divw", &Assembler::divw);     rrr("divuw", &Assembler::divuw);
+    rrr("remw", &Assembler::remw);     rrr("remuw", &Assembler::remuw);
+
+    // ----- I-type x = x op imm -----
+    const auto rri = [&h](const char* name,
+                          void (Assembler::*fn)(Xreg, Xreg, std::int32_t)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.x(0), c.x(1), static_cast<std::int32_t>(c.imm(2)));
+      };
+    };
+    rri("addi", &Assembler::addi);   rri("slti", &Assembler::slti);
+    rri("sltiu", &Assembler::sltiu); rri("xori", &Assembler::xori);
+    rri("ori", &Assembler::ori);     rri("andi", &Assembler::andi);
+    rri("addiw", &Assembler::addiw);
+    const auto shamt = [&h](const char* name,
+                            void (Assembler::*fn)(Xreg, Xreg, unsigned)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.x(0), c.x(1), static_cast<unsigned>(c.imm(2)));
+      };
+    };
+    shamt("slli", &Assembler::slli);   shamt("srli", &Assembler::srli);
+    shamt("srai", &Assembler::srai);   shamt("slliw", &Assembler::slliw);
+    shamt("srliw", &Assembler::srliw); shamt("sraiw", &Assembler::sraiw);
+
+    // ----- loads/stores -----
+    const auto load = [&h](const char* name,
+                           void (Assembler::*fn)(Xreg, std::int32_t, Xreg)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(2);
+        const auto [offset, base] = c.memref(1);
+        (c.as.*fn)(c.x(0), offset, base);
+      };
+    };
+    load("lb", &Assembler::lb);   load("lh", &Assembler::lh);
+    load("lw", &Assembler::lw);   load("ld", &Assembler::ld);
+    load("lbu", &Assembler::lbu); load("lhu", &Assembler::lhu);
+    load("lwu", &Assembler::lwu);
+    load("sb", &Assembler::sb);   load("sh", &Assembler::sh);
+    load("sw", &Assembler::sw);   load("sd", &Assembler::sd);
+    const auto fload = [&h](const char* name,
+                            void (Assembler::*fn)(Freg, std::int32_t, Xreg)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(2);
+        const auto [offset, base] = c.memref(1);
+        (c.as.*fn)(c.f(0), offset, base);
+      };
+    };
+    fload("flw", &Assembler::flw); fload("fld", &Assembler::fld);
+    fload("fsw", &Assembler::fsw); fload("fsd", &Assembler::fsd);
+
+    // ----- branches / jumps -----
+    const auto branch = [&h](const char* name,
+                             void (Assembler::*fn)(Xreg, Xreg,
+                                                   Assembler::Label)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.x(0), c.x(1), c.label(2));
+      };
+    };
+    branch("beq", &Assembler::beq);   branch("bne", &Assembler::bne);
+    branch("blt", &Assembler::blt);   branch("bge", &Assembler::bge);
+    branch("bltu", &Assembler::bltu); branch("bgeu", &Assembler::bgeu);
+    branch("ble", &Assembler::ble);   branch("bgt", &Assembler::bgt);
+    const auto branchz = [&h](const char* name,
+                              void (Assembler::*fn)(Xreg,
+                                                    Assembler::Label)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(2);
+        (c.as.*fn)(c.x(0), c.label(1));
+      };
+    };
+    branchz("beqz", &Assembler::beqz); branchz("bnez", &Assembler::bnez);
+    branchz("blez", &Assembler::blez); branchz("bgtz", &Assembler::bgtz);
+    h["j"] = [](Ctx& c) {
+      c.expect(1);
+      c.as.j(c.label(0));
+    };
+    h["jal"] = [](Ctx& c) {
+      if (c.ops.size() == 1) {
+        c.as.jal(ra, c.label(0));
+      } else {
+        c.expect(2);
+        c.as.jal(c.x(0), c.label(1));
+      }
+    };
+    h["jalr"] = [](Ctx& c) {
+      if (c.ops.size() == 1) {
+        c.as.jalr(ra, c.x(0), 0);
+      } else {
+        c.expect(2);
+        const auto [offset, base] = c.memref(1);
+        c.as.jalr(c.x(0), base, offset);
+      }
+    };
+    h["call"] = [](Ctx& c) {
+      c.expect(1);
+      c.as.call(c.label(0));
+    };
+    h["ret"] = [](Ctx& c) {
+      c.expect(0);
+      c.as.ret();
+    };
+
+    // ----- pseudo -----
+    h["li"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.li(c.x(0), c.imm(1));
+    };
+    h["mv"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.mv(c.x(0), c.x(1));
+    };
+    h["neg"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.neg(c.x(0), c.x(1));
+    };
+    h["seqz"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.seqz(c.x(0), c.x(1));
+    };
+    h["snez"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.snez(c.x(0), c.x(1));
+    };
+    h["nop"] = [](Ctx& c) {
+      c.expect(0);
+      c.as.nop();
+    };
+    h["ecall"] = [](Ctx& c) {
+      c.expect(0);
+      c.as.ecall();
+    };
+    h["ebreak"] = [](Ctx& c) {
+      c.expect(0);
+      c.as.ebreak();
+    };
+    h["fence"] = [](Ctx& c) {
+      (void)c;
+      c.as.fence();
+    };
+    h["lui"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.lui(c.x(0), static_cast<std::int32_t>(c.imm(1)));
+    };
+    h["auipc"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.auipc(c.x(0), static_cast<std::int32_t>(c.imm(1)));
+    };
+    h["csrr"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.csrr(c.x(0), static_cast<std::uint32_t>(c.imm(1)));
+    };
+    h["csrw"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.csrw(static_cast<std::uint32_t>(c.imm(0)), c.x(1));
+    };
+
+    // ----- atomics -----
+    const auto amo = [&h](const char* name,
+                          void (Assembler::*fn)(Xreg, Xreg, Xreg)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.x(0), c.x(1), c.memref_base(2));
+      };
+    };
+    amo("amoadd.d", &Assembler::amoadd_d);
+    amo("amoadd.w", &Assembler::amoadd_w);
+    amo("amoswap.d", &Assembler::amoswap_d);
+    amo("amoswap.w", &Assembler::amoswap_w);
+    amo("amoand.d", &Assembler::amoand_d);
+    amo("amoor.d", &Assembler::amoor_d);
+    amo("amoxor.d", &Assembler::amoxor_d);
+    amo("amomin.d", &Assembler::amomin_d);
+    amo("amomax.d", &Assembler::amomax_d);
+    amo("amominu.d", &Assembler::amominu_d);
+    amo("amomaxu.d", &Assembler::amomaxu_d);
+    amo("sc.d", &Assembler::sc_d);
+    amo("sc.w", &Assembler::sc_w);
+    h["lr.d"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.lr_d(c.x(0), c.memref_base(1));
+    };
+    h["lr.w"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.lr_w(c.x(0), c.memref_base(1));
+    };
+
+    // ----- scalar FP -----
+    const auto fff = [&h](const char* name,
+                          void (Assembler::*fn)(Freg, Freg, Freg)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.f(0), c.f(1), c.f(2));
+      };
+    };
+    fff("fadd.d", &Assembler::fadd_d); fff("fsub.d", &Assembler::fsub_d);
+    fff("fmul.d", &Assembler::fmul_d); fff("fdiv.d", &Assembler::fdiv_d);
+    fff("fmin.d", &Assembler::fmin_d); fff("fmax.d", &Assembler::fmax_d);
+    fff("fsgnj.d", &Assembler::fsgnj_d);
+    fff("fadd.s", &Assembler::fadd_s); fff("fsub.s", &Assembler::fsub_s);
+    fff("fmul.s", &Assembler::fmul_s);
+    h["fmadd.d"] = [](Ctx& c) {
+      c.expect(4);
+      c.as.fmadd_d(c.f(0), c.f(1), c.f(2), c.f(3));
+    };
+    h["fmsub.d"] = [](Ctx& c) {
+      c.expect(4);
+      c.as.fmsub_d(c.f(0), c.f(1), c.f(2), c.f(3));
+    };
+    h["fsqrt.d"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fsqrt_d(c.f(0), c.f(1));
+    };
+    h["fmv.d"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fmv_d(c.f(0), c.f(1));
+    };
+    h["fmv.d.x"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fmv_d_x(c.f(0), c.x(1));
+    };
+    h["fmv.x.d"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fmv_x_d(c.x(0), c.f(1));
+    };
+    h["fcvt.d.l"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fcvt_d_l(c.f(0), c.x(1));
+    };
+    h["fcvt.l.d"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.fcvt_l_d(c.x(0), c.f(1));
+    };
+    h["feq.d"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.feq_d(c.x(0), c.f(1), c.f(2));
+    };
+    h["flt.d"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.flt_d(c.x(0), c.f(1), c.f(2));
+    };
+    h["fle.d"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.fle_d(c.x(0), c.f(1), c.f(2));
+    };
+
+    // ----- vector -----
+    h["vsetvli"] = [](Ctx& c) {
+      // vsetvli rd, rs1, e64, m4 [, ta, ma] — tail/mask tokens ignored.
+      if (c.ops.size() < 4) c.fail("vsetvli needs rd, rs1, eN, mN");
+      c.as.vsetvli(c.x(0), c.x(1), c.sew(2), c.lmul(3));
+    };
+    const auto vmem = [&h](const char* name,
+                           void (Assembler::*fn)(Vreg, Xreg, bool)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(2);
+        (c.as.*fn)(c.v(0), c.memref_base(1), true);
+      };
+    };
+    vmem("vle8.v", &Assembler::vle8);   vmem("vle16.v", &Assembler::vle16);
+    vmem("vle32.v", &Assembler::vle32); vmem("vle64.v", &Assembler::vle64);
+    vmem("vse8.v", &Assembler::vse8);   vmem("vse16.v", &Assembler::vse16);
+    vmem("vse32.v", &Assembler::vse32); vmem("vse64.v", &Assembler::vse64);
+    h["vlse64.v"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vlse64(c.v(0), c.memref_base(1), c.x(2));
+    };
+    h["vsse64.v"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vsse64(c.v(0), c.memref_base(1), c.x(2));
+    };
+    h["vluxei64.v"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vluxei64(c.v(0), c.memref_base(1), c.v(2));
+    };
+    h["vsuxei64.v"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vsuxei64(c.v(0), c.memref_base(1), c.v(2));
+    };
+    const auto vvv = [&h](const char* name,
+                          void (Assembler::*fn)(Vreg, Vreg, Vreg, bool)) {
+      h[name] = [fn](Ctx& c) {
+        c.expect(3);
+        (c.as.*fn)(c.v(0), c.v(1), c.v(2), true);
+      };
+    };
+    vvv("vadd.vv", &Assembler::vadd_vv);
+    vvv("vsub.vv", &Assembler::vsub_vv);
+    vvv("vand.vv", &Assembler::vand_vv);
+    vvv("vor.vv", &Assembler::vor_vv);
+    vvv("vxor.vv", &Assembler::vxor_vv);
+    vvv("vmul.vv", &Assembler::vmul_vv);
+    vvv("vmacc.vv", &Assembler::vmacc_vv);
+    vvv("vfadd.vv", &Assembler::vfadd_vv);
+    vvv("vfsub.vv", &Assembler::vfsub_vv);
+    vvv("vfmul.vv", &Assembler::vfmul_vv);
+    vvv("vfmacc.vv", &Assembler::vfmacc_vv);
+    vvv("vredsum.vs", &Assembler::vredsum_vs);
+    vvv("vfredosum.vs", &Assembler::vfredosum_vs);
+    vvv("vfredusum.vs", &Assembler::vfredusum_vs);
+    h["vadd.vx"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vadd_vx(c.v(0), c.v(1), c.x(2));
+    };
+    h["vadd.vi"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vadd_vi(c.v(0), c.v(1), static_cast<std::int8_t>(c.imm(2)));
+    };
+    h["vsll.vi"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vsll_vi(c.v(0), c.v(1), static_cast<std::uint8_t>(c.imm(2)));
+    };
+    h["vmv.v.x"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vmv_v_x(c.v(0), c.x(1));
+    };
+    h["vmv.v.i"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vmv_v_i(c.v(0), static_cast<std::int8_t>(c.imm(1)));
+    };
+    h["vmv.x.s"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vmv_x_s(c.x(0), c.v(1));
+    };
+    h["vmv.s.x"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vmv_s_x(c.v(0), c.x(1));
+    };
+    h["vid.v"] = [](Ctx& c) {
+      c.expect(1);
+      c.as.vid_v(c.v(0));
+    };
+    h["vfmv.v.f"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vfmv_v_f(c.v(0), c.f(1));
+    };
+    h["vfmv.f.s"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vfmv_f_s(c.f(0), c.v(1));
+    };
+    h["vfmv.s.f"] = [](Ctx& c) {
+      c.expect(2);
+      c.as.vfmv_s_f(c.v(0), c.f(1));
+    };
+    h["vfmacc.vf"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vfmacc_vf(c.v(0), c.f(1), c.v(2), true);
+    };
+    h["vfmul.vf"] = [](Ctx& c) {
+      c.expect(3);
+      c.as.vfmul_vf(c.v(0), c.v(1), c.f(2), true);
+    };
+
+    return map;
+  }();
+  return *table;
+}
+
+bool is_valid_label(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != '.') {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '.';
+  });
+}
+
+}  // namespace
+
+AssembledText assemble_text(const std::string& source, Addr default_base) {
+  // First pass: find an optional leading .org to fix the base.
+  Addr base = default_base;
+  {
+    std::istringstream scan(source);
+    std::string line;
+    while (std::getline(scan, line)) {
+      const std::string text = trim(strip_comment(line));
+      if (text.empty()) continue;
+      if (text.rfind(".org", 0) == 0) {
+        base = static_cast<Addr>(std::stoull(trim(text.substr(4)), nullptr, 0));
+      }
+      break;
+    }
+  }
+
+  Assembler as(base);
+  AssembledText out;
+  out.base = base;
+
+  std::map<std::string, Assembler::Label> labels;
+  const auto label_of = [&](const std::string& name) {
+    if (!is_valid_label(name)) {
+      throw SimError("bad label name '" + name + "'");
+    }
+    auto it = labels.find(name);
+    if (it == labels.end()) {
+      it = labels.emplace(name, as.make_label()).first;
+    }
+    return it->second;
+  };
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  std::size_t line_number = 0;
+  bool saw_code = false;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    std::string text = trim(strip_comment(raw_line));
+    // Labels (possibly several) at the start of the line.
+    for (auto colon = text.find(':'); colon != std::string::npos;
+         colon = text.find(':')) {
+      const std::string name = trim(text.substr(0, colon));
+      if (!is_valid_label(name)) break;  // not a label, maybe an operand
+      try {
+        as.bind(label_of(name));
+      } catch (const SimError& error) {
+        throw AsmError(line_number, error.what());
+      }
+      out.symbols[name] = as.pc();
+      text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    // Directives.
+    if (text[0] == '.') {
+      if (text.rfind(".org", 0) == 0) {
+        if (saw_code) {
+          throw AsmError(line_number, ".org must precede all code");
+        }
+        continue;  // handled in the pre-scan
+      }
+      if (text.rfind(".word", 0) == 0) {
+        try {
+          as.emit(static_cast<std::uint32_t>(
+              std::stoull(trim(text.substr(5)), nullptr, 0)));
+        } catch (const std::exception&) {
+          throw AsmError(line_number, "bad .word value");
+        }
+        saw_code = true;
+        continue;
+      }
+      throw AsmError(line_number, "unknown directive '" + text + "'");
+    }
+
+    // Instruction: mnemonic [operands].
+    const auto space = text.find_first_of(" \t");
+    const std::string mnemonic = lower(text.substr(0, space));
+    const std::string operand_text =
+        space == std::string::npos ? "" : text.substr(space + 1);
+    const auto handler = handlers().find(mnemonic);
+    if (handler == handlers().end()) {
+      throw AsmError(line_number, "unknown mnemonic '" + mnemonic + "'");
+    }
+    Ctx ctx{as, split_operands(operand_text), line_number, label_of};
+    try {
+      handler->second(ctx);
+    } catch (const AsmError&) {
+      throw;
+    } catch (const SimError& error) {
+      throw AsmError(line_number, error.what());
+    }
+    saw_code = true;
+  }
+
+  try {
+    out.words = as.finish();
+  } catch (const SimError& error) {
+    throw AsmError(line_number, std::string("at end: ") + error.what());
+  }
+  return out;
+}
+
+}  // namespace coyote::isa

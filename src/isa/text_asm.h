@@ -1,0 +1,49 @@
+// Text assembler: translates a GNU-as-style RISC-V source listing into
+// machine words using the programmatic Assembler underneath. Lets users run
+// hand-written kernels through coyote_sim without a cross-toolchain.
+//
+// Supported subset (one instruction per line):
+//   * labels ("loop:"), comments ("#", "//", ";"), blank lines
+//   * .org ADDR (sets the base before any code), .word IMM32
+//   * RV64IMA, the D-extension scalar FP set the simulator executes,
+//     common pseudo-instructions (li/mv/j/ret/call/nop/beqz/bnez/...),
+//     and the vector subset (vsetvli e8..e64/m1..m8, loads/stores,
+//     arithmetic, reductions, moves)
+//   * registers by ABI name (a0, t3, fs2, v8, ...) or x0..x31/f0..f31
+//   * immediates in decimal or 0x hex, branch targets by label
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace coyote::isa {
+
+/// Raised with a line number and message on any parse/encode problem.
+class AsmError : public SimError {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : SimError(strfmt("line %zu: %s", line, message.c_str())),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct AssembledText {
+  Addr base = 0;
+  std::vector<std::uint32_t> words;
+  std::map<std::string, Addr> symbols;  ///< label -> address
+};
+
+/// Assembles `source`; code is placed at `default_base` unless the source
+/// starts with a .org directive.
+AssembledText assemble_text(const std::string& source,
+                            Addr default_base = 0x10000);
+
+}  // namespace coyote::isa

@@ -1,0 +1,233 @@
+#include "iss/core_model.h"
+
+#include "common/error.h"
+
+namespace coyote::iss {
+
+CoreModel::CoreModel(CoreId id, SparseMemory* memory, const CoreConfig& config)
+    : id_(id),
+      config_(config),
+      hart_(id, memory, config.vector),
+      l1d_(memhier::CacheArray::Config{config.l1d_size_bytes, config.l1d_ways,
+                                       config.line_bytes,
+                                       config.l1_replacement}),
+      l1i_(memhier::CacheArray::Config{config.l1i_size_bytes, config.l1i_ways,
+                                       config.line_bytes,
+                                       config.l1_replacement}),
+      decode_cache_(kDecodeCacheSize) {}
+
+void CoreModel::reset(Addr entry_pc) {
+  hart_.reset(entry_pc);
+  l1d_.invalidate_all();
+  l1i_.invalidate_all();
+  for (auto& entry : decode_cache_) entry.pc = ~Addr{0};
+  counters_ = CoreCounters{};
+  std::fill(std::begin(pending_x_), std::end(pending_x_), 0);
+  std::fill(std::begin(pending_f_), std::end(pending_f_), 0);
+  std::fill(std::begin(pending_v_), std::end(pending_v_), 0);
+  outstanding_.clear();
+  waiting_ifetch_ = false;
+  halted_ = false;
+}
+
+const CoreModel::DecodeEntry& CoreModel::decode_at(Addr pc) {
+  DecodeEntry& entry = decode_cache_[(pc >> 2) & (kDecodeCacheSize - 1)];
+  if (entry.pc != pc) {
+    entry.pc = pc;
+    entry.inst = isa::decode(hart_.memory().read<std::uint32_t>(pc));
+    const auto srcs = isa::source_regs(entry.inst);
+    const auto dsts = isa::dest_regs(entry.inst);
+    if (srcs.size() > std::size(entry.srcs) ||
+        dsts.size() > std::size(entry.dsts)) {
+      throw SimError(strfmt("decode cache: operand list overflow for '%s'",
+                            isa::op_name(entry.inst.op)));
+    }
+    entry.num_srcs = static_cast<std::uint8_t>(srcs.size());
+    entry.num_dsts = static_cast<std::uint8_t>(dsts.size());
+    std::copy(srcs.begin(), srcs.end(), entry.srcs);
+    std::copy(dsts.begin(), dsts.end(), entry.dsts);
+  }
+  return entry;
+}
+
+unsigned CoreModel::effective_group(const isa::RegRef& reg) const {
+  // A vector register reference covers the whole LMUL group.
+  return reg.file == isa::RegFile::kV ? hart_.lmul() : 1;
+}
+
+bool CoreModel::sources_pending(const DecodeEntry& entry) const {
+  for (std::uint8_t s = 0; s < entry.num_srcs; ++s) {
+    const isa::RegRef& reg = entry.srcs[s];
+    const unsigned group = effective_group(reg);
+    for (unsigned i = 0; i < group; ++i) {
+      const unsigned index = (reg.index + i) & 31;
+      switch (reg.file) {
+        case isa::RegFile::kX:
+          if (pending_x_[index] != 0) return true;
+          break;
+        case isa::RegFile::kF:
+          if (pending_f_[index] != 0) return true;
+          break;
+        case isa::RegFile::kV:
+          if (pending_v_[index] != 0) return true;
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+void CoreModel::mark_pending(const isa::RegRef& reg, int delta) {
+  const unsigned group = effective_group(reg);
+  for (unsigned i = 0; i < group; ++i) {
+    const unsigned index = (reg.index + i) & 31;
+    std::uint16_t* slot = nullptr;
+    switch (reg.file) {
+      case isa::RegFile::kX: slot = &pending_x_[index]; break;
+      case isa::RegFile::kF: slot = &pending_f_[index]; break;
+      case isa::RegFile::kV: slot = &pending_v_[index]; break;
+    }
+    *slot = static_cast<std::uint16_t>(*slot + delta);
+  }
+}
+
+void CoreModel::step(CoreStepResult& out, Cycle cycle) {
+  out.requests.clear();
+  out.exited = false;
+  out.exit_code = 0;
+
+  if (halted_) {
+    out.status = StepStatus::kHalted;
+    return;
+  }
+  if (waiting_ifetch_) {
+    ++counters_.ifetch_stall_cycles;
+    out.status = StepStatus::kIFetchStall;
+    return;
+  }
+
+  const Addr pc = hart_.pc();
+
+  // ----- instruction fetch through the L1I -----
+  if (config_.model_l1) {
+    const Addr fetch_line = l1i_.line_of(pc);
+    ++counters_.l1i_accesses;
+    if (!l1i_.lookup(fetch_line)) {
+      ++counters_.l1i_misses;
+      ++counters_.ifetch_stall_cycles;
+      waiting_ifetch_ = true;
+      auto [it, inserted] = outstanding_.try_emplace(fetch_line);
+      it->second.ifetch = true;
+      if (inserted) {
+        out.requests.push_back(LineRequest{fetch_line, false, true, false});
+      }
+      out.status = StepStatus::kIFetchStall;
+      return;
+    }
+  }
+
+  // ----- RAW-dependency check against in-flight fills -----
+  const DecodeEntry& entry = decode_at(pc);
+  if (sources_pending(entry)) {
+    ++counters_.raw_stall_cycles;
+    out.status = StepStatus::kRawStall;
+    return;
+  }
+
+  // ----- functional execution -----
+  hart_.set_cycle(cycle);
+  step_info_.clear();
+  hart_.execute(entry.inst, step_info_);
+  ++counters_.instructions;
+  if (isa::is_vector(entry.inst.op)) {
+    ++counters_.vector_instructions;
+  } else if (isa::is_branch_or_jump(entry.inst.op)) {
+    ++counters_.branch_instructions;
+  } else if (isa::is_fp(entry.inst.op)) {
+    ++counters_.fp_instructions;
+  } else if (isa::is_amo(entry.inst.op)) {
+    ++counters_.amo_instructions;
+  }
+
+  if (step_info_.exited) {
+    halted_ = true;
+    out.exited = true;
+    out.exit_code = step_info_.exit_code;
+  }
+
+  // ----- play the data accesses against the L1D -----
+  if (config_.model_l1) {
+    for (const MemAccess& access : step_info_.accesses) {
+      if (access.is_store) {
+        ++counters_.stores;
+      } else {
+        ++counters_.loads;
+      }
+      // An access can straddle a line boundary; handle each touched line.
+      Addr line = l1d_.line_of(access.addr);
+      const Addr last_line = l1d_.line_of(access.addr + access.size - 1);
+      for (; line <= last_line; line += config_.line_bytes) {
+        ++counters_.l1d_accesses;
+        if (l1d_.lookup(line)) {
+          if (access.is_store) l1d_.mark_dirty(line);
+          continue;
+        }
+        ++counters_.l1d_misses;
+        auto [it, inserted] = outstanding_.try_emplace(line);
+        Outstanding& miss = it->second;
+        miss.data = true;
+        if (access.is_store) miss.dirty_on_fill = true;
+        if (!access.is_store) {
+          // The destination registers become available when this line (and
+          // any other line feeding them) is filled.
+          for (std::uint8_t d = 0; d < entry.num_dsts; ++d) {
+            miss.dest_regs.push_back(entry.dsts[d]);
+            mark_pending(entry.dsts[d], +1);
+          }
+        }
+        if (inserted) {
+          out.requests.push_back(
+              LineRequest{line, access.is_store, false, false});
+        }
+      }
+    }
+  } else {
+    for (const MemAccess& access : step_info_.accesses) {
+      if (access.is_store) {
+        ++counters_.stores;
+      } else {
+        ++counters_.loads;
+      }
+    }
+  }
+
+  out.status = StepStatus::kRetired;
+}
+
+void CoreModel::fill(Addr line_addr, std::vector<LineRequest>& writebacks) {
+  const auto it = outstanding_.find(line_addr);
+  if (it == outstanding_.end()) {
+    throw SimError(strfmt("core %u: fill of line 0x%llx with no MSHR", id_,
+                          static_cast<unsigned long long>(line_addr)));
+  }
+  const Outstanding miss = std::move(it->second);
+  outstanding_.erase(it);
+
+  for (const isa::RegRef& reg : miss.dest_regs) mark_pending(reg, -1);
+
+  if (miss.ifetch) {
+    const auto evicted = l1i_.insert(line_addr, /*dirty=*/false);
+    (void)evicted;  // instruction lines are never dirty
+    waiting_ifetch_ = false;
+  }
+  if (miss.data) {
+    const auto evicted = l1d_.insert(line_addr, miss.dirty_on_fill);
+    if (evicted.valid && evicted.dirty) {
+      ++counters_.writebacks;
+      writebacks.push_back(
+          LineRequest{evicted.line_addr, true, false, /*is_writeback=*/true});
+    }
+  }
+}
+
+}  // namespace coyote::iss

@@ -1,0 +1,160 @@
+// CoreModel: one simulated core as the Orchestrator sees it — the functional
+// hart plus the L1 instruction/data cache models and the miss / RAW-
+// dependency bookkeeping. This is the "minimally modified Spike" of the
+// paper: it can attempt one instruction per cycle and reports
+//   * retired instructions together with any new L1 line misses, and
+//   * stalls, either on a RAW dependency against an in-flight load or on an
+//     instruction-fetch miss.
+// The memory hierarchy answers misses through fill().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/decoder.h"
+#include "iss/hart.h"
+#include "memhier/cache_array.h"
+
+namespace coyote::iss {
+
+/// Build-time configuration of one core.
+struct CoreConfig {
+  VectorConfig vector;
+  std::uint64_t l1d_size_bytes = 32 * 1024;
+  std::uint32_t l1d_ways = 8;
+  std::uint64_t l1i_size_bytes = 32 * 1024;
+  std::uint32_t l1i_ways = 4;
+  std::uint32_t line_bytes = 64;
+  memhier::Replacement l1_replacement = memhier::Replacement::kLru;
+  bool model_l1 = true;  ///< false = every access hits (pure-functional mode)
+};
+
+/// An L1 line-fill request (or dirty writeback) for the memory hierarchy.
+struct LineRequest {
+  Addr line_addr = 0;
+  bool is_store = false;     ///< triggered by a store (write-allocate)
+  bool is_ifetch = false;
+  bool is_writeback = false; ///< dirty eviction: no response expected
+};
+
+enum class StepStatus : std::uint8_t {
+  kRetired,      ///< one instruction executed (requests may be non-empty)
+  kRawStall,     ///< blocked: a source register awaits an in-flight fill
+  kIFetchStall,  ///< blocked: instruction line not yet filled
+  kHalted,       ///< the program has exited
+};
+
+/// Result of one step() attempt. The vector is reused between calls.
+struct CoreStepResult {
+  StepStatus status = StepStatus::kHalted;
+  std::vector<LineRequest> requests;
+  bool exited = false;
+  std::int64_t exit_code = 0;
+};
+
+/// Raw event counters, surfaced to the simulator's statistic tree.
+struct CoreCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1i_accesses = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t raw_stall_cycles = 0;
+  std::uint64_t ifetch_stall_cycles = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t vector_instructions = 0;
+  std::uint64_t branch_instructions = 0;
+  std::uint64_t fp_instructions = 0;
+  std::uint64_t amo_instructions = 0;
+};
+
+class CoreModel {
+ public:
+  CoreModel(CoreId id, SparseMemory* memory, const CoreConfig& config);
+
+  CoreId id() const { return id_; }
+  Hart& hart() { return hart_; }
+  const Hart& hart() const { return hart_; }
+  const CoreCounters& counters() const { return counters_; }
+  const CoreConfig& config() const { return config_; }
+
+  /// Resets the hart to `entry_pc`, flushes L1s and all bookkeeping.
+  void reset(Addr entry_pc);
+
+  bool halted() const { return halted_; }
+  std::size_t outstanding_misses() const { return outstanding_.size(); }
+
+  /// Attempts to simulate one instruction for the current cycle.
+  /// `cycle` is forwarded to the hart for the cycle CSR.
+  void step(CoreStepResult& out, Cycle cycle);
+
+  /// The memory hierarchy finished servicing `line_addr`. Inserts the line
+  /// into the right L1(s); dirty evictions are appended to `writebacks` as
+  /// new requests (already line-aligned).
+  void fill(Addr line_addr, std::vector<LineRequest>& writebacks);
+
+  /// Attributes `n` additional stalled cycles to this core. Used by the
+  /// Orchestrator when it fast-forwards simulated time over a stretch where
+  /// every live core is blocked (pure bookkeeping; behaviour-neutral).
+  void account_stall_cycles(Cycle n) {
+    if (halted_) return;
+    if (waiting_ifetch_) {
+      counters_.ifetch_stall_cycles += n;
+    } else {
+      counters_.raw_stall_cycles += n;
+    }
+  }
+
+ private:
+  /// Cached decode + operand metadata. Kept small and inline: the decode
+  /// cache is the per-core hot data structure and its footprint bounds how
+  /// many cores fit in the host cache (it dominates Figure 3 scaling).
+  struct DecodeEntry {
+    Addr pc = ~Addr{0};
+    isa::DecodedInst inst;
+    std::uint8_t num_srcs = 0;
+    std::uint8_t num_dsts = 0;
+    isa::RegRef srcs[5];  ///< max: masked indexed vector store (4) + slack
+    isa::RegRef dsts[2];  ///< every supported shape writes at most 1
+  };
+
+  /// One in-flight L1 miss (per line, i.e. an MSHR).
+  struct Outstanding {
+    bool data = false;          ///< some data access waits on this line
+    bool ifetch = false;        ///< the fetch unit waits on this line
+    bool dirty_on_fill = false; ///< a store merged into this miss
+    std::vector<isa::RegRef> dest_regs;  ///< regs made available by the fill
+  };
+
+  static constexpr std::size_t kDecodeCacheSize = 2048;
+
+  const DecodeEntry& decode_at(Addr pc);
+  bool sources_pending(const DecodeEntry& entry) const;
+  void mark_pending(const isa::RegRef& reg, int delta);
+  unsigned effective_group(const isa::RegRef& reg) const;
+
+  CoreId id_;
+  CoreConfig config_;
+  Hart hart_;
+  memhier::CacheArray l1d_;
+  memhier::CacheArray l1i_;
+  CoreCounters counters_;
+
+  std::vector<DecodeEntry> decode_cache_;
+  StepInfo step_info_;
+
+  // Per-register in-flight fill counts (RAW tracking).
+  std::uint16_t pending_x_[32] = {};
+  std::uint16_t pending_f_[32] = {};
+  std::uint16_t pending_v_[32] = {};
+
+  std::unordered_map<Addr, Outstanding> outstanding_;
+  bool waiting_ifetch_ = false;
+  bool halted_ = true;
+};
+
+}  // namespace coyote::iss

@@ -1,0 +1,22 @@
+// The (small) CSR surface a baremetal HPC kernel touches.
+#pragma once
+
+#include <cstdint>
+
+namespace coyote::iss::csr {
+
+inline constexpr std::uint32_t kFflags = 0x001;
+inline constexpr std::uint32_t kFrm = 0x002;
+inline constexpr std::uint32_t kFcsr = 0x003;
+inline constexpr std::uint32_t kCycle = 0xC00;
+inline constexpr std::uint32_t kTime = 0xC01;
+inline constexpr std::uint32_t kInstret = 0xC02;
+inline constexpr std::uint32_t kVl = 0xC20;
+inline constexpr std::uint32_t kVtype = 0xC21;
+inline constexpr std::uint32_t kVlenb = 0xC22;
+inline constexpr std::uint32_t kMstatus = 0x300;
+inline constexpr std::uint32_t kMhartid = 0xF14;
+inline constexpr std::uint32_t kMcycle = 0xB00;
+inline constexpr std::uint32_t kMinstret = 0xB02;
+
+}  // namespace coyote::iss::csr

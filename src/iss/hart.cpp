@@ -1,0 +1,656 @@
+#include "iss/hart.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "isa/disasm.h"
+#include "iss/csr.h"
+
+namespace coyote::iss {
+
+namespace {
+
+// Linux-compatible syscall numbers used by the baremetal runtime.
+constexpr std::uint64_t kSysExit = 93;
+constexpr std::uint64_t kSysWrite = 64;
+
+std::uint64_t nan_box(float value) {
+  std::uint32_t bits32;
+  std::memcpy(&bits32, &value, 4);
+  return 0xFFFFFFFF00000000ULL | bits32;
+}
+
+float unbox_float(std::uint64_t bits64) {
+  // A properly NaN-boxed single lives in the low 32 bits; anything else is
+  // treated as the canonical NaN, per the F spec.
+  if ((bits64 >> 32) != 0xFFFFFFFFULL) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  float value;
+  const auto bits32 = static_cast<std::uint32_t>(bits64);
+  std::memcpy(&value, &bits32, 4);
+  return value;
+}
+
+double bits_to_double(std::uint64_t bits64) {
+  double value;
+  std::memcpy(&value, &bits64, 8);
+  return value;
+}
+
+std::uint64_t double_to_bits(double value) {
+  std::uint64_t bits64;
+  std::memcpy(&bits64, &value, 8);
+  return bits64;
+}
+
+std::int64_t sdiv(std::int64_t a, std::int64_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+std::int64_t srem(std::int64_t a, std::int64_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+std::int32_t sdiv32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return a;
+  return a / b;
+}
+std::int32_t srem32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+std::int64_t fcvt_to_i64(double value) {
+  if (std::isnan(value)) return std::numeric_limits<std::int64_t>::max();
+  if (value >= 0x1p63) return std::numeric_limits<std::int64_t>::max();
+  if (value < -0x1p63) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(value);
+}
+std::int32_t fcvt_to_i32(double value) {
+  if (std::isnan(value)) return std::numeric_limits<std::int32_t>::max();
+  if (value >= 0x1p31) return std::numeric_limits<std::int32_t>::max();
+  if (value < -0x1p31) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(value);
+}
+
+}  // namespace
+
+Hart::Hart(CoreId id, SparseMemory* memory, VectorConfig vcfg)
+    : id_(id), memory_(memory), vlen_bits_(vcfg.vlen_bits) {
+  if (memory_ == nullptr) throw ConfigError("Hart requires a memory");
+  if (vlen_bits_ < 64 || vlen_bits_ > 65536 || !is_pow2(vlen_bits_)) {
+    throw ConfigError(strfmt("bad VLEN %u (need a power of two in [64,65536])",
+                             vlen_bits_));
+  }
+  v_.assign(static_cast<std::size_t>(32) * vlenb(), 0);
+}
+
+void Hart::reset(Addr entry_pc) {
+  pc_ = entry_pc;
+  std::memset(x_, 0, sizeof(x_));
+  std::memset(f_, 0, sizeof(f_));
+  std::fill(v_.begin(), v_.end(), 0);
+  vl_ = 0;
+  vtype_ = 0;
+  instret_ = 0;
+  reservation_valid_ = false;
+  console_.clear();
+}
+
+double Hart::f64(unsigned index) const { return bits_to_double(f_[index]); }
+void Hart::set_f64(unsigned index, double value) {
+  f_[index] = double_to_bits(value);
+}
+
+std::uint64_t Hart::csr_read(std::uint32_t address) const {
+  switch (address) {
+    case csr::kFflags: return fcsr_ & 0x1F;
+    case csr::kFrm: return (fcsr_ >> 5) & 0x7;
+    case csr::kFcsr: return fcsr_;
+    case csr::kCycle:
+    case csr::kTime:
+    case csr::kMcycle: return cycle_;
+    case csr::kInstret:
+    case csr::kMinstret: return instret_;
+    case csr::kVl: return vl_;
+    case csr::kVtype: return vtype_;
+    case csr::kVlenb: return vlenb();
+    case csr::kMstatus: return mstatus_;
+    case csr::kMhartid: return id_;
+    default:
+      throw ExecutionError(strfmt("core %u: read of unsupported CSR 0x%x",
+                                  id_, address));
+  }
+}
+
+void Hart::csr_write(std::uint32_t address, std::uint64_t value) {
+  switch (address) {
+    case csr::kFflags: fcsr_ = (fcsr_ & ~0x1FULL) | (value & 0x1F); return;
+    case csr::kFrm: fcsr_ = (fcsr_ & 0x1F) | ((value & 0x7) << 5); return;
+    case csr::kFcsr: fcsr_ = value & 0xFF; return;
+    case csr::kMstatus: mstatus_ = value; return;
+    default:
+      throw ExecutionError(strfmt("core %u: write of unsupported CSR 0x%x",
+                                  id_, address));
+  }
+}
+
+void Hart::do_syscall(StepInfo& info) {
+  const std::uint64_t number = x_[17];  // a7
+  switch (number) {
+    case kSysExit:
+      info.exited = true;
+      info.exit_code = static_cast<std::int64_t>(x_[10]);
+      return;
+    case kSysWrite: {
+      // write(fd, buf, count) to stdout/stderr is captured into console().
+      const std::uint64_t fd = x_[10];
+      const Addr buf = x_[11];
+      const std::uint64_t count = x_[12];
+      if (fd != 1 && fd != 2) {
+        throw ExecutionError(strfmt("core %u: write to unsupported fd %llu",
+                                    id_,
+                                    static_cast<unsigned long long>(fd)));
+      }
+      for (std::uint64_t i = 0; i < count; ++i) {
+        console_.push_back(static_cast<char>(memory_->read_u8(buf + i)));
+      }
+      x_[10] = count;
+      return;
+    }
+    default:
+      throw ExecutionError(strfmt("core %u: unsupported syscall %llu", id_,
+                                  static_cast<unsigned long long>(number)));
+  }
+}
+
+void Hart::execute(const isa::DecodedInst& inst, StepInfo& info) {
+  using isa::Op;
+  info.pc = pc_;
+  Addr next_pc = pc_ + 4;
+
+  const auto rs1 = [&]() { return x_[inst.rs1]; };
+  const auto rs2 = [&]() { return x_[inst.rs2]; };
+  const auto wr = [&](std::uint64_t value) {
+    if (inst.rd != 0) x_[inst.rd] = value;
+  };
+  const auto wr32 = [&](std::uint32_t value) {
+    wr(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(value))));
+  };
+  const auto frs1d = [&]() { return bits_to_double(f_[inst.rs1]); };
+  const auto frs2d = [&]() { return bits_to_double(f_[inst.rs2]); };
+  const auto wfd = [&](double value) { f_[inst.rd] = double_to_bits(value); };
+
+  switch (inst.op) {
+    case Op::kLui: wr(static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kAuipc: wr(pc_ + static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kJal:
+      wr(pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint64_t>(inst.imm);
+      break;
+    case Op::kJalr: {
+      const Addr target = (rs1() + static_cast<std::uint64_t>(inst.imm)) & ~1ULL;
+      wr(pc_ + 4);
+      next_pc = target;
+      break;
+    }
+    case Op::kBeq: if (rs1() == rs2()) next_pc = pc_ + inst.imm; break;
+    case Op::kBne: if (rs1() != rs2()) next_pc = pc_ + inst.imm; break;
+    case Op::kBlt:
+      if (static_cast<std::int64_t>(rs1()) < static_cast<std::int64_t>(rs2()))
+        next_pc = pc_ + inst.imm;
+      break;
+    case Op::kBge:
+      if (static_cast<std::int64_t>(rs1()) >= static_cast<std::int64_t>(rs2()))
+        next_pc = pc_ + inst.imm;
+      break;
+    case Op::kBltu: if (rs1() < rs2()) next_pc = pc_ + inst.imm; break;
+    case Op::kBgeu: if (rs1() >= rs2()) next_pc = pc_ + inst.imm; break;
+
+    case Op::kLb:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int8_t>(load<std::uint8_t>(rs1() + inst.imm, info)))));
+      break;
+    case Op::kLh:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int16_t>(load<std::uint16_t>(rs1() + inst.imm, info)))));
+      break;
+    case Op::kLw:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int32_t>(load<std::uint32_t>(rs1() + inst.imm, info)))));
+      break;
+    case Op::kLd: wr(load<std::uint64_t>(rs1() + inst.imm, info)); break;
+    case Op::kLbu: wr(load<std::uint8_t>(rs1() + inst.imm, info)); break;
+    case Op::kLhu: wr(load<std::uint16_t>(rs1() + inst.imm, info)); break;
+    case Op::kLwu: wr(load<std::uint32_t>(rs1() + inst.imm, info)); break;
+    case Op::kSb:
+      store<std::uint8_t>(rs1() + inst.imm, static_cast<std::uint8_t>(rs2()),
+                          info);
+      break;
+    case Op::kSh:
+      store<std::uint16_t>(rs1() + inst.imm, static_cast<std::uint16_t>(rs2()),
+                           info);
+      break;
+    case Op::kSw:
+      store<std::uint32_t>(rs1() + inst.imm, static_cast<std::uint32_t>(rs2()),
+                           info);
+      break;
+    case Op::kSd: store<std::uint64_t>(rs1() + inst.imm, rs2(), info); break;
+
+    case Op::kAddi: wr(rs1() + static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kSlti:
+      wr(static_cast<std::int64_t>(rs1()) < inst.imm ? 1 : 0);
+      break;
+    case Op::kSltiu:
+      wr(rs1() < static_cast<std::uint64_t>(inst.imm) ? 1 : 0);
+      break;
+    case Op::kXori: wr(rs1() ^ static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kOri: wr(rs1() | static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kAndi: wr(rs1() & static_cast<std::uint64_t>(inst.imm)); break;
+    case Op::kSlli: wr(rs1() << (inst.imm & 0x3F)); break;
+    case Op::kSrli: wr(rs1() >> (inst.imm & 0x3F)); break;
+    case Op::kSrai:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(rs1()) >>
+                                    (inst.imm & 0x3F)));
+      break;
+    case Op::kAdd: wr(rs1() + rs2()); break;
+    case Op::kSub: wr(rs1() - rs2()); break;
+    case Op::kSll: wr(rs1() << (rs2() & 0x3F)); break;
+    case Op::kSlt:
+      wr(static_cast<std::int64_t>(rs1()) < static_cast<std::int64_t>(rs2())
+             ? 1 : 0);
+      break;
+    case Op::kSltu: wr(rs1() < rs2() ? 1 : 0); break;
+    case Op::kXor: wr(rs1() ^ rs2()); break;
+    case Op::kSrl: wr(rs1() >> (rs2() & 0x3F)); break;
+    case Op::kSra:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(rs1()) >>
+                                    (rs2() & 0x3F)));
+      break;
+    case Op::kOr: wr(rs1() | rs2()); break;
+    case Op::kAnd: wr(rs1() & rs2()); break;
+
+    case Op::kAddiw:
+      wr32(static_cast<std::uint32_t>(rs1()) +
+           static_cast<std::uint32_t>(inst.imm));
+      break;
+    case Op::kSlliw:
+      wr32(static_cast<std::uint32_t>(rs1()) << (inst.imm & 0x1F));
+      break;
+    case Op::kSrliw:
+      wr32(static_cast<std::uint32_t>(rs1()) >> (inst.imm & 0x1F));
+      break;
+    case Op::kSraiw:
+      wr32(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1())) >>
+          (inst.imm & 0x1F)));
+      break;
+    case Op::kAddw:
+      wr32(static_cast<std::uint32_t>(rs1()) + static_cast<std::uint32_t>(rs2()));
+      break;
+    case Op::kSubw:
+      wr32(static_cast<std::uint32_t>(rs1()) - static_cast<std::uint32_t>(rs2()));
+      break;
+    case Op::kSllw:
+      wr32(static_cast<std::uint32_t>(rs1()) << (rs2() & 0x1F));
+      break;
+    case Op::kSrlw:
+      wr32(static_cast<std::uint32_t>(rs1()) >> (rs2() & 0x1F));
+      break;
+    case Op::kSraw:
+      wr32(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1())) >>
+          (rs2() & 0x1F)));
+      break;
+
+    case Op::kFence:
+    case Op::kFenceI:
+      break;  // single-threaded functional model: fences are no-ops
+    case Op::kEcall:
+      do_syscall(info);
+      break;
+    case Op::kEbreak:
+      info.exited = true;
+      info.exit_code = -1;
+      break;
+
+    case Op::kCsrrw: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = inst.rd != 0 ? csr_read(csr_addr) : 0;
+      csr_write(csr_addr, rs1());
+      wr(old);
+      break;
+    }
+    case Op::kCsrrs: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = csr_read(csr_addr);
+      if (inst.rs1 != 0) csr_write(csr_addr, old | rs1());
+      wr(old);
+      break;
+    }
+    case Op::kCsrrc: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = csr_read(csr_addr);
+      if (inst.rs1 != 0) csr_write(csr_addr, old & ~rs1());
+      wr(old);
+      break;
+    }
+    case Op::kCsrrwi: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = inst.rd != 0 ? csr_read(csr_addr) : 0;
+      csr_write(csr_addr, inst.uimm);
+      wr(old);
+      break;
+    }
+    case Op::kCsrrsi: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = csr_read(csr_addr);
+      if (inst.uimm != 0) csr_write(csr_addr, old | inst.uimm);
+      wr(old);
+      break;
+    }
+    case Op::kCsrrci: {
+      const auto csr_addr = static_cast<std::uint32_t>(inst.imm);
+      const std::uint64_t old = csr_read(csr_addr);
+      if (inst.uimm != 0) csr_write(csr_addr, old & ~std::uint64_t{inst.uimm});
+      wr(old);
+      break;
+    }
+
+    case Op::kMul: wr(rs1() * rs2()); break;
+    case Op::kMulh:
+      wr(static_cast<std::uint64_t>(
+          (static_cast<__int128>(static_cast<std::int64_t>(rs1())) *
+           static_cast<__int128>(static_cast<std::int64_t>(rs2()))) >> 64));
+      break;
+    case Op::kMulhsu:
+      wr(static_cast<std::uint64_t>(
+          (static_cast<__int128>(static_cast<std::int64_t>(rs1())) *
+           static_cast<unsigned __int128>(rs2())) >> 64));
+      break;
+    case Op::kMulhu:
+      wr(static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(rs1()) *
+           static_cast<unsigned __int128>(rs2())) >> 64));
+      break;
+    case Op::kDiv:
+      wr(static_cast<std::uint64_t>(sdiv(static_cast<std::int64_t>(rs1()),
+                                         static_cast<std::int64_t>(rs2()))));
+      break;
+    case Op::kDivu: wr(rs2() == 0 ? ~0ULL : rs1() / rs2()); break;
+    case Op::kRem:
+      wr(static_cast<std::uint64_t>(srem(static_cast<std::int64_t>(rs1()),
+                                         static_cast<std::int64_t>(rs2()))));
+      break;
+    case Op::kRemu: wr(rs2() == 0 ? rs1() : rs1() % rs2()); break;
+    case Op::kMulw:
+      wr32(static_cast<std::uint32_t>(rs1()) * static_cast<std::uint32_t>(rs2()));
+      break;
+    case Op::kDivw:
+      wr32(static_cast<std::uint32_t>(
+          sdiv32(static_cast<std::int32_t>(rs1()),
+                 static_cast<std::int32_t>(rs2()))));
+      break;
+    case Op::kDivuw: {
+      const auto a = static_cast<std::uint32_t>(rs1());
+      const auto b = static_cast<std::uint32_t>(rs2());
+      wr32(b == 0 ? ~std::uint32_t{0} : a / b);
+      break;
+    }
+    case Op::kRemw:
+      wr32(static_cast<std::uint32_t>(
+          srem32(static_cast<std::int32_t>(rs1()),
+                 static_cast<std::int32_t>(rs2()))));
+      break;
+    case Op::kRemuw: {
+      const auto a = static_cast<std::uint32_t>(rs1());
+      const auto b = static_cast<std::uint32_t>(rs2());
+      wr32(b == 0 ? a : a % b);
+      break;
+    }
+
+    case Op::kFlw: {
+      const auto bits32 = load<std::uint32_t>(rs1() + inst.imm, info);
+      f_[inst.rd] = 0xFFFFFFFF00000000ULL | bits32;
+      break;
+    }
+    case Op::kFld:
+      f_[inst.rd] = load<std::uint64_t>(rs1() + inst.imm, info);
+      break;
+    case Op::kFsw:
+      store<std::uint32_t>(rs1() + inst.imm,
+                           static_cast<std::uint32_t>(f_[inst.rs2]), info);
+      break;
+    case Op::kFsd:
+      store<std::uint64_t>(rs1() + inst.imm, f_[inst.rs2], info);
+      break;
+
+    case Op::kFaddD: wfd(frs1d() + frs2d()); break;
+    case Op::kFsubD: wfd(frs1d() - frs2d()); break;
+    case Op::kFmulD: wfd(frs1d() * frs2d()); break;
+    case Op::kFdivD: wfd(frs1d() / frs2d()); break;
+    case Op::kFsqrtD: wfd(std::sqrt(frs1d())); break;
+    case Op::kFsgnjD:
+      f_[inst.rd] = (f_[inst.rs1] & ~(1ULL << 63)) | (f_[inst.rs2] & (1ULL << 63));
+      break;
+    case Op::kFsgnjnD:
+      f_[inst.rd] =
+          (f_[inst.rs1] & ~(1ULL << 63)) | (~f_[inst.rs2] & (1ULL << 63));
+      break;
+    case Op::kFsgnjxD:
+      f_[inst.rd] = f_[inst.rs1] ^ (f_[inst.rs2] & (1ULL << 63));
+      break;
+    case Op::kFminD: wfd(std::fmin(frs1d(), frs2d())); break;
+    case Op::kFmaxD: wfd(std::fmax(frs1d(), frs2d())); break;
+    case Op::kFaddS:
+      f_[inst.rd] = nan_box(unbox_float(f_[inst.rs1]) + unbox_float(f_[inst.rs2]));
+      break;
+    case Op::kFsubS:
+      f_[inst.rd] = nan_box(unbox_float(f_[inst.rs1]) - unbox_float(f_[inst.rs2]));
+      break;
+    case Op::kFmulS:
+      f_[inst.rd] = nan_box(unbox_float(f_[inst.rs1]) * unbox_float(f_[inst.rs2]));
+      break;
+    case Op::kFdivS:
+      f_[inst.rd] = nan_box(unbox_float(f_[inst.rs1]) / unbox_float(f_[inst.rs2]));
+      break;
+    case Op::kFmaddD:
+      wfd(std::fma(frs1d(), frs2d(), bits_to_double(f_[inst.rs3])));
+      break;
+    case Op::kFmsubD:
+      wfd(std::fma(frs1d(), frs2d(), -bits_to_double(f_[inst.rs3])));
+      break;
+    case Op::kFnmsubD:
+      wfd(std::fma(-frs1d(), frs2d(), bits_to_double(f_[inst.rs3])));
+      break;
+    case Op::kFnmaddD:
+      wfd(std::fma(-frs1d(), frs2d(), -bits_to_double(f_[inst.rs3])));
+      break;
+    case Op::kFeqD: wr(frs1d() == frs2d() ? 1 : 0); break;
+    case Op::kFltD: wr(frs1d() < frs2d() ? 1 : 0); break;
+    case Op::kFleD: wr(frs1d() <= frs2d() ? 1 : 0); break;
+    case Op::kFcvtWD:
+      wr32(static_cast<std::uint32_t>(fcvt_to_i32(frs1d())));
+      break;
+    case Op::kFcvtWuD:
+      wr32(static_cast<std::uint32_t>(fcvt_to_i32(frs1d())));
+      break;
+    case Op::kFcvtLD:
+      wr(static_cast<std::uint64_t>(fcvt_to_i64(frs1d())));
+      break;
+    case Op::kFcvtLuD:
+      wr(static_cast<std::uint64_t>(fcvt_to_i64(frs1d())));
+      break;
+    case Op::kFcvtDW:
+      wfd(static_cast<double>(static_cast<std::int32_t>(rs1())));
+      break;
+    case Op::kFcvtDWu:
+      wfd(static_cast<double>(static_cast<std::uint32_t>(rs1())));
+      break;
+    case Op::kFcvtDL:
+      wfd(static_cast<double>(static_cast<std::int64_t>(rs1())));
+      break;
+    case Op::kFcvtDLu: wfd(static_cast<double>(rs1())); break;
+    case Op::kFcvtDS: wfd(static_cast<double>(unbox_float(f_[inst.rs1]))); break;
+    case Op::kFcvtSD:
+      f_[inst.rd] = nan_box(static_cast<float>(frs1d()));
+      break;
+    case Op::kFmvXD: wr(f_[inst.rs1]); break;
+    case Op::kFmvDX: f_[inst.rd] = rs1(); break;
+    case Op::kFmvXW:
+      wr32(static_cast<std::uint32_t>(f_[inst.rs1]));
+      break;
+    case Op::kFmvWX:
+      f_[inst.rd] = 0xFFFFFFFF00000000ULL | static_cast<std::uint32_t>(rs1());
+      break;
+
+    case Op::kIllegal:
+      throw ExecutionError(strfmt(
+          "core %u: illegal instruction 0x%08x at pc 0x%llx", id_, inst.raw,
+          static_cast<unsigned long long>(pc_)));
+
+    default:
+      if (isa::is_amo(inst.op)) {
+        exec_amo(inst, info);
+        break;
+      }
+      if (isa::is_vector(inst.op)) {
+        exec_vector(inst, info);
+        break;
+      }
+      throw ExecutionError(strfmt(
+          "core %u: unimplemented instruction '%s' at pc 0x%llx", id_,
+          isa::disassemble(inst).c_str(),
+          static_cast<unsigned long long>(pc_)));
+  }
+
+  x_[0] = 0;
+  pc_ = next_pc;
+  ++instret_;
+}
+
+// RV64A. Atomicity is trivially satisfied: the Orchestrator interleaves
+// whole instructions, so a read-modify-write is never torn. LR/SC uses a
+// per-hart reservation; cross-hart invalidation is not modelled (AMOs are
+// the recommended primitive for inter-core updates — see DESIGN.md).
+void Hart::exec_amo(const isa::DecodedInst& inst, StepInfo& info) {
+  using isa::Op;
+  const Addr addr = x_[inst.rs1];
+  const std::uint64_t src = x_[inst.rs2];
+  const auto wr = [&](std::uint64_t value) {
+    if (inst.rd != 0) x_[inst.rd] = value;
+  };
+
+  switch (inst.op) {
+    case Op::kLrW:
+      wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int32_t>(load<std::uint32_t>(addr, info)))));
+      reservation_valid_ = true;
+      reservation_addr_ = addr;
+      return;
+    case Op::kLrD:
+      wr(load<std::uint64_t>(addr, info));
+      reservation_valid_ = true;
+      reservation_addr_ = addr;
+      return;
+    case Op::kScW:
+    case Op::kScD: {
+      if (reservation_valid_ && reservation_addr_ == addr) {
+        if (inst.op == Op::kScW) {
+          store<std::uint32_t>(addr, static_cast<std::uint32_t>(src), info);
+        } else {
+          store<std::uint64_t>(addr, src, info);
+        }
+        wr(0);  // success
+      } else {
+        wr(1);  // failure
+      }
+      reservation_valid_ = false;
+      return;
+    }
+    default:
+      break;
+  }
+
+  // AMO*: old value -> rd, f(old, rs2) -> memory. Both the read and the
+  // write are recorded so the cache model sees read-modify-write traffic.
+  const bool is_w = inst.op == Op::kAmoswapW || inst.op == Op::kAmoaddW ||
+                    inst.op == Op::kAmoxorW || inst.op == Op::kAmoandW ||
+                    inst.op == Op::kAmoorW || inst.op == Op::kAmominW ||
+                    inst.op == Op::kAmomaxW || inst.op == Op::kAmominuW ||
+                    inst.op == Op::kAmomaxuW;
+  std::uint64_t old_value;
+  if (is_w) {
+    old_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+        static_cast<std::int32_t>(load<std::uint32_t>(addr, info))));
+  } else {
+    old_value = load<std::uint64_t>(addr, info);
+  }
+
+  std::uint64_t new_value = 0;
+  const std::uint64_t operand =
+      is_w ? static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                 static_cast<std::int32_t>(src)))
+           : src;
+  switch (inst.op) {
+    case Op::kAmoswapW: case Op::kAmoswapD: new_value = operand; break;
+    case Op::kAmoaddW: case Op::kAmoaddD:
+      new_value = old_value + operand;
+      break;
+    case Op::kAmoxorW: case Op::kAmoxorD:
+      new_value = old_value ^ operand;
+      break;
+    case Op::kAmoandW: case Op::kAmoandD:
+      new_value = old_value & operand;
+      break;
+    case Op::kAmoorW: case Op::kAmoorD: new_value = old_value | operand; break;
+    case Op::kAmominW: case Op::kAmominD:
+      new_value = static_cast<std::int64_t>(old_value) <
+                          static_cast<std::int64_t>(operand)
+                      ? old_value : operand;
+      break;
+    case Op::kAmomaxW: case Op::kAmomaxD:
+      new_value = static_cast<std::int64_t>(old_value) >
+                          static_cast<std::int64_t>(operand)
+                      ? old_value : operand;
+      break;
+    case Op::kAmominuW: case Op::kAmominuD:
+      if (is_w) {
+        new_value = static_cast<std::uint32_t>(old_value) <
+                            static_cast<std::uint32_t>(operand)
+                        ? old_value : operand;
+      } else {
+        new_value = old_value < operand ? old_value : operand;
+      }
+      break;
+    case Op::kAmomaxuW: case Op::kAmomaxuD:
+      if (is_w) {
+        new_value = static_cast<std::uint32_t>(old_value) >
+                            static_cast<std::uint32_t>(operand)
+                        ? old_value : operand;
+      } else {
+        new_value = old_value > operand ? old_value : operand;
+      }
+      break;
+    default:
+      throw ExecutionError(strfmt("core %u: bad AMO", id_));
+  }
+
+  if (is_w) {
+    store<std::uint32_t>(addr, static_cast<std::uint32_t>(new_value), info);
+  } else {
+    store<std::uint64_t>(addr, new_value, info);
+  }
+  wr(old_value);
+}
+
+}  // namespace coyote::iss

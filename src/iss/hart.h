@@ -1,0 +1,150 @@
+// One RISC-V hardware thread: the architectural state (x/f/v register files,
+// pc, the CSR subset) and the functional executor for the supported
+// RV64IMFD+V instructions. The hart is purely functional — it has no notion
+// of caches or timing. Every data-memory access an instruction performs is
+// recorded into StepInfo so the enclosing CoreModel can drive the L1 models
+// (this is the "minimally modified Spike" role from the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/inst.h"
+#include "iss/memory.h"
+
+namespace coyote::iss {
+
+/// One recorded data-memory access.
+struct MemAccess {
+  Addr addr;
+  std::uint8_t size;
+  bool is_store;
+};
+
+/// Everything the wrapper needs to know about one executed instruction.
+struct StepInfo {
+  Addr pc = 0;                      ///< pc of the executed instruction
+  std::vector<MemAccess> accesses;  ///< data accesses, in program order
+  bool exited = false;              ///< the program requested termination
+  std::int64_t exit_code = 0;
+
+  void clear() {
+    accesses.clear();
+    exited = false;
+    exit_code = 0;
+  }
+};
+
+/// Vector-engine build parameters (VLEN in bits; ELEN is fixed at 64).
+struct VectorConfig {
+  unsigned vlen_bits = 512;
+};
+
+class Hart {
+ public:
+  Hart(CoreId id, SparseMemory* memory, VectorConfig vcfg = {});
+
+  CoreId id() const { return id_; }
+  unsigned vlen_bits() const { return vlen_bits_; }
+  unsigned vlenb() const { return vlen_bits_ / 8; }
+
+  /// Resets registers and sets the entry pc. The stack pointer is left to
+  /// the program (kernels set it up themselves).
+  void reset(Addr entry_pc);
+
+  Addr pc() const { return pc_; }
+  void set_pc(Addr pc) { pc_ = pc; }
+
+  // ----- architectural state access (tests / host interface) -----
+  std::uint64_t x(unsigned index) const { return x_[index]; }
+  void set_x(unsigned index, std::uint64_t value) {
+    if (index != 0) x_[index] = value;
+  }
+  std::uint64_t f_bits(unsigned index) const { return f_[index]; }
+  void set_f_bits(unsigned index, std::uint64_t bits) { f_[index] = bits; }
+  double f64(unsigned index) const;
+  void set_f64(unsigned index, double value);
+
+  std::uint64_t vl() const { return vl_; }
+  std::uint64_t vtype() const { return vtype_; }
+  /// Raw bytes of vector register `index` (vlenb() of them).
+  const std::uint8_t* vreg_data(unsigned index) const {
+    return v_.data() + static_cast<std::size_t>(index) * vlenb();
+  }
+  std::uint8_t* vreg_data(unsigned index) {
+    return v_.data() + static_cast<std::size_t>(index) * vlenb();
+  }
+
+  std::uint64_t instret() const { return instret_; }
+  /// Simulated-cycle count, provided by the orchestrator for the cycle CSR.
+  void set_cycle(Cycle cycle) { cycle_ = cycle; }
+
+  /// Console text accumulated through the write syscall / putchar HTIF.
+  const std::string& console() const { return console_; }
+  void clear_console() { console_.clear(); }
+
+  SparseMemory& memory() { return *memory_; }
+
+  /// Executes one decoded instruction (which must be the one at pc()).
+  /// Updates pc and architectural state, records memory accesses in `info`.
+  /// Throws ExecutionError for illegal/unsupported instructions.
+  void execute(const isa::DecodedInst& inst, StepInfo& info);
+
+  /// Current LMUL as an integer (1, 2, 4 or 8).
+  unsigned lmul() const { return 1u << (vtype_ & 0x3); }
+  /// Current SEW in bits (8, 16, 32 or 64).
+  unsigned sew() const { return 8u << ((vtype_ >> 3) & 0x7); }
+
+ private:
+  // Scalar helpers.
+  std::uint64_t csr_read(std::uint32_t address) const;
+  void csr_write(std::uint32_t address, std::uint64_t value);
+  void do_syscall(StepInfo& info);
+  template <typename T>
+  T load(Addr addr, StepInfo& info) {
+    info.accesses.push_back(
+        MemAccess{addr, static_cast<std::uint8_t>(sizeof(T)), false});
+    return memory_->read<T>(addr);
+  }
+  template <typename T>
+  void store(Addr addr, T value, StepInfo& info) {
+    info.accesses.push_back(
+        MemAccess{addr, static_cast<std::uint8_t>(sizeof(T)), true});
+    memory_->write<T>(addr, value);
+  }
+
+  // Vector engine (vexec.cpp).
+  void exec_vector(const isa::DecodedInst& inst, StepInfo& info);
+  void vset(const isa::DecodedInst& inst);
+  std::uint64_t velem_get(unsigned vreg, unsigned element,
+                          unsigned sew_bits) const;
+  void velem_set(unsigned vreg, unsigned element, unsigned sew_bits,
+                 std::uint64_t value);
+  bool vmask_bit(unsigned element) const;
+  void vmask_set(unsigned vreg, unsigned element, bool value);
+
+  // RV64A helpers.
+  void exec_amo(const isa::DecodedInst& inst, StepInfo& info);
+
+  CoreId id_;
+  SparseMemory* memory_;
+  unsigned vlen_bits_;
+  bool reservation_valid_ = false;  ///< LR/SC reservation (per-hart)
+  Addr reservation_addr_ = 0;
+
+  Addr pc_ = 0;
+  std::uint64_t x_[32] = {};
+  std::uint64_t f_[32] = {};
+  std::vector<std::uint8_t> v_;  // 32 * vlenb bytes
+  std::uint64_t vl_ = 0;
+  std::uint64_t vtype_ = 0;
+  std::uint64_t fcsr_ = 0;
+  std::uint64_t mstatus_ = 0;
+  std::uint64_t instret_ = 0;
+  Cycle cycle_ = 0;
+  std::string console_;
+};
+
+}  // namespace coyote::iss

@@ -1,0 +1,7 @@
+#include "iss/memory.h"
+
+namespace coyote::iss {
+
+const SparseMemory::Page SparseMemory::zero_page_ = {};
+
+}  // namespace coyote::iss

@@ -1,0 +1,113 @@
+// Sparse physical memory for baremetal simulation. Pages are allocated on
+// first touch; the simulated address space is flat (no translation — Coyote
+// runs baremetal, as Spike does inside the original tool).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace coyote::iss {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ULL << kPageBits;
+
+  SparseMemory() = default;
+  SparseMemory(const SparseMemory&) = delete;
+  SparseMemory& operator=(const SparseMemory&) = delete;
+
+  /// Number of resident (touched) pages.
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  std::uint8_t read_u8(Addr addr) const { return *lookup(addr); }
+  void write_u8(Addr addr, std::uint8_t value) { *touch(addr) = value; }
+
+  /// Little-endian typed accessors. T must be trivially copyable.
+  template <typename T>
+  T read(Addr addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    if (same_page(addr, sizeof(T))) {
+      std::memcpy(&value, lookup(addr), sizeof(T));
+    } else {
+      read_bytes(addr, reinterpret_cast<std::uint8_t*>(&value), sizeof(T));
+    }
+    return value;
+  }
+
+  template <typename T>
+  void write(Addr addr, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (same_page(addr, sizeof(T))) {
+      std::memcpy(touch(addr), &value, sizeof(T));
+    } else {
+      write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value),
+                  sizeof(T));
+    }
+  }
+
+  void read_bytes(Addr addr, std::uint8_t* out, std::size_t count) const {
+    for (std::size_t i = 0; i < count; ++i) out[i] = read_u8(addr + i);
+  }
+  void write_bytes(Addr addr, const std::uint8_t* data, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) write_u8(addr + i, data[i]);
+  }
+
+  /// Host-side convenience for loading programs/data and reading results.
+  void poke_words(Addr addr, const std::vector<std::uint32_t>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      write<std::uint32_t>(addr + 4 * i, words[i]);
+    }
+  }
+  template <typename T>
+  void poke_array(Addr addr, const T* data, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      write<T>(addr + sizeof(T) * i, data[i]);
+    }
+  }
+  template <typename T>
+  std::vector<T> peek_array(Addr addr, std::size_t count) const {
+    std::vector<T> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = read<T>(addr + sizeof(T) * i);
+    }
+    return out;
+  }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  static bool same_page(Addr addr, std::size_t size) {
+    return (addr >> kPageBits) == ((addr + size - 1) >> kPageBits);
+  }
+
+  const std::uint8_t* lookup(Addr addr) const {
+    const Addr page_index = addr >> kPageBits;
+    const auto it = pages_.find(page_index);
+    if (it == pages_.end()) return zero_page_.data() + (addr & (kPageSize - 1));
+    return it->second->data() + (addr & (kPageSize - 1));
+  }
+
+  std::uint8_t* touch(Addr addr) {
+    const Addr page_index = addr >> kPageBits;
+    auto it = pages_.find(page_index);
+    if (it == pages_.end()) {
+      it = pages_.emplace(page_index, std::make_unique<Page>()).first;
+      it->second->fill(0);
+    }
+    return it->second->data() + (addr & (kPageSize - 1));
+  }
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  static const Page zero_page_;
+};
+
+}  // namespace coyote::iss

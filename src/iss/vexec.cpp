@@ -1,0 +1,771 @@
+// Vector-extension execution. Supports integral LMUL (m1..m8), SEW of
+// 8/16/32/64, unmasked and v0.t-masked operation, unit-stride / strided /
+// indexed-unordered memory, and the arithmetic subset listed in inst.h.
+// Element accesses of vector loads/stores are recorded individually so the
+// cache model sees the true per-element traffic (a gather really does touch
+// many lines — the behaviour the paper's SpMV studies depend on).
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "isa/disasm.h"
+#include "iss/hart.h"
+
+namespace coyote::iss {
+
+using isa::DecodedInst;
+using isa::Op;
+
+namespace {
+
+double bits_to_double(std::uint64_t bits64) {
+  double value;
+  std::memcpy(&value, &bits64, 8);
+  return value;
+}
+std::uint64_t double_to_bits(double value) {
+  std::uint64_t bits64;
+  std::memcpy(&bits64, &value, 8);
+  return bits64;
+}
+float bits_to_float(std::uint32_t bits32) {
+  float value;
+  std::memcpy(&value, &bits32, 4);
+  return value;
+}
+std::uint32_t float_to_bits(float value) {
+  std::uint32_t bits32;
+  std::memcpy(&bits32, &value, 4);
+  return bits32;
+}
+
+}  // namespace
+
+std::uint64_t Hart::velem_get(unsigned vreg, unsigned element,
+                              unsigned sew_bits) const {
+  const std::size_t byte_offset =
+      static_cast<std::size_t>(element) * (sew_bits / 8);
+  const std::uint8_t* base = vreg_data(vreg) + byte_offset;
+  switch (sew_bits) {
+    case 8: return *base;
+    case 16: {
+      std::uint16_t v;
+      std::memcpy(&v, base, 2);
+      return v;
+    }
+    case 32: {
+      std::uint32_t v;
+      std::memcpy(&v, base, 4);
+      return v;
+    }
+    case 64: {
+      std::uint64_t v;
+      std::memcpy(&v, base, 8);
+      return v;
+    }
+    default:
+      throw ExecutionError(strfmt("bad SEW %u", sew_bits));
+  }
+}
+
+void Hart::velem_set(unsigned vreg, unsigned element, unsigned sew_bits,
+                     std::uint64_t value) {
+  const std::size_t byte_offset =
+      static_cast<std::size_t>(element) * (sew_bits / 8);
+  std::uint8_t* base = vreg_data(vreg) + byte_offset;
+  switch (sew_bits) {
+    case 8: *base = static_cast<std::uint8_t>(value); return;
+    case 16: {
+      const auto v = static_cast<std::uint16_t>(value);
+      std::memcpy(base, &v, 2);
+      return;
+    }
+    case 32: {
+      const auto v = static_cast<std::uint32_t>(value);
+      std::memcpy(base, &v, 4);
+      return;
+    }
+    case 64: std::memcpy(base, &value, 8); return;
+    default:
+      throw ExecutionError(strfmt("bad SEW %u", sew_bits));
+  }
+}
+
+bool Hart::vmask_bit(unsigned element) const {
+  return (vreg_data(0)[element / 8] >> (element % 8)) & 1;
+}
+
+void Hart::vmask_set(unsigned vreg, unsigned element, bool value) {
+  std::uint8_t& byte = vreg_data(vreg)[element / 8];
+  if (value) {
+    byte |= static_cast<std::uint8_t>(1u << (element % 8));
+  } else {
+    byte &= static_cast<std::uint8_t>(~(1u << (element % 8)));
+  }
+}
+
+void Hart::vset(const DecodedInst& inst) {
+  std::uint64_t new_vtype;
+  if (inst.op == Op::kVsetvl) {
+    new_vtype = x_[inst.rs2];
+  } else {
+    new_vtype = static_cast<std::uint64_t>(inst.imm);
+  }
+  const unsigned lmul_code = new_vtype & 0x7;
+  const unsigned sew_code = (new_vtype >> 3) & 0x7;
+  if (lmul_code > 3 || sew_code > 3) {
+    throw ExecutionError(strfmt(
+        "core %u: unsupported vtype 0x%llx (fractional LMUL or SEW>64)", id_,
+        static_cast<unsigned long long>(new_vtype)));
+  }
+  const std::uint64_t vlmax =
+      (static_cast<std::uint64_t>(1) << lmul_code) * vlen_bits_ /
+      (8u << sew_code);
+
+  std::uint64_t avl;
+  if (inst.op == Op::kVsetivli) {
+    avl = inst.uimm;
+  } else if (inst.rs1 != 0) {
+    avl = x_[inst.rs1];
+  } else if (inst.rd != 0) {
+    avl = ~std::uint64_t{0};
+  } else {
+    avl = vl_;
+  }
+  vl_ = std::min(avl, vlmax);
+  vtype_ = new_vtype;
+  if (inst.rd != 0) x_[inst.rd] = vl_;
+}
+
+void Hart::exec_vector(const DecodedInst& inst, StepInfo& info) {
+  switch (inst.op) {
+    case Op::kVsetvli:
+    case Op::kVsetivli:
+    case Op::kVsetvl:
+      vset(inst);
+      return;
+    default:
+      break;
+  }
+
+  const unsigned sewb = sew();
+  const std::uint64_t vl = vl_;
+  const auto active = [&](unsigned i) { return inst.vm || vmask_bit(i); };
+  const auto sext = [&](std::uint64_t v, unsigned bits_count) {
+    return static_cast<std::uint64_t>(sign_extend(v, bits_count));
+  };
+
+  // ----- memory -----
+  const auto unit_load = [&](unsigned eew) {
+    const Addr base = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + static_cast<Addr>(i) * (eew / 8);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(eew / 8), false});
+      std::uint64_t value = 0;
+      memory_->read_bytes(addr, reinterpret_cast<std::uint8_t*>(&value),
+                          eew / 8);
+      velem_set(inst.rd, i, eew, value);
+    }
+  };
+  const auto unit_store = [&](unsigned eew) {
+    const Addr base = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + static_cast<Addr>(i) * (eew / 8);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(eew / 8), true});
+      const std::uint64_t value = velem_get(inst.rd, i, eew);
+      memory_->write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value),
+                           eew / 8);
+    }
+  };
+  const auto strided_load = [&](unsigned eew) {
+    const Addr base = x_[inst.rs1];
+    const auto stride = static_cast<std::int64_t>(x_[inst.rs2]);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + static_cast<Addr>(stride * i);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(eew / 8), false});
+      std::uint64_t value = 0;
+      memory_->read_bytes(addr, reinterpret_cast<std::uint8_t*>(&value),
+                          eew / 8);
+      velem_set(inst.rd, i, eew, value);
+    }
+  };
+  const auto strided_store = [&](unsigned eew) {
+    const Addr base = x_[inst.rs1];
+    const auto stride = static_cast<std::int64_t>(x_[inst.rs2]);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + static_cast<Addr>(stride * i);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(eew / 8), true});
+      const std::uint64_t value = velem_get(inst.rd, i, eew);
+      memory_->write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value),
+                           eew / 8);
+    }
+  };
+  // Indexed: index EEW comes from the instruction, data width is SEW.
+  const auto indexed_load = [&](unsigned index_eew) {
+    const Addr base = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + velem_get(inst.rs2, i, index_eew);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(sewb / 8), false});
+      std::uint64_t value = 0;
+      memory_->read_bytes(addr, reinterpret_cast<std::uint8_t*>(&value),
+                          sewb / 8);
+      velem_set(inst.rd, i, sewb, value);
+    }
+  };
+  const auto indexed_store = [&](unsigned index_eew) {
+    const Addr base = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      const Addr addr = base + velem_get(inst.rs2, i, index_eew);
+      info.accesses.push_back(
+          MemAccess{addr, static_cast<std::uint8_t>(sewb / 8), true});
+      const std::uint64_t value = velem_get(inst.rd, i, sewb);
+      memory_->write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value),
+                           sewb / 8);
+    }
+  };
+
+  // ----- arithmetic helper loops -----
+  const auto binop_vv = [&](auto fn) {
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      velem_set(inst.rd, i, sewb,
+                fn(velem_get(inst.rs2, i, sewb), velem_get(inst.rs1, i, sewb)));
+    }
+  };
+  const auto binop_vx = [&](auto fn) {
+    const std::uint64_t scalar = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      velem_set(inst.rd, i, sewb, fn(velem_get(inst.rs2, i, sewb), scalar));
+    }
+  };
+  const auto binop_vi = [&](auto fn) {
+    const auto imm = static_cast<std::uint64_t>(inst.imm);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      velem_set(inst.rd, i, sewb, fn(velem_get(inst.rs2, i, sewb), imm));
+    }
+  };
+  const auto cmp_vv = [&](auto fn) {
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      vmask_set(inst.rd, i,
+                fn(velem_get(inst.rs2, i, sewb), velem_get(inst.rs1, i, sewb)));
+    }
+  };
+  const auto cmp_vx = [&](auto fn) {
+    const std::uint64_t scalar = x_[inst.rs1];
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      vmask_set(inst.rd, i, fn(velem_get(inst.rs2, i, sewb), scalar));
+    }
+  };
+  const auto cmp_vi = [&](auto fn) {
+    const auto imm = static_cast<std::uint64_t>(inst.imm);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      vmask_set(inst.rd, i, fn(velem_get(inst.rs2, i, sewb), imm));
+    }
+  };
+
+  const auto require_fp_sew = [&]() {
+    if (sewb != 32 && sewb != 64) {
+      throw ExecutionError(strfmt(
+          "core %u: FP vector op '%s' needs SEW 32 or 64 (have %u)", id_,
+          isa::op_name(inst.op), sewb));
+    }
+  };
+  // Runs `fn(a, b)` elementwise in the proper FP width.
+  const auto fp_binop_vv = [&](auto fn) {
+    require_fp_sew();
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      if (sewb == 64) {
+        const double a = bits_to_double(velem_get(inst.rs2, i, 64));
+        const double b = bits_to_double(velem_get(inst.rs1, i, 64));
+        velem_set(inst.rd, i, 64, double_to_bits(fn(a, b)));
+      } else {
+        const float a = bits_to_float(velem_get(inst.rs2, i, 32));
+        const float b = bits_to_float(velem_get(inst.rs1, i, 32));
+        velem_set(inst.rd, i, 32,
+                  float_to_bits(static_cast<float>(fn(a, b))));
+      }
+    }
+  };
+  const auto fp_binop_vf = [&](auto fn) {
+    require_fp_sew();
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      if (sewb == 64) {
+        const double a = bits_to_double(velem_get(inst.rs2, i, 64));
+        const double b = bits_to_double(f_[inst.rs1]);
+        velem_set(inst.rd, i, 64, double_to_bits(fn(a, b)));
+      } else {
+        const float a = bits_to_float(velem_get(inst.rs2, i, 32));
+        const auto b = static_cast<float>(bits_to_double(f_[inst.rs1]));
+        velem_set(inst.rd, i, 32,
+                  float_to_bits(static_cast<float>(fn(a, b))));
+      }
+    }
+  };
+  // vd[i] = fn(vd[i], multiplicand, multiplier)
+  const auto fp_fma_vv = [&](auto fn) {
+    require_fp_sew();
+    for (unsigned i = 0; i < vl; ++i) {
+      if (!active(i)) continue;
+      if (sewb == 64) {
+        const double acc = bits_to_double(velem_get(inst.rd, i, 64));
+        const double a = bits_to_double(velem_get(inst.rs1, i, 64));
+        const double b = bits_to_double(velem_get(inst.rs2, i, 64));
+        velem_set(inst.rd, i, 64, double_to_bits(fn(acc, a, b)));
+      } else {
+        const float acc = bits_to_float(velem_get(inst.rd, i, 32));
+        const float a = bits_to_float(velem_get(inst.rs1, i, 32));
+        const float b = bits_to_float(velem_get(inst.rs2, i, 32));
+        velem_set(inst.rd, i, 32,
+                  float_to_bits(static_cast<float>(fn(acc, a, b))));
+      }
+    }
+  };
+
+  const unsigned shift_mask = sewb - 1;
+
+  switch (inst.op) {
+    // ----- memory -----
+    case Op::kVle8: unit_load(8); break;
+    case Op::kVle16: unit_load(16); break;
+    case Op::kVle32: unit_load(32); break;
+    case Op::kVle64: unit_load(64); break;
+    case Op::kVse8: unit_store(8); break;
+    case Op::kVse16: unit_store(16); break;
+    case Op::kVse32: unit_store(32); break;
+    case Op::kVse64: unit_store(64); break;
+    case Op::kVlse8: strided_load(8); break;
+    case Op::kVlse16: strided_load(16); break;
+    case Op::kVlse32: strided_load(32); break;
+    case Op::kVlse64: strided_load(64); break;
+    case Op::kVsse8: strided_store(8); break;
+    case Op::kVsse16: strided_store(16); break;
+    case Op::kVsse32: strided_store(32); break;
+    case Op::kVsse64: strided_store(64); break;
+    case Op::kVluxei8: indexed_load(8); break;
+    case Op::kVluxei16: indexed_load(16); break;
+    case Op::kVluxei32: indexed_load(32); break;
+    case Op::kVluxei64: indexed_load(64); break;
+    case Op::kVsuxei8: indexed_store(8); break;
+    case Op::kVsuxei16: indexed_store(16); break;
+    case Op::kVsuxei32: indexed_store(32); break;
+    case Op::kVsuxei64: indexed_store(64); break;
+
+    // ----- integer -----
+    case Op::kVaddVV: binop_vv([](auto a, auto b) { return a + b; }); break;
+    case Op::kVaddVX: binop_vx([](auto a, auto b) { return a + b; }); break;
+    case Op::kVaddVI: binop_vi([](auto a, auto b) { return a + b; }); break;
+    case Op::kVsubVV: binop_vv([](auto a, auto b) { return a - b; }); break;
+    case Op::kVsubVX: binop_vx([](auto a, auto b) { return a - b; }); break;
+    case Op::kVrsubVX: binop_vx([](auto a, auto b) { return b - a; }); break;
+    case Op::kVrsubVI: binop_vi([](auto a, auto b) { return b - a; }); break;
+    case Op::kVandVV: binop_vv([](auto a, auto b) { return a & b; }); break;
+    case Op::kVandVX: binop_vx([](auto a, auto b) { return a & b; }); break;
+    case Op::kVandVI: binop_vi([](auto a, auto b) { return a & b; }); break;
+    case Op::kVorVV: binop_vv([](auto a, auto b) { return a | b; }); break;
+    case Op::kVorVX: binop_vx([](auto a, auto b) { return a | b; }); break;
+    case Op::kVorVI: binop_vi([](auto a, auto b) { return a | b; }); break;
+    case Op::kVxorVV: binop_vv([](auto a, auto b) { return a ^ b; }); break;
+    case Op::kVxorVX: binop_vx([](auto a, auto b) { return a ^ b; }); break;
+    case Op::kVxorVI: binop_vi([](auto a, auto b) { return a ^ b; }); break;
+    case Op::kVsllVV:
+      binop_vv([&](auto a, auto b) { return a << (b & shift_mask); });
+      break;
+    case Op::kVsllVX:
+      binop_vx([&](auto a, auto b) { return a << (b & shift_mask); });
+      break;
+    case Op::kVsllVI:
+      binop_vi([&](auto a, auto b) { return a << (b & shift_mask); });
+      break;
+    case Op::kVsrlVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        return (a & ((sewb == 64) ? ~0ULL : ((1ULL << sewb) - 1))) >>
+               (b & shift_mask);
+      });
+      break;
+    case Op::kVsrlVX:
+      binop_vx([&](std::uint64_t a, std::uint64_t b) {
+        return (a & ((sewb == 64) ? ~0ULL : ((1ULL << sewb) - 1))) >>
+               (b & shift_mask);
+      });
+      break;
+    case Op::kVsrlVI:
+      binop_vi([&](std::uint64_t a, std::uint64_t b) {
+        return (a & ((sewb == 64) ? ~0ULL : ((1ULL << sewb) - 1))) >>
+               (b & shift_mask);
+      });
+      break;
+    case Op::kVsraVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sext(a, sewb)) >> (b & shift_mask));
+      });
+      break;
+    case Op::kVsraVX:
+      binop_vx([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sext(a, sewb)) >> (b & shift_mask));
+      });
+      break;
+    case Op::kVsraVI:
+      binop_vi([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sext(a, sewb)) >> (b & shift_mask));
+      });
+      break;
+    case Op::kVminuVV:
+      binop_vv([](auto a, auto b) { return a < b ? a : b; });
+      break;
+    case Op::kVmaxuVV:
+      binop_vv([](auto a, auto b) { return a > b ? a : b; });
+      break;
+    case Op::kVminVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) <
+                       static_cast<std::int64_t>(sext(b, sewb))
+                   ? a : b;
+      });
+      break;
+    case Op::kVmaxVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) >
+                       static_cast<std::int64_t>(sext(b, sewb))
+                   ? a : b;
+      });
+      break;
+    case Op::kVmulVV: binop_vv([](auto a, auto b) { return a * b; }); break;
+    case Op::kVmulVX: binop_vx([](auto a, auto b) { return a * b; }); break;
+    case Op::kVdivVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        const auto sa = static_cast<std::int64_t>(sext(a, sewb));
+        const auto sb = static_cast<std::int64_t>(sext(b, sewb));
+        if (sb == 0) return ~std::uint64_t{0};
+        return static_cast<std::uint64_t>(sa / sb);
+      });
+      break;
+    case Op::kVdivuVV:
+      binop_vv([](std::uint64_t a, std::uint64_t b) {
+        return b == 0 ? ~std::uint64_t{0} : a / b;
+      });
+      break;
+    case Op::kVremVV:
+      binop_vv([&](std::uint64_t a, std::uint64_t b) {
+        const auto sa = static_cast<std::int64_t>(sext(a, sewb));
+        const auto sb = static_cast<std::int64_t>(sext(b, sewb));
+        if (sb == 0) return a;
+        return static_cast<std::uint64_t>(sa % sb);
+      });
+      break;
+    case Op::kVremuVV:
+      binop_vv([](std::uint64_t a, std::uint64_t b) {
+        return b == 0 ? a : a % b;
+      });
+      break;
+    case Op::kVmaccVV:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const std::uint64_t acc = velem_get(inst.rd, i, sewb);
+        velem_set(inst.rd, i, sewb,
+                  acc + velem_get(inst.rs1, i, sewb) *
+                            velem_get(inst.rs2, i, sewb));
+      }
+      break;
+    case Op::kVmaccVX:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const std::uint64_t acc = velem_get(inst.rd, i, sewb);
+        velem_set(inst.rd, i, sewb,
+                  acc + x_[inst.rs1] * velem_get(inst.rs2, i, sewb));
+      }
+      break;
+    case Op::kVmvVV:
+      for (unsigned i = 0; i < vl; ++i) {
+        velem_set(inst.rd, i, sewb, velem_get(inst.rs1, i, sewb));
+      }
+      break;
+    case Op::kVmvVX:
+      for (unsigned i = 0; i < vl; ++i) velem_set(inst.rd, i, sewb, x_[inst.rs1]);
+      break;
+    case Op::kVmvVI:
+      for (unsigned i = 0; i < vl; ++i) {
+        velem_set(inst.rd, i, sewb, static_cast<std::uint64_t>(inst.imm));
+      }
+      break;
+    case Op::kVmergeVVM:
+      for (unsigned i = 0; i < vl; ++i) {
+        velem_set(inst.rd, i, sewb,
+                  vmask_bit(i) ? velem_get(inst.rs1, i, sewb)
+                               : velem_get(inst.rs2, i, sewb));
+      }
+      break;
+    case Op::kVmergeVXM:
+      for (unsigned i = 0; i < vl; ++i) {
+        velem_set(inst.rd, i, sewb,
+                  vmask_bit(i) ? x_[inst.rs1] : velem_get(inst.rs2, i, sewb));
+      }
+      break;
+    case Op::kVidV:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        velem_set(inst.rd, i, sewb, i);
+      }
+      break;
+    case Op::kVmvXS:
+      if (inst.rd != 0) x_[inst.rd] = sext(velem_get(inst.rs2, 0, sewb), sewb);
+      break;
+    case Op::kVmvSX:
+      if (vl > 0) velem_set(inst.rd, 0, sewb, x_[inst.rs1]);
+      break;
+    case Op::kVslide1downVX:
+      for (unsigned i = 0; i + 1 < vl; ++i) {
+        if (!active(i)) continue;
+        velem_set(inst.rd, i, sewb, velem_get(inst.rs2, i + 1, sewb));
+      }
+      if (vl > 0 && active(vl - 1)) {
+        velem_set(inst.rd, vl - 1, sewb, x_[inst.rs1]);
+      }
+      break;
+    case Op::kVslidedownVX:
+    case Op::kVslidedownVI: {
+      const std::uint64_t offset = (inst.op == Op::kVslidedownVX)
+                                       ? x_[inst.rs1]
+                                       : static_cast<std::uint64_t>(inst.imm);
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const std::uint64_t src = i + offset;
+        velem_set(inst.rd, i, sewb,
+                  src < vl ? velem_get(inst.rs2, src, sewb) : 0);
+      }
+      break;
+    }
+    case Op::kVslideupVX:
+    case Op::kVslideupVI: {
+      const std::uint64_t offset = (inst.op == Op::kVslideupVX)
+                                       ? x_[inst.rs1]
+                                       : static_cast<std::uint64_t>(inst.imm);
+      // Walk downward so an in-place slide does not clobber sources.
+      for (unsigned i = vl; i-- > 0;) {
+        if (i < offset || !active(i)) continue;
+        velem_set(inst.rd, i, sewb, velem_get(inst.rs2, i - offset, sewb));
+      }
+      break;
+    }
+    case Op::kVrgatherVV:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const std::uint64_t index = velem_get(inst.rs1, i, sewb);
+        velem_set(inst.rd, i, sewb,
+                  index < vl ? velem_get(inst.rs2, index, sewb) : 0);
+      }
+      break;
+
+    // ----- compares -----
+    case Op::kVmseqVV: cmp_vv([](auto a, auto b) { return a == b; }); break;
+    case Op::kVmseqVX: cmp_vx([](auto a, auto b) { return a == b; }); break;
+    case Op::kVmseqVI: cmp_vi([](auto a, auto b) { return a == b; }); break;
+    case Op::kVmsneVV: cmp_vv([](auto a, auto b) { return a != b; }); break;
+    case Op::kVmsneVX: cmp_vx([](auto a, auto b) { return a != b; }); break;
+    case Op::kVmsltuVV: cmp_vv([](auto a, auto b) { return a < b; }); break;
+    case Op::kVmsltuVX: cmp_vx([](auto a, auto b) { return a < b; }); break;
+    case Op::kVmsltVV:
+      cmp_vv([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) <
+               static_cast<std::int64_t>(sext(b, sewb));
+      });
+      break;
+    case Op::kVmsltVX:
+      cmp_vx([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) <
+               static_cast<std::int64_t>(sext(b, sewb));
+      });
+      break;
+    case Op::kVmsleVV:
+      cmp_vv([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) <=
+               static_cast<std::int64_t>(sext(b, sewb));
+      });
+      break;
+    case Op::kVmsleVX:
+      cmp_vx([&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::int64_t>(sext(a, sewb)) <=
+               static_cast<std::int64_t>(sext(b, sewb));
+      });
+      break;
+
+    // ----- integer reductions -----
+    case Op::kVredsumVS: {
+      std::uint64_t acc = velem_get(inst.rs1, 0, sewb);
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        acc += velem_get(inst.rs2, i, sewb);
+      }
+      if (vl > 0) velem_set(inst.rd, 0, sewb, acc);
+      break;
+    }
+    case Op::kVredmaxVS: {
+      auto acc = static_cast<std::int64_t>(sext(velem_get(inst.rs1, 0, sewb), sewb));
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const auto v =
+            static_cast<std::int64_t>(sext(velem_get(inst.rs2, i, sewb), sewb));
+        acc = std::max(acc, v);
+      }
+      if (vl > 0) velem_set(inst.rd, 0, sewb, static_cast<std::uint64_t>(acc));
+      break;
+    }
+    case Op::kVredminVS: {
+      auto acc = static_cast<std::int64_t>(sext(velem_get(inst.rs1, 0, sewb), sewb));
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        const auto v =
+            static_cast<std::int64_t>(sext(velem_get(inst.rs2, i, sewb), sewb));
+        acc = std::min(acc, v);
+      }
+      if (vl > 0) velem_set(inst.rd, 0, sewb, static_cast<std::uint64_t>(acc));
+      break;
+    }
+
+    // ----- floating point -----
+    case Op::kVfaddVV: fp_binop_vv([](auto a, auto b) { return a + b; }); break;
+    case Op::kVfaddVF: fp_binop_vf([](auto a, auto b) { return a + b; }); break;
+    case Op::kVfsubVV: fp_binop_vv([](auto a, auto b) { return a - b; }); break;
+    case Op::kVfsubVF: fp_binop_vf([](auto a, auto b) { return a - b; }); break;
+    case Op::kVfmulVV: fp_binop_vv([](auto a, auto b) { return a * b; }); break;
+    case Op::kVfmulVF: fp_binop_vf([](auto a, auto b) { return a * b; }); break;
+    case Op::kVfdivVV: fp_binop_vv([](auto a, auto b) { return a / b; }); break;
+    case Op::kVfminVV:
+      fp_binop_vv([](auto a, auto b) { return std::fmin(a, b); });
+      break;
+    case Op::kVfmaxVV:
+      fp_binop_vv([](auto a, auto b) { return std::fmax(a, b); });
+      break;
+    case Op::kVfmaccVV:
+      fp_fma_vv([](auto acc, auto a, auto b) { return std::fma(a, b, acc); });
+      break;
+    case Op::kVfnmaccVV:
+      fp_fma_vv([](auto acc, auto a, auto b) { return std::fma(-a, b, -acc); });
+      break;
+    case Op::kVfmsacVV:
+      fp_fma_vv([](auto acc, auto a, auto b) { return std::fma(a, b, -acc); });
+      break;
+    case Op::kVfmaddVV:
+      // vd[i] = vd[i]*vs1[i] + vs2[i]
+      fp_fma_vv([](auto acc, auto a, auto b) { return std::fma(acc, a, b); });
+      break;
+    case Op::kVfmaccVF:
+      require_fp_sew();
+      for (unsigned i = 0; i < vl; ++i) {
+        if (!active(i)) continue;
+        if (sewb == 64) {
+          const double acc = bits_to_double(velem_get(inst.rd, i, 64));
+          const double a = bits_to_double(f_[inst.rs1]);
+          const double b = bits_to_double(velem_get(inst.rs2, i, 64));
+          velem_set(inst.rd, i, 64, double_to_bits(std::fma(a, b, acc)));
+        } else {
+          const float acc = bits_to_float(velem_get(inst.rd, i, 32));
+          const auto a = static_cast<float>(bits_to_double(f_[inst.rs1]));
+          const float b = bits_to_float(velem_get(inst.rs2, i, 32));
+          velem_set(inst.rd, i, 32, float_to_bits(std::fma(a, b, acc)));
+        }
+      }
+      break;
+    case Op::kVfmvVF:
+      require_fp_sew();
+      for (unsigned i = 0; i < vl; ++i) {
+        if (sewb == 64) {
+          velem_set(inst.rd, i, 64, f_[inst.rs1]);
+        } else {
+          velem_set(inst.rd, i, 32,
+                    float_to_bits(static_cast<float>(bits_to_double(f_[inst.rs1]))));
+        }
+      }
+      break;
+    case Op::kVfmvFS:
+      require_fp_sew();
+      if (sewb == 64) {
+        f_[inst.rd] = velem_get(inst.rs2, 0, 64);
+      } else {
+        f_[inst.rd] = 0xFFFFFFFF00000000ULL | velem_get(inst.rs2, 0, 32);
+      }
+      break;
+    case Op::kVfmvSF:
+      require_fp_sew();
+      if (vl > 0) {
+        if (sewb == 64) {
+          velem_set(inst.rd, 0, 64, f_[inst.rs1]);
+        } else {
+          velem_set(inst.rd, 0, 32, static_cast<std::uint32_t>(f_[inst.rs1]));
+        }
+      }
+      break;
+    case Op::kVfredusumVS:
+    case Op::kVfredosumVS: {
+      require_fp_sew();
+      if (sewb == 64) {
+        double acc = bits_to_double(velem_get(inst.rs1, 0, 64));
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!active(i)) continue;
+          acc += bits_to_double(velem_get(inst.rs2, i, 64));
+        }
+        if (vl > 0) velem_set(inst.rd, 0, 64, double_to_bits(acc));
+      } else {
+        float acc = bits_to_float(velem_get(inst.rs1, 0, 32));
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!active(i)) continue;
+          acc += bits_to_float(velem_get(inst.rs2, i, 32));
+        }
+        if (vl > 0) velem_set(inst.rd, 0, 32, float_to_bits(acc));
+      }
+      break;
+    }
+    case Op::kVfredmaxVS:
+    case Op::kVfredminVS: {
+      require_fp_sew();
+      const bool is_max = inst.op == Op::kVfredmaxVS;
+      if (sewb == 64) {
+        double acc = bits_to_double(velem_get(inst.rs1, 0, 64));
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!active(i)) continue;
+          const double v = bits_to_double(velem_get(inst.rs2, i, 64));
+          acc = is_max ? std::fmax(acc, v) : std::fmin(acc, v);
+        }
+        if (vl > 0) velem_set(inst.rd, 0, 64, double_to_bits(acc));
+      } else {
+        float acc = bits_to_float(velem_get(inst.rs1, 0, 32));
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!active(i)) continue;
+          const float v = bits_to_float(velem_get(inst.rs2, i, 32));
+          acc = is_max ? std::fmaxf(acc, v) : std::fminf(acc, v);
+        }
+        if (vl > 0) velem_set(inst.rd, 0, 32, float_to_bits(acc));
+      }
+      break;
+    }
+
+    default:
+      throw ExecutionError(strfmt(
+          "core %u: unimplemented vector instruction '%s' at pc 0x%llx", id_,
+          isa::disassemble(inst).c_str(),
+          static_cast<unsigned long long>(pc_)));
+  }
+}
+
+}  // namespace coyote::iss

@@ -1,0 +1,92 @@
+// BLAS-1 kernels: vectorized AXPY and DOT.
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_exit;
+using detail::emit_load_f64;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Freg;
+using isa::Lmul;
+using isa::Sew;
+using isa::Vreg;
+using isa::Xreg;
+
+Program build_axpy_vector(const Blas1Workload& workload,
+                          std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Register map: s10/s11 = element range; s4 = x, s5 = y; fa1 = alpha;
+  // a1 = cursor, a2 = avl, a3 = vl.
+  emit_partition(as, workload.n, num_cores, Xreg::s10, Xreg::s11);
+  auto done = as.make_label();
+  as.bge(Xreg::s10, Xreg::s11, done);
+
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s5, static_cast<std::int64_t>(workload.y_addr));
+  emit_load_f64(as, Freg::fa1, Xreg::t0, workload.alpha);
+
+  as.mv(Xreg::a1, Xreg::s10);
+  auto loop = as.here();
+  as.sub(Xreg::a2, Xreg::s11, Xreg::a1);
+  as.vsetvli(Xreg::a3, Xreg::a2, Sew::kE64, Lmul::kM8);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t1, Xreg::t0, Xreg::s4);
+  as.vle64(Vreg::v8, Xreg::t1);          // x block
+  as.add(Xreg::t1, Xreg::t0, Xreg::s5);
+  as.vle64(Vreg::v16, Xreg::t1);         // y block
+  as.vfmacc_vf(Vreg::v16, Freg::fa1, Vreg::v8);
+  as.vse64(Vreg::v16, Xreg::t1);
+  as.add(Xreg::a1, Xreg::a1, Xreg::a3);
+  as.blt(Xreg::a1, Xreg::s11, loop);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_dot_vector(const Blas1Workload& workload,
+                         std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Register map: as AXPY plus fa0 = running partial sum; the ordered
+  // vector reduction keeps per-chunk summation deterministic.
+  emit_partition(as, workload.n, num_cores, Xreg::s10, Xreg::s11);
+
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s5, static_cast<std::int64_t>(workload.y_addr));
+  as.fmv_d_x(Freg::fa0, Xreg::zero);
+
+  auto store = as.make_label();
+  as.bge(Xreg::s10, Xreg::s11, store);
+  as.mv(Xreg::a1, Xreg::s10);
+  auto loop = as.here();
+  as.sub(Xreg::a2, Xreg::s11, Xreg::a1);
+  as.vsetvli(Xreg::a3, Xreg::a2, Sew::kE64, Lmul::kM8);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t1, Xreg::t0, Xreg::s4);
+  as.vle64(Vreg::v8, Xreg::t1);
+  as.add(Xreg::t1, Xreg::t0, Xreg::s5);
+  as.vle64(Vreg::v16, Xreg::t1);
+  as.vfmul_vv(Vreg::v8, Vreg::v8, Vreg::v16);
+  as.vfmv_s_f(Vreg::v24, Freg::fa0);
+  as.vfredosum_vs(Vreg::v24, Vreg::v8, Vreg::v24);
+  as.vfmv_f_s(Freg::fa0, Vreg::v24);
+  as.add(Xreg::a1, Xreg::a1, Xreg::a3);
+  as.blt(Xreg::a1, Xreg::s11, loop);
+
+  as.bind(store);
+  // partials[mhartid] = fa0
+  as.csrr(Xreg::t0, 0xF14);
+  as.slli(Xreg::t0, Xreg::t0, 3);
+  as.li(Xreg::t1, static_cast<std::int64_t>(workload.partials_addr));
+  as.add(Xreg::t1, Xreg::t1, Xreg::t0);
+  as.fsd(Freg::fa0, 0, Xreg::t1);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

@@ -1,0 +1,105 @@
+// Iterative radix-2 decimation-in-time FFT, scalar complex arithmetic.
+// Every stage block-partitions the n/2 butterflies over the cores; stages
+// are separated by an amoadd.d sense-reversal barrier (butterflies of one
+// stage touch disjoint element pairs, so only stage boundaries need
+// ordering). Stage constants (m, m/2, twiddle stride) are baked into the
+// instruction stream by the builder since n is fixed at build time.
+#include "common/bits.h"
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_barrier;
+using detail::emit_exit;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Freg;
+using isa::Xreg;
+
+Program build_fft_scalar(const FftWorkload& workload,
+                         std::uint32_t num_cores) {
+  const std::size_t n = workload.n;
+  const unsigned log2n = log2_exact(n);
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s1 = re base, s2 = im base, s3 = tw_re base, s4 = tw_im base
+  //   s5 = barrier base, s6 = barrier generation, s9 = num_cores-1
+  //   s10/s11 = butterfly range [begin, end) over k in [0, n/2)
+  //   per stage: t6 = hm*8 (byte distance between pair halves)
+  //   a1 = k, a2 = block, a3 = j, a4 = i0, a5/a6 = scratch
+  emit_partition(as, n / 2, num_cores, Xreg::s10, Xreg::s11);
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.re_addr));
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.im_addr));
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.tw_re_addr));
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.tw_im_addr));
+  as.li(Xreg::s5, static_cast<std::int64_t>(kBarrierBase));
+  as.ld(Xreg::s6, 8, Xreg::s5);  // current barrier generation
+  as.li(Xreg::s9, static_cast<std::int64_t>(num_cores) - 1);
+
+  for (unsigned stage = 1; stage <= log2n; ++stage) {
+    const unsigned log2m = stage;
+    const unsigned log2hm = stage - 1;
+    const unsigned log2stride = log2n - stage;  // twiddle index stride
+
+    as.li(Xreg::t6, static_cast<std::int64_t>(8) << log2hm);  // hm bytes
+    as.mv(Xreg::a1, Xreg::s10);
+    auto stage_done = as.make_label();
+    auto loop = as.here();
+    as.bge(Xreg::a1, Xreg::s11, stage_done);
+    // block = k >> log2hm; j = k - (block << log2hm); i0 = block*m + j.
+    as.srli(Xreg::a2, Xreg::a1, log2hm);
+    as.slli(Xreg::a3, Xreg::a2, log2hm);
+    as.sub(Xreg::a3, Xreg::a1, Xreg::a3);
+    as.slli(Xreg::a4, Xreg::a2, log2m);
+    as.add(Xreg::a4, Xreg::a4, Xreg::a3);
+    // Twiddle w = tw[j << log2stride].
+    as.slli(Xreg::a5, Xreg::a3, log2stride + 3);
+    as.add(Xreg::a6, Xreg::a5, Xreg::s3);
+    as.fld(Freg::ft0, 0, Xreg::a6);       // twr
+    as.add(Xreg::a6, Xreg::a5, Xreg::s4);
+    as.fld(Freg::ft1, 0, Xreg::a6);       // twi
+    // Element addresses.
+    as.slli(Xreg::a5, Xreg::a4, 3);
+    as.add(Xreg::t0, Xreg::a5, Xreg::s1);  // &re[i0]
+    as.add(Xreg::t1, Xreg::a5, Xreg::s2);  // &im[i0]
+    as.fld(Freg::fa0, 0, Xreg::t0);        // re0
+    as.fld(Freg::fa1, 0, Xreg::t1);        // im0
+    as.add(Xreg::t0, Xreg::t0, Xreg::t6);  // &re[i1]
+    as.add(Xreg::t1, Xreg::t1, Xreg::t6);  // &im[i1]
+    as.fld(Freg::fa2, 0, Xreg::t0);        // re1
+    as.fld(Freg::fa3, 0, Xreg::t1);        // im1
+    // t = w * x1 (complex): tr = twr*re1 - twi*im1; ti = twr*im1 + twi*re1.
+    as.fmul_d(Freg::fa4, Freg::ft0, Freg::fa2);
+    as.fmul_d(Freg::fa5, Freg::ft1, Freg::fa3);
+    as.fsub_d(Freg::fa4, Freg::fa4, Freg::fa5);
+    as.fmul_d(Freg::fa6, Freg::ft0, Freg::fa3);
+    as.fmul_d(Freg::fa7, Freg::ft1, Freg::fa2);
+    as.fadd_d(Freg::fa6, Freg::fa6, Freg::fa7);
+    // x1' = x0 - t (pointers currently at i1), then x0' = x0 + t.
+    as.fsub_d(Freg::ft2, Freg::fa0, Freg::fa4);
+    as.fsd(Freg::ft2, 0, Xreg::t0);
+    as.fsub_d(Freg::ft3, Freg::fa1, Freg::fa6);
+    as.fsd(Freg::ft3, 0, Xreg::t1);
+    as.sub(Xreg::t0, Xreg::t0, Xreg::t6);
+    as.sub(Xreg::t1, Xreg::t1, Xreg::t6);
+    as.fadd_d(Freg::ft2, Freg::fa0, Freg::fa4);
+    as.fsd(Freg::ft2, 0, Xreg::t0);
+    as.fadd_d(Freg::ft3, Freg::fa1, Freg::fa6);
+    as.fsd(Freg::ft3, 0, Xreg::t1);
+    as.addi(Xreg::a1, Xreg::a1, 1);
+    as.j(loop);
+    as.bind(stage_done);
+
+    if (stage != log2n) {
+      emit_barrier(as, num_cores, Xreg::s5, Xreg::s6, Xreg::s9);
+    }
+  }
+
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

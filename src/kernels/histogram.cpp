@@ -1,0 +1,45 @@
+// Histogram kernel with atomic shared-bin updates (RV64A).
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_exit;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Xreg;
+
+Program build_histogram_atomic(const HistogramWorkload& workload,
+                               std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s5 = element cursor, s6 = element end
+  //   s1 = walking &data[i], s2 = bins base
+  //   a1 = value, a2 = &bins[value], t2 = +1
+  emit_partition(as, workload.n, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.bins_addr));
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.data_addr));
+  as.add(Xreg::s1, Xreg::s1, Xreg::t0);
+  as.li(Xreg::t2, 1);
+
+  auto loop = as.here();
+  as.ld(Xreg::a1, 0, Xreg::s1);       // value
+  as.slli(Xreg::a2, Xreg::a1, 3);
+  as.add(Xreg::a2, Xreg::a2, Xreg::s2);
+  as.amoadd_d(Xreg::zero, Xreg::t2, Xreg::a2);  // bins[value] += 1
+  as.addi(Xreg::s1, Xreg::s1, 8);
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

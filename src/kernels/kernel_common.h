@@ -1,0 +1,77 @@
+// Shared assembly idioms for the kernel builders.
+#pragma once
+
+#include <cstring>
+
+#include "isa/assembler.h"
+#include "kernels/workloads.h"
+
+namespace coyote::kernels::detail {
+
+using isa::Assembler;
+using isa::Freg;
+using isa::Xreg;
+
+/// Emits the run-time block partition: begin = min(hart*per_part, total),
+/// end = min(begin+per_part, total). Clobbers t0/t1.
+inline void emit_partition(Assembler& as, std::uint64_t total,
+                           std::uint32_t parts, Xreg begin, Xreg end) {
+  const std::uint64_t per_part = (total + parts - 1) / parts;
+  as.csrr(Xreg::t0, 0xF14);  // mhartid
+  as.li(Xreg::t1, static_cast<std::int64_t>(per_part));
+  as.mul(begin, Xreg::t0, Xreg::t1);
+  as.li(Xreg::t0, static_cast<std::int64_t>(total));
+  as.add(end, begin, Xreg::t1);
+  auto begin_ok = as.make_label();
+  as.ble(begin, Xreg::t0, begin_ok);
+  as.mv(begin, Xreg::t0);
+  as.bind(begin_ok);
+  auto end_ok = as.make_label();
+  as.ble(end, Xreg::t0, end_ok);
+  as.mv(end, Xreg::t0);
+  as.bind(end_ok);
+}
+
+/// Emits the exit syscall (code 0).
+inline void emit_exit(Assembler& as) {
+  as.li(Xreg::a7, 93);
+  as.li(Xreg::a0, 0);
+  as.ecall();
+}
+
+/// Materializes a double constant into an f register via its bit pattern.
+inline void emit_load_f64(Assembler& as, Freg dest, Xreg scratch,
+                          double value) {
+  std::int64_t bits;
+  std::memcpy(&bits, &value, 8);
+  as.li(scratch, bits);
+  as.fmv_d_x(dest, scratch);
+}
+
+/// Emits a sense-reversal barrier over amoadd.d. `base` holds the barrier
+/// address (arrival counter at +0, generation at +8); `generation` tracks
+/// the release count this core has seen (incremented here); `last_count`
+/// holds num_cores-1. Clobbers t2..t5. No-op for a single core.
+inline void emit_barrier(Assembler& as, std::uint32_t num_cores, Xreg base,
+                         Xreg generation, Xreg last_count) {
+  if (num_cores <= 1) return;
+  as.addi(generation, generation, 1);
+  as.li(Xreg::t2, 1);
+  as.amoadd_d(Xreg::t3, Xreg::t2, base);
+  auto wait = as.make_label();
+  auto done = as.make_label();
+  as.bne(Xreg::t3, last_count, wait);
+  // Last arriver: reset the counter, then release the next generation.
+  as.sd(Xreg::zero, 0, base);
+  as.addi(Xreg::t4, base, 8);
+  as.amoadd_d(Xreg::zero, Xreg::t2, Xreg::t4);
+  as.j(done);
+  as.bind(wait);
+  as.addi(Xreg::t4, base, 8);
+  auto spin = as.here();
+  as.ld(Xreg::t5, 0, Xreg::t4);
+  as.blt(Xreg::t5, generation, spin);
+  as.bind(done);
+}
+
+}  // namespace coyote::kernels::detail

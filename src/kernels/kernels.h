@@ -1,0 +1,92 @@
+// Baremetal kernel builders (paper §III-A: "Four different kernels have been
+// adapted to baremetal simulation in Spike and can be executed using Coyote
+// … scalar matrix multiplication, vector matrix multiplication, vector SpMV
+// (three different implementations of the algorithm) and vector stencil").
+// Coyote additionally ships scalar SpMV (used by Figure 3) and a scalar
+// stencil (for the vector-vs-scalar comparison).
+//
+// Every builder emits genuine RV64 machine code through the Assembler. Work
+// is block-partitioned over the cores at run time via the mhartid CSR; all
+// workload constants (sizes, array addresses) are baked into the
+// instruction stream. Each core exits through the exit syscall when its
+// share is done.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/program.h"
+#include "kernels/workloads.h"
+
+namespace coyote::kernels {
+
+/// C = A * B, scalar FP (fld/fmadd.d inner loop).
+Program build_matmul_scalar(const MatmulWorkload& workload,
+                            std::uint32_t num_cores);
+
+/// C = A * B, vectorized over output columns (vle64/vfmacc.vf, LMUL=4).
+Program build_matmul_vector(const MatmulWorkload& workload,
+                            std::uint32_t num_cores);
+
+/// y = A x over CSR, scalar (the second Figure-3 workload).
+Program build_spmv_scalar(const SpmvWorkload& workload,
+                          std::uint32_t num_cores);
+
+/// SpMV variant 1 — CSR row-gather: per row, vector chunks of the row's
+/// non-zeros; columns gathered from x with vluxei64; ordered-sum reduction.
+Program build_spmv_row_gather(const SpmvWorkload& workload,
+                              std::uint32_t num_cores);
+
+/// SpMV variant 2 — ELLPACK slot-major: vectorized across rows; unit-stride
+/// loads of the slot arrays plus a gather of x per slot.
+Program build_spmv_ell(const SpmvWorkload& workload, std::uint32_t num_cores);
+
+/// SpMV variant 3 — two-phase: phase 1 streams all of the core's non-zeros
+/// in vector chunks writing an intermediate product array; phase 2 reduces
+/// products per row with scalar code. Trades extra memory traffic for long
+/// unit-stride vectors.
+Program build_spmv_two_phase(const SpmvWorkload& workload,
+                             std::uint32_t num_cores);
+
+/// 1D 3-point stencil, vectorized interior sweep. Multicore requires
+/// workload.iterations == 1 (no coherence modelling; see DESIGN.md).
+Program build_stencil_vector(const StencilWorkload& workload,
+                             std::uint32_t num_cores);
+
+/// Scalar reference version of the stencil.
+Program build_stencil_scalar(const StencilWorkload& workload,
+                             std::uint32_t num_cores);
+
+/// Barrier-synchronized vector stencil: supports iterations > 1 on
+/// multiple cores by separating sweeps with a sense-reversal barrier built
+/// on amoadd.d (RV64A). Functional results are exact; barrier timing is
+/// optimistic since Coyote models no coherence traffic (DESIGN.md §5).
+Program build_stencil_vector_sync(const StencilWorkload& workload,
+                                  std::uint32_t num_cores);
+
+/// Histogram with atomic bin updates (amoadd.d): the whole data stream is
+/// block-partitioned and all cores update the shared bins array.
+Program build_histogram_atomic(const HistogramWorkload& workload,
+                               std::uint32_t num_cores);
+
+/// 2D 5-point stencil, vectorized along rows; interior rows are
+/// block-partitioned over the cores (single sweep, like the 1D multicore
+/// case).
+Program build_stencil2d_vector(const Stencil2dWorkload& workload,
+                               std::uint32_t num_cores);
+
+/// BLAS-1 AXPY, vectorized: y = alpha*x + y.
+Program build_axpy_vector(const Blas1Workload& workload,
+                          std::uint32_t num_cores);
+
+/// BLAS-1 DOT, vectorized with ordered reduction; each core writes its
+/// partial sum to partials[hartid] (summed host-side or by a final pass).
+Program build_dot_vector(const Blas1Workload& workload,
+                         std::uint32_t num_cores);
+
+/// In-place radix-2 DIT FFT, scalar complex arithmetic, butterflies
+/// block-partitioned per stage with an amoadd.d barrier between stages —
+/// the "FFT" entry of the paper's future-work kernel list.
+Program build_fft_scalar(const FftWorkload& workload,
+                         std::uint32_t num_cores);
+
+}  // namespace coyote::kernels

@@ -1,0 +1,24 @@
+// Baremetal address-space convention shared by every kernel: code low,
+// parameter-free (all workload constants are baked into the instruction
+// stream by the builders), data in a high flat region.
+#pragma once
+
+#include "common/types.h"
+
+namespace coyote::kernels {
+
+/// Where kernel code is loaded.
+inline constexpr Addr kTextBase = 0x0001'0000;
+
+/// Base of the workload data region.
+inline constexpr Addr kDataBase = 0x1000'0000;
+
+/// Synchronization scratch (barrier counter at +0, generation at +8) for
+/// kernels that use RV64A primitives.
+inline constexpr Addr kBarrierBase = 0x0F00'0000;
+
+/// Alignment applied between consecutively-placed arrays (one page, so the
+/// page-to-bank policy sees distinct pages per array).
+inline constexpr Addr kArrayAlign = 4096;
+
+}  // namespace coyote::kernels

@@ -1,0 +1,130 @@
+// Dense matrix-multiplication kernels (scalar and vector).
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_exit;
+using detail::emit_load_f64;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Freg;
+using isa::Lmul;
+using isa::Sew;
+using isa::Vreg;
+using isa::Xreg;
+
+Program build_matmul_scalar(const MatmulWorkload& workload,
+                            std::uint32_t num_cores) {
+  const auto n = static_cast<std::int64_t>(workload.n);
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s5 = i (row), s6 = row end
+  //   s1 = N, s2 = N*8
+  //   s3 = &A[i][0], s4 = &C[i][j], s7 = B base
+  //   a1 = j, a2 = &B[0][j]
+  //   a3 = k countdown, a4 = walking &A[i][k], a5 = walking &B[k][j]
+  emit_partition(as, workload.n, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s1, n);
+  as.li(Xreg::s2, n * 8);
+  as.mul(Xreg::t0, Xreg::s5, Xreg::s2);  // byte offset of first owned row
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.a_addr));
+  as.add(Xreg::s3, Xreg::s3, Xreg::t0);
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.c_addr));
+  as.add(Xreg::s4, Xreg::s4, Xreg::t0);
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.b_addr));
+
+  auto loop_i = as.here();
+  as.li(Xreg::a1, 0);
+  as.mv(Xreg::a2, Xreg::s7);
+  auto loop_j = as.here();
+  as.fmv_d_x(Freg::fa0, Xreg::zero);  // acc = 0.0
+  as.mv(Xreg::a4, Xreg::s3);
+  as.mv(Xreg::a5, Xreg::a2);
+  as.mv(Xreg::a3, Xreg::s1);
+  auto loop_k = as.here();
+  as.fld(Freg::ft0, 0, Xreg::a4);      // A[i][k]
+  as.fld(Freg::ft1, 0, Xreg::a5);      // B[k][j]
+  as.fmadd_d(Freg::fa0, Freg::ft0, Freg::ft1, Freg::fa0);
+  as.addi(Xreg::a4, Xreg::a4, 8);
+  as.add(Xreg::a5, Xreg::a5, Xreg::s2);
+  as.addi(Xreg::a3, Xreg::a3, -1);
+  as.bnez(Xreg::a3, loop_k);
+  as.fsd(Freg::fa0, 0, Xreg::s4);      // C[i][j]
+  as.addi(Xreg::s4, Xreg::s4, 8);
+  as.addi(Xreg::a2, Xreg::a2, 8);
+  as.addi(Xreg::a1, Xreg::a1, 1);
+  as.blt(Xreg::a1, Xreg::s1, loop_j);
+  as.add(Xreg::s3, Xreg::s3, Xreg::s2);
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop_i);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_matmul_vector(const MatmulWorkload& workload,
+                            std::uint32_t num_cores) {
+  const auto n = static_cast<std::int64_t>(workload.n);
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s5 = i, s6 = row end; s1 = N, s2 = N*8
+  //   s3 = &A[i][0], s4 = &C[i][0], s7 = B base
+  //   a1 = j, a2 = avl, a3 = vl
+  //   a4 = walking &B[k][j], a5 = walking &A[i][k], a6 = k countdown
+  //   v8..v11 = C accumulator (LMUL=4), v16..v19 = B row slice
+  emit_partition(as, workload.n, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s1, n);
+  as.li(Xreg::s2, n * 8);
+  as.mul(Xreg::t0, Xreg::s5, Xreg::s2);
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.a_addr));
+  as.add(Xreg::s3, Xreg::s3, Xreg::t0);
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.c_addr));
+  as.add(Xreg::s4, Xreg::s4, Xreg::t0);
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.b_addr));
+  as.fmv_d_x(Freg::ft0, Xreg::zero);
+
+  auto loop_i = as.here();
+  as.li(Xreg::a1, 0);
+  auto loop_j = as.here();
+  as.sub(Xreg::a2, Xreg::s1, Xreg::a1);
+  as.vsetvli(Xreg::a3, Xreg::a2, Sew::kE64, Lmul::kM4);
+  as.vfmv_v_f(Vreg::v8, Freg::ft0);  // acc = 0
+  as.slli(Xreg::a4, Xreg::a1, 3);
+  as.add(Xreg::a4, Xreg::a4, Xreg::s7);  // &B[0][j]
+  as.mv(Xreg::a5, Xreg::s3);
+  as.mv(Xreg::a6, Xreg::s1);
+  auto loop_k = as.here();
+  as.fld(Freg::ft1, 0, Xreg::a5);        // A[i][k]
+  as.vle64(Vreg::v16, Xreg::a4);         // B[k][j..j+vl)
+  as.vfmacc_vf(Vreg::v8, Freg::ft1, Vreg::v16);
+  as.addi(Xreg::a5, Xreg::a5, 8);
+  as.add(Xreg::a4, Xreg::a4, Xreg::s2);
+  as.addi(Xreg::a6, Xreg::a6, -1);
+  as.bnez(Xreg::a6, loop_k);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s4);
+  as.vse64(Vreg::v8, Xreg::t0);          // C[i][j..j+vl)
+  as.add(Xreg::a1, Xreg::a1, Xreg::a3);
+  as.blt(Xreg::a1, Xreg::s1, loop_j);
+  as.add(Xreg::s3, Xreg::s3, Xreg::s2);
+  as.add(Xreg::s4, Xreg::s4, Xreg::s2);
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop_i);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

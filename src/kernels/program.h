@@ -1,0 +1,19 @@
+// A finished baremetal program: machine words plus load/entry addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace coyote::kernels {
+
+struct Program {
+  Addr base = 0;
+  Addr entry = 0;
+  std::vector<std::uint32_t> words;
+
+  std::size_t size_bytes() const { return words.size() * 4; }
+};
+
+}  // namespace coyote::kernels

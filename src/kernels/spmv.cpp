@@ -1,0 +1,269 @@
+// Sparse matrix-vector multiplication kernels: scalar CSR plus the three
+// vector variants the paper lists (row-gather, ELLPACK, two-phase).
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_exit;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Freg;
+using isa::Lmul;
+using isa::Sew;
+using isa::Vreg;
+using isa::Xreg;
+
+Program build_spmv_scalar(const SpmvWorkload& workload,
+                          std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s5 = row, s6 = row end
+  //   s1 = row_ptr, s4 = x, s7 = y
+  //   s8 = walking &col[idx], s9 = walking &val[idx]
+  //   a2 = idx, a3 = row end idx, a4 = scratch
+  emit_partition(as, workload.matrix.rows, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.row_ptr_addr));
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.y_addr));
+
+  // idx = row_ptr[begin]; col/val pointers track idx.
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a2, 0, Xreg::t0);
+  as.slli(Xreg::t1, Xreg::a2, 3);
+  as.li(Xreg::s8, static_cast<std::int64_t>(workload.col_idx_addr));
+  as.add(Xreg::s8, Xreg::s8, Xreg::t1);
+  as.li(Xreg::s9, static_cast<std::int64_t>(workload.values_addr));
+  as.add(Xreg::s9, Xreg::s9, Xreg::t1);
+
+  auto loop_row = as.here();
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a3, 8, Xreg::t0);        // row_ptr[row+1]
+  as.fmv_d_x(Freg::fa0, Xreg::zero);
+  auto row_done = as.make_label();
+  auto loop_nnz = as.here();
+  as.bge(Xreg::a2, Xreg::a3, row_done);
+  as.ld(Xreg::a4, 0, Xreg::s8);        // column index
+  as.slli(Xreg::a4, Xreg::a4, 3);
+  as.add(Xreg::a4, Xreg::a4, Xreg::s4);
+  as.fld(Freg::ft0, 0, Xreg::s9);      // value
+  as.fld(Freg::ft1, 0, Xreg::a4);      // x[col]
+  as.fmadd_d(Freg::fa0, Freg::ft0, Freg::ft1, Freg::fa0);
+  as.addi(Xreg::s8, Xreg::s8, 8);
+  as.addi(Xreg::s9, Xreg::s9, 8);
+  as.addi(Xreg::a2, Xreg::a2, 1);
+  as.j(loop_nnz);
+  as.bind(row_done);
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s7);
+  as.fsd(Freg::fa0, 0, Xreg::t0);      // y[row]
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop_row);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_spmv_row_gather(const SpmvWorkload& workload,
+                              std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Register map:
+  //   s5 = row, s6 = row end; s1 = row_ptr, s4 = x, s7 = y
+  //   s8 = col base, s9 = val base
+  //   a2 = idx, a3 = row end idx, a4 = avl, a5 = vl, a6 = idx*8
+  //   v8 = column indices / byte offsets, v16 = gathered x, v24 = values,
+  //   v4 = reduction scalar
+  emit_partition(as, workload.matrix.rows, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.row_ptr_addr));
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.y_addr));
+  as.li(Xreg::s8, static_cast<std::int64_t>(workload.col_idx_addr));
+  as.li(Xreg::s9, static_cast<std::int64_t>(workload.values_addr));
+
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a2, 0, Xreg::t0);        // idx = row_ptr[begin]
+
+  auto loop_row = as.here();
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a3, 8, Xreg::t0);
+  as.fmv_d_x(Freg::fa0, Xreg::zero);
+  auto row_done = as.make_label();
+  auto loop_chunk = as.here();
+  as.sub(Xreg::a4, Xreg::a3, Xreg::a2);
+  as.beqz(Xreg::a4, row_done);
+  as.vsetvli(Xreg::a5, Xreg::a4, Sew::kE64, Lmul::kM4);
+  as.slli(Xreg::a6, Xreg::a2, 3);
+  as.add(Xreg::t0, Xreg::a6, Xreg::s8);
+  as.vle64(Vreg::v8, Xreg::t0);        // column indices
+  as.vsll_vi(Vreg::v8, Vreg::v8, 3);   // to byte offsets
+  as.vluxei64(Vreg::v16, Xreg::s4, Vreg::v8);  // gather x
+  as.add(Xreg::t0, Xreg::a6, Xreg::s9);
+  as.vle64(Vreg::v24, Xreg::t0);       // values
+  as.vfmul_vv(Vreg::v16, Vreg::v16, Vreg::v24);
+  as.vfmv_s_f(Vreg::v4, Freg::fa0);
+  as.vfredosum_vs(Vreg::v4, Vreg::v16, Vreg::v4);
+  as.vfmv_f_s(Freg::fa0, Vreg::v4);
+  as.add(Xreg::a2, Xreg::a2, Xreg::a5);
+  as.j(loop_chunk);
+  as.bind(row_done);
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s7);
+  as.fsd(Freg::fa0, 0, Xreg::t0);
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop_row);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_spmv_ell(const SpmvWorkload& workload, std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+  const auto rows = static_cast<std::int64_t>(workload.ell.rows);
+  const auto width = static_cast<std::int64_t>(workload.ell.width);
+
+  // Register map:
+  //   s5 = row block cursor, s6 = row end
+  //   s3 = rows*8 (slot stride), s4 = x, s7 = y
+  //   s8 = ell_col base, s9 = ell_val base, s2 = slot count
+  //   a2 = avl, a3 = vl, a4 = walking &ell_col[slot][r],
+  //   a5 = walking &ell_val[slot][r], a6 = slot countdown
+  //   v8 = accumulator, v16 = indices, v24 = gathered x, v28 = values
+  emit_partition(as, workload.ell.rows, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s3, rows * 8);
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.y_addr));
+  as.li(Xreg::s8, static_cast<std::int64_t>(workload.ell_col_addr));
+  as.li(Xreg::s9, static_cast<std::int64_t>(workload.ell_val_addr));
+  as.li(Xreg::s2, width);
+  as.fmv_d_x(Freg::ft0, Xreg::zero);
+
+  auto loop_rblock = as.here();
+  as.sub(Xreg::a2, Xreg::s6, Xreg::s5);
+  as.vsetvli(Xreg::a3, Xreg::a2, Sew::kE64, Lmul::kM4);
+  as.vfmv_v_f(Vreg::v8, Freg::ft0);    // acc = 0
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::a4, Xreg::t0, Xreg::s8);
+  as.add(Xreg::a5, Xreg::t0, Xreg::s9);
+  as.mv(Xreg::a6, Xreg::s2);
+  auto store = as.make_label();
+  as.beqz(Xreg::a6, store);            // width == 0
+  auto loop_slot = as.here();
+  as.vle64(Vreg::v16, Xreg::a4);       // slot column indices (unit stride)
+  as.vsll_vi(Vreg::v16, Vreg::v16, 3);
+  as.vluxei64(Vreg::v24, Xreg::s4, Vreg::v16);  // gather x
+  as.vle64(Vreg::v28, Xreg::a5);       // slot values (unit stride)
+  as.vfmacc_vv(Vreg::v8, Vreg::v28, Vreg::v24);
+  as.add(Xreg::a4, Xreg::a4, Xreg::s3);
+  as.add(Xreg::a5, Xreg::a5, Xreg::s3);
+  as.addi(Xreg::a6, Xreg::a6, -1);
+  as.bnez(Xreg::a6, loop_slot);
+  as.bind(store);
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s7);
+  as.vse64(Vreg::v8, Xreg::t0);        // y[r..r+vl)
+  as.add(Xreg::s5, Xreg::s5, Xreg::a3);
+  as.blt(Xreg::s5, Xreg::s6, loop_rblock);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_spmv_two_phase(const SpmvWorkload& workload,
+                             std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // Phase 1: prod[i] = val[i] * x[col[i]] for the core's nnz range, in
+  // vector chunks. Phase 2: scalar per-row reduction of prod[].
+  //
+  // Register map:
+  //   s5 = row begin, s6 = row end; s1 = row_ptr, s4 = x, s7 = y
+  //   s8 = col base, s9 = val base, s10 = prod base
+  //   a2 = idx, a3 = phase-1 end idx / row end idx, a4/a5/a6 = scratch
+  emit_partition(as, workload.matrix.rows, num_cores, Xreg::s5, Xreg::s6);
+  auto done = as.make_label();
+  as.bge(Xreg::s5, Xreg::s6, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.row_ptr_addr));
+  as.li(Xreg::s4, static_cast<std::int64_t>(workload.x_addr));
+  as.li(Xreg::s7, static_cast<std::int64_t>(workload.y_addr));
+  as.li(Xreg::s8, static_cast<std::int64_t>(workload.col_idx_addr));
+  as.li(Xreg::s9, static_cast<std::int64_t>(workload.values_addr));
+  as.li(Xreg::s10, static_cast<std::int64_t>(workload.prod_addr));
+
+  // a2 = row_ptr[begin], a3 = row_ptr[end]
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a2, 0, Xreg::t0);
+  as.slli(Xreg::t0, Xreg::s6, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a3, 0, Xreg::t0);
+  as.mv(Xreg::s11, Xreg::a2);          // remember phase-2 start idx
+
+  auto phase2 = as.make_label();
+  auto loop_chunk = as.here();
+  as.sub(Xreg::a4, Xreg::a3, Xreg::a2);
+  as.beqz(Xreg::a4, phase2);
+  as.vsetvli(Xreg::a5, Xreg::a4, Sew::kE64, Lmul::kM4);
+  as.slli(Xreg::a6, Xreg::a2, 3);
+  as.add(Xreg::t0, Xreg::a6, Xreg::s8);
+  as.vle64(Vreg::v8, Xreg::t0);        // columns
+  as.vsll_vi(Vreg::v8, Vreg::v8, 3);
+  as.vluxei64(Vreg::v16, Xreg::s4, Vreg::v8);
+  as.add(Xreg::t0, Xreg::a6, Xreg::s9);
+  as.vle64(Vreg::v24, Xreg::t0);       // values
+  as.vfmul_vv(Vreg::v16, Vreg::v16, Vreg::v24);
+  as.add(Xreg::t0, Xreg::a6, Xreg::s10);
+  as.vse64(Vreg::v16, Xreg::t0);       // prod[idx..idx+vl)
+  as.add(Xreg::a2, Xreg::a2, Xreg::a5);
+  as.j(loop_chunk);
+
+  as.bind(phase2);
+  // Scalar reduction: idx = s11; walk rows again.
+  as.mv(Xreg::a2, Xreg::s11);
+  as.slli(Xreg::t0, Xreg::a2, 3);
+  as.add(Xreg::s10, Xreg::s10, Xreg::t0);  // &prod[idx]
+  auto loop_row = as.here();
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.ld(Xreg::a3, 8, Xreg::t0);        // row end idx
+  as.fmv_d_x(Freg::fa0, Xreg::zero);
+  auto row_done = as.make_label();
+  auto loop_nnz = as.here();
+  as.bge(Xreg::a2, Xreg::a3, row_done);
+  as.fld(Freg::ft0, 0, Xreg::s10);
+  as.fadd_d(Freg::fa0, Freg::fa0, Freg::ft0);
+  as.addi(Xreg::s10, Xreg::s10, 8);
+  as.addi(Xreg::a2, Xreg::a2, 1);
+  as.j(loop_nnz);
+  as.bind(row_done);
+  as.slli(Xreg::t0, Xreg::s5, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s7);
+  as.fsd(Freg::fa0, 0, Xreg::t0);
+  as.addi(Xreg::s5, Xreg::s5, 1);
+  as.blt(Xreg::s5, Xreg::s6, loop_row);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

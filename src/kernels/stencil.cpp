@@ -1,0 +1,288 @@
+// 1D 3-point stencil kernels (vector and scalar).
+#include "common/error.h"
+#include "kernels/kernel_common.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+using detail::emit_exit;
+using detail::emit_load_f64;
+using detail::emit_partition;
+using isa::Assembler;
+using isa::Freg;
+using isa::Lmul;
+using isa::Sew;
+using isa::Vreg;
+using isa::Xreg;
+
+namespace {
+
+void check_multicore_iterations(const StencilWorkload& workload,
+                                std::uint32_t num_cores) {
+  if (num_cores > 1 && workload.iterations != 1) {
+    throw ConfigError(
+        "stencil: multicore runs require iterations == 1 (Coyote models no "
+        "coherence, so cross-iteration halo exchange is undefined)");
+  }
+}
+
+}  // namespace
+
+Program build_stencil_vector(const StencilWorkload& workload,
+                             std::uint32_t num_cores) {
+  check_multicore_iterations(workload, num_cores);
+  Assembler as(kTextBase);
+
+  // Interior points are [1, n-1); partition the n-2 of them.
+  // Register map:
+  //   s10 = partition begin (0-based interior index), s11 = partition end
+  //   s1 = src buffer, s2 = dst buffer, s3 = iteration countdown
+  //   fa1/fa2/fa3 = c0/c1/c2
+  //   a1 = i (absolute), a2 = i end, a3 = avl, a4 = vl
+  //   v8 = result, v16/v24 = neighbours
+  emit_partition(as, workload.n - 2, num_cores, Xreg::s10, Xreg::s11);
+  auto done = as.make_label();
+  as.bge(Xreg::s10, Xreg::s11, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.dst_addr));
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.iterations));
+  emit_load_f64(as, Freg::fa1, Xreg::t0, workload.c0);
+  emit_load_f64(as, Freg::fa2, Xreg::t0, workload.c1);
+  emit_load_f64(as, Freg::fa3, Xreg::t0, workload.c2);
+
+  auto loop_iter = as.here();
+  as.addi(Xreg::a1, Xreg::s10, 1);   // first absolute interior index
+  as.addi(Xreg::a2, Xreg::s11, 1);
+  auto iter_done = as.make_label();
+  auto loop_block = as.here();
+  as.bge(Xreg::a1, Xreg::a2, iter_done);
+  as.sub(Xreg::a3, Xreg::a2, Xreg::a1);
+  as.vsetvli(Xreg::a4, Xreg::a3, Sew::kE64, Lmul::kM4);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);  // &src[i]
+  as.addi(Xreg::t1, Xreg::t0, -8);
+  as.vle64(Vreg::v8, Xreg::t1);          // src[i-1 ..)
+  as.vfmul_vf(Vreg::v8, Vreg::v8, Freg::fa1);
+  as.vle64(Vreg::v16, Xreg::t0);         // src[i ..)
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  as.addi(Xreg::t1, Xreg::t0, 8);
+  as.vle64(Vreg::v24, Xreg::t1);         // src[i+1 ..)
+  as.vfmacc_vf(Vreg::v8, Freg::fa3, Vreg::v24);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s2);  // &dst[i]
+  as.vse64(Vreg::v8, Xreg::t0);
+  as.add(Xreg::a1, Xreg::a1, Xreg::a4);
+  as.j(loop_block);
+  as.bind(iter_done);
+  // Swap src/dst for the next sweep.
+  as.mv(Xreg::t0, Xreg::s1);
+  as.mv(Xreg::s1, Xreg::s2);
+  as.mv(Xreg::s2, Xreg::t0);
+  as.addi(Xreg::s3, Xreg::s3, -1);
+  as.bnez(Xreg::s3, loop_iter);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_stencil_vector_sync(const StencilWorkload& workload,
+                                  std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+
+  // As build_stencil_vector, plus a sense-reversal barrier between sweeps:
+  //   s7 = barrier base (counter at +0, generation at +8)
+  //   s8 = generation this core waits for next
+  //   s9 = num_cores - 1 (last-arriver test)
+  // The last core to arrive resets the counter and then bumps the
+  // generation; everyone else spins on the generation word. Values read
+  // while spinning are functionally current (one flat memory); only the
+  // coherence *timing* is idealized.
+  emit_partition(as, workload.n - 2, num_cores, Xreg::s10, Xreg::s11);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.dst_addr));
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.iterations));
+  as.li(Xreg::s7, static_cast<std::int64_t>(kBarrierBase));
+  as.ld(Xreg::s8, 8, Xreg::s7);  // current generation (survives reruns)
+  as.li(Xreg::s9, static_cast<std::int64_t>(num_cores) - 1);
+  emit_load_f64(as, Freg::fa1, Xreg::t0, workload.c0);
+  emit_load_f64(as, Freg::fa2, Xreg::t0, workload.c1);
+  emit_load_f64(as, Freg::fa3, Xreg::t0, workload.c2);
+
+  auto loop_iter = as.here();
+  as.addi(Xreg::a1, Xreg::s10, 1);
+  as.addi(Xreg::a2, Xreg::s11, 1);
+  auto iter_done = as.make_label();
+  auto loop_block = as.here();
+  as.bge(Xreg::a1, Xreg::a2, iter_done);
+  as.sub(Xreg::a3, Xreg::a2, Xreg::a1);
+  as.vsetvli(Xreg::a4, Xreg::a3, Sew::kE64, Lmul::kM4);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.addi(Xreg::t1, Xreg::t0, -8);
+  as.vle64(Vreg::v8, Xreg::t1);
+  as.vfmul_vf(Vreg::v8, Vreg::v8, Freg::fa1);
+  as.vle64(Vreg::v16, Xreg::t0);
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  as.addi(Xreg::t1, Xreg::t0, 8);
+  as.vle64(Vreg::v24, Xreg::t1);
+  as.vfmacc_vf(Vreg::v8, Freg::fa3, Vreg::v24);
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s2);
+  as.vse64(Vreg::v8, Xreg::t0);
+  as.add(Xreg::a1, Xreg::a1, Xreg::a4);
+  as.j(loop_block);
+  as.bind(iter_done);
+
+  // ---- barrier ----
+  as.addi(Xreg::s8, Xreg::s8, 1);      // generation we wait to see
+  as.li(Xreg::t2, 1);
+  as.amoadd_d(Xreg::t3, Xreg::t2, Xreg::s7);  // arrival count
+  auto wait = as.make_label();
+  auto barrier_done = as.make_label();
+  as.bne(Xreg::t3, Xreg::s9, wait);
+  // Last arriver: reset the counter, then release the generation.
+  as.sd(Xreg::zero, 0, Xreg::s7);
+  as.addi(Xreg::t4, Xreg::s7, 8);
+  as.amoadd_d(Xreg::zero, Xreg::t2, Xreg::t4);
+  as.j(barrier_done);
+  as.bind(wait);
+  as.addi(Xreg::t4, Xreg::s7, 8);
+  auto spin = as.here();
+  as.ld(Xreg::t5, 0, Xreg::t4);
+  as.blt(Xreg::t5, Xreg::s8, spin);
+  as.bind(barrier_done);
+
+  // Swap buffers and iterate.
+  as.mv(Xreg::t0, Xreg::s1);
+  as.mv(Xreg::s1, Xreg::s2);
+  as.mv(Xreg::s2, Xreg::t0);
+  as.addi(Xreg::s3, Xreg::s3, -1);
+  as.bnez(Xreg::s3, loop_iter);
+
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_stencil2d_vector(const Stencil2dWorkload& workload,
+                               std::uint32_t num_cores) {
+  Assembler as(kTextBase);
+  const auto ny = static_cast<std::int64_t>(workload.ny);
+
+  // Interior rows [1, nx-1) are partitioned; within a row the interior
+  // columns [1, ny-1) are processed in vector blocks.
+  // Register map:
+  //   s10/s11 = row range (0-based over interior rows)
+  //   s1 = src, s2 = dst, s3 = ny*8 (row stride in bytes)
+  //   fa1 = cc, fa2 = cn
+  //   a1 = absolute row i, a2 = row end, a3 = column j, a4 = avl, a5 = vl
+  //   t0 = &src[i][j], t1 = scratch address
+  //   v8 = acc, v16 = neighbour loads
+  emit_partition(as, workload.nx - 2, num_cores, Xreg::s10, Xreg::s11);
+  auto done = as.make_label();
+  as.bge(Xreg::s10, Xreg::s11, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.dst_addr));
+  as.li(Xreg::s3, ny * 8);
+  emit_load_f64(as, Freg::fa1, Xreg::t0, workload.cc);
+  emit_load_f64(as, Freg::fa2, Xreg::t0, workload.cn);
+  as.li(Xreg::s4, ny - 1);  // interior column end
+
+  as.addi(Xreg::a1, Xreg::s10, 1);
+  as.addi(Xreg::a2, Xreg::s11, 1);
+  auto loop_row = as.here();
+  as.li(Xreg::a3, 1);
+  auto row_done = as.make_label();
+  auto loop_block = as.here();
+  as.bge(Xreg::a3, Xreg::s4, row_done);
+  as.sub(Xreg::a4, Xreg::s4, Xreg::a3);
+  as.vsetvli(Xreg::a5, Xreg::a4, Sew::kE64, Lmul::kM4);
+  // t0 = &src[i][j] = src + (i*ny + j)*8.
+  as.mul(Xreg::t0, Xreg::a1, Xreg::s3);
+  as.slli(Xreg::t1, Xreg::a3, 3);
+  as.add(Xreg::t0, Xreg::t0, Xreg::t1);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.vle64(Vreg::v8, Xreg::t0);              // centre
+  as.vfmul_vf(Vreg::v8, Vreg::v8, Freg::fa1);
+  as.sub(Xreg::t1, Xreg::t0, Xreg::s3);      // north
+  as.vle64(Vreg::v16, Xreg::t1);
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  as.add(Xreg::t1, Xreg::t0, Xreg::s3);      // south
+  as.vle64(Vreg::v16, Xreg::t1);
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  as.addi(Xreg::t1, Xreg::t0, -8);           // west
+  as.vle64(Vreg::v16, Xreg::t1);
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  as.addi(Xreg::t1, Xreg::t0, 8);            // east
+  as.vle64(Vreg::v16, Xreg::t1);
+  as.vfmacc_vf(Vreg::v8, Freg::fa2, Vreg::v16);
+  // Store to dst at the same offset.
+  as.sub(Xreg::t0, Xreg::t0, Xreg::s1);
+  as.add(Xreg::t0, Xreg::t0, Xreg::s2);
+  as.vse64(Vreg::v8, Xreg::t0);
+  as.add(Xreg::a3, Xreg::a3, Xreg::a5);
+  as.j(loop_block);
+  as.bind(row_done);
+  as.addi(Xreg::a1, Xreg::a1, 1);
+  as.blt(Xreg::a1, Xreg::a2, loop_row);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+Program build_stencil_scalar(const StencilWorkload& workload,
+                             std::uint32_t num_cores) {
+  check_multicore_iterations(workload, num_cores);
+  Assembler as(kTextBase);
+
+  // Register map mirrors the vector version; ft0..ft2 hold the neighbours.
+  emit_partition(as, workload.n - 2, num_cores, Xreg::s10, Xreg::s11);
+  auto done = as.make_label();
+  as.bge(Xreg::s10, Xreg::s11, done);
+
+  as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
+  as.li(Xreg::s2, static_cast<std::int64_t>(workload.dst_addr));
+  as.li(Xreg::s3, static_cast<std::int64_t>(workload.iterations));
+  emit_load_f64(as, Freg::fa1, Xreg::t0, workload.c0);
+  emit_load_f64(as, Freg::fa2, Xreg::t0, workload.c1);
+  emit_load_f64(as, Freg::fa3, Xreg::t0, workload.c2);
+
+  auto loop_iter = as.here();
+  as.addi(Xreg::a1, Xreg::s10, 1);
+  as.addi(Xreg::a2, Xreg::s11, 1);
+  // a4 = &src[i], a5 = &dst[i]
+  as.slli(Xreg::t0, Xreg::a1, 3);
+  as.add(Xreg::a4, Xreg::t0, Xreg::s1);
+  as.add(Xreg::a5, Xreg::t0, Xreg::s2);
+  auto iter_done = as.make_label();
+  auto loop_i = as.here();
+  as.bge(Xreg::a1, Xreg::a2, iter_done);
+  as.fld(Freg::ft0, -8, Xreg::a4);
+  as.fld(Freg::ft1, 0, Xreg::a4);
+  as.fld(Freg::ft2, 8, Xreg::a4);
+  as.fmul_d(Freg::fa0, Freg::ft0, Freg::fa1);
+  as.fmadd_d(Freg::fa0, Freg::ft1, Freg::fa2, Freg::fa0);
+  as.fmadd_d(Freg::fa0, Freg::ft2, Freg::fa3, Freg::fa0);
+  as.fsd(Freg::fa0, 0, Xreg::a5);
+  as.addi(Xreg::a4, Xreg::a4, 8);
+  as.addi(Xreg::a5, Xreg::a5, 8);
+  as.addi(Xreg::a1, Xreg::a1, 1);
+  as.j(loop_i);
+  as.bind(iter_done);
+  as.mv(Xreg::t0, Xreg::s1);
+  as.mv(Xreg::s1, Xreg::s2);
+  as.mv(Xreg::s2, Xreg::t0);
+  as.addi(Xreg::s3, Xreg::s3, -1);
+  as.bnez(Xreg::s3, loop_iter);
+
+  as.bind(done);
+  emit_exit(as);
+  return Program{kTextBase, kTextBase, as.finish()};
+}
+
+}  // namespace coyote::kernels

@@ -1,0 +1,484 @@
+#include "kernels/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace coyote::kernels {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Addr place_after(Addr addr, std::size_t bytes) {
+  return align_up(addr + bytes, kArrayAlign);
+}
+
+}  // namespace
+
+Range block_partition(std::uint64_t total, std::uint32_t part,
+                      std::uint32_t parts) {
+  const std::uint64_t per_part = (total + parts - 1) / parts;
+  const std::uint64_t begin = std::min<std::uint64_t>(per_part * part, total);
+  const std::uint64_t end = std::min<std::uint64_t>(begin + per_part, total);
+  return Range{begin, end};
+}
+
+// ---------------------------------------------------------------- dense --
+
+MatmulWorkload MatmulWorkload::generate(std::size_t n, std::uint64_t seed) {
+  MatmulWorkload workload;
+  workload.n = n;
+  workload.a.resize(n * n);
+  workload.b.resize(n * n);
+  Xoshiro256 rng(seed);
+  for (double& value : workload.a) value = rng.uniform(-1.0, 1.0);
+  for (double& value : workload.b) value = rng.uniform(-1.0, 1.0);
+  workload.a_addr = kDataBase;
+  workload.b_addr = place_after(workload.a_addr, n * n * 8);
+  workload.c_addr = place_after(workload.b_addr, n * n * 8);
+  return workload;
+}
+
+void MatmulWorkload::install(iss::SparseMemory& memory) const {
+  memory.poke_array(a_addr, a.data(), a.size());
+  memory.poke_array(b_addr, b.data(), b.size());
+  // Zero C so stale results from a previous run cannot leak through.
+  const std::vector<double> zeros(n * n, 0.0);
+  memory.poke_array(c_addr, zeros.data(), zeros.size());
+}
+
+std::vector<double> MatmulWorkload::reference() const {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatmulWorkload::result(
+    const iss::SparseMemory& memory) const {
+  return memory.peek_array<double>(c_addr, n * n);
+}
+
+// --------------------------------------------------------------- sparse --
+
+CsrMatrix CsrMatrix::random(std::size_t rows, std::size_t cols,
+                            std::size_t nnz_per_row, std::uint64_t seed) {
+  if (nnz_per_row > cols) {
+    throw ConfigError("CsrMatrix::random: nnz_per_row > cols");
+  }
+  CsrMatrix matrix;
+  matrix.rows = rows;
+  matrix.cols = cols;
+  matrix.row_ptr.reserve(rows + 1);
+  matrix.row_ptr.push_back(0);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> row;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Sample distinct column indices, then sort for CSR canonical form.
+    row.assign(nnz_per_row, 0);
+    for (auto& col : row) col = rng.below(cols);
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    for (const std::uint64_t col : row) {
+      matrix.col_idx.push_back(col);
+      matrix.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    matrix.row_ptr.push_back(matrix.col_idx.size());
+  }
+  return matrix;
+}
+
+CsrMatrix CsrMatrix::banded(std::size_t rows, std::size_t cols,
+                            std::size_t nnz_per_row, std::size_t bandwidth,
+                            std::uint64_t seed) {
+  if (bandwidth == 0) throw ConfigError("CsrMatrix::banded: zero bandwidth");
+  CsrMatrix matrix;
+  matrix.rows = rows;
+  matrix.cols = cols;
+  matrix.row_ptr.reserve(rows + 1);
+  matrix.row_ptr.push_back(0);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> row;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row.assign(nnz_per_row, 0);
+    const std::uint64_t center =
+        cols > 1 ? (static_cast<std::uint64_t>(r) * cols) / rows : 0;
+    const std::uint64_t lo = center > bandwidth / 2 ? center - bandwidth / 2 : 0;
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + bandwidth, cols);
+    for (auto& col : row) col = lo + rng.below(hi - lo);
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    for (const std::uint64_t col : row) {
+      matrix.col_idx.push_back(col);
+      matrix.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    matrix.row_ptr.push_back(matrix.col_idx.size());
+  }
+  return matrix;
+}
+
+EllMatrix EllMatrix::from_csr(const CsrMatrix& csr) {
+  EllMatrix ell;
+  ell.rows = csr.rows;
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    ell.width = std::max<std::size_t>(
+        ell.width, csr.row_ptr[r + 1] - csr.row_ptr[r]);
+  }
+  ell.col_idx.assign(ell.width * ell.rows, 0);
+  ell.values.assign(ell.width * ell.rows, 0.0);
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    const std::uint64_t begin = csr.row_ptr[r];
+    const std::uint64_t end = csr.row_ptr[r + 1];
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::size_t slot = i - begin;
+      // Slot-major: all rows' slot-s entries are contiguous.
+      ell.col_idx[slot * ell.rows + r] = csr.col_idx[i];
+      ell.values[slot * ell.rows + r] = csr.values[i];
+    }
+  }
+  return ell;
+}
+
+SpmvWorkload SpmvWorkload::generate(CsrMatrix matrix, std::uint64_t seed) {
+  SpmvWorkload workload;
+  workload.matrix = std::move(matrix);
+  workload.ell = EllMatrix::from_csr(workload.matrix);
+  workload.x.resize(workload.matrix.cols);
+  Xoshiro256 rng(seed ^ 0x5197C0DEULL);
+  for (double& value : workload.x) value = rng.uniform(-1.0, 1.0);
+
+  const CsrMatrix& m = workload.matrix;
+  workload.row_ptr_addr = kDataBase;
+  workload.col_idx_addr =
+      place_after(workload.row_ptr_addr, m.row_ptr.size() * 8);
+  workload.values_addr =
+      place_after(workload.col_idx_addr, m.col_idx.size() * 8);
+  workload.x_addr = place_after(workload.values_addr, m.values.size() * 8);
+  workload.y_addr = place_after(workload.x_addr, workload.x.size() * 8);
+  workload.ell_col_addr = place_after(workload.y_addr, m.rows * 8);
+  workload.ell_val_addr =
+      place_after(workload.ell_col_addr, workload.ell.col_idx.size() * 8);
+  workload.prod_addr =
+      place_after(workload.ell_val_addr, workload.ell.values.size() * 8);
+  return workload;
+}
+
+void SpmvWorkload::install(iss::SparseMemory& memory) const {
+  const CsrMatrix& m = matrix;
+  memory.poke_array(row_ptr_addr, m.row_ptr.data(), m.row_ptr.size());
+  memory.poke_array(col_idx_addr, m.col_idx.data(), m.col_idx.size());
+  memory.poke_array(values_addr, m.values.data(), m.values.size());
+  memory.poke_array(x_addr, x.data(), x.size());
+  const std::vector<double> zeros(m.rows, 0.0);
+  memory.poke_array(y_addr, zeros.data(), zeros.size());
+  memory.poke_array(ell_col_addr, ell.col_idx.data(), ell.col_idx.size());
+  memory.poke_array(ell_val_addr, ell.values.data(), ell.values.size());
+}
+
+std::vector<double> SpmvWorkload::reference() const {
+  std::vector<double> y(matrix.rows, 0.0);
+  for (std::size_t r = 0; r < matrix.rows; ++r) {
+    double acc = 0.0;
+    for (std::uint64_t i = matrix.row_ptr[r]; i < matrix.row_ptr[r + 1]; ++i) {
+      acc += matrix.values[i] * x[matrix.col_idx[i]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SpmvWorkload::result(
+    const iss::SparseMemory& memory) const {
+  return memory.peek_array<double>(y_addr, matrix.rows);
+}
+
+// ----------------------------------------------------------- stencil2d --
+
+Stencil2dWorkload Stencil2dWorkload::generate(std::size_t nx, std::size_t ny,
+                                              std::uint64_t seed) {
+  if (nx < 3 || ny < 3) {
+    throw ConfigError("Stencil2dWorkload: grid must be at least 3x3");
+  }
+  Stencil2dWorkload workload;
+  workload.nx = nx;
+  workload.ny = ny;
+  workload.src.resize(nx * ny);
+  Xoshiro256 rng(seed ^ 0x57E2CD2ULL);
+  for (double& value : workload.src) value = rng.uniform(0.0, 1.0);
+  workload.src_addr = kDataBase;
+  workload.dst_addr = place_after(workload.src_addr, nx * ny * 8);
+  return workload;
+}
+
+void Stencil2dWorkload::install(iss::SparseMemory& memory) const {
+  memory.poke_array(src_addr, src.data(), src.size());
+  // Boundary cells copy through; start dst as a copy of src.
+  memory.poke_array(dst_addr, src.data(), src.size());
+}
+
+std::vector<double> Stencil2dWorkload::reference() const {
+  std::vector<double> out = src;
+  for (std::size_t i = 1; i + 1 < nx; ++i) {
+    for (std::size_t j = 1; j + 1 < ny; ++j) {
+      out[i * ny + j] =
+          cc * src[i * ny + j] +
+          cn * (src[(i - 1) * ny + j] + src[(i + 1) * ny + j] +
+                src[i * ny + j - 1] + src[i * ny + j + 1]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Stencil2dWorkload::result(
+    const iss::SparseMemory& memory) const {
+  return memory.peek_array<double>(dst_addr, nx * ny);
+}
+
+// -------------------------------------------------------------- blas-1 --
+
+Blas1Workload Blas1Workload::generate(std::size_t n, std::uint64_t seed) {
+  Blas1Workload workload;
+  workload.n = n;
+  Xoshiro256 rng(seed ^ 0xB1A51ULL);
+  workload.alpha = rng.uniform(-2.0, 2.0);
+  workload.x.resize(n);
+  workload.y.resize(n);
+  for (double& value : workload.x) value = rng.uniform(-1.0, 1.0);
+  for (double& value : workload.y) value = rng.uniform(-1.0, 1.0);
+  workload.x_addr = kDataBase;
+  workload.y_addr = place_after(workload.x_addr, n * 8);
+  workload.partials_addr = place_after(workload.y_addr, n * 8);
+  return workload;
+}
+
+void Blas1Workload::install(iss::SparseMemory& memory) const {
+  memory.poke_array(x_addr, x.data(), x.size());
+  memory.poke_array(y_addr, y.data(), y.size());
+  const std::vector<double> zeros(256, 0.0);  // generous partials area
+  memory.poke_array(partials_addr, zeros.data(), zeros.size());
+}
+
+std::vector<double> Blas1Workload::axpy_reference() const {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = alpha * x[i] + y[i];
+  return out;
+}
+
+std::vector<double> Blas1Workload::axpy_result(
+    const iss::SparseMemory& memory) const {
+  return memory.peek_array<double>(y_addr, n);
+}
+
+double Blas1Workload::dot_reference() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Blas1Workload::dot_result(const iss::SparseMemory& memory,
+                                 std::uint32_t num_cores) const {
+  const auto partials =
+      memory.peek_array<double>(partials_addr, num_cores);
+  double acc = 0.0;
+  for (const double partial : partials) acc += partial;
+  return acc;
+}
+
+// ----------------------------------------------------------------- fft --
+
+namespace {
+
+std::size_t bit_reverse(std::size_t value, unsigned bits_count) {
+  std::size_t out = 0;
+  for (unsigned b = 0; b < bits_count; ++b) {
+    out = (out << 1) | ((value >> b) & 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+FftWorkload FftWorkload::generate(std::size_t n, std::uint64_t seed) {
+  if (!is_pow2(n) || n < 2) {
+    throw ConfigError("FftWorkload: n must be a power of two >= 2");
+  }
+  FftWorkload workload;
+  workload.n = n;
+  workload.in_re.resize(n);
+  workload.in_im.resize(n);
+  Xoshiro256 rng(seed ^ 0xFF7ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    workload.in_re[i] = rng.uniform(-1.0, 1.0);
+    workload.in_im[i] = rng.uniform(-1.0, 1.0);
+  }
+  workload.re_addr = kDataBase;
+  workload.im_addr = place_after(workload.re_addr, n * 8);
+  workload.tw_re_addr = place_after(workload.im_addr, n * 8);
+  workload.tw_im_addr = place_after(workload.tw_re_addr, n / 2 * 8);
+  return workload;
+}
+
+void FftWorkload::install(iss::SparseMemory& memory) const {
+  const unsigned bits_count = log2_exact(n);
+  std::vector<double> rev_re(n);
+  std::vector<double> rev_im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, bits_count);
+    rev_re[j] = in_re[i];
+    rev_im[j] = in_im[i];
+  }
+  memory.poke_array(re_addr, rev_re.data(), n);
+  memory.poke_array(im_addr, rev_im.data(), n);
+  std::vector<double> tw_re(n / 2);
+  std::vector<double> tw_im(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    const double angle = -2.0 * kPi * static_cast<double>(j) /
+                         static_cast<double>(n);
+    tw_re[j] = std::cos(angle);
+    tw_im[j] = std::sin(angle);
+  }
+  memory.poke_array(tw_re_addr, tw_re.data(), n / 2);
+  memory.poke_array(tw_im_addr, tw_im.data(), n / 2);
+}
+
+void FftWorkload::reference(std::vector<double>& out_re,
+                            std::vector<double>& out_im) const {
+  // Host-side iterative radix-2 FFT (double precision), same algorithm the
+  // kernel runs, so agreement is tight; an O(n^2) DFT check of *this*
+  // reference lives in the test suite.
+  const unsigned bits_count = log2_exact(n);
+  out_re.resize(n);
+  out_im.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, bits_count);
+    out_re[j] = in_re[i];
+    out_im[j] = in_im[i];
+  }
+  for (std::size_t m = 2; m <= n; m <<= 1) {
+    const std::size_t hm = m / 2;
+    const std::size_t stride = n / m;
+    for (std::size_t block = 0; block < n; block += m) {
+      for (std::size_t j = 0; j < hm; ++j) {
+        const double angle = -2.0 * kPi *
+                             static_cast<double>(j * stride) /
+                             static_cast<double>(n);
+        const double twr = std::cos(angle);
+        const double twi = std::sin(angle);
+        const std::size_t i0 = block + j;
+        const std::size_t i1 = i0 + hm;
+        const double tr = twr * out_re[i1] - twi * out_im[i1];
+        const double ti = twr * out_im[i1] + twi * out_re[i1];
+        const double r0 = out_re[i0];
+        const double m0 = out_im[i0];
+        out_re[i0] = r0 + tr;
+        out_im[i0] = m0 + ti;
+        out_re[i1] = r0 - tr;
+        out_im[i1] = m0 - ti;
+      }
+    }
+  }
+}
+
+void FftWorkload::result(const iss::SparseMemory& memory,
+                         std::vector<double>& out_re,
+                         std::vector<double>& out_im) const {
+  out_re = memory.peek_array<double>(re_addr, n);
+  out_im = memory.peek_array<double>(im_addr, n);
+}
+
+// ------------------------------------------------------------ histogram --
+
+HistogramWorkload HistogramWorkload::generate(std::size_t n, std::size_t bins,
+                                              double skew,
+                                              std::uint64_t seed) {
+  if (bins == 0) throw ConfigError("HistogramWorkload: zero bins");
+  if (skew < 0.0 || skew >= 1.0) {
+    throw ConfigError("HistogramWorkload: skew must be in [0, 1)");
+  }
+  HistogramWorkload workload;
+  workload.n = n;
+  workload.bins = bins;
+  workload.data.resize(n);
+  Xoshiro256 rng(seed ^ 0x415D06ULL);
+  for (auto& value : workload.data) {
+    // Power-style skew: u^(1/(1-skew)) concentrates mass near bin 0.
+    const double u = rng.uniform();
+    const double shaped = skew == 0.0 ? u : std::pow(u, 1.0 / (1.0 - skew));
+    value = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(shaped * static_cast<double>(bins)),
+        bins - 1);
+  }
+  workload.data_addr = kDataBase;
+  workload.bins_addr = place_after(workload.data_addr, n * 8);
+  return workload;
+}
+
+void HistogramWorkload::install(iss::SparseMemory& memory) const {
+  memory.poke_array(data_addr, data.data(), data.size());
+  const std::vector<std::uint64_t> zeros(bins, 0);
+  memory.poke_array(bins_addr, zeros.data(), zeros.size());
+}
+
+std::vector<std::uint64_t> HistogramWorkload::reference() const {
+  std::vector<std::uint64_t> counts(bins, 0);
+  for (const auto value : data) ++counts[value];
+  return counts;
+}
+
+std::vector<std::uint64_t> HistogramWorkload::result(
+    const iss::SparseMemory& memory) const {
+  return memory.peek_array<std::uint64_t>(bins_addr, bins);
+}
+
+// -------------------------------------------------------------- stencil --
+
+StencilWorkload StencilWorkload::generate(std::size_t n,
+                                          std::uint32_t iterations,
+                                          std::uint64_t seed) {
+  if (n < 2) throw ConfigError("StencilWorkload: n must be >= 2");
+  StencilWorkload workload;
+  workload.n = n;
+  workload.iterations = iterations;
+  workload.src.resize(n);
+  Xoshiro256 rng(seed ^ 0x57E2C11ULL);
+  for (double& value : workload.src) value = rng.uniform(0.0, 1.0);
+  workload.src_addr = kDataBase;
+  workload.dst_addr = place_after(workload.src_addr, n * 8);
+  return workload;
+}
+
+void StencilWorkload::install(iss::SparseMemory& memory) const {
+  memory.poke_array(src_addr, src.data(), src.size());
+  // dst starts as a copy so the untouched boundary cells are already right.
+  memory.poke_array(dst_addr, src.data(), src.size());
+}
+
+std::vector<double> StencilWorkload::reference() const {
+  std::vector<double> from = src;
+  std::vector<double> to = src;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      to[i] = c0 * from[i - 1] + c1 * from[i] + c2 * from[i + 1];
+    }
+    std::swap(from, to);
+  }
+  return from;
+}
+
+std::vector<double> StencilWorkload::result(
+    const iss::SparseMemory& memory) const {
+  const Addr final_addr = (iterations % 2 == 1) ? dst_addr : src_addr;
+  return memory.peek_array<double>(final_addr, n);
+}
+
+}  // namespace coyote::kernels

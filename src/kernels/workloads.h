@@ -1,0 +1,222 @@
+// Workload construction: deterministic dense matrices, random CSR sparse
+// matrices (with optional clustering of non-zeros, the property §IV of the
+// paper calls out for MC studies), the ELLPACK conversion used by one SpMV
+// variant, and host-side reference computations for validating simulated
+// results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "iss/memory.h"
+#include "kernels/layout.h"
+
+namespace coyote::kernels {
+
+// ---------------------------------------------------------------- dense --
+/// Row-major dense double-precision matmul workload: C = A * B, square N x N.
+struct MatmulWorkload {
+  std::size_t n = 0;
+  std::vector<double> a;
+  std::vector<double> b;
+  Addr a_addr = 0;
+  Addr b_addr = 0;
+  Addr c_addr = 0;
+
+  static MatmulWorkload generate(std::size_t n, std::uint64_t seed);
+
+  /// Pokes A and B into simulated memory (C is implicitly zero).
+  void install(iss::SparseMemory& memory) const;
+  /// Host-side C = A*B.
+  std::vector<double> reference() const;
+  /// Reads C back from simulated memory.
+  std::vector<double> result(const iss::SparseMemory& memory) const;
+};
+
+// --------------------------------------------------------------- sparse --
+/// Compressed-sparse-row matrix with 64-bit indices.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint64_t> row_ptr;  // rows+1 entries
+  std::vector<std::uint64_t> col_idx;  // nnz entries, sorted per row
+  std::vector<double> values;          // nnz entries
+
+  std::size_t nnz() const { return col_idx.size(); }
+
+  /// Uniformly-random pattern with `nnz_per_row` non-zeros per row.
+  static CsrMatrix random(std::size_t rows, std::size_t cols,
+                          std::size_t nnz_per_row, std::uint64_t seed);
+
+  /// Clustered pattern: non-zeros of each row drawn from a narrow window
+  /// around the diagonal (banded), modelling the locality §IV discusses.
+  static CsrMatrix banded(std::size_t rows, std::size_t cols,
+                          std::size_t nnz_per_row, std::size_t bandwidth,
+                          std::uint64_t seed);
+};
+
+/// ELLPACK view of a CSR matrix: fixed `width` slots per row, column-major
+/// slot arrays (slot-major storage gives the vector kernel unit-stride
+/// access), padded with (col=0, value=0).
+struct EllMatrix {
+  std::size_t rows = 0;
+  std::size_t width = 0;
+  std::vector<std::uint64_t> col_idx;  // width * rows, slot-major
+  std::vector<double> values;          // width * rows, slot-major
+
+  static EllMatrix from_csr(const CsrMatrix& csr);
+};
+
+/// SpMV workload: y = A * x. Installs CSR arrays, the dense vector x, and —
+/// for the variants that need them — the ELL arrays and the intermediate
+/// product buffer.
+struct SpmvWorkload {
+  CsrMatrix matrix;
+  EllMatrix ell;
+  std::vector<double> x;
+
+  Addr row_ptr_addr = 0;
+  Addr col_idx_addr = 0;
+  Addr values_addr = 0;
+  Addr x_addr = 0;
+  Addr y_addr = 0;
+  Addr ell_col_addr = 0;
+  Addr ell_val_addr = 0;
+  Addr prod_addr = 0;  ///< nnz-sized scratch for the two-phase variant
+
+  static SpmvWorkload generate(CsrMatrix matrix, std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  std::vector<double> reference() const;
+  std::vector<double> result(const iss::SparseMemory& memory) const;
+};
+
+// -------------------------------------------------------------- stencil --
+/// 1D 3-point stencil: dst[i] = c0*src[i-1] + c1*src[i] + c2*src[i+1] for
+/// i in [1, n-1); boundary cells are copied through. `iterations` sweeps
+/// ping-pong between the two buffers (multicore runs require iterations==1,
+/// as Coyote models no coherence).
+struct StencilWorkload {
+  std::size_t n = 0;
+  std::uint32_t iterations = 1;
+  double c0 = 0.25;
+  double c1 = 0.5;
+  double c2 = 0.25;
+  std::vector<double> src;
+
+  Addr src_addr = 0;
+  Addr dst_addr = 0;
+
+  static StencilWorkload generate(std::size_t n, std::uint32_t iterations,
+                                  std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  std::vector<double> reference() const;
+  /// Reads the final buffer (dst for odd iteration counts, src for even).
+  std::vector<double> result(const iss::SparseMemory& memory) const;
+};
+
+// ----------------------------------------------------------- stencil2d --
+/// 2D 5-point stencil, single Jacobi sweep over the interior of an
+/// nx x ny row-major grid:
+///   dst[i][j] = cc*src[i][j] + cn*(src[i-1][j] + src[i+1][j]
+///                                  + src[i][j-1] + src[i][j+1]).
+struct Stencil2dWorkload {
+  std::size_t nx = 0;  ///< rows
+  std::size_t ny = 0;  ///< columns
+  double cc = 0.5;
+  double cn = 0.125;
+  std::vector<double> src;
+
+  Addr src_addr = 0;
+  Addr dst_addr = 0;
+
+  static Stencil2dWorkload generate(std::size_t nx, std::size_t ny,
+                                    std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  std::vector<double> reference() const;
+  std::vector<double> result(const iss::SparseMemory& memory) const;
+};
+
+// -------------------------------------------------------------- blas-1 --
+/// AXPY (y = alpha*x + y) and DOT (sum x[i]*y[i]) share one workload.
+struct Blas1Workload {
+  std::size_t n = 0;
+  double alpha = 0.0;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  Addr x_addr = 0;
+  Addr y_addr = 0;
+  Addr partials_addr = 0;  ///< per-core DOT partial sums
+
+  static Blas1Workload generate(std::size_t n, std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  std::vector<double> axpy_reference() const;
+  std::vector<double> axpy_result(const iss::SparseMemory& memory) const;
+  double dot_reference() const;
+  /// Sums the per-core partials the DOT kernel leaves in memory.
+  double dot_result(const iss::SparseMemory& memory,
+                    std::uint32_t num_cores) const;
+};
+
+// ----------------------------------------------------------------- fft --
+/// In-place radix-2 decimation-in-time FFT on complex data held as split
+/// re[]/im[] arrays (one of the kernels the paper lists as future work).
+/// install() stores the input in bit-reversed order, as the iterative DIT
+/// expects; twiddle factors are precomputed host-side.
+struct FftWorkload {
+  std::size_t n = 0;  // power of two
+  std::vector<double> in_re;
+  std::vector<double> in_im;
+
+  Addr re_addr = 0;
+  Addr im_addr = 0;
+  Addr tw_re_addr = 0;
+  Addr tw_im_addr = 0;
+
+  static FftWorkload generate(std::size_t n, std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  /// Host-side DFT of the original (natural-order) input.
+  void reference(std::vector<double>& out_re,
+                 std::vector<double>& out_im) const;
+  void result(const iss::SparseMemory& memory, std::vector<double>& out_re,
+              std::vector<double>& out_im) const;
+};
+
+// ------------------------------------------------------------ histogram --
+/// Histogram workload (HPDA-style): count occurrences of each value in a
+/// data stream. The atomic kernel updates shared bins with amoadd.d, so
+/// any partitioning of the stream across cores yields exact counts.
+struct HistogramWorkload {
+  std::size_t n = 0;
+  std::size_t bins = 0;
+  std::vector<std::uint64_t> data;  // values in [0, bins)
+
+  Addr data_addr = 0;
+  Addr bins_addr = 0;
+
+  /// `skew` in [0,1): 0 = uniform bins; larger values concentrate traffic
+  /// on low bins (contention study).
+  static HistogramWorkload generate(std::size_t n, std::size_t bins,
+                                    double skew, std::uint64_t seed);
+
+  void install(iss::SparseMemory& memory) const;
+  std::vector<std::uint64_t> reference() const;
+  std::vector<std::uint64_t> result(const iss::SparseMemory& memory) const;
+};
+
+/// Splits `total` items into a contiguous [begin, end) block for `part` of
+/// `parts` (block partitioning used by every kernel).
+struct Range {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+Range block_partition(std::uint64_t total, std::uint32_t part,
+                      std::uint32_t parts);
+
+}  // namespace coyote::kernels

@@ -1,0 +1,185 @@
+// A generic set-associative tag array with true-LRU replacement and dirty
+// bits. Pure state, no timing: the L1 models (ISS side) and the L2 banks
+// (event-model side) both build on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace coyote::memhier {
+
+/// Victim-selection policy.
+enum class Replacement : std::uint8_t {
+  kLru,     ///< true LRU (default)
+  kFifo,    ///< insertion order; hits do not refresh
+  kRandom,  ///< pseudo-random way (deterministic per-array stream)
+};
+
+inline const char* replacement_name(Replacement policy) {
+  switch (policy) {
+    case Replacement::kLru: return "lru";
+    case Replacement::kFifo: return "fifo";
+    case Replacement::kRandom: return "random";
+  }
+  return "?";
+}
+
+class CacheArray {
+ public:
+  struct Config {
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t line_bytes = 64;
+    Replacement replacement = Replacement::kLru;
+  };
+
+  /// The line displaced by an insert (valid == false when a free way was
+  /// available).
+  struct Eviction {
+    bool valid = false;
+    bool dirty = false;
+    Addr line_addr = 0;
+  };
+
+  explicit CacheArray(const Config& config) : config_(config) {
+    if (!is_pow2(config.line_bytes) || !is_pow2(config.size_bytes) ||
+        config.ways == 0) {
+      throw ConfigError("CacheArray: size and line must be powers of two");
+    }
+    if (config.size_bytes % (static_cast<std::uint64_t>(config.ways) *
+                             config.line_bytes) != 0) {
+      throw ConfigError("CacheArray: size not divisible by ways*line");
+    }
+    sets_ = config.size_bytes / config.ways / config.line_bytes;
+    if (!is_pow2(sets_)) throw ConfigError("CacheArray: set count not pow2");
+    line_shift_ = log2_exact(config.line_bytes);
+    set_mask_ = sets_ - 1;
+    entries_.assign(static_cast<std::size_t>(sets_) * config.ways, Entry{});
+  }
+
+  const Config& config() const { return config_; }
+  std::uint64_t sets() const { return sets_; }
+  std::uint32_t ways() const { return config_.ways; }
+  std::uint32_t line_bytes() const { return config_.line_bytes; }
+
+  /// Line-aligns an address.
+  Addr line_of(Addr addr) const { return addr >> line_shift_ << line_shift_; }
+
+  /// True iff `line_addr` is resident. Updates recency on hit (LRU only).
+  bool lookup(Addr line_addr) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return false;
+    if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
+    return true;
+  }
+
+  /// Lookup without LRU update (for tests / probing).
+  bool probe(Addr line_addr) const {
+    return const_cast<CacheArray*>(this)->find(line_addr) != nullptr;
+  }
+
+  /// Marks a resident line dirty. Returns false if the line is absent.
+  bool mark_dirty(Addr line_addr) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return false;
+    entry->dirty = true;
+    if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
+    return true;
+  }
+
+  bool is_dirty(Addr line_addr) const {
+    const Entry* entry = const_cast<CacheArray*>(this)->find(line_addr);
+    return entry != nullptr && entry->dirty;
+  }
+
+  /// Inserts `line_addr` (which must not be resident), evicting a victim
+  /// chosen by the configured replacement policy if the set is full.
+  Eviction insert(Addr line_addr, bool dirty) {
+    const std::size_t set = set_of(line_addr);
+    Entry* victim = nullptr;
+    bool found_free = false;
+    for (std::uint32_t way = 0; way < config_.ways; ++way) {
+      Entry& entry = entries_[set * config_.ways + way];
+      if (!entry.valid) {
+        victim = &entry;
+        found_free = true;
+        break;
+      }
+      // LRU and FIFO both evict the smallest timestamp; they differ in
+      // whether lookup() refreshes it.
+      if (victim == nullptr || entry.lru < victim->lru) victim = &entry;
+    }
+    if (!found_free && config_.replacement == Replacement::kRandom) {
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint32_t way =
+          static_cast<std::uint32_t>((rng_state_ >> 33) % config_.ways);
+      victim = &entries_[set * config_.ways + way];
+    }
+    Eviction evicted;
+    if (victim->valid) {
+      evicted.valid = true;
+      evicted.dirty = victim->dirty;
+      evicted.line_addr = victim->line_addr;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->line_addr = line_of(line_addr);
+    victim->lru = ++clock_;
+    return evicted;
+  }
+
+  /// Removes a line if resident; returns whether it was dirty.
+  bool invalidate(Addr line_addr) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return false;
+    const bool dirty = entry->dirty;
+    *entry = Entry{};
+    return dirty;
+  }
+
+  void invalidate_all() {
+    for (Entry& entry : entries_) entry = Entry{};
+  }
+
+  std::uint64_t resident_lines() const {
+    std::uint64_t count = 0;
+    for (const Entry& entry : entries_) count += entry.valid ? 1 : 0;
+    return count;
+  }
+
+ private:
+  struct Entry {
+    Addr line_addr = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_of(Addr line_addr) const {
+    return (line_addr >> line_shift_) & set_mask_;
+  }
+
+  Entry* find(Addr line_addr) {
+    const Addr aligned = line_of(line_addr);
+    const std::size_t set = set_of(aligned);
+    for (std::uint32_t way = 0; way < config_.ways; ++way) {
+      Entry& entry = entries_[set * config_.ways + way];
+      if (entry.valid && entry.line_addr == aligned) return &entry;
+    }
+    return nullptr;
+  }
+
+  Config config_;
+  std::uint64_t sets_;
+  std::uint64_t set_mask_;
+  unsigned line_shift_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace coyote::memhier

@@ -1,0 +1,179 @@
+#include "memhier/l2bank.h"
+
+namespace coyote::memhier {
+
+L2Bank::L2Bank(simfw::Unit* parent, std::string name, BankId bank_id,
+               TileId tile, const L2BankConfig& config, Noc* noc,
+               const McMapper* mc_mapper)
+    : simfw::Unit(parent, std::move(name)),
+      bank_id_(bank_id),
+      tile_(tile),
+      config_(config),
+      array_(CacheArray::Config{config.size_bytes, config.ways,
+                                config.line_bytes, config.replacement}),
+      noc_(noc),
+      mc_mapper_(mc_mapper),
+      cpu_req_in_(this, "cpu_req_in"),
+      cpu_resp_out_(this, "cpu_resp_out"),
+      mem_resp_in_(this, "mem_resp_in"),
+      accesses_(stats().counter("accesses", "requests looked up in this bank")),
+      hits_(stats().counter("hits", "lookups that hit")),
+      misses_(stats().counter("misses", "lookups that missed")),
+      merged_misses_(
+          stats().counter("merged_misses", "misses merged into an MSHR")),
+      mshr_stalls_(
+          stats().counter("mshr_stalls", "requests queued: MSHRs exhausted")),
+      writebacks_in_(
+          stats().counter("writebacks_in", "dirty L1 evictions received")),
+      writebacks_out_(
+          stats().counter("writebacks_out", "dirty lines written to memory")),
+      evictions_(stats().counter("evictions", "lines displaced by fills")),
+      prefetches_issued_(
+          stats().counter("prefetches_issued", "prefetch fills requested")),
+      prefetches_useful_(stats().counter(
+          "prefetches_useful", "prefetched lines later hit by a demand")) {
+  if (noc_ == nullptr || mc_mapper_ == nullptr) {
+    throw ConfigError("L2Bank: needs a NoC and an MC mapper");
+  }
+  mem_req_out_.reserve(mc_mapper_->num_mcs());
+  for (McId mc = 0; mc < mc_mapper_->num_mcs(); ++mc) {
+    mem_req_out_.push_back(std::make_unique<simfw::DataOutPort<MemRequest>>(
+        this, strfmt("mem_req_out%u", mc)));
+  }
+  cpu_req_in_.register_handler(
+      [this](const MemRequest& request) { on_cpu_request(request); });
+  mem_resp_in_.register_handler(
+      [this](const MemResponse& response) { on_mem_response(response); });
+
+  stats().statistic("miss_rate", "misses / accesses", [this]() {
+    const double accesses = static_cast<double>(accesses_.get());
+    return accesses == 0 ? 0.0 : static_cast<double>(misses_.get()) / accesses;
+  });
+}
+
+void L2Bank::respond(const MemRequest& request, Cycle delay) {
+  cpu_resp_out_.send(
+      MemResponse{request.line_addr, request.op, request.core},
+      delay + noc_->traverse(noc_->tile_node(tile_),
+                             noc_->tile_node(request.src_tile)));
+}
+
+void L2Bank::forward_to_mc(const MemRequest& request, Cycle extra_delay) {
+  const McId mc = mc_mapper_->mc_of(request.line_addr);
+  MemRequest forwarded = request;
+  forwarded.src_bank = bank_id_;
+  forwarded.src_tile = tile_;
+  mem_req_out_[mc]->send(
+      forwarded,
+      extra_delay + noc_->traverse(noc_->tile_node(tile_), noc_->mc_node(mc)));
+}
+
+void L2Bank::on_cpu_request(const MemRequest& request) {
+  if (request.op == MemOp::kWriteback) {
+    ++writebacks_in_;
+    if (!array_.mark_dirty(request.line_addr)) {
+      // Non-inclusive hierarchy: the L2 copy is gone; push the data home.
+      ++writebacks_out_;
+      forward_to_mc(request, 0);
+    }
+    return;
+  }
+
+  if (array_.lookup(request.line_addr)) {
+    ++accesses_;
+    ++hits_;
+    if (const auto it = prefetched_.find(request.line_addr);
+        it != prefetched_.end()) {
+      ++prefetches_useful_;
+      prefetched_.erase(it);
+    }
+    respond(request, config_.hit_latency);
+    return;
+  }
+
+  if (const auto it = mshrs_.find(request.line_addr); it != mshrs_.end()) {
+    ++accesses_;
+    ++misses_;
+    ++merged_misses_;
+    if (it->second.prefetch_only) {
+      // A demand caught up with an in-flight prefetch: partially useful.
+      it->second.prefetch_only = false;
+      ++prefetches_useful_;
+    }
+    it->second.waiters.push_back(request);
+    return;
+  }
+  if (mshrs_.size() >= config_.mshrs) {
+    // Queued requests are not yet counted as accesses; they are re-run (and
+    // then counted) when an MSHR frees up.
+    ++mshr_stalls_;
+    pending_.push_back(request);
+    return;
+  }
+  ++accesses_;
+  ++misses_;
+  Mshr& mshr = mshrs_[request.line_addr];
+  mshr.prefetch_only = false;
+  mshr.waiters.push_back(request);
+  forward_to_mc(request, config_.miss_latency);
+  maybe_prefetch(request.line_addr);
+}
+
+void L2Bank::maybe_prefetch(Addr line_addr) {
+  if (config_.prefetch == PrefetchPolicy::kNone) return;
+  const Addr stride = config_.prefetch_stride_bytes != 0
+                          ? config_.prefetch_stride_bytes
+                          : config_.line_bytes;
+  for (std::uint32_t ahead = 1; ahead <= config_.prefetch_degree; ++ahead) {
+    const Addr candidate = line_addr + static_cast<Addr>(ahead) * stride;
+    if (array_.probe(candidate)) continue;
+    if (mshrs_.count(candidate) != 0) continue;
+    if (mshrs_.size() >= config_.mshrs) return;  // never starve demands
+    mshrs_[candidate];  // prefetch_only stays true, no waiters
+    ++prefetches_issued_;
+    forward_to_mc(MemRequest{candidate, MemOp::kPrefetch, kInvalidCore,
+                             tile_, bank_id_},
+                  config_.miss_latency);
+  }
+}
+
+void L2Bank::on_mem_response(const MemResponse& response) {
+  const auto it = mshrs_.find(response.line_addr);
+  if (it == mshrs_.end()) {
+    throw SimError(strfmt("%s: memory response for line 0x%llx with no MSHR",
+                          path().c_str(),
+                          static_cast<unsigned long long>(response.line_addr)));
+  }
+  const Mshr mshr = std::move(it->second);
+  mshrs_.erase(it);
+
+  const auto evicted = array_.insert(response.line_addr, /*dirty=*/false);
+  if (mshr.prefetch_only) prefetched_.insert(response.line_addr);
+  if (evicted.valid) {
+    ++evictions_;
+    prefetched_.erase(evicted.line_addr);
+    if (evicted.dirty) {
+      ++writebacks_out_;
+      forward_to_mc(MemRequest{evicted.line_addr, MemOp::kWriteback,
+                               kInvalidCore, tile_, bank_id_},
+                    0);
+    }
+  }
+
+  for (const MemRequest& waiter : mshr.waiters) {
+    respond(waiter, 0);
+  }
+
+  // MSHR(s) freed up: drain the input queue while capacity lasts. Draining
+  // must continue past requests that now *hit* (e.g. on the line just
+  // filled) — a hit consumes no MSHR and produces no future fill, so
+  // stopping after one admission could strand the rest of the queue with no
+  // event left to ever admit them.
+  while (!pending_.empty() && mshrs_.size() < config_.mshrs) {
+    const MemRequest next = pending_.front();
+    pending_.pop_front();
+    on_cpu_request(next);
+  }
+}
+
+}  // namespace coyote::memhier

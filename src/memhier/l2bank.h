@@ -1,0 +1,113 @@
+// One L2 cache bank, modelled as an event-driven unit (the paper's
+// "functionality of each element (e.g. an L2 Bank) is encapsulated as an
+// independent component"). Configurable size/associativity/line size, a
+// bounded number of in-flight misses (MSHRs) with an input queue behind
+// them, hit/miss latencies, and dirty-writeback traffic to the memory
+// controllers.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memhier/cache_array.h"
+#include "memhier/mapping.h"
+#include "memhier/msg.h"
+#include "memhier/noc.h"
+#include "simfw/port.h"
+
+namespace coyote::memhier {
+
+/// L2-side prefetch policy — the "data management policies such as
+/// prefetching, streaming" the paper lists as the tool's next modelling
+/// step (§III-A).
+enum class PrefetchPolicy : std::uint8_t {
+  kNone,
+  kNextLine,  ///< on a demand miss, fetch the next `degree` sequential lines
+};
+
+struct L2BankConfig {
+  std::uint64_t size_bytes = 256 * 1024;  ///< capacity of this bank
+  std::uint32_t ways = 16;
+  std::uint32_t line_bytes = 64;
+  Cycle hit_latency = 8;    ///< lookup-to-response on a hit
+  Cycle miss_latency = 4;   ///< lookup-to-forward on a miss
+  std::uint32_t mshrs = 16; ///< max in-flight misses
+  Replacement replacement = Replacement::kLru;
+  PrefetchPolicy prefetch = PrefetchPolicy::kNone;
+  std::uint32_t prefetch_degree = 1;  ///< lines fetched ahead per miss
+  /// Address distance between consecutive lines *this bank owns*. Under
+  /// set-interleaving that is num_banks * line_bytes; under page-to-bank it
+  /// is line_bytes. 0 = line_bytes. The Simulator fills this in from the
+  /// mapping policy; prefetching a line another bank owns would be wasted.
+  std::uint64_t prefetch_stride_bytes = 0;
+};
+
+class L2Bank : public simfw::Unit {
+ public:
+  /// `mc_mapper` selects the controller for misses; `noc` supplies latencies.
+  L2Bank(simfw::Unit* parent, std::string name, BankId bank_id, TileId tile,
+         const L2BankConfig& config, Noc* noc, const McMapper* mc_mapper);
+
+  BankId bank_id() const { return bank_id_; }
+  TileId tile() const { return tile_; }
+  const L2BankConfig& config() const { return config_; }
+
+  // ----- ports -----
+  simfw::DataInPort<MemRequest>& cpu_req_in() { return cpu_req_in_; }
+  simfw::DataOutPort<MemResponse>& cpu_resp_out() { return cpu_resp_out_; }
+  simfw::DataInPort<MemResponse>& mem_resp_in() { return mem_resp_in_; }
+  /// One out-port per memory controller; bind each to the MC's req_in.
+  simfw::DataOutPort<MemRequest>& mem_req_out(McId mc) {
+    return *mem_req_out_.at(mc);
+  }
+
+  /// Probes whether a line is resident (tests / debugging).
+  bool contains(Addr line_addr) const { return array_.probe(line_addr); }
+  std::size_t mshrs_in_use() const { return mshrs_.size(); }
+  std::size_t queued_requests() const { return pending_.size(); }
+
+ private:
+  void on_cpu_request(const MemRequest& request);
+  void on_mem_response(const MemResponse& response);
+  void forward_to_mc(const MemRequest& request, Cycle extra_delay);
+  void respond(const MemRequest& request, Cycle delay);
+  /// Issues next-line prefetches following a demand miss at `line_addr`.
+  void maybe_prefetch(Addr line_addr);
+
+  struct Mshr {
+    std::vector<MemRequest> waiters;
+    bool prefetch_only = true;  ///< no demand request waits on this line
+  };
+
+  BankId bank_id_;
+  TileId tile_;
+  L2BankConfig config_;
+  CacheArray array_;
+  Noc* noc_;
+  const McMapper* mc_mapper_;
+
+  simfw::DataInPort<MemRequest> cpu_req_in_;
+  simfw::DataOutPort<MemResponse> cpu_resp_out_;
+  simfw::DataInPort<MemResponse> mem_resp_in_;
+  std::vector<std::unique_ptr<simfw::DataOutPort<MemRequest>>> mem_req_out_;
+
+  std::unordered_map<Addr, Mshr> mshrs_;
+  std::deque<MemRequest> pending_;  ///< requests waiting for a free MSHR
+  std::unordered_set<Addr> prefetched_;  ///< resident, not yet demanded
+
+  simfw::Counter& accesses_;
+  simfw::Counter& hits_;
+  simfw::Counter& misses_;
+  simfw::Counter& merged_misses_;
+  simfw::Counter& mshr_stalls_;
+  simfw::Counter& writebacks_in_;
+  simfw::Counter& writebacks_out_;
+  simfw::Counter& evictions_;
+  simfw::Counter& prefetches_issued_;
+  simfw::Counter& prefetches_useful_;
+};
+
+}  // namespace coyote::memhier

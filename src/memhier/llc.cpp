@@ -1,0 +1,107 @@
+#include "memhier/llc.h"
+
+namespace coyote::memhier {
+
+LlcSlice::LlcSlice(simfw::Unit* parent, std::string name, McId mc_id,
+                   const LlcConfig& config, Noc* noc,
+                   std::uint32_t num_l2_banks)
+    : simfw::Unit(parent, std::move(name)),
+      mc_id_(mc_id),
+      config_(config),
+      array_(CacheArray::Config{config.size_bytes, config.ways,
+                                config.line_bytes, config.replacement}),
+      noc_(noc),
+      req_in_(this, "req_in"),
+      mem_req_out_(this, "mem_req_out"),
+      mem_resp_in_(this, "mem_resp_in"),
+      accesses_(stats().counter("accesses", "requests looked up")),
+      hits_(stats().counter("hits", "lookups that hit")),
+      misses_(stats().counter("misses", "lookups that missed")),
+      writebacks_in_(
+          stats().counter("writebacks_in", "dirty L2 evictions absorbed")),
+      writebacks_out_(
+          stats().counter("writebacks_out", "dirty lines written to DRAM")),
+      evictions_(stats().counter("evictions", "lines displaced by fills")) {
+  if (noc_ == nullptr) throw ConfigError("LlcSlice: needs a NoC");
+  resp_out_.reserve(num_l2_banks);
+  for (BankId bank = 0; bank < num_l2_banks; ++bank) {
+    resp_out_.push_back(std::make_unique<simfw::DataOutPort<MemResponse>>(
+        this, strfmt("resp_out%u", bank)));
+  }
+  req_in_.register_handler(
+      [this](const MemRequest& request) { on_request(request); });
+  mem_resp_in_.register_handler(
+      [this](const MemResponse& response) { on_mem_response(response); });
+  stats().statistic("hit_rate", "hits / accesses", [this]() {
+    const auto accesses = accesses_.get();
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits_.get()) / accesses;
+  });
+}
+
+void LlcSlice::respond(const MemRequest& request, Cycle delay) {
+  // The slice sits at its controller's NoC node; the response crosses the
+  // NoC back to the requesting bank's tile.
+  resp_out_[request.src_bank]->send(
+      MemResponse{request.line_addr, request.op, request.core},
+      delay + noc_->traverse(noc_->mc_node(mc_id_),
+                             noc_->tile_node(request.src_tile)));
+}
+
+void LlcSlice::insert_line(Addr line_addr, bool dirty) {
+  const auto evicted = array_.insert(line_addr, dirty);
+  if (evicted.valid) {
+    ++evictions_;
+    if (evicted.dirty) {
+      ++writebacks_out_;
+      mem_req_out_.send(MemRequest{evicted.line_addr, MemOp::kWriteback,
+                                   kInvalidCore, 0, 0},
+                        0);
+    }
+  }
+}
+
+void LlcSlice::on_request(const MemRequest& request) {
+  if (request.op == MemOp::kWriteback) {
+    ++writebacks_in_;
+    if (!array_.mark_dirty(request.line_addr)) {
+      // Write-allocate the dirty line; DRAM sees it only on eviction.
+      insert_line(request.line_addr, /*dirty=*/true);
+    }
+    return;
+  }
+
+  ++accesses_;
+  if (array_.lookup(request.line_addr)) {
+    ++hits_;
+    respond(request, config_.hit_latency);
+    return;
+  }
+  ++misses_;
+  auto [it, inserted] = mshrs_.try_emplace(request.line_addr);
+  it->second.push_back(request);
+  if (inserted) {
+    MemRequest forwarded = request;
+    // The slice is co-located with its controller: make the controller's
+    // response path terminate at this NoC node (zero mesh distance) rather
+    // than re-crossing the NoC to the original bank — the slice itself pays
+    // that leg when it answers the bank.
+    forwarded.src_tile = noc_->mc_node(mc_id_);
+    mem_req_out_.send(forwarded, config_.miss_latency);
+  }
+}
+
+void LlcSlice::on_mem_response(const MemResponse& response) {
+  const auto it = mshrs_.find(response.line_addr);
+  if (it == mshrs_.end()) {
+    throw SimError(strfmt("%s: DRAM response for line 0x%llx with no MSHR",
+                          path().c_str(),
+                          static_cast<unsigned long long>(response.line_addr)));
+  }
+  const std::vector<MemRequest> waiters = std::move(it->second);
+  mshrs_.erase(it);
+  insert_line(response.line_addr, /*dirty=*/false);
+  for (const MemRequest& waiter : waiters) respond(waiter, 0);
+}
+
+}  // namespace coyote::memhier

@@ -1,0 +1,72 @@
+// Last-level cache slice. The paper's sample system (Fig. 2) has *three*
+// cache levels — core-private L1s, banked L2, and an LLC in front of each
+// memory channel. This unit models one memory-side LLC slice co-located
+// with its memory controller: requests that miss every L2 bank are filtered
+// here before reaching DRAM.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "memhier/cache_array.h"
+#include "memhier/msg.h"
+#include "memhier/noc.h"
+#include "simfw/port.h"
+
+namespace coyote::memhier {
+
+struct LlcConfig {
+  bool enable = false;
+  std::uint64_t size_bytes = 2 * 1024 * 1024;  ///< per slice
+  std::uint32_t ways = 16;
+  std::uint32_t line_bytes = 64;
+  Cycle hit_latency = 20;
+  Cycle miss_latency = 4;  ///< lookup-to-forward on a miss
+  Replacement replacement = Replacement::kLru;
+};
+
+class LlcSlice : public simfw::Unit {
+ public:
+  LlcSlice(simfw::Unit* parent, std::string name, McId mc_id,
+           const LlcConfig& config, Noc* noc, std::uint32_t num_l2_banks);
+
+  McId mc_id() const { return mc_id_; }
+
+  simfw::DataInPort<MemRequest>& req_in() { return req_in_; }
+  /// One response port per L2 bank (slices respond on behalf of memory).
+  simfw::DataOutPort<MemResponse>& resp_out(BankId bank) {
+    return *resp_out_.at(bank);
+  }
+  simfw::DataOutPort<MemRequest>& mem_req_out() { return mem_req_out_; }
+  simfw::DataInPort<MemResponse>& mem_resp_in() { return mem_resp_in_; }
+
+  bool contains(Addr line_addr) const { return array_.probe(line_addr); }
+
+ private:
+  void on_request(const MemRequest& request);
+  void on_mem_response(const MemResponse& response);
+  void insert_line(Addr line_addr, bool dirty);
+  void respond(const MemRequest& request, Cycle delay);
+
+  McId mc_id_;
+  LlcConfig config_;
+  CacheArray array_;
+  Noc* noc_;
+
+  simfw::DataInPort<MemRequest> req_in_;
+  std::vector<std::unique_ptr<simfw::DataOutPort<MemResponse>>> resp_out_;
+  simfw::DataOutPort<MemRequest> mem_req_out_;
+  simfw::DataInPort<MemResponse> mem_resp_in_;
+
+  std::unordered_map<Addr, std::vector<MemRequest>> mshrs_;
+
+  simfw::Counter& accesses_;
+  simfw::Counter& hits_;
+  simfw::Counter& misses_;
+  simfw::Counter& writebacks_in_;
+  simfw::Counter& writebacks_out_;
+  simfw::Counter& evictions_;
+};
+
+}  // namespace coyote::memhier

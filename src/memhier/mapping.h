@@ -1,0 +1,88 @@
+// Data-mapping policies: which L2 bank holds a cache line. The paper
+// implements the two classic policies — page-to-bank (consecutive pages
+// rotate across banks; a page's lines all live in one bank) and
+// set-interleaving (consecutive lines rotate across banks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace coyote::memhier {
+
+enum class MappingPolicy : std::uint8_t {
+  kPageToBank,
+  kSetInterleave,
+};
+
+inline const char* mapping_policy_name(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kPageToBank: return "page-to-bank";
+    case MappingPolicy::kSetInterleave: return "set-interleave";
+  }
+  return "?";
+}
+
+inline MappingPolicy mapping_policy_from_string(const std::string& name) {
+  if (name == "page-to-bank") return MappingPolicy::kPageToBank;
+  if (name == "set-interleave") return MappingPolicy::kSetInterleave;
+  throw ConfigError(strfmt("unknown mapping policy '%s'", name.c_str()));
+}
+
+/// Stateless bank selector.
+class BankMapper {
+ public:
+  BankMapper(MappingPolicy policy, std::uint32_t num_banks,
+             std::uint32_t line_bytes, std::uint32_t page_bytes = 4096)
+      : policy_(policy),
+        num_banks_(num_banks),
+        line_shift_(log2_exact(line_bytes)),
+        page_shift_(log2_exact(page_bytes)) {
+    if (num_banks == 0) throw ConfigError("BankMapper: zero banks");
+  }
+
+  MappingPolicy policy() const { return policy_; }
+  std::uint32_t num_banks() const { return num_banks_; }
+
+  /// Bank index in [0, num_banks) for `line_addr`.
+  BankId bank_of(Addr line_addr) const {
+    switch (policy_) {
+      case MappingPolicy::kPageToBank:
+        return static_cast<BankId>((line_addr >> page_shift_) % num_banks_);
+      case MappingPolicy::kSetInterleave:
+        return static_cast<BankId>((line_addr >> line_shift_) % num_banks_);
+    }
+    return 0;
+  }
+
+ private:
+  MappingPolicy policy_;
+  std::uint32_t num_banks_;
+  unsigned line_shift_;
+  unsigned page_shift_;
+};
+
+/// Line-interleaved assignment of lines to memory controllers, with a
+/// configurable interleaving granularity (>= line size).
+class McMapper {
+ public:
+  McMapper(std::uint32_t num_mcs, std::uint32_t granule_bytes)
+      : num_mcs_(num_mcs), granule_shift_(log2_exact(granule_bytes)) {
+    if (num_mcs == 0) throw ConfigError("McMapper: zero controllers");
+  }
+
+  std::uint32_t num_mcs() const { return num_mcs_; }
+
+  McId mc_of(Addr line_addr) const {
+    return static_cast<McId>((line_addr >> granule_shift_) % num_mcs_);
+  }
+
+ private:
+  std::uint32_t num_mcs_;
+  unsigned granule_shift_;
+};
+
+}  // namespace coyote::memhier

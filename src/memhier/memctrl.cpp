@@ -1,0 +1,84 @@
+#include "memhier/memctrl.h"
+
+namespace coyote::memhier {
+
+MemoryController::MemoryController(simfw::Unit* parent, std::string name,
+                                   McId mc_id, const MemCtrlConfig& config,
+                                   Noc* noc, std::uint32_t num_l2_banks)
+    : simfw::Unit(parent, std::move(name)),
+      mc_id_(mc_id),
+      config_(config),
+      noc_(noc),
+      req_in_(this, "req_in"),
+      reads_(stats().counter("reads", "line reads serviced")),
+      writes_(stats().counter("writes", "line writes (writebacks) absorbed")),
+      row_hits_(stats().counter("row_hits", "row-buffer hits (DRAM model)")),
+      row_misses_(
+          stats().counter("row_misses", "row-buffer misses (DRAM model)")),
+      queue_delay_cycles_(stats().counter(
+          "queue_delay_cycles", "cycles requests waited for a service slot")),
+      queue_delay_(stats().distribution(
+          "queue_delay", "per-request service-slot wait distribution")) {
+  if (noc_ == nullptr) throw ConfigError("MemoryController: needs a NoC");
+  if (config_.model == McModel::kDramRowBuffer) {
+    if (!is_pow2(config_.row_bytes) || config_.dram_banks == 0) {
+      throw ConfigError("MemoryController: bad DRAM geometry");
+    }
+    row_shift_ = log2_exact(config_.row_bytes);
+    open_rows_.assign(config_.dram_banks, ~Addr{0});
+  }
+  resp_out_.reserve(num_l2_banks);
+  for (BankId bank = 0; bank < num_l2_banks; ++bank) {
+    resp_out_.push_back(std::make_unique<simfw::DataOutPort<MemResponse>>(
+        this, strfmt("resp_out%u", bank)));
+  }
+  req_in_.register_handler(
+      [this](const MemRequest& request) { on_request(request); });
+}
+
+Cycle MemoryController::service_latency(Addr line_addr) {
+  switch (config_.model) {
+    case McModel::kFixedLatency:
+      return config_.latency;
+    case McModel::kDramRowBuffer: {
+      const std::size_t bank =
+          (line_addr >> line_shift_) % config_.dram_banks;
+      const Addr row = line_addr >> row_shift_;
+      if (open_rows_[bank] == row) {
+        ++row_hits_;
+        return config_.row_hit_latency;
+      }
+      ++row_misses_;
+      open_rows_[bank] = row;
+      return config_.row_miss_latency;
+    }
+  }
+  return config_.latency;
+}
+
+void MemoryController::on_request(const MemRequest& request) {
+  const Cycle now = scheduler().now();
+  Cycle queue_delay = 0;
+  if (config_.cycles_per_request != 0) {
+    const Cycle start = std::max(now, next_free_);
+    queue_delay = start - now;
+    queue_delay_cycles_ += queue_delay;
+    queue_delay_.sample(queue_delay);
+    next_free_ = start + config_.cycles_per_request;
+  }
+
+  if (request.op == MemOp::kWriteback) {
+    ++writes_;
+    (void)service_latency(request.line_addr);  // occupies the row buffer too
+    return;  // fire-and-forget
+  }
+
+  ++reads_;
+  const Cycle latency = queue_delay + service_latency(request.line_addr);
+  resp_out_[request.src_bank]->send(
+      MemResponse{request.line_addr, request.op, request.core},
+      latency + noc_->traverse(noc_->mc_node(mc_id_),
+                               noc_->tile_node(request.src_tile)));
+}
+
+}  // namespace coyote::memhier

@@ -1,0 +1,71 @@
+// Memory-controller models. The paper's baseline controller is a fixed
+// latency behind the NoC; modelling "the memory controllers … is currently
+// work in progress" there, so Coyote additionally ships the natural next
+// step: a bandwidth-limited controller with a per-internal-bank open-row
+// model (row-buffer hit vs miss latencies) that the MCPU studies in §IV
+// motivate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bits.h"
+#include "memhier/msg.h"
+#include "memhier/noc.h"
+#include "simfw/port.h"
+
+namespace coyote::memhier {
+
+enum class McModel : std::uint8_t { kFixedLatency, kDramRowBuffer };
+
+struct MemCtrlConfig {
+  McModel model = McModel::kFixedLatency;
+  Cycle latency = 100;            ///< fixed-latency model: access time
+  Cycle cycles_per_request = 4;   ///< service rate (bandwidth limit); 0 = infinite
+  // --- DRAM row-buffer model ---
+  std::uint32_t dram_banks = 8;
+  std::uint64_t row_bytes = 2048;
+  Cycle row_hit_latency = 40;
+  Cycle row_miss_latency = 140;
+};
+
+class MemoryController : public simfw::Unit {
+ public:
+  MemoryController(simfw::Unit* parent, std::string name, McId mc_id,
+                   const MemCtrlConfig& config, Noc* noc,
+                   std::uint32_t num_l2_banks);
+
+  McId mc_id() const { return mc_id_; }
+  const MemCtrlConfig& config() const { return config_; }
+
+  simfw::DataInPort<MemRequest>& req_in() { return req_in_; }
+  /// One response port per L2 bank; bind each to that bank's mem_resp_in.
+  simfw::DataOutPort<MemResponse>& resp_out(BankId bank) {
+    return *resp_out_.at(bank);
+  }
+
+ private:
+  void on_request(const MemRequest& request);
+  Cycle service_latency(Addr line_addr);
+
+  McId mc_id_;
+  MemCtrlConfig config_;
+  Noc* noc_;
+
+  simfw::DataInPort<MemRequest> req_in_;
+  std::vector<std::unique_ptr<simfw::DataOutPort<MemResponse>>> resp_out_;
+
+  Cycle next_free_ = 0;  ///< service-slot reservation (bandwidth model)
+  std::vector<Addr> open_rows_;  ///< per internal DRAM bank; ~0 = closed
+  unsigned row_shift_ = 0;
+  unsigned line_shift_ = 6;
+
+  simfw::Counter& reads_;
+  simfw::Counter& writes_;
+  simfw::Counter& row_hits_;
+  simfw::Counter& row_misses_;
+  simfw::Counter& queue_delay_cycles_;
+  simfw::DistributionStat& queue_delay_;
+};
+
+}  // namespace coyote::memhier

@@ -1,0 +1,46 @@
+// Messages exchanged between the CPU side (Orchestrator), the L2 banks and
+// the memory controllers. All traffic is at cache-line granularity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace coyote::memhier {
+
+enum class MemOp : std::uint8_t {
+  kLoad,       ///< L1 data-load fill
+  kStore,      ///< L1 store fill (write-allocate)
+  kIFetch,     ///< L1 instruction fill
+  kWriteback,  ///< dirty eviction; fire-and-forget
+  kPrefetch,   ///< L2-initiated fill; no core is waiting
+};
+
+inline const char* mem_op_name(MemOp op) {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kIFetch: return "ifetch";
+    case MemOp::kWriteback: return "writeback";
+    case MemOp::kPrefetch: return "prefetch";
+  }
+  return "?";
+}
+
+/// A request travelling down the hierarchy (CPU -> L2 -> MC).
+struct MemRequest {
+  Addr line_addr = 0;
+  MemOp op = MemOp::kLoad;
+  CoreId core = kInvalidCore;  ///< originating core (kInvalidCore: L2-originated)
+  TileId src_tile = 0;         ///< tile of the originator (NoC latency)
+  BankId src_bank = 0;         ///< set by the L2 bank when forwarding to a MC
+};
+
+/// A response travelling back up (MC -> L2, or L2 -> CPU).
+struct MemResponse {
+  Addr line_addr = 0;
+  MemOp op = MemOp::kLoad;
+  CoreId core = kInvalidCore;
+};
+
+}  // namespace coyote::memhier

@@ -1,0 +1,95 @@
+// Network-on-chip model. As in the paper, the default is a highly idealized
+// crossbar with fixed, configurable latencies: the NoC acts as a latency
+// oracle (every port send through the hierarchy asks it for a delay) and as
+// a statistics collector. A 2D-mesh hop-latency model is provided as the
+// extension the paper lists as work-in-progress.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "simfw/unit.h"
+
+namespace coyote::memhier {
+
+enum class NocModel : std::uint8_t { kIdealCrossbar, kMesh2D };
+
+struct NocConfig {
+  NocModel model = NocModel::kIdealCrossbar;
+  /// Crossbar: every traversal costs this many cycles.
+  Cycle crossbar_latency = 4;
+  /// Mesh: cost = router_latency + hop_latency * manhattan-distance.
+  Cycle mesh_router_latency = 2;
+  Cycle mesh_hop_latency = 1;
+  /// Mesh geometry: nodes are tiles plus MCs laid out on a rectangle edge;
+  /// mesh_width is the number of columns of the tile grid.
+  std::uint32_t mesh_width = 4;
+};
+
+/// Logical NoC endpoints. Tiles occupy node ids [0, num_tiles); memory
+/// controllers occupy [num_tiles, num_tiles + num_mcs).
+class Noc : public simfw::Unit {
+ public:
+  Noc(simfw::Unit* parent, const NocConfig& config, std::uint32_t num_tiles,
+      std::uint32_t num_mcs)
+      : simfw::Unit(parent, "noc"),
+        config_(config),
+        num_tiles_(num_tiles),
+        num_mcs_(num_mcs),
+        messages_(stats().counter("messages", "messages traversing the NoC")),
+        hops_(stats().counter("hops", "total router hops (mesh model)")) {
+    if (config.model == NocModel::kMesh2D && config.mesh_width == 0) {
+      throw ConfigError("Noc: mesh_width must be nonzero");
+    }
+  }
+
+  const NocConfig& config() const { return config_; }
+
+  std::uint32_t tile_node(TileId tile) const { return tile; }
+  std::uint32_t mc_node(McId mc) const { return num_tiles_ + mc; }
+
+  /// Latency of one message from `src` to `dst` node; records statistics.
+  Cycle traverse(std::uint32_t src, std::uint32_t dst) {
+    ++messages_;
+    switch (config_.model) {
+      case NocModel::kIdealCrossbar:
+        return config_.crossbar_latency;
+      case NocModel::kMesh2D: {
+        const std::uint32_t hops = manhattan(src, dst);
+        hops_ += hops;
+        return config_.mesh_router_latency +
+               config_.mesh_hop_latency * static_cast<Cycle>(hops);
+      }
+    }
+    return config_.crossbar_latency;
+  }
+
+  /// Pure latency query (no statistics side effect).
+  Cycle latency(std::uint32_t src, std::uint32_t dst) const {
+    switch (config_.model) {
+      case NocModel::kIdealCrossbar:
+        return config_.crossbar_latency;
+      case NocModel::kMesh2D:
+        return config_.mesh_router_latency +
+               config_.mesh_hop_latency * static_cast<Cycle>(manhattan(src, dst));
+    }
+    return config_.crossbar_latency;
+  }
+
+ private:
+  std::uint32_t manhattan(std::uint32_t src, std::uint32_t dst) const {
+    const auto sx = src % config_.mesh_width;
+    const auto sy = src / config_.mesh_width;
+    const auto dx = dst % config_.mesh_width;
+    const auto dy = dst / config_.mesh_width;
+    return (sx > dx ? sx - dx : dx - sx) + (sy > dy ? sy - dy : dy - sy);
+  }
+
+  NocConfig config_;
+  std::uint32_t num_tiles_;
+  std::uint32_t num_mcs_;
+  simfw::Counter& messages_;
+  simfw::Counter& hops_;
+};
+
+}  // namespace coyote::memhier

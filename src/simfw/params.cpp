@@ -1,0 +1,125 @@
+#include "simfw/params.h"
+
+#include <cstdlib>
+
+namespace coyote::simfw {
+
+void Parameter::set(Value value) {
+  if (value.index() != default_.index()) {
+    throw ConfigError(
+        strfmt("parameter '%s': type mismatch on set", name_.c_str()));
+  }
+  if (validator_ && !validator_(value)) {
+    throw ConfigError(strfmt("parameter '%s': value rejected by validator",
+                             name_.c_str()));
+  }
+  value_ = std::move(value);
+}
+
+void Parameter::set_from_string(const std::string& text) {
+  try {
+    if (std::holds_alternative<bool>(default_)) {
+      if (text == "true" || text == "1") {
+        set(true);
+      } else if (text == "false" || text == "0") {
+        set(false);
+      } else {
+        throw ConfigError(strfmt("parameter '%s': bad bool '%s'",
+                                 name_.c_str(), text.c_str()));
+      }
+    } else if (std::holds_alternative<std::int64_t>(default_)) {
+      set(static_cast<std::int64_t>(std::stoll(text, nullptr, 0)));
+    } else if (std::holds_alternative<std::uint64_t>(default_)) {
+      set(static_cast<std::uint64_t>(std::stoull(text, nullptr, 0)));
+    } else if (std::holds_alternative<double>(default_)) {
+      set(std::stod(text));
+    } else {
+      set(text);
+    }
+  } catch (const std::invalid_argument&) {
+    throw ConfigError(strfmt("parameter '%s': cannot parse '%s'",
+                             name_.c_str(), text.c_str()));
+  } catch (const std::out_of_range&) {
+    throw ConfigError(strfmt("parameter '%s': value '%s' out of range",
+                             name_.c_str(), text.c_str()));
+  }
+}
+
+std::string Parameter::to_string() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b ? "true" : "false";
+  if (const auto* i = std::get_if<std::int64_t>(&value_))
+    return std::to_string(*i);
+  if (const auto* u = std::get_if<std::uint64_t>(&value_))
+    return std::to_string(*u);
+  if (const auto* d = std::get_if<double>(&value_)) return std::to_string(*d);
+  return std::get<std::string>(value_);
+}
+
+Parameter& ParameterSet::add(std::string name, Parameter::Value default_value,
+                             std::string description,
+                             Parameter::Validator validator) {
+  if (has(name)) {
+    throw ConfigError(strfmt("duplicate parameter '%s'", name.c_str()));
+  }
+  params_.push_back(std::make_unique<Parameter>(
+      std::move(name), std::move(default_value), std::move(description),
+      std::move(validator)));
+  return *params_.back();
+}
+
+bool ParameterSet::has(const std::string& name) const {
+  for (const auto& param : params_) {
+    if (param->name() == name) return true;
+  }
+  return false;
+}
+
+Parameter& ParameterSet::get(const std::string& name) {
+  for (const auto& param : params_) {
+    if (param->name() == name) return *param;
+  }
+  throw ConfigError(strfmt("no parameter named '%s'", name.c_str()));
+}
+
+const Parameter& ParameterSet::get(const std::string& name) const {
+  for (const auto& param : params_) {
+    if (param->name() == name) return *param;
+  }
+  throw ConfigError(strfmt("no parameter named '%s'", name.c_str()));
+}
+
+void ConfigMap::set_from_token(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ConfigError(strfmt("bad config token '%s' (want key=value)",
+                             token.c_str()));
+  }
+  set(token.substr(0, eq), token.substr(eq + 1));
+}
+
+const std::string& ConfigMap::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw ConfigError(strfmt("no config value for '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+std::size_t ConfigMap::apply(const std::string& prefix,
+                             ParameterSet& params) const {
+  const std::string full_prefix = prefix + ".";
+  std::size_t applied = 0;
+  for (const auto& [key, value] : values_) {
+    if (key.rfind(full_prefix, 0) != 0) continue;
+    const std::string leaf = key.substr(full_prefix.size());
+    if (!params.has(leaf)) {
+      throw ConfigError(strfmt("unknown parameter '%s' (from override '%s')",
+                               leaf.c_str(), key.c_str()));
+    }
+    params.get(leaf).set_from_string(value);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace coyote::simfw

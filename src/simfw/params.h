@@ -1,0 +1,119 @@
+// Typed parameter sets with string-based overrides, modelled on Sparta's
+// ParameterSet + the "--config key=value" style the Coyote CLI exposes
+// (L2 size/associativity/line size/banks/MSHRs/latencies, NoC latency, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace coyote::simfw {
+
+/// One named, typed, defaulted, optionally-validated parameter.
+class Parameter {
+ public:
+  using Value = std::variant<bool, std::int64_t, std::uint64_t, double,
+                             std::string>;
+  using Validator = std::function<bool(const Value&)>;
+
+  Parameter(std::string name, Value default_value, std::string description,
+            Validator validator = nullptr)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        value_(default_value),
+        default_(std::move(default_value)),
+        validator_(std::move(validator)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  const Value& value() const { return value_; }
+  const Value& default_value() const { return default_; }
+  bool is_default() const { return value_ == default_; }
+
+  template <typename T>
+  T as() const {
+    if (const T* held = std::get_if<T>(&value_)) return *held;
+    throw ConfigError(strfmt("parameter '%s': wrong type requested",
+                             name_.c_str()));
+  }
+
+  /// Sets from a typed value; runs the validator.
+  void set(Value value);
+
+  /// Sets from a string ("true", "42", "3.5", "foo") parsed against the
+  /// type of the default value.
+  void set_from_string(const std::string& text);
+
+  /// Renders the current value as a string.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  Value value_;
+  Value default_;
+  Validator validator_;
+};
+
+/// A named collection of parameters, typically one per configurable unit.
+class ParameterSet {
+ public:
+  ParameterSet() = default;
+  ParameterSet(const ParameterSet&) = delete;
+  ParameterSet& operator=(const ParameterSet&) = delete;
+
+  Parameter& add(std::string name, Parameter::Value default_value,
+                 std::string description,
+                 Parameter::Validator validator = nullptr);
+
+  bool has(const std::string& name) const;
+  Parameter& get(const std::string& name);
+  const Parameter& get(const std::string& name) const;
+
+  template <typename T>
+  T as(const std::string& name) const {
+    return get(name).as<T>();
+  }
+
+  const std::vector<std::unique_ptr<Parameter>>& all() const {
+    return params_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+/// A flat map of dotted-path overrides ("l2.size_kb" -> "1024"), the
+/// in-memory equivalent of a Coyote command line / config file.
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  /// Parses one "key=value" token.
+  void set_from_token(const std::string& token);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  const std::string& get(const std::string& key) const;
+
+  /// Applies every override whose key starts with "<prefix>." to the
+  /// matching parameter in `params`; unknown keys under the prefix throw.
+  /// Returns the number of parameters overridden.
+  std::size_t apply(const std::string& prefix, ParameterSet& params) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace coyote::simfw

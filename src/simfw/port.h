@@ -1,0 +1,110 @@
+// Typed, latency-carrying message ports between units, modelled on Sparta's
+// DataInPort/DataOutPort. An out-port bound to an in-port delivers payloads
+// through the scheduler after a configurable delay; delivery runs in the
+// kPortDelivery phase so all same-cycle messages are visible before unit
+// updates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "simfw/unit.h"
+
+namespace coyote::simfw {
+
+template <typename T>
+class DataInPort;
+
+template <typename T>
+class DataOutPort {
+ public:
+  DataOutPort(Unit* owner, std::string name)
+      : owner_(owner), name_(std::move(name)) {}
+
+  DataOutPort(const DataOutPort&) = delete;
+  DataOutPort& operator=(const DataOutPort&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Binds this out-port to `in`. One out-port may feed several in-ports
+  /// (broadcast); each send is delivered to all of them.
+  void bind(DataInPort<T>& in) { destinations_.push_back(&in); }
+
+  bool is_bound() const { return !destinations_.empty(); }
+
+  /// Sends `payload`, delivered `delay` cycles from now (0 = later this
+  /// cycle, in the port-delivery phase).
+  void send(T payload, Cycle delay = 0);
+
+ private:
+  Unit* owner_;
+  std::string name_;
+  std::vector<DataInPort<T>*> destinations_;
+};
+
+template <typename T>
+class DataInPort {
+ public:
+  using Handler = std::function<void(const T&)>;
+
+  DataInPort(Unit* owner, std::string name)
+      : owner_(owner), name_(std::move(name)) {}
+
+  DataInPort(const DataInPort&) = delete;
+  DataInPort& operator=(const DataInPort&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers the handler invoked on delivery. Exactly one handler.
+  void register_handler(Handler handler) {
+    if (handler_) {
+      throw ConfigError(strfmt("port '%s.%s': handler already registered",
+                               owner_->path().c_str(), name_.c_str()));
+    }
+    handler_ = std::move(handler);
+  }
+
+  Unit& owner() const { return *owner_; }
+
+  /// Delivers a payload immediately (bypassing the scheduler). Used by the
+  /// out-port's scheduled callback and by unit tests.
+  void deliver(const T& payload) {
+    if (!handler_) {
+      throw SimError(strfmt("port '%s.%s': delivery with no handler",
+                            owner_->path().c_str(), name_.c_str()));
+    }
+    handler_(payload);
+  }
+
+ private:
+  Unit* owner_;
+  std::string name_;
+  Handler handler_;
+};
+
+template <typename T>
+void DataOutPort<T>::send(T payload, Cycle delay) {
+  if (destinations_.empty()) {
+    throw SimError(strfmt("port '%s.%s': send on unbound port",
+                          owner_->path().c_str(), name_.c_str()));
+  }
+  if (destinations_.size() == 1) {
+    DataInPort<T>* destination = destinations_.front();
+    owner_->scheduler().schedule(
+        delay, SchedPriority::kPortDelivery,
+        [destination, payload = std::move(payload)]() mutable {
+          destination->deliver(payload);
+        });
+    return;
+  }
+  for (DataInPort<T>* destination : destinations_) {
+    owner_->scheduler().schedule(delay, SchedPriority::kPortDelivery,
+                                 [destination, payload]() {
+                                   destination->deliver(payload);
+                                 });
+  }
+}
+
+}  // namespace coyote::simfw

@@ -1,0 +1,132 @@
+#include "simfw/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace coyote::simfw {
+
+void Report::write(std::ostream& os, ReportFormat format) const {
+  switch (format) {
+    case ReportFormat::kText:
+      write_text(os);
+      return;
+    case ReportFormat::kCsv:
+      write_csv(os);
+      return;
+    case ReportFormat::kJson:
+      write_json(os);
+      return;
+  }
+}
+
+std::string Report::to_string(ReportFormat format) const {
+  std::ostringstream os;
+  write(os, format);
+  return os.str();
+}
+
+void Report::write_text(std::ostream& os) const {
+  root_->for_each([&os](const Unit& unit) {
+    const auto& stats = unit.stats();
+    if (stats.counters().empty() && stats.statistics().empty() &&
+        stats.distributions().empty()) {
+      return;
+    }
+    os << unit.path() << ":\n";
+    for (const auto& counter : stats.counters()) {
+      os << "  " << std::left << std::setw(32) << counter->name()
+         << std::right << std::setw(16) << counter->get() << "  # "
+         << counter->description() << "\n";
+    }
+    for (const auto& stat : stats.statistics()) {
+      const double value = stat->evaluate();
+      os << "  " << std::left << std::setw(32) << stat->name() << std::right
+         << std::setw(16) << std::fixed << std::setprecision(4) << value
+         << "  # " << stat->description() << "\n";
+      os.unsetf(std::ios::fixed);
+    }
+    for (const auto& dist : stats.distributions()) {
+      os << "  " << std::left << std::setw(32) << dist->name() << std::right
+         << " count=" << dist->count() << " mean=" << std::fixed
+         << std::setprecision(2) << dist->mean() << " min=" << dist->min()
+         << " max=" << dist->max() << "  # " << dist->description() << "\n";
+      os.unsetf(std::ios::fixed);
+    }
+  });
+}
+
+void Report::write_csv(std::ostream& os) const {
+  os << "unit,name,kind,value\n";
+  root_->for_each([&os](const Unit& unit) {
+    for (const auto& counter : unit.stats().counters()) {
+      os << unit.path() << "," << counter->name() << ",counter,"
+         << counter->get() << "\n";
+    }
+    for (const auto& stat : unit.stats().statistics()) {
+      os << unit.path() << "," << stat->name() << ",statistic,"
+         << stat->evaluate() << "\n";
+    }
+    for (const auto& dist : unit.stats().distributions()) {
+      os << unit.path() << "," << dist->name() << ".count,distribution,"
+         << dist->count() << "\n";
+      os << unit.path() << "," << dist->name() << ".mean,distribution,"
+         << dist->mean() << "\n";
+      os << unit.path() << "," << dist->name() << ".min,distribution,"
+         << dist->min() << "\n";
+      os << unit.path() << "," << dist->name() << ".max,distribution,"
+         << dist->max() << "\n";
+    }
+  });
+}
+
+namespace {
+void json_number(std::ostream& os, double value) {
+  if (std::isfinite(value)) {
+    os << value;
+  } else {
+    os << "null";
+  }
+}
+}  // namespace
+
+void Report::write_json(std::ostream& os) const {
+  os << "{\n";
+  bool first_unit = true;
+  root_->for_each([&](const Unit& unit) {
+    const auto& stats = unit.stats();
+    if (stats.counters().empty() && stats.statistics().empty() &&
+        stats.distributions().empty()) {
+      return;
+    }
+    if (!first_unit) os << ",\n";
+    first_unit = false;
+    os << "  \"" << unit.path() << "\": {";
+    bool first = true;
+    for (const auto& counter : stats.counters()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << counter->name() << "\": " << counter->get();
+    }
+    for (const auto& stat : stats.statistics()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << stat->name() << "\": ";
+      json_number(os, stat->evaluate());
+    }
+    for (const auto& dist : stats.distributions()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << dist->name() << "\": {\"count\": " << dist->count()
+         << ", \"mean\": ";
+      json_number(os, dist->mean());
+      os << ", \"min\": " << dist->min() << ", \"max\": " << dist->max()
+         << "}";
+    }
+    os << "}";
+  });
+  os << "\n}\n";
+}
+
+}  // namespace coyote::simfw

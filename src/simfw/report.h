@@ -1,0 +1,33 @@
+// Report generation: walks a unit tree and renders every counter and derived
+// statistic as text, CSV or JSON — the simulator's "simulation outputs
+// statistics" surface (paper §III-A).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "simfw/unit.h"
+
+namespace coyote::simfw {
+
+enum class ReportFormat { kText, kCsv, kJson };
+
+class Report {
+ public:
+  explicit Report(const Unit& root) : root_(&root) {}
+
+  /// Renders the whole subtree in the requested format.
+  void write(std::ostream& os, ReportFormat format) const;
+
+  /// Convenience: renders to a string.
+  std::string to_string(ReportFormat format) const;
+
+ private:
+  void write_text(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+
+  const Unit* root_;
+};
+
+}  // namespace coyote::simfw

@@ -1,0 +1,42 @@
+#include "simfw/scheduler.h"
+
+#include "common/error.h"
+
+namespace coyote::simfw {
+
+void Scheduler::schedule_at(Cycle when, SchedPriority priority, Callback cb) {
+  if (when < now_) {
+    throw SimError(strfmt("Scheduler: event scheduled in the past (at=%llu, "
+                          "now=%llu)",
+                          static_cast<unsigned long long>(when),
+                          static_cast<unsigned long long>(now_)));
+  }
+  queue_.push(Entry{when, static_cast<std::uint8_t>(priority),
+                    next_sequence_++, std::move(cb)});
+}
+
+void Scheduler::advance_to(Cycle cycle) {
+  while (!queue_.empty() && queue_.top().when <= cycle) {
+    // The queue owns the callback; move it out before popping so a callback
+    // that schedules new events does not invalidate the entry under us.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    ++events_fired_;
+    entry.callback();
+  }
+  now_ = cycle;
+}
+
+Cycle Scheduler::run_to_completion(Cycle max_cycle) {
+  while (!queue_.empty() && queue_.top().when <= max_cycle) {
+    advance_to(queue_.top().when);
+  }
+  // With an explicit bound, time still passes up to that bound even if no
+  // event lands exactly on it (the unbounded default stops at the last
+  // event instead of jumping to the end of time).
+  if (max_cycle != ~Cycle{0} && now_ < max_cycle) now_ = max_cycle;
+  return now_;
+}
+
+}  // namespace coyote::simfw

@@ -1,0 +1,98 @@
+// Discrete-event scheduler — the heart of the Sparta-equivalent framework.
+//
+// Coyote's Orchestrator advances simulated time in lock-step with the
+// functional cores: after stepping each active core for the current cycle it
+// fires every event the memory-hierarchy model has scheduled for that cycle
+// (paper §III-A). The scheduler therefore exposes both an absolute
+// `advance_to(cycle)` used by the Orchestrator and a free-running
+// `run_to_completion()` used by standalone framework tests.
+//
+// Determinism: events firing on the same cycle are ordered by (priority,
+// insertion sequence). Two identically-configured simulations are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace coyote::simfw {
+
+/// Intra-cycle ordering groups, lowest fires first. Mirrors the Sparta
+/// scheduling-phase concept: port deliveries happen before unit updates so a
+/// unit observes all same-cycle inputs, collection/stat updates run last.
+enum class SchedPriority : std::uint8_t {
+  kPortDelivery = 0,  ///< in-port handler invocations
+  kUpdate = 1,        ///< unit state-machine updates
+  kTick = 2,          ///< default for ad-hoc events
+  kCollection = 3,    ///< statistics / trace collection
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated cycle.
+  Cycle now() const { return now_; }
+
+  /// Schedules `cb` to fire `delay` cycles from now (0 == later this cycle,
+  /// allowed only while the scheduler is firing the current cycle or before
+  /// the cycle has been fired).
+  void schedule(Cycle delay, SchedPriority priority, Callback cb) {
+    schedule_at(now_ + delay, priority, std::move(cb));
+  }
+
+  /// Schedules `cb` at the absolute cycle `when` (must be >= now()).
+  void schedule_at(Cycle when, SchedPriority priority, Callback cb);
+
+  /// True iff any event remains in the queue.
+  bool has_pending() const { return !queue_.empty(); }
+
+  /// Cycle of the earliest pending event. Requires has_pending().
+  Cycle next_event_cycle() const { return queue_.top().when; }
+
+  /// Number of events fired since construction.
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Fires, in deterministic order, every event scheduled at a cycle
+  /// <= `cycle`, then sets now() == cycle. Events that reschedule at the
+  /// current cycle are honored within the same call.
+  void advance_to(Cycle cycle);
+
+  /// Equivalent to advance_to(now()+1): the per-cycle tick the Orchestrator
+  /// uses.
+  void tick() { advance_to(now_ + 1); }
+
+  /// Runs until the queue drains or `max_cycle` is reached; returns the
+  /// final value of now().
+  Cycle run_to_completion(Cycle max_cycle = ~Cycle{0});
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint8_t priority;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Cycle now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace coyote::simfw

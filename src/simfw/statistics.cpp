@@ -1,0 +1,56 @@
+#include "simfw/statistics.h"
+
+namespace coyote::simfw {
+
+Counter& StatisticSet::counter(const std::string& name,
+                               const std::string& description) {
+  for (const auto& existing : counters_) {
+    if (existing->name() == name) {
+      throw SimError(strfmt("duplicate counter '%s'", name.c_str()));
+    }
+  }
+  counters_.push_back(std::make_unique<Counter>(name, description));
+  return *counters_.back();
+}
+
+StatisticDef& StatisticSet::statistic(const std::string& name,
+                                      const std::string& description,
+                                      StatisticDef::Evaluator evaluator) {
+  statistics_.push_back(
+      std::make_unique<StatisticDef>(name, description, std::move(evaluator)));
+  return *statistics_.back();
+}
+
+DistributionStat& StatisticSet::distribution(const std::string& name,
+                                             const std::string& description) {
+  for (const auto& existing : distributions_) {
+    if (existing->name() == name) {
+      throw SimError(strfmt("duplicate distribution '%s'", name.c_str()));
+    }
+  }
+  distributions_.push_back(
+      std::make_unique<DistributionStat>(name, description));
+  return *distributions_.back();
+}
+
+const Counter& StatisticSet::find_counter(const std::string& name) const {
+  for (const auto& counter : counters_) {
+    if (counter->name() == name) return *counter;
+  }
+  throw SimError(strfmt("no counter named '%s'", name.c_str()));
+}
+
+const DistributionStat& StatisticSet::find_distribution(
+    const std::string& name) const {
+  for (const auto& distribution : distributions_) {
+    if (distribution->name() == name) return *distribution;
+  }
+  throw SimError(strfmt("no distribution named '%s'", name.c_str()));
+}
+
+void StatisticSet::reset() {
+  for (auto& counter : counters_) counter->reset();
+  for (auto& distribution : distributions_) distribution->reset();
+}
+
+}  // namespace coyote::simfw

@@ -1,0 +1,161 @@
+// Counters and derived statistics, organised per unit like Sparta's
+// StatisticSet. Counters are plain 64-bit accumulators; StatisticDefs are
+// named closures evaluated at report time (e.g. miss rate = misses/accesses).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace coyote::simfw {
+
+/// A monotonically-increasing 64-bit event counter.
+class Counter {
+ public:
+  Counter(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+  std::uint64_t get() const { return value_; }
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t by) {
+    value_ += by;
+    return *this;
+  }
+  /// Resets to zero (used between benchmark repetitions).
+  void reset() { value_ = 0; }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::uint64_t value_ = 0;
+};
+
+/// A derived, report-time statistic (ratio, sum, ...).
+class StatisticDef {
+ public:
+  using Evaluator = std::function<double()>;
+
+  StatisticDef(std::string name, std::string description, Evaluator evaluator)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        evaluator_(std::move(evaluator)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  double evaluate() const { return evaluator_(); }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Evaluator evaluator_;
+};
+
+/// A sampled distribution: count/sum/min/max plus power-of-two buckets
+/// (bucket i counts samples whose bit-width is i, i.e. value in
+/// [2^(i-1), 2^i)). Used for latencies and occupancies where a single
+/// accumulator hides the tail.
+class DistributionStat {
+ public:
+  static constexpr unsigned kBuckets = 65;  // bit-width 0..64
+
+  DistributionStat(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+  void sample(std::uint64_t value) {
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : (value < min_ ? value : min_);
+    max_ = value > max_ ? value : max_;
+    ++buckets_[bit_width(value)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Samples with bit-width `i` (value in [2^(i-1), 2^i); bucket 0 = zeros).
+  std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
+
+  void reset() {
+    count_ = sum_ = min_ = max_ = 0;
+    for (auto& bucket : buckets_) bucket = 0;
+  }
+
+ private:
+  static unsigned bit_width(std::uint64_t value) {
+    unsigned width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width;
+  }
+
+  std::string name_;
+  std::string description_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// The set of counters and derived statistics owned by one unit.
+/// Pointers returned by the register functions remain valid for the life of
+/// the set (node-based storage).
+class StatisticSet {
+ public:
+  StatisticSet() = default;
+  StatisticSet(const StatisticSet&) = delete;
+  StatisticSet& operator=(const StatisticSet&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& description);
+  StatisticDef& statistic(const std::string& name,
+                          const std::string& description,
+                          StatisticDef::Evaluator evaluator);
+  DistributionStat& distribution(const std::string& name,
+                                 const std::string& description);
+
+  /// Lookup by name; throws SimError if absent.
+  const Counter& find_counter(const std::string& name) const;
+  const DistributionStat& find_distribution(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::vector<std::unique_ptr<StatisticDef>>& statistics() const {
+    return statistics_;
+  }
+  const std::vector<std::unique_ptr<DistributionStat>>& distributions()
+      const {
+    return distributions_;
+  }
+
+  /// Resets every counter and distribution to zero.
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<StatisticDef>> statistics_;
+  std::vector<std::unique_ptr<DistributionStat>> distributions_;
+};
+
+}  // namespace coyote::simfw

@@ -1,0 +1,56 @@
+#include "simfw/unit.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace coyote::simfw {
+
+Unit::Unit(Scheduler* scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)), path_(name_) {
+  if (scheduler_ == nullptr) {
+    throw ConfigError("root Unit requires a scheduler");
+  }
+  if (name_.empty() || name_.find('.') != std::string::npos) {
+    throw ConfigError(strfmt("invalid unit name '%s'", name_.c_str()));
+  }
+}
+
+Unit::Unit(Unit* parent, std::string name)
+    : parent_(parent), name_(std::move(name)) {
+  if (parent_ == nullptr) throw ConfigError("child Unit requires a parent");
+  if (name_.empty() || name_.find('.') != std::string::npos) {
+    throw ConfigError(strfmt("invalid unit name '%s'", name_.c_str()));
+  }
+  for (const Unit* sibling : parent_->children_) {
+    if (sibling->name() == name_) {
+      throw ConfigError(strfmt("duplicate child unit '%s' under '%s'",
+                               name_.c_str(), parent_->path().c_str()));
+    }
+  }
+  scheduler_ = parent_->scheduler_;
+  path_ = parent_->path_ + "." + name_;
+  parent_->children_.push_back(this);
+}
+
+Unit::~Unit() {
+  if (parent_ != nullptr) {
+    auto& siblings = parent_->children_;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                   siblings.end());
+  }
+}
+
+Unit* Unit::find(const std::string& relative_path) {
+  const auto dot = relative_path.find('.');
+  const std::string head = relative_path.substr(0, dot);
+  for (Unit* child : children_) {
+    if (child->name() == head) {
+      if (dot == std::string::npos) return child;
+      return child->find(relative_path.substr(dot + 1));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace coyote::simfw

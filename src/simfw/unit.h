@@ -1,0 +1,64 @@
+// Unit: a named node in the simulated-machine tree (Sparta's TreeNode+Unit
+// rolled into one). Every modelled component (an L2 bank, the NoC, a memory
+// controller) derives from Unit; the tree gives stable dotted names
+// ("top.tile0.l2bank1") used by configuration and reporting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simfw/scheduler.h"
+#include "simfw/statistics.h"
+
+namespace coyote::simfw {
+
+class Unit {
+ public:
+  /// Constructs a root unit (no parent). The scheduler must outlive the tree.
+  Unit(Scheduler* scheduler, std::string name);
+
+  /// Constructs a child of `parent`.
+  Unit(Unit* parent, std::string name);
+
+  virtual ~Unit();
+
+  Unit(const Unit&) = delete;
+  Unit& operator=(const Unit&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Dotted path from the root, e.g. "top.tile0.l2bank1".
+  const std::string& path() const { return path_; }
+
+  Unit* parent() const { return parent_; }
+  const std::vector<Unit*>& children() const { return children_; }
+
+  Scheduler& scheduler() const { return *scheduler_; }
+  StatisticSet& stats() { return stats_; }
+  const StatisticSet& stats() const { return stats_; }
+
+  /// Finds a descendant by relative dotted path; nullptr if absent.
+  Unit* find(const std::string& relative_path);
+
+  /// Depth-first pre-order traversal of this subtree.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    fn(*this);
+    for (Unit* child : children_) child->for_each(fn);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    fn(static_cast<const Unit&>(*this));
+    for (const Unit* child : children_) child->for_each(fn);
+  }
+
+ private:
+  Unit* parent_ = nullptr;
+  Scheduler* scheduler_ = nullptr;
+  std::string name_;
+  std::string path_;
+  std::vector<Unit*> children_;
+  StatisticSet stats_;
+};
+
+}  // namespace coyote::simfw

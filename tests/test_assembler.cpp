@@ -1,0 +1,156 @@
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/decoder.h"
+#include "testutil.h"
+
+namespace coyote::isa {
+namespace {
+
+TEST(Assembler, PcTracksEmission) {
+  Assembler as(0x1000);
+  EXPECT_EQ(as.pc(), 0x1000u);
+  as.nop();
+  EXPECT_EQ(as.pc(), 0x1004u);
+  as.nop();
+  EXPECT_EQ(as.size_bytes(), 8u);
+}
+
+TEST(Assembler, BackwardBranchOffset) {
+  Assembler as(0x1000);
+  auto top = as.here();
+  as.nop();
+  as.nop();
+  as.beq(a0, a1, top);  // at 0x1008, target 0x1000 -> offset -8
+  const auto inst = decode(as.finish().at(2));
+  EXPECT_EQ(inst.op, Op::kBeq);
+  EXPECT_EQ(inst.imm, -8);
+}
+
+TEST(Assembler, ForwardBranchFixup) {
+  Assembler as(0x1000);
+  auto skip = as.make_label();
+  as.bne(a0, a1, skip);  // at 0x1000
+  as.nop();
+  as.nop();
+  as.bind(skip);  // 0x100C -> offset +12
+  const auto inst = decode(as.finish().at(0));
+  EXPECT_EQ(inst.op, Op::kBne);
+  EXPECT_EQ(inst.imm, 12);
+}
+
+TEST(Assembler, ForwardJalFixup) {
+  Assembler as(0x2000);
+  auto target = as.make_label();
+  as.jal(ra, target);
+  for (int i = 0; i < 100; ++i) as.nop();
+  as.bind(target);
+  const auto inst = decode(as.finish().at(0));
+  EXPECT_EQ(inst.op, Op::kJal);
+  EXPECT_EQ(inst.imm, 404);
+}
+
+TEST(Assembler, JPseudoUsesZeroLink) {
+  Assembler as(0);
+  auto label = as.here();
+  as.j(label);
+  const auto inst = decode(as.finish().at(0));
+  EXPECT_EQ(inst.op, Op::kJal);
+  EXPECT_EQ(inst.rd, zero);
+  EXPECT_EQ(inst.imm, 0);
+}
+
+TEST(Assembler, UnboundLabelThrowsAtFinish) {
+  Assembler as(0);
+  auto label = as.make_label();
+  as.beq(a0, a1, label);
+  EXPECT_THROW(as.finish(), SimError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler as(0);
+  auto label = as.here();
+  EXPECT_THROW(as.bind(label), SimError);
+}
+
+TEST(Assembler, BranchOutOfRangeThrows) {
+  Assembler as(0);
+  auto target = as.make_label();
+  as.beq(a0, a1, target);
+  for (int i = 0; i < 2000; ++i) as.nop();  // 8000 bytes > +-4K
+  as.bind(target);
+  EXPECT_THROW(as.finish(), SimError);
+}
+
+// li must materialize any 64-bit constant exactly; verified by executing the
+// emitted sequence on a hart.
+TEST(Assembler, LiMaterializesExactValues) {
+  const std::int64_t cases[] = {
+      0,
+      1,
+      -1,
+      2047,
+      -2048,
+      2048,
+      4096,
+      0x7FFFFFFF,
+      static_cast<std::int64_t>(0xFFFFFFFF80000000ULL),
+      0x123456789ABCDEFLL,
+      -0x123456789ABCDEFLL,
+      static_cast<std::int64_t>(0x8000000000000000ULL),
+      0x7FFFFFFFFFFFFFFFLL,
+      0x10000000LL,
+      0xDEADBEEFLL,
+  };
+  for (const std::int64_t value : cases) {
+    test::HartRunner runner;
+    Assembler as(0x1000);
+    as.li(a1, value);
+    test::emit_exit(as);
+    runner.run(as);
+    EXPECT_EQ(runner.hart().x(a1), static_cast<std::uint64_t>(value))
+        << "li " << value;
+  }
+}
+
+TEST(Assembler, LiRandomProperty) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto value = static_cast<std::int64_t>(rng.next());
+    test::HartRunner runner;
+    Assembler as(0x1000);
+    as.li(s3, value);
+    test::emit_exit(as);
+    runner.run(as);
+    ASSERT_EQ(runner.hart().x(s3), static_cast<std::uint64_t>(value));
+  }
+}
+
+TEST(Assembler, LiToZeroRegisterEmitsNothing) {
+  Assembler as(0);
+  as.li(zero, 12345);
+  EXPECT_EQ(as.finish().size(), 0u);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Assembler as(0);
+  as.mv(a0, a1);
+  as.neg(a2, a3);
+  as.seqz(a4, a5);
+  as.snez(a6, a7);
+  as.ret();
+  const auto& words = as.finish();
+  EXPECT_EQ(decode(words[0]).op, Op::kAddi);
+  EXPECT_EQ(decode(words[1]).op, Op::kSub);
+  EXPECT_EQ(decode(words[2]).op, Op::kSltiu);
+  EXPECT_EQ(decode(words[3]).op, Op::kSltu);
+  const auto ret_inst = decode(words[4]);
+  EXPECT_EQ(ret_inst.op, Op::kJalr);
+  EXPECT_EQ(ret_inst.rs1, ra);
+  EXPECT_EQ(ret_inst.rd, zero);
+}
+
+}  // namespace
+}  // namespace coyote::isa

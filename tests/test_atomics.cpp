@@ -1,0 +1,234 @@
+// RV64A semantics (hart level) and the atomic kernels (system level).
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "isa/decoder.h"
+#include "kernels/kernels.h"
+#include "testutil.h"
+
+namespace coyote::iss {
+namespace {
+
+using isa::Assembler;
+using test::emit_exit;
+using test::HartRunner;
+using namespace coyote::isa;
+
+constexpr Addr kA = 0x20000;
+
+TEST(Atomics, DecodeAndNames) {
+  // amoadd.d a0, a1, (a2): funct5=0, funct3=3.
+  Assembler as(0);
+  as.amoadd_d(a0, a1, a2);
+  as.lr_d(a3, a4);
+  as.sc_d(a5, a6, a7);
+  const auto& words = as.finish();
+  const auto amo = decode(words[0]);
+  EXPECT_EQ(amo.op, Op::kAmoaddD);
+  EXPECT_EQ(amo.rd, a0);
+  EXPECT_EQ(amo.rs2, a1);
+  EXPECT_EQ(amo.rs1, a2);
+  EXPECT_EQ(decode(words[1]).op, Op::kLrD);
+  EXPECT_EQ(decode(words[2]).op, Op::kScD);
+  EXPECT_TRUE(is_amo(Op::kAmoaddD));
+  EXPECT_FALSE(is_amo(Op::kAdd));
+}
+
+TEST(Atomics, AmoAddReturnsOldValue) {
+  HartRunner runner;
+  runner.memory().write<std::uint64_t>(kA, 40);
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.li(a1, 2);
+  as.amoadd_d(a2, a1, s1);   // a2 = 40, mem = 42
+  as.amoadd_d(a3, a1, s1);   // a3 = 42, mem = 44
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a2), 40u);
+  EXPECT_EQ(runner.hart().x(a3), 42u);
+  EXPECT_EQ(runner.memory().read<std::uint64_t>(kA), 44u);
+}
+
+TEST(Atomics, AmoVarietyD) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.li(a1, 0b1100);
+  as.sd(a1, 0, s1);
+  as.li(a2, 0b1010);
+  as.amoand_d(a3, a2, s1);   // mem = 0b1000
+  as.ld(s2, 0, s1);
+  as.amoor_d(a3, a2, s1);    // mem = 0b1010
+  as.ld(s3, 0, s1);
+  as.amoxor_d(a3, a2, s1);   // mem = 0
+  as.ld(s4, 0, s1);
+  as.li(a2, -5);
+  as.amomin_d(a3, a2, s1);   // mem = min(0, -5) = -5
+  as.ld(s5, 0, s1);
+  as.li(a2, 3);
+  as.amomax_d(a3, a2, s1);   // mem = max(-5, 3) = 3
+  as.ld(s6, 0, s1);
+  as.li(a2, -1);             // = UINT64_MAX unsigned
+  as.amomaxu_d(a3, a2, s1);  // mem = max_u(3, ~0) = ~0
+  as.ld(s7, 0, s1);
+  as.li(a2, 7);
+  as.amominu_d(a3, a2, s1);  // mem = min_u(~0, 7) = 7
+  as.ld(s8, 0, s1);
+  as.li(a2, 100);
+  as.amoswap_d(a3, a2, s1);  // a3 = 7, mem = 100
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(s2), 0b1000u);
+  EXPECT_EQ(hart.x(s3), 0b1010u);
+  EXPECT_EQ(hart.x(s4), 0u);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s5)), -5);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s6)), 3);
+  EXPECT_EQ(hart.x(s7), ~0ULL);
+  EXPECT_EQ(hart.x(s8), 7u);
+  EXPECT_EQ(hart.x(a3), 7u);
+  EXPECT_EQ(runner.memory().read<std::uint64_t>(kA), 100u);
+}
+
+TEST(Atomics, AmoWordSignExtends) {
+  HartRunner runner;
+  runner.memory().write<std::uint32_t>(kA, 0xFFFFFFFF);  // -1 as i32
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.li(a1, 1);
+  as.amoadd_w(a2, a1, s1);   // a2 = sext(-1), mem32 = 0
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a2)), -1);
+  EXPECT_EQ(runner.memory().read<std::uint32_t>(kA), 0u);
+}
+
+TEST(Atomics, LrScSuccessAndFailure) {
+  HartRunner runner;
+  runner.memory().write<std::uint64_t>(kA, 5);
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.lr_d(a1, s1);           // a1 = 5, reservation set
+  as.li(a2, 9);
+  as.sc_d(a3, a2, s1);       // success: a3 = 0, mem = 9
+  as.sc_d(a4, a2, s1);       // no reservation: a4 = 1
+  as.lr_d(a1, s1);
+  as.li(t0, static_cast<std::int64_t>(kA + 64));
+  as.sc_d(a5, a2, t0);       // wrong address: a5 = 1
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(a3), 0u);
+  EXPECT_EQ(hart.x(a4), 1u);
+  EXPECT_EQ(hart.x(a5), 1u);
+  EXPECT_EQ(runner.memory().read<std::uint64_t>(kA), 9u);
+}
+
+TEST(Atomics, AmoRecordsLoadAndStoreAccess) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.li(a1, 1);
+  as.amoadd_d(a2, a1, s1);
+  emit_exit(as);
+  const auto& words = as.finish();
+  runner.memory().poke_words(0x1000, words);
+  runner.hart().reset(0x1000);
+  StepInfo info;
+  while (true) {
+    const auto inst =
+        isa::decode(runner.memory().read<std::uint32_t>(runner.hart().pc()));
+    info.clear();
+    runner.hart().execute(inst, info);
+    if (inst.op == Op::kAmoaddD) break;
+  }
+  ASSERT_EQ(info.accesses.size(), 2u);
+  EXPECT_FALSE(info.accesses[0].is_store);
+  EXPECT_TRUE(info.accesses[1].is_store);
+  EXPECT_EQ(info.accesses[0].addr, kA);
+  EXPECT_EQ(info.accesses[1].addr, kA);
+}
+
+}  // namespace
+}  // namespace coyote::iss
+
+namespace coyote::kernels {
+namespace {
+
+core::SimConfig config_for(std::uint32_t cores) {
+  core::SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 4;
+  config.num_mcs = 2;
+  return config;
+}
+
+class HistogramTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(HistogramTest, ExactCountsUnderContention) {
+  const auto [cores, skew] = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = HistogramWorkload::generate(4096, 64, skew, 9);
+  workload.install(sim.memory());
+  const auto program = build_histogram_atomic(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  EXPECT_EQ(workload.reference(), workload.result(sim.memory()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresAndSkew, HistogramTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 16u),
+                       ::testing::Values(0.0, 0.8)),
+    [](const auto& info) {
+      return "cores" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) > 0 ? "_skewed" : "_uniform");
+    });
+
+class SyncStencilTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SyncStencilTest, MultiIterationMulticore) {
+  const std::uint32_t cores = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = StencilWorkload::generate(257, 6, 13);
+  workload.install(sim.memory());
+  const auto program = build_stencil_vector_sync(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  const auto expected = workload.reference();
+  const auto actual = workload.result(sim.memory());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-12) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SyncStencilTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(SyncStencil, ReRunOnSameSimulatorWorks) {
+  // The barrier generation survives in memory between runs; the kernel
+  // reads the current value at startup, so back-to-back runs must agree.
+  core::Simulator sim(config_for(4));
+  const auto workload = StencilWorkload::generate(128, 3, 14);
+  const auto program = build_stencil_vector_sync(workload, 4);
+  for (int round = 0; round < 2; ++round) {
+    workload.install(sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
+    ASSERT_TRUE(sim.run(500'000'000).all_exited);
+    const auto expected = workload.reference();
+    const auto actual = workload.result(sim.memory());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(expected[i], actual[i], 1e-12) << "round " << round;
+    }
+  }
+}
+
+TEST(Histogram, SkewParameterValidated) {
+  EXPECT_THROW(HistogramWorkload::generate(16, 4, 1.0, 1), ConfigError);
+  EXPECT_THROW(HistogramWorkload::generate(16, 0, 0.0, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::kernels

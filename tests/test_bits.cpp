@@ -1,0 +1,102 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace coyote {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 16), 0xDEADu);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 0), 0xBEEFu);
+  EXPECT_EQ(bits(0xFF, 7, 0), 0xFFu);
+  EXPECT_EQ(bits(0xFF, 3, 0), 0xFu);
+  EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(Bits, ExtractSingle) {
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(1ULL << 63, 63), 1u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 0x7FF);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0, 12), 0);
+  EXPECT_EQ(sign_extend(0x80000000ULL, 32),
+            -static_cast<std::int64_t>(0x80000000ULL));
+  EXPECT_EQ(sign_extend(~0ULL, 64), -1);
+  EXPECT_EQ(sign_extend(1, 1), -1);
+}
+
+TEST(Bits, SignExtendIgnoresHighGarbage) {
+  // Bits above `width` must not affect the result.
+  EXPECT_EQ(sign_extend(0xFFFFF123, 12), sign_extend(0x123, 12));
+}
+
+TEST(Bits, Pow2Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2_or_zero(0));
+  EXPECT_FALSE(is_pow2_or_zero(12));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40u);
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_EQ(align_down(0x1234, 0x100), 0x1200u);
+  EXPECT_EQ(align_up(0x1234, 0x100), 0x1300u);
+  EXPECT_EQ(align_up(0x1200, 0x100), 0x1200u);
+  EXPECT_EQ(align_down(63, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+}
+
+TEST(Bits, InsertBits) {
+  EXPECT_EQ(insert_bits(0, 0x1F, 11, 7), 0x1Fu << 7);
+  EXPECT_EQ(insert_bits(~0u, 0, 11, 7), ~0u & ~(0x1Fu << 7));
+  EXPECT_EQ(insert_bits(0, ~0u, 31, 0), ~0u);
+}
+
+// Property: extract(insert(x)) == x for random fields.
+TEST(Bits, InsertExtractRoundTrip) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const unsigned lo = static_cast<unsigned>(rng.below(28));
+    const unsigned hi = lo + static_cast<unsigned>(rng.below(31 - lo));
+    const auto field = static_cast<std::uint32_t>(rng.next());
+    const auto base = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t inserted = insert_bits(base, field, hi, lo);
+    const unsigned width = hi - lo + 1;
+    const std::uint32_t mask =
+        width == 32 ? ~0u : ((1u << width) - 1);
+    EXPECT_EQ(bits(inserted, hi, lo), field & mask);
+    // Bits outside the field are untouched.
+    const std::uint32_t outside_mask = ~(mask << lo);
+    EXPECT_EQ(inserted & outside_mask, base & outside_mask);
+  }
+}
+
+// Property: sign_extend agrees with arithmetic shift implementation.
+TEST(Bits, SignExtendMatchesShifts) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.below(63));
+    const std::uint64_t value = rng.next();
+    const auto expected = static_cast<std::int64_t>(value << (64 - width)) >>
+                          (64 - width);
+    EXPECT_EQ(sign_extend(value, width), expected);
+  }
+}
+
+}  // namespace
+}  // namespace coyote

@@ -1,0 +1,136 @@
+// Configuration-space property sweep: for every combination of L2 sharing,
+// mapping policy, NoC model, MC model and LLC presence, a mixed kernel set
+// must (a) produce host-reference-correct results and (b) be bit-
+// deterministic in simulated time. This is the "any design point you can
+// configure is a valid machine" contract of a design-space-exploration tool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::core {
+namespace {
+
+struct SweepPoint {
+  L2Sharing sharing;
+  memhier::MappingPolicy mapping;
+  memhier::NocModel noc;
+  memhier::McModel mc;
+  bool llc;
+  bool prefetch;
+};
+
+std::string point_name(const ::testing::TestParamInfo<SweepPoint>& info) {
+  const SweepPoint& p = info.param;
+  std::string name;
+  name += p.sharing == L2Sharing::kShared ? "shared" : "private";
+  name += p.mapping == memhier::MappingPolicy::kSetInterleave ? "_setil"
+                                                              : "_page";
+  name += p.noc == memhier::NocModel::kIdealCrossbar ? "_xbar" : "_mesh";
+  name += p.mc == memhier::McModel::kFixedLatency ? "_fixed" : "_dram";
+  if (p.llc) name += "_llc";
+  if (p.prefetch) name += "_pf";
+  return name;
+}
+
+SimConfig config_for(const SweepPoint& point) {
+  SimConfig config;
+  config.num_cores = 8;
+  config.cores_per_tile = 4;
+  config.num_mcs = 2;
+  config.l2_sharing = point.sharing;
+  config.mapping = point.mapping;
+  config.noc.model = point.noc;
+  config.noc.mesh_width = 2;
+  config.mc.model = point.mc;
+  config.llc.enable = point.llc;
+  config.llc.size_bytes = 256 * 1024;
+  if (point.prefetch) {
+    config.l2_bank.prefetch = memhier::PrefetchPolicy::kNextLine;
+    config.l2_bank.prefetch_degree = 2;
+  }
+  // Small caches keep the whole hierarchy exercised on small workloads.
+  config.core.l1d_size_bytes = 4 * 1024;
+  config.l2_bank.size_bytes = 8 * 1024;
+  return config;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(ConfigSweep, MatmulCorrectAndDeterministic) {
+  const auto workload = kernels::MatmulWorkload::generate(24, 17);
+  const auto run_once = [&]() {
+    Simulator sim(config_for(GetParam()));
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 8);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(500'000'000);
+    EXPECT_TRUE(result.all_exited);
+    const auto expected = workload.reference();
+    const auto actual = workload.result(sim.memory());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(expected[i], actual[i], 1e-12);
+    }
+    return result.cycles;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(ConfigSweep, SpmvGatherCorrect) {
+  Simulator sim(config_for(GetParam()));
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(256, 512, 6, 18), 19);
+  workload.install(sim.memory());
+  const auto program = kernels::build_spmv_row_gather(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  const auto expected = workload.reference();
+  const auto actual = workload.result(sim.memory());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-12) << i;
+  }
+}
+
+TEST_P(ConfigSweep, AtomicHistogramExact) {
+  Simulator sim(config_for(GetParam()));
+  const auto workload = kernels::HistogramWorkload::generate(2048, 32, 0.5, 20);
+  workload.install(sim.memory());
+  const auto program = kernels::build_histogram_atomic(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  EXPECT_EQ(workload.reference(), workload.result(sim.memory()));
+}
+
+std::vector<SweepPoint> sweep_points() {
+  std::vector<SweepPoint> points;
+  for (const auto sharing : {L2Sharing::kShared, L2Sharing::kPrivate}) {
+    for (const auto mapping : {memhier::MappingPolicy::kSetInterleave,
+                               memhier::MappingPolicy::kPageToBank}) {
+      for (const auto noc : {memhier::NocModel::kIdealCrossbar,
+                             memhier::NocModel::kMesh2D}) {
+        // MC model / LLC / prefetch toggles ride along pairwise to keep the
+        // matrix at 16 points instead of 64.
+        const bool odd = points.size() % 2 != 0;
+        points.push_back(SweepPoint{
+            sharing, mapping, noc,
+            odd ? memhier::McModel::kDramRowBuffer
+                : memhier::McModel::kFixedLatency,
+            /*llc=*/odd, /*prefetch=*/!odd});
+        points.push_back(SweepPoint{
+            sharing, mapping, noc,
+            odd ? memhier::McModel::kFixedLatency
+                : memhier::McModel::kDramRowBuffer,
+            /*llc=*/!odd, /*prefetch=*/odd});
+      }
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesignPoints, ConfigSweep,
+                         ::testing::ValuesIn(sweep_points()), point_name);
+
+}  // namespace
+}  // namespace coyote::core

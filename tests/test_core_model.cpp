@@ -1,0 +1,373 @@
+// CoreModel: L1 modelling, miss/MSHR bookkeeping, RAW-dependency stalls,
+// ifetch stalls and writeback generation — the "Spike side" contract that
+// the Orchestrator is built on.
+#include "iss/core_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace coyote::iss {
+namespace {
+
+using isa::Assembler;
+using test::emit_exit;
+using namespace coyote::isa;
+
+constexpr Addr kData = 0x20000;
+
+struct CoreHarness {
+  SparseMemory memory;
+  CoreConfig config;
+  std::unique_ptr<CoreModel> core;
+  CoreStepResult result;
+  std::vector<LineRequest> writebacks;
+  Cycle cycle = 0;
+
+  explicit CoreHarness(CoreConfig cfg = {}) : config(cfg) {
+    core = std::make_unique<CoreModel>(0, &memory, config);
+  }
+
+  void load(Assembler& as) {
+    memory.poke_words(as.base(), as.finish());
+    core->reset(as.base());
+  }
+
+  /// One step; auto-fills i-fetch misses immediately to focus tests on data
+  /// behaviour (unless auto_fill_ifetch is false).
+  void step(bool auto_fill_ifetch = true) {
+    core->step(result, cycle++);
+    if (auto_fill_ifetch && result.status == StepStatus::kIFetchStall) {
+      for (const auto& request : result.requests) {
+        if (request.is_ifetch) {
+          writebacks.clear();
+          core->fill(request.line_addr, writebacks);
+        }
+      }
+    }
+  }
+
+  /// Steps until `status` is returned or the core halts. Fills every miss
+  /// `fill_after` steps after it was requested (0 = immediately).
+  void run_all(std::uint64_t max_steps = 100000) {
+    std::vector<LineRequest> pending;
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+      core->step(result, cycle++);
+      for (const auto& request : result.requests) {
+        if (!request.is_writeback) pending.push_back(request);
+      }
+      if (result.exited) return;
+      if (result.status == StepStatus::kHalted && pending.empty()) return;
+      // Service one outstanding line per step (keeps stalls observable).
+      if (!pending.empty()) {
+        writebacks.clear();
+        core->fill(pending.front().line_addr, writebacks);
+        pending.erase(pending.begin());
+        for (const auto& wb : writebacks) {
+          EXPECT_TRUE(wb.is_writeback);
+        }
+      }
+    }
+    FAIL() << "core did not halt";
+  }
+};
+
+TEST(CoreModel, IFetchMissOnFirstInstruction) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  emit_exit(as);
+  harness.load(as);
+
+  harness.step(/*auto_fill_ifetch=*/false);
+  EXPECT_EQ(harness.result.status, StepStatus::kIFetchStall);
+  ASSERT_EQ(harness.result.requests.size(), 1u);
+  EXPECT_TRUE(harness.result.requests[0].is_ifetch);
+  EXPECT_EQ(harness.result.requests[0].line_addr, 0x1000u);
+
+  // Still stalled until the fill arrives; no duplicate requests.
+  harness.step(/*auto_fill_ifetch=*/false);
+  EXPECT_EQ(harness.result.status, StepStatus::kIFetchStall);
+  EXPECT_TRUE(harness.result.requests.empty());
+
+  harness.writebacks.clear();
+  harness.core->fill(0x1000, harness.writebacks);
+  harness.step(false);
+  EXPECT_EQ(harness.result.status, StepStatus::kRetired);
+}
+
+TEST(CoreModel, SequentialFetchesHitTheLine) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.nop();
+  as.nop();
+  as.nop();
+  emit_exit(as);
+  harness.load(as);
+  harness.run_all();
+  const auto& counters = harness.core->counters();
+  // 6 instructions (3 nops + li/li/ecall) in 24B = one fetch line.
+  EXPECT_EQ(counters.l1i_misses, 1u);
+  EXPECT_EQ(counters.instructions, 6u);
+}
+
+TEST(CoreModel, LoadMissDoesNotStallTheLoadItself) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(a1, 0, s1);    // miss
+  as.li(a2, 7);        // independent: must retire while miss in flight
+  emit_exit(as);
+  harness.load(as);
+
+  // Drive manually: fetch line first.
+  harness.step();  // ifetch stall + fill
+  // li s1 expands to multiple instructions; execute until the ld retires.
+  LineRequest data_miss{};
+  bool got_miss = false;
+  for (int i = 0; i < 20 && !got_miss; ++i) {
+    harness.step();
+    for (const auto& request : harness.result.requests) {
+      if (!request.is_ifetch && !request.is_writeback) {
+        data_miss = request;
+        got_miss = true;
+      }
+    }
+  }
+  ASSERT_TRUE(got_miss);
+  EXPECT_EQ(data_miss.line_addr, kData);
+  EXPECT_EQ(harness.result.status, StepStatus::kRetired);  // load retired
+
+  // Independent instruction retires while the miss is outstanding.
+  harness.step();
+  EXPECT_EQ(harness.result.status, StepStatus::kRetired);
+  EXPECT_EQ(harness.core->hart().x(a2), 7u);
+  EXPECT_EQ(harness.core->outstanding_misses(), 1u);
+}
+
+TEST(CoreModel, RawDependencyStallsConsumer) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(a1, 0, s1);        // miss
+  as.addi(a2, a1, 1);      // RAW on a1
+  emit_exit(as);
+  harness.memory.write<std::uint64_t>(kData, 41);
+  harness.load(as);
+
+  harness.step();  // ifetch
+  // Run until the ld retires.
+  Addr miss_line = 0;
+  while (true) {
+    harness.step();
+    bool done = false;
+    for (const auto& request : harness.result.requests) {
+      if (!request.is_ifetch) {
+        miss_line = request.line_addr;
+        done = true;
+      }
+    }
+    if (done) break;
+  }
+  // The consumer must now RAW-stall (repeatedly).
+  harness.step();
+  EXPECT_EQ(harness.result.status, StepStatus::kRawStall);
+  harness.step();
+  EXPECT_EQ(harness.result.status, StepStatus::kRawStall);
+  EXPECT_GE(harness.core->counters().raw_stall_cycles, 2u);
+
+  // Fill; consumer proceeds.
+  harness.writebacks.clear();
+  harness.core->fill(miss_line, harness.writebacks);
+  harness.step();
+  EXPECT_EQ(harness.result.status, StepStatus::kRetired);
+  EXPECT_EQ(harness.core->hart().x(a2), 42u);
+}
+
+TEST(CoreModel, StoreMissDoesNotStall) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(a1, 9);
+  as.sd(a1, 0, s1);      // store miss: retires immediately
+  as.li(a2, 1);          // keeps running
+  emit_exit(as);
+  harness.load(as);
+  // Never fill the store's line; the program must still halt.
+  std::uint64_t store_misses = 0;
+  for (int i = 0; i < 1000; ++i) {
+    harness.step();
+    for (const auto& request : harness.result.requests) {
+      if (request.is_store) ++store_misses;
+    }
+    if (harness.result.status == StepStatus::kHalted ||
+        (harness.result.status == StepStatus::kRetired &&
+         harness.result.exited)) {
+      break;
+    }
+  }
+  EXPECT_EQ(store_misses, 1u);
+  EXPECT_TRUE(harness.result.exited);
+  EXPECT_EQ(harness.memory.read<std::uint64_t>(kData), 9u);
+}
+
+TEST(CoreModel, SameLineMissesMergeIntoOneRequest) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(a1, 0, s1);
+  as.ld(a2, 8, s1);      // same 64B line
+  emit_exit(as);
+  harness.load(as);
+  std::uint64_t data_requests = 0;
+  for (int i = 0; i < 50; ++i) {
+    harness.step();
+    for (const auto& request : harness.result.requests) {
+      if (!request.is_ifetch) ++data_requests;
+    }
+    if (harness.result.status == StepStatus::kRawStall) break;
+    if (harness.result.exited) break;
+  }
+  EXPECT_EQ(data_requests, 1u);
+  EXPECT_EQ(harness.core->outstanding_misses(), 1u);
+  // One fill clears the merged MSHR and both destination registers.
+  harness.writebacks.clear();
+  harness.core->fill(kData, harness.writebacks);
+  EXPECT_EQ(harness.core->outstanding_misses(), 0u);
+}
+
+TEST(CoreModel, L1HitsAfterFill) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(a1, 0, s1);
+  as.ld(a2, 16, s1);
+  as.ld(a3, 32, s1);
+  emit_exit(as);
+  harness.load(as);
+  harness.run_all();
+  const auto& counters = harness.core->counters();
+  EXPECT_EQ(counters.l1d_misses, 1u);
+  EXPECT_EQ(counters.l1d_accesses, 3u);
+  EXPECT_EQ(counters.loads, 3u);
+}
+
+TEST(CoreModel, DirtyEvictionProducesWriteback) {
+  CoreConfig config;
+  config.l1d_size_bytes = 128;  // 2 lines, 2 ways, 1 set
+  config.l1d_ways = 2;
+  CoreHarness harness(config);
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(a1, 5);
+  as.sd(a1, 0, s1);          // dirty line A
+  as.ld(a2, 64, s1);         // line B (same set: the L1D has 1 set)
+  as.ld(a3, 128, s1);        // line C -> evicts dirty A on fill
+  emit_exit(as);
+  harness.load(as);
+
+  std::vector<LineRequest> pending;
+  bool saw_writeback = false;
+  for (int i = 0; i < 2000; ++i) {
+    harness.core->step(harness.result, harness.cycle++);
+    for (const auto& request : harness.result.requests) {
+      if (request.is_writeback) {
+        saw_writeback = true;
+      } else {
+        pending.push_back(request);
+      }
+    }
+    if (!pending.empty()) {
+      harness.writebacks.clear();
+      harness.core->fill(pending.front().line_addr, harness.writebacks);
+      pending.erase(pending.begin());
+      for (const auto& wb : harness.writebacks) {
+        EXPECT_TRUE(wb.is_writeback);
+        EXPECT_EQ(wb.line_addr, kData);
+        saw_writeback = true;
+      }
+    } else if (harness.result.status == StepStatus::kHalted) {
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_writeback);
+  EXPECT_GE(harness.core->counters().writebacks, 1u);
+}
+
+TEST(CoreModel, ModelL1DisabledNeverMisses) {
+  CoreConfig config;
+  config.model_l1 = false;
+  CoreHarness harness(config);
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(a1, 0, s1);
+  emit_exit(as);
+  harness.load(as);
+  for (int i = 0; i < 100; ++i) {
+    harness.step(false);
+    EXPECT_TRUE(harness.result.requests.empty());
+    if (harness.result.exited) break;
+  }
+  EXPECT_TRUE(harness.result.exited);
+  EXPECT_EQ(harness.core->counters().l1d_misses, 0u);
+  EXPECT_EQ(harness.core->counters().loads, 1u);
+}
+
+TEST(CoreModel, UnexpectedFillThrows) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  emit_exit(as);
+  harness.load(as);
+  std::vector<LineRequest> writebacks;
+  EXPECT_THROW(harness.core->fill(0xABC000, writebacks), SimError);
+}
+
+TEST(CoreModel, HaltedCoreStaysHalted) {
+  CoreHarness harness;
+  Assembler as(0x1000);
+  emit_exit(as, 3);
+  harness.load(as);
+  harness.run_all();
+  EXPECT_EQ(harness.result.exit_code, 3);
+  harness.step();
+  EXPECT_EQ(harness.result.status, StepStatus::kHalted);
+  EXPECT_TRUE(harness.core->halted());
+}
+
+TEST(CoreModel, VectorGatherProducesMultipleLineMisses) {
+  CoreHarness harness;
+  // Offsets land in 4 distinct lines.
+  const std::uint64_t offsets[] = {0, 64, 128, 192};
+  harness.memory.poke_array(kData, offsets, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.vle64(v4, s1);                   // one line (indices)
+  as.li(s2, static_cast<std::int64_t>(kData + 0x1000));
+  as.vluxei64(v8, s2, v4);            // gathers 4 distinct lines
+  emit_exit(as);
+  harness.load(as);
+
+  std::set<Addr> gather_lines;
+  std::vector<LineRequest> pending;
+  for (int i = 0; i < 2000; ++i) {
+    harness.core->step(harness.result, harness.cycle++);
+    for (const auto& request : harness.result.requests) {
+      if (!request.is_ifetch && !request.is_writeback &&
+          request.line_addr >= kData + 0x1000) {
+        gather_lines.insert(request.line_addr);
+      }
+      if (!request.is_writeback) pending.push_back(request);
+    }
+    if (harness.result.status == StepStatus::kHalted) break;
+    if (!pending.empty()) {
+      harness.writebacks.clear();
+      harness.core->fill(pending.front().line_addr, harness.writebacks);
+      pending.erase(pending.begin());
+    }
+  }
+  EXPECT_EQ(gather_lines.size(), 4u);
+}
+
+}  // namespace
+}  // namespace coyote::iss

@@ -1,0 +1,210 @@
+#include "isa/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace coyote::isa {
+namespace {
+
+// Golden encodings cross-checked against the RISC-V ISA manual / GNU as.
+TEST(Decoder, GoldenScalarEncodings) {
+  {
+    const auto inst = decode(0x02A58513);  // addi a0, a1, 42
+    EXPECT_EQ(inst.op, Op::kAddi);
+    EXPECT_EQ(inst.rd, 10);
+    EXPECT_EQ(inst.rs1, 11);
+    EXPECT_EQ(inst.imm, 42);
+  }
+  {
+    const auto inst = decode(0x123452B7);  // lui t0, 0x12345
+    EXPECT_EQ(inst.op, Op::kLui);
+    EXPECT_EQ(inst.rd, 5);
+    EXPECT_EQ(inst.imm, static_cast<std::int64_t>(0x12345000));
+  }
+  {
+    const auto inst = decode(0x008000EF);  // jal ra, +8
+    EXPECT_EQ(inst.op, Op::kJal);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.imm, 8);
+  }
+  {
+    const auto inst = decode(0x00C13823);  // sd a2, 16(sp)
+    EXPECT_EQ(inst.op, Op::kSd);
+    EXPECT_EQ(inst.rs1, 2);
+    EXPECT_EQ(inst.rs2, 12);
+    EXPECT_EQ(inst.imm, 16);
+  }
+  {
+    const auto inst = decode(0x00B50863);  // beq a0, a1, +16
+    EXPECT_EQ(inst.op, Op::kBeq);
+    EXPECT_EQ(inst.rs1, 10);
+    EXPECT_EQ(inst.rs2, 11);
+    EXPECT_EQ(inst.imm, 16);
+  }
+  {
+    const auto inst = decode(0x02C58533);  // mul a0, a1, a2
+    EXPECT_EQ(inst.op, Op::kMul);
+    EXPECT_EQ(inst.rd, 10);
+  }
+  {
+    const auto inst = decode(0x00053507);  // fld fa0, 0(a0)
+    EXPECT_EQ(inst.op, Op::kFld);
+    EXPECT_EQ(inst.rd, 10);
+    EXPECT_EQ(inst.rs1, 10);
+    EXPECT_EQ(inst.imm, 0);
+  }
+  EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+}
+
+TEST(Decoder, GoldenVectorEncodings) {
+  {
+    const auto inst = decode(0x0DA572D7);  // vsetvli t0, a0, e64,m4,ta,ma
+    EXPECT_EQ(inst.op, Op::kVsetvli);
+    EXPECT_EQ(inst.rd, 5);
+    EXPECT_EQ(inst.rs1, 10);
+    EXPECT_EQ(inst.imm, 0xDA);
+  }
+  {
+    const auto inst = decode(0x02057407);  // vle64.v v8, (a0)
+    EXPECT_EQ(inst.op, Op::kVle64);
+    EXPECT_EQ(inst.rd, 8);
+    EXPECT_EQ(inst.rs1, 10);
+    EXPECT_TRUE(inst.vm);
+  }
+  {
+    const auto inst = decode(0x022180D7);  // vadd.vv v1, v2, v3
+    EXPECT_EQ(inst.op, Op::kVaddVV);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs2, 2);
+    EXPECT_EQ(inst.rs1, 3);
+    EXPECT_TRUE(inst.vm);
+  }
+}
+
+TEST(Decoder, NegativeImmediates) {
+  // addi a0, a0, -1 = 0xFFF50513
+  const auto inst = decode(0xFFF50513);
+  EXPECT_EQ(inst.op, Op::kAddi);
+  EXPECT_EQ(inst.imm, -1);
+}
+
+TEST(Decoder, CompressedEncodingsAreIllegal) {
+  EXPECT_EQ(decode(0x00000001).op, Op::kIllegal);  // c.nop-ish
+  EXPECT_EQ(decode(0x00004502).op, Op::kIllegal);
+  EXPECT_EQ(decode(0x00000000).op, Op::kIllegal);
+}
+
+TEST(Decoder, UnknownMajorOpcodeIsIllegal) {
+  EXPECT_EQ(decode(0x0000007F).op, Op::kIllegal);
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kIllegal);
+}
+
+TEST(Decoder, BadFunctFieldsAreIllegal) {
+  // OP with funct7 = 0x7F.
+  EXPECT_EQ(decode(0xFE000033).op, Op::kIllegal);
+  // Branch funct3 = 2 is reserved.
+  EXPECT_EQ(decode(0x00002063).op, Op::kIllegal);
+  // Load funct3 = 7 is reserved.
+  EXPECT_EQ(decode(0x00007003).op, Op::kIllegal);
+}
+
+TEST(Decoder, SegmentVectorLoadsUnsupported) {
+  // vle64 with nf=1 (two-field segment): nf bits [31:29] = 1.
+  EXPECT_EQ(decode(0x02057407 | (1u << 29)).op, Op::kIllegal);
+}
+
+TEST(Decoder, IllegalKeepsRawWord) {
+  const auto inst = decode(0xDEADBEFF);
+  EXPECT_EQ(inst.op, Op::kIllegal);
+  EXPECT_EQ(inst.raw, 0xDEADBEFFu);
+}
+
+TEST(InstAttributes, LoadStoreClassification) {
+  EXPECT_TRUE(is_load(Op::kLd));
+  EXPECT_TRUE(is_load(Op::kFld));
+  EXPECT_TRUE(is_load(Op::kVle64));
+  EXPECT_TRUE(is_load(Op::kVluxei64));
+  EXPECT_FALSE(is_load(Op::kSd));
+  EXPECT_TRUE(is_store(Op::kSd));
+  EXPECT_TRUE(is_store(Op::kVse64));
+  EXPECT_TRUE(is_store(Op::kVsuxei64));
+  EXPECT_FALSE(is_store(Op::kLd));
+  EXPECT_TRUE(is_vector(Op::kVsetvli));
+  EXPECT_TRUE(is_vector(Op::kVfmaccVF));
+  EXPECT_FALSE(is_vector(Op::kAdd));
+  EXPECT_TRUE(is_branch_or_jump(Op::kBeq));
+  EXPECT_TRUE(is_branch_or_jump(Op::kJalr));
+  EXPECT_FALSE(is_branch_or_jump(Op::kAdd));
+}
+
+TEST(InstAttributes, SourceAndDestRegs) {
+  {
+    const auto inst = decode(0x02A58513);  // addi a0, a1, 42
+    const auto srcs = source_regs(inst);
+    ASSERT_EQ(srcs.size(), 1u);
+    EXPECT_EQ(srcs[0], (RegRef{RegFile::kX, 11}));
+    const auto dsts = dest_regs(inst);
+    ASSERT_EQ(dsts.size(), 1u);
+    EXPECT_EQ(dsts[0], (RegRef{RegFile::kX, 10}));
+  }
+  {
+    // x0 never appears: addi zero, zero, 0 (canonical nop).
+    const auto inst = decode(0x00000013);
+    EXPECT_TRUE(source_regs(inst).empty());
+    EXPECT_TRUE(dest_regs(inst).empty());
+  }
+  {
+    const auto inst = decode(0x00053507);  // fld fa0, 0(a0)
+    const auto srcs = source_regs(inst);
+    ASSERT_EQ(srcs.size(), 1u);
+    EXPECT_EQ(srcs[0].file, RegFile::kX);
+    const auto dsts = dest_regs(inst);
+    ASSERT_EQ(dsts.size(), 1u);
+    EXPECT_EQ(dsts[0], (RegRef{RegFile::kF, 10}));
+  }
+  {
+    const auto inst = decode(0x02057407);  // vle64.v v8, (a0)
+    const auto dsts = dest_regs(inst);
+    ASSERT_EQ(dsts.size(), 1u);
+    EXPECT_EQ(dsts[0], (RegRef{RegFile::kV, 8}));
+  }
+}
+
+TEST(InstAttributes, MaskedVectorOpReadsV0) {
+  // vadd.vv v1, v2, v3, v0.t (vm=0).
+  const auto inst = decode(0x022180D7 & ~(1u << 25));
+  const auto srcs = source_regs(inst);
+  bool reads_v0 = false;
+  for (const auto& reg : srcs) {
+    if (reg.file == RegFile::kV && reg.index == 0) reads_v0 = true;
+  }
+  EXPECT_TRUE(reads_v0);
+}
+
+TEST(InstAttributes, VectorStoreReadsDataRegister) {
+  // vse64.v v8, (a0): the "vd" field is really vs3 (a source).
+  const auto inst = decode(0x02057427);  // vse64.v v8,(a0)
+  ASSERT_EQ(inst.op, Op::kVse64);
+  bool reads_v8 = false;
+  for (const auto& reg : source_regs(inst)) {
+    if (reg.file == RegFile::kV && reg.index == 8) reads_v8 = true;
+  }
+  EXPECT_TRUE(reads_v8);
+  EXPECT_TRUE(dest_regs(inst).empty());
+}
+
+TEST(InstAttributes, OpNamesAreUnique) {
+  std::set<std::string> names;
+  for (std::uint16_t op = 1; op < static_cast<std::uint16_t>(Op::kOpCount);
+       ++op) {
+    const std::string name = op_name(static_cast<Op>(op));
+    EXPECT_NE(name, "?") << "missing name for op " << op;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+}  // namespace
+}  // namespace coyote::isa

@@ -1,0 +1,375 @@
+// Scalar executor semantics. Each test assembles a snippet, runs it to the
+// exit syscall, and inspects architectural state.
+#include "iss/hart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "iss/csr.h"
+#include "testutil.h"
+
+namespace coyote::iss {
+namespace {
+
+using isa::Assembler;
+using test::emit_exit;
+using test::HartRunner;
+using namespace coyote::isa;  // register names
+
+TEST(Hart, AluImmediateOps) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 100);
+  as.addi(a2, a1, -30);
+  as.slti(a3, a1, 101);
+  as.sltiu(a4, a1, 99);
+  as.xori(a5, a1, 0xFF);
+  as.ori(a6, a1, 0x0F);
+  as.andi(s2, a1, 0x0F);
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(a2), 70u);
+  EXPECT_EQ(hart.x(a3), 1u);
+  EXPECT_EQ(hart.x(a4), 0u);
+  EXPECT_EQ(hart.x(a5), 155u);
+  EXPECT_EQ(hart.x(a6), 111u);
+  EXPECT_EQ(hart.x(s2), 4u);
+}
+
+TEST(Hart, RegisterZeroIsImmutable) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 5);
+  as.add(zero, a1, a1);
+  as.mv(a2, zero);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(0), 0u);
+  EXPECT_EQ(runner.hart().x(a2), 0u);
+}
+
+TEST(Hart, ShiftSemantics) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, -8);
+  as.srai(a2, a1, 1);        // -4
+  as.srli(a3, a1, 60);       // 0xF
+  as.slli(a4, a1, 2);        // -32
+  as.li(t0, 3);
+  as.sll(a5, a1, t0);        // -64
+  as.sra(a6, a1, t0);        // -1
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a2)), -4);
+  EXPECT_EQ(hart.x(a3), 0xFu);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a4)), -32);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a5)), -64);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a6)), -1);
+}
+
+TEST(Hart, Word32Ops) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 0x7FFFFFFF);
+  as.addiw(a2, a1, 1);           // wraps to INT32_MIN, sign-extended
+  as.li(t0, 1);
+  as.addw(a3, a1, t0);
+  as.slliw(a4, t0, 31);          // INT32_MIN
+  as.li(t1, 0xFFFFFFFF);
+  as.srliw(a5, t1, 4);           // 0x0FFFFFFF
+  as.sraiw(a6, t1, 4);           // -1
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a2)), INT64_C(-2147483648));
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a3)), INT64_C(-2147483648));
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a4)), INT64_C(-2147483648));
+  EXPECT_EQ(hart.x(a5), 0x0FFFFFFFu);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a6)), -1);
+}
+
+TEST(Hart, MulDivEdgeCases) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, std::numeric_limits<std::int64_t>::min());
+  as.li(a2, -1);
+  as.div(a3, a1, a2);    // overflow -> INT64_MIN
+  as.rem(a4, a1, a2);    // overflow -> 0
+  as.li(t0, 0);
+  as.div(a5, a1, t0);    // div by zero -> -1
+  as.rem(a6, a1, t0);    // rem by zero -> dividend
+  as.li(s2, 7);
+  as.li(s3, -3);
+  as.div(s4, s2, s3);    // -2 (trunc toward zero)
+  as.rem(s5, s2, s3);    // 1
+  as.mulhu(s6, a2, a2);  // (2^64-1)^2 >> 64
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(a3), static_cast<std::uint64_t>(
+                            std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(hart.x(a4), 0u);
+  EXPECT_EQ(hart.x(a5), ~0ULL);
+  EXPECT_EQ(hart.x(a6), static_cast<std::uint64_t>(
+                            std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s4)), -2);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s5)), 1);
+  EXPECT_EQ(hart.x(s6), ~0ULL - 1);  // 0xFFFF...FFFE
+}
+
+TEST(Hart, Mulh) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, -2);
+  as.li(a2, 3);
+  as.mulh(a3, a1, a2);   // high of -6 = -1
+  as.mul(a4, a1, a2);    // -6
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a3)), -1);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a4)), -6);
+}
+
+TEST(Hart, LoadStoreAllWidths) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(s1, 0x20000);
+  as.li(a1, -2);                  // 0xFFFF...FE
+  as.sb(a1, 0, s1);
+  as.sh(a1, 8, s1);
+  as.sw(a1, 16, s1);
+  as.sd(a1, 24, s1);
+  as.lb(a2, 0, s1);               // -2
+  as.lbu(a3, 0, s1);              // 0xFE
+  as.lh(a4, 8, s1);               // -2
+  as.lhu(a5, 8, s1);              // 0xFFFE
+  as.lw(a6, 16, s1);              // -2
+  as.lwu(s2, 16, s1);             // 0xFFFFFFFE
+  as.ld(s3, 24, s1);              // -2
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a2)), -2);
+  EXPECT_EQ(hart.x(a3), 0xFEu);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a4)), -2);
+  EXPECT_EQ(hart.x(a5), 0xFFFEu);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a6)), -2);
+  EXPECT_EQ(hart.x(s2), 0xFFFFFFFEu);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s3)), -2);
+}
+
+TEST(Hart, BranchesAndLoop) {
+  // Sum 1..10 with a loop.
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 0);   // sum
+  as.li(a2, 1);   // i
+  as.li(a3, 10);
+  auto loop = as.here();
+  as.add(a1, a1, a2);
+  as.addi(a2, a2, 1);
+  as.ble(a2, a3, loop);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a1), 55u);
+}
+
+TEST(Hart, JalJalrLinkage) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  auto func = as.make_label();
+  auto after = as.make_label();
+  as.li(a1, 0);
+  as.call(func);       // jal ra, func
+  as.j(after);
+  as.bind(func);
+  as.li(a1, 99);
+  as.ret();
+  as.bind(after);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a1), 99u);
+}
+
+TEST(Hart, FpDoubleArithmetic) {
+  HartRunner runner;
+  runner.memory().write<double>(0x20000, 1.5);
+  runner.memory().write<double>(0x20008, -0.25);
+  Assembler as(0x1000);
+  as.li(s1, 0x20000);
+  as.fld(fa0, 0, s1);
+  as.fld(fa1, 8, s1);
+  as.fadd_d(fa2, fa0, fa1);   // 1.25
+  as.fsub_d(fa3, fa0, fa1);   // 1.75
+  as.fmul_d(fa4, fa0, fa1);   // -0.375
+  as.fdiv_d(fa5, fa0, fa1);   // -6
+  as.fmadd_d(fa6, fa0, fa1, fa2);  // -0.375 + 1.25 = 0.875
+  as.fsqrt_d(fa7, fa2);       // sqrt(1.25)
+  as.fmin_d(fs2, fa0, fa1);
+  as.fmax_d(fs3, fa0, fa1);
+  as.fsd(fa2, 16, s1);
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_DOUBLE_EQ(hart.f64(fa2), 1.25);
+  EXPECT_DOUBLE_EQ(hart.f64(fa3), 1.75);
+  EXPECT_DOUBLE_EQ(hart.f64(fa4), -0.375);
+  EXPECT_DOUBLE_EQ(hart.f64(fa5), -6.0);
+  EXPECT_DOUBLE_EQ(hart.f64(fa6), 0.875);
+  EXPECT_DOUBLE_EQ(hart.f64(fa7), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(hart.f64(fs2), -0.25);
+  EXPECT_DOUBLE_EQ(hart.f64(fs3), 1.5);
+  EXPECT_DOUBLE_EQ(runner.memory().read<double>(0x20010), 1.25);
+}
+
+TEST(Hart, FpCompareAndConvert) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(t0, -7);
+  as.fcvt_d_l(fa0, t0);       // -7.0
+  as.li(t1, 3);
+  as.fcvt_d_l(fa1, t1);       // 3.0
+  as.feq_d(a1, fa0, fa0);     // 1
+  as.flt_d(a2, fa0, fa1);     // 1
+  as.fle_d(a3, fa1, fa0);     // 0
+  as.fcvt_l_d(a4, fa0);       // -7
+  as.fmv_x_d(a5, fa1);        // raw bits of 3.0
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(a1), 1u);
+  EXPECT_EQ(hart.x(a2), 1u);
+  EXPECT_EQ(hart.x(a3), 0u);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a4)), -7);
+  EXPECT_EQ(hart.x(a5), 0x4008000000000000ULL);
+}
+
+TEST(Hart, FsgnjFamily) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(t0, 5);
+  as.fcvt_d_l(fa0, t0);
+  as.li(t1, -2);
+  as.fcvt_d_l(fa1, t1);
+  as.fsgnj_d(fa2, fa0, fa1);  // -5
+  as.fmv_d(fa3, fa1);         // -2 (pseudo = fsgnj with same reg)
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_DOUBLE_EQ(runner.hart().f64(fa2), -5.0);
+  EXPECT_DOUBLE_EQ(runner.hart().f64(fa3), -2.0);
+}
+
+TEST(Hart, CsrAccess) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.csrr(a1, csr::kMhartid);
+  as.csrr(a2, csr::kVlenb);
+  as.csrr(a3, csr::kInstret);
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(hart.x(a1), 0u);            // hart 0
+  EXPECT_EQ(hart.x(a2), 512u / 8);      // vlenb for VLEN=512
+  EXPECT_GT(hart.x(a3), 0u);            // some instructions retired
+}
+
+TEST(Hart, UnknownCsrThrows) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.csrr(a1, 0x123);
+  emit_exit(as);
+  EXPECT_THROW(runner.run(as), ExecutionError);
+}
+
+TEST(Hart, ExitCodePropagates) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  emit_exit(as, 42);
+  EXPECT_EQ(runner.run(as), 42);
+}
+
+TEST(Hart, WriteSyscallCapturesConsole) {
+  HartRunner runner;
+  const char message[] = "hi coyote";
+  runner.memory().write_bytes(
+      0x30000, reinterpret_cast<const std::uint8_t*>(message), 9);
+  Assembler as(0x1000);
+  as.li(a0, 1);          // fd = stdout
+  as.li(a1, 0x30000);    // buf
+  as.li(a2, 9);          // count
+  as.li(a7, 64);         // write
+  as.ecall();
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().console(), "hi coyote");
+}
+
+TEST(Hart, IllegalInstructionThrows) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.emit(0x0000007F);
+  EXPECT_THROW(runner.run(as), ExecutionError);
+}
+
+TEST(Hart, InstretCounts) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.nop();
+  as.nop();
+  as.nop();
+  emit_exit(as);
+  runner.run(as);
+  // 3 nops + li a7 + li a0 + ecall = 6.
+  EXPECT_EQ(runner.hart().instret(), 6u);
+}
+
+TEST(Hart, MemAccessesRecorded) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(s1, 0x20000);
+  as.ld(a1, 0, s1);
+  emit_exit(as);
+  const auto& words = as.finish();
+  runner.memory().poke_words(0x1000, words);
+  runner.hart().reset(0x1000);
+  // Step through the li expansion until we reach the ld.
+  StepInfo info;
+  while (true) {
+    const auto inst =
+        isa::decode(runner.memory().read<std::uint32_t>(runner.hart().pc()));
+    info.clear();
+    runner.hart().execute(inst, info);
+    if (inst.op == isa::Op::kLd) break;
+  }
+  ASSERT_EQ(info.accesses.size(), 1u);
+  EXPECT_EQ(info.accesses[0].addr, 0x20000u);
+  EXPECT_EQ(info.accesses[0].size, 8);
+  EXPECT_FALSE(info.accesses[0].is_store);
+}
+
+TEST(Hart, ResetClearsState) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 7);
+  emit_exit(as);
+  runner.run(as);
+  runner.hart().reset(0x1000);
+  EXPECT_EQ(runner.hart().x(a1), 0u);
+  EXPECT_EQ(runner.hart().pc(), 0x1000u);
+  EXPECT_EQ(runner.hart().instret(), 0u);
+}
+
+TEST(Hart, BadVlenRejected) {
+  SparseMemory memory;
+  EXPECT_THROW(Hart(0, &memory, VectorConfig{48}), ConfigError);
+  EXPECT_THROW(Hart(0, &memory, VectorConfig{32}), ConfigError);
+  EXPECT_THROW(Hart(0, nullptr, VectorConfig{512}), ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::iss

@@ -1,0 +1,393 @@
+// Deeper scalar/vector executor coverage: the ops the main suites don't
+// exercise through kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "iss/hart.h"
+#include "testutil.h"
+
+namespace coyote::iss {
+namespace {
+
+using isa::Assembler;
+using isa::Lmul;
+using isa::Sew;
+using test::emit_exit;
+using test::HartRunner;
+using namespace coyote::isa;
+
+constexpr Addr kA = 0x20000;
+constexpr Addr kC = 0x22000;
+
+TEST(Hart2, LuiAuipcInteraction) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.lui(a1, 0x12345);
+  as.auipc(a2, 0);            // pc of this instruction
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a1), 0x12345000u);
+  EXPECT_EQ(runner.hart().x(a2), 0x1004u);
+}
+
+TEST(Hart2, SltVariants) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, -1);
+  as.li(a2, 1);
+  as.slt(a3, a1, a2);    // -1 < 1 signed: 1
+  as.sltu(a4, a1, a2);   // huge unsigned < 1: 0
+  as.slti(a5, a1, 0);    // 1
+  as.sltiu(a6, a2, -1);  // 1 < 0xFFF... : 1
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a3), 1u);
+  EXPECT_EQ(runner.hart().x(a4), 0u);
+  EXPECT_EQ(runner.hart().x(a5), 1u);
+  EXPECT_EQ(runner.hart().x(a6), 1u);
+}
+
+TEST(Hart2, MulhsuAndWideWordOps) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, -1);
+  as.li(a2, 2);
+  as.mulhsu(a3, a1, a2);   // high of (-1) * 2 (unsigned rs2) = -1
+  as.li(t0, 6);
+  as.li(t1, -4);
+  as.mulw(a4, t0, t1);     // -24
+  as.divw(a5, t1, a2);     // -2
+  as.divuw(a6, t1, a2);    // 0xFFFFFFFC/2 sign-extended result
+  as.remw(s2, t1, t0);     // -4 % 6 = -4
+  as.remuw(s3, t1, t0);    // 0xFFFFFFFC % 6
+  emit_exit(as);
+  runner.run(as);
+  const auto& hart = runner.hart();
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a3)), -1);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a4)), -24);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a5)), -2);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(a6)),
+            static_cast<std::int32_t>(0xFFFFFFFCu / 2));
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s2)), -4);
+  EXPECT_EQ(static_cast<std::int64_t>(hart.x(s3)),
+            static_cast<std::int32_t>(0xFFFFFFFCu % 6));
+}
+
+TEST(Hart2, FsgnjnAndFsgnjx) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(t0, 3);
+  as.fcvt_d_l(fa0, t0);
+  as.li(t1, -2);
+  as.fcvt_d_l(fa1, t1);
+  // fsgnjn.d: magnitude of fa0, inverted sign of fa1 -> +3.
+  as.emit(0x53 | (12u << 7) | (1u << 12) | (10u << 15) | (11u << 20) |
+          (0x11u << 25));  // fsgnjn.d fa2, fa0, fa1
+  // fsgnjx.d: sign xor -> -3.
+  as.emit(0x53 | (13u << 7) | (2u << 12) | (10u << 15) | (11u << 20) |
+          (0x11u << 25));  // fsgnjx.d fa3, fa0, fa1
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_DOUBLE_EQ(runner.hart().f64(12), 3.0);
+  EXPECT_DOUBLE_EQ(runner.hart().f64(13), -3.0);
+}
+
+TEST(Hart2, SinglePrecisionArithmeticNanBoxes) {
+  HartRunner runner;
+  runner.memory().write<float>(kA, 1.5f);
+  runner.memory().write<float>(kA + 4, 0.25f);
+  Assembler as(0x1000);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.flw(fa0, 0, s1);
+  as.flw(fa1, 4, s1);
+  as.fadd_s(fa2, fa0, fa1);
+  as.fmul_s(fa3, fa0, fa1);
+  as.fsw(fa2, 8, s1);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.memory().read<float>(kA + 8), 1.75f);
+  // NaN-boxing: upper 32 bits must be all ones.
+  EXPECT_EQ(runner.hart().f_bits(13) >> 32, 0xFFFFFFFFu);
+}
+
+TEST(Hart2, FcvtWordForms) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(t0, -7);
+  as.fcvt_d_w(fa0, t0);     // -7.0 from 32-bit
+  as.fcvt_w_d(a1, fa0);     // back to -7
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_DOUBLE_EQ(runner.hart().f64(10), -7.0);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a1)), -7);
+}
+
+TEST(Hart2, FenceAndFenceIAreNoOps) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.li(a1, 1);
+  as.fence();
+  as.emit(0x0000100F);  // fence.i
+  as.addi(a1, a1, 1);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a1), 2u);
+}
+
+TEST(Hart2, EbreakExitsWithFailure) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  as.ebreak();
+  EXPECT_EQ(runner.run(as), -1);
+}
+
+TEST(Hart2, CsrImmediateForms) {
+  HartRunner runner;
+  Assembler as(0x1000);
+  // csrrwi fflags, 0x15 then csrrsi/csrrci variants.
+  as.emit(0x73 | (0u << 7) | (5u << 12) | (0x15u << 15) | (0x001u << 20));
+  as.csrr(a1, 0x001);
+  as.emit(0x73 | (0u << 7) | (6u << 12) | (0x0Au << 15) | (0x001u << 20));
+  as.csrr(a2, 0x001);
+  as.emit(0x73 | (0u << 7) | (7u << 12) | (0x1Fu << 15) | (0x001u << 20));
+  as.csrr(a3, 0x001);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(runner.hart().x(a1), 0x15u);
+  EXPECT_EQ(runner.hart().x(a2), 0x1Fu);  // 0x15 | 0x0A
+  EXPECT_EQ(runner.hart().x(a3), 0u);     // cleared
+}
+
+// ----- vector extras -----
+
+TEST(Hart2, VectorLogicalAndShiftVariants) {
+  HartRunner runner(512);
+  const std::uint64_t data[] = {0xF0, 0x0F, 0xFF, 0x100};
+  runner.memory().poke_array(kA, data, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.vand_vv(v2, v1, v1);
+  as.vor_vv(v3, v1, v2);
+  as.vxor_vv(v4, v1, v1);        // zeros
+  as.li(t0, 4);
+  as.vsll_vx(v5, v1, t0);        // << 4
+  as.vsrl_vi(v6, v1, 4);         // >> 4
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.vse64(v4, s3);
+  as.addi(s3, s3, 32);
+  as.vse64(v5, s3);
+  as.addi(s3, s3, 32);
+  as.vse64(v6, s3);
+  emit_exit(as);
+  runner.run(as);
+  const auto zeros = runner.memory().peek_array<std::uint64_t>(kC, 4);
+  EXPECT_EQ(zeros, (std::vector<std::uint64_t>{0, 0, 0, 0}));
+  const auto shifted = runner.memory().peek_array<std::uint64_t>(kC + 32, 4);
+  EXPECT_EQ(shifted, (std::vector<std::uint64_t>{0xF00, 0xF0, 0xFF0, 0x1000}));
+  const auto down = runner.memory().peek_array<std::uint64_t>(kC + 64, 4);
+  EXPECT_EQ(down, (std::vector<std::uint64_t>{0xF, 0x0, 0xF, 0x10}));
+}
+
+TEST(Hart2, VectorSignedArithmetic) {
+  HartRunner runner(512);
+  const std::uint64_t a_data[] = {static_cast<std::uint64_t>(-6), 7,
+                                  static_cast<std::uint64_t>(-2), 9};
+  const std::uint64_t b_data[] = {3, static_cast<std::uint64_t>(-2), 5, 4};
+  runner.memory().poke_array(kA, a_data, 4);
+  runner.memory().poke_array(kA + 0x100, b_data, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.li(s2, static_cast<std::int64_t>(kA + 0x100));
+  as.vle64(v2, s2);
+  // vdiv/vrem signed: a / b elementwise (note operand order: vs2 / vs1).
+  as.emit(isa::encode::v_arith(0x21, true, 1, 2, 2, 3));  // vdiv.vv v3,v1,v2
+  as.emit(isa::encode::v_arith(0x23, true, 1, 2, 2, 4));  // vrem.vv v4,v1,v2
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.vse64(v3, s3);
+  as.addi(s3, s3, 32);
+  as.vse64(v4, s3);
+  emit_exit(as);
+  runner.run(as);
+  const auto quotient = runner.memory().peek_array<std::uint64_t>(kC, 4);
+  const auto remainder =
+      runner.memory().peek_array<std::uint64_t>(kC + 32, 4);
+  const std::int64_t expect_q[] = {-6 / 3, 7 / -2, -2 / 5, 9 / 4};
+  const std::int64_t expect_r[] = {-6 % 3, 7 % -2, -2 % 5, 9 % 4};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(quotient[i]), expect_q[i]) << i;
+    EXPECT_EQ(static_cast<std::int64_t>(remainder[i]), expect_r[i]) << i;
+  }
+}
+
+TEST(Hart2, VectorMinMaxAndMerge) {
+  HartRunner runner(512);
+  const std::uint64_t a_data[] = {5, static_cast<std::uint64_t>(-3), 8, 1};
+  const std::uint64_t b_data[] = {2, 4, static_cast<std::uint64_t>(-9), 1};
+  runner.memory().poke_array(kA, a_data, 4);
+  runner.memory().poke_array(kA + 0x100, b_data, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.li(s2, static_cast<std::int64_t>(kA + 0x100));
+  as.vle64(v2, s2);
+  as.emit(isa::encode::v_arith(0x05, true, 1, 2, 0, 3));  // vmin.vv v3,v1,v2
+  as.emit(isa::encode::v_arith(0x07, true, 1, 2, 0, 4));  // vmax.vv v4,v1,v2
+  // vmerge.vvm v5 = mask ? v2 : v1 with mask from vmslt.vx v0, v1, x0
+  as.vmslt_vx(v0, v1, zero);     // negative elements of a
+  as.vmerge_vvm(v5, v1, v2);
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.vse64(v3, s3);
+  as.addi(s3, s3, 32);
+  as.vse64(v4, s3);
+  as.addi(s3, s3, 32);
+  as.vse64(v5, s3);
+  emit_exit(as);
+  runner.run(as);
+  const auto min_out = runner.memory().peek_array<std::uint64_t>(kC, 4);
+  const auto max_out = runner.memory().peek_array<std::uint64_t>(kC + 32, 4);
+  const auto merge_out =
+      runner.memory().peek_array<std::uint64_t>(kC + 64, 4);
+  const std::int64_t expect_min[] = {2, -3, -9, 1};
+  const std::int64_t expect_max[] = {5, 4, 8, 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(min_out[i]), expect_min[i]);
+    EXPECT_EQ(static_cast<std::int64_t>(max_out[i]), expect_max[i]);
+  }
+  // merge: where a < 0 take b (v2's elements loaded as vs1=v2? operand
+  // order: vmerge_vvm(vd, vs2, vs1) -> mask ? vs1 : vs2 with vs2=v1.
+  const std::int64_t expect_merge[] = {5, 4, 8, 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(merge_out[i]), expect_merge[i]) << i;
+  }
+}
+
+TEST(Hart2, VectorIntegerReductionsMinMax) {
+  HartRunner runner(512);
+  const std::uint64_t data[] = {9, static_cast<std::uint64_t>(-4), 17, 0};
+  runner.memory().poke_array(kA, data, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.vmv_s_x(v2, zero);  // seed 0
+  as.emit(isa::encode::v_arith(0x07, true, 1, 2, 2, 3));  // vredmax.vs
+  as.vmv_x_s(a2, v3);
+  as.vmv_s_x(v2, zero);
+  as.emit(isa::encode::v_arith(0x05, true, 1, 2, 2, 4));  // vredmin.vs
+  as.vmv_x_s(a3, v4);
+  emit_exit(as);
+  runner.run(as);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a2)), 17);
+  EXPECT_EQ(static_cast<std::int64_t>(runner.hart().x(a3)), -4);
+}
+
+TEST(Hart2, VectorSlideUpAndRgather) {
+  HartRunner runner(512);
+  const std::uint64_t data[] = {10, 11, 12, 13, 14, 15, 16, 17};
+  runner.memory().poke_array(kA, data, 8);
+  Assembler as(0x1000);
+  as.li(a0, 8);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.vmv_v_i(v2, 0);
+  // vslideup.vi v2, v1, 3
+  as.emit(isa::encode::v_arith(0x0E, true, 1, 3, 3, 2));
+  // vrgather.vv v3, v1, idx where idx = {7,6,...} computed via vid+rsub.
+  as.vid_v(v4);
+  as.li(t0, 7);
+  // vrsub.vx v4, v4, t0 -> 7 - i
+  as.emit(isa::encode::v_arith(0x03, true, 4, t0, 4, 4));
+  as.emit(isa::encode::v_arith(0x0C, true, 1, 4, 0, 3));  // vrgather v3,v1,v4
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.vse64(v2, s3);
+  as.addi(s3, s3, 64);
+  as.vse64(v3, s3);
+  emit_exit(as);
+  runner.run(as);
+  const auto slide = runner.memory().peek_array<std::uint64_t>(kC, 8);
+  EXPECT_EQ(slide,
+            (std::vector<std::uint64_t>{0, 0, 0, 10, 11, 12, 13, 14}));
+  const auto gathered =
+      runner.memory().peek_array<std::uint64_t>(kC + 64, 8);
+  EXPECT_EQ(gathered,
+            (std::vector<std::uint64_t>{17, 16, 15, 14, 13, 12, 11, 10}));
+}
+
+TEST(Hart2, VectorStridedStoreAndFpExtremes) {
+  HartRunner runner(512);
+  const double data[] = {1.0, -2.0, 3.0, -4.0};
+  runner.memory().poke_array(kA, data, 4);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.vfmul_vv(v2, v1, v1);       // squares
+  as.emit(isa::encode::v_arith(0x04, true, 1, 2, 1, 3));  // vfmin.vv v3,v1,v2
+  as.emit(isa::encode::v_arith(0x06, true, 1, 2, 1, 4));  // vfmax.vv v4,v1,v2
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.li(t0, 24);                 // stride 3 doubles
+  as.vsse64(v3, s3, t0);
+  emit_exit(as);
+  runner.run(as);
+  // min(v1, v1^2): {1, -2, 3, -4}^2 = {1,4,9,16} -> min {1,-2,3,-4}.
+  EXPECT_EQ(runner.memory().read<double>(kC + 0), 1.0);
+  EXPECT_EQ(runner.memory().read<double>(kC + 24), -2.0);
+  EXPECT_EQ(runner.memory().read<double>(kC + 48), 3.0);
+  EXPECT_EQ(runner.memory().read<double>(kC + 72), -4.0);
+}
+
+TEST(Hart2, MaskedVectorMemoryOps) {
+  HartRunner runner(512);
+  const std::uint64_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  runner.memory().poke_array(kA, data, 8);
+  Assembler as(0x1000);
+  as.li(a0, 8);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  as.li(s1, static_cast<std::int64_t>(kA));
+  as.vle64(v1, s1);
+  as.li(t0, 5);
+  as.vmslt_vx(v0, v1, t0);       // elements < 5
+  as.vmv_v_i(v2, -1);
+  as.vle64(v2, s1, /*vm=*/false);  // masked load: only first 4 replaced
+  as.li(s3, static_cast<std::int64_t>(kC));
+  as.vmv_v_i(v3, 0);
+  as.vse64(v3, s3);                // clear destination
+  as.vse64(v1, s3, /*vm=*/false);  // masked store: only first 4 written
+  emit_exit(as);
+  runner.run(as);
+  const auto out = runner.memory().peek_array<std::uint64_t>(kC, 8);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 3, 4, 0, 0, 0, 0}));
+  // Masked load left tail at -1.
+  std::uint64_t tail;
+  std::memcpy(&tail, runner.hart().vreg_data(2) + 7 * 8, 8);
+  EXPECT_EQ(tail, ~0ULL);
+}
+
+TEST(Hart2, UnsupportedVectorOpThrows) {
+  HartRunner runner(512);
+  Assembler as(0x1000);
+  as.li(a0, 4);
+  as.vsetvli(a1, a0, Sew::kE64, Lmul::kM1);
+  // vcompress.vm (funct6 0x17 OPMVV) is not implemented.
+  as.emit(isa::encode::v_arith(0x17, true, 1, 2, 2, 3));
+  emit_exit(as);
+  EXPECT_THROW(runner.run(as), ExecutionError);
+}
+
+}  // namespace
+}  // namespace coyote::iss

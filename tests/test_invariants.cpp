@@ -1,0 +1,179 @@
+// Cross-cutting simulator invariants: observation must not perturb timing,
+// host-side optimizations must not change simulated results, and statistics
+// must balance across the hierarchy.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/simulator.h"
+#include "isa/assembler.h"
+#include "kernels/kernels.h"
+
+namespace coyote::core {
+namespace {
+
+SimConfig base_config(std::uint32_t cores = 8) {
+  SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 4;
+  config.num_mcs = 2;
+  return config;
+}
+
+struct RunOutput {
+  Cycle cycles;
+  std::uint64_t instructions;
+  std::vector<double> result;
+};
+
+RunOutput run_matmul(const SimConfig& config) {
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(24, 77);
+  workload.install(sim.memory());
+  const auto program =
+      kernels::build_matmul_scalar(workload, config.num_cores);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(500'000'000);
+  EXPECT_TRUE(result.all_exited);
+  return RunOutput{result.cycles, result.instructions,
+                   workload.result(sim.memory())};
+}
+
+TEST(Invariants, TracingDoesNotPerturbTiming) {
+  SimConfig plain = base_config();
+  SimConfig traced = base_config();
+  traced.enable_trace = true;
+  traced.trace_basename = "/tmp/coyote_invariant_trace";
+  const auto without = run_matmul(plain);
+  const auto with = run_matmul(traced);
+  EXPECT_EQ(without.cycles, with.cycles);
+  EXPECT_EQ(without.instructions, with.instructions);
+  EXPECT_EQ(without.result, with.result);
+  for (const char* ext : {".prv", ".pcf", ".row"}) {
+    std::remove((std::string("/tmp/coyote_invariant_trace") + ext).c_str());
+  }
+}
+
+TEST(Invariants, FastForwardIsTimingNeutral) {
+  SimConfig slow = base_config();
+  slow.mc.latency = 400;  // long idle stretches to skip
+  SimConfig fast = slow;
+  fast.fast_forward_idle = true;
+  const auto stepped = run_matmul(slow);
+  const auto jumped = run_matmul(fast);
+  EXPECT_EQ(stepped.cycles, jumped.cycles);
+  EXPECT_EQ(stepped.instructions, jumped.instructions);
+  EXPECT_EQ(stepped.result, jumped.result);
+}
+
+TEST(Invariants, L1MissesEqualL2DemandAccesses) {
+  // Every L1 miss request (minus writebacks) must appear as exactly one L2
+  // access (merged or not); nothing is lost or duplicated in the NoC.
+  SimConfig config = base_config();
+  Simulator sim(config);
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(512, 2048, 8, 3), 4);
+  workload.install(sim.memory());
+  const auto program = kernels::build_spmv_scalar(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+
+  std::uint64_t l1_misses = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    const auto& counters = sim.core(core).counters();
+    l1_misses += counters.l1d_misses + counters.l1i_misses;
+  }
+  std::uint64_t l2_accesses = 0;
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    l2_accesses += sim.l2_bank(bank).stats().find_counter("accesses").get();
+  }
+  // CoreModel merges same-line misses into one request, so L2 accesses is
+  // bounded by L1 misses and must be nonzero.
+  EXPECT_LE(l2_accesses, l1_misses);
+  EXPECT_GT(l2_accesses, 0u);
+}
+
+TEST(Invariants, FillsMatchRequests) {
+  // Every non-writeback request eventually produces exactly one fill.
+  SimConfig config = base_config();
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(24, 5);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  const auto& stats = sim.orchestrator().stats();
+  const auto requests = stats.find_counter("l1_miss_requests").get();
+  const auto fills = stats.find_counter("fills").get();
+  std::uint64_t writebacks = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    writebacks += sim.core(core).counters().writebacks;
+  }
+  EXPECT_EQ(fills + writebacks, requests);
+  // No MSHR may remain allocated after a clean exit.
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    EXPECT_EQ(sim.core(core).outstanding_misses(), 0u);
+  }
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    EXPECT_EQ(sim.l2_bank(bank).mshrs_in_use(), 0u);
+    EXPECT_EQ(sim.l2_bank(bank).queued_requests(), 0u);
+  }
+}
+
+TEST(Invariants, CycleCsrTracksOrchestratorTime) {
+  // A program that reads the cycle CSR twice must observe progress
+  // consistent with simulated time.
+  SimConfig config = base_config(1);
+  Simulator sim(config);
+  isa::Assembler as(0x1000);
+  as.csrr(isa::a1, 0xC00);
+  for (int i = 0; i < 50; ++i) as.nop();
+  as.csrr(isa::a2, 0xC00);
+  as.sub(isa::a0, isa::a2, isa::a1);
+  as.li(isa::a7, 93);
+  as.ecall();
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  const auto result = sim.run(1'000'000);
+  ASSERT_TRUE(result.all_exited);
+  // 51 instructions retire between the two reads; with ifetch stalls the
+  // distance must be at least that.
+  EXPECT_GE(result.exit_codes[0], 51);
+  EXPECT_LE(result.exit_codes[0], static_cast<std::int64_t>(result.cycles));
+}
+
+TEST(Invariants, ReplacementPolicyChangesTimingNotResults) {
+  SimConfig lru = base_config();
+  lru.core.l1d_size_bytes = 2 * 1024;
+  lru.core.l1d_ways = 4;
+  SimConfig random_policy = lru;
+  random_policy.core.l1_replacement = memhier::Replacement::kRandom;
+  random_policy.l2_bank.replacement = memhier::Replacement::kRandom;
+  const auto lru_run = run_matmul(lru);
+  const auto random_run = run_matmul(random_policy);
+  EXPECT_EQ(lru_run.result, random_run.result);      // functional identity
+  EXPECT_EQ(lru_run.instructions, random_run.instructions);
+  EXPECT_NE(lru_run.cycles, random_run.cycles);      // timing differs
+}
+
+TEST(Invariants, VlenChangesTimingNotVectorResults) {
+  const auto run_with_vlen = [](unsigned vlen) {
+    SimConfig config = base_config(4);
+    config.core.vector.vlen_bits = vlen;
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(20, 6);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_vector(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(500'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return std::make_pair(result.instructions,
+                          workload.result(sim.memory()));
+  };
+  const auto narrow = run_with_vlen(128);
+  const auto wide = run_with_vlen(2048);
+  EXPECT_EQ(narrow.second, wide.second);     // same numerics
+  EXPECT_GT(narrow.first, wide.first);       // more instructions at VLEN=128
+}
+
+}  // namespace
+}  // namespace coyote::core

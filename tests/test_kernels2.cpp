@@ -1,0 +1,223 @@
+// Tests for the extension kernels: BLAS-1 AXPY/DOT and the multicore FFT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::kernels {
+namespace {
+
+core::SimConfig config_for(std::uint32_t cores) {
+  core::SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 4;
+  config.num_mcs = 2;
+  return config;
+}
+
+class AxpyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AxpyTest, MatchesReference) {
+  const std::uint32_t cores = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = Blas1Workload::generate(1000, 7);
+  workload.install(sim.memory());
+  const auto program = build_axpy_vector(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(200'000'000).all_exited);
+  const auto expected = workload.axpy_reference();
+  const auto actual = workload.axpy_result(sim.memory());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-13) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, AxpyTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+class DotTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DotTest, MatchesReference) {
+  const std::uint32_t cores = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = Blas1Workload::generate(3000, 8);
+  workload.install(sim.memory());
+  const auto program = build_dot_vector(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(200'000'000).all_exited);
+  EXPECT_NEAR(workload.dot_reference(),
+              workload.dot_result(sim.memory(), cores), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, DotTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(Blas1, EmptyRangeCoresStillExit) {
+  // More cores than elements: idle cores must still write a zero partial.
+  core::Simulator sim(config_for(8));
+  const auto workload = Blas1Workload::generate(5, 9);
+  workload.install(sim.memory());
+  const auto program = build_dot_vector(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  EXPECT_NEAR(workload.dot_reference(),
+              workload.dot_result(sim.memory(), 8), 1e-12);
+}
+
+// ----------------------------------------------------------- stencil2d --
+
+class Stencil2dTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(Stencil2dTest, MatchesReference) {
+  const auto [nx, ny, cores] = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = Stencil2dWorkload::generate(nx, ny, 23);
+  workload.install(sim.memory());
+  const auto program = build_stencil2d_vector(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  const auto expected = workload.reference();
+  const auto actual = workload.result(sim.memory());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-13) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndCores, Stencil2dTest,
+    ::testing::Combine(::testing::Values(std::size_t{3}, std::size_t{17},
+                                         std::size_t{40}),
+                       ::testing::Values(std::size_t{3}, std::size_t{33},
+                                         std::size_t{64}),
+                       ::testing::Values(1u, 4u, 8u)),
+    [](const auto& info) {
+      return "nx" + std::to_string(std::get<0>(info.param)) + "_ny" +
+             std::to_string(std::get<1>(info.param)) + "_cores" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Stencil2d, BoundaryRowsAndColumnsUntouched) {
+  core::Simulator sim(config_for(4));
+  const auto workload = Stencil2dWorkload::generate(16, 24, 29);
+  workload.install(sim.memory());
+  const auto program = build_stencil2d_vector(workload, 4);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(200'000'000).all_exited);
+  const auto out = workload.result(sim.memory());
+  for (std::size_t j = 0; j < workload.ny; ++j) {
+    EXPECT_EQ(out[j], workload.src[j]);  // first row
+    EXPECT_EQ(out[(workload.nx - 1) * workload.ny + j],
+              workload.src[(workload.nx - 1) * workload.ny + j]);
+  }
+  for (std::size_t i = 0; i < workload.nx; ++i) {
+    EXPECT_EQ(out[i * workload.ny], workload.src[i * workload.ny]);
+    EXPECT_EQ(out[i * workload.ny + workload.ny - 1],
+              workload.src[i * workload.ny + workload.ny - 1]);
+  }
+}
+
+TEST(Stencil2d, TinyGridRejected) {
+  EXPECT_THROW(Stencil2dWorkload::generate(2, 8, 1), ConfigError);
+  EXPECT_THROW(Stencil2dWorkload::generate(8, 2, 1), ConfigError);
+}
+
+// ----------------------------------------------------------------- fft --
+
+// Independent O(n^2) DFT used to validate the host reference itself.
+void naive_dft(const std::vector<double>& in_re,
+               const std::vector<double>& in_im, std::vector<double>& out_re,
+               std::vector<double>& out_im) {
+  const std::size_t n = in_re.size();
+  out_re.assign(n, 0.0);
+  out_im.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * 3.14159265358979323846 *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += std::complex<double>(in_re[t], in_im[t]) *
+             std::polar(1.0, angle);
+    }
+    out_re[k] = acc.real();
+    out_im[k] = acc.imag();
+  }
+}
+
+TEST(Fft, HostReferenceAgreesWithNaiveDft) {
+  const auto workload = FftWorkload::generate(64, 4);
+  std::vector<double> fft_re;
+  std::vector<double> fft_im;
+  workload.reference(fft_re, fft_im);
+  std::vector<double> dft_re;
+  std::vector<double> dft_im;
+  naive_dft(workload.in_re, workload.in_im, dft_re, dft_im);
+  for (std::size_t i = 0; i < workload.n; ++i) {
+    ASSERT_NEAR(fft_re[i], dft_re[i], 1e-9) << i;
+    ASSERT_NEAR(fft_im[i], dft_im[i], 1e-9) << i;
+  }
+}
+
+class FftTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(FftTest, SimulatedMatchesHost) {
+  const auto [n, cores] = GetParam();
+  core::Simulator sim(config_for(cores));
+  const auto workload = FftWorkload::generate(n, 5);
+  workload.install(sim.memory());
+  const auto program = build_fft_scalar(workload, cores);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(2'000'000'000ULL).all_exited);
+
+  std::vector<double> expected_re;
+  std::vector<double> expected_im;
+  workload.reference(expected_re, expected_im);
+  std::vector<double> actual_re;
+  std::vector<double> actual_im;
+  workload.result(sim.memory(), actual_re, actual_im);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(expected_re[i], actual_re[i], 1e-9) << "re " << i;
+    ASSERT_NEAR(expected_im[i], actual_im[i], 1e-9) << "im " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCores, FftTest,
+    ::testing::Combine(::testing::Values(std::size_t{8}, std::size_t{64},
+                                         std::size_t{512}),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_cores" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftWorkload::generate(48, 1), ConfigError);
+  EXPECT_THROW(FftWorkload::generate(1, 1), ConfigError);
+}
+
+TEST(Fft, DeterministicSimulatedCycles) {
+  const auto cycles_once = [] {
+    core::Simulator sim(config_for(4));
+    const auto workload = FftWorkload::generate(256, 6);
+    workload.install(sim.memory());
+    const auto program = build_fft_scalar(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(2'000'000'000ULL);
+    EXPECT_TRUE(result.all_exited);
+    return result.cycles;
+  };
+  EXPECT_EQ(cycles_once(), cycles_once());
+}
+
+}  // namespace
+}  // namespace coyote::kernels

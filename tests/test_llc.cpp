@@ -1,0 +1,207 @@
+// LLC slice behaviour, standalone and inside the full hierarchy.
+#include "memhier/llc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::memhier {
+namespace {
+
+struct LlcHarness {
+  simfw::Scheduler sched;
+  simfw::Unit root{&sched, "top"};
+  Noc noc;
+  LlcConfig config;
+  std::unique_ptr<LlcSlice> llc;
+  simfw::DataOutPort<MemRequest> req_out{&root, "req_out"};
+  simfw::DataInPort<MemResponse> resp_in{&root, "resp_in"};
+  simfw::DataInPort<MemRequest> dram_in{&root, "dram_in"};
+  simfw::DataOutPort<MemResponse> dram_out{&root, "dram_out"};
+  std::vector<std::pair<Cycle, MemResponse>> responses;
+  std::vector<std::pair<Cycle, MemRequest>> dram_requests;
+
+  explicit LlcHarness(LlcConfig cfg = {})
+      : noc(&root, NocConfig{.crossbar_latency = 0}, 1, 1), config(cfg) {
+    config.enable = true;
+    llc = std::make_unique<LlcSlice>(&root, "llc", 0, config, &noc, 1);
+    req_out.bind(llc->req_in());
+    llc->resp_out(0).bind(resp_in);
+    llc->mem_req_out().bind(dram_in);
+    dram_out.bind(llc->mem_resp_in());
+    resp_in.register_handler([this](const MemResponse& response) {
+      responses.push_back({sched.now(), response});
+    });
+    dram_in.register_handler([this](const MemRequest& request) {
+      dram_requests.push_back({sched.now(), request});
+    });
+  }
+
+  void send(Addr line, MemOp op = MemOp::kLoad) {
+    req_out.send(MemRequest{line, op, 0, 0, 0}, 0);
+  }
+  void fill(Addr line) { dram_out.send(MemResponse{line, MemOp::kLoad, 0}, 0); }
+  std::uint64_t counter(const std::string& name) {
+    return llc->stats().find_counter(name).get();
+  }
+};
+
+TEST(LlcSlice, MissForwardsThenHitFilters) {
+  LlcConfig config;
+  config.hit_latency = 20;
+  LlcHarness harness(config);
+  harness.send(0x1000);
+  harness.sched.run_to_completion();
+  ASSERT_EQ(harness.dram_requests.size(), 1u);
+  harness.fill(0x1000);
+  harness.sched.run_to_completion();
+  ASSERT_EQ(harness.responses.size(), 1u);
+
+  const Cycle start = harness.sched.now();
+  harness.send(0x1000);  // now a hit: DRAM untouched
+  harness.sched.run_to_completion();
+  EXPECT_EQ(harness.dram_requests.size(), 1u);
+  ASSERT_EQ(harness.responses.size(), 2u);
+  EXPECT_EQ(harness.responses[1].first - start, 20u);
+  EXPECT_EQ(harness.counter("hits"), 1u);
+}
+
+TEST(LlcSlice, MergesConcurrentMissesToOneLine) {
+  LlcHarness harness;
+  harness.send(0x2000, MemOp::kLoad);
+  harness.send(0x2000, MemOp::kIFetch);
+  harness.sched.run_to_completion();
+  EXPECT_EQ(harness.dram_requests.size(), 1u);
+  harness.fill(0x2000);
+  harness.sched.run_to_completion();
+  EXPECT_EQ(harness.responses.size(), 2u);
+}
+
+TEST(LlcSlice, WritebackAllocatesDirtyAndWritesBackOnEviction) {
+  LlcConfig config;
+  config.size_bytes = 128;  // 1 set x 2 ways
+  config.ways = 2;
+  LlcHarness harness(config);
+  harness.send(0x0000, MemOp::kWriteback);  // allocate dirty
+  harness.sched.run_to_completion();
+  EXPECT_TRUE(harness.llc->contains(0x0000));
+  EXPECT_TRUE(harness.dram_requests.empty());  // absorbed silently
+
+  // Displace it with two fills.
+  harness.send(0x1000, MemOp::kLoad);
+  harness.send(0x2000, MemOp::kLoad);
+  harness.sched.run_to_completion();
+  harness.fill(0x1000);
+  harness.fill(0x2000);
+  harness.sched.run_to_completion();
+  bool saw_writeback = false;
+  for (const auto& [cycle, request] : harness.dram_requests) {
+    if (request.op == MemOp::kWriteback && request.line_addr == 0x0000) {
+      saw_writeback = true;
+    }
+  }
+  EXPECT_TRUE(saw_writeback);
+  EXPECT_EQ(harness.counter("writebacks_out"), 1u);
+}
+
+TEST(LlcSlice, WritebackToResidentLineJustMarksDirty) {
+  LlcHarness harness;
+  harness.send(0x1000, MemOp::kLoad);
+  harness.sched.run_to_completion();
+  harness.fill(0x1000);
+  harness.sched.run_to_completion();
+  harness.send(0x1000, MemOp::kWriteback);
+  harness.sched.run_to_completion();
+  EXPECT_EQ(harness.counter("writebacks_in"), 1u);
+  EXPECT_EQ(harness.counter("writebacks_out"), 0u);
+}
+
+TEST(LlcSlice, UnexpectedDramResponseThrows) {
+  LlcHarness harness;
+  harness.fill(0x9000);
+  EXPECT_THROW(harness.sched.run_to_completion(), SimError);
+}
+
+}  // namespace
+}  // namespace coyote::memhier
+
+namespace coyote::core {
+namespace {
+
+TEST(LlcIntegration, ThreeLevelHierarchyRunsAndFilters) {
+  SimConfig config;
+  config.num_cores = 8;
+  config.cores_per_tile = 4;
+  config.llc.enable = true;
+  config.llc.size_bytes = 512 * 1024;
+  // Small L2 so the LLC actually sees reuse traffic.
+  config.l2_bank.size_bytes = 2 * 1024;
+  config.l2_bank.ways = 2;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(64, 3);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+
+  // Results still correct through three levels.
+  const auto expected = workload.reference();
+  const auto actual = workload.result(sim.memory());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-12);
+  }
+
+  std::uint64_t llc_hits = 0;
+  std::uint64_t llc_accesses = 0;
+  for (McId mc = 0; mc < config.num_mcs; ++mc) {
+    ASSERT_NE(sim.llc(mc), nullptr);
+    llc_hits += sim.llc(mc)->stats().find_counter("hits").get();
+    llc_accesses += sim.llc(mc)->stats().find_counter("accesses").get();
+  }
+  EXPECT_GT(llc_accesses, 0u);
+  EXPECT_GT(llc_hits, 0u);  // matmul re-reads B: the LLC must filter some
+
+  // The report includes the new units.
+  EXPECT_NE(sim.report().find("top.llc0"), std::string::npos);
+}
+
+TEST(LlcIntegration, LlcReducesMemoryReads) {
+  const auto mc_reads_with = [](bool llc) {
+    SimConfig config;
+    config.num_cores = 8;
+    config.cores_per_tile = 4;
+    config.l2_bank.size_bytes = 2 * 1024;
+  config.l2_bank.ways = 2;
+    config.llc.enable = llc;
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(64, 3);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 8);
+    sim.load_program(program.base, program.words, program.entry);
+    EXPECT_TRUE(sim.run(500'000'000).all_exited);
+    std::uint64_t reads = 0;
+    for (McId mc = 0; mc < config.num_mcs; ++mc) {
+      reads += sim.mc(mc).stats().find_counter("reads").get();
+    }
+    return reads;
+  };
+  EXPECT_LT(mc_reads_with(true), mc_reads_with(false));
+}
+
+TEST(LlcIntegration, DisabledByDefault) {
+  SimConfig config;
+  config.num_cores = 1;
+  Simulator sim(config);
+  EXPECT_EQ(sim.llc(0), nullptr);
+}
+
+TEST(LlcIntegration, LineMismatchRejected) {
+  SimConfig config;
+  config.llc.enable = true;
+  config.llc.line_bytes = 128;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::core

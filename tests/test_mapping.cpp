@@ -1,0 +1,80 @@
+#include "memhier/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coyote::memhier {
+namespace {
+
+TEST(Mapping, SetInterleaveRotatesPerLine) {
+  BankMapper mapper(MappingPolicy::kSetInterleave, 4, 64);
+  EXPECT_EQ(mapper.bank_of(0x0000), 0u);
+  EXPECT_EQ(mapper.bank_of(0x0040), 1u);
+  EXPECT_EQ(mapper.bank_of(0x0080), 2u);
+  EXPECT_EQ(mapper.bank_of(0x00C0), 3u);
+  EXPECT_EQ(mapper.bank_of(0x0100), 0u);
+}
+
+TEST(Mapping, PageToBankKeepsPagesTogether) {
+  BankMapper mapper(MappingPolicy::kPageToBank, 4, 64, 4096);
+  // Every line of page 0 lands in bank 0.
+  for (Addr line = 0; line < 4096; line += 64) {
+    EXPECT_EQ(mapper.bank_of(line), 0u);
+  }
+  EXPECT_EQ(mapper.bank_of(4096), 1u);
+  EXPECT_EQ(mapper.bank_of(2 * 4096), 2u);
+  EXPECT_EQ(mapper.bank_of(4 * 4096), 0u);
+}
+
+TEST(Mapping, NonPow2BankCount) {
+  BankMapper mapper(MappingPolicy::kSetInterleave, 3, 64);
+  std::vector<int> hits(3, 0);
+  for (Addr line = 0; line < 64 * 300; line += 64) {
+    ++hits[mapper.bank_of(line)];
+  }
+  EXPECT_EQ(hits[0], 100);
+  EXPECT_EQ(hits[1], 100);
+  EXPECT_EQ(hits[2], 100);
+}
+
+TEST(Mapping, ZeroBanksRejected) {
+  EXPECT_THROW(BankMapper(MappingPolicy::kSetInterleave, 0, 64), ConfigError);
+  EXPECT_THROW(McMapper(0, 4096), ConfigError);
+}
+
+TEST(Mapping, PolicyNamesRoundTrip) {
+  EXPECT_EQ(mapping_policy_from_string("page-to-bank"),
+            MappingPolicy::kPageToBank);
+  EXPECT_EQ(mapping_policy_from_string("set-interleave"),
+            MappingPolicy::kSetInterleave);
+  EXPECT_THROW(mapping_policy_from_string("bogus"), ConfigError);
+  EXPECT_STREQ(mapping_policy_name(MappingPolicy::kPageToBank),
+               "page-to-bank");
+}
+
+TEST(Mapping, McInterleaveGranularity) {
+  McMapper mapper(2, 4096);
+  EXPECT_EQ(mapper.mc_of(0), 0u);
+  EXPECT_EQ(mapper.mc_of(4095), 0u);
+  EXPECT_EQ(mapper.mc_of(4096), 1u);
+  EXPECT_EQ(mapper.mc_of(8192), 0u);
+}
+
+// Property: both policies spread a dense sequential scan evenly.
+TEST(Mapping, PoliciesBalanceSequentialTraffic) {
+  for (const auto policy :
+       {MappingPolicy::kPageToBank, MappingPolicy::kSetInterleave}) {
+    BankMapper mapper(policy, 8, 64, 4096);
+    std::vector<std::uint64_t> per_bank(8, 0);
+    for (Addr addr = 0; addr < 8 * 64 * 4096; addr += 64) {
+      ++per_bank[mapper.bank_of(addr)];
+    }
+    for (const auto count : per_bank) {
+      EXPECT_EQ(count, per_bank[0]) << mapping_policy_name(policy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coyote::memhier

@@ -1,0 +1,130 @@
+#include "memhier/memctrl.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coyote::memhier {
+namespace {
+
+struct McHarness {
+  simfw::Scheduler sched;
+  simfw::Unit root{&sched, "top"};
+  Noc noc;
+  std::unique_ptr<MemoryController> mc;
+  simfw::DataOutPort<MemRequest> req_out{&root, "req_out"};
+  simfw::DataInPort<MemResponse> resp_in{&root, "resp_in"};
+  std::vector<std::pair<Cycle, MemResponse>> responses;
+
+  explicit McHarness(MemCtrlConfig config)
+      : noc(&root, NocConfig{.crossbar_latency = 0}, 1, 1) {
+    mc = std::make_unique<MemoryController>(&root, "mc0", 0, config, &noc, 1);
+    req_out.bind(mc->req_in());
+    mc->resp_out(0).bind(resp_in);
+    resp_in.register_handler([this](const MemResponse& response) {
+      responses.push_back({sched.now(), response});
+    });
+  }
+
+  void send(Addr line, MemOp op = MemOp::kLoad) {
+    req_out.send(MemRequest{line, op, 0, 0, 0}, 0);
+  }
+};
+
+TEST(MemoryController, FixedLatencyResponse) {
+  MemCtrlConfig config;
+  config.model = McModel::kFixedLatency;
+  config.latency = 100;
+  config.cycles_per_request = 0;  // infinite bandwidth
+  McHarness harness(config);
+  harness.send(0x1000);
+  harness.sched.run_to_completion();
+  ASSERT_EQ(harness.responses.size(), 1u);
+  EXPECT_EQ(harness.responses[0].first, 100u);
+  EXPECT_EQ(harness.responses[0].second.line_addr, 0x1000u);
+}
+
+TEST(MemoryController, BandwidthLimitSerializesRequests) {
+  MemCtrlConfig config;
+  config.latency = 50;
+  config.cycles_per_request = 10;
+  McHarness harness(config);
+  for (int i = 0; i < 4; ++i) harness.send(0x1000 + 64 * i);
+  harness.sched.run_to_completion();
+  ASSERT_EQ(harness.responses.size(), 4u);
+  // Service slots at 0, 10, 20, 30 -> responses at 50, 60, 70, 80.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(harness.responses[i].first, 50u + 10 * i);
+  }
+  EXPECT_EQ(harness.mc->stats().find_counter("queue_delay_cycles").get(),
+            0u + 10 + 20 + 30);
+}
+
+TEST(MemoryController, WritebacksAbsorbedSilently) {
+  MemCtrlConfig config;
+  McHarness harness(config);
+  harness.send(0x1000, MemOp::kWriteback);
+  harness.sched.run_to_completion();
+  EXPECT_TRUE(harness.responses.empty());
+  EXPECT_EQ(harness.mc->stats().find_counter("writes").get(), 1u);
+  EXPECT_EQ(harness.mc->stats().find_counter("reads").get(), 0u);
+}
+
+TEST(MemoryController, DramRowBufferHitsAndMisses) {
+  MemCtrlConfig config;
+  config.model = McModel::kDramRowBuffer;
+  config.cycles_per_request = 0;
+  config.dram_banks = 1;  // single internal bank: strict row locality
+  config.row_bytes = 2048;
+  config.row_hit_latency = 40;
+  config.row_miss_latency = 140;
+  McHarness harness(config);
+
+  harness.send(0x0000);        // row 0: miss (cold)
+  harness.send(0x0040);        // row 0: hit
+  harness.send(0x0800);        // row 1: miss
+  harness.send(0x0840);        // row 1: hit
+  harness.send(0x0000);        // row 0 again: miss (row 1 open)
+  harness.sched.run_to_completion();
+  ASSERT_EQ(harness.responses.size(), 5u);
+  EXPECT_EQ(harness.mc->stats().find_counter("row_hits").get(), 2u);
+  EXPECT_EQ(harness.mc->stats().find_counter("row_misses").get(), 3u);
+  // Responses arrive in completion order: the two row hits (40) first, then
+  // the three row misses (140).
+  std::vector<Cycle> times;
+  for (const auto& [cycle, response] : harness.responses) {
+    times.push_back(cycle);
+  }
+  EXPECT_EQ(times, (std::vector<Cycle>{40, 40, 140, 140, 140}));
+}
+
+TEST(MemoryController, DramBanksTrackRowsIndependently) {
+  MemCtrlConfig config;
+  config.model = McModel::kDramRowBuffer;
+  config.cycles_per_request = 0;
+  config.dram_banks = 2;
+  config.row_bytes = 2048;
+  McHarness harness(config);
+  // Lines alternate between internal banks (line >> 6 parity).
+  harness.send(0x0000);  // bank 0, miss
+  harness.send(0x0040);  // bank 1, miss
+  harness.send(0x0080);  // bank 0, hit (same row)
+  harness.send(0x00C0);  // bank 1, hit
+  harness.sched.run_to_completion();
+  EXPECT_EQ(harness.mc->stats().find_counter("row_hits").get(), 2u);
+  EXPECT_EQ(harness.mc->stats().find_counter("row_misses").get(), 2u);
+}
+
+TEST(MemoryController, BadDramGeometryRejected) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  Noc noc(&root, NocConfig{}, 1, 1);
+  MemCtrlConfig config;
+  config.model = McModel::kDramRowBuffer;
+  config.row_bytes = 1000;  // not a power of two
+  EXPECT_THROW(MemoryController(&root, "mc", 0, config, &noc, 1),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::memhier

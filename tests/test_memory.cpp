@@ -1,0 +1,73 @@
+#include "iss/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace coyote::iss {
+namespace {
+
+TEST(SparseMemory, UnwrittenReadsAsZero) {
+  SparseMemory memory;
+  EXPECT_EQ(memory.read<std::uint64_t>(0x1000), 0u);
+  EXPECT_EQ(memory.read_u8(0xFFFF'FFFF'0000ULL), 0u);
+  EXPECT_EQ(memory.resident_pages(), 0u);
+}
+
+TEST(SparseMemory, ReadBackWhatWasWritten) {
+  SparseMemory memory;
+  memory.write<std::uint64_t>(0x2000, 0x1122334455667788ULL);
+  EXPECT_EQ(memory.read<std::uint64_t>(0x2000), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.read<std::uint32_t>(0x2000), 0x55667788u);
+  EXPECT_EQ(memory.read_u8(0x2007), 0x11u);  // little endian
+}
+
+TEST(SparseMemory, TypedSizes) {
+  SparseMemory memory;
+  memory.write<std::uint8_t>(0x10, 0xAB);
+  memory.write<std::uint16_t>(0x12, 0xCDEF);
+  memory.write<std::uint32_t>(0x14, 0x12345678);
+  memory.write<double>(0x18, 3.25);
+  EXPECT_EQ(memory.read<std::uint8_t>(0x10), 0xAB);
+  EXPECT_EQ(memory.read<std::uint16_t>(0x12), 0xCDEF);
+  EXPECT_EQ(memory.read<std::uint32_t>(0x14), 0x12345678u);
+  EXPECT_EQ(memory.read<double>(0x18), 3.25);
+}
+
+TEST(SparseMemory, CrossPageAccess) {
+  SparseMemory memory;
+  const Addr boundary = SparseMemory::kPageSize;  // page 0 / page 1 edge
+  memory.write<std::uint64_t>(boundary - 4, 0xAABBCCDD11223344ULL);
+  EXPECT_EQ(memory.read<std::uint64_t>(boundary - 4), 0xAABBCCDD11223344ULL);
+  EXPECT_EQ(memory.resident_pages(), 2u);
+}
+
+TEST(SparseMemory, PagesAllocatedLazily) {
+  SparseMemory memory;
+  memory.write_u8(0, 1);
+  memory.write_u8(SparseMemory::kPageSize * 100, 2);
+  EXPECT_EQ(memory.resident_pages(), 2u);
+  // Reads never allocate.
+  (void)memory.read<std::uint64_t>(SparseMemory::kPageSize * 50);
+  EXPECT_EQ(memory.resident_pages(), 2u);
+}
+
+TEST(SparseMemory, PokePeekArrays) {
+  SparseMemory memory;
+  const std::vector<double> data{1.5, -2.5, 3.0};
+  memory.poke_array(0x3000, data.data(), data.size());
+  EXPECT_EQ(memory.peek_array<double>(0x3000, 3), data);
+
+  memory.poke_words(0x4000, {0x11111111, 0x22222222});
+  EXPECT_EQ(memory.read<std::uint32_t>(0x4004), 0x22222222u);
+}
+
+TEST(SparseMemory, ByteRangeHelpers) {
+  SparseMemory memory;
+  const std::uint8_t bytes[] = {1, 2, 3, 4, 5};
+  memory.write_bytes(0x5FFE, bytes, 5);  // spans a page boundary
+  std::uint8_t out[5] = {};
+  memory.read_bytes(0x5FFE, out, 5);
+  EXPECT_EQ(memcmp(bytes, out, 5), 0);
+}
+
+}  // namespace
+}  // namespace coyote::iss

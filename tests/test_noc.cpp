@@ -1,0 +1,76 @@
+#include "memhier/noc.h"
+
+#include <gtest/gtest.h>
+
+namespace coyote::memhier {
+namespace {
+
+TEST(Noc, CrossbarIsUniformFixedLatency) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  NocConfig config;
+  config.model = NocModel::kIdealCrossbar;
+  config.crossbar_latency = 7;
+  Noc noc(&root, config, 4, 2);
+  EXPECT_EQ(noc.traverse(noc.tile_node(0), noc.tile_node(3)), 7u);
+  EXPECT_EQ(noc.traverse(noc.tile_node(2), noc.mc_node(1)), 7u);
+  EXPECT_EQ(noc.traverse(noc.tile_node(1), noc.tile_node(1)), 7u);
+  EXPECT_EQ(root.find("noc")->stats().find_counter("messages").get(), 3u);
+}
+
+TEST(Noc, MeshLatencyScalesWithDistance) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  NocConfig config;
+  config.model = NocModel::kMesh2D;
+  config.mesh_router_latency = 2;
+  config.mesh_hop_latency = 3;
+  config.mesh_width = 4;
+  Noc noc(&root, config, 16, 0);
+  // Node layout: node = y*4 + x.
+  EXPECT_EQ(noc.latency(0, 0), 2u);              // same node
+  EXPECT_EQ(noc.latency(0, 1), 2u + 3u);         // one hop
+  EXPECT_EQ(noc.latency(0, 5), 2u + 2 * 3u);     // (1,1)
+  EXPECT_EQ(noc.latency(0, 15), 2u + 6 * 3u);    // (3,3)
+  EXPECT_EQ(noc.latency(15, 0), noc.latency(0, 15));  // symmetric
+}
+
+TEST(Noc, MeshCountsHops) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  NocConfig config;
+  config.model = NocModel::kMesh2D;
+  config.mesh_width = 2;
+  Noc noc(&root, config, 4, 1);
+  noc.traverse(0, 3);  // 2 hops
+  noc.traverse(1, 2);  // 2 hops
+  EXPECT_EQ(root.find("noc")->stats().find_counter("hops").get(), 4u);
+}
+
+TEST(Noc, McNodesFollowTileNodes) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  Noc noc(&root, NocConfig{}, 4, 2);
+  EXPECT_EQ(noc.mc_node(0), 4u);
+  EXPECT_EQ(noc.mc_node(1), 5u);
+}
+
+TEST(Noc, LatencyQueryHasNoSideEffects) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  Noc noc(&root, NocConfig{}, 2, 1);
+  (void)noc.latency(0, 1);
+  EXPECT_EQ(root.find("noc")->stats().find_counter("messages").get(), 0u);
+}
+
+TEST(Noc, ZeroMeshWidthRejected) {
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  NocConfig config;
+  config.model = NocModel::kMesh2D;
+  config.mesh_width = 0;
+  EXPECT_THROW(Noc(&root, config, 2, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::memhier

@@ -1,0 +1,258 @@
+// Full-system integration: the Orchestrator driving cores against the event
+// model. Verifies the paper's execution semantics (round-robin stepping,
+// RAW stalls resolved by fills, lock-step event advancement), determinism,
+// L2 sharing modes, and fast-forward equivalence.
+#include "core/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+#include "testutil.h"
+
+namespace coyote::core {
+namespace {
+
+using isa::Assembler;
+using test::emit_exit;
+using namespace coyote::isa;
+
+SimConfig small_config(std::uint32_t cores = 2) {
+  SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 2;
+  config.l2_banks_per_tile = 2;
+  config.num_mcs = 1;
+  return config;
+}
+
+TEST(Orchestrator, SingleInstructionProgramTerminates) {
+  Simulator sim(small_config(1));
+  Assembler as(0x1000);
+  emit_exit(as, 5);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  const auto result = sim.run(100000);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.exit_codes[0], 5);
+  EXPECT_EQ(result.instructions, 3u);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(Orchestrator, PerCoreExitCodesViaHartid) {
+  Simulator sim(small_config(4));
+  Assembler as(0x1000);
+  as.csrr(a0, 0xF14);   // exit code = hartid
+  as.li(a7, 93);
+  as.ecall();
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  const auto result = sim.run(100000);
+  ASSERT_TRUE(result.all_exited);
+  for (CoreId core = 0; core < 4; ++core) {
+    EXPECT_EQ(result.exit_codes[core], core);
+  }
+}
+
+TEST(Orchestrator, CycleLimitReported) {
+  Simulator sim(small_config(1));
+  Assembler as(0x1000);
+  auto forever = as.here();
+  as.j(forever);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  const auto result = sim.run(1000);
+  EXPECT_FALSE(result.all_exited);
+  EXPECT_TRUE(result.hit_cycle_limit);
+  EXPECT_GE(result.cycles, 1000u);
+}
+
+TEST(Orchestrator, MemoryLatencyShowsInCycleCount) {
+  // A dependent-load chain takes far more cycles than instructions: every
+  // L1 miss costs NoC + L2 + NoC (+ memory on L2 miss).
+  SimConfig config = small_config(1);
+  config.mc.latency = 200;
+  Simulator sim(config);
+  Assembler as(0x1000);
+  as.li(s1, 0x100000);
+  // 8 dependent loads from distinct lines: pointer chase style.
+  for (int i = 0; i < 8; ++i) {
+    as.ld(a1, 0, s1);          // miss
+    as.add(s1, s1, a1);        // RAW: stalls until fill
+    as.addi(s1, s1, 64);
+  }
+  emit_exit(as);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  const auto result = sim.run(1'000'000);
+  ASSERT_TRUE(result.all_exited);
+  // At least 8 * mc latency worth of stall cycles.
+  EXPECT_GT(result.cycles, 8u * 200u);
+  const auto& counters = sim.core(0).counters();
+  EXPECT_GT(counters.raw_stall_cycles, 0u);
+}
+
+TEST(Orchestrator, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Simulator sim(small_config(4));
+    const auto workload = kernels::MatmulWorkload::generate(12, 7);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(10'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return result.cycles;
+  };
+  const Cycle first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_EQ(first, run_once());
+}
+
+TEST(Orchestrator, SharedL2SpreadsAcrossAllBanks) {
+  SimConfig config = small_config(4);  // 2 tiles -> 4 banks
+  config.l2_sharing = L2Sharing::kShared;
+  Simulator sim(config);
+  // Orchestrator routing: consecutive lines rotate over all four banks.
+  auto& orch = sim.orchestrator();
+  std::set<BankId> banks;
+  for (Addr line = 0; line < 64 * 8; line += 64) {
+    banks.insert(orch.bank_for(0, line));
+  }
+  EXPECT_EQ(banks.size(), 4u);
+}
+
+TEST(Orchestrator, PrivateL2StaysInTile) {
+  SimConfig config = small_config(4);  // tiles of 2 cores, 2 banks each
+  config.l2_sharing = L2Sharing::kPrivate;
+  Simulator sim(config);
+  auto& orch = sim.orchestrator();
+  for (Addr line = 0; line < 64 * 16; line += 64) {
+    // Core 0/1 -> tile 0 -> banks {0,1}; core 2/3 -> tile 1 -> banks {2,3}.
+    EXPECT_LT(orch.bank_for(0, line), 2u);
+    EXPECT_GE(orch.bank_for(3, line), 2u);
+  }
+}
+
+TEST(Orchestrator, L2StatisticsAccumulate) {
+  Simulator sim(small_config(2));
+  const auto workload = kernels::MatmulWorkload::generate(16, 3);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 2);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(10'000'000).all_exited);
+
+  std::uint64_t total_accesses = 0;
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    total_accesses +=
+        sim.l2_bank(bank).stats().find_counter("accesses").get();
+  }
+  EXPECT_GT(total_accesses, 0u);
+  std::uint64_t mc_reads = sim.mc(0).stats().find_counter("reads").get();
+  EXPECT_GT(mc_reads, 0u);
+}
+
+TEST(Orchestrator, InterleavedModeProducesSameResults) {
+  const auto run_with_quantum = [](std::uint32_t quantum) {
+    SimConfig config = small_config(2);
+    config.interleave_quantum = quantum;
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(10, 9);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 2);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(10'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return workload.result(sim.memory());
+  };
+  // Functional results must be identical regardless of interleaving
+  // (only timing fidelity differs).
+  EXPECT_EQ(run_with_quantum(1), run_with_quantum(16));
+}
+
+TEST(Orchestrator, InterleavedModeTakesFewerSchedulingRounds) {
+  const auto cycles_with_quantum = [](std::uint32_t quantum) {
+    SimConfig config = small_config(2);
+    config.interleave_quantum = quantum;
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(12, 9);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 2);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(100'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return result;
+  };
+  const auto accurate = cycles_with_quantum(1);
+  const auto fast = cycles_with_quantum(32);
+  EXPECT_EQ(accurate.instructions, fast.instructions);
+}
+
+TEST(Orchestrator, WritebackTrafficFlowsToMemory) {
+  // Tiny L1D forces dirty evictions; writes must reach the MC eventually.
+  SimConfig config = small_config(1);
+  config.core.l1d_size_bytes = 256;
+  config.core.l1d_ways = 2;
+  config.l2_bank.size_bytes = 512;  // tiny L2 too
+  config.l2_bank.ways = 2;
+  Simulator sim(config);
+  Assembler as(0x1000);
+  as.li(s1, 0x100000);
+  as.li(a1, 1);
+  // Store to 64 distinct lines: many dirty evictions.
+  as.li(a2, 64);
+  auto loop = as.here();
+  as.sd(a1, 0, s1);
+  as.addi(s1, s1, 64);
+  as.addi(a2, a2, -1);
+  as.bnez(a2, loop);
+  emit_exit(as);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  ASSERT_TRUE(sim.run(1'000'000).all_exited);
+  EXPECT_GT(sim.core(0).counters().writebacks, 0u);
+  std::uint64_t wb_in = 0;
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    wb_in += sim.l2_bank(bank).stats().find_counter("writebacks_in").get();
+  }
+  EXPECT_GT(wb_in, 0u);
+}
+
+TEST(Orchestrator, FastForwardCountsStallCycles) {
+  SimConfig config = small_config(1);
+  config.fast_forward_idle = true;
+  config.mc.latency = 500;
+  Simulator sim(config);
+  Assembler as(0x1000);
+  as.li(s1, 0x100000);
+  as.ld(a1, 0, s1);
+  as.add(a2, a1, a1);  // RAW stall across the whole 500-cycle miss
+  emit_exit(as);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  ASSERT_TRUE(sim.run(1'000'000).all_exited);
+  const auto& counters = sim.core(0).counters();
+  // The stall spans roughly the memory latency.
+  EXPECT_GT(counters.raw_stall_cycles, 400u);
+  EXPECT_GT(sim.orchestrator()
+                .stats()
+                .find_counter("fast_forwarded_cycles")
+                .get(),
+            0u);
+}
+
+TEST(Orchestrator, MultiCoreFinishesFasterThanSingle) {
+  const auto cycles_for = [](std::uint32_t cores) {
+    SimConfig config = small_config(cores);
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(24, 5);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, cores);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(100'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return result.cycles;
+  };
+  const Cycle one = cycles_for(1);
+  const Cycle four = cycles_for(4);
+  EXPECT_LT(four, one);           // parallel speedup in simulated time
+  EXPECT_LT(four * 2, one * 3);   // at least ~1.5x
+}
+
+}  // namespace
+}  // namespace coyote::core

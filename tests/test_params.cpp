@@ -1,0 +1,105 @@
+#include "simfw/params.h"
+
+#include <gtest/gtest.h>
+
+namespace coyote::simfw {
+namespace {
+
+TEST(Parameter, TypedDefaultsAndSet) {
+  Parameter size("size_kb", std::uint64_t{512}, "L2 size");
+  EXPECT_EQ(size.as<std::uint64_t>(), 512u);
+  EXPECT_TRUE(size.is_default());
+  size.set(std::uint64_t{1024});
+  EXPECT_EQ(size.as<std::uint64_t>(), 1024u);
+  EXPECT_FALSE(size.is_default());
+}
+
+TEST(Parameter, TypeMismatchThrows) {
+  Parameter flag("flag", true, "");
+  EXPECT_THROW(flag.set(std::int64_t{1}), ConfigError);
+  EXPECT_THROW(flag.as<double>(), ConfigError);
+}
+
+TEST(Parameter, ValidatorRejects) {
+  Parameter ways("ways", std::uint64_t{8}, "",
+                 [](const Parameter::Value& value) {
+                   return std::get<std::uint64_t>(value) > 0;
+                 });
+  EXPECT_THROW(ways.set(std::uint64_t{0}), ConfigError);
+  ways.set(std::uint64_t{4});
+  EXPECT_EQ(ways.as<std::uint64_t>(), 4u);
+}
+
+TEST(Parameter, ParseFromStringPerType) {
+  Parameter flag("b", false, "");
+  flag.set_from_string("true");
+  EXPECT_TRUE(flag.as<bool>());
+  flag.set_from_string("0");
+  EXPECT_FALSE(flag.as<bool>());
+  EXPECT_THROW(flag.set_from_string("yes"), ConfigError);
+
+  Parameter count("i", std::int64_t{0}, "");
+  count.set_from_string("-42");
+  EXPECT_EQ(count.as<std::int64_t>(), -42);
+  count.set_from_string("0x10");
+  EXPECT_EQ(count.as<std::int64_t>(), 16);
+  EXPECT_THROW(count.set_from_string("zzz"), ConfigError);
+
+  Parameter ratio("d", 1.5, "");
+  ratio.set_from_string("2.25");
+  EXPECT_DOUBLE_EQ(ratio.as<double>(), 2.25);
+
+  Parameter name("s", std::string("abc"), "");
+  name.set_from_string("hello");
+  EXPECT_EQ(name.as<std::string>(), "hello");
+}
+
+TEST(Parameter, ToString) {
+  EXPECT_EQ(Parameter("a", true, "").to_string(), "true");
+  EXPECT_EQ(Parameter("a", std::int64_t{-3}, "").to_string(), "-3");
+  EXPECT_EQ(Parameter("a", std::uint64_t{7}, "").to_string(), "7");
+  EXPECT_EQ(Parameter("a", std::string("xy"), "").to_string(), "xy");
+}
+
+TEST(ParameterSet, AddGetHas) {
+  ParameterSet params;
+  params.add("size", std::uint64_t{64}, "");
+  params.add("policy", std::string("lru"), "");
+  EXPECT_TRUE(params.has("size"));
+  EXPECT_FALSE(params.has("absent"));
+  EXPECT_EQ(params.as<std::string>("policy"), "lru");
+  EXPECT_THROW(params.get("absent"), ConfigError);
+  EXPECT_THROW(params.add("size", std::uint64_t{1}, ""), ConfigError);
+}
+
+TEST(ConfigMap, TokenParsing) {
+  ConfigMap config;
+  config.set_from_token("l2.size_kb=1024");
+  EXPECT_TRUE(config.has("l2.size_kb"));
+  EXPECT_EQ(config.get("l2.size_kb"), "1024");
+  EXPECT_THROW(config.set_from_token("novalue"), ConfigError);
+  EXPECT_THROW(config.set_from_token("=x"), ConfigError);
+}
+
+TEST(ConfigMap, ApplyPrefix) {
+  ParameterSet params;
+  params.add("size_kb", std::uint64_t{256}, "");
+  params.add("ways", std::uint64_t{8}, "");
+  ConfigMap config;
+  config.set("l2.size_kb", "512");
+  config.set("noc.latency", "9");  // different prefix: ignored
+  EXPECT_EQ(config.apply("l2", params), 1u);
+  EXPECT_EQ(params.as<std::uint64_t>("size_kb"), 512u);
+  EXPECT_EQ(params.as<std::uint64_t>("ways"), 8u);
+}
+
+TEST(ConfigMap, ApplyUnknownKeyThrows) {
+  ParameterSet params;
+  params.add("size_kb", std::uint64_t{256}, "");
+  ConfigMap config;
+  config.set("l2.sizekb", "512");  // typo
+  EXPECT_THROW(config.apply("l2", params), ConfigError);
+}
+
+}  // namespace
+}  // namespace coyote::simfw

@@ -1,0 +1,109 @@
+#include "simfw/port.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coyote::simfw {
+namespace {
+
+struct Payload {
+  int value;
+};
+
+class PortTest : public ::testing::Test {
+ protected:
+  Scheduler sched_;
+  Unit root_{&sched_, "top"};
+  Unit sender_{&root_, "sender"};
+  Unit receiver_{&root_, "receiver"};
+};
+
+TEST_F(PortTest, DeliversAfterDelay) {
+  DataOutPort<Payload> out(&sender_, "out");
+  DataInPort<Payload> in(&receiver_, "in");
+  out.bind(in);
+  std::vector<std::pair<Cycle, int>> received;
+  in.register_handler([&](const Payload& payload) {
+    received.push_back({sched_.now(), payload.value});
+  });
+
+  out.send(Payload{7}, 3);
+  out.send(Payload{9}, 1);
+  sched_.run_to_completion();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], (std::pair<Cycle, int>{1, 9}));
+  EXPECT_EQ(received[1], (std::pair<Cycle, int>{3, 7}));
+}
+
+TEST_F(PortTest, ZeroDelayDeliversSameCycle) {
+  DataOutPort<Payload> out(&sender_, "out");
+  DataInPort<Payload> in(&receiver_, "in");
+  out.bind(in);
+  int got = -1;
+  in.register_handler([&](const Payload& payload) { got = payload.value; });
+  sched_.advance_to(5);
+  out.send(Payload{1}, 0);
+  sched_.advance_to(5);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sched_.now(), 5u);
+}
+
+TEST_F(PortTest, BroadcastToMultipleInPorts) {
+  DataOutPort<Payload> out(&sender_, "out");
+  DataInPort<Payload> in1(&receiver_, "in1");
+  DataInPort<Payload> in2(&receiver_, "in2");
+  out.bind(in1);
+  out.bind(in2);
+  int count = 0;
+  in1.register_handler([&](const Payload&) { ++count; });
+  in2.register_handler([&](const Payload&) { ++count; });
+  out.send(Payload{0}, 1);
+  sched_.run_to_completion();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(PortTest, ManyToOneFanIn) {
+  DataOutPort<Payload> out1(&sender_, "out1");
+  DataOutPort<Payload> out2(&sender_, "out2");
+  DataInPort<Payload> in(&receiver_, "in");
+  out1.bind(in);
+  out2.bind(in);
+  int sum = 0;
+  in.register_handler([&](const Payload& payload) { sum += payload.value; });
+  out1.send(Payload{1}, 1);
+  out2.send(Payload{2}, 1);
+  sched_.run_to_completion();
+  EXPECT_EQ(sum, 3);
+}
+
+TEST_F(PortTest, SendOnUnboundThrows) {
+  DataOutPort<Payload> out(&sender_, "out");
+  EXPECT_THROW(out.send(Payload{0}, 1), SimError);
+}
+
+TEST_F(PortTest, DeliveryWithoutHandlerThrows) {
+  DataInPort<Payload> in(&receiver_, "in");
+  EXPECT_THROW(in.deliver(Payload{0}), SimError);
+}
+
+TEST_F(PortTest, DoubleHandlerRegistrationThrows) {
+  DataInPort<Payload> in(&receiver_, "in");
+  in.register_handler([](const Payload&) {});
+  EXPECT_THROW(in.register_handler([](const Payload&) {}), ConfigError);
+}
+
+TEST_F(PortTest, PortDeliveryPrecedesTickPhase) {
+  DataOutPort<Payload> out(&sender_, "out");
+  DataInPort<Payload> in(&receiver_, "in");
+  out.bind(in);
+  std::vector<std::string> order;
+  in.register_handler([&](const Payload&) { order.push_back("port"); });
+  sched_.schedule(2, SchedPriority::kTick, [&] { order.push_back("tick"); });
+  out.send(Payload{0}, 2);
+  sched_.run_to_completion();
+  EXPECT_EQ(order, (std::vector<std::string>{"port", "tick"}));
+}
+
+}  // namespace
+}  // namespace coyote::simfw

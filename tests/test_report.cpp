@@ -1,0 +1,80 @@
+#include "simfw/report.h"
+
+#include <gtest/gtest.h>
+
+#include "simfw/unit.h"
+
+namespace coyote::simfw {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() {
+    Counter& hits = leaf_.stats().counter("hits", "hit count");
+    hits += 42;
+    leaf_.stats().statistic("ratio", "a ratio", [] { return 0.5; });
+  }
+
+  Scheduler sched_;
+  Unit root_{&sched_, "top"};
+  Unit mid_{&root_, "tile0"};
+  Unit leaf_{&mid_, "bank0"};
+};
+
+TEST_F(ReportTest, TextContainsPathsAndValues) {
+  const std::string text = Report(root_).to_string(ReportFormat::kText);
+  EXPECT_NE(text.find("top.tile0.bank0:"), std::string::npos);
+  EXPECT_NE(text.find("hits"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("ratio"), std::string::npos);
+  EXPECT_NE(text.find("0.5000"), std::string::npos);
+}
+
+TEST_F(ReportTest, TextSkipsEmptyUnits) {
+  const std::string text = Report(root_).to_string(ReportFormat::kText);
+  // tile0 has no stats of its own, so it should not get a section header.
+  EXPECT_EQ(text.find("top.tile0:\n"), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndRows) {
+  const std::string csv = Report(root_).to_string(ReportFormat::kCsv);
+  EXPECT_NE(csv.find("unit,name,kind,value"), std::string::npos);
+  EXPECT_NE(csv.find("top.tile0.bank0,hits,counter,42"), std::string::npos);
+  EXPECT_NE(csv.find("top.tile0.bank0,ratio,statistic,0.5"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, JsonIsWellFormedish) {
+  const std::string json = Report(root_).to_string(ReportFormat::kJson);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"top.tile0.bank0\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": 42"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ReportTest, DistributionsRenderInAllFormats) {
+  auto& dist = leaf_.stats().distribution("latency", "request latency");
+  dist.sample(4);
+  dist.sample(12);
+  const std::string text = Report(root_).to_string(ReportFormat::kText);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+  EXPECT_NE(text.find("mean=8.00"), std::string::npos);
+  const std::string csv = Report(root_).to_string(ReportFormat::kCsv);
+  EXPECT_NE(csv.find("latency.count,distribution,2"), std::string::npos);
+  EXPECT_NE(csv.find("latency.max,distribution,12"), std::string::npos);
+  const std::string json = Report(root_).to_string(ReportFormat::kJson);
+  EXPECT_NE(json.find("\"latency\": {\"count\": 2"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ReportTest, SubtreeReport) {
+  const std::string text = Report(leaf_).to_string(ReportFormat::kText);
+  EXPECT_NE(text.find("top.tile0.bank0:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coyote::simfw

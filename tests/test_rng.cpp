@@ -1,0 +1,74 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coyote {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(value, -3.0);
+    ASSERT_LT(value, 5.0);
+  }
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), SplitMix64(8).next());
+}
+
+TEST(Rng, KnownSplitMixVector) {
+  // Reference value for SplitMix64(0): first output.
+  SplitMix64 mix(0);
+  EXPECT_EQ(mix.next(), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace coyote

@@ -1,0 +1,129 @@
+#include "simfw/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace coyote::simfw {
+namespace {
+
+TEST(Scheduler, StartsAtCycleZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0u);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(5, SchedPriority::kTick, [&] { order.push_back(5); });
+  sched.schedule(1, SchedPriority::kTick, [&] { order.push_back(1); });
+  sched.schedule(3, SchedPriority::kTick, [&] { order.push_back(3); });
+  sched.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(sched.now(), 5u);
+}
+
+TEST(Scheduler, SameCycleOrderedByPriorityThenInsertion) {
+  Scheduler sched;
+  std::vector<std::string> order;
+  sched.schedule(2, SchedPriority::kCollection,
+                 [&] { order.push_back("collect"); });
+  sched.schedule(2, SchedPriority::kPortDelivery,
+                 [&] { order.push_back("port1"); });
+  sched.schedule(2, SchedPriority::kUpdate, [&] { order.push_back("update"); });
+  sched.schedule(2, SchedPriority::kPortDelivery,
+                 [&] { order.push_back("port2"); });
+  sched.run_to_completion();
+  EXPECT_EQ(order, (std::vector<std::string>{"port1", "port2", "update",
+                                             "collect"}));
+}
+
+TEST(Scheduler, AdvanceToFiresOnlyDueEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(3, SchedPriority::kTick, [&] { ++fired; });
+  sched.schedule(10, SchedPriority::kTick, [&] { ++fired; });
+  sched.advance_to(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 5u);
+  EXPECT_TRUE(sched.has_pending());
+  EXPECT_EQ(sched.next_event_cycle(), 10u);
+}
+
+TEST(Scheduler, TickAdvancesOneCycle) {
+  Scheduler sched;
+  sched.tick();
+  sched.tick();
+  EXPECT_EQ(sched.now(), 2u);
+}
+
+TEST(Scheduler, CallbackCanScheduleMore) {
+  Scheduler sched;
+  std::vector<Cycle> fire_times;
+  sched.schedule(1, SchedPriority::kTick, [&] {
+    fire_times.push_back(sched.now());
+    sched.schedule(2, SchedPriority::kTick,
+                   [&] { fire_times.push_back(sched.now()); });
+  });
+  sched.run_to_completion();
+  EXPECT_EQ(fire_times, (std::vector<Cycle>{1, 3}));
+}
+
+TEST(Scheduler, ZeroDelayWithinSameAdvance) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(4, SchedPriority::kTick, [&] {
+    sched.schedule(0, SchedPriority::kCollection, [&] { ++fired; });
+  });
+  sched.advance_to(4);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler sched;
+  sched.advance_to(10);
+  EXPECT_THROW(sched.schedule_at(5, SchedPriority::kTick, [] {}),
+               SimError);
+}
+
+TEST(Scheduler, RunToCompletionRespectsLimit) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule(100, SchedPriority::kTick, [&] { ++fired; });
+  EXPECT_EQ(sched.run_to_completion(50), 50u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.run_to_completion(), 100u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CountsFiredEvents) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) {
+    sched.schedule(i, SchedPriority::kTick, [] {});
+  }
+  sched.run_to_completion();
+  EXPECT_EQ(sched.events_fired(), 7u);
+}
+
+// Determinism property: two identical schedules produce identical firing
+// orders even with many same-cycle events.
+TEST(Scheduler, DeterministicOrder) {
+  const auto run_once = [] {
+    Scheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      sched.schedule(i % 5, static_cast<SchedPriority>(i % 3),
+                     [&order, i] { order.push_back(i); });
+    }
+    sched.run_to_completion();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace coyote::simfw

@@ -1,0 +1,185 @@
+// Simulator facade: configuration validation, topology construction,
+// reporting, and end-to-end kernels through the public API.
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "testutil.h"
+
+namespace coyote::core {
+namespace {
+
+using test::emit_exit;
+using namespace coyote::isa;
+
+TEST(SimConfig, Validation) {
+  SimConfig config;
+  config.num_cores = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.core.line_bytes = 64;
+  config.l2_bank.line_bytes = 128;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.interleave_quantum = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.mc_interleave_bytes = 32;  // below line size
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SimConfig, TopologyDerivation) {
+  SimConfig config;
+  config.num_cores = 20;
+  config.cores_per_tile = 8;
+  config.l2_banks_per_tile = 2;
+  EXPECT_EQ(config.num_tiles(), 3u);
+  EXPECT_EQ(config.num_l2_banks(), 6u);
+}
+
+TEST(Simulator, BuildsRequestedTopology) {
+  SimConfig config;
+  config.num_cores = 16;
+  config.cores_per_tile = 8;
+  config.l2_banks_per_tile = 4;
+  config.num_mcs = 3;
+  Simulator sim(config);
+  EXPECT_EQ(sim.num_cores(), 16u);
+  EXPECT_EQ(sim.num_l2_banks(), 8u);
+  EXPECT_NE(sim.root().find("tile0"), nullptr);
+  EXPECT_NE(sim.root().find("tile1"), nullptr);
+  EXPECT_EQ(sim.root().find("tile2"), nullptr);
+  EXPECT_NE(sim.root().find("tile0.l2bank0"), nullptr);
+  EXPECT_NE(sim.root().find("tile1.l2bank7"), nullptr);
+  EXPECT_NE(sim.root().find("mc2"), nullptr);
+  EXPECT_NE(sim.root().find("noc"), nullptr);
+  EXPECT_NE(sim.root().find("orchestrator"), nullptr);
+  EXPECT_NE(sim.root().find("tile0.core0"), nullptr);
+  EXPECT_NE(sim.root().find("tile1.core15"), nullptr);
+}
+
+TEST(Simulator, ReportFormatsRender) {
+  SimConfig config;
+  config.num_cores = 2;
+  config.cores_per_tile = 2;
+  Simulator sim(config);
+  Assembler as(0x1000);
+  emit_exit(as);
+  sim.load_program(0x1000, as.finish(), 0x1000);
+  ASSERT_TRUE(sim.run(100000).all_exited);
+
+  const std::string text = sim.report(simfw::ReportFormat::kText);
+  EXPECT_NE(text.find("top.orchestrator:"), std::string::npos);
+  EXPECT_NE(text.find("instructions"), std::string::npos);
+  const std::string csv = sim.report(simfw::ReportFormat::kCsv);
+  EXPECT_NE(csv.find("top.tile0.core0,instructions,statistic"),
+            std::string::npos);
+  const std::string json = sim.report(simfw::ReportFormat::kJson);
+  EXPECT_NE(json.find("\"top.mc0\""), std::string::npos);
+}
+
+TEST(Simulator, RunResultMipsComputed) {
+  SimConfig config;
+  config.num_cores = 1;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(16, 2);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 1);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(100'000'000);
+  ASSERT_TRUE(result.all_exited);
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.mips, 0.0);
+}
+
+TEST(Simulator, VlenIsConfigurable) {
+  SimConfig config;
+  config.num_cores = 1;
+  config.core.vector.vlen_bits = 1024;
+  Simulator sim(config);
+  EXPECT_EQ(sim.core(0).hart().vlenb(), 128u);
+}
+
+TEST(Simulator, ReloadAllowsBackToBackRuns) {
+  SimConfig config;
+  config.num_cores = 2;
+  config.cores_per_tile = 2;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(8, 2);
+  const auto program = kernels::build_matmul_scalar(workload, 2);
+
+  workload.install(sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  const auto first = workload.result(sim.memory());
+
+  // Reinstall and rerun on the same simulator instance.
+  workload.install(sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  EXPECT_EQ(first, workload.result(sim.memory()));
+}
+
+TEST(Simulator, DramMcModeRunsEndToEnd) {
+  SimConfig config;
+  config.num_cores = 2;
+  config.cores_per_tile = 2;
+  config.mc.model = memhier::McModel::kDramRowBuffer;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(12, 8);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 2);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  const auto row_hits = sim.mc(0).stats().find_counter("row_hits").get();
+  const auto row_misses = sim.mc(0).stats().find_counter("row_misses").get();
+  EXPECT_GT(row_hits + row_misses, 0u);
+}
+
+TEST(Simulator, MeshNocRunsEndToEnd) {
+  SimConfig config;
+  config.num_cores = 8;
+  config.cores_per_tile = 2;  // 4 tiles
+  config.noc.model = memhier::NocModel::kMesh2D;
+  config.noc.mesh_width = 2;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(16, 4);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 8);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  EXPECT_GT(sim.noc().stats().find_counter("hops").get(), 0u);
+}
+
+TEST(Simulator, MeshNocIsSlowerThanZeroLatencyCrossbar) {
+  const auto cycles_with = [](memhier::NocConfig noc) {
+    SimConfig config;
+    config.num_cores = 4;
+    config.cores_per_tile = 1;  // 4 tiles: distance matters
+    config.noc = noc;
+    Simulator sim(config);
+    const auto workload = kernels::MatmulWorkload::generate(16, 4);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(100'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return result.cycles;
+  };
+  memhier::NocConfig fast;
+  fast.crossbar_latency = 0;
+  memhier::NocConfig slow;
+  slow.crossbar_latency = 50;
+  EXPECT_LT(cycles_with(fast), cycles_with(slow));
+}
+
+}  // namespace
+}  // namespace coyote::core

@@ -1,0 +1,202 @@
+// Text-assembler tests: parsing, label fixups, directives, error paths, and
+// end-to-end execution of assembled source on the hart and the full
+// simulator.
+#include "isa/text_asm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "isa/decoder.h"
+#include "testutil.h"
+
+namespace coyote::isa {
+namespace {
+
+TEST(TextAsm, BasicInstructions) {
+  const auto assembled = assemble_text(R"(
+    addi a0, a1, 42
+    add  t0, t1, t2
+    sub  s0, s1, s2
+  )");
+  ASSERT_EQ(assembled.words.size(), 3u);
+  const auto addi_inst = decode(assembled.words[0]);
+  EXPECT_EQ(addi_inst.op, Op::kAddi);
+  EXPECT_EQ(addi_inst.rd, a0);
+  EXPECT_EQ(addi_inst.rs1, a1);
+  EXPECT_EQ(addi_inst.imm, 42);
+  EXPECT_EQ(decode(assembled.words[1]).op, Op::kAdd);
+  EXPECT_EQ(decode(assembled.words[2]).op, Op::kSub);
+}
+
+TEST(TextAsm, NumericAndAbiRegisterNames) {
+  const auto assembled = assemble_text("add x10, x11, x12");
+  const auto inst = decode(assembled.words.at(0));
+  EXPECT_EQ(inst.rd, a0);
+  EXPECT_EQ(inst.rs1, a1);
+  EXPECT_EQ(inst.rs2, a2);
+}
+
+TEST(TextAsm, MemoryOperands) {
+  const auto assembled = assemble_text(R"(
+    ld   a1, 8(sp)
+    sd   a1, -16(s0)
+    fld  fa0, 0(a0)
+  )");
+  const auto load = decode(assembled.words[0]);
+  EXPECT_EQ(load.op, Op::kLd);
+  EXPECT_EQ(load.imm, 8);
+  EXPECT_EQ(load.rs1, sp);
+  const auto store = decode(assembled.words[1]);
+  EXPECT_EQ(store.op, Op::kSd);
+  EXPECT_EQ(store.imm, -16);
+  EXPECT_EQ(decode(assembled.words[2]).op, Op::kFld);
+}
+
+TEST(TextAsm, LabelsForwardAndBackward) {
+  const auto assembled = assemble_text(R"(
+    top:
+      addi a0, a0, 1
+      beq  a0, a1, done
+      j    top
+    done:
+      ret
+  )");
+  EXPECT_EQ(assembled.symbols.at("top"), assembled.base);
+  EXPECT_EQ(assembled.symbols.at("done"), assembled.base + 12);
+  const auto branch = decode(assembled.words[1]);
+  EXPECT_EQ(branch.op, Op::kBeq);
+  EXPECT_EQ(branch.imm, 8);  // to done
+  const auto jump = decode(assembled.words[2]);
+  EXPECT_EQ(jump.op, Op::kJal);
+  EXPECT_EQ(jump.imm, -8);  // back to top
+}
+
+TEST(TextAsm, CommentsAndBlankLines) {
+  const auto assembled = assemble_text(R"(
+    # full-line comment
+    nop            // trailing comment
+    nop            ; another style
+
+  )");
+  EXPECT_EQ(assembled.words.size(), 2u);
+}
+
+TEST(TextAsm, OrgAndWordDirectives) {
+  const auto assembled = assemble_text(R"(
+    .org 0x4000
+    nop
+    .word 0xDEADBEEF
+  )");
+  EXPECT_EQ(assembled.base, 0x4000u);
+  ASSERT_EQ(assembled.words.size(), 2u);
+  EXPECT_EQ(assembled.words[1], 0xDEADBEEFu);
+}
+
+TEST(TextAsm, PseudoInstructions) {
+  const auto assembled = assemble_text(R"(
+    li   a0, 0x123456789
+    mv   a1, a0
+    beqz a1, out
+    nop
+    out:
+    ret
+  )");
+  EXPECT_GE(assembled.words.size(), 5u);  // li expands to several words
+}
+
+TEST(TextAsm, VectorSyntax) {
+  const auto assembled = assemble_text(R"(
+    vsetvli t0, a0, e64, m4
+    vle64.v v8, (a1)
+    vfmacc.vf v8, fa0, v16
+    vse64.v v8, (a2)
+  )");
+  EXPECT_EQ(decode(assembled.words[0]).op, Op::kVsetvli);
+  EXPECT_EQ(decode(assembled.words[1]).op, Op::kVle64);
+  EXPECT_EQ(decode(assembled.words[2]).op, Op::kVfmaccVF);
+  EXPECT_EQ(decode(assembled.words[3]).op, Op::kVse64);
+}
+
+TEST(TextAsm, AtomicsSyntax) {
+  const auto assembled = assemble_text(R"(
+    amoadd.d a0, a1, (a2)
+    lr.d t0, (a2)
+    sc.d t1, t0, (a2)
+  )");
+  EXPECT_EQ(decode(assembled.words[0]).op, Op::kAmoaddD);
+  EXPECT_EQ(decode(assembled.words[1]).op, Op::kLrD);
+  EXPECT_EQ(decode(assembled.words[2]).op, Op::kScD);
+}
+
+TEST(TextAsm, ErrorsCarryLineNumbers) {
+  try {
+    assemble_text("nop\nbogus a0, a1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& error) {
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_NE(std::string(error.what()).find("bogus"), std::string::npos);
+  }
+  EXPECT_THROW(assemble_text("add a0, a1"), AsmError);        // arity
+  EXPECT_THROW(assemble_text("add a0, a1, qq"), AsmError);    // bad reg
+  EXPECT_THROW(assemble_text("ld a0, 8"), AsmError);          // bad memref
+  EXPECT_THROW(assemble_text("addi a0, a0, zz"), AsmError);   // bad imm
+  EXPECT_THROW(assemble_text(".bogus 1"), AsmError);          // directive
+  EXPECT_THROW(assemble_text("beq a0, a1, nowhere"), AsmError);  // unbound
+  EXPECT_THROW(assemble_text("nop\n.org 0x100"), AsmError);   // late .org
+}
+
+TEST(TextAsm, ExecutesOnHart) {
+  // Sum 1..10, exit with the result as the code.
+  const auto assembled = assemble_text(R"(
+    .org 0x1000
+      li   a0, 0
+      li   t0, 1
+      li   t1, 10
+    loop:
+      add  a0, a0, t0
+      addi t0, t0, 1
+      ble  t0, t1, loop
+      li   a7, 93
+      ecall
+  )");
+  test::HartRunner runner;
+  runner.memory().poke_words(assembled.base, assembled.words);
+  runner.hart().reset(assembled.base);
+  iss::StepInfo info;
+  for (int i = 0; i < 1000; ++i) {
+    const auto inst =
+        decode(runner.memory().read<std::uint32_t>(runner.hart().pc()));
+    info.clear();
+    runner.hart().execute(inst, info);
+    if (info.exited) break;
+  }
+  EXPECT_TRUE(info.exited);
+  EXPECT_EQ(info.exit_code, 55);
+}
+
+TEST(TextAsm, ExecutesOnFullSimulatorMulticore) {
+  // Each core writes its hartid to out[hartid] and exits.
+  const auto assembled = assemble_text(R"(
+    .org 0x1000
+      csrr t0, 0xF14
+      slli t1, t0, 3
+      li   t2, 0x20000
+      add  t2, t2, t1
+      sd   t0, 0(t2)
+      li   a7, 93
+      li   a0, 0
+      ecall
+  )");
+  core::SimConfig config;
+  config.num_cores = 4;
+  config.cores_per_tile = 4;
+  core::Simulator sim(config);
+  sim.load_program(assembled.base, assembled.words, assembled.base);
+  ASSERT_TRUE(sim.run(1'000'000).all_exited);
+  for (std::uint64_t core = 0; core < 4; ++core) {
+    EXPECT_EQ(sim.memory().read<std::uint64_t>(0x20000 + 8 * core), core);
+  }
+}
+
+}  // namespace
+}  // namespace coyote::isa

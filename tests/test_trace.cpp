@@ -1,0 +1,142 @@
+// Paraver trace production: file triple, header shape, record format, and
+// end-to-end generation from a traced simulation.
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::core {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TraceFiles {
+  std::string base;
+  explicit TraceFiles(std::string basename) : base(std::move(basename)) {}
+  ~TraceFiles() {
+    for (const char* ext : {".prv", ".pcf", ".row"}) {
+      std::remove((base + ext).c_str());
+    }
+  }
+};
+
+TEST(Trace, WritesTripleWithHeader) {
+  TraceFiles files("/tmp/coyote_trace_test1");
+  ParaverTraceWriter writer(files.base, 4);
+  writer.record(10, 0, TraceEvent::kL1DMiss, 0x1000);
+  writer.record(12, 3, TraceEvent::kL1IMiss, 0x2000);
+  writer.finish(100);
+
+  const std::string prv = slurp(files.base + ".prv");
+  EXPECT_EQ(prv.rfind("#Paraver", 0), 0u);  // starts with magic
+  EXPECT_NE(prv.find(":100:1(4):1:1(4:1)"), std::string::npos);
+  EXPECT_NE(prv.find("2:1:1:1:1:10:42001001:4096"), std::string::npos);
+  EXPECT_NE(prv.find("2:4:1:1:4:12:42001002:8192"), std::string::npos);
+
+  const std::string pcf = slurp(files.base + ".pcf");
+  EXPECT_NE(pcf.find("EVENT_TYPE"), std::string::npos);
+  EXPECT_NE(pcf.find("42001001"), std::string::npos);
+  EXPECT_NE(pcf.find("L1D miss"), std::string::npos);
+
+  const std::string row = slurp(files.base + ".row");
+  EXPECT_NE(row.find("LEVEL THREAD SIZE 4"), std::string::npos);
+  EXPECT_NE(row.find("core.0"), std::string::npos);
+  EXPECT_NE(row.find("core.3"), std::string::npos);
+}
+
+TEST(Trace, RecordCountTracks) {
+  ParaverTraceWriter writer("/tmp/coyote_trace_unused", 1);
+  EXPECT_EQ(writer.record_count(), 0u);
+  writer.record(1, 0, TraceEvent::kL1DMiss, 1);
+  writer.record(2, 0, TraceEvent::kL1DMiss, 2);
+  EXPECT_EQ(writer.record_count(), 2u);
+}
+
+TEST(Trace, EndToEndSimulationProducesMissEvents) {
+  TraceFiles files("/tmp/coyote_trace_e2e");
+  SimConfig config;
+  config.num_cores = 2;
+  config.cores_per_tile = 2;
+  config.enable_trace = true;
+  config.trace_basename = files.base;
+  Simulator sim(config);
+  const auto workload = kernels::MatmulWorkload::generate(16, 5);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 2);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(100'000'000);
+  ASSERT_TRUE(result.all_exited);
+
+  ASSERT_NE(sim.trace(), nullptr);
+  EXPECT_GT(sim.trace()->record_count(), 0u);
+
+  const std::string prv = slurp(files.base + ".prv");
+  // Miss events (type 42001001) from both cores appear.
+  EXPECT_NE(prv.find(":42001001:"), std::string::npos);
+  EXPECT_NE(prv.find("2:1:1:1:1:"), std::string::npos);
+  EXPECT_NE(prv.find("2:2:1:1:2:"), std::string::npos);
+  // Fill events too.
+  EXPECT_NE(prv.find(":42001004:"), std::string::npos);
+}
+
+TEST(Trace, StateRecordsEmittedSortedByBegin) {
+  TraceFiles files("/tmp/coyote_trace_states");
+  ParaverTraceWriter writer(files.base, 2);
+  // Recorded out of begin order (as wake-ups naturally arrive).
+  writer.record_state(12, 15, 1, TraceState::kStalled);
+  writer.record_state(10, 20, 0, TraceState::kStalled);
+  writer.record(11, 0, TraceEvent::kL1DMiss, 0x40);
+  writer.finish(30);
+  const std::string prv = slurp(files.base + ".prv");
+  const auto first_state = prv.find("1:1:1:1:1:10:20:5");
+  const auto second_state = prv.find("1:2:1:1:2:12:15:5");
+  const auto event = prv.find("2:1:1:1:1:11:");
+  ASSERT_NE(first_state, std::string::npos);
+  ASSERT_NE(second_state, std::string::npos);
+  ASSERT_NE(event, std::string::npos);
+  EXPECT_LT(first_state, second_state);   // sorted by begin
+  EXPECT_LT(first_state, event);
+  const std::string pcf = slurp(files.base + ".pcf");
+  EXPECT_NE(pcf.find("STATES"), std::string::npos);
+  EXPECT_NE(pcf.find("Stalled on fill"), std::string::npos);
+}
+
+TEST(Trace, EndToEndEmitsStallStates) {
+  TraceFiles files("/tmp/coyote_trace_stall");
+  SimConfig config;
+  config.num_cores = 1;
+  config.enable_trace = true;
+  config.trace_basename = files.base;
+  config.mc.latency = 300;  // long stalls: intervals guaranteed
+  Simulator sim(config);
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(64, 4096, 8, 19), 20);
+  workload.install(sim.memory());
+  const auto program = kernels::build_spmv_scalar(workload, 1);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(100'000'000).all_exited);
+  const std::string prv = slurp(files.base + ".prv");
+  EXPECT_NE(prv.find("\n1:1:1:1:1:"), std::string::npos);  // a state record
+}
+
+TEST(Trace, DisabledByDefault) {
+  SimConfig config;
+  config.num_cores = 1;
+  Simulator sim(config);
+  EXPECT_EQ(sim.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace coyote::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "simfw/statistics.h"
+#include "simfw/unit.h"
+
+namespace coyote::simfw {
+namespace {
+
+TEST(Unit, RootPathIsName) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  EXPECT_EQ(root.path(), "top");
+  EXPECT_EQ(root.name(), "top");
+  EXPECT_EQ(root.parent(), nullptr);
+}
+
+TEST(Unit, ChildPathsAreDotted) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  Unit tile(&root, "tile0");
+  Unit bank(&tile, "l2bank1");
+  EXPECT_EQ(bank.path(), "top.tile0.l2bank1");
+  EXPECT_EQ(&bank.scheduler(), &sched);
+  EXPECT_EQ(tile.children().size(), 1u);
+}
+
+TEST(Unit, RejectsBadNames) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  EXPECT_THROW(Unit(&root, ""), ConfigError);
+  EXPECT_THROW(Unit(&root, "a.b"), ConfigError);
+  EXPECT_THROW(Unit(static_cast<Unit*>(nullptr), "x"), ConfigError);
+  EXPECT_THROW(Unit(static_cast<Scheduler*>(nullptr), "x"), ConfigError);
+}
+
+TEST(Unit, RejectsDuplicateSiblings) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  Unit child(&root, "dup");
+  EXPECT_THROW(Unit(&root, "dup"), ConfigError);
+}
+
+TEST(Unit, FindByRelativePath) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  Unit tile(&root, "tile0");
+  Unit bank(&tile, "bank3");
+  EXPECT_EQ(root.find("tile0"), &tile);
+  EXPECT_EQ(root.find("tile0.bank3"), &bank);
+  EXPECT_EQ(root.find("tile0.nope"), nullptr);
+  EXPECT_EQ(root.find("nope"), nullptr);
+}
+
+TEST(Unit, ForEachVisitsPreOrder) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  Unit a(&root, "a");
+  Unit b(&root, "b");
+  Unit a1(&a, "a1");
+  std::vector<std::string> visited;
+  root.for_each([&](Unit& unit) { visited.push_back(unit.name()); });
+  EXPECT_EQ(visited, (std::vector<std::string>{"top", "a", "a1", "b"}));
+}
+
+TEST(Unit, ChildDestructorDetaches) {
+  Scheduler sched;
+  Unit root(&sched, "top");
+  {
+    Unit temp(&root, "temp");
+    EXPECT_EQ(root.children().size(), 1u);
+  }
+  EXPECT_TRUE(root.children().empty());
+}
+
+TEST(Stats, CounterBasics) {
+  StatisticSet stats;
+  Counter& counter = stats.counter("hits", "cache hits");
+  EXPECT_EQ(counter.get(), 0u);
+  ++counter;
+  counter += 4;
+  counter.increment();
+  EXPECT_EQ(counter.get(), 6u);
+  counter.reset();
+  EXPECT_EQ(counter.get(), 0u);
+  EXPECT_EQ(counter.name(), "hits");
+}
+
+TEST(Stats, DuplicateCounterThrows) {
+  StatisticSet stats;
+  stats.counter("x", "");
+  EXPECT_THROW(stats.counter("x", ""), SimError);
+}
+
+TEST(Stats, FindCounter) {
+  StatisticSet stats;
+  Counter& counter = stats.counter("misses", "");
+  counter += 3;
+  EXPECT_EQ(stats.find_counter("misses").get(), 3u);
+  EXPECT_THROW(stats.find_counter("absent"), SimError);
+}
+
+TEST(Stats, DerivedStatisticEvaluatesLive) {
+  StatisticSet stats;
+  Counter& hits = stats.counter("hits", "");
+  Counter& total = stats.counter("total", "");
+  StatisticDef& rate = stats.statistic("hit_rate", "hits/total", [&]() {
+    return total.get() == 0
+               ? 0.0
+               : static_cast<double>(hits.get()) / total.get();
+  });
+  EXPECT_EQ(rate.evaluate(), 0.0);
+  hits += 3;
+  total += 4;
+  EXPECT_DOUBLE_EQ(rate.evaluate(), 0.75);
+}
+
+TEST(Stats, ResetClearsAllCounters) {
+  StatisticSet stats;
+  Counter& a = stats.counter("a", "");
+  Counter& b = stats.counter("b", "");
+  a += 1;
+  b += 2;
+  stats.reset();
+  EXPECT_EQ(a.get(), 0u);
+  EXPECT_EQ(b.get(), 0u);
+}
+
+TEST(Stats, DistributionSummary) {
+  StatisticSet stats;
+  DistributionStat& dist = stats.distribution("latency", "per-request");
+  EXPECT_EQ(dist.count(), 0u);
+  EXPECT_EQ(dist.min(), 0u);
+  EXPECT_EQ(dist.mean(), 0.0);
+  dist.sample(10);
+  dist.sample(0);
+  dist.sample(30);
+  EXPECT_EQ(dist.count(), 3u);
+  EXPECT_EQ(dist.sum(), 40u);
+  EXPECT_EQ(dist.min(), 0u);
+  EXPECT_EQ(dist.max(), 30u);
+  EXPECT_NEAR(dist.mean(), 40.0 / 3.0, 1e-12);
+  EXPECT_THROW(stats.distribution("latency", ""), SimError);
+  EXPECT_EQ(&stats.find_distribution("latency"), &dist);
+  EXPECT_THROW(stats.find_distribution("absent"), SimError);
+}
+
+TEST(Stats, DistributionBucketsByBitWidth) {
+  StatisticSet stats;
+  DistributionStat& dist = stats.distribution("d", "");
+  dist.sample(0);    // bucket 0
+  dist.sample(1);    // bucket 1
+  dist.sample(2);    // bucket 2
+  dist.sample(3);    // bucket 2
+  dist.sample(255);  // bucket 8
+  dist.sample(256);  // bucket 9
+  EXPECT_EQ(dist.bucket(0), 1u);
+  EXPECT_EQ(dist.bucket(1), 1u);
+  EXPECT_EQ(dist.bucket(2), 2u);
+  EXPECT_EQ(dist.bucket(8), 1u);
+  EXPECT_EQ(dist.bucket(9), 1u);
+  dist.reset();
+  EXPECT_EQ(dist.count(), 0u);
+  EXPECT_EQ(dist.bucket(2), 0u);
+}
+
+TEST(Stats, PointerStabilityAcrossGrowth) {
+  StatisticSet stats;
+  Counter& first = stats.counter("c0", "");
+  for (int i = 1; i < 100; ++i) {
+    stats.counter(strfmt("c%d", i), "");
+  }
+  first += 5;
+  EXPECT_EQ(stats.find_counter("c0").get(), 5u);
+}
+
+}  // namespace
+}  // namespace coyote::simfw

@@ -1,0 +1,63 @@
+// Shared helpers for the Coyote test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/decoder.h"
+#include "iss/hart.h"
+#include "iss/memory.h"
+
+namespace coyote::test {
+
+/// Runs hand-assembled code on a bare Hart (no caches, no timing), stepping
+/// until the program exits or `max_steps` is reached.
+class HartRunner {
+ public:
+  explicit HartRunner(unsigned vlen_bits = 512)
+      : hart_(0, &memory_, iss::VectorConfig{vlen_bits}) {}
+
+  iss::SparseMemory& memory() { return memory_; }
+  iss::Hart& hart() { return hart_; }
+
+  /// Loads `as`'s program and executes from its base.
+  /// Returns the exit code; fails the test on step-limit overrun.
+  std::int64_t run(isa::Assembler& as, std::uint64_t max_steps = 1'000'000) {
+    const auto& words = as.finish();
+    memory_.poke_words(as.base(), words);
+    hart_.reset(as.base());
+    iss::StepInfo info;
+    for (std::uint64_t step = 0; step < max_steps; ++step) {
+      const auto inst = isa::decode(memory_.read<std::uint32_t>(hart_.pc()));
+      info.clear();
+      hart_.execute(inst, info);
+      if (info.exited) return info.exit_code;
+    }
+    ADD_FAILURE() << "program did not exit within " << max_steps << " steps";
+    return -1;
+  }
+
+  /// Executes exactly one instruction; returns the StepInfo.
+  iss::StepInfo step_one() {
+    const auto inst = isa::decode(memory_.read<std::uint32_t>(hart_.pc()));
+    iss::StepInfo info;
+    hart_.execute(inst, info);
+    return info;
+  }
+
+ private:
+  iss::SparseMemory memory_;
+  iss::Hart hart_;
+};
+
+/// Emits the standard exit-syscall epilogue.
+inline void emit_exit(isa::Assembler& as, std::int64_t code = 0) {
+  as.li(isa::Xreg::a7, 93);
+  as.li(isa::Xreg::a0, code);
+  as.ecall();
+}
+
+}  // namespace coyote::test
