@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Benchmark-baseline harness.
+
+Runs the two host-performance benchmarks that guard the simulation loop —
+fig3_throughput (end-to-end simulated-MIPS, the paper's Figure 3 metric) and
+micro_substrates (decode / cache-array / scheduler / hart hot paths) — with
+Google Benchmark's JSON output, and drops the reports at the repository root:
+
+    BENCH_fig3.json   BENCH_micro.json
+
+Regenerate both baselines with a single command:
+
+    python3 bench/baseline.py
+
+Compare a working tree against the committed baseline by writing elsewhere:
+
+    python3 bench/baseline.py --out-dir /tmp/candidate
+    # then diff the host_MIPS / events_per_s counters
+
+Options let CI keep the run short (--quick limits fig3 to the 1- and
+16-core points and skips micro_substrates' slowest repetitions).
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BENCHMARKS = [
+    # (binary name, output file, extra args)
+    ("fig3_throughput", "BENCH_fig3.json", []),
+    ("micro_substrates", "BENCH_micro.json", []),
+]
+
+
+def find_binary(build_dir: pathlib.Path, name: str) -> pathlib.Path:
+    candidates = [build_dir / "bench" / name, build_dir / name]
+    for path in candidates:
+        if path.is_file():
+            return path
+    raise SystemExit(
+        f"error: benchmark binary '{name}' not found under {build_dir} "
+        "(build with: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && "
+        "cmake --build build -j)"
+    )
+
+
+def run_one(binary: pathlib.Path, out_path: pathlib.Path, extra: list[str],
+            bench_filter: str | None) -> None:
+    cmd = [
+        str(binary),
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    cmd += extra
+    print(f"[baseline] {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True)
+
+
+def summarize(out_path: pathlib.Path) -> None:
+    with open(out_path) as fh:
+        report = json.load(fh)
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "?")
+        counters = {
+            key: bench[key]
+            for key in ("host_MIPS", "events_per_s", "instr_per_s")
+            if key in bench
+        }
+        if counters:
+            pretty = " ".join(f"{k}={v:.3g}" for k, v in counters.items())
+            print(f"[baseline]   {name}: {pretty}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
+                        help="CMake build tree holding bench/ binaries")
+    parser.add_argument("--out-dir", default=str(REPO_ROOT),
+                        help="where the BENCH_*.json reports are written")
+    parser.add_argument("--filter", default=None,
+                        help="forwarded as --benchmark_filter to every binary")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fig3 at 1 and 16 cores only, "
+                             "skip micro_substrates")
+    parser.add_argument("--only", choices=[b[0] for b in BENCHMARKS],
+                        help="run a single benchmark binary")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name, out_name, extra in BENCHMARKS:
+        if args.only and name != args.only:
+            continue
+        if args.quick and name == "micro_substrates":
+            continue
+        bench_filter = args.filter
+        if args.quick and name == "fig3_throughput" and bench_filter is None:
+            bench_filter = "/(1|16)/"
+        out_path = out_dir / out_name
+        run_one(find_binary(build_dir, name), out_path, extra, bench_filter)
+        summarize(out_path)
+        print(f"[baseline] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,57 @@ void BM_SchedulerEventChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerEventChurn)->Arg(8)->Arg(256)->Arg(4096);
 
+void BM_SchedulerScheduleFire(benchmark::State& state) {
+  // Calendar-queue throughput with `pending` events resident: schedule one
+  // port-delivery event (the size the memory hierarchy sends) and fire one,
+  // while a large standing population stresses bucket occupancy. Delays of
+  // 1 + (i % 997) make most inserts land beyond the 512-cycle ring, so the
+  // overflow heap and its migration path are measured too.
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  simfw::Scheduler sched;
+  std::uint64_t sink = 0;
+  // Self-rescheduling population: every fired event immediately schedules
+  // its successor, so exactly `pending` events stay resident throughout.
+  // The callable is a 16-byte trivially-destructible functor — the shape a
+  // port delivery takes through the pooled in-place path.
+  struct Event {
+    simfw::Scheduler* sched;
+    std::uint64_t* sink;
+    void operator()() const {
+      ++*sink;
+      sched->schedule(1 + (*sink % 997), simfw::SchedPriority::kPortDelivery,
+                      Event{sched, sink});
+    }
+  };
+  for (std::size_t i = 0; i < pending; ++i) {
+    sched.schedule(1 + (i % 997), simfw::SchedPriority::kPortDelivery,
+                   Event{&sched, &sink});
+  }
+  const std::uint64_t fired_before = sched.events_fired();
+  for (auto _ : state) {
+    sched.advance_to(sched.next_event_cycle());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(sched.events_fired() - fired_before),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerIdleAdvance(benchmark::State& state) {
+  // Cost of hopping simulated time across an empty stretch to a far event —
+  // the all-cores-stalled pattern the Orchestrator's idle path leans on.
+  simfw::Scheduler sched;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sched.schedule(140, simfw::SchedPriority::kPortDelivery,
+                   [&sink] { ++sink; });
+    sched.advance_to(sched.next_event_cycle());
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_SchedulerIdleAdvance);
+
 void BM_SparseMemoryRead(benchmark::State& state) {
   iss::SparseMemory memory;
   for (Addr addr = 0; addr < (1 << 20); addr += 4096) {

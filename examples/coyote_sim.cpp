@@ -67,7 +67,10 @@ void usage() {
       "  mc.count, mc.latency, mc.cycles_per_request\n"
       "  mc.model                 fixed | dram\n"
       "  sim.interleave_quantum   instructions per round (default 1)\n"
-      "  sim.fast_forward         true | false (default false)\n");
+      "  sim.fast_forward         true | false (default false)\n"
+      "  sim.batched_stepping     true | false (default true; false forces\n"
+      "                           the paper-literal per-instruction loop —\n"
+      "                           results are bit-identical either way)\n");
 }
 
 /// Declares the parameter surface, applies command-line overrides, and
@@ -110,6 +113,8 @@ core::SimConfig build_config(const Options& options) {
   sim_params.add("interleave_quantum", std::uint64_t{1},
                  "instructions per core per round");
   sim_params.add("fast_forward", false, "skip all-stalled cycles");
+  sim_params.add("batched_stepping", true,
+                 "host-side block-stepping fast paths");
 
   options.overrides.apply("topo", topo);
   options.overrides.apply("core", core_params);
@@ -194,6 +199,7 @@ core::SimConfig build_config(const Options& options) {
   config.interleave_quantum = static_cast<std::uint32_t>(
       sim_params.as<std::uint64_t>("interleave_quantum"));
   config.fast_forward_idle = sim_params.as<bool>("fast_forward");
+  config.batched_stepping = sim_params.as<bool>("batched_stepping");
   if (!options.trace_basename.empty()) {
     config.enable_trace = true;
     config.trace_basename = options.trace_basename;

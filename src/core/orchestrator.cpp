@@ -1,5 +1,7 @@
 #include "core/orchestrator.h"
 
+#include <algorithm>
+
 namespace coyote::core {
 
 using memhier::MemOp;
@@ -42,6 +44,22 @@ Orchestrator::Orchestrator(simfw::Unit* parent, const SimConfig& config,
       [this](const MemResponse& response) { on_response(response); });
   live_cores_ = config.num_cores;
   active_cores_ = config.num_cores;
+
+  num_l2_banks_ = config.num_l2_banks();
+  req_delay_.resize(static_cast<std::size_t>(config.num_tiles()) *
+                    num_l2_banks_);
+  req_hops_.resize(req_delay_.size());
+  for (TileId tile = 0; tile < config.num_tiles(); ++tile) {
+    for (BankId bank = 0; bank < num_l2_banks_; ++bank) {
+      const std::uint32_t src = noc->tile_node(tile);
+      const std::uint32_t dst = noc->tile_node(tile_of_bank(bank));
+      const std::size_t route =
+          static_cast<std::size_t>(tile) * num_l2_banks_ + bank;
+      req_delay_[route] = noc->latency(src, dst);
+      req_hops_[route] = noc->hops(src, dst);
+    }
+  }
+  writeback_buffer_.reserve(8);
 }
 
 BankId Orchestrator::bank_for(CoreId core, Addr line_addr) const {
@@ -71,10 +89,11 @@ void Orchestrator::route_request(CoreId core,
                                      : TraceEvent::kL1DMiss,
                    request.line_addr);
   }
-  req_out_[bank]->send(
-      MemRequest{request.line_addr, op, core, src_tile, bank},
-      noc_->traverse(noc_->tile_node(src_tile),
-                     noc_->tile_node(tile_of_bank(bank))));
+  const std::size_t route =
+      static_cast<std::size_t>(src_tile) * num_l2_banks_ + bank;
+  noc_->record_traversal(req_hops_[route]);
+  req_out_[bank]->send(MemRequest{request.line_addr, op, core, src_tile, bank},
+                       req_delay_[route]);
 }
 
 void Orchestrator::on_response(const MemResponse& response) {
@@ -106,6 +125,66 @@ void Orchestrator::on_response(const MemResponse& response) {
   }
 }
 
+void Orchestrator::step_single_active(Cycle stop_cycle,
+                                      iss::CoreStepResult& result) {
+  auto& sched = scheduler();
+  const Cycle first = sched.now();
+
+  // Find the lone runnable core.
+  CoreId id = 0;
+  while (core_states_[id] != CoreState::kActive) ++id;
+  iss::CoreModel& core = *(*cores_)[id];
+
+  // Cycles the block may cover. In the one-step-per-round loop an event at
+  // cycle X fires before X's instruction runs — except at `first`, whose
+  // events are still pending when the round steps (they fire in the round's
+  // closing advance). The block therefore stops short of the next scheduled
+  // event, of the run limit, and of the uint32 step-count cap.
+  Cycle span = stop_cycle - first;  // >= 1: run() checked now < stop_cycle
+  if (sched.has_pending()) {
+    const Cycle event = sched.next_event_cycle();
+    span = event > first ? std::min(span, event - first) : 1;
+  }
+  if (span > kMaxBlockCycles) span = kMaxBlockCycles;
+
+  const std::uint32_t k = core.step_block(
+      result, first, static_cast<std::uint32_t>(span), /*advance_cycles=*/true);
+  retired_ += k;
+
+  // Cycle of the block's final attempt: the k-th retire sat at
+  // first + k - 1; a stalled attempt sits one cycle past the last retire.
+  const Cycle last_attempt = result.status == iss::StepStatus::kRetired
+                                 ? first + k - 1
+                                 : first + k;
+
+  // Park simulated time at that cycle before routing, so the requests'
+  // trace records and send delays carry the timestamps the per-round loop
+  // would have produced. Nothing fires here: the span ends before the next
+  // scheduled event.
+  if (last_attempt != first) sched.advance_to(last_attempt);
+  for (const iss::LineRequest& request : result.requests) {
+    route_request(id, request);
+  }
+
+  if (result.status == iss::StepStatus::kRetired) {
+    if (result.exited) {
+      exit_codes_[id] = result.exit_code;
+      core_states_[id] = CoreState::kHalted;
+      --live_cores_;
+      --active_cores_;
+    }
+  } else {
+    // RAW or ifetch stall: deactivate until a fill arrives. Must happen
+    // before the closing advance — the waking fill may fire there.
+    core_states_[id] = CoreState::kStalled;
+    stall_since_[id] = last_attempt;
+    --active_cores_;
+  }
+
+  // The round's closing advance, exactly the loop's advance_to(now + 1).
+  sched.advance_to(last_attempt + 1);
+}
+
 RunStats Orchestrator::run(Cycle max_cycles) {
   auto& sched = scheduler();
   const Cycle start_cycle = sched.now();
@@ -130,53 +209,123 @@ RunStats Orchestrator::run(Cycle max_cycles) {
   RunStats stats_out;
   iss::CoreStepResult result;
 
-  while (live_cores_ > 0 && sched.now() - start_cycle < max_cycles) {
-    if (active_cores_ == 0) {
-      // Every live core sleeps on a fill.
-      if (!sched.has_pending()) {
-        throw SimError(
-            "Orchestrator: deadlock — all cores stalled and no events "
-            "pending");
-      }
-      if (config_.fast_forward_idle) {
-        const Cycle wake =
-            std::max(sched.next_event_cycle(), sched.now() + 1);
-        fast_forwarded_cycles_ += wake - sched.now() - 1;
-        sched.advance_to(wake);
-      } else {
-        sched.tick();  // paper-faithful: one cycle at a time
-      }
-      continue;
-    }
+  // End-of-run cycle, saturated so `start + max_cycles` cannot wrap.
+  const Cycle stop_cycle = max_cycles > ~Cycle{0} - start_cycle
+                               ? ~Cycle{0}
+                               : start_cycle + max_cycles;
 
-    for (CoreId id = 0; id < num_cores; ++id) {
-      if (core_states_[id] != CoreState::kActive) continue;
-      iss::CoreModel& core = *(*cores_)[id];
-      for (std::uint32_t slot = 0; slot < quantum; ++slot) {
-        core.step(result, sched.now());
+  if (!config_.batched_stepping) {
+    // Paper-literal loop: one step() call per core per round, requests
+    // routed as each instruction produces them. The batched paths below are
+    // bit-exact reformulations of this loop; keeping it callable lets the
+    // determinism tests cross-check them.
+    while (live_cores_ > 0 && sched.now() - start_cycle < max_cycles) {
+      if (active_cores_ == 0) {
+        // Every live core sleeps on a fill.
+        if (!sched.has_pending()) {
+          throw SimError(
+              "Orchestrator: deadlock — all cores stalled and no events "
+              "pending");
+        }
+        if (config_.fast_forward_idle) {
+          const Cycle wake =
+              std::max(sched.next_event_cycle(), sched.now() + 1);
+          fast_forwarded_cycles_ += wake - sched.now() - 1;
+          sched.advance_to(wake);
+        } else {
+          sched.tick();  // paper-faithful: one cycle at a time
+        }
+        continue;
+      }
+
+      for (CoreId id = 0; id < num_cores; ++id) {
+        if (core_states_[id] != CoreState::kActive) continue;
+        iss::CoreModel& core = *(*cores_)[id];
+        for (std::uint32_t slot = 0; slot < quantum; ++slot) {
+          core.step(result, sched.now());
+          for (const iss::LineRequest& request : result.requests) {
+            route_request(id, request);
+          }
+          if (result.status == iss::StepStatus::kRetired) {
+            ++retired_;
+            if (result.exited) {
+              exit_codes_[id] = result.exit_code;
+              core_states_[id] = CoreState::kHalted;
+              --live_cores_;
+              --active_cores_;
+              break;
+            }
+            continue;
+          }
+          // RAW or ifetch stall: deactivate until a fill arrives.
+          core_states_[id] = CoreState::kStalled;
+          stall_since_[id] = sched.now();
+          --active_cores_;
+          break;
+        }
+      }
+
+      sched.advance_to(sched.now() + quantum);
+    }
+  } else {
+    while (live_cores_ > 0 && sched.now() < stop_cycle) {
+      if (active_cores_ == 0) {
+        // Every live core sleeps on a fill.
+        if (!sched.has_pending()) {
+          throw SimError(
+              "Orchestrator: deadlock — all cores stalled and no events "
+              "pending");
+        }
+        if (config_.fast_forward_idle) {
+          const Cycle wake =
+              std::max(sched.next_event_cycle(), sched.now() + 1);
+          fast_forwarded_cycles_ += wake - sched.now() - 1;
+          sched.advance_to(wake);
+        } else {
+          // Ticking cycle by cycle through an all-stalled stretch fires
+          // nothing and touches no state until the next event, so hopping
+          // straight there (capped at the run limit) is bit-identical.
+          sched.advance_to(std::min(
+              std::max(sched.next_event_cycle(), sched.now() + 1),
+              stop_cycle));
+        }
+        continue;
+      }
+
+      if (quantum == 1 && active_cores_ == 1) {
+        step_single_active(stop_cycle, result);
+        continue;
+      }
+
+      for (CoreId id = 0; id < num_cores; ++id) {
+        if (core_states_[id] != CoreState::kActive) continue;
+        iss::CoreModel& core = *(*cores_)[id];
+        // All quantum attempts run at the same cycle; nothing can fire
+        // between them, so batching the attempts and routing the block's
+        // requests afterwards issues the exact schedule-call sequence the
+        // slot-at-a-time loop would.
+        retired_ += core.step_block(result, sched.now(), quantum,
+                                    /*advance_cycles=*/false);
         for (const iss::LineRequest& request : result.requests) {
           route_request(id, request);
         }
         if (result.status == iss::StepStatus::kRetired) {
-          ++retired_;
           if (result.exited) {
             exit_codes_[id] = result.exit_code;
             core_states_[id] = CoreState::kHalted;
             --live_cores_;
             --active_cores_;
-            break;
           }
-          continue;
+        } else {
+          // RAW or ifetch stall: deactivate until a fill arrives.
+          core_states_[id] = CoreState::kStalled;
+          stall_since_[id] = sched.now();
+          --active_cores_;
         }
-        // RAW or ifetch stall: deactivate until a fill arrives.
-        core_states_[id] = CoreState::kStalled;
-        stall_since_[id] = sched.now();
-        --active_cores_;
-        break;
       }
-    }
 
-    sched.advance_to(sched.now() + quantum);
+      sched.advance_to(sched.now() + quantum);
+    }
   }
 
   stats_out.all_exited = live_cores_ == 0;

@@ -11,6 +11,15 @@
 //  * interleave_quantum > 1 — Spike-style interleaving (ablation A1): each
 //    core runs up to Q instructions back-to-back per round and the event
 //    model advances Q cycles at once. Faster, lower timing fidelity.
+//
+// Host-performance note: with SimConfig::batched_stepping (the default) the
+// per-round dispatch is paid once per *block* instead of once per
+// instruction — cores retire through CoreModel::step_block, a lone runnable
+// core batches whole miss-to-miss stretches, and all-stalled stretches
+// advance in one scheduler hop. Every fast path is constructed to be
+// bit-identical to the paper-literal loop (same cycles, counters, event
+// ordering and trace records); batched_stepping=false forces the literal
+// loop so tests can cross-check the two.
 #pragma once
 
 #include <memory>
@@ -62,8 +71,19 @@ class Orchestrator : public simfw::Unit {
   RunStats run(Cycle max_cycles);
 
  private:
+  /// Upper bound on the cycles one single-active-core block may cover, so
+  /// the block's step count always fits the uint32 interface and a runaway
+  /// core still re-checks the run loop's bookkeeping periodically.
+  static constexpr Cycle kMaxBlockCycles = Cycle{1} << 20;
+
   void route_request(CoreId core, const iss::LineRequest& request);
   void on_response(const memhier::MemResponse& response);
+
+  /// Fast path for quantum == 1 with exactly one runnable core: retires a
+  /// whole block of instructions (bounded by the next scheduled event and
+  /// `stop_cycle`) before paying the round-loop dispatch again. Bit-exact
+  /// with the one-instruction-per-round loop.
+  void step_single_active(Cycle stop_cycle, iss::CoreStepResult& result);
 
   /// Scheduling state of one core. Stalled cores are *not* stepped (paper:
   /// "the core is marked as inactive. No further instructions will be
@@ -83,6 +103,13 @@ class Orchestrator : public simfw::Unit {
 
   memhier::BankMapper shared_mapper_;
   memhier::BankMapper private_mapper_;
+
+  /// Per-(source tile, bank) NoC route tables, precomputed at construction:
+  /// request routing is the hottest Orchestrator call and the route never
+  /// changes, so the latency/hop math is paid once instead of per miss.
+  std::uint32_t num_l2_banks_ = 0;
+  std::vector<Cycle> req_delay_;
+  std::vector<std::uint32_t> req_hops_;
 
   simfw::DataInPort<memhier::MemResponse> resp_in_;
   std::vector<std::unique_ptr<simfw::DataOutPort<memhier::MemRequest>>>

@@ -59,10 +59,20 @@ struct SimConfig {
 
   /// When every live core is asleep on a fill, jump simulated time straight
   /// to the next event instead of ticking cycle by cycle. Results are
-  /// identical; host time improves for long-latency configurations. Off by
-  /// default: the paper's Orchestrator advances every cycle, and Figure 3's
-  /// throughput curve reflects that per-cycle synchronization cost.
+  /// identical; the flag's only observable effect is the
+  /// `fast_forwarded_cycles` statistic it maintains. (With batched_stepping
+  /// the default path already advances idle stretches in one hop on the
+  /// host side, so this is no longer a speed lever — it is kept as the
+  /// paper-era ablation knob.)
   bool fast_forward_idle = false;
+
+  /// Host-side fast path: let the Orchestrator retire instructions in
+  /// blocks (and hop over idle stretches) instead of paying the full
+  /// per-instruction dispatch every cycle. Simulated results — cycles,
+  /// instructions, miss counters, traces — are bit-identical either way;
+  /// `false` forces the paper-literal one-instruction-per-call loop and
+  /// exists so regression tests can cross-check the two paths.
+  bool batched_stepping = true;
 
   // ----- outputs -----
   bool enable_trace = false;

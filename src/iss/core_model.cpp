@@ -46,6 +46,17 @@ const CoreModel::DecodeEntry& CoreModel::decode_at(Addr pc) {
     entry.num_dsts = static_cast<std::uint8_t>(dsts.size());
     std::copy(srcs.begin(), srcs.end(), entry.srcs);
     std::copy(dsts.begin(), dsts.end(), entry.dsts);
+    if (isa::is_vector(entry.inst.op)) {
+      entry.op_class = OpClass::kVector;
+    } else if (isa::is_branch_or_jump(entry.inst.op)) {
+      entry.op_class = OpClass::kBranch;
+    } else if (isa::is_fp(entry.inst.op)) {
+      entry.op_class = OpClass::kFp;
+    } else if (isa::is_amo(entry.inst.op)) {
+      entry.op_class = OpClass::kAmo;
+    } else {
+      entry.op_class = OpClass::kOther;
+    }
   }
   return entry;
 }
@@ -95,15 +106,40 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
   out.requests.clear();
   out.exited = false;
   out.exit_code = 0;
+  out.status = step_one(out, cycle);
+}
 
+std::uint32_t CoreModel::step_block(CoreStepResult& out, Cycle first_cycle,
+                                    std::uint32_t max_steps,
+                                    bool advance_cycles) {
+  out.requests.clear();
+  out.exited = false;
+  out.exit_code = 0;
+
+  std::uint32_t retired = 0;
+  Cycle cycle = first_cycle;
+  for (;;) {
+    out.status = step_one(out, cycle);
+    if (out.status != StepStatus::kRetired) break;
+    ++retired;
+    if (out.exited || retired == max_steps) break;
+    if (advance_cycles) {
+      // Line requests must be routed while simulated time sits at the cycle
+      // that produced them; hand control back to the caller.
+      if (!out.requests.empty()) break;
+      ++cycle;
+    }
+  }
+  return retired;
+}
+
+StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
   if (halted_) {
-    out.status = StepStatus::kHalted;
-    return;
+    return StepStatus::kHalted;
   }
   if (waiting_ifetch_) {
     ++counters_.ifetch_stall_cycles;
-    out.status = StepStatus::kIFetchStall;
-    return;
+    return StepStatus::kIFetchStall;
   }
 
   const Addr pc = hart_.pc();
@@ -121,8 +157,7 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
       if (inserted) {
         out.requests.push_back(LineRequest{fetch_line, false, true, false});
       }
-      out.status = StepStatus::kIFetchStall;
-      return;
+      return StepStatus::kIFetchStall;
     }
   }
 
@@ -130,8 +165,7 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
   const DecodeEntry& entry = decode_at(pc);
   if (sources_pending(entry)) {
     ++counters_.raw_stall_cycles;
-    out.status = StepStatus::kRawStall;
-    return;
+    return StepStatus::kRawStall;
   }
 
   // ----- functional execution -----
@@ -139,14 +173,12 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
   step_info_.clear();
   hart_.execute(entry.inst, step_info_);
   ++counters_.instructions;
-  if (isa::is_vector(entry.inst.op)) {
-    ++counters_.vector_instructions;
-  } else if (isa::is_branch_or_jump(entry.inst.op)) {
-    ++counters_.branch_instructions;
-  } else if (isa::is_fp(entry.inst.op)) {
-    ++counters_.fp_instructions;
-  } else if (isa::is_amo(entry.inst.op)) {
-    ++counters_.amo_instructions;
+  switch (entry.op_class) {
+    case OpClass::kVector: ++counters_.vector_instructions; break;
+    case OpClass::kBranch: ++counters_.branch_instructions; break;
+    case OpClass::kFp: ++counters_.fp_instructions; break;
+    case OpClass::kAmo: ++counters_.amo_instructions; break;
+    case OpClass::kOther: break;
   }
 
   if (step_info_.exited) {
@@ -201,7 +233,7 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
     }
   }
 
-  out.status = StepStatus::kRetired;
+  return StepStatus::kRetired;
 }
 
 void CoreModel::fill(Addr line_addr, std::vector<LineRequest>& writebacks) {

@@ -46,12 +46,16 @@ enum class StepStatus : std::uint8_t {
   kHalted,       ///< the program has exited
 };
 
-/// Result of one step() attempt. The vector is reused between calls.
+/// Result of one step() / step_block() attempt. The vector is reused
+/// between calls; callers keep one instance alive across the run so the
+/// request buffer never reallocates on the hot path.
 struct CoreStepResult {
   StepStatus status = StepStatus::kHalted;
   std::vector<LineRequest> requests;
   bool exited = false;
   std::int64_t exit_code = 0;
+
+  CoreStepResult() { requests.reserve(16); }
 };
 
 /// Raw event counters, surfaced to the simulator's statistic tree.
@@ -92,6 +96,25 @@ class CoreModel {
   /// `cycle` is forwarded to the hart for the cycle CSR.
   void step(CoreStepResult& out, Cycle cycle);
 
+  /// Batched stepping fast path: attempts up to `max_steps` instructions in
+  /// a tight loop, paying the per-call dispatch once per block. Two modes:
+  ///  * advance_cycles == true — instruction i runs at cycle
+  ///    `first_cycle + i` and the block additionally stops after the first
+  ///    instruction that emits line requests (the caller must route them
+  ///    with simulated time parked at that instruction's cycle). Only legal
+  ///    while no scheduler event can fire inside the block's cycle span.
+  ///  * advance_cycles == false — every attempt runs at `first_cycle`
+  ///    (interleave-quantum semantics: up to Q instructions back-to-back in
+  ///    one scheduling round) and requests accumulate across instructions.
+  /// Either way the block ends on a stall, on program exit, or after
+  /// `max_steps` retires; `out.status` reflects the final attempt and
+  /// `out.requests` holds every request the block emitted, in emission
+  /// order. Returns the number of instructions retired. Counters, stall
+  /// attribution and request order are identical to an equivalent sequence
+  /// of step() calls.
+  std::uint32_t step_block(CoreStepResult& out, Cycle first_cycle,
+                           std::uint32_t max_steps, bool advance_cycles);
+
   /// The memory hierarchy finished servicing `line_addr`. Inserts the line
   /// into the right L1(s); dirty evictions are appended to `writebacks` as
   /// new requests (already line-aligned).
@@ -110,6 +133,10 @@ class CoreModel {
   }
 
  private:
+  /// Instruction-class buckets for the per-retire mix counters, resolved
+  /// once at decode time instead of via predicate chains on every retire.
+  enum class OpClass : std::uint8_t { kOther, kVector, kBranch, kFp, kAmo };
+
   /// Cached decode + operand metadata. Kept small and inline: the decode
   /// cache is the per-core hot data structure and its footprint bounds how
   /// many cores fit in the host cache (it dominates Figure 3 scaling).
@@ -118,6 +145,7 @@ class CoreModel {
     isa::DecodedInst inst;
     std::uint8_t num_srcs = 0;
     std::uint8_t num_dsts = 0;
+    OpClass op_class = OpClass::kOther;
     isa::RegRef srcs[5];  ///< max: masked indexed vector store (4) + slack
     isa::RegRef dsts[2];  ///< every supported shape writes at most 1
   };
@@ -133,6 +161,9 @@ class CoreModel {
   static constexpr std::size_t kDecodeCacheSize = 2048;
 
   const DecodeEntry& decode_at(Addr pc);
+  /// One step() attempt that appends requests instead of clearing them —
+  /// the shared core of step() and step_block().
+  StepStatus step_one(CoreStepResult& out, Cycle cycle);
   bool sources_pending(const DecodeEntry& entry) const;
   void mark_pending(const isa::RegRef& reg, int delta);
   unsigned effective_group(const isa::RegRef& reg) const;

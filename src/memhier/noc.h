@@ -64,6 +64,21 @@ class Noc : public simfw::Unit {
     return config_.crossbar_latency;
   }
 
+  /// Statistics half of traverse() for callers that cached the latency via
+  /// latency()/hops(): hot paths precompute per-route delay tables once and
+  /// account each message here, keeping the counters identical to a
+  /// traverse() call without recomputing the route.
+  void record_traversal(std::uint32_t hops) {
+    ++messages_;
+    if (hops != 0) hops_ += hops;
+  }
+
+  /// Router hops charged to the hops statistic for one src->dst message
+  /// (zero for the crossbar model, matching traverse()).
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const {
+    return config_.model == NocModel::kMesh2D ? manhattan(src, dst) : 0;
+  }
+
   /// Pure latency query (no statistics side effect).
   Cycle latency(std::uint32_t src, std::uint32_t dst) const {
     switch (config_.model) {

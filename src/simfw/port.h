@@ -3,6 +3,10 @@
 // through the scheduler after a configurable delay; delivery runs in the
 // kPortDelivery phase so all same-cycle messages are visible before unit
 // updates.
+//
+// send() goes through the scheduler's pooled small-buffer event path: the
+// delivery closure (destination pointer + payload) is constructed in-place
+// in a pooled event node, so sending a cache-line message allocates nothing.
 #pragma once
 
 #include <functional>

@@ -1,41 +1,166 @@
 #include "simfw/scheduler.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/error.h"
 
 namespace coyote::simfw {
 
-void Scheduler::schedule_at(Cycle when, SchedPriority priority, Callback cb) {
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() {
+  // Destroy the callbacks of events still pending (armed nodes are reachable
+  // through the buckets and the overflow heap; pool chunks free themselves).
+  for (Bucket& bucket : buckets_) {
+    for (EventNode* node : bucket.head) {
+      for (; node != nullptr; node = node->next) {
+        if (node->destroy != nullptr) node->destroy(node);
+      }
+    }
+  }
+  for (EventNode* node : overflow_) {
+    if (node->destroy != nullptr) node->destroy(node);
+  }
+}
+
+void Scheduler::check_not_past(Cycle when) const {
   if (when < now_) {
     throw SimError(strfmt("Scheduler: event scheduled in the past (at=%llu, "
                           "now=%llu)",
                           static_cast<unsigned long long>(when),
                           static_cast<unsigned long long>(now_)));
   }
-  queue_.push(Entry{when, static_cast<std::uint8_t>(priority),
-                    next_sequence_++, std::move(cb)});
 }
 
-void Scheduler::advance_to(Cycle cycle) {
-  while (!queue_.empty() && queue_.top().when <= cycle) {
-    // The queue owns the callback; move it out before popping so a callback
-    // that schedules new events does not invalidate the entry under us.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
-    ++events_fired_;
-    entry.callback();
+Scheduler::EventNode* Scheduler::grow_pool() {
+  chunks_.push_back(std::make_unique<EventNode[]>(kNodesPerChunk));
+  EventNode* chunk = chunks_.back().get();
+  // Link all but the first into the free list; hand the first to the caller.
+  for (std::size_t i = 1; i + 1 < kNodesPerChunk; ++i) {
+    chunk[i].next = &chunk[i + 1];
   }
-  now_ = cycle;
+  chunk[kNodesPerChunk - 1].next = free_;
+  free_ = &chunk[1];
+  return &chunk[0];
+}
+
+void Scheduler::enqueue(EventNode* node) {
+  ++num_pending_;
+  if (node->when - now_ < kNumBuckets) {
+    push_bucket(node);
+  } else {
+    overflow_.push_back(node);
+    std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+  }
+}
+
+void Scheduler::push_bucket(EventNode* node) {
+  Bucket& bucket = buckets_[node->when & kBucketCycleMask];
+  node->next = nullptr;
+  const std::uint8_t lane = node->priority;
+  if (bucket.tail[lane] != nullptr) {
+    bucket.tail[lane]->next = node;
+  } else {
+    bucket.head[lane] = node;
+  }
+  bucket.tail[lane] = node;
+  if (bucket.count++ == 0) {
+    const std::size_t index = node->when & kBucketCycleMask;
+    occupancy_[index / 64] |= std::uint64_t{1} << (index % 64);
+  }
+}
+
+void Scheduler::migrate_overflow() {
+  // Heap pops deliver (when, priority, sequence) order, and any event for a
+  // cycle newly inside the horizon migrates before a fresh schedule_at can
+  // append directly to that cycle's bucket, so lane FIFO order stays the
+  // global sequence order.
+  while (!overflow_.empty() && overflow_.front()->when - now_ < kNumBuckets) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    EventNode* node = overflow_.back();
+    overflow_.pop_back();
+    push_bucket(node);
+  }
+}
+
+void Scheduler::fire_current_cycle() {
+  Bucket& bucket = buckets_[now_ & kBucketCycleMask];
+  while (bucket.count != 0) {
+    // Re-scan from the lowest lane after every callback: a callback may
+    // schedule a same-cycle event in an earlier phase, which (matching the
+    // old priority-queue comparator) must fire before later-phase leftovers.
+    for (std::size_t lane = 0; lane < kNumLanes; ++lane) {
+      EventNode* node = bucket.head[lane];
+      if (node == nullptr) continue;
+      bucket.head[lane] = node->next;
+      if (node->next == nullptr) bucket.tail[lane] = nullptr;
+      if (--bucket.count == 0) {
+        const std::size_t index = now_ & kBucketCycleMask;
+        occupancy_[index / 64] &= ~(std::uint64_t{1} << (index % 64));
+      }
+      --num_pending_;
+      ++events_fired_;
+      node->invoke(node);
+      if (node->destroy != nullptr) node->destroy(node);
+      release_node(node);
+      break;
+    }
+  }
+}
+
+Cycle Scheduler::next_pending_cycle() const {
+  // Ring scan: buckets only hold events in [now_, now_ + kNumBuckets), so
+  // the first occupied bucket in circular order from now_ is the earliest
+  // ring event. Overflow events are all at or beyond the horizon.
+  if (num_pending_ != overflow_.size()) {
+    const std::size_t start = now_ & kBucketCycleMask;
+    const std::size_t first_word = start / 64;
+    const std::size_t first_bit = start % 64;
+    for (std::size_t i = 0; i <= kOccupancyWords; ++i) {
+      const std::size_t w = (first_word + i) % kOccupancyWords;
+      std::uint64_t word = occupancy_[w];
+      if (i == 0) {
+        word &= ~std::uint64_t{0} << first_bit;
+      } else if (i == kOccupancyWords) {
+        word &= (std::uint64_t{1} << first_bit) - 1;
+      }
+      if (word == 0) continue;
+      const std::size_t index =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      return now_ + ((index - start) & kBucketCycleMask);
+    }
+  }
+  if (!overflow_.empty()) return overflow_.front()->when;
+  return kNoCycle;
+}
+
+Cycle Scheduler::next_event_cycle() const { return next_pending_cycle(); }
+
+void Scheduler::advance_to(Cycle cycle) {
+  if (cycle < now_) return;
+  for (;;) {
+    fire_current_cycle();
+    if (now_ >= cycle) break;
+    const Cycle next = next_pending_cycle();
+    if (next == kNoCycle || next > cycle) {
+      set_now(cycle);
+      break;
+    }
+    set_now(next);
+  }
 }
 
 Cycle Scheduler::run_to_completion(Cycle max_cycle) {
-  while (!queue_.empty() && queue_.top().when <= max_cycle) {
-    advance_to(queue_.top().when);
+  while (has_pending()) {
+    const Cycle next = next_pending_cycle();
+    if (next > max_cycle) break;
+    advance_to(next);
   }
   // With an explicit bound, time still passes up to that bound even if no
   // event lands exactly on it (the unbounded default stops at the last
   // event instead of jumping to the end of time).
-  if (max_cycle != ~Cycle{0} && now_ < max_cycle) now_ = max_cycle;
+  if (max_cycle != ~Cycle{0} && now_ < max_cycle) advance_to(max_cycle);
   return now_;
 }
 

@@ -10,11 +10,27 @@
 // Determinism: events firing on the same cycle are ordered by (priority,
 // insertion sequence). Two identically-configured simulations are
 // bit-reproducible.
+//
+// Implementation: a bucketed calendar queue. Events within the next
+// kNumBuckets cycles live in a ring of per-cycle buckets, each bucket an
+// array of intrusive FIFO lanes (one lane per SchedPriority); events beyond
+// the horizon wait in a small min-heap and migrate into the ring as time
+// advances. Event nodes come from a pooled free-list and callbacks are
+// constructed in-place in the node (48-byte small-buffer, heap fallback), so
+// the steady-state schedule/fire cycle performs no allocation. This is the
+// hot structure behind the paper's Figure 3 throughput metric: scheduling
+// and firing are O(1) with no malloc, and advancing across empty cycles
+// (cores all stalled on fills) costs a bitmap scan instead of a heap
+// operation per cycle.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -33,37 +49,56 @@ enum class SchedPriority : std::uint8_t {
 
 class Scheduler {
  public:
+  /// Legacy convenience alias; any callable is accepted directly and stored
+  /// without a std::function wrapper.
   using Callback = std::function<void()>;
 
-  Scheduler() = default;
+  Scheduler();
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated cycle.
   Cycle now() const { return now_; }
 
-  /// Schedules `cb` to fire `delay` cycles from now (0 == later this cycle,
+  /// Schedules `fn` to fire `delay` cycles from now (0 == later this cycle,
   /// allowed only while the scheduler is firing the current cycle or before
   /// the cycle has been fired).
-  void schedule(Cycle delay, SchedPriority priority, Callback cb) {
-    schedule_at(now_ + delay, priority, std::move(cb));
+  template <typename F>
+  void schedule(Cycle delay, SchedPriority priority, F&& fn) {
+    schedule_at(now_ + delay, priority, std::forward<F>(fn));
   }
 
-  /// Schedules `cb` at the absolute cycle `when` (must be >= now()).
-  void schedule_at(Cycle when, SchedPriority priority, Callback cb);
+  /// Schedules `fn` at the absolute cycle `when` (must be >= now()).
+  template <typename F>
+  void schedule_at(Cycle when, SchedPriority priority, F&& fn) {
+    check_not_past(when);
+    EventNode* node = acquire_node();
+    node->when = when;
+    node->priority = static_cast<std::uint8_t>(priority) & kLaneMask;
+    node->sequence = next_sequence_++;
+    try {
+      node->bind(std::forward<F>(fn));
+    } catch (...) {
+      release_node(node);
+      throw;
+    }
+    enqueue(node);
+  }
 
   /// True iff any event remains in the queue.
-  bool has_pending() const { return !queue_.empty(); }
+  bool has_pending() const { return num_pending_ != 0; }
 
   /// Cycle of the earliest pending event. Requires has_pending().
-  Cycle next_event_cycle() const { return queue_.top().when; }
+  Cycle next_event_cycle() const;
 
   /// Number of events fired since construction.
   std::uint64_t events_fired() const { return events_fired_; }
 
   /// Fires, in deterministic order, every event scheduled at a cycle
   /// <= `cycle`, then sets now() == cycle. Events that reschedule at the
-  /// current cycle are honored within the same call.
+  /// current cycle are honored within the same call. A `cycle` in the past
+  /// is a no-op (time never moves backwards).
   void advance_to(Cycle cycle);
 
   /// Equivalent to advance_to(now()+1): the per-cycle tick the Orchestrator
@@ -75,24 +110,115 @@ class Scheduler {
   Cycle run_to_completion(Cycle max_cycle = ~Cycle{0});
 
  private:
-  struct Entry {
-    Cycle when;
-    std::uint8_t priority;
-    std::uint64_t sequence;
-    Callback callback;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.sequence > b.sequence;
+  static constexpr std::size_t kNumLanes = 4;  // one per SchedPriority
+  static constexpr std::uint8_t kLaneMask = kNumLanes - 1;
+  /// Ring size; must be a power of two and exceed every latency any unit
+  /// schedules with (the deepest path here — NoC + LLC + DRAM row miss — is
+  /// well under 200 cycles). Longer delays take the overflow heap.
+  static constexpr std::size_t kNumBuckets = 512;
+  static constexpr Cycle kBucketCycleMask = kNumBuckets - 1;
+  static constexpr std::size_t kOccupancyWords = kNumBuckets / 64;
+  static constexpr std::size_t kNodesPerChunk = 256;
+  static constexpr Cycle kNoCycle = ~Cycle{0};
+
+  /// One pooled event. The callback is constructed in-place in `storage`
+  /// (or, beyond kInlineBytes, in a heap cell pointed to from `storage`);
+  /// nodes never move while armed, so callables need no move support.
+  struct EventNode {
+    EventNode* next = nullptr;
+    Cycle when = 0;
+    std::uint64_t sequence = 0;
+    void (*invoke)(EventNode*) = nullptr;
+    void (*destroy)(EventNode*) = nullptr;  ///< null: trivially destructible
+    std::uint8_t priority = 0;
+
+    static constexpr std::size_t kInlineBytes = 48;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+
+    template <typename F>
+    void bind(F&& fn) {
+      using Fn = std::decay_t<F>;
+      if constexpr (sizeof(Fn) <= kInlineBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));
+        invoke = [](EventNode* n) {
+          (*std::launder(reinterpret_cast<Fn*>(n->storage)))();
+        };
+        if constexpr (std::is_trivially_destructible_v<Fn>) {
+          destroy = nullptr;
+        } else {
+          destroy = [](EventNode* n) {
+            std::launder(reinterpret_cast<Fn*>(n->storage))->~Fn();
+          };
+        }
+      } else {
+        Fn* heap = new Fn(std::forward<F>(fn));
+        ::new (static_cast<void*>(storage)) Fn*(heap);
+        invoke = [](EventNode* n) {
+          (**std::launder(reinterpret_cast<Fn**>(n->storage)))();
+        };
+        destroy = [](EventNode* n) {
+          delete *std::launder(reinterpret_cast<Fn**>(n->storage));
+        };
+      }
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// One simulated cycle's worth of events: an intrusive FIFO per priority.
+  struct Bucket {
+    EventNode* head[kNumLanes] = {};
+    EventNode* tail[kNumLanes] = {};
+    std::uint32_t count = 0;
+  };
+
+  /// Min-heap order for beyond-horizon events: (when, priority, sequence).
+  struct OverflowLater {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      if (a->when != b->when) return a->when > b->when;
+      if (a->priority != b->priority) return a->priority > b->priority;
+      return a->sequence > b->sequence;
+    }
+  };
+
+  void check_not_past(Cycle when) const;
+  EventNode* acquire_node() {
+    EventNode* node = free_;
+    if (node == nullptr) return grow_pool();
+    free_ = node->next;
+    return node;
+  }
+  void release_node(EventNode* node) {
+    node->next = free_;
+    free_ = node;
+  }
+  EventNode* grow_pool();
+
+  void enqueue(EventNode* node);
+  void push_bucket(EventNode* node);
+  /// Moves every overflow event that entered the ring's horizon into its
+  /// bucket. Must run after every change of now_ so that heap order (which
+  /// encodes priority/sequence) is preserved ahead of direct insertions.
+  void migrate_overflow();
+  void set_now(Cycle cycle) {
+    now_ = cycle;
+    if (!overflow_.empty()) migrate_overflow();
+  }
+  /// Fires every event at now_ (including ones scheduled mid-firing) in
+  /// (priority, sequence) order.
+  void fire_current_cycle();
+  /// Earliest cycle >= now_ with a pending event, or kNoCycle.
+  Cycle next_pending_cycle() const;
+
+  std::vector<Bucket> buckets_{kNumBuckets};
+  std::uint64_t occupancy_[kOccupancyWords] = {};
+  std::vector<EventNode*> overflow_;
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  EventNode* free_ = nullptr;
+
   Cycle now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t events_fired_ = 0;
+  std::size_t num_pending_ = 0;
 };
 
 }  // namespace coyote::simfw

@@ -1,0 +1,169 @@
+// Determinism regression tests for the batched simulation loop: the calendar
+// queue, step_block fast paths and idle event-hop must be bit-identical to
+// the paper-literal one-instruction-per-round loop (batched_stepping=false).
+// Fingerprints compare full statistics reports (every counter in the unit
+// tree) and, for the trace test, the produced .prv byte-for-byte.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "kernels/kernels.h"
+
+namespace coyote::core {
+namespace {
+
+using kernels::MatmulWorkload;
+using kernels::SpmvWorkload;
+
+struct Outcome {
+  std::string report;
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::vector<std::int64_t> exit_codes;
+  std::uint64_t fast_forwarded = 0;
+};
+
+SimConfig base_config(std::uint32_t cores) {
+  SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = 4;
+  config.l2_banks_per_tile = 2;
+  config.num_mcs = 2;
+  return config;
+}
+
+Outcome run_matmul(SimConfig config) {
+  Simulator sim(config);
+  const auto workload = MatmulWorkload::generate(24, 11);
+  workload.install(sim.memory());
+  const auto program =
+      kernels::build_matmul_scalar(workload, config.num_cores);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(200'000'000);
+  EXPECT_TRUE(result.all_exited);
+  Outcome out;
+  out.report = sim.report(simfw::ReportFormat::kText);
+  out.cycles = result.cycles;
+  out.instructions = result.instructions;
+  out.exit_codes = result.exit_codes;
+  out.fast_forwarded = sim.root()
+                           .find("orchestrator")
+                           ->stats()
+                           .find_counter("fast_forwarded_cycles")
+                           .get();
+  return out;
+}
+
+Outcome run_spmv(SimConfig config) {
+  Simulator sim(config);
+  const auto workload =
+      SpmvWorkload::generate(kernels::CsrMatrix::random(60, 80, 6, 21), 22);
+  workload.install(sim.memory());
+  const auto program = kernels::build_spmv_scalar(workload, config.num_cores);
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(200'000'000);
+  EXPECT_TRUE(result.all_exited);
+  Outcome out;
+  out.report = sim.report(simfw::ReportFormat::kText);
+  out.cycles = result.cycles;
+  out.instructions = result.instructions;
+  out.exit_codes = result.exit_codes;
+  return out;
+}
+
+void expect_identical(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.exit_codes, b.exit_codes);
+  // The text report renders every counter of every unit (core L1 misses and
+  // stalls, L2/LLC/MC/NoC traffic, orchestrator totals) — one comparison
+  // covers the whole machine state.
+  EXPECT_EQ(a.report, b.report);
+}
+
+TEST(Determinism, RepeatedRunsAreIdentical) {
+  expect_identical(run_matmul(base_config(4)), run_matmul(base_config(4)));
+  expect_identical(run_spmv(base_config(2)), run_spmv(base_config(2)));
+}
+
+TEST(Determinism, BatchedMatchesLiteralLoopSingleCore) {
+  // One core: exercises the single-active-core block fast path end to end.
+  SimConfig batched = base_config(1);
+  SimConfig literal = base_config(1);
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+  expect_identical(run_spmv(batched), run_spmv(literal));
+}
+
+TEST(Determinism, BatchedMatchesLiteralLoopMultiCore) {
+  SimConfig batched = base_config(4);
+  SimConfig literal = base_config(4);
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+  expect_identical(run_spmv(batched), run_spmv(literal));
+}
+
+TEST(Determinism, BatchedMatchesLiteralLoopWithQuantum) {
+  // interleave_quantum > 1 takes the same-cycle step_block path.
+  SimConfig batched = base_config(2);
+  batched.interleave_quantum = 10;
+  SimConfig literal = batched;
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+}
+
+TEST(Determinism, FastForwardIdleOnlyAffectsItsOwnCounter) {
+  SimConfig plain = base_config(1);
+  SimConfig ff = base_config(1);
+  ff.fast_forward_idle = true;
+  const Outcome a = run_matmul(plain);
+  const Outcome b = run_matmul(ff);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.exit_codes, b.exit_codes);
+  EXPECT_EQ(a.fast_forwarded, 0u);
+  EXPECT_GT(b.fast_forwarded, 0u);
+}
+
+TEST(Determinism, FastForwardIdleMatchesLiteralLoop) {
+  SimConfig batched = base_config(2);
+  batched.fast_forward_idle = true;
+  SimConfig literal = batched;
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Determinism, TraceIsByteIdenticalAcrossPaths) {
+  const std::string dir = ::testing::TempDir();
+  const auto run_traced = [&](bool batched, const std::string& basename) {
+    SimConfig config = base_config(2);
+    config.batched_stepping = batched;
+    config.enable_trace = true;
+    config.trace_basename = dir + basename;
+    Simulator sim(config);
+    const auto workload = MatmulWorkload::generate(16, 7);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 2);
+    sim.load_program(program.base, program.words, program.entry);
+    EXPECT_TRUE(sim.run(200'000'000).all_exited);
+  };
+  run_traced(true, "det_fast");
+  run_traced(false, "det_slow");
+  EXPECT_EQ(slurp(dir + "det_fast.prv"), slurp(dir + "det_slow.prv"));
+  EXPECT_NE(slurp(dir + "det_fast.prv").find("2:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coyote::core

@@ -109,6 +109,111 @@ TEST(Scheduler, CountsFiredEvents) {
   EXPECT_EQ(sched.events_fired(), 7u);
 }
 
+// ----- calendar-queue specifics -----
+// The scheduler keeps near-future events in a 512-cycle bucket ring and
+// parks later ones in an overflow heap; these tests exercise the seams.
+
+TEST(Scheduler, FarFutureEventsCrossTheRingHorizon) {
+  Scheduler sched;
+  std::vector<Cycle> fire_times;
+  const auto note = [&] { fire_times.push_back(sched.now()); };
+  // Straddle the 512-cycle ring: in-ring, just inside, just outside, far out.
+  for (Cycle delay : {1000000u, 513u, 512u, 511u, 3u}) {
+    sched.schedule(delay, SchedPriority::kTick, note);
+  }
+  sched.run_to_completion();
+  EXPECT_EQ(fire_times, (std::vector<Cycle>{3, 511, 512, 513, 1000000}));
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(Scheduler, HorizonCrossingPreservesSameCycleOrder) {
+  // Events for one cycle scheduled from both sides of the horizon: the
+  // overflow migrants must still interleave with direct ring insertions in
+  // global (priority, insertion) order.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(600, SchedPriority::kTick, [&] { order.push_back(0); });
+  sched.schedule(600, SchedPriority::kPortDelivery,
+                 [&] { order.push_back(1); });
+  sched.advance_to(200);  // 600 is now inside the ring
+  sched.schedule_at(600, SchedPriority::kTick, [&] { order.push_back(2); });
+  sched.schedule_at(600, SchedPriority::kPortDelivery,
+                    [&] { order.push_back(3); });
+  sched.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2}));
+}
+
+TEST(Scheduler, LargeCallbacksRunAndAreDestroyed) {
+  // Callables above the node's inline small-buffer take a heap cell; both
+  // paths must run the callback and destroy the captured state exactly once.
+  auto counted = std::make_shared<int>(0);
+  {
+    Scheduler sched;
+    struct Big {
+      std::shared_ptr<int> hits;
+      char padding[96];
+      void operator()() const { ++*hits; }
+    };
+    sched.schedule(2, SchedPriority::kTick, Big{counted, {}});
+    sched.schedule(700, SchedPriority::kTick, Big{counted, {}});
+    sched.run_to_completion();
+    EXPECT_EQ(*counted, 2);
+  }
+  EXPECT_EQ(counted.use_count(), 1);
+}
+
+TEST(Scheduler, DestroysUnfiredCallbacksOnDestruction) {
+  // Pending events in the ring and in the overflow heap still own their
+  // captured state when the scheduler dies.
+  auto alive = std::make_shared<int>(7);
+  {
+    Scheduler sched;
+    sched.schedule(10, SchedPriority::kTick, [keep = alive] { (void)keep; });
+    sched.schedule(10000, SchedPriority::kUpdate,
+                   [keep = alive] { (void)keep; });
+    EXPECT_EQ(alive.use_count(), 3);
+  }
+  EXPECT_EQ(alive.use_count(), 1);
+}
+
+TEST(Scheduler, ManySameCycleEventsKeepInsertionOrder) {
+  // Well past the pool's chunk size, all on one cycle and one priority.
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule(4, SchedPriority::kTick, [&order, i] { order.push_back(i); });
+  }
+  sched.run_to_completion();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, NextEventCycleSeesZeroDelayEvent) {
+  Scheduler sched;
+  sched.advance_to(9);
+  sched.schedule(0, SchedPriority::kTick, [] {});
+  EXPECT_TRUE(sched.has_pending());
+  EXPECT_EQ(sched.next_event_cycle(), 9u);
+  // advance_to(now) must fire the leftover current-cycle event.
+  sched.advance_to(9);
+  EXPECT_FALSE(sched.has_pending());
+  EXPECT_EQ(sched.now(), 9u);
+}
+
+TEST(Scheduler, PoolReuseAcrossManyScheduleFireRounds) {
+  // Steady-state churn: nodes recycle through the free list and sequence
+  // numbers keep the order stable round after round.
+  Scheduler sched;
+  std::uint64_t fired = 0;
+  for (int round = 0; round < 2000; ++round) {
+    sched.schedule(1, SchedPriority::kPortDelivery, [&] { ++fired; });
+    sched.schedule(1, SchedPriority::kTick, [&] { ++fired; });
+    sched.tick();
+  }
+  EXPECT_EQ(fired, 4000u);
+  EXPECT_FALSE(sched.has_pending());
+}
+
 // Determinism property: two identical schedules produce identical firing
 // orders even with many same-cycle events.
 TEST(Scheduler, DeterministicOrder) {
