@@ -4,25 +4,31 @@
 Runs the two host-performance benchmarks that guard the simulation loop —
 fig3_throughput (end-to-end simulated-MIPS, the paper's Figure 3 metric) and
 micro_substrates (decode / cache-array / scheduler / hart hot paths) — with
-Google Benchmark's JSON output, and drops the reports at the repository root:
+Google Benchmark's JSON output, plus a 16-point design-space sweep through
+the coyote_sweep CLI (the unified config/run API; schema_version-stamped
+JSON, host timings excluded so the table is bit-reproducible), and drops
+the reports at the repository root:
 
-    BENCH_fig3.json   BENCH_micro.json
+    BENCH_fig3.json   BENCH_micro.json   BENCH_sweep.json
 
-Regenerate both baselines with a single command:
+Regenerate all baselines with a single command:
 
     python3 bench/baseline.py
 
 Compare a working tree against the committed baseline by writing elsewhere:
 
     python3 bench/baseline.py --out-dir /tmp/candidate
-    # then diff the host_MIPS / events_per_s counters
+    # then diff the host_MIPS / events_per_s counters; BENCH_sweep.json
+    # must match byte for byte
 
 Options let CI keep the run short (--quick limits fig3 to the 1- and
-16-core points and skips micro_substrates' slowest repetitions).
+16-core points, shrinks the sweep grid and skips micro_substrates'
+slowest repetitions).
 """
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -35,9 +41,20 @@ BENCHMARKS = [
     ("micro_substrates", "BENCH_micro.json", []),
 ]
 
+# The design-space baseline: an 8-core SpMV swept across L2 capacity, bank
+# count and mapping policy — 16 points in full mode, 4 in --quick.
+SWEEP_ARGS = [
+    "--kernel=spmv_scalar", "--size=512", "--seed=2024", "--quiet",
+    "topo.cores=8", "core.l1d_kb=4",
+    "l2.banks_per_tile=1,2", "l2.mapping=set-interleave,page-to-bank",
+]
+SWEEP_AXIS_FULL = "l2.size_kb=16,32,64,128"
+SWEEP_AXIS_QUICK = "l2.size_kb=16,32"
+
 
 def find_binary(build_dir: pathlib.Path, name: str) -> pathlib.Path:
-    candidates = [build_dir / "bench" / name, build_dir / name]
+    candidates = [build_dir / "bench" / name, build_dir / "examples" / name,
+                  build_dir / name]
     for path in candidates:
         if path.is_file():
             return path
@@ -46,6 +63,24 @@ def find_binary(build_dir: pathlib.Path, name: str) -> pathlib.Path:
         "(build with: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && "
         "cmake --build build -j)"
     )
+
+
+def run_sweep(build_dir: pathlib.Path, out_path: pathlib.Path,
+              quick: bool) -> None:
+    binary = find_binary(build_dir, "coyote_sweep")
+    axis = SWEEP_AXIS_QUICK if quick else SWEEP_AXIS_FULL
+    jobs = os.cpu_count() or 1
+    cmd = [str(binary), *SWEEP_ARGS, axis, f"--jobs={jobs}",
+           f"--json-out={out_path}"]
+    print(f"[baseline] {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True)
+    with open(out_path) as fh:
+        report = json.load(fh)
+    assert report["schema_version"] == 1, report["schema_version"]
+    cycles = [p["result"]["cycles"] for p in report["points"] if p["ok"]]
+    print(f"[baseline]   sweep: {report['num_points']} points, "
+          f"{report['num_failed']} failed, "
+          f"sim cycles {min(cycles)}..{max(cycles)}")
 
 
 def run_one(binary: pathlib.Path, out_path: pathlib.Path, extra: list[str],
@@ -88,7 +123,8 @@ def main() -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: fig3 at 1 and 16 cores only, "
                              "skip micro_substrates")
-    parser.add_argument("--only", choices=[b[0] for b in BENCHMARKS],
+    parser.add_argument("--only",
+                        choices=[b[0] for b in BENCHMARKS] + ["coyote_sweep"],
                         help="run a single benchmark binary")
     args = parser.parse_args()
 
@@ -108,6 +144,11 @@ def main() -> int:
         run_one(find_binary(build_dir, name), out_path, extra, bench_filter)
         summarize(out_path)
         print(f"[baseline] wrote {out_path}")
+
+    if args.only in (None, "coyote_sweep"):
+        sweep_path = out_dir / "BENCH_sweep.json"
+        run_sweep(build_dir, sweep_path, args.quick)
+        print(f"[baseline] wrote {sweep_path}")
     return 0
 
 

@@ -1,23 +1,25 @@
 // coyote_sim — the command-line front end: pick a kernel, a core count and
 // any memory-hierarchy parameters, run the simulation and get statistics
 // (text/CSV/JSON) plus an optional Paraver trace. This is the binary a
-// downstream user runs; every option maps to one SimConfig knob.
+// downstream user runs; every option maps to one SimConfig knob via the
+// library's config API (core/config_io.h), the same surface the sweep
+// engine and every example consume.
 //
 //   coyote_sim --kernel=spmv_row_gather --cores=64
 //       l2.size_kb=512 l2.banks_per_tile=4 l2.mapping=page-to-bank
 //       noc.latency=8 mc.latency=150 --report=csv --trace=out/spmv
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include <fstream>
-#include <sstream>
-
+#include "core/config_io.h"
+#include "core/run_summary.h"
 #include "core/simulator.h"
 #include "isa/text_asm.h"
-#include "kernels/kernels.h"
-#include "simfw/params.h"
+#include "kernels/program_menu.h"
 
 using namespace coyote;
 
@@ -26,9 +28,9 @@ namespace {
 struct Options {
   std::string kernel = "matmul_scalar";
   std::string program_path;  ///< assemble & run this .s file instead
-  std::uint32_t cores = 8;
   std::string report = "text";
   std::string trace_basename;
+  std::string json_out;    ///< versioned run summary destination
   std::uint64_t size = 0;  // problem size; 0 = kernel default
   std::uint64_t seed = 2024;
   simfw::ConfigMap overrides;
@@ -38,268 +40,60 @@ void usage() {
   std::printf(
       "usage: coyote_sim [--kernel=K | --program=FILE.s] [--cores=N]\n"
       "                  [--size=S] [--seed=X] [--report=text|csv|json]\n"
-      "                  [--trace=BASENAME] [key=value ...]\n"
+      "                  [--json-out=FILE] [--trace=BASENAME]\n"
+      "                  [key=value ...]\n"
       "\n"
       "--program assembles a RISC-V source file (GNU-style subset; see\n"
       "src/isa/text_asm.h) and runs it on every core. Programs read their\n"
       "core id from the mhartid CSR and exit via the exit syscall.\n"
       "\n"
-      "kernels: matmul_scalar matmul_vector spmv_scalar spmv_row_gather\n"
-      "         spmv_ell spmv_two_phase stencil_scalar stencil_vector\n"
-      "         stencil_sync stencil2d histogram axpy dot fft\n"
+      "--json-out writes a versioned machine-readable run summary\n"
+      "(schema_version %d: config, result, statistics) alongside the\n"
+      "--report stream.\n"
       "\n"
-      "config keys (key=value):\n"
-      "  topo.cores_per_tile      cores per VAS-like tile (default 8)\n"
-      "  core.vlen_bits           vector register length (default 512)\n"
-      "  core.l1d_kb, core.l1i_kb L1 sizes (default 32)\n"
-      "  l2.size_kb               per-bank capacity (default 256)\n"
-      "  l2.ways, l2.mshrs        associativity / in-flight misses\n"
-      "  l2.banks_per_tile        banks per tile (default 2)\n"
-      "  l2.hit_latency, l2.miss_latency\n"
-      "  l2.sharing               shared | private\n"
-      "  l2.mapping               set-interleave | page-to-bank\n"
-      "  l2.prefetch              none | next-line\n"
-      "  l2.prefetch_degree       lines fetched ahead (default 1)\n"
-      "  noc.model                crossbar | mesh\n"
-      "  noc.latency              crossbar latency (default 4)\n"
-      "  llc.enable               true | false (slice per controller)\n"
-      "  llc.size_kb, llc.ways, llc.hit_latency\n"
-      "  mc.count, mc.latency, mc.cycles_per_request\n"
-      "  mc.model                 fixed | dram\n"
-      "  sim.interleave_quantum   instructions per round (default 1)\n"
-      "  sim.fast_forward         true | false (default false)\n"
-      "  sim.batched_stepping     true | false (default true; false forces\n"
-      "                           the paper-literal per-instruction loop —\n"
-      "                           results are bit-identical either way)\n");
+      "--cores=N is shorthand for topo.cores=N.\n"
+      "\n"
+      "kernels:",
+      core::kRunSummarySchemaVersion);
+  for (const std::string& name : kernels::kernel_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n%s", core::config_usage().c_str());
 }
 
-/// Declares the parameter surface, applies command-line overrides, and
-/// builds the SimConfig.
-core::SimConfig build_config(const Options& options) {
-  simfw::ParameterSet topo;
-  topo.add("cores_per_tile", std::uint64_t{8}, "cores per tile");
-  simfw::ParameterSet core_params;
-  core_params.add("vlen_bits", std::uint64_t{512}, "VLEN in bits");
-  core_params.add("l1d_kb", std::uint64_t{32}, "L1D capacity");
-  core_params.add("l1i_kb", std::uint64_t{32}, "L1I capacity");
-  simfw::ParameterSet l2;
-  l2.add("size_kb", std::uint64_t{256}, "per-bank capacity");
-  l2.add("ways", std::uint64_t{16}, "associativity");
-  l2.add("mshrs", std::uint64_t{16}, "in-flight misses per bank");
-  l2.add("banks_per_tile", std::uint64_t{2}, "banks per tile");
-  l2.add("hit_latency", std::uint64_t{8}, "hit latency");
-  l2.add("miss_latency", std::uint64_t{4}, "lookup-to-forward latency");
-  l2.add("sharing", std::string("shared"), "shared|private");
-  l2.add("mapping", std::string("set-interleave"), "mapping policy");
-  l2.add("prefetch", std::string("none"), "none|next-line");
-  l2.add("prefetch_degree", std::uint64_t{1}, "lines fetched ahead");
-  l2.add("replacement", std::string("lru"), "lru|fifo|random");
-  simfw::ParameterSet noc;
-  noc.add("model", std::string("crossbar"), "crossbar|mesh");
-  noc.add("latency", std::uint64_t{4}, "crossbar latency");
-  noc.add("mesh_width", std::uint64_t{4}, "mesh columns");
-  noc.add("mesh_hop_latency", std::uint64_t{1}, "per-hop latency");
-  simfw::ParameterSet llc;
-  llc.add("enable", false, "LLC slice per memory controller");
-  llc.add("size_kb", std::uint64_t{2048}, "per-slice capacity");
-  llc.add("ways", std::uint64_t{16}, "associativity");
-  llc.add("hit_latency", std::uint64_t{20}, "hit latency");
-  simfw::ParameterSet mc;
-  mc.add("count", std::uint64_t{2}, "memory controllers");
-  mc.add("latency", std::uint64_t{100}, "fixed access latency");
-  mc.add("cycles_per_request", std::uint64_t{4}, "service rate");
-  mc.add("model", std::string("fixed"), "fixed|dram");
-  simfw::ParameterSet sim_params;
-  sim_params.add("interleave_quantum", std::uint64_t{1},
-                 "instructions per core per round");
-  sim_params.add("fast_forward", false, "skip all-stalled cycles");
-  sim_params.add("batched_stepping", true,
-                 "host-side block-stepping fast paths");
-
-  options.overrides.apply("topo", topo);
-  options.overrides.apply("core", core_params);
-  options.overrides.apply("l2", l2);
-  options.overrides.apply("noc", noc);
-  options.overrides.apply("llc", llc);
-  options.overrides.apply("mc", mc);
-  options.overrides.apply("sim", sim_params);
-
-  core::SimConfig config;
-  config.num_cores = options.cores;
-  config.cores_per_tile =
-      static_cast<std::uint32_t>(topo.as<std::uint64_t>("cores_per_tile"));
-  config.core.vector.vlen_bits =
-      static_cast<unsigned>(core_params.as<std::uint64_t>("vlen_bits"));
-  config.core.l1d_size_bytes = core_params.as<std::uint64_t>("l1d_kb") * 1024;
-  config.core.l1i_size_bytes = core_params.as<std::uint64_t>("l1i_kb") * 1024;
-  config.l2_bank.size_bytes = l2.as<std::uint64_t>("size_kb") * 1024;
-  config.l2_bank.ways =
-      static_cast<std::uint32_t>(l2.as<std::uint64_t>("ways"));
-  config.l2_bank.mshrs =
-      static_cast<std::uint32_t>(l2.as<std::uint64_t>("mshrs"));
-  config.l2_banks_per_tile =
-      static_cast<std::uint32_t>(l2.as<std::uint64_t>("banks_per_tile"));
-  config.l2_bank.hit_latency = l2.as<std::uint64_t>("hit_latency");
-  config.l2_bank.miss_latency = l2.as<std::uint64_t>("miss_latency");
-  const std::string sharing = l2.as<std::string>("sharing");
-  if (sharing == "shared") {
-    config.l2_sharing = core::L2Sharing::kShared;
-  } else if (sharing == "private") {
-    config.l2_sharing = core::L2Sharing::kPrivate;
-  } else {
-    throw ConfigError("l2.sharing must be shared|private");
-  }
-  config.mapping =
-      memhier::mapping_policy_from_string(l2.as<std::string>("mapping"));
-  const std::string prefetch = l2.as<std::string>("prefetch");
-  if (prefetch == "next-line") {
-    config.l2_bank.prefetch = memhier::PrefetchPolicy::kNextLine;
-  } else if (prefetch != "none") {
-    throw ConfigError("l2.prefetch must be none|next-line");
-  }
-  config.l2_bank.prefetch_degree =
-      static_cast<std::uint32_t>(l2.as<std::uint64_t>("prefetch_degree"));
-  const std::string replacement = l2.as<std::string>("replacement");
-  if (replacement == "lru") {
-    config.l2_bank.replacement = memhier::Replacement::kLru;
-  } else if (replacement == "fifo") {
-    config.l2_bank.replacement = memhier::Replacement::kFifo;
-  } else if (replacement == "random") {
-    config.l2_bank.replacement = memhier::Replacement::kRandom;
-  } else {
-    throw ConfigError("l2.replacement must be lru|fifo|random");
-  }
-  const std::string noc_model = noc.as<std::string>("model");
-  if (noc_model == "crossbar") {
-    config.noc.model = memhier::NocModel::kIdealCrossbar;
-  } else if (noc_model == "mesh") {
-    config.noc.model = memhier::NocModel::kMesh2D;
-  } else {
-    throw ConfigError("noc.model must be crossbar|mesh");
-  }
-  config.noc.crossbar_latency = noc.as<std::uint64_t>("latency");
-  config.noc.mesh_width =
-      static_cast<std::uint32_t>(noc.as<std::uint64_t>("mesh_width"));
-  config.noc.mesh_hop_latency = noc.as<std::uint64_t>("mesh_hop_latency");
-  config.llc.enable = llc.as<bool>("enable");
-  config.llc.size_bytes = llc.as<std::uint64_t>("size_kb") * 1024;
-  config.llc.ways = static_cast<std::uint32_t>(llc.as<std::uint64_t>("ways"));
-  config.llc.hit_latency = llc.as<std::uint64_t>("hit_latency");
-  config.num_mcs = static_cast<std::uint32_t>(mc.as<std::uint64_t>("count"));
-  config.mc.latency = mc.as<std::uint64_t>("latency");
-  config.mc.cycles_per_request = mc.as<std::uint64_t>("cycles_per_request");
-  const std::string mc_model = mc.as<std::string>("model");
-  if (mc_model == "fixed") {
-    config.mc.model = memhier::McModel::kFixedLatency;
-  } else if (mc_model == "dram") {
-    config.mc.model = memhier::McModel::kDramRowBuffer;
-  } else {
-    throw ConfigError("mc.model must be fixed|dram");
-  }
-  config.interleave_quantum = static_cast<std::uint32_t>(
-      sim_params.as<std::uint64_t>("interleave_quantum"));
-  config.fast_forward_idle = sim_params.as<bool>("fast_forward");
-  config.batched_stepping = sim_params.as<bool>("batched_stepping");
+int run(const Options& options) {
+  core::SimConfig config = core::config_from_map(options.overrides);
   if (!options.trace_basename.empty()) {
     config.enable_trace = true;
     config.trace_basename = options.trace_basename;
   }
-  return config;
-}
-
-int run(const Options& options) {
-  const core::SimConfig config = build_config(options);
   core::Simulator sim(config);
 
-  kernels::Program program;
-  const std::uint64_t seed = options.seed;
-  const std::string& kernel = options.kernel;
+  std::string workload_name = options.kernel;
   if (!options.program_path.empty()) {
+    workload_name = options.program_path;
     std::ifstream in(options.program_path);
     if (!in) {
-      std::fprintf(stderr, "cannot open '%s'\n",
-                   options.program_path.c_str());
+      std::fprintf(stderr, "cannot open '%s'\n", options.program_path.c_str());
       return 2;
     }
     std::ostringstream source;
     source << in.rdbuf();
     const auto assembled = isa::assemble_text(source.str());
-    program.base = assembled.base;
-    program.entry = assembled.base;
-    program.words = assembled.words;
-  } else if (kernel == "matmul_scalar" || kernel == "matmul_vector") {
-    const std::size_t n = options.size ? options.size : 96;
-    const auto workload = kernels::MatmulWorkload::generate(n, seed);
-    workload.install(sim.memory());
-    program = kernel == "matmul_scalar"
-                  ? kernels::build_matmul_scalar(workload, options.cores)
-                  : kernels::build_matmul_vector(workload, options.cores);
-  } else if (kernel.rfind("spmv_", 0) == 0) {
-    const std::size_t rows = options.size ? options.size : 8192;
-    const auto workload = kernels::SpmvWorkload::generate(
-        kernels::CsrMatrix::random(rows, rows, 16, seed), seed + 1);
-    workload.install(sim.memory());
-    if (kernel == "spmv_scalar") {
-      program = kernels::build_spmv_scalar(workload, options.cores);
-    } else if (kernel == "spmv_row_gather") {
-      program = kernels::build_spmv_row_gather(workload, options.cores);
-    } else if (kernel == "spmv_ell") {
-      program = kernels::build_spmv_ell(workload, options.cores);
-    } else if (kernel == "spmv_two_phase") {
-      program = kernels::build_spmv_two_phase(workload, options.cores);
-    } else {
-      std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
-      return 2;
-    }
-  } else if (kernel == "stencil_scalar" || kernel == "stencil_vector") {
-    const std::size_t n = options.size ? options.size : (1 << 18);
-    const auto workload = kernels::StencilWorkload::generate(n, 1, seed);
-    workload.install(sim.memory());
-    program = kernel == "stencil_scalar"
-                  ? kernels::build_stencil_scalar(workload, options.cores)
-                  : kernels::build_stencil_vector(workload, options.cores);
-  } else if (kernel == "stencil_sync") {
-    const std::size_t n = options.size ? options.size : (1 << 16);
-    const auto workload = kernels::StencilWorkload::generate(n, 8, seed);
-    workload.install(sim.memory());
-    program = kernels::build_stencil_vector_sync(workload, options.cores);
-  } else if (kernel == "histogram") {
-    const std::size_t n = options.size ? options.size : (1 << 16);
-    const auto workload =
-        kernels::HistogramWorkload::generate(n, 1024, 0.0, seed);
-    workload.install(sim.memory());
-    program = kernels::build_histogram_atomic(workload, options.cores);
-  } else if (kernel == "stencil2d") {
-    const std::size_t n = options.size ? options.size : 512;
-    const auto workload = kernels::Stencil2dWorkload::generate(n, n, seed);
-    workload.install(sim.memory());
-    program = kernels::build_stencil2d_vector(workload, options.cores);
-  } else if (kernel == "axpy" || kernel == "dot") {
-    const std::size_t n = options.size ? options.size : (1 << 18);
-    const auto workload = kernels::Blas1Workload::generate(n, seed);
-    workload.install(sim.memory());
-    program = kernel == "axpy"
-                  ? kernels::build_axpy_vector(workload, options.cores)
-                  : kernels::build_dot_vector(workload, options.cores);
-  } else if (kernel == "fft") {
-    const std::size_t n = options.size ? options.size : (1 << 14);
-    const auto workload = kernels::FftWorkload::generate(n, seed);
-    workload.install(sim.memory());
-    program = kernels::build_fft_scalar(workload, options.cores);
+    sim.load_program(assembled.base, assembled.words, assembled.base);
   } else {
-    std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
-    return 2;
+    const kernels::Program program =
+        kernels::build_named_kernel(options.kernel, config.num_cores,
+                                    options.size, options.seed, sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
   }
 
-  sim.load_program(program.base, program.words, program.entry);
   const auto result = sim.run(~Cycle{0});
 
   std::fprintf(stderr,
                "# kernel=%s cores=%u sim_cycles=%llu instructions=%llu "
                "host_MIPS=%.2f\n",
-               options.program_path.empty() ? kernel.c_str()
-                                            : options.program_path.c_str(),
-               options.cores,
+               workload_name.c_str(), config.num_cores,
                static_cast<unsigned long long>(result.cycles),
                static_cast<unsigned long long>(result.instructions),
                result.mips);
@@ -308,6 +102,15 @@ int run(const Options& options) {
   if (options.report == "csv") format = simfw::ReportFormat::kCsv;
   if (options.report == "json") format = simfw::ReportFormat::kJson;
   std::fputs(sim.report(format).c_str(), stdout);
+
+  if (!options.json_out.empty()) {
+    std::ofstream out(options.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", options.json_out.c_str());
+      return 2;
+    }
+    out << core::run_summary_json(workload_name, sim, result);
+  }
   return result.all_exited ? 0 : 1;
 }
 
@@ -328,13 +131,15 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--program=", 0) == 0) {
         options.program_path = value_of();
       } else if (arg.rfind("--cores=", 0) == 0) {
-        options.cores = static_cast<std::uint32_t>(std::stoul(value_of()));
+        options.overrides.set("topo.cores", value_of());
       } else if (arg.rfind("--size=", 0) == 0) {
         options.size = std::stoull(value_of());
       } else if (arg.rfind("--seed=", 0) == 0) {
         options.seed = std::stoull(value_of());
       } else if (arg.rfind("--report=", 0) == 0) {
         options.report = value_of();
+      } else if (arg.rfind("--json-out=", 0) == 0) {
+        options.json_out = value_of();
       } else if (arg.rfind("--trace=", 0) == 0) {
         options.trace_basename = value_of();
       } else if (arg.rfind("--", 0) == 0) {

@@ -1,0 +1,178 @@
+// coyote_sweep — the design-space-exploration front end: run one kernel
+// across a whole grid of machine configurations in parallel and emit a
+// versioned JSON results table. A sweep spec is a base config plus axes:
+// any `key=value` token fixes a knob for every point, any `key=v1,v2,v3`
+// token sweeps it, and the grid is the cartesian product of the axes.
+//
+//   coyote_sweep --kernel=spmv_row_gather --jobs=8 topo.cores=32
+//       l2.size_kb=128,256,512 l2.banks_per_tile=1,2,4
+//       l2.mapping=set-interleave,page-to-bank --json-out=sweep.json
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config_io.h"
+#include "kernels/program_menu.h"
+#include "sweep/sweep.h"
+
+using namespace coyote;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: coyote_sweep [--kernel=K] [--size=S] [--seed=X] [--jobs=N]\n"
+      "                    [--max-cycles=C] [--retries=R] [--json-out=FILE]\n"
+      "                    [--quiet] [key=value | key=v1,v2,...] ...\n"
+      "\n"
+      "Runs kernel K on every point of the config grid spanned by the\n"
+      "comma-valued axes (cartesian product), N points at a time on host\n"
+      "threads. Results are reported in SweepSpec::expand() order no matter\n"
+      "how the host schedules them; a failing point is retried R extra\n"
+      "times, then recorded in the table without stopping the campaign.\n"
+      "The JSON table (schema_version %d) goes to --json-out or stdout;\n"
+      "a human-readable ranking goes to stderr.\n"
+      "\n"
+      "  --jobs=N        worker threads (default: all host cores)\n"
+      "  --max-cycles=C  per-point simulated-cycle budget (default: none)\n"
+      "  --retries=R     extra attempts per failing point (default 1)\n"
+      "  --quiet         no progress line, no ranking table\n"
+      "\n"
+      "kernels:",
+      sweep::kSweepSchemaVersion);
+  for (const std::string& name : kernels::kernel_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n%s", core::config_usage().c_str());
+}
+
+void print_ranking(const sweep::SweepReport& report,
+                   const std::vector<sweep::SweepAxis>& axes) {
+  // Label each point by its swept coordinates only — the fixed part of the
+  // config is the same everywhere and would drown the table.
+  const auto label = [&axes](const sweep::PointResult& point) {
+    std::string text;
+    for (const sweep::SweepAxis& axis : axes) {
+      if (axis.values.size() < 2) continue;
+      if (!text.empty()) text += " ";
+      text += axis.key + "=" + point.config.get(axis.key);
+    }
+    if (text.empty()) text = "point " + std::to_string(point.index);
+    return text;
+  };
+  std::vector<const sweep::PointResult*> ranked;
+  for (const auto& point : report.points) {
+    if (point.ok) ranked.push_back(&point);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const sweep::PointResult* a, const sweep::PointResult* b) {
+              return a->run.cycles < b->run.cycles;
+            });
+  std::fprintf(stderr, "\n%-52s %14s %14s\n", "design point (swept keys)",
+               "sim cycles", "instructions");
+  for (const sweep::PointResult* point : ranked) {
+    std::fprintf(stderr, "%-52s %14llu %14llu\n", label(*point).c_str(),
+                 static_cast<unsigned long long>(point->run.cycles),
+                 static_cast<unsigned long long>(point->run.instructions));
+  }
+  for (const auto& point : report.points) {
+    if (!point.ok) {
+      std::fprintf(stderr, "%-52s FAILED after %u attempts: %s\n",
+                   label(point).c_str(), point.attempts, point.error.c_str());
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  sweep::SweepSpec spec;
+  sweep::SweepEngine::Options options;
+  options.progress = true;
+  std::uint32_t retries = 1;
+  std::string json_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg.rfind("--kernel=", 0) == 0) {
+      spec.kernel = value_of();
+    } else if (arg.rfind("--size=", 0) == 0) {
+      spec.size = std::stoull(value_of());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      spec.seed = std::stoull(value_of());
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      options.max_cycles = std::stoull(value_of());
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = static_cast<std::uint32_t>(std::stoul(value_of()));
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = value_of();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      // Familiar coyote_sim spelling; topo.cores is the canonical key.
+      spec.axes.push_back(
+          sweep::axis_from_token("topo.cores=" + value_of()));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      sweep::SweepAxis axis = sweep::axis_from_token(arg);
+      if (axis.values.size() == 1) {
+        spec.base.set(axis.key, axis.values.front());
+      } else {
+        spec.axes.push_back(std::move(axis));
+      }
+    }
+  }
+  options.max_attempts = retries + 1;
+  if (quiet) options.progress = false;
+
+  const auto points = spec.expand();
+  if (!quiet) {
+    std::fprintf(stderr, "[sweep] %zu points, kernel=%s, jobs=%u\n",
+                 points.size(), spec.kernel.c_str(),
+                 options.jobs ? options.jobs
+                              : std::thread::hardware_concurrency());
+  }
+  const sweep::SweepEngine engine(options);
+  const sweep::SweepReport report = engine.run(spec);
+
+  if (!quiet) print_ranking(report, spec.axes);
+  const std::string table = report.to_json();
+  if (json_out.empty()) {
+    std::fputs(table.c_str(), stdout);
+  } else {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_out.c_str());
+      return 2;
+    }
+    out << table;
+    if (!quiet) {
+      std::fprintf(stderr, "[sweep] wrote %s\n", json_out.c_str());
+    }
+  }
+  return report.num_failed() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

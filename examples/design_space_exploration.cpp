@@ -4,122 +4,129 @@
 // policy, NoC latency) against the SpMV workload and ranks them by
 // simulated execution time, printing the kind of first-order comparison
 // table an architect would use to pick candidates for FPGA emulation.
+//
+// The grid is expressed as a sweep::SweepSpec (base config + cartesian
+// axes + one explicit extra point) and evaluated by the parallel
+// SweepEngine: every design point runs as an independent Simulator on a
+// host worker thread, and the ranking below is bit-identical no matter how
+// many threads the host offers.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/simulator.h"
-#include "kernels/kernels.h"
+#include "sweep/sweep.h"
 
 using namespace coyote;
 
 namespace {
 
-struct DesignPoint {
-  std::string name;
-  std::uint64_t l2_bank_kb;
-  std::uint32_t banks_per_tile;
-  memhier::MappingPolicy mapping;
-  Cycle noc_latency;
-};
-
-struct Outcome {
-  DesignPoint point;
-  Cycle cycles;
-  double l1d_miss_rate;
-  double l2_miss_rate;
-  std::uint64_t mc_reads;
-};
-
-Outcome evaluate(const DesignPoint& point,
-                 const kernels::SpmvWorkload& workload) {
-  core::SimConfig config;
-  config.num_cores = 32;
-  config.cores_per_tile = 8;
-  config.l2_banks_per_tile = point.banks_per_tile;
-  config.num_mcs = 2;
-  config.fast_forward_idle = true;
-  config.l2_bank.size_bytes = point.l2_bank_kb * 1024;
-  config.mapping = point.mapping;
-  config.noc.crossbar_latency = point.noc_latency;
-
-  core::Simulator sim(config);
-  workload.install(sim.memory());
-  const auto program = kernels::build_spmv_row_gather(workload, config.num_cores);
-  sim.load_program(program.base, program.words, program.entry);
-  const auto result = sim.run(2'000'000'000ULL);
-  if (!result.all_exited) {
-    throw SimError("design point did not finish: " + point.name);
-  }
-
-  Outcome outcome{point, result.cycles, 0.0, 0.0, 0};
+/// Harvests the hierarchy metrics the comparison table ranks on.
+void collect_metrics(core::Simulator& sim, sweep::PointResult& point) {
   std::uint64_t l1_acc = 0;
   std::uint64_t l1_miss = 0;
   for (CoreId core = 0; core < sim.num_cores(); ++core) {
     l1_acc += sim.core(core).counters().l1d_accesses;
     l1_miss += sim.core(core).counters().l1d_misses;
   }
-  outcome.l1d_miss_rate = l1_acc ? static_cast<double>(l1_miss) / l1_acc : 0;
   std::uint64_t l2_acc = 0;
   std::uint64_t l2_miss = 0;
   for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
     l2_acc += sim.l2_bank(bank).stats().find_counter("accesses").get();
     l2_miss += sim.l2_bank(bank).stats().find_counter("misses").get();
   }
-  outcome.l2_miss_rate = l2_acc ? static_cast<double>(l2_miss) / l2_acc : 0;
-  for (McId mc = 0; mc < config.num_mcs; ++mc) {
-    outcome.mc_reads += sim.mc(mc).stats().find_counter("reads").get();
+  std::uint64_t mc_reads = 0;
+  for (McId mc = 0; mc < sim.config().num_mcs; ++mc) {
+    mc_reads += sim.mc(mc).stats().find_counter("reads").get();
   }
-  return outcome;
+  point.metrics.emplace_back(
+      "l1d_miss_rate", l1_acc ? static_cast<double>(l1_miss) / l1_acc : 0.0);
+  point.metrics.emplace_back(
+      "l2_miss_rate", l2_acc ? static_cast<double>(l2_miss) / l2_acc : 0.0);
+  point.metrics.emplace_back("mc_reads", static_cast<double>(mc_reads));
+}
+
+std::string point_name(const sweep::PointResult& point) {
+  std::string name = point.config.get("l2.size_kb") + "KB x" +
+                     point.config.get("l2.banks_per_tile") + " " +
+                     point.config.get("l2.mapping");
+  if (point.config.get("noc.latency") != "4") name += " slow-noc";
+  return name;
+}
+
+double metric(const sweep::PointResult& point, const std::string& name) {
+  for (const auto& [key, value] : point.metrics) {
+    if (key == name) return value;
+  }
+  return 0.0;
 }
 
 }  // namespace
 
 int main() {
-  // One representative sparse workload, reused across all design points.
-  const auto workload = kernels::SpmvWorkload::generate(
-      kernels::CsrMatrix::random(8192, 8192, 16, 2024), 7);
+  // One representative sparse workload, regenerated per point from the
+  // spec seed (deterministic), evaluated across the whole grid.
+  sweep::SweepSpec spec;
+  spec.kernel = "spmv_row_gather";
+  spec.size = 8192;
+  spec.seed = 2024;
+  spec.base.set("topo.cores", "32");
+  spec.base.set("topo.cores_per_tile", "8");
+  spec.base.set("mc.count", "2");
+  spec.base.set("sim.fast_forward", "true");
+  spec.axes = {
+      {"l2.size_kb", {"128", "256", "512"}},
+      {"l2.banks_per_tile", {"1", "2", "4"}},
+      {"l2.mapping", {"set-interleave", "page-to-bank"}},
+  };
+  simfw::ConfigMap slow_noc;
+  slow_noc.set("l2.size_kb", "256");
+  slow_noc.set("l2.banks_per_tile", "2");
+  slow_noc.set("l2.mapping", "set-interleave");
+  slow_noc.set("noc.latency", "32");
+  spec.extra_points.push_back(slow_noc);
 
-  std::vector<DesignPoint> grid;
-  for (const std::uint64_t size_kb : {128ULL, 256ULL, 512ULL}) {
-    for (const std::uint32_t banks : {1u, 2u, 4u}) {
-      for (const auto policy : {memhier::MappingPolicy::kSetInterleave,
-                                memhier::MappingPolicy::kPageToBank}) {
-        grid.push_back(DesignPoint{
-            std::to_string(size_kb) + "KB x" + std::to_string(banks) + " " +
-                memhier::mapping_policy_name(policy),
-            size_kb, banks, policy, /*noc_latency=*/4});
-      }
+  sweep::SweepEngine::Options options;
+  options.jobs = 0;  // all host cores
+  options.max_cycles = 2'000'000'000ULL;
+  options.progress = true;
+  options.collect = collect_metrics;
+
+  const auto points = spec.expand();
+  std::printf("evaluating %zu design points (32-core SpMV, 8192x8192, "
+              "16 nnz/row) in parallel...\n\n",
+              points.size());
+  const sweep::SweepReport report = sweep::SweepEngine(options).run(spec);
+
+  std::vector<const sweep::PointResult*> ranked;
+  for (const auto& point : report.points) {
+    if (point.ok) {
+      ranked.push_back(&point);
+    } else {
+      std::fprintf(stderr, "design point %zu failed: %s\n", point.index,
+                   point.error.c_str());
     }
   }
-  grid.push_back(DesignPoint{"256KB x2 set-interleave slow-noc", 256, 2,
-                             memhier::MappingPolicy::kSetInterleave, 32});
-
-  std::printf("evaluating %zu design points (32-core SpMV, 8192x8192, "
-              "16 nnz/row)...\n\n",
-              grid.size());
-  std::vector<Outcome> outcomes;
-  outcomes.reserve(grid.size());
-  for (const DesignPoint& point : grid) {
-    outcomes.push_back(evaluate(point, workload));
-  }
-  std::sort(outcomes.begin(), outcomes.end(),
-            [](const Outcome& a, const Outcome& b) {
-              return a.cycles < b.cycles;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const sweep::PointResult* a, const sweep::PointResult* b) {
+              return a->run.cycles < b->run.cycles;
             });
 
   std::printf("%-38s %12s %10s %10s %10s\n", "design point", "sim cycles",
               "L1D miss", "L2 miss", "mem reads");
-  for (const Outcome& outcome : outcomes) {
+  for (const sweep::PointResult* point : ranked) {
     std::printf("%-38s %12llu %9.1f%% %9.1f%% %10llu\n",
-                outcome.point.name.c_str(),
-                static_cast<unsigned long long>(outcome.cycles),
-                100.0 * outcome.l1d_miss_rate, 100.0 * outcome.l2_miss_rate,
-                static_cast<unsigned long long>(outcome.mc_reads));
+                point_name(*point).c_str(),
+                static_cast<unsigned long long>(point->run.cycles),
+                100.0 * metric(*point, "l1d_miss_rate"),
+                100.0 * metric(*point, "l2_miss_rate"),
+                static_cast<unsigned long long>(metric(*point, "mc_reads")));
   }
-  std::printf("\nbest candidate: %s (%llu cycles)\n",
-              outcomes.front().point.name.c_str(),
-              static_cast<unsigned long long>(outcomes.front().cycles));
-  return 0;
+  if (!ranked.empty()) {
+    std::printf("\nbest candidate: %s (%llu cycles)\n",
+                point_name(*ranked.front()).c_str(),
+                static_cast<unsigned long long>(ranked.front()->run.cycles));
+  }
+  return report.num_failed() == 0 ? 0 : 1;
 }

@@ -1,12 +1,13 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 #include "common/error.h"
 
 namespace coyote {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 
 namespace {
 const char* level_name(LogLevel level) {
@@ -27,7 +28,18 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void Log::write(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // One pre-formatted buffer + one locked fputs per line: concurrent
+  // writers can never tear or interleave a line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex sink_mutex;
+  const std::lock_guard<std::mutex> lock(sink_mutex);
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace coyote

@@ -1,7 +1,8 @@
 // Minimal leveled logger. Logging in the simulator hot loop is guarded by a
-// level check so a disabled message costs one branch.
+// level check so a disabled message costs one branch (a relaxed atomic load).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -9,19 +10,23 @@ namespace coyote {
 
 enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log sink writing to stderr. Not synchronized: the simulator
-/// is single-threaded by design (determinism).
+/// Process-wide log sink writing to stderr. Thread-safe: concurrent
+/// Simulator instances (the sweep engine runs one per worker thread) may
+/// log at the same time, and each call emits exactly one whole line — no
+/// interleaving or tearing.
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
-  static bool enabled(LogLevel level) { return level >= level_; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
 
-  /// Emits one line: "[LEVEL] message".
+  /// Emits one line: "[LEVEL] message". Atomic per call.
   static void write(LogLevel level, const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 #define COYOTE_LOG(level, ...)                                     \

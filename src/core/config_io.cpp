@@ -1,0 +1,266 @@
+#include "core/config_io.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace coyote::core {
+
+namespace {
+
+/// The declared parameter surface, one ParameterSet per dotted prefix.
+/// Declaration order is the documentation order.
+struct ConfigParams {
+  simfw::ParameterSet topo;
+  simfw::ParameterSet core;
+  simfw::ParameterSet l2;
+  simfw::ParameterSet noc;
+  simfw::ParameterSet llc;
+  simfw::ParameterSet mc;
+  simfw::ParameterSet sim;
+
+  ConfigParams() {
+    topo.add("cores", std::uint64_t{8}, "total core count");
+    topo.add("cores_per_tile", std::uint64_t{8}, "cores per tile");
+    core.add("vlen_bits", std::uint64_t{512}, "VLEN in bits");
+    core.add("l1d_kb", std::uint64_t{32}, "L1D capacity");
+    core.add("l1i_kb", std::uint64_t{32}, "L1I capacity");
+    l2.add("size_kb", std::uint64_t{256}, "per-bank capacity");
+    l2.add("ways", std::uint64_t{16}, "associativity");
+    l2.add("mshrs", std::uint64_t{16}, "in-flight misses per bank");
+    l2.add("banks_per_tile", std::uint64_t{2}, "banks per tile");
+    l2.add("hit_latency", std::uint64_t{8}, "hit latency");
+    l2.add("miss_latency", std::uint64_t{4}, "lookup-to-forward latency");
+    l2.add("sharing", std::string("shared"), "shared|private");
+    l2.add("mapping", std::string("set-interleave"),
+           "set-interleave|page-to-bank");
+    l2.add("prefetch", std::string("none"), "none|next-line");
+    l2.add("prefetch_degree", std::uint64_t{1}, "lines fetched ahead");
+    l2.add("replacement", std::string("lru"), "lru|fifo|random");
+    noc.add("model", std::string("crossbar"), "crossbar|mesh");
+    noc.add("latency", std::uint64_t{4}, "crossbar latency");
+    noc.add("mesh_width", std::uint64_t{4}, "mesh columns");
+    noc.add("mesh_hop_latency", std::uint64_t{1}, "per-hop latency");
+    llc.add("enable", false, "LLC slice per memory controller");
+    llc.add("size_kb", std::uint64_t{2048}, "per-slice capacity");
+    llc.add("ways", std::uint64_t{16}, "associativity");
+    llc.add("hit_latency", std::uint64_t{20}, "hit latency");
+    mc.add("count", std::uint64_t{2}, "memory controllers");
+    mc.add("latency", std::uint64_t{100}, "fixed access latency");
+    mc.add("cycles_per_request", std::uint64_t{4}, "service rate");
+    mc.add("model", std::string("fixed"), "fixed|dram");
+    sim.add("interleave_quantum", std::uint64_t{1},
+            "instructions per core per round");
+    sim.add("fast_forward", false, "skip all-stalled cycles");
+    sim.add("batched_stepping", true, "host-side block-stepping fast paths");
+  }
+
+  /// Prefix/set pairs in documentation order.
+  std::array<std::pair<const char*, simfw::ParameterSet*>, 7> groups() {
+    return {{{"topo", &topo},
+             {"core", &core},
+             {"l2", &l2},
+             {"noc", &noc},
+             {"llc", &llc},
+             {"mc", &mc},
+             {"sim", &sim}}};
+  }
+};
+
+}  // namespace
+
+const std::vector<ConfigKeyInfo>& config_keys() {
+  static const std::vector<ConfigKeyInfo> keys = [] {
+    std::vector<ConfigKeyInfo> out;
+    ConfigParams params;
+    for (const auto& [prefix, set] : params.groups()) {
+      for (const auto& param : set->all()) {
+        out.push_back(ConfigKeyInfo{std::string(prefix) + "." + param->name(),
+                                    param->to_string(),
+                                    param->description()});
+      }
+    }
+    return out;
+  }();
+  return keys;
+}
+
+std::string config_usage() {
+  std::ostringstream os;
+  os << "config keys (key=value; every key also accepts v1,v2,... as a\n"
+        "sweep axis in coyote_sweep):\n";
+  for (const ConfigKeyInfo& info : config_keys()) {
+    os << "  " << info.key;
+    for (std::size_t pad = info.key.size(); pad < 26; ++pad) os << ' ';
+    os << info.description << " (default " << info.default_value << ")\n";
+  }
+  return os.str();
+}
+
+SimConfig config_from_map(const simfw::ConfigMap& map) {
+  ConfigParams params;
+
+  // Reject unknown prefixes up front: ConfigMap::apply only validates leaves
+  // under prefixes we ask it about, and a silently-ignored "llx.size_kb"
+  // would corrupt a whole sweep campaign.
+  for (const auto& [key, value] : map.values()) {
+    (void)value;
+    const auto dot = key.find('.');
+    if (dot == std::string::npos || dot == 0) {
+      throw ConfigError(
+          strfmt("config key '%s' is not a dotted path", key.c_str()));
+    }
+    const std::string prefix = key.substr(0, dot);
+    bool known = false;
+    for (const auto& [name, set] : params.groups()) {
+      (void)set;
+      if (prefix == name) known = true;
+    }
+    if (!known) {
+      throw ConfigError(strfmt("unknown config group '%s' (from '%s')",
+                               prefix.c_str(), key.c_str()));
+    }
+  }
+  for (const auto& [prefix, set] : params.groups()) {
+    map.apply(prefix, *set);
+  }
+
+  SimConfig config;
+  config.num_cores =
+      static_cast<std::uint32_t>(params.topo.as<std::uint64_t>("cores"));
+  config.cores_per_tile = static_cast<std::uint32_t>(
+      params.topo.as<std::uint64_t>("cores_per_tile"));
+  config.core.vector.vlen_bits =
+      static_cast<unsigned>(params.core.as<std::uint64_t>("vlen_bits"));
+  config.core.l1d_size_bytes =
+      params.core.as<std::uint64_t>("l1d_kb") * 1024;
+  config.core.l1i_size_bytes =
+      params.core.as<std::uint64_t>("l1i_kb") * 1024;
+  config.l2_bank.size_bytes = params.l2.as<std::uint64_t>("size_kb") * 1024;
+  config.l2_bank.ways =
+      static_cast<std::uint32_t>(params.l2.as<std::uint64_t>("ways"));
+  config.l2_bank.mshrs =
+      static_cast<std::uint32_t>(params.l2.as<std::uint64_t>("mshrs"));
+  config.l2_banks_per_tile = static_cast<std::uint32_t>(
+      params.l2.as<std::uint64_t>("banks_per_tile"));
+  config.l2_bank.hit_latency = params.l2.as<std::uint64_t>("hit_latency");
+  config.l2_bank.miss_latency = params.l2.as<std::uint64_t>("miss_latency");
+  const std::string sharing = params.l2.as<std::string>("sharing");
+  if (sharing == "shared") {
+    config.l2_sharing = L2Sharing::kShared;
+  } else if (sharing == "private") {
+    config.l2_sharing = L2Sharing::kPrivate;
+  } else {
+    throw ConfigError("l2.sharing must be shared|private");
+  }
+  config.mapping =
+      memhier::mapping_policy_from_string(params.l2.as<std::string>("mapping"));
+  const std::string prefetch = params.l2.as<std::string>("prefetch");
+  if (prefetch == "next-line") {
+    config.l2_bank.prefetch = memhier::PrefetchPolicy::kNextLine;
+  } else if (prefetch != "none") {
+    throw ConfigError("l2.prefetch must be none|next-line");
+  }
+  config.l2_bank.prefetch_degree = static_cast<std::uint32_t>(
+      params.l2.as<std::uint64_t>("prefetch_degree"));
+  const std::string replacement = params.l2.as<std::string>("replacement");
+  if (replacement == "lru") {
+    config.l2_bank.replacement = memhier::Replacement::kLru;
+  } else if (replacement == "fifo") {
+    config.l2_bank.replacement = memhier::Replacement::kFifo;
+  } else if (replacement == "random") {
+    config.l2_bank.replacement = memhier::Replacement::kRandom;
+  } else {
+    throw ConfigError("l2.replacement must be lru|fifo|random");
+  }
+  const std::string noc_model = params.noc.as<std::string>("model");
+  if (noc_model == "crossbar") {
+    config.noc.model = memhier::NocModel::kIdealCrossbar;
+  } else if (noc_model == "mesh") {
+    config.noc.model = memhier::NocModel::kMesh2D;
+  } else {
+    throw ConfigError("noc.model must be crossbar|mesh");
+  }
+  config.noc.crossbar_latency = params.noc.as<std::uint64_t>("latency");
+  config.noc.mesh_width =
+      static_cast<std::uint32_t>(params.noc.as<std::uint64_t>("mesh_width"));
+  config.noc.mesh_hop_latency =
+      params.noc.as<std::uint64_t>("mesh_hop_latency");
+  config.llc.enable = params.llc.as<bool>("enable");
+  config.llc.size_bytes = params.llc.as<std::uint64_t>("size_kb") * 1024;
+  config.llc.ways =
+      static_cast<std::uint32_t>(params.llc.as<std::uint64_t>("ways"));
+  config.llc.hit_latency = params.llc.as<std::uint64_t>("hit_latency");
+  config.num_mcs =
+      static_cast<std::uint32_t>(params.mc.as<std::uint64_t>("count"));
+  config.mc.latency = params.mc.as<std::uint64_t>("latency");
+  config.mc.cycles_per_request =
+      params.mc.as<std::uint64_t>("cycles_per_request");
+  const std::string mc_model = params.mc.as<std::string>("model");
+  if (mc_model == "fixed") {
+    config.mc.model = memhier::McModel::kFixedLatency;
+  } else if (mc_model == "dram") {
+    config.mc.model = memhier::McModel::kDramRowBuffer;
+  } else {
+    throw ConfigError("mc.model must be fixed|dram");
+  }
+  config.interleave_quantum = static_cast<std::uint32_t>(
+      params.sim.as<std::uint64_t>("interleave_quantum"));
+  config.fast_forward_idle = params.sim.as<bool>("fast_forward");
+  config.batched_stepping = params.sim.as<bool>("batched_stepping");
+  config.validate();
+  return config;
+}
+
+simfw::ConfigMap config_to_map(const SimConfig& config) {
+  simfw::ConfigMap map;
+  const auto set_u64 = [&map](const char* key, std::uint64_t value) {
+    map.set(key, std::to_string(value));
+  };
+  const auto set_bool = [&map](const char* key, bool value) {
+    map.set(key, value ? "true" : "false");
+  };
+  set_u64("topo.cores", config.num_cores);
+  set_u64("topo.cores_per_tile", config.cores_per_tile);
+  set_u64("core.vlen_bits", config.core.vector.vlen_bits);
+  set_u64("core.l1d_kb", config.core.l1d_size_bytes / 1024);
+  set_u64("core.l1i_kb", config.core.l1i_size_bytes / 1024);
+  set_u64("l2.size_kb", config.l2_bank.size_bytes / 1024);
+  set_u64("l2.ways", config.l2_bank.ways);
+  set_u64("l2.mshrs", config.l2_bank.mshrs);
+  set_u64("l2.banks_per_tile", config.l2_banks_per_tile);
+  set_u64("l2.hit_latency", config.l2_bank.hit_latency);
+  set_u64("l2.miss_latency", config.l2_bank.miss_latency);
+  map.set("l2.sharing", l2_sharing_name(config.l2_sharing));
+  map.set("l2.mapping", memhier::mapping_policy_name(config.mapping));
+  map.set("l2.prefetch",
+          config.l2_bank.prefetch == memhier::PrefetchPolicy::kNextLine
+              ? "next-line"
+              : "none");
+  set_u64("l2.prefetch_degree", config.l2_bank.prefetch_degree);
+  map.set("l2.replacement",
+          memhier::replacement_name(config.l2_bank.replacement));
+  map.set("noc.model", config.noc.model == memhier::NocModel::kMesh2D
+                           ? "mesh"
+                           : "crossbar");
+  set_u64("noc.latency", config.noc.crossbar_latency);
+  set_u64("noc.mesh_width", config.noc.mesh_width);
+  set_u64("noc.mesh_hop_latency", config.noc.mesh_hop_latency);
+  set_bool("llc.enable", config.llc.enable);
+  set_u64("llc.size_kb", config.llc.size_bytes / 1024);
+  set_u64("llc.ways", config.llc.ways);
+  set_u64("llc.hit_latency", config.llc.hit_latency);
+  set_u64("mc.count", config.num_mcs);
+  set_u64("mc.latency", config.mc.latency);
+  set_u64("mc.cycles_per_request", config.mc.cycles_per_request);
+  map.set("mc.model", config.mc.model == memhier::McModel::kDramRowBuffer
+                          ? "dram"
+                          : "fixed");
+  set_u64("sim.interleave_quantum", config.interleave_quantum);
+  set_bool("sim.fast_forward", config.fast_forward_idle);
+  set_bool("sim.batched_stepping", config.batched_stepping);
+  return map;
+}
+
+}  // namespace coyote::core

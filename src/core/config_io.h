@@ -1,0 +1,55 @@
+// The programmatic configuration surface: a bidirectional bridge between
+// SimConfig (the typed struct the Simulator consumes) and the flat dotted
+// `key=value` table users write on the command line, in sweep specs and in
+// results files. Extracted from the coyote_sim front end so that every
+// entry point — CLI, examples, tests, the sweep engine — drives the same
+// parameter table instead of re-implementing its own config plumbing.
+//
+// Round-trip guarantee: for any ConfigMap `m` accepted by config_from_map,
+//
+//   config_to_map(config_from_map(m))
+//
+// is a *complete* map (every knob present, values normalised) and a further
+// parse→emit cycle is a fixpoint: parse(emit(parse(m))) == parse(m).
+// Capacities speak kibibytes on the map side (`l2.size_kb`), so byte-level
+// SimConfig values that are not whole KiB cannot be expressed — the CLI
+// surface never produces them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "simfw/params.h"
+
+namespace coyote::core {
+
+/// One documented `key=value` knob: dotted path, default and help text.
+struct ConfigKeyInfo {
+  std::string key;            ///< dotted path, e.g. "l2.size_kb"
+  std::string default_value;  ///< rendered default, e.g. "256"
+  std::string description;
+};
+
+/// Every knob config_from_map understands, in stable (map) order. This is
+/// the single source of truth for `--help` text and for the round-trip
+/// property test: a key documented here is guaranteed to parse and to
+/// survive config_from_map ∘ config_to_map.
+const std::vector<ConfigKeyInfo>& config_keys();
+
+/// Renders the knob table as indented help text (one "key  default  desc"
+/// line per knob), shared by the coyote_sim and coyote_sweep front ends.
+std::string config_usage();
+
+/// Builds a validated SimConfig from dotted-path overrides. Unknown keys —
+/// wrong prefix or wrong leaf — throw ConfigError rather than being
+/// silently ignored, so sweep axes cannot typo away. Keys absent from the
+/// map take their documented defaults. Trace outputs (enable_trace,
+/// trace_basename) are not part of the map surface and stay at defaults.
+SimConfig config_from_map(const simfw::ConfigMap& map);
+
+/// Emits the complete, normalised map for `config` (every documented key
+/// present). Inverse of config_from_map under the guarantee above.
+simfw::ConfigMap config_to_map(const SimConfig& config);
+
+}  // namespace coyote::core

@@ -1,0 +1,85 @@
+#include "core/run_summary.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/config_io.h"
+
+namespace coyote::core {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RunResult::to_json(bool include_host_timing) const {
+  std::ostringstream os;
+  os << "{\"cycles\": " << cycles << ", \"instructions\": " << instructions
+     << ", \"all_exited\": " << (all_exited ? "true" : "false")
+     << ", \"hit_cycle_limit\": " << (hit_cycle_limit ? "true" : "false")
+     << ", \"exit_codes\": [";
+  for (std::size_t i = 0; i < exit_codes.size(); ++i) {
+    if (i) os << ", ";
+    os << exit_codes[i];
+  }
+  os << "]";
+  if (include_host_timing) {
+    os << ", \"wall_seconds\": " << format_double(wall_seconds)
+       << ", \"mips\": " << format_double(mips);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string run_summary_json(const std::string& workload,
+                             const Simulator& sim, const RunResult& result,
+                             bool include_host_timing) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema_version\": " << kRunSummarySchemaVersion << ",\n"
+     << "  \"kind\": \"run\",\n"
+     << "  \"workload\": \"" << json_escape(workload) << "\",\n"
+     << "  \"config\": {";
+  const simfw::ConfigMap map = config_to_map(sim.config());
+  bool first = true;
+  for (const auto& [key, value] : map.values()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << json_escape(key) << "\": \"" << json_escape(value)
+       << "\"";
+  }
+  os << "\n  },\n"
+     << "  \"result\": " << result.to_json(include_host_timing) << ",\n"
+     << "  \"stats\": " << sim.report(simfw::ReportFormat::kJson) << "}\n";
+  return os.str();
+}
+
+}  // namespace coyote::core

@@ -1,0 +1,37 @@
+// Versioned, machine-readable run summaries. One schema unifies the JSON
+// emitted by the coyote_sim front end (--json-out), the sweep engine's
+// per-point records and the bench harness, so downstream tooling parses a
+// single format:
+//
+//   {
+//     "schema_version": 1,
+//     "kind": "run",
+//     "workload": "<kernel or program path>",
+//     "config": { "<dotted key>": "<value>", ... },   // config_to_map
+//     "result": { "cycles": ..., "instructions": ..., ... },
+//     "stats":  { "<unit path>": { "<counter>": ..., ... }, ... }
+//   }
+//
+// Bump kRunSummarySchemaVersion on any incompatible change.
+#pragma once
+
+#include <string>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+
+namespace coyote::core {
+
+inline constexpr int kRunSummarySchemaVersion = 1;
+
+/// Escapes `text` for embedding inside a JSON string literal.
+std::string json_escape(const std::string& text);
+
+/// Builds the full summary document for one finished run. `sim` supplies
+/// the statistics tree; pass `include_host_timing=false` for reproducible
+/// output (drops wall_seconds/mips).
+std::string run_summary_json(const std::string& workload,
+                             const Simulator& sim, const RunResult& result,
+                             bool include_host_timing = true);
+
+}  // namespace coyote::core

@@ -33,6 +33,12 @@ struct RunResult {
   double wall_seconds = 0.0;
   /// Aggregate simulation throughput in million instructions per second.
   double mips = 0.0;
+
+  /// Renders the result as one JSON object. Simulated quantities (cycles,
+  /// instructions, exit state) are always present; `include_host_timing`
+  /// adds wall_seconds/mips, which vary run to run and are therefore
+  /// excluded from outputs that must be bit-reproducible (sweep tables).
+  std::string to_json(bool include_host_timing = true) const;
 };
 
 class Simulator {

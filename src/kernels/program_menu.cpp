@@ -1,0 +1,85 @@
+#include "kernels/program_menu.h"
+
+#include "common/error.h"
+#include "kernels/kernels.h"
+
+namespace coyote::kernels {
+
+const std::vector<std::string>& kernel_names() {
+  static const std::vector<std::string> names = {
+      "matmul_scalar", "matmul_vector", "spmv_scalar",   "spmv_row_gather",
+      "spmv_ell",      "spmv_two_phase", "stencil_scalar", "stencil_vector",
+      "stencil_sync",  "stencil2d",      "histogram",      "axpy",
+      "dot",           "fft"};
+  return names;
+}
+
+Program build_named_kernel(const std::string& name, std::uint32_t num_cores,
+                           std::uint64_t size, std::uint64_t seed,
+                           iss::SparseMemory& memory) {
+  if (name == "matmul_scalar" || name == "matmul_vector") {
+    const std::size_t n = size ? size : 96;
+    const auto workload = MatmulWorkload::generate(n, seed);
+    workload.install(memory);
+    return name == "matmul_scalar"
+               ? build_matmul_scalar(workload, num_cores)
+               : build_matmul_vector(workload, num_cores);
+  }
+  if (name.rfind("spmv_", 0) == 0) {
+    const std::size_t rows = size ? size : 8192;
+    const auto workload = SpmvWorkload::generate(
+        CsrMatrix::random(rows, rows, 16, seed), seed + 1);
+    workload.install(memory);
+    if (name == "spmv_scalar") return build_spmv_scalar(workload, num_cores);
+    if (name == "spmv_row_gather") {
+      return build_spmv_row_gather(workload, num_cores);
+    }
+    if (name == "spmv_ell") return build_spmv_ell(workload, num_cores);
+    if (name == "spmv_two_phase") {
+      return build_spmv_two_phase(workload, num_cores);
+    }
+    throw ConfigError(strfmt("unknown kernel '%s'", name.c_str()));
+  }
+  if (name == "stencil_scalar" || name == "stencil_vector") {
+    const std::size_t n = size ? size : (1 << 18);
+    const auto workload = StencilWorkload::generate(n, 1, seed);
+    workload.install(memory);
+    return name == "stencil_scalar"
+               ? build_stencil_scalar(workload, num_cores)
+               : build_stencil_vector(workload, num_cores);
+  }
+  if (name == "stencil_sync") {
+    const std::size_t n = size ? size : (1 << 16);
+    const auto workload = StencilWorkload::generate(n, 8, seed);
+    workload.install(memory);
+    return build_stencil_vector_sync(workload, num_cores);
+  }
+  if (name == "stencil2d") {
+    const std::size_t n = size ? size : 512;
+    const auto workload = Stencil2dWorkload::generate(n, n, seed);
+    workload.install(memory);
+    return build_stencil2d_vector(workload, num_cores);
+  }
+  if (name == "histogram") {
+    const std::size_t n = size ? size : (1 << 16);
+    const auto workload = HistogramWorkload::generate(n, 1024, 0.0, seed);
+    workload.install(memory);
+    return build_histogram_atomic(workload, num_cores);
+  }
+  if (name == "axpy" || name == "dot") {
+    const std::size_t n = size ? size : (1 << 18);
+    const auto workload = Blas1Workload::generate(n, seed);
+    workload.install(memory);
+    return name == "axpy" ? build_axpy_vector(workload, num_cores)
+                          : build_dot_vector(workload, num_cores);
+  }
+  if (name == "fft") {
+    const std::size_t n = size ? size : (1 << 14);
+    const auto workload = FftWorkload::generate(n, seed);
+    workload.install(memory);
+    return build_fft_scalar(workload, num_cores);
+  }
+  throw ConfigError(strfmt("unknown kernel '%s'", name.c_str()));
+}
+
+}  // namespace coyote::kernels

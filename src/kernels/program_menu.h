@@ -1,0 +1,31 @@
+// Name-driven kernel construction: the one place that maps a kernel name
+// ("spmv_row_gather", "stencil2d", ...) to workload generation + program
+// building. Extracted from the coyote_sim front end so that the CLI, the
+// sweep engine and examples all agree on what a kernel name means, which
+// default problem size it gets, and how its workload derives from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iss/memory.h"
+#include "kernels/program.h"
+
+namespace coyote::kernels {
+
+/// Every kernel name build_named_kernel accepts, in documentation order.
+const std::vector<std::string>& kernel_names();
+
+/// Generates the named kernel's workload deterministically from `seed`
+/// (`size == 0` selects the kernel's default problem size), installs it
+/// into `memory`, and returns the ready-to-load program partitioned over
+/// `num_cores`. Throws ConfigError for an unknown name. Pure apart from
+/// the writes into `memory`: safe to call concurrently on distinct
+/// memories, and identical arguments yield bit-identical programs and
+/// memory images.
+Program build_named_kernel(const std::string& name, std::uint32_t num_cores,
+                           std::uint64_t size, std::uint64_t seed,
+                           iss::SparseMemory& memory);
+
+}  // namespace coyote::kernels

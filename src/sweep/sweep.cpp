@@ -1,0 +1,232 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+#include "core/config_io.h"
+#include "core/run_summary.h"
+#include "kernels/program_menu.h"
+
+namespace coyote::sweep {
+
+SweepAxis axis_from_token(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+    throw ConfigError(strfmt("bad sweep token '%s' (want key=v1,v2,...)",
+                             token.c_str()));
+  }
+  SweepAxis axis;
+  axis.key = token.substr(0, eq);
+  std::string values = token.substr(eq + 1);
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = values.find(',', start);
+    const std::string value = values.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (value.empty()) {
+      throw ConfigError(strfmt("empty value in sweep axis '%s'",
+                               token.c_str()));
+    }
+    axis.values.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return axis;
+}
+
+std::vector<simfw::ConfigMap> SweepSpec::expand() const {
+  for (const SweepAxis& axis : axes) {
+    if (axis.values.empty()) {
+      throw ConfigError(strfmt("sweep axis '%s' has no values",
+                               axis.key.c_str()));
+    }
+  }
+  std::vector<simfw::ConfigMap> points;
+  // Odometer over the axes, last axis fastest — the order a nested loop
+  // over the axes in declaration order would visit.
+  std::vector<std::size_t> index(axes.size(), 0);
+  while (true) {
+    simfw::ConfigMap point = base;
+    for (std::size_t axis = 0; axis < axes.size(); ++axis) {
+      point.set(axes[axis].key, axes[axis].values[index[axis]]);
+    }
+    points.push_back(std::move(point));
+    bool rolled_over = true;
+    for (std::size_t digit = axes.size(); digit-- > 0;) {
+      if (++index[digit] < axes[digit].values.size()) {
+        rolled_over = false;
+        break;
+      }
+      index[digit] = 0;
+    }
+    if (rolled_over) break;  // no axes, or the odometer wrapped: grid done
+  }
+  for (const simfw::ConfigMap& extra : extra_points) {
+    simfw::ConfigMap point = base;
+    for (const auto& [key, value] : extra.values()) point.set(key, value);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::string PointResult::to_json(bool include_host_timing) const {
+  std::ostringstream os;
+  os << "{\"index\": " << index << ", \"ok\": " << (ok ? "true" : "false")
+     << ", \"attempts\": " << attempts << ", \"error\": ";
+  if (error.empty()) {
+    os << "null";
+  } else {
+    os << "\"" << core::json_escape(error) << "\"";
+  }
+  os << ", \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config.values()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << core::json_escape(key) << "\": \""
+       << core::json_escape(value) << "\"";
+  }
+  os << "}, \"result\": "
+     << (ok ? run.to_json(include_host_timing) : std::string("null"));
+  os << ", \"metrics\": {";
+  first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) os << ", ";
+    first = false;
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+    os << "\"" << core::json_escape(name) << "\": " << buffer;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::size_t SweepReport::num_ok() const {
+  std::size_t ok = 0;
+  for (const PointResult& point : points) ok += point.ok ? 1 : 0;
+  return ok;
+}
+
+const PointResult* SweepReport::best_by_cycles() const {
+  const PointResult* best = nullptr;
+  for (const PointResult& point : points) {
+    if (!point.ok) continue;
+    if (!best || point.run.cycles < best->run.cycles) best = &point;
+  }
+  return best;
+}
+
+std::string SweepReport::to_json(bool include_host_timing) const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema_version\": " << kSweepSchemaVersion << ",\n"
+     << "  \"kind\": \"sweep\",\n"
+     << "  \"workload\": \"" << core::json_escape(workload) << "\",\n"
+     << "  \"num_points\": " << points.size() << ",\n"
+     << "  \"num_failed\": " << num_failed() << ",\n"
+     << "  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << points[i].to_json(include_host_timing);
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
+                             const PointRunner& runner,
+                             std::string workload_label) const {
+  SweepReport report;
+  report.workload = std::move(workload_label);
+  report.points.resize(points.size());
+
+  // Shared-queue work distribution: one atomic cursor, workers pull the
+  // next unclaimed point. Results land in a slot per point, so the report
+  // is independent of which worker ran what and when.
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
+  std::mutex progress_mutex;
+
+  const std::uint32_t max_attempts =
+      options_.max_attempts ? options_.max_attempts : 1;
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      PointResult& point = report.points[i];
+      point.index = i;
+      point.config = points[i];
+      for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        ++point.attempts;
+        point.metrics.clear();
+        try {
+          const core::SimConfig config = core::config_from_map(point.config);
+          // Record the *complete* map so every row of the results table
+          // names its full design point, not just the swept keys.
+          point.config = core::config_to_map(config);
+          point.run = runner(config, point);
+          point.ok = true;
+          point.error.clear();
+          break;
+        } catch (const std::exception& e) {
+          point.ok = false;
+          point.error = e.what();
+        } catch (...) {
+          point.ok = false;
+          point.error = "unknown error";
+        }
+      }
+      const std::size_t now_done = done.fetch_add(1) + 1;
+      const std::size_t now_failed =
+          failed.fetch_add(point.ok ? 0 : 1) + (point.ok ? 0 : 1);
+      if (options_.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr, "\r[sweep] %zu/%zu points done, %zu failed%s",
+                     now_done, points.size(), now_failed,
+                     now_done == points.size() ? "\n" : "");
+        std::fflush(stderr);
+      }
+    }
+  };
+
+  unsigned jobs = options_.jobs ? options_.jobs
+                                : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (jobs > points.size()) jobs = static_cast<unsigned>(points.size());
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  return report;
+}
+
+SweepReport SweepEngine::run(const SweepSpec& spec) const {
+  const Cycle max_cycles = options_.max_cycles;
+  const auto& collect = options_.collect;
+  const auto runner = [&spec, max_cycles, &collect](
+                          const core::SimConfig& config, PointResult& point) {
+    core::Simulator sim(config);
+    const kernels::Program program = kernels::build_named_kernel(
+        spec.kernel, config.num_cores, spec.size, spec.seed, sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
+    const core::RunResult result = sim.run(max_cycles);
+    if (!result.all_exited) {
+      throw SimError(result.hit_cycle_limit
+                         ? "point hit the cycle budget before completion"
+                         : "point stalled before completion");
+    }
+    if (collect) collect(sim, point);
+    return result;
+  };
+  return run(spec.expand(), runner, spec.kernel);
+}
+
+}  // namespace coyote::sweep

@@ -1,0 +1,133 @@
+// Parallel design-space sweep engine — the programmatic face of the
+// paper's headline use case (§I, §III: "fast and flexible tool for HPC
+// design space exploration"). A sweep is a set of configuration points
+// (a base ConfigMap, cartesian axes over any documented config key, and
+// optional explicit points); the engine runs each point as an independent
+// Simulator on a host thread pool, isolates failures, and aggregates the
+// outcomes into a versioned, machine-readable results table.
+//
+// Determinism contract: per-point results are a pure function of the point
+// itself — Simulator instances share no mutable state (see DESIGN.md),
+// workloads regenerate from the spec seed, and host-side scheduling only
+// decides *when* a point runs, never *what* it computes. An N-point sweep
+// at jobs=8 therefore produces a bit-identical report (host timings
+// excluded) to the same sweep at jobs=1; tests/test_sweep.cpp and the CI
+// ThreadSanitizer job enforce this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "simfw/params.h"
+
+namespace coyote::sweep {
+
+/// Schema of SweepReport::to_json; bump on incompatible change.
+inline constexpr int kSweepSchemaVersion = 1;
+
+/// One swept dimension: a config key and the values it takes.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses one "key=v1,v2,v3" token into an axis (a single value is a
+/// one-point axis, i.e. a plain override). Throws ConfigError on bad shape.
+SweepAxis axis_from_token(const std::string& token);
+
+/// A sweep campaign: which kernel to run and which config points to visit.
+struct SweepSpec {
+  std::string kernel = "matmul_scalar";
+  std::uint64_t size = 0;    ///< problem size; 0 = kernel default
+  std::uint64_t seed = 2024; ///< workload seed, shared by every point
+
+  /// Overrides applied to every point (defaults for unlisted keys).
+  simfw::ConfigMap base;
+  /// Cartesian axes: the grid is the product of all axis value lists,
+  /// overlaid on `base` in axis order.
+  std::vector<SweepAxis> axes;
+  /// Explicit extra points, each overlaid on `base`.
+  std::vector<simfw::ConfigMap> extra_points;
+
+  /// Expands the grid + extras into the ordered point list the engine
+  /// visits. Deterministic: axis order × value order, then extras.
+  std::vector<simfw::ConfigMap> expand() const;
+};
+
+/// Outcome of one configuration point.
+struct PointResult {
+  std::size_t index = 0;        ///< position in SweepSpec::expand() order
+  simfw::ConfigMap config;      ///< complete normalised map (config_to_map)
+  bool ok = false;
+  std::uint32_t attempts = 0;   ///< 1 on first-try success
+  std::string error;            ///< last failure message when !ok
+  core::RunResult run;          ///< valid when ok
+  /// Named scalar metrics captured by the collect hook (miss rates, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  std::string to_json(bool include_host_timing = false) const;
+};
+
+/// Aggregated campaign outcome.
+struct SweepReport {
+  std::string workload;            ///< kernel name or custom label
+  std::vector<PointResult> points; ///< in expand() order, all points
+  std::size_t num_ok() const;
+  std::size_t num_failed() const { return points.size() - num_ok(); }
+  /// Fastest successful point by simulated cycles; nullptr if none.
+  const PointResult* best_by_cycles() const;
+  /// The versioned results table ({"schema_version": 1, "kind": "sweep", ...}).
+  /// Deterministic across jobs counts when host timings are excluded.
+  std::string to_json(bool include_host_timing = false) const;
+};
+
+class SweepEngine {
+ public:
+  struct Options {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    unsigned jobs = 0;
+    /// Runs per point before recording it as failed.
+    std::uint32_t max_attempts = 2;
+    /// Per-point simulated-cycle budget; a point that hits it fails.
+    Cycle max_cycles = ~Cycle{0};
+    /// Live "\r[sweep] done/total" line on stderr.
+    bool progress = false;
+    /// Kernel-mode hook run after each successful point (on the worker
+    /// thread, one caller at a time per point) to harvest statistics from
+    /// the finished machine into PointResult::metrics. Must be thread-safe
+    /// with respect to itself and must derive metrics only from `sim` and
+    /// the result, or determinism across jobs counts is lost.
+    std::function<void(core::Simulator& sim, PointResult& point)> collect;
+  };
+
+  /// A custom per-point body: build/run whatever `config` means and return
+  /// the RunResult. Runs on a worker thread; may record metrics.
+  using PointRunner =
+      std::function<core::RunResult(const core::SimConfig& config,
+                                    PointResult& point)>;
+
+  SweepEngine() = default;
+  explicit SweepEngine(Options options) : options_(std::move(options)) {}
+
+  /// Kernel mode: each point parses via core::config_from_map, builds the
+  /// spec's kernel (workload regenerated from spec.seed) and runs to
+  /// completion. A throwing point is retried, then recorded failed — the
+  /// campaign always finishes.
+  SweepReport run(const SweepSpec& spec) const;
+
+  /// Custom mode: the caller supplies the per-point body (used by examples
+  /// that share a pre-generated workload or rank bespoke metrics).
+  SweepReport run(std::vector<simfw::ConfigMap> points,
+                  const PointRunner& runner,
+                  std::string workload_label = "custom") const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace coyote::sweep

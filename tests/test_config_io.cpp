@@ -1,0 +1,189 @@
+// Property tests for the programmatic config surface (core/config_io.h):
+// every documented key maps to a knob, and the parse→emit→parse cycle is a
+// fixpoint — the round-trip guarantee the sweep engine and the results
+// tables rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/config_io.h"
+#include "core/simulator.h"
+#include "kernels/program_menu.h"
+
+namespace coyote::core {
+namespace {
+
+/// A non-default, still-valid override for every documented key. The
+/// coverage assertion below forces this table to grow whenever a knob is
+/// added, so new keys cannot ship without round-trip coverage.
+const std::map<std::string, std::string>& alternate_values() {
+  static const std::map<std::string, std::string> values = {
+      {"topo.cores", "12"},
+      {"topo.cores_per_tile", "4"},
+      {"core.vlen_bits", "256"},
+      {"core.l1d_kb", "16"},
+      {"core.l1i_kb", "64"},
+      {"l2.size_kb", "512"},
+      {"l2.ways", "8"},
+      {"l2.mshrs", "32"},
+      {"l2.banks_per_tile", "4"},
+      {"l2.hit_latency", "10"},
+      {"l2.miss_latency", "6"},
+      {"l2.sharing", "private"},
+      {"l2.mapping", "page-to-bank"},
+      {"l2.prefetch", "next-line"},
+      {"l2.prefetch_degree", "3"},
+      {"l2.replacement", "fifo"},
+      {"noc.model", "mesh"},
+      {"noc.latency", "9"},
+      {"noc.mesh_width", "2"},
+      {"noc.mesh_hop_latency", "2"},
+      {"llc.enable", "true"},
+      {"llc.size_kb", "4096"},
+      {"llc.ways", "8"},
+      {"llc.hit_latency", "25"},
+      {"mc.count", "4"},
+      {"mc.latency", "150"},
+      {"mc.cycles_per_request", "8"},
+      {"mc.model", "dram"},
+      {"sim.interleave_quantum", "16"},
+      {"sim.fast_forward", "true"},
+      {"sim.batched_stepping", "false"},
+  };
+  return values;
+}
+
+TEST(ConfigIo, DocumentedKeysAreNonEmptyAndDescribed) {
+  ASSERT_FALSE(config_keys().empty());
+  for (const ConfigKeyInfo& info : config_keys()) {
+    EXPECT_NE(info.key.find('.'), std::string::npos) << info.key;
+    EXPECT_FALSE(info.default_value.empty()) << info.key;
+    EXPECT_FALSE(info.description.empty()) << info.key;
+    EXPECT_NE(config_usage().find(info.key), std::string::npos)
+        << info.key << " missing from --help text";
+  }
+}
+
+TEST(ConfigIo, AlternateTableCoversEveryDocumentedKey) {
+  const auto& table = alternate_values();
+  EXPECT_EQ(table.size(), config_keys().size());
+  for (const ConfigKeyInfo& info : config_keys()) {
+    ASSERT_TRUE(table.count(info.key))
+        << "no alternate value for documented key " << info.key
+        << " — extend alternate_values() when adding config knobs";
+    EXPECT_NE(table.at(info.key), info.default_value)
+        << info.key << ": alternate must differ from the default";
+  }
+}
+
+TEST(ConfigIo, DefaultsRoundTripAsFixpoint) {
+  // An empty map takes every documented default and emits them all back.
+  const simfw::ConfigMap emitted =
+      config_to_map(config_from_map(simfw::ConfigMap{}));
+  EXPECT_EQ(emitted.values().size(), config_keys().size());
+  for (const ConfigKeyInfo& info : config_keys()) {
+    EXPECT_EQ(emitted.get(info.key), info.default_value) << info.key;
+  }
+  const simfw::ConfigMap again = config_to_map(config_from_map(emitted));
+  EXPECT_EQ(emitted.values(), again.values());
+  // A struct-default SimConfig (1 core — the library default, distinct
+  // from the CLI's 8) also round-trips as a fixpoint.
+  const simfw::ConfigMap structural = config_to_map(SimConfig{});
+  EXPECT_EQ(structural.values(),
+            config_to_map(config_from_map(structural)).values());
+}
+
+TEST(ConfigIo, EveryKeySurvivesRoundTripWithNonDefaultValue) {
+  for (const ConfigKeyInfo& info : config_keys()) {
+    simfw::ConfigMap map;
+    map.set(info.key, alternate_values().at(info.key));
+    const SimConfig parsed = config_from_map(map);
+    const simfw::ConfigMap emitted = config_to_map(parsed);
+    EXPECT_EQ(emitted.get(info.key), alternate_values().at(info.key))
+        << info.key << " did not survive parse -> emit";
+    const simfw::ConfigMap again = config_to_map(config_from_map(emitted));
+    EXPECT_EQ(emitted.values(), again.values())
+        << info.key << ": parse -> emit -> parse is not a fixpoint";
+  }
+}
+
+TEST(ConfigIo, AllAlternatesTogetherRoundTrip) {
+  simfw::ConfigMap map;
+  for (const auto& [key, value] : alternate_values()) map.set(key, value);
+  const simfw::ConfigMap emitted = config_to_map(config_from_map(map));
+  EXPECT_EQ(emitted.values(), map.values());
+}
+
+TEST(ConfigIo, CoresKnobDrivesTopology) {
+  simfw::ConfigMap map;
+  map.set("topo.cores", "16");
+  map.set("topo.cores_per_tile", "4");
+  const SimConfig config = config_from_map(map);
+  EXPECT_EQ(config.num_cores, 16u);
+  EXPECT_EQ(config.num_tiles(), 4u);
+}
+
+TEST(ConfigIo, UnknownKeysThrowInsteadOfBeingIgnored) {
+  {
+    simfw::ConfigMap map;
+    map.set("l2.sizekb", "1");  // typo'd leaf
+    EXPECT_THROW(config_from_map(map), ConfigError);
+  }
+  {
+    simfw::ConfigMap map;
+    map.set("llx.size_kb", "1");  // typo'd group
+    EXPECT_THROW(config_from_map(map), ConfigError);
+  }
+  {
+    simfw::ConfigMap map;
+    map.set("cores", "8");  // missing group
+    EXPECT_THROW(config_from_map(map), ConfigError);
+  }
+}
+
+TEST(ConfigIo, InvalidValuesThrow) {
+  const auto reject = [](const char* key, const char* value) {
+    simfw::ConfigMap map;
+    map.set(key, value);
+    EXPECT_THROW(config_from_map(map), ConfigError) << key << "=" << value;
+  };
+  reject("l2.sharing", "both");
+  reject("l2.mapping", "diagonal");
+  reject("l2.prefetch", "always");
+  reject("l2.replacement", "plru");
+  reject("noc.model", "torus");
+  reject("mc.model", "hbm");
+  reject("llc.enable", "maybe");
+  reject("topo.cores", "0");           // SimConfig::validate
+  reject("sim.interleave_quantum", "0");
+}
+
+TEST(ConfigIo, ParsedConfigBuildsAndRunsDeterministically) {
+  // The alternate design point is a valid machine end to end, and parsing
+  // the emitted map reproduces it bit-for-bit in simulated time.
+  simfw::ConfigMap map;
+  map.set("topo.cores", "4");
+  map.set("topo.cores_per_tile", "2");
+  map.set("core.l1d_kb", "4");
+  map.set("l2.size_kb", "8");
+  map.set("l2.mapping", "page-to-bank");
+  map.set("llc.enable", "true");
+  map.set("llc.size_kb", "64");
+  const auto run_cycles = [](const SimConfig& config) {
+    Simulator sim(config);
+    const auto program = kernels::build_named_kernel(
+        "matmul_scalar", config.num_cores, 16, 11, sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
+    const auto result = sim.run(100'000'000);
+    EXPECT_TRUE(result.all_exited);
+    return result.cycles;
+  };
+  const SimConfig first = config_from_map(map);
+  const SimConfig second = config_from_map(config_to_map(first));
+  EXPECT_EQ(run_cycles(first), run_cycles(second));
+  EXPECT_EQ(config_to_map(first).values(), config_to_map(second).values());
+}
+
+}  // namespace
+}  // namespace coyote::core

@@ -1,0 +1,194 @@
+// Sweep-engine contract tests: grid expansion, failure isolation, and the
+// headline determinism guarantee — a multi-threaded sweep produces a
+// bit-identical results table to a serial one. The CI ThreadSanitizer job
+// runs this binary to prove the parallel path is also race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "core/config_io.h"
+#include "sweep/sweep.h"
+
+namespace coyote::sweep {
+namespace {
+
+/// A small but real campaign: 2x2x2 grid + one explicit point = 9 points
+/// of a 4-core matmul, small enough for CI, varied enough that different
+/// points take different times (stealing actually interleaves).
+SweepEngine::Options with_jobs(unsigned jobs) {
+  SweepEngine::Options options;
+  options.jobs = jobs;
+  return options;
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 20;
+  spec.seed = 17;
+  spec.base.set("topo.cores", "4");
+  spec.base.set("topo.cores_per_tile", "2");
+  spec.base.set("core.l1d_kb", "4");
+  spec.axes = {
+      {"l2.size_kb", {"8", "16"}},
+      {"l2.banks_per_tile", {"1", "2"}},
+      {"l2.mapping", {"set-interleave", "page-to-bank"}},
+  };
+  simfw::ConfigMap extra;
+  extra.set("noc.latency", "32");
+  spec.extra_points.push_back(extra);
+  return spec;
+}
+
+TEST(SweepSpec, AxisFromTokenParsesValueLists) {
+  const SweepAxis axis = axis_from_token("l2.size_kb=128,256,512");
+  EXPECT_EQ(axis.key, "l2.size_kb");
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"128", "256", "512"}));
+  EXPECT_EQ(axis_from_token("l2.sharing=private").values.size(), 1u);
+  EXPECT_THROW(axis_from_token("novalue"), ConfigError);
+  EXPECT_THROW(axis_from_token("key="), ConfigError);
+  EXPECT_THROW(axis_from_token("key=a,,b"), ConfigError);
+}
+
+TEST(SweepSpec, ExpandIsTheOrderedCartesianProductPlusExtras) {
+  const SweepSpec spec = small_spec();
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u * 2u * 2u + 1u);
+  // Last axis fastest: first two points differ only in l2.mapping.
+  EXPECT_EQ(points[0].get("l2.mapping"), "set-interleave");
+  EXPECT_EQ(points[1].get("l2.mapping"), "page-to-bank");
+  EXPECT_EQ(points[0].get("l2.size_kb"), points[1].get("l2.size_kb"));
+  // First axis slowest: second half of the grid has the larger L2.
+  EXPECT_EQ(points[0].get("l2.size_kb"), "8");
+  EXPECT_EQ(points[4].get("l2.size_kb"), "16");
+  // Base overrides reach every point; the extra point overlays the base.
+  for (const auto& point : points) {
+    EXPECT_EQ(point.get("topo.cores"), "4");
+  }
+  EXPECT_EQ(points.back().get("noc.latency"), "32");
+  // All points distinct.
+  std::set<std::map<std::string, std::string>> unique;
+  for (const auto& point : points) unique.insert(point.values());
+  EXPECT_EQ(unique.size(), points.size());
+}
+
+TEST(SweepEngine, ParallelSweepBitIdenticalToSerial) {
+  const SweepSpec spec = small_spec();
+  SweepEngine::Options serial;
+  serial.jobs = 1;
+  SweepEngine::Options parallel;
+  parallel.jobs = 4;
+  const SweepReport a = SweepEngine(serial).run(spec);
+  const SweepReport b = SweepEngine(parallel).run(spec);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.num_failed(), 0u);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_TRUE(a.points[i].ok) << i;
+    EXPECT_EQ(a.points[i].run.cycles, b.points[i].run.cycles) << i;
+    EXPECT_EQ(a.points[i].run.instructions, b.points[i].run.instructions)
+        << i;
+    EXPECT_EQ(a.points[i].config.values(), b.points[i].config.values()) << i;
+    EXPECT_EQ(a.points[i].to_json(), b.points[i].to_json()) << i;
+  }
+  // The whole table — the artefact users diff — matches byte for byte.
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(SweepEngine, PointsVisitDistinctConfigsAndRankDeterministically) {
+  const SweepReport report = SweepEngine(with_jobs(2)).run(small_spec());
+  const PointResult* best = report.best_by_cycles();
+  ASSERT_NE(best, nullptr);
+  for (const PointResult& point : report.points) {
+    if (point.ok) {
+      EXPECT_GE(point.run.cycles, best->run.cycles);
+    }
+  }
+}
+
+TEST(SweepEngine, ThrowingPointIsRecordedNotFatal) {
+  SweepSpec spec = small_spec();
+  spec.axes = {
+      {"l2.size_kb", {"8", "16"}},
+      // "bogus" fails config_from_map; the campaign must survive it.
+      {"l2.sharing", {"shared", "bogus"}},
+  };
+  spec.extra_points.clear();
+  SweepEngine::Options options;
+  options.jobs = 4;
+  options.max_attempts = 2;
+  const SweepReport report = SweepEngine(options).run(spec);
+  ASSERT_EQ(report.points.size(), 4u);
+  EXPECT_EQ(report.num_failed(), 2u);
+  for (const PointResult& point : report.points) {
+    if (!point.ok) {
+      // Failed points keep the raw (unnormalisable) config so the table
+      // still names what was attempted.
+      EXPECT_EQ(point.config.get("l2.sharing"), "bogus");
+      EXPECT_EQ(point.attempts, 2u);
+      EXPECT_NE(point.error.find("l2.sharing"), std::string::npos);
+      EXPECT_NE(point.to_json().find("\"result\": null"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(point.config.get("l2.sharing"), "shared");
+      EXPECT_EQ(point.attempts, 1u);
+      EXPECT_TRUE(point.error.empty());
+    }
+  }
+}
+
+TEST(SweepEngine, CycleBudgetFailsPointInsteadOfHanging) {
+  SweepSpec spec = small_spec();
+  spec.axes.clear();
+  spec.extra_points.clear();
+  SweepEngine::Options options;
+  options.jobs = 1;
+  options.max_attempts = 1;
+  options.max_cycles = 10;  // nothing finishes in 10 cycles
+  const SweepReport report = SweepEngine(options).run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.num_failed(), 1u);
+  EXPECT_NE(report.points[0].error.find("cycle budget"), std::string::npos);
+}
+
+TEST(SweepEngine, CustomRunnerModeCarriesMetrics) {
+  std::vector<simfw::ConfigMap> points(3);
+  points[1].set("topo.cores", "2");
+  std::atomic<int> calls{0};
+  const auto runner = [&calls](const core::SimConfig& config,
+                               PointResult& point) {
+    ++calls;
+    point.metrics.emplace_back("cores", config.num_cores);
+    core::RunResult result;
+    result.cycles = 100 + config.num_cores;
+    result.all_exited = true;
+    return result;
+  };
+  const SweepReport report =
+      SweepEngine(with_jobs(3)).run(std::move(points), runner, "custom-label");
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(report.workload, "custom-label");
+  ASSERT_EQ(report.points.size(), 3u);
+  EXPECT_EQ(report.points[1].run.cycles, 102u);
+  EXPECT_EQ(report.points[1].metrics.front().second, 2.0);
+  EXPECT_NE(report.to_json().find("\"schema_version\": 1"),
+            std::string::npos);
+  EXPECT_NE(report.to_json().find("\"kind\": \"sweep\""), std::string::npos);
+}
+
+TEST(SweepReport, JsonExcludesHostTimingByDefault) {
+  SweepSpec spec = small_spec();
+  spec.axes.clear();
+  spec.extra_points.clear();
+  const SweepReport report = SweepEngine(with_jobs(1)).run(spec);
+  const std::string table = report.to_json();
+  EXPECT_EQ(table.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(table.find("mips"), std::string::npos);
+  const std::string with_host = report.to_json(/*include_host_timing=*/true);
+  EXPECT_NE(with_host.find("wall_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coyote::sweep
