@@ -38,6 +38,7 @@ struct ConfigParams {
     l2.add("prefetch", std::string("none"), "none|next-line");
     l2.add("prefetch_degree", std::uint64_t{1}, "lines fetched ahead");
     l2.add("replacement", std::string("lru"), "lru|fifo|random");
+    l2.add("coherence", std::string("none"), "none|mesi (L1 coherence)");
     noc.add("model", std::string("crossbar"), "crossbar|mesh");
     noc.add("latency", std::uint64_t{4}, "crossbar latency");
     noc.add("mesh_width", std::uint64_t{4}, "mesh columns");
@@ -80,6 +81,11 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->to_string(),
                                     param->description()});
       }
+    }
+    // l2.coherence postdates the frozen sweep/results tables; omitting it
+    // at its default keeps those outputs byte-stable (see ConfigKeyInfo).
+    for (ConfigKeyInfo& info : out) {
+      if (info.key == "l2.coherence") info.emit_when_default = false;
     }
     return out;
   }();
@@ -164,6 +170,14 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
   }
   config.l2_bank.prefetch_degree = static_cast<std::uint32_t>(
       params.l2.as<std::uint64_t>("prefetch_degree"));
+  const std::string coherence = params.l2.as<std::string>("coherence");
+  if (coherence == "none") {
+    config.coherence = Coherence::kNone;
+  } else if (coherence == "mesi") {
+    config.coherence = Coherence::kMesi;
+  } else {
+    throw ConfigError("l2.coherence must be none|mesi");
+  }
   const std::string replacement = params.l2.as<std::string>("replacement");
   if (replacement == "lru") {
     config.l2_bank.replacement = memhier::Replacement::kLru;
@@ -241,6 +255,9 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   set_u64("l2.prefetch_degree", config.l2_bank.prefetch_degree);
   map.set("l2.replacement",
           memhier::replacement_name(config.l2_bank.replacement));
+  if (config.coherence != Coherence::kNone) {
+    map.set("l2.coherence", coherence_name(config.coherence));
+  }
   map.set("noc.model", config.noc.model == memhier::NocModel::kMesh2D
                            ? "mesh"
                            : "crossbar");

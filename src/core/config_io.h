@@ -29,6 +29,10 @@ struct ConfigKeyInfo {
   std::string key;            ///< dotted path, e.g. "l2.size_kb"
   std::string default_value;  ///< rendered default, e.g. "256"
   std::string description;
+  /// When false, config_to_map omits the key while it still holds its
+  /// default. Used by knobs added after results tables were frozen
+  /// (l2.coherence), so historical sweep outputs stay byte-stable.
+  bool emit_when_default = true;
 };
 
 /// Every knob config_from_map understands, in stable (map) order. This is
@@ -49,7 +53,8 @@ std::string config_usage();
 SimConfig config_from_map(const simfw::ConfigMap& map);
 
 /// Emits the complete, normalised map for `config` (every documented key
-/// present). Inverse of config_from_map under the guarantee above.
+/// present, except keys marked !emit_when_default that still hold their
+/// default). Inverse of config_from_map under the guarantee above.
 simfw::ConfigMap config_to_map(const SimConfig& config);
 
 }  // namespace coyote::core

@@ -33,6 +33,12 @@ Orchestrator::Orchestrator(simfw::Unit* parent, const SimConfig& config,
       fast_forwarded_cycles_(stats().counter(
           "fast_forwarded_cycles",
           "cycles skipped while every live core was stalled")) {
+  coherent_ = config.coherence == Coherence::kMesi;
+  if (coherent_) {
+    probes_delivered_ = &stats().counter(
+        "coh_probes_delivered",
+        "invalidation/downgrade probes delivered to L1s");
+  }
   req_out_.reserve(banks->size());
   for (BankId bank = 0; bank < banks->size(); ++bank) {
     req_out_.push_back(std::make_unique<simfw::DataOutPort<MemRequest>>(
@@ -72,13 +78,16 @@ BankId Orchestrator::bank_for(CoreId core, Addr line_addr) const {
 
 void Orchestrator::route_request(CoreId core,
                                  const iss::LineRequest& request) {
-  MemOp op = MemOp::kLoad;
+  // In MESI mode data misses become directory transactions; instruction
+  // fetches and writebacks keep their plain ops (the L1I is read-only and
+  // stays outside the protocol).
+  MemOp op = coherent_ ? MemOp::kGetS : MemOp::kLoad;
   if (request.is_writeback) {
     op = MemOp::kWriteback;
   } else if (request.is_ifetch) {
     op = MemOp::kIFetch;
   } else if (request.is_store) {
-    op = MemOp::kStore;
+    op = coherent_ ? MemOp::kGetM : MemOp::kStore;
   }
   const BankId bank = bank_for(core, request.line_addr);
   const TileId src_tile = tile_of_core(core);
@@ -97,6 +106,11 @@ void Orchestrator::route_request(CoreId core,
 }
 
 void Orchestrator::on_response(const MemResponse& response) {
+  if (response.op == MemOp::kInv || response.op == MemOp::kDowngrade) {
+    // Directory probe, not a fill: must never reactivate a stalled core.
+    handle_probe(response);
+    return;
+  }
   ++fills_;
   iss::CoreModel& core = *(*cores_)[response.core];
   if (trace_ != nullptr) {
@@ -104,7 +118,7 @@ void Orchestrator::on_response(const MemResponse& response) {
                    response.line_addr);
   }
   writeback_buffer_.clear();
-  core.fill(response.line_addr, writeback_buffer_);
+  core.fill(response.line_addr, response.grant, writeback_buffer_);
   for (const iss::LineRequest& writeback : writeback_buffer_) {
     route_request(response.core, writeback);
   }
@@ -123,6 +137,28 @@ void Orchestrator::on_response(const MemResponse& response) {
     core_states_[response.core] = CoreState::kActive;
     ++active_cores_;
   }
+}
+
+void Orchestrator::handle_probe(const MemResponse& probe) {
+  const bool to_shared = probe.op == MemOp::kDowngrade;
+  iss::CoreModel& core = *(*cores_)[probe.core];
+  const bool dirty = core.coherence_probe(probe.line_addr, to_shared);
+  ++*probes_delivered_;
+  if (trace_ != nullptr) {
+    trace_->record(scheduler().now(), probe.core, TraceEvent::kCohInv,
+                   probe.line_addr);
+  }
+  // Ack back to the probing bank (the same bank that serves this line for
+  // this core); a dirty copy travels home folded into the ack.
+  const BankId bank = bank_for(probe.core, probe.line_addr);
+  const TileId src_tile = tile_of_core(probe.core);
+  const std::size_t route =
+      static_cast<std::size_t>(src_tile) * num_l2_banks_ + bank;
+  noc_->record_traversal(req_hops_[route]);
+  req_out_[bank]->send(
+      MemRequest{probe.line_addr, to_shared ? MemOp::kWbAck : MemOp::kInvAck,
+                 probe.core, src_tile, bank, dirty},
+      req_delay_[route]);
 }
 
 void Orchestrator::step_single_active(Cycle stop_cycle,

@@ -78,6 +78,9 @@ class Orchestrator : public simfw::Unit {
 
   void route_request(CoreId core, const iss::LineRequest& request);
   void on_response(const memhier::MemResponse& response);
+  /// Delivers a directory probe (kInv / kDowngrade) to the target L1 and
+  /// sends the ack back to the probing bank.
+  void handle_probe(const memhier::MemResponse& probe);
 
   /// Fast path for quantum == 1 with exactly one runnable core: retires a
   /// whole block of instructions (bounded by the next scheduled event and
@@ -123,6 +126,10 @@ class Orchestrator : public simfw::Unit {
   simfw::Counter& l1_miss_requests_;
   simfw::Counter& fills_;
   simfw::Counter& fast_forwarded_cycles_;
+
+  bool coherent_ = false;  ///< SimConfig::coherence == kMesi
+  /// Registered only in MESI mode so the stats tree is unchanged otherwise.
+  simfw::Counter* probes_delivered_ = nullptr;
 };
 
 }  // namespace coyote::core

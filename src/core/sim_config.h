@@ -27,6 +27,18 @@ inline const char* l2_sharing_name(L2Sharing sharing) {
   return sharing == L2Sharing::kShared ? "shared" : "private";
 }
 
+/// Inter-L1 coherence model. kNone reproduces the paper's original
+/// idealization (private L1s, no coherence traffic); kMesi adds a
+/// directory-based MESI write-invalidate protocol in the L2 banks.
+enum class Coherence : std::uint8_t {
+  kNone,
+  kMesi,
+};
+
+inline const char* coherence_name(Coherence coherence) {
+  return coherence == Coherence::kMesi ? "mesi" : "none";
+}
+
 struct SimConfig {
   // ----- topology -----
   std::uint32_t num_cores = 1;
@@ -40,6 +52,10 @@ struct SimConfig {
   L2Sharing l2_sharing = L2Sharing::kShared;
   memhier::L2BankConfig l2_bank;
   memhier::MappingPolicy mapping = memhier::MappingPolicy::kSetInterleave;
+  /// Default kNone keeps seed behaviour (and all baselines) bit-identical.
+  /// With l2_sharing == kPrivate the directory scope is the tile: only
+  /// intra-tile sharers are tracked; cross-tile sharing stays idealized.
+  Coherence coherence = Coherence::kNone;
 
   // ----- interconnect and memory -----
   memhier::NocConfig noc;
@@ -109,6 +125,11 @@ struct SimConfig {
     if (llc.enable && llc.line_bytes != core.line_bytes) {
       throw ConfigError(strfmt("SimConfig: LLC line (%u) != L1 line (%u)",
                                llc.line_bytes, core.line_bytes));
+    }
+    if (coherence == Coherence::kMesi && num_cores > 64) {
+      throw ConfigError(
+          "SimConfig: coherence=mesi supports at most 64 cores "
+          "(directory sharer bitmask)");
     }
   }
 };

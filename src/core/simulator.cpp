@@ -38,6 +38,14 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
         std::make_unique<simfw::Unit>(root_.get(), strfmt("tile%u", tile)));
   }
 
+  // Coherence wiring: derived flags pushed into the core and bank configs
+  // before either is constructed (same pattern as the prefetch stride).
+  const bool coherent = config_.coherence == Coherence::kMesi;
+  config_.core.coherent = coherent;
+  config_.l2_bank.coherent = coherent;
+  config_.l2_bank.num_cores = config_.num_cores;
+  config_.l2_bank.cores_per_tile = config_.cores_per_tile;
+
   cores_.reserve(config_.num_cores);
   for (CoreId id = 0; id < config_.num_cores; ++id) {
     cores_.push_back(
@@ -130,6 +138,17 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
                     live(&iss::CoreCounters::fp_instructions));
     stats.statistic("amo_instructions", "atomic instructions retired",
                     live(&iss::CoreCounters::amo_instructions));
+    if (config_.coherence == Coherence::kMesi) {
+      // Registered only in MESI mode so reports under coherence=none are
+      // byte-identical to the pre-coherence tool.
+      stats.statistic("coh_upgrades", "stores upgrading a Shared line",
+                      live(&iss::CoreCounters::coh_upgrades));
+      stats.statistic("coh_invalidations", "kInv probes that hit this L1D",
+                      live(&iss::CoreCounters::coh_invalidations));
+      stats.statistic("coh_downgrades",
+                      "kDowngrade probes that hit this L1D",
+                      live(&iss::CoreCounters::coh_downgrades));
+    }
     stats.statistic("l1d_miss_rate", "L1D misses / accesses", [core]() {
       const auto& counters = core->counters();
       return counters.l1d_accesses == 0

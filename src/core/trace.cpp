@@ -77,6 +77,8 @@ void ParaverTraceWriter::finish(Cycle total_cycles) {
     emit(TraceEvent::kRawStall, "Coyote RAW stall (value: stalled cycles)");
     emit(TraceEvent::kL2MissFill, "Coyote fill (value: line address)");
     emit(TraceEvent::kInstrRetired, "Coyote retired (value: instructions)");
+    emit(TraceEvent::kCohInv,
+         "Coyote coherence invalidation (value: line address)");
   }
   // ----- .row -----
   {

@@ -24,6 +24,8 @@ enum class TraceEvent : std::uint32_t {
   kRawStall = 42001003,
   kL2MissFill = 42001004,  ///< fill observed by the core (service completed)
   kInstrRetired = 42001005,
+  kCohInv = 42001006,  ///< coherence probe delivered to the core's L1
+
 };
 
 /// Paraver thread-state values (record type 1).

@@ -1,5 +1,7 @@
 #include "iss/core_model.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace coyote::iss {
@@ -201,7 +203,28 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
       for (; line <= last_line; line += config_.line_bytes) {
         ++counters_.l1d_accesses;
         if (l1d_.lookup(line)) {
-          if (access.is_store) l1d_.mark_dirty(line);
+          if (access.is_store) {
+            if (config_.coherent) {
+              const memhier::CohState state = l1d_.coh_state(line);
+              if (state == memhier::CohState::kShared) {
+                // Upgrade miss: the line stays readable but the store needs
+                // Modified permission — emit a GetM and dirty on its fill.
+                ++counters_.coh_upgrades;
+                auto [it, inserted] = outstanding_.try_emplace(line);
+                it->second.data = true;
+                it->second.dirty_on_fill = true;
+                if (inserted) {
+                  out.requests.push_back(LineRequest{line, true, false, false});
+                }
+                continue;
+              }
+              if (state == memhier::CohState::kExclusive) {
+                // Silent E -> M upgrade; no traffic.
+                l1d_.set_coh_state(line, memhier::CohState::kModified);
+              }
+            }
+            l1d_.mark_dirty(line);
+          }
           continue;
         }
         ++counters_.l1d_misses;
@@ -236,7 +259,8 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
   return StepStatus::kRetired;
 }
 
-void CoreModel::fill(Addr line_addr, std::vector<LineRequest>& writebacks) {
+void CoreModel::fill(Addr line_addr, memhier::CohGrant grant,
+                     std::vector<LineRequest>& writebacks) {
   const auto it = outstanding_.find(line_addr);
   if (it == outstanding_.end()) {
     throw SimError(strfmt("core %u: fill of line 0x%llx with no MSHR", id_,
@@ -252,14 +276,96 @@ void CoreModel::fill(Addr line_addr, std::vector<LineRequest>& writebacks) {
     (void)evicted;  // instruction lines are never dirty
     waiting_ifetch_ = false;
   }
-  if (miss.data) {
-    const auto evicted = l1d_.insert(line_addr, miss.dirty_on_fill);
-    if (evicted.valid && evicted.dirty) {
-      ++counters_.writebacks;
-      writebacks.push_back(
-          LineRequest{evicted.line_addr, true, false, /*is_writeback=*/true});
-    }
+  if (!miss.data) return;
+
+  if (!config_.coherent) {
+    insert_l1d(line_addr, miss.dirty_on_fill, memhier::CohState::kInvalid,
+               writebacks);
+    return;
   }
+
+  using memhier::CohGrant;
+  using memhier::CohState;
+  switch (grant) {
+    case CohGrant::kModified:
+      if (l1d_.probe(line_addr)) {
+        // Upgrade fill: the Shared copy (if a probe did not race it away)
+        // becomes Modified and takes the store's dirtiness now.
+        l1d_.set_coh_state(line_addr, CohState::kModified);
+        if (miss.dirty_on_fill) l1d_.mark_dirty(line_addr);
+      } else {
+        insert_l1d(line_addr, miss.dirty_on_fill, CohState::kModified,
+                   writebacks);
+      }
+      break;
+    case CohGrant::kExclusive:
+      // A store merged into the read miss upgrades silently (E -> M).
+      insert_l1d(line_addr, miss.dirty_on_fill,
+                 miss.dirty_on_fill ? CohState::kModified
+                                    : CohState::kExclusive,
+                 writebacks);
+      break;
+    case CohGrant::kShared:
+      insert_l1d(line_addr, /*dirty=*/false, CohState::kShared, writebacks);
+      if (miss.dirty_on_fill) {
+        // A store merged into the read miss but only Shared was granted:
+        // re-issue the write as an upgrade request.
+        ++counters_.coh_upgrades;
+        Outstanding& upgrade = outstanding_[line_addr];
+        upgrade.data = true;
+        upgrade.dirty_on_fill = true;
+        writebacks.push_back(LineRequest{line_addr, true, false, false});
+      }
+      break;
+    case CohGrant::kNone:
+      // Non-coherent response in coherent mode (ifetch-only fills handled
+      // above); treat as an uncoherent data fill.
+      insert_l1d(line_addr, miss.dirty_on_fill, CohState::kInvalid,
+                 writebacks);
+      break;
+  }
+  if (miss.deferred_probe != 0) {
+    // The directory granted a later same-line transaction while our fill
+    // was in flight and its probe beat the data here. Coherence order puts
+    // that transaction after ours, so the line is demoted/invalidated the
+    // moment it lands.
+    coherence_probe(line_addr, miss.deferred_probe == 1);
+  }
+}
+
+void CoreModel::insert_l1d(Addr line_addr, bool dirty, memhier::CohState state,
+                           std::vector<LineRequest>& writebacks) {
+  const auto evicted = l1d_.insert(line_addr, dirty, state);
+  if (evicted.valid && evicted.dirty) {
+    ++counters_.writebacks;
+    writebacks.push_back(
+        LineRequest{evicted.line_addr, true, false, /*is_writeback=*/true});
+  }
+}
+
+bool CoreModel::coherence_probe(Addr line_addr, bool to_shared) {
+  // A probe can only be in flight to us while we have a data transaction
+  // outstanding on the same line if the directory serialized the probing
+  // transaction *after* ours — our grant is still travelling and the probe
+  // took a shorter path (probes skip the L2 access latency). Defer it to
+  // our fill; an invalidation subsumes a downgrade. This covers both a
+  // plain miss in flight (line absent) and an upgrade in flight (line
+  // still resident in Shared).
+  const auto it = outstanding_.find(line_addr);
+  if (it != outstanding_.end() && it->second.data) {
+    it->second.deferred_probe = std::max<std::uint8_t>(
+        it->second.deferred_probe, to_shared ? std::uint8_t{1}
+                                             : std::uint8_t{2});
+    return false;
+  }
+  // Truly absent (silently evicted) lines ack as a miss.
+  if (!l1d_.probe(line_addr)) return false;
+  if (to_shared) {
+    ++counters_.coh_downgrades;
+    return l1d_.downgrade(line_addr);
+  }
+  ++counters_.coh_invalidations;
+  return l1d_.invalidate(line_addr);
 }
 
 }  // namespace coyote::iss

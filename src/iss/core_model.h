@@ -16,6 +16,7 @@
 #include "isa/decoder.h"
 #include "iss/hart.h"
 #include "memhier/cache_array.h"
+#include "memhier/msg.h"
 
 namespace coyote::iss {
 
@@ -29,6 +30,9 @@ struct CoreConfig {
   std::uint32_t line_bytes = 64;
   memhier::Replacement l1_replacement = memhier::Replacement::kLru;
   bool model_l1 = true;  ///< false = every access hits (pure-functional mode)
+  /// MESI mode: L1D lines carry coherence states, stores to Shared lines
+  /// become upgrade misses, and the L1 answers directory probes.
+  bool coherent = false;
 };
 
 /// An L1 line-fill request (or dirty writeback) for the memory hierarchy.
@@ -74,6 +78,11 @@ struct CoreCounters {
   std::uint64_t branch_instructions = 0;
   std::uint64_t fp_instructions = 0;
   std::uint64_t amo_instructions = 0;
+  // MESI mode only (always zero otherwise; surfaced to the statistics tree
+  // only when coherence is on).
+  std::uint64_t coh_upgrades = 0;       ///< stores to Shared lines (GetM)
+  std::uint64_t coh_invalidations = 0;  ///< kInv probes that hit a line
+  std::uint64_t coh_downgrades = 0;     ///< kDowngrade probes that hit
 };
 
 class CoreModel {
@@ -117,8 +126,27 @@ class CoreModel {
 
   /// The memory hierarchy finished servicing `line_addr`. Inserts the line
   /// into the right L1(s); dirty evictions are appended to `writebacks` as
-  /// new requests (already line-aligned).
-  void fill(Addr line_addr, std::vector<LineRequest>& writebacks);
+  /// new requests (already line-aligned). In MESI mode `grant` sets the
+  /// line's coherence state; a store that merged into an in-flight read
+  /// granted only Shared re-emits an upgrade request through `writebacks`.
+  void fill(Addr line_addr, memhier::CohGrant grant,
+            std::vector<LineRequest>& writebacks);
+  /// Non-coherent convenience overload (grant = kNone).
+  void fill(Addr line_addr, std::vector<LineRequest>& writebacks) {
+    fill(line_addr, memhier::CohGrant::kNone, writebacks);
+  }
+
+  /// Directory probe (MESI mode): demote the line to Shared
+  /// (`to_shared`) or invalidate it. Returns whether the local copy was
+  /// dirty; absent lines (silently evicted or still in flight) are a no-op.
+  bool coherence_probe(Addr line_addr, bool to_shared);
+
+  // ----- L1D introspection (tests / litmus assertions) -----
+  bool l1d_has(Addr line_addr) const { return l1d_.probe(line_addr); }
+  bool l1d_dirty(Addr line_addr) const { return l1d_.is_dirty(line_addr); }
+  memhier::CohState l1d_state(Addr line_addr) const {
+    return l1d_.coh_state(line_addr);
+  }
 
   /// Attributes `n` additional stalled cycles to this core. Used by the
   /// Orchestrator when it fast-forwards simulated time over a stretch where
@@ -155,6 +183,11 @@ class CoreModel {
     bool data = false;          ///< some data access waits on this line
     bool ifetch = false;        ///< the fetch unit waits on this line
     bool dirty_on_fill = false; ///< a store merged into this miss
+    /// MESI: a probe that arrived while this fill was in flight. The
+    /// directory serialized that probe's transaction *after* ours, so it is
+    /// applied to the line right after the fill installs it.
+    /// 0 = none, 1 = downgrade, 2 = invalidate.
+    std::uint8_t deferred_probe = 0;
     std::vector<isa::RegRef> dest_regs;  ///< regs made available by the fill
   };
 
@@ -164,6 +197,8 @@ class CoreModel {
   /// One step() attempt that appends requests instead of clearing them —
   /// the shared core of step() and step_block().
   StepStatus step_one(CoreStepResult& out, Cycle cycle);
+  void insert_l1d(Addr line_addr, bool dirty, memhier::CohState state,
+                  std::vector<LineRequest>& writebacks);
   bool sources_pending(const DecodeEntry& entry) const;
   void mark_pending(const isa::RegRef& reg, int delta);
   unsigned effective_group(const isa::RegRef& reg) const;

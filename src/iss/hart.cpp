@@ -101,7 +101,7 @@ void Hart::reset(Addr entry_pc) {
   vl_ = 0;
   vtype_ = 0;
   instret_ = 0;
-  reservation_valid_ = false;
+  memory_->clear_reservation(id_);
   console_.clear();
 }
 
@@ -539,9 +539,10 @@ void Hart::execute(const isa::DecodedInst& inst, StepInfo& info) {
 }
 
 // RV64A. Atomicity is trivially satisfied: the Orchestrator interleaves
-// whole instructions, so a read-modify-write is never torn. LR/SC uses a
-// per-hart reservation; cross-hart invalidation is not modelled (AMOs are
-// the recommended primitive for inter-core updates — see DESIGN.md).
+// whole instructions, so a read-modify-write is never torn. LR/SC
+// reservations live in the shared SparseMemory, where any hart's store to
+// the reserved granule (scalar, AMO or vector) kills them — so a stale SC
+// after a remote write correctly fails, in every coherence mode.
 void Hart::exec_amo(const isa::DecodedInst& inst, StepInfo& info) {
   using isa::Op;
   const Addr addr = x_[inst.rs1];
@@ -554,17 +555,15 @@ void Hart::exec_amo(const isa::DecodedInst& inst, StepInfo& info) {
     case Op::kLrW:
       wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
           static_cast<std::int32_t>(load<std::uint32_t>(addr, info)))));
-      reservation_valid_ = true;
-      reservation_addr_ = addr;
+      memory_->set_reservation(id_, addr);
       return;
     case Op::kLrD:
       wr(load<std::uint64_t>(addr, info));
-      reservation_valid_ = true;
-      reservation_addr_ = addr;
+      memory_->set_reservation(id_, addr);
       return;
     case Op::kScW:
     case Op::kScD: {
-      if (reservation_valid_ && reservation_addr_ == addr) {
+      if (memory_->take_reservation(id_, addr)) {
         if (inst.op == Op::kScW) {
           store<std::uint32_t>(addr, static_cast<std::uint32_t>(src), info);
         } else {
@@ -574,7 +573,6 @@ void Hart::exec_amo(const isa::DecodedInst& inst, StepInfo& info) {
       } else {
         wr(1);  // failure
       }
-      reservation_valid_ = false;
       return;
     }
     default:

@@ -131,8 +131,8 @@ class Hart {
   CoreId id_;
   SparseMemory* memory_;
   unsigned vlen_bits_;
-  bool reservation_valid_ = false;  ///< LR/SC reservation (per-hart)
-  Addr reservation_addr_ = 0;
+  // LR/SC reservations live in SparseMemory (shared across harts) so
+  // remote stores invalidate them; see SparseMemory::set_reservation.
 
   Addr pc_ = 0;
   std::uint64_t x_[32] = {};

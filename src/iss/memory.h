@@ -19,6 +19,9 @@ class SparseMemory {
  public:
   static constexpr std::uint64_t kPageBits = 12;
   static constexpr std::uint64_t kPageSize = 1ULL << kPageBits;
+  /// LR/SC reservation granule (one cache line, as real implementations
+  /// track): any store overlapping the granule kills the reservation.
+  static constexpr Addr kReservationGranule = 64;
 
   SparseMemory() = default;
   SparseMemory(const SparseMemory&) = delete;
@@ -28,7 +31,49 @@ class SparseMemory {
   std::size_t resident_pages() const { return pages_.size(); }
 
   std::uint8_t read_u8(Addr addr) const { return *lookup(addr); }
-  void write_u8(Addr addr, std::uint8_t value) { *touch(addr) = value; }
+  void write_u8(Addr addr, std::uint8_t value) {
+    if (!reservations_.empty()) note_store(addr, 1);
+    *touch(addr) = value;
+  }
+
+  // ----- LR/SC reservations -----
+  // The table lives here, beside the single flat memory every hart executes
+  // against, so a store by *any* hart (scalar, AMO or vector) kills every
+  // overlapping reservation — the cross-hart invalidation the per-hart
+  // implementation could not see. Clearing the writer's own reservation is
+  // spec-legal (an SC is allowed to fail spuriously).
+
+  /// Registers (or moves) `hart`'s reservation at `addr`.
+  void set_reservation(unsigned hart, Addr addr) {
+    for (Reservation& r : reservations_) {
+      if (r.hart == hart) {
+        r.addr = addr;
+        return;
+      }
+    }
+    reservations_.push_back(Reservation{hart, addr});
+  }
+
+  /// Consumes `hart`'s reservation; true iff it was still valid for `addr`.
+  /// The reservation is cleared either way (SC always ends it).
+  bool take_reservation(unsigned hart, Addr addr) {
+    for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
+      if (it->hart != hart) continue;
+      const bool ok = it->addr == addr;
+      reservations_.erase(it);
+      return ok;
+    }
+    return false;
+  }
+
+  void clear_reservation(unsigned hart) {
+    for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
+      if (it->hart == hart) {
+        reservations_.erase(it);
+        return;
+      }
+    }
+  }
 
   /// Little-endian typed accessors. T must be trivially copyable.
   template <typename T>
@@ -47,8 +92,11 @@ class SparseMemory {
   void write(Addr addr, T value) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (same_page(addr, sizeof(T))) {
+      if (!reservations_.empty()) note_store(addr, sizeof(T));
       std::memcpy(touch(addr), &value, sizeof(T));
     } else {
+      // The straddling path funnels through write_u8, which notes the
+      // store per byte.
       write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value),
                   sizeof(T));
     }
@@ -85,6 +133,25 @@ class SparseMemory {
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
 
+  struct Reservation {
+    unsigned hart;
+    Addr addr;  ///< the exact LR address (SC must match it)
+  };
+
+  /// Drops every reservation whose granule overlaps [addr, addr+size).
+  void note_store(Addr addr, std::size_t size) {
+    const Addr lo = addr & ~(kReservationGranule - 1);
+    const Addr hi = (addr + size - 1) & ~(kReservationGranule - 1);
+    for (auto it = reservations_.begin(); it != reservations_.end();) {
+      const Addr granule = it->addr & ~(kReservationGranule - 1);
+      if (granule >= lo && granule <= hi) {
+        it = reservations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   static bool same_page(Addr addr, std::size_t size) {
     return (addr >> kPageBits) == ((addr + size - 1) >> kPageBits);
   }
@@ -107,6 +174,9 @@ class SparseMemory {
   }
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  /// Live LR reservations; tiny (≤ one per hart), scanned linearly. Kernels
+  /// without LR in flight pay only an empty() check per store.
+  std::vector<Reservation> reservations_;
   static const Page zero_page_;
 };
 

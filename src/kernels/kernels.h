@@ -47,19 +47,22 @@ Program build_spmv_ell(const SpmvWorkload& workload, std::uint32_t num_cores);
 Program build_spmv_two_phase(const SpmvWorkload& workload,
                              std::uint32_t num_cores);
 
-/// 1D 3-point stencil, vectorized interior sweep. Multicore requires
-/// workload.iterations == 1 (no coherence modelling; see DESIGN.md).
+/// 1D 3-point stencil, vectorized interior sweep. Multicore runs with
+/// iterations > 1 delegate to build_stencil_vector_sync so neighbouring
+/// partitions' halo cells are exchanged at a barrier between sweeps.
 Program build_stencil_vector(const StencilWorkload& workload,
                              std::uint32_t num_cores);
 
-/// Scalar reference version of the stencil.
+/// Scalar reference version of the stencil. Multicore runs with
+/// iterations > 1 insert the same sense-reversal barrier between sweeps.
 Program build_stencil_scalar(const StencilWorkload& workload,
                              std::uint32_t num_cores);
 
 /// Barrier-synchronized vector stencil: supports iterations > 1 on
 /// multiple cores by separating sweeps with a sense-reversal barrier built
-/// on amoadd.d (RV64A). Functional results are exact; barrier timing is
-/// optimistic since Coyote models no coherence traffic (DESIGN.md §5).
+/// on amoadd.d (RV64A). Functional results are exact in every coherence
+/// mode; with l2.coherence=mesi the invalidation/downgrade traffic of the
+/// halo exchange is modelled too (DESIGN.md §5).
 Program build_stencil_vector_sync(const StencilWorkload& workload,
                                   std::uint32_t num_cores);
 

@@ -1,11 +1,11 @@
 // 1D 3-point stencil kernels (vector and scalar).
-#include "common/error.h"
 #include "kernels/kernel_common.h"
 #include "kernels/kernels.h"
 #include "kernels/layout.h"
 
 namespace coyote::kernels {
 
+using detail::emit_barrier;
 using detail::emit_exit;
 using detail::emit_load_f64;
 using detail::emit_partition;
@@ -16,22 +16,16 @@ using isa::Sew;
 using isa::Vreg;
 using isa::Xreg;
 
-namespace {
-
-void check_multicore_iterations(const StencilWorkload& workload,
-                                std::uint32_t num_cores) {
-  if (num_cores > 1 && workload.iterations != 1) {
-    throw ConfigError(
-        "stencil: multicore runs require iterations == 1 (Coyote models no "
-        "coherence, so cross-iteration halo exchange is undefined)");
-  }
-}
-
-}  // namespace
-
 Program build_stencil_vector(const StencilWorkload& workload,
                              std::uint32_t num_cores) {
-  check_multicore_iterations(workload, num_cores);
+  // Multicore multi-iteration sweeps need the halo cells of neighbouring
+  // partitions to be visible between sweeps, so they take the
+  // barrier-synchronized variant. (Functional values are always exchanged
+  // through the shared memory; with l2.coherence=mesi the invalidation
+  // traffic is modelled too.)
+  if (num_cores > 1 && workload.iterations != 1) {
+    return build_stencil_vector_sync(workload, num_cores);
+  }
   Assembler as(kTextBase);
 
   // Interior points are [1, n-1); partition the n-2 of them.
@@ -98,8 +92,9 @@ Program build_stencil_vector_sync(const StencilWorkload& workload,
   //   s9 = num_cores - 1 (last-arriver test)
   // The last core to arrive resets the counter and then bumps the
   // generation; everyone else spins on the generation word. Values read
-  // while spinning are functionally current (one flat memory); only the
-  // coherence *timing* is idealized.
+  // while spinning are functionally current (one flat memory); with
+  // l2.coherence=mesi the generation line's invalidate/refetch traffic is
+  // timed as well.
   emit_partition(as, workload.n - 2, num_cores, Xreg::s10, Xreg::s11);
 
   as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
@@ -237,17 +232,27 @@ Program build_stencil2d_vector(const Stencil2dWorkload& workload,
 
 Program build_stencil_scalar(const StencilWorkload& workload,
                              std::uint32_t num_cores) {
-  check_multicore_iterations(workload, num_cores);
   Assembler as(kTextBase);
+  // Multicore multi-iteration sweeps insert a sense-reversal barrier
+  // between sweeps (s7 = barrier base, s8 = generation, s9 = cores-1) and
+  // every core — empty partition or not — must reach it, so the early exit
+  // is only emitted for barrier-free shapes. Those shapes produce exactly
+  // the instruction stream this builder always produced.
+  const bool barrier = num_cores > 1 && workload.iterations != 1;
 
   // Register map mirrors the vector version; ft0..ft2 hold the neighbours.
   emit_partition(as, workload.n - 2, num_cores, Xreg::s10, Xreg::s11);
   auto done = as.make_label();
-  as.bge(Xreg::s10, Xreg::s11, done);
+  if (!barrier) as.bge(Xreg::s10, Xreg::s11, done);
 
   as.li(Xreg::s1, static_cast<std::int64_t>(workload.src_addr));
   as.li(Xreg::s2, static_cast<std::int64_t>(workload.dst_addr));
   as.li(Xreg::s3, static_cast<std::int64_t>(workload.iterations));
+  if (barrier) {
+    as.li(Xreg::s7, static_cast<std::int64_t>(kBarrierBase));
+    as.ld(Xreg::s8, 8, Xreg::s7);  // current generation (survives reruns)
+    as.li(Xreg::s9, static_cast<std::int64_t>(num_cores) - 1);
+  }
   emit_load_f64(as, Freg::fa1, Xreg::t0, workload.c0);
   emit_load_f64(as, Freg::fa2, Xreg::t0, workload.c1);
   emit_load_f64(as, Freg::fa3, Xreg::t0, workload.c2);
@@ -274,6 +279,7 @@ Program build_stencil_scalar(const StencilWorkload& workload,
   as.addi(Xreg::a1, Xreg::a1, 1);
   as.j(loop_i);
   as.bind(iter_done);
+  if (barrier) emit_barrier(as, num_cores, Xreg::s7, Xreg::s8, Xreg::s9);
   as.mv(Xreg::t0, Xreg::s1);
   as.mv(Xreg::s1, Xreg::s2);
   as.mv(Xreg::s2, Xreg::t0);

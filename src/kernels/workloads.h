@@ -95,8 +95,8 @@ struct SpmvWorkload {
 // -------------------------------------------------------------- stencil --
 /// 1D 3-point stencil: dst[i] = c0*src[i-1] + c1*src[i] + c2*src[i+1] for
 /// i in [1, n-1); boundary cells are copied through. `iterations` sweeps
-/// ping-pong between the two buffers (multicore runs require iterations==1,
-/// as Coyote models no coherence).
+/// ping-pong between the two buffers; multicore multi-iteration runs are
+/// barrier-synchronized between sweeps.
 struct StencilWorkload {
   std::size_t n = 0;
   std::uint32_t iterations = 1;

@@ -28,6 +28,25 @@ inline const char* replacement_name(Replacement policy) {
   return "?";
 }
 
+/// MESI stability state of a resident line (coherence=mesi only; arrays in
+/// a non-coherent hierarchy leave every line at kInvalid and ignore it).
+enum class CohState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+inline const char* coh_state_name(CohState state) {
+  switch (state) {
+    case CohState::kInvalid: return "I";
+    case CohState::kShared: return "S";
+    case CohState::kExclusive: return "E";
+    case CohState::kModified: return "M";
+  }
+  return "?";
+}
+
 class CacheArray {
  public:
   struct Config {
@@ -98,7 +117,8 @@ class CacheArray {
 
   /// Inserts `line_addr` (which must not be resident), evicting a victim
   /// chosen by the configured replacement policy if the set is full.
-  Eviction insert(Addr line_addr, bool dirty) {
+  Eviction insert(Addr line_addr, bool dirty,
+                  CohState coh = CohState::kInvalid) {
     const std::size_t set = set_of(line_addr);
     Entry* victim = nullptr;
     bool found_free = false;
@@ -127,9 +147,36 @@ class CacheArray {
     }
     victim->valid = true;
     victim->dirty = dirty;
+    victim->coh = coh;
     victim->line_addr = line_of(line_addr);
     victim->lru = ++clock_;
     return evicted;
+  }
+
+  /// Coherence state of a resident line (kInvalid when absent).
+  CohState coh_state(Addr line_addr) const {
+    const Entry* entry = const_cast<CacheArray*>(this)->find(line_addr);
+    return entry != nullptr ? entry->coh : CohState::kInvalid;
+  }
+
+  /// Sets the coherence state of a resident line. Returns false if absent.
+  bool set_coh_state(Addr line_addr, CohState state) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return false;
+    entry->coh = state;
+    return true;
+  }
+
+  /// Demotes a resident line to Shared and cleans its dirty bit (the data
+  /// travels back with the WbAck). Returns whether it was dirty; false if
+  /// the line is absent.
+  bool downgrade(Addr line_addr) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return false;
+    const bool dirty = entry->dirty;
+    entry->dirty = false;
+    entry->coh = CohState::kShared;
+    return dirty;
   }
 
   /// Removes a line if resident; returns whether it was dirty.
@@ -157,6 +204,7 @@ class CacheArray {
     std::uint64_t lru = 0;
     bool valid = false;
     bool dirty = false;
+    CohState coh = CohState::kInvalid;
   };
 
   std::size_t set_of(Addr line_addr) const {

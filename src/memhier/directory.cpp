@@ -1,0 +1,144 @@
+#include "memhier/directory.h"
+
+namespace coyote::memhier {
+
+namespace {
+std::uint64_t core_bit(CoreId core) { return std::uint64_t{1} << core; }
+}  // namespace
+
+Directory::Directory(std::uint32_t num_cores) : num_cores_(num_cores) {
+  if (num_cores == 0 || num_cores > 64) {
+    throw ConfigError("Directory: sharer bitmask supports 1..64 cores");
+  }
+}
+
+Directory::Action Directory::submit(const MemRequest& request,
+                                    std::vector<Probe>& probes_out) {
+  if (request.op != MemOp::kGetS && request.op != MemOp::kGetM) {
+    throw SimError("Directory::submit: only kGetS/kGetM are transactions");
+  }
+  auto [it, inserted] = transactions_.try_emplace(request.line_addr);
+  if (!inserted) {
+    it->second.queued.push_back(request);
+    return Action::kBlocked;
+  }
+  it->second.active = request;
+  return activate(request, probes_out);
+}
+
+Directory::Action Directory::activate(const MemRequest& request,
+                                      std::vector<Probe>& probes_out) {
+  Entry& line = entry(request.line_addr);
+  Txn& txn = transactions_.at(request.line_addr);
+  const CoreId requester = request.core;
+  std::uint32_t probes = 0;
+  if (request.op == MemOp::kGetS) {
+    // Only a foreign owner must act: demote M/E to S so the requester can
+    // share. Sharers stay untouched.
+    if (line.owner != kInvalidCore && line.owner != requester) {
+      probes_out.push_back(Probe{line.owner, /*to_shared=*/true});
+      line.sharers |= core_bit(line.owner);
+      line.owner = kInvalidCore;
+      ++probes;
+    }
+  } else {  // kGetM
+    // Every foreign copy — owner and sharers alike — must invalidate.
+    if (line.owner != kInvalidCore && line.owner != requester) {
+      probes_out.push_back(Probe{line.owner, /*to_shared=*/false});
+      ++probes;
+    }
+    line.owner = kInvalidCore;
+    for (CoreId core = 0; core < num_cores_; ++core) {
+      if (core == requester) continue;
+      if ((line.sharers & core_bit(core)) == 0) continue;
+      probes_out.push_back(Probe{core, /*to_shared=*/false});
+      ++probes;
+    }
+    line.sharers &= core_bit(requester);
+  }
+  txn.pending_acks = probes;
+  return probes == 0 ? Action::kProceed : Action::kBlocked;
+}
+
+std::optional<MemRequest> Directory::ack(Addr line) {
+  const auto it = transactions_.find(line);
+  if (it == transactions_.end() || it->second.pending_acks == 0) {
+    throw SimError("Directory::ack: no probe phase in progress for line");
+  }
+  if (--it->second.pending_acks > 0) return std::nullopt;
+  return it->second.active;
+}
+
+CohGrant Directory::complete(const MemRequest& request,
+                             std::optional<MemRequest>& next) {
+  next = std::nullopt;
+  const auto it = transactions_.find(request.line_addr);
+  if (it == transactions_.end()) {
+    throw SimError("Directory::complete: no transaction for line");
+  }
+  Entry& line = entry(request.line_addr);
+  const CoreId requester = request.core;
+  CohGrant grant;
+  if (request.op == MemOp::kGetM) {
+    line.owner = requester;
+    line.sharers = 0;
+    grant = CohGrant::kModified;
+  } else {
+    // Exclusive when the requester ends up the sole holder (it may already
+    // be the remembered owner or lone sharer after a silent eviction).
+    const bool sole = (line.owner == kInvalidCore || line.owner == requester) &&
+                      (line.sharers & ~core_bit(requester)) == 0;
+    if (sole) {
+      line.owner = requester;
+      line.sharers = 0;
+      grant = CohGrant::kExclusive;
+    } else {
+      line.sharers |= core_bit(requester);
+      grant = CohGrant::kShared;
+    }
+  }
+  if (it->second.queued.empty()) {
+    transactions_.erase(it);
+  } else {
+    Txn& txn = it->second;
+    txn.active = txn.queued.front();
+    txn.queued.pop_front();
+    txn.pending_acks = 0;
+    next = txn.active;
+  }
+  drop_if_empty(request.line_addr);
+  return grant;
+}
+
+void Directory::on_writeback(Addr line_addr, CoreId core) {
+  const auto it = lines_.find(line_addr);
+  if (it == lines_.end()) return;
+  if (it->second.owner == core) it->second.owner = kInvalidCore;
+  it->second.sharers &= ~core_bit(core);
+  drop_if_empty(line_addr);
+}
+
+CoreId Directory::owner_of(Addr line) const {
+  const auto it = lines_.find(line);
+  return it == lines_.end() ? kInvalidCore : it->second.owner;
+}
+
+std::uint64_t Directory::sharer_mask(Addr line) const {
+  const auto it = lines_.find(line);
+  return it == lines_.end() ? 0 : it->second.sharers;
+}
+
+bool Directory::has_transaction(Addr line) const {
+  return transactions_.count(line) != 0;
+}
+
+std::size_t Directory::tracked_lines() const { return lines_.size(); }
+
+void Directory::drop_if_empty(Addr line) {
+  const auto it = lines_.find(line);
+  if (it != lines_.end() && it->second.empty() && !has_transaction(line)) {
+    lines_.erase(it);
+  }
+}
+
+}  // namespace coyote::memhier

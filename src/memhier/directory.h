@@ -1,0 +1,94 @@
+// Per-bank MESI directory: owner/sharer tracking plus per-line transaction
+// serialization. The directory is a pure state machine — the owning L2Bank
+// turns its decisions into NoC messages (probes on the response port, data
+// fills after ack collection) and calls back in as acks arrive.
+//
+// Precision model: L1s evict clean (S/E) lines silently, so the directory is
+// deliberately imprecise — it may remember sharers/owners that no longer
+// hold the line. Probes to such cores are answered with a miss-ack
+// (dirty_data=false) and cost only the probe round-trip. Dirty evictions
+// arrive as kWriteback messages and clear ownership eagerly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "memhier/msg.h"
+
+namespace coyote::memhier {
+
+class Directory {
+ public:
+  /// One invalidation/downgrade the bank must deliver to an L1.
+  struct Probe {
+    CoreId target = kInvalidCore;
+    bool to_shared = false;  ///< true: kDowngrade (M/E -> S); false: kInv
+  };
+
+  enum class Action : std::uint8_t {
+    kProceed,  ///< no probes needed; run the data path for this request now
+    kBlocked,  ///< queued behind another transaction, or waiting for acks
+  };
+
+  explicit Directory(std::uint32_t num_cores);
+
+  /// Submits a coherent request (kGetS / kGetM). At most one transaction is
+  /// active per line; later requests queue and are promoted by complete().
+  /// When probes are required they are appended to `probes_out` and the
+  /// transaction blocks until ack() has been called once per probe.
+  Action submit(const MemRequest& request, std::vector<Probe>& probes_out);
+
+  /// Starts the probe phase for a request previously handed back through
+  /// complete()'s `next` out-param (it is already the active transaction).
+  /// Same contract as submit(): kProceed means run the data path now.
+  Action activate(const MemRequest& request, std::vector<Probe>& probes_out);
+
+  /// Records one probe ack for `line`. Returns the active request when the
+  /// probe phase finished (the bank should now run its data path for it).
+  std::optional<MemRequest> ack(Addr line);
+
+  /// Called when the bank sends the data response for the active
+  /// transaction on `request.line_addr`: computes the access grant, applies
+  /// the final owner/sharer state, and pops the next queued request (if
+  /// any) into `next` for the bank to re-activate.
+  CohGrant complete(const MemRequest& request,
+                    std::optional<MemRequest>& next);
+
+  /// A dirty L1 eviction reached the bank: `core` gave up its copy.
+  void on_writeback(Addr line, CoreId core);
+
+  // ----- introspection (tests / statistics) -----
+  /// Owner core of a line in E/M at the directory, or kInvalidCore.
+  CoreId owner_of(Addr line) const;
+  /// Bitmask of cores the directory believes hold the line in S.
+  std::uint64_t sharer_mask(Addr line) const;
+  bool has_transaction(Addr line) const;
+  std::size_t tracked_lines() const;
+
+ private:
+  struct Entry {
+    CoreId owner = kInvalidCore;  ///< sole E/M holder
+    std::uint64_t sharers = 0;    ///< bitmask of S holders
+    bool empty() const { return owner == kInvalidCore && sharers == 0; }
+  };
+
+  struct Txn {
+    MemRequest active;
+    std::uint32_t pending_acks = 0;
+    std::deque<MemRequest> queued;
+  };
+
+  Entry& entry(Addr line) { return lines_[line]; }
+  void drop_if_empty(Addr line);
+
+  std::uint32_t num_cores_;
+  std::unordered_map<Addr, Entry> lines_;
+  std::unordered_map<Addr, Txn> transactions_;
+};
+
+}  // namespace coyote::memhier

@@ -1,5 +1,7 @@
 #include "memhier/l2bank.h"
 
+#include <optional>
+
 namespace coyote::memhier {
 
 L2Bank::L2Bank(simfw::Unit* parent, std::string name, BankId bank_id,
@@ -35,6 +37,20 @@ L2Bank::L2Bank(simfw::Unit* parent, std::string name, BankId bank_id,
   if (noc_ == nullptr || mc_mapper_ == nullptr) {
     throw ConfigError("L2Bank: needs a NoC and an MC mapper");
   }
+  if (config.coherent) {
+    directory_ = std::make_unique<Directory>(config.num_cores);
+    if (config.cores_per_tile == 0) {
+      throw ConfigError("L2Bank: coherent mode needs cores_per_tile");
+    }
+    coh_invalidations_ = &stats().counter(
+        "coh_invalidations", "kInv probes sent to L1s");
+    coh_downgrades_ = &stats().counter(
+        "coh_downgrades", "kDowngrade probes sent to L1s");
+    coh_dirty_acks_ = &stats().counter(
+        "coh_dirty_acks", "probe acks that returned dirty data");
+    coh_serialized_ = &stats().counter(
+        "coh_serialized", "requests queued behind a same-line transaction");
+  }
   mem_req_out_.reserve(mc_mapper_->num_mcs());
   for (McId mc = 0; mc < mc_mapper_->num_mcs(); ++mc) {
     mem_req_out_.push_back(std::make_unique<simfw::DataOutPort<MemRequest>>(
@@ -52,10 +68,64 @@ L2Bank::L2Bank(simfw::Unit* parent, std::string name, BankId bank_id,
 }
 
 void L2Bank::respond(const MemRequest& request, Cycle delay) {
+  MemResponse response{request.line_addr, request.op, request.core};
+  const Cycle total = delay + noc_->traverse(noc_->tile_node(tile_),
+                                             noc_->tile_node(request.src_tile));
+  if (directory_ != nullptr &&
+      (request.op == MemOp::kGetS || request.op == MemOp::kGetM)) {
+    std::optional<MemRequest> next;
+    response.grant = directory_->complete(request, next);
+    if (next.has_value()) {
+      // The promoted transaction may probe the core this response grants
+      // the line to; starting it only once the grant has landed keeps L1
+      // state and directory state consistent (a probe can never overtake
+      // its fill).
+      scheduler().schedule(total, simfw::SchedPriority::kUpdate,
+                           [this, promoted = *next]() {
+                             start_probe_phase(promoted);
+                           });
+    }
+  }
+  cpu_resp_out_.send(response, total);
+}
+
+void L2Bank::start_probe_phase(const MemRequest& request) {
+  std::vector<Directory::Probe> probes;
+  if (directory_->activate(request, probes) == Directory::Action::kProceed) {
+    data_path(request);
+    return;
+  }
+  for (const Directory::Probe& probe : probes) {
+    send_probe(probe, request.line_addr);
+  }
+}
+
+void L2Bank::send_probe(const Directory::Probe& probe, Addr line_addr) {
+  ++(probe.to_shared ? *coh_downgrades_ : *coh_invalidations_);
+  const TileId target_tile = probe.target / config_.cores_per_tile;
   cpu_resp_out_.send(
-      MemResponse{request.line_addr, request.op, request.core},
-      delay + noc_->traverse(noc_->tile_node(tile_),
-                             noc_->tile_node(request.src_tile)));
+      MemResponse{line_addr,
+                  probe.to_shared ? MemOp::kDowngrade : MemOp::kInv,
+                  probe.target},
+      noc_->traverse(noc_->tile_node(tile_), noc_->tile_node(target_tile)));
+}
+
+void L2Bank::on_coh_ack(const MemRequest& request) {
+  if (request.dirty_data) {
+    // The probed L1 copy was dirty: the data comes home with the ack, as a
+    // writeback folded into the same message.
+    ++*coh_dirty_acks_;
+    ++writebacks_in_;
+    if (!array_.mark_dirty(request.line_addr)) {
+      ++writebacks_out_;
+      forward_to_mc(MemRequest{request.line_addr, MemOp::kWriteback,
+                               kInvalidCore, tile_, bank_id_},
+                    0);
+    }
+  }
+  if (const auto ready = directory_->ack(request.line_addr)) {
+    data_path(*ready);
+  }
 }
 
 void L2Bank::forward_to_mc(const MemRequest& request, Cycle extra_delay) {
@@ -71,6 +141,9 @@ void L2Bank::forward_to_mc(const MemRequest& request, Cycle extra_delay) {
 void L2Bank::on_cpu_request(const MemRequest& request) {
   if (request.op == MemOp::kWriteback) {
     ++writebacks_in_;
+    if (directory_ != nullptr && request.core != kInvalidCore) {
+      directory_->on_writeback(request.line_addr, request.core);
+    }
     if (!array_.mark_dirty(request.line_addr)) {
       // Non-inclusive hierarchy: the L2 copy is gone; push the data home.
       ++writebacks_out_;
@@ -78,7 +151,30 @@ void L2Bank::on_cpu_request(const MemRequest& request) {
     }
     return;
   }
+  if (request.op == MemOp::kInvAck || request.op == MemOp::kWbAck) {
+    on_coh_ack(request);
+    return;
+  }
+  if (directory_ != nullptr &&
+      (request.op == MemOp::kGetS || request.op == MemOp::kGetM)) {
+    std::vector<Directory::Probe> probes;
+    if (directory_->submit(request, probes) == Directory::Action::kProceed) {
+      data_path(request);
+      return;
+    }
+    if (probes.empty()) {
+      ++*coh_serialized_;  // queued behind the line's active transaction
+      return;
+    }
+    for (const Directory::Probe& probe : probes) {
+      send_probe(probe, request.line_addr);
+    }
+    return;
+  }
+  data_path(request);
+}
 
+void L2Bank::data_path(const MemRequest& request) {
   if (array_.lookup(request.line_addr)) {
     ++accesses_;
     ++hits_;
@@ -169,10 +265,12 @@ void L2Bank::on_mem_response(const MemResponse& response) {
   // filled) — a hit consumes no MSHR and produces no future fill, so
   // stopping after one admission could strand the rest of the queue with no
   // event left to ever admit them.
+  // Queued requests re-enter the data path directly: coherent ones already
+  // cleared the directory before they were queued.
   while (!pending_.empty() && mshrs_.size() < config_.mshrs) {
     const MemRequest next = pending_.front();
     pending_.pop_front();
-    on_cpu_request(next);
+    data_path(next);
   }
 }
 

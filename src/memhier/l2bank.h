@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "memhier/cache_array.h"
+#include "memhier/directory.h"
 #include "memhier/mapping.h"
 #include "memhier/msg.h"
 #include "memhier/noc.h"
@@ -43,6 +44,11 @@ struct L2BankConfig {
   /// is line_bytes. 0 = line_bytes. The Simulator fills this in from the
   /// mapping policy; prefetching a line another bank owns would be wasted.
   std::uint64_t prefetch_stride_bytes = 0;
+  /// MESI directory mode (coherence=mesi): the bank owns a Directory,
+  /// accepts kGetS/kGetM/kInvAck/kWbAck, and emits kInv/kDowngrade probes.
+  bool coherent = false;
+  std::uint32_t num_cores = 1;       ///< directory sharer-mask width
+  std::uint32_t cores_per_tile = 1;  ///< maps probe targets to NoC tiles
 };
 
 class L2Bank : public simfw::Unit {
@@ -66,8 +72,11 @@ class L2Bank : public simfw::Unit {
 
   /// Probes whether a line is resident (tests / debugging).
   bool contains(Addr line_addr) const { return array_.probe(line_addr); }
+  bool line_dirty(Addr line_addr) const { return array_.is_dirty(line_addr); }
   std::size_t mshrs_in_use() const { return mshrs_.size(); }
   std::size_t queued_requests() const { return pending_.size(); }
+  /// The MESI directory; nullptr unless config.coherent.
+  const Directory* directory() const { return directory_.get(); }
 
  private:
   void on_cpu_request(const MemRequest& request);
@@ -76,6 +85,13 @@ class L2Bank : public simfw::Unit {
   void respond(const MemRequest& request, Cycle delay);
   /// Issues next-line prefetches following a demand miss at `line_addr`.
   void maybe_prefetch(Addr line_addr);
+  /// The cache data path (hit / miss / MSHR merge / input queue) shared by
+  /// plain requests and coherent requests cleared by the directory.
+  void data_path(const MemRequest& request);
+  /// Directory decided probes are needed / a promoted txn starts.
+  void start_probe_phase(const MemRequest& request);
+  void send_probe(const Directory::Probe& probe, Addr line_addr);
+  void on_coh_ack(const MemRequest& request);
 
   struct Mshr {
     std::vector<MemRequest> waiters;
@@ -97,6 +113,7 @@ class L2Bank : public simfw::Unit {
   std::unordered_map<Addr, Mshr> mshrs_;
   std::deque<MemRequest> pending_;  ///< requests waiting for a free MSHR
   std::unordered_set<Addr> prefetched_;  ///< resident, not yet demanded
+  std::unique_ptr<Directory> directory_;  ///< only when config.coherent
 
   simfw::Counter& accesses_;
   simfw::Counter& hits_;
@@ -108,6 +125,13 @@ class L2Bank : public simfw::Unit {
   simfw::Counter& evictions_;
   simfw::Counter& prefetches_issued_;
   simfw::Counter& prefetches_useful_;
+  // Coherence counters, registered only in directory mode so the stats
+  // tree (and every report derived from it) is unchanged when coherence is
+  // off.
+  simfw::Counter* coh_invalidations_ = nullptr;  ///< kInv probes sent
+  simfw::Counter* coh_downgrades_ = nullptr;     ///< kDowngrade probes sent
+  simfw::Counter* coh_dirty_acks_ = nullptr;     ///< acks carrying dirty data
+  simfw::Counter* coh_serialized_ = nullptr;     ///< requests queued per-line
 };
 
 }  // namespace coyote::memhier

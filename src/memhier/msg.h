@@ -14,6 +14,16 @@ enum class MemOp : std::uint8_t {
   kIFetch,     ///< L1 instruction fill
   kWriteback,  ///< dirty eviction; fire-and-forget
   kPrefetch,   ///< L2-initiated fill; no core is waiting
+  // Coherence traffic (coherence=mesi only). GetS/GetM replace kLoad/kStore
+  // on the request path; Inv/Downgrade are directory probes carried on the
+  // response port (L2 -> CPU); InvAck/WbAck are the matching acknowledgements
+  // carried on the request port (CPU -> L2).
+  kGetS,       ///< read miss: requester wants Shared (or Exclusive) access
+  kGetM,       ///< write miss/upgrade: requester wants Modified access
+  kInv,        ///< directory probe: invalidate the line in the target L1
+  kDowngrade,  ///< directory probe: demote M/E to Shared in the target L1
+  kInvAck,     ///< ack for kInv (dirty_data: the probed copy was dirty)
+  kWbAck,      ///< ack for kDowngrade (dirty_data: writeback carried along)
 };
 
 inline const char* mem_op_name(MemOp op) {
@@ -23,6 +33,30 @@ inline const char* mem_op_name(MemOp op) {
     case MemOp::kIFetch: return "ifetch";
     case MemOp::kWriteback: return "writeback";
     case MemOp::kPrefetch: return "prefetch";
+    case MemOp::kGetS: return "gets";
+    case MemOp::kGetM: return "getm";
+    case MemOp::kInv: return "inv";
+    case MemOp::kDowngrade: return "downgrade";
+    case MemOp::kInvAck: return "inv_ack";
+    case MemOp::kWbAck: return "wb_ack";
+  }
+  return "?";
+}
+
+/// Access permission granted by the directory with a coherent fill.
+enum class CohGrant : std::uint8_t {
+  kNone,       ///< non-coherent response (coherence=none, ifetch, prefetch)
+  kShared,     ///< read permission; other sharers may exist
+  kExclusive,  ///< read permission, sole copy; may upgrade to M silently
+  kModified,   ///< write permission, sole copy
+};
+
+inline const char* coh_grant_name(CohGrant grant) {
+  switch (grant) {
+    case CohGrant::kNone: return "none";
+    case CohGrant::kShared: return "shared";
+    case CohGrant::kExclusive: return "exclusive";
+    case CohGrant::kModified: return "modified";
   }
   return "?";
 }
@@ -34,13 +68,16 @@ struct MemRequest {
   CoreId core = kInvalidCore;  ///< originating core (kInvalidCore: L2-originated)
   TileId src_tile = 0;         ///< tile of the originator (NoC latency)
   BankId src_bank = 0;         ///< set by the L2 bank when forwarding to a MC
+  bool dirty_data = false;     ///< ack ops: probed L1 copy was dirty
 };
 
-/// A response travelling back up (MC -> L2, or L2 -> CPU).
+/// A response travelling back up (MC -> L2, or L2 -> CPU). For kInv /
+/// kDowngrade probes, `core` is the probe *target* and `grant` is unused.
 struct MemResponse {
   Addr line_addr = 0;
   MemOp op = MemOp::kLoad;
   CoreId core = kInvalidCore;
+  CohGrant grant = CohGrant::kNone;
 };
 
 }  // namespace coyote::memhier

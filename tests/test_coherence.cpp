@@ -1,0 +1,589 @@
+// MESI coherence validation, in three layers:
+//   1. Directory unit tests — the protocol state machine in isolation.
+//   2. Litmus tests — two-core hand-assembled programs (message passing,
+//      write serialization, invalidation, M->S downgrade with writeback)
+//      asserting final memory values AND directory/L1 coherence states.
+//   3. Differential tests — every program_menu kernel on one core must be
+//      cycle-identical and trace-byte-identical between coherence=none and
+//      coherence=mesi (a sole core is always granted Exclusive, so the
+//      protocol must add zero latency); multicore runs must agree
+//      functionally between the modes.
+// Plus the cross-hart LR/SC regression: a remote store must kill a
+// reservation in every coherence mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "isa/assembler.h"
+#include "kernels/kernels.h"
+#include "kernels/program_menu.h"
+#include "memhier/directory.h"
+
+// --------------------------------------------------- directory protocol --
+
+namespace coyote::memhier {
+namespace {
+
+MemRequest coh_request(Addr line, MemOp op, CoreId core) {
+  MemRequest request;
+  request.line_addr = line;
+  request.op = op;
+  request.core = core;
+  return request;
+}
+
+constexpr Addr kLine = 0x4000;
+
+TEST(Directory, SoleReaderIsGrantedExclusive) {
+  Directory directory(4);
+  std::vector<Directory::Probe> probes;
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetS, 0), probes),
+            Directory::Action::kProceed);
+  EXPECT_TRUE(probes.empty());
+  std::optional<MemRequest> next;
+  EXPECT_EQ(directory.complete(coh_request(kLine, MemOp::kGetS, 0), next),
+            CohGrant::kExclusive);
+  EXPECT_FALSE(next.has_value());
+  EXPECT_EQ(directory.owner_of(kLine), 0u);
+  EXPECT_EQ(directory.sharer_mask(kLine), 0u);
+  EXPECT_FALSE(directory.has_transaction(kLine));
+}
+
+TEST(Directory, SecondReaderDowngradesOwnerThenBothShare) {
+  Directory directory(4);
+  std::vector<Directory::Probe> probes;
+  std::optional<MemRequest> next;
+  directory.submit(coh_request(kLine, MemOp::kGetS, 0), probes);
+  directory.complete(coh_request(kLine, MemOp::kGetS, 0), next);  // 0: E
+  probes.clear();
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetS, 1), probes),
+            Directory::Action::kBlocked);
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0].target, 0u);
+  EXPECT_TRUE(probes[0].to_shared);
+  const auto ready = directory.ack(kLine);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->core, 1u);
+  EXPECT_EQ(directory.complete(*ready, next), CohGrant::kShared);
+  EXPECT_FALSE(next.has_value());
+  EXPECT_EQ(directory.owner_of(kLine), kInvalidCore);
+  EXPECT_EQ(directory.sharer_mask(kLine), 0b11u);
+}
+
+TEST(Directory, WriterInvalidatesEverySharer) {
+  Directory directory(4);
+  std::vector<Directory::Probe> probes;
+  std::optional<MemRequest> next;
+  // Build up sharers {0, 1} through two serialized GetS transactions.
+  directory.submit(coh_request(kLine, MemOp::kGetS, 0), probes);
+  directory.complete(coh_request(kLine, MemOp::kGetS, 0), next);
+  probes.clear();
+  directory.submit(coh_request(kLine, MemOp::kGetS, 1), probes);
+  directory.ack(kLine);
+  directory.complete(coh_request(kLine, MemOp::kGetS, 1), next);
+  // Core 2 writes: both sharers must receive kInv.
+  probes.clear();
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetM, 2), probes),
+            Directory::Action::kBlocked);
+  ASSERT_EQ(probes.size(), 2u);
+  for (const auto& probe : probes) EXPECT_FALSE(probe.to_shared);
+  EXPECT_FALSE(directory.ack(kLine).has_value());  // one ack pending
+  const auto ready = directory.ack(kLine);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(directory.complete(*ready, next), CohGrant::kModified);
+  EXPECT_EQ(directory.owner_of(kLine), 2u);
+  EXPECT_EQ(directory.sharer_mask(kLine), 0u);
+}
+
+TEST(Directory, UpgradeProbesOnlyTheOtherSharers) {
+  Directory directory(4);
+  std::vector<Directory::Probe> probes;
+  std::optional<MemRequest> next;
+  directory.submit(coh_request(kLine, MemOp::kGetS, 0), probes);
+  directory.complete(coh_request(kLine, MemOp::kGetS, 0), next);
+  probes.clear();
+  directory.submit(coh_request(kLine, MemOp::kGetS, 1), probes);
+  directory.ack(kLine);
+  directory.complete(coh_request(kLine, MemOp::kGetS, 1), next);
+  // Core 0 upgrades S->M: only core 1 is probed, and core 0 stays a
+  // destination of the grant.
+  probes.clear();
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetM, 0), probes),
+            Directory::Action::kBlocked);
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0].target, 1u);
+  const auto ready = directory.ack(kLine);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(directory.complete(*ready, next), CohGrant::kModified);
+  EXPECT_EQ(directory.owner_of(kLine), 0u);
+}
+
+TEST(Directory, SameLineTransactionsSerializeInArrivalOrder) {
+  Directory directory(4);
+  std::vector<Directory::Probe> probes;
+  std::optional<MemRequest> next;
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetS, 0), probes),
+            Directory::Action::kProceed);
+  // A second request on the same line queues without emitting probes.
+  probes.clear();
+  EXPECT_EQ(directory.submit(coh_request(kLine, MemOp::kGetM, 1), probes),
+            Directory::Action::kBlocked);
+  EXPECT_TRUE(probes.empty());
+  EXPECT_TRUE(directory.has_transaction(kLine));
+  // Completing the first pops the queued GetM for re-activation.
+  EXPECT_EQ(directory.complete(coh_request(kLine, MemOp::kGetS, 0), next),
+            CohGrant::kExclusive);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->op, MemOp::kGetM);
+  EXPECT_EQ(next->core, 1u);
+  probes.clear();
+  EXPECT_EQ(directory.activate(*next, probes), Directory::Action::kBlocked);
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0].target, 0u);
+  EXPECT_FALSE(probes[0].to_shared);
+  const auto ready = directory.ack(kLine);
+  ASSERT_TRUE(ready.has_value());
+  std::optional<MemRequest> after;
+  EXPECT_EQ(directory.complete(*ready, after), CohGrant::kModified);
+  EXPECT_FALSE(after.has_value());
+  EXPECT_EQ(directory.owner_of(kLine), 1u);
+  EXPECT_FALSE(directory.has_transaction(kLine));
+}
+
+TEST(Directory, DirtyWritebackClearsOwnershipAndEntry) {
+  Directory directory(2);
+  std::vector<Directory::Probe> probes;
+  std::optional<MemRequest> next;
+  directory.submit(coh_request(kLine, MemOp::kGetM, 0), probes);
+  directory.complete(coh_request(kLine, MemOp::kGetM, 0), next);
+  EXPECT_EQ(directory.owner_of(kLine), 0u);
+  EXPECT_EQ(directory.tracked_lines(), 1u);
+  directory.on_writeback(kLine, 0);
+  EXPECT_EQ(directory.owner_of(kLine), kInvalidCore);
+  EXPECT_EQ(directory.tracked_lines(), 0u);
+}
+
+TEST(Directory, RejectsUnsupportedCoreCounts) {
+  EXPECT_THROW(Directory(0), ConfigError);
+  EXPECT_THROW(Directory(65), ConfigError);
+  EXPECT_NO_THROW(Directory(64));
+}
+
+}  // namespace
+}  // namespace coyote::memhier
+
+// ----------------------------------------------------------- system level --
+
+namespace coyote::core {
+namespace {
+
+using isa::Assembler;
+using namespace coyote::isa;
+
+constexpr Addr kTextBase = 0x1000;
+constexpr Addr kData = 0x20000;    // one 64B line
+constexpr Addr kFlag = 0x20040;    // handshake flag, own line
+constexpr Addr kFlag2 = 0x20080;   // second handshake flag, own line
+constexpr Addr kResult = 0x200C0;  // result mailbox, own line
+
+SimConfig litmus_config(Coherence coherence) {
+  SimConfig config;
+  config.num_cores = 2;
+  config.cores_per_tile = 1;  // cores on different tiles: probes cross the NoC
+  config.coherence = coherence;
+  return config;
+}
+
+/// Runs `as` on `sim` until both cores exit.
+void run_program(Simulator& sim, Assembler& as) {
+  const auto& words = as.finish();
+  sim.load_program(kTextBase, words, kTextBase);
+  const auto result = sim.run(50'000'000);
+  ASSERT_TRUE(result.all_exited);
+}
+
+void emit_exit(Assembler& as) {
+  as.li(a7, 93);
+  as.li(a0, 0);
+  as.ecall();
+}
+
+/// Splits into per-hart code paths on mhartid (two harts).
+Assembler::Label emit_hart_split(Assembler& as) {
+  as.csrr(t0, 0xF14);
+  auto hart1 = as.make_label();
+  as.bnez(t0, hart1);
+  return hart1;
+}
+
+std::uint64_t total_core_probe_hits(Simulator& sim) {
+  std::uint64_t total = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    const auto& counters = sim.core(core).counters();
+    total += counters.coh_invalidations + counters.coh_downgrades;
+  }
+  return total;
+}
+
+const memhier::Directory* directory_for(Simulator& sim, Addr line) {
+  const BankId bank = sim.orchestrator().bank_for(0, line);
+  return sim.l2_bank(bank).directory();
+}
+
+TEST(CoherenceLitmus, MessagePassing) {
+  // Core 0 publishes data then raises a flag; core 1 spins on the flag and
+  // reads the data. The consumer must observe 42 and the flag line must
+  // have generated at least one probe (whichever core requested it second
+  // probes the first requester's copy).
+  Simulator sim(litmus_config(Coherence::kMesi));
+  Assembler as(kTextBase);
+  auto hart1 = emit_hart_split(as);
+  // -- core 0 --
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t1, 42);
+  as.sd(t1, 0, s1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  as.li(t1, 1);
+  as.sd(t1, 0, s2);
+  emit_exit(as);
+  // -- core 1 --
+  as.bind(hart1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  auto spin = as.here();
+  as.ld(t2, 0, s2);
+  as.beqz(t2, spin);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.ld(t3, 0, s1);
+  as.li(s3, static_cast<std::int64_t>(kResult));
+  as.sd(t3, 0, s3);
+  // Dependent re-read: the bne consumes the loaded value, so the core can
+  // only exit after the kResult fill (and everything serialized before it)
+  // completed.
+  as.li(t5, 42);
+  auto verify = as.here();
+  as.ld(t4, 0, s3);
+  as.bne(t4, t5, verify);
+  emit_exit(as);
+  run_program(sim, as);
+  EXPECT_EQ(sim.memory().read<std::uint64_t>(kResult), 42u);
+  EXPECT_GE(total_core_probe_hits(sim), 1u);
+}
+
+TEST(CoherenceLitmus, RemoteReadDowngradesModifiedLineWithWriteback) {
+  // Core 0 writes kData (M), core 1 reads it: the directory must downgrade
+  // core 0 to Shared, carry the dirty data back to the bank, and grant
+  // core 1 Shared — leaving both L1s in S and the L2 copy dirty.
+  Simulator sim(litmus_config(Coherence::kMesi));
+  Assembler as(kTextBase);
+  auto hart1 = emit_hart_split(as);
+  // -- core 0 --
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t1, 7);
+  as.sd(t1, 0, s1);
+  as.li(t3, 7);
+  auto own = as.here();  // wait for our own upgrade fill (line resident, M)
+  as.ld(t2, 0, s1);
+  as.bne(t2, t3, own);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  as.li(t1, 1);
+  as.sd(t1, 0, s2);
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  auto wait0 = as.here();  // stay alive until core 1 finished its read
+  as.ld(t4, 0, s3);
+  as.beqz(t4, wait0);
+  emit_exit(as);
+  // -- core 1 --
+  as.bind(hart1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  auto wait1 = as.here();
+  as.ld(t2, 0, s2);
+  as.beqz(t2, wait1);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t5, 7);
+  auto verify = as.here();  // retires only after the kData fill arrived
+  as.ld(t3, 0, s1);
+  as.bne(t3, t5, verify);
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  as.li(t1, 1);
+  as.sd(t1, 0, s3);
+  emit_exit(as);
+  run_program(sim, as);
+  EXPECT_EQ(sim.memory().read<std::uint64_t>(kData), 7u);
+  EXPECT_EQ(sim.core(0).l1d_state(kData), memhier::CohState::kShared);
+  EXPECT_EQ(sim.core(1).l1d_state(kData), memhier::CohState::kShared);
+  const auto* directory = directory_for(sim, kData);
+  ASSERT_NE(directory, nullptr);
+  EXPECT_EQ(directory->owner_of(kData), kInvalidCore);
+  EXPECT_EQ(directory->sharer_mask(kData), 0b11u);
+  const BankId bank = sim.orchestrator().bank_for(0, kData);
+  EXPECT_TRUE(sim.l2_bank(bank).line_dirty(kData));
+  EXPECT_GE(sim.core(0).counters().coh_downgrades, 1u);
+}
+
+TEST(CoherenceLitmus, RemoteWriteInvalidatesCachedCopy) {
+  // Core 0 reads kData (E), signals, and stays alive; core 1 then writes
+  // it. The invalidation probe must remove core 0's copy and leave core 1
+  // the sole Modified owner at the directory.
+  Simulator sim(litmus_config(Coherence::kMesi));
+  sim.memory().write<std::uint64_t>(kData, 5);
+  Assembler as(kTextBase);
+  auto hart1 = emit_hart_split(as);
+  // -- core 0 --
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t3, 5);
+  auto own = as.here();
+  as.ld(t1, 0, s1);
+  as.bne(t1, t3, own);  // fill complete: line resident (E)
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  as.li(t4, 1);
+  as.sd(t4, 0, s2);
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  auto wait0 = as.here();
+  as.ld(t5, 0, s3);
+  as.beqz(t5, wait0);
+  emit_exit(as);
+  // -- core 1 --
+  as.bind(hart1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  auto wait1 = as.here();
+  as.ld(t5, 0, s2);
+  as.beqz(t5, wait1);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t1, 9);
+  as.sd(t1, 0, s1);
+  as.li(t3, 9);
+  auto verify = as.here();
+  as.ld(t2, 0, s1);
+  as.bne(t2, t3, verify);  // GetM fill complete: core 1 holds M
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  as.li(t4, 1);
+  as.sd(t4, 0, s3);
+  emit_exit(as);
+  run_program(sim, as);
+  EXPECT_EQ(sim.memory().read<std::uint64_t>(kData), 9u);
+  EXPECT_EQ(sim.core(0).l1d_state(kData), memhier::CohState::kInvalid);
+  EXPECT_EQ(sim.core(1).l1d_state(kData), memhier::CohState::kModified);
+  const auto* directory = directory_for(sim, kData);
+  ASSERT_NE(directory, nullptr);
+  EXPECT_EQ(directory->owner_of(kData), 1u);
+  EXPECT_GE(sim.core(0).counters().coh_invalidations, 1u);
+}
+
+TEST(CoherenceLitmus, WriteSerializationOnOneLine) {
+  // Both cores hammer the same line with amoadd; the line ping-pongs
+  // M->I->M between the L1s. The sum must be exact and the single-writer
+  // invariant must hold at the end.
+  constexpr int kAddsPerCore = 200;
+  Simulator sim(litmus_config(Coherence::kMesi));
+  Assembler as(kTextBase);
+  as.csrr(t0, 0xF14);  // both harts run the same loop
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(s2, kAddsPerCore);
+  as.li(t1, 1);
+  auto loop = as.here();
+  as.amoadd_d(t2, t1, s1);
+  as.addi(s2, s2, -1);
+  as.bnez(s2, loop);
+  emit_exit(as);
+  run_program(sim, as);
+  EXPECT_EQ(sim.memory().read<std::uint64_t>(kData), 2u * kAddsPerCore);
+  EXPECT_GE(total_core_probe_hits(sim), 1u);
+  // Single-writer invariant on the contested line.
+  int exclusive_holders = 0;
+  int shared_holders = 0;
+  for (CoreId core = 0; core < sim.num_cores(); ++core) {
+    switch (sim.core(core).l1d_state(kData)) {
+      case memhier::CohState::kModified:
+      case memhier::CohState::kExclusive:
+        ++exclusive_holders;
+        break;
+      case memhier::CohState::kShared:
+        ++shared_holders;
+        break;
+      case memhier::CohState::kInvalid:
+        break;
+    }
+  }
+  EXPECT_LE(exclusive_holders, 1);
+  if (exclusive_holders == 1) EXPECT_EQ(shared_holders, 0);
+}
+
+class StaleScTest : public ::testing::TestWithParam<Coherence> {};
+
+TEST_P(StaleScTest, RemoteStoreKillsReservation) {
+  // Core 0 takes a reservation, core 1 overwrites the word, core 0's SC
+  // must fail — in every coherence mode, because reservations live in the
+  // shared memory and any overlapping store clears them.
+  Simulator sim(litmus_config(GetParam()));
+  sim.memory().write<std::uint64_t>(kData, 5);
+  Assembler as(kTextBase);
+  auto hart1 = emit_hart_split(as);
+  // -- core 0 --
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.lr_d(t1, s1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  as.li(t2, 1);
+  as.sd(t2, 0, s2);  // signal: reservation taken
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  auto wait0 = as.here();
+  as.ld(t3, 0, s3);
+  as.beqz(t3, wait0);  // wait: remote store done
+  as.li(t4, 77);
+  as.sc_d(t5, t4, s1);  // stale: must fail (t5 != 0)
+  as.li(s4, static_cast<std::int64_t>(kResult));
+  as.sd(t5, 0, s4);
+  emit_exit(as);
+  // -- core 1 --
+  as.bind(hart1);
+  as.li(s2, static_cast<std::int64_t>(kFlag));
+  auto wait1 = as.here();
+  as.ld(t3, 0, s2);
+  as.beqz(t3, wait1);
+  as.li(s1, static_cast<std::int64_t>(kData));
+  as.li(t1, 9);
+  as.sd(t1, 0, s1);  // kills core 0's reservation
+  as.li(s3, static_cast<std::int64_t>(kFlag2));
+  as.li(t2, 1);
+  as.sd(t2, 0, s3);
+  emit_exit(as);
+  run_program(sim, as);
+  EXPECT_NE(sim.memory().read<std::uint64_t>(kResult), 0u)
+      << "stale SC succeeded after a remote store";
+  EXPECT_EQ(sim.memory().read<std::uint64_t>(kData), 9u)
+      << "stale SC overwrote the remote store";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StaleScTest,
+                         ::testing::Values(Coherence::kNone, Coherence::kMesi),
+                         [](const auto& info) {
+                           return std::string(coherence_name(info.param));
+                         });
+
+// ------------------------------------------------------- differential --
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Small-but-valid problem size per kernel (keeps the 2x14 runs fast).
+std::uint64_t small_size(const std::string& name) {
+  static const std::map<std::string, std::uint64_t> sizes = {
+      {"matmul_scalar", 12}, {"matmul_vector", 12}, {"spmv_scalar", 48},
+      {"spmv_row_gather", 48}, {"spmv_ell", 48}, {"spmv_two_phase", 48},
+      {"stencil_scalar", 96}, {"stencil_vector", 96}, {"stencil_sync", 96},
+      {"stencil2d", 12}, {"histogram", 256}, {"axpy", 256},
+      {"dot", 256}, {"fft", 64},
+  };
+  return sizes.at(name);
+}
+
+struct KernelOutcome {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::string prv;
+};
+
+KernelOutcome run_named(const std::string& name, Coherence coherence,
+                        const std::string& tag) {
+  SimConfig config;
+  config.num_cores = 1;
+  config.coherence = coherence;
+  config.enable_trace = true;
+  config.trace_basename = ::testing::TempDir() + "coh_" + tag;
+  Simulator sim(config);
+  const auto program =
+      kernels::build_named_kernel(name, 1, small_size(name), 7, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(500'000'000);
+  EXPECT_TRUE(result.all_exited) << name;
+  return KernelOutcome{result.cycles, result.instructions,
+                       slurp(config.trace_basename + ".prv")};
+}
+
+TEST(CoherenceDifferential, SingleCoreIsCycleAndTraceIdenticalToNone) {
+  // On one core every GetS is granted Exclusive and every upgrade is
+  // silent, so MESI must not change a single cycle or trace byte for any
+  // kernel in the menu.
+  for (const auto& name : kernels::kernel_names()) {
+    const auto none = run_named(name, Coherence::kNone, name + "_none");
+    const auto mesi = run_named(name, Coherence::kMesi, name + "_mesi");
+    EXPECT_EQ(none.cycles, mesi.cycles) << name;
+    EXPECT_EQ(none.instructions, mesi.instructions) << name;
+    EXPECT_EQ(none.prv, mesi.prv) << name << ": trace differs";
+    EXPECT_FALSE(none.prv.empty()) << name;
+  }
+}
+
+SimConfig multicore_config(Coherence coherence) {
+  SimConfig config;
+  config.num_cores = 4;
+  config.cores_per_tile = 2;
+  config.l2_banks_per_tile = 2;
+  config.num_mcs = 2;
+  config.coherence = coherence;
+  return config;
+}
+
+std::vector<double> run_matmul_result(Coherence coherence) {
+  Simulator sim(multicore_config(coherence));
+  const auto workload = kernels::MatmulWorkload::generate(20, 11);
+  workload.install(sim.memory());
+  const auto program = kernels::build_matmul_scalar(workload, 4);
+  sim.load_program(program.base, program.words, program.entry);
+  EXPECT_TRUE(sim.run(200'000'000).all_exited);
+  return workload.result(sim.memory());
+}
+
+TEST(CoherenceDifferential, MultiCoreFunctionalResultsMatchNone) {
+  // Timing differs with coherence on, but functional outputs must not:
+  // matmul partitions are disjoint (bitwise equality) and histogram's
+  // atomic adds commute (exact equality).
+  EXPECT_EQ(run_matmul_result(Coherence::kNone),
+            run_matmul_result(Coherence::kMesi));
+  const auto run_histogram = [](Coherence coherence) {
+    Simulator sim(multicore_config(coherence));
+    const auto workload =
+        kernels::HistogramWorkload::generate(2048, 64, 0.5, 9);
+    workload.install(sim.memory());
+    const auto program = kernels::build_histogram_atomic(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    EXPECT_TRUE(sim.run(500'000'000).all_exited);
+    return workload.result(sim.memory());
+  };
+  const auto none = run_histogram(Coherence::kNone);
+  EXPECT_EQ(none, run_histogram(Coherence::kMesi));
+  EXPECT_EQ(none, kernels::HistogramWorkload::generate(2048, 64, 0.5, 9)
+                      .reference());
+}
+
+TEST(CoherenceDifferential, MultiIterationStencilRunsUnderMesi) {
+  // The acceptance shape for the lifted stencil restriction: 4 cores,
+  // several sweeps, coherence on — halo exchange through the barrier must
+  // produce the reference values.
+  Simulator sim(multicore_config(Coherence::kMesi));
+  const auto workload = kernels::StencilWorkload::generate(257, 5, 13);
+  workload.install(sim.memory());
+  const auto program = kernels::build_stencil_vector(workload, 4);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(500'000'000).all_exited);
+  const auto expected = workload.reference();
+  const auto actual = workload.result(sim.memory());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], actual[i], 1e-12) << "i=" << i;
+  }
+  EXPECT_GE(total_core_probe_hits(sim), 1u);
+}
+
+}  // namespace
+}  // namespace coyote::core

@@ -35,6 +35,7 @@ const std::map<std::string, std::string>& alternate_values() {
       {"l2.prefetch", "next-line"},
       {"l2.prefetch_degree", "3"},
       {"l2.replacement", "fifo"},
+      {"l2.coherence", "mesi"},
       {"noc.model", "mesh"},
       {"noc.latency", "9"},
       {"noc.mesh_width", "2"},
@@ -78,12 +79,23 @@ TEST(ConfigIo, AlternateTableCoversEveryDocumentedKey) {
 }
 
 TEST(ConfigIo, DefaultsRoundTripAsFixpoint) {
-  // An empty map takes every documented default and emits them all back.
+  // An empty map takes every documented default and emits them all back —
+  // except keys marked !emit_when_default (frozen-table compatibility),
+  // which must be *absent* while at their default.
   const simfw::ConfigMap emitted =
       config_to_map(config_from_map(simfw::ConfigMap{}));
-  EXPECT_EQ(emitted.values().size(), config_keys().size());
+  std::size_t expected_keys = 0;
   for (const ConfigKeyInfo& info : config_keys()) {
-    EXPECT_EQ(emitted.get(info.key), info.default_value) << info.key;
+    if (info.emit_when_default) ++expected_keys;
+  }
+  EXPECT_EQ(emitted.values().size(), expected_keys);
+  for (const ConfigKeyInfo& info : config_keys()) {
+    if (info.emit_when_default) {
+      EXPECT_EQ(emitted.get(info.key), info.default_value) << info.key;
+    } else {
+      EXPECT_FALSE(emitted.has(info.key))
+          << info.key << " must be omitted while it holds its default";
+    }
   }
   const simfw::ConfigMap again = config_to_map(config_from_map(emitted));
   EXPECT_EQ(emitted.values(), again.values());
@@ -152,6 +164,7 @@ TEST(ConfigIo, InvalidValuesThrow) {
   reject("l2.mapping", "diagonal");
   reject("l2.prefetch", "always");
   reject("l2.replacement", "plru");
+  reject("l2.coherence", "mosi");
   reject("noc.model", "torus");
   reject("mc.model", "hbm");
   reject("llc.enable", "maybe");

@@ -12,6 +12,7 @@
 
 #include "core/simulator.h"
 #include "kernels/kernels.h"
+#include "sweep/sweep.h"
 
 namespace coyote::core {
 namespace {
@@ -163,6 +164,78 @@ TEST(Determinism, TraceIsByteIdenticalAcrossPaths) {
   run_traced(false, "det_slow");
   EXPECT_EQ(slurp(dir + "det_fast.prv"), slurp(dir + "det_slow.prv"));
   EXPECT_NE(slurp(dir + "det_fast.prv").find("2:"), std::string::npos);
+}
+
+// ------------------------------------------------------- MESI coherence --
+// The probe/ack machinery adds new scheduler events and port traffic; all
+// of it must stay on the deterministic (cycle, priority, sequence) order so
+// the batched fast paths and parallel sweeps remain bit-identical.
+
+SimConfig mesi_config(std::uint32_t cores) {
+  SimConfig config = base_config(cores);
+  config.coherence = Coherence::kMesi;
+  return config;
+}
+
+TEST(Determinism, MesiRepeatedRunsAreIdentical) {
+  expect_identical(run_matmul(mesi_config(4)), run_matmul(mesi_config(4)));
+  expect_identical(run_spmv(mesi_config(2)), run_spmv(mesi_config(2)));
+}
+
+TEST(Determinism, MesiBatchedMatchesLiteralLoop) {
+  SimConfig batched = mesi_config(4);
+  SimConfig literal = mesi_config(4);
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+  expect_identical(run_spmv(batched), run_spmv(literal));
+}
+
+TEST(Determinism, MesiBatchedMatchesLiteralLoopWithQuantum) {
+  SimConfig batched = mesi_config(2);
+  batched.interleave_quantum = 10;
+  SimConfig literal = batched;
+  literal.batched_stepping = false;
+  expect_identical(run_matmul(batched), run_matmul(literal));
+}
+
+TEST(Determinism, MesiTraceIsByteIdenticalAcrossPaths) {
+  const std::string dir = ::testing::TempDir();
+  const auto run_traced = [&](bool batched, const std::string& basename) {
+    SimConfig config = mesi_config(4);
+    config.batched_stepping = batched;
+    config.enable_trace = true;
+    config.trace_basename = dir + basename;
+    Simulator sim(config);
+    const auto workload = MatmulWorkload::generate(16, 7);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 4);
+    sim.load_program(program.base, program.words, program.entry);
+    EXPECT_TRUE(sim.run(200'000'000).all_exited);
+  };
+  run_traced(true, "mesi_fast");
+  run_traced(false, "mesi_slow");
+  EXPECT_EQ(slurp(dir + "mesi_fast.prv"), slurp(dir + "mesi_slow.prv"));
+}
+
+TEST(Determinism, MesiSweepIsIdenticalAcrossJobCounts) {
+  // A small mesi sweep grid must produce byte-identical results tables
+  // whether the points run serially or on four workers.
+  const auto report_json = [](unsigned jobs) {
+    sweep::SweepSpec spec;
+    spec.kernel = "matmul_scalar";
+    spec.size = 12;
+    spec.seed = 5;
+    spec.base.set("topo.cores", "4");
+    spec.base.set("l2.coherence", "mesi");
+    spec.axes.push_back({"l2.size_kb", {"128", "256"}});
+    spec.axes.push_back({"topo.cores_per_tile", {"2", "4"}});
+    sweep::SweepEngine::Options options;
+    options.jobs = jobs;
+    const auto report = sweep::SweepEngine(options).run(spec);
+    EXPECT_EQ(report.num_ok(), report.points.size());
+    return report.to_json(/*include_host_timing=*/false);
+  };
+  EXPECT_EQ(report_json(1), report_json(4));
 }
 
 }  // namespace

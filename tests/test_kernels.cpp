@@ -225,10 +225,27 @@ TEST(Stencil, MultiIterationSingleCore) {
   expect_close(workload.reference(), workload.result(sim.memory()), 1e-13);
 }
 
-TEST(Stencil, MultiIterationMulticoreRejected) {
+TEST(Stencil, MultiIterationMulticoreVector) {
+  // The former iterations==1 restriction is lifted: the vector builder
+  // delegates multicore multi-iteration shapes to the barrier-synchronized
+  // variant and the halo cells are exchanged correctly between sweeps.
+  core::Simulator sim(config_for(4));
   const auto workload = StencilWorkload::generate(128, 3, 64);
-  EXPECT_THROW(build_stencil_vector(workload, 4), ConfigError);
-  EXPECT_THROW(build_stencil_scalar(workload, 4), ConfigError);
+  workload.install(sim.memory());
+  const auto program = build_stencil_vector(workload, 4);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(200'000'000).all_exited);
+  expect_close(workload.reference(), workload.result(sim.memory()), 1e-13);
+}
+
+TEST(Stencil, MultiIterationMulticoreScalar) {
+  core::Simulator sim(config_for(4));
+  const auto workload = StencilWorkload::generate(128, 3, 66);
+  workload.install(sim.memory());
+  const auto program = build_stencil_scalar(workload, 4);
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run(200'000'000).all_exited);
+  expect_close(workload.reference(), workload.result(sim.memory()), 1e-13);
 }
 
 TEST(Stencil, BoundariesUntouched) {
