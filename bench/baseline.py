@@ -11,6 +11,11 @@ the reports at the repository root:
 
     BENCH_fig3.json   BENCH_micro.json   BENCH_sweep.json
 
+Every report is stamped with provenance — the git revision it was measured
+at (with a "-dirty" suffix for an unclean tree) and a bench_schema_version
+for the stamp layout itself — so a baseline found on disk can always be
+traced back to the code that produced it.
+
 Regenerate all baselines with a single command:
 
     python3 bench/baseline.py
@@ -34,6 +39,36 @@ import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Version of the provenance stamp added to every BENCH_*.json (not of the
+# reports' own payload schemas — the sweep table carries its own).
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_revision() -> str:
+    """HEAD's SHA, suffixed with -dirty when the tree has local changes."""
+    try:
+        sha = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "status", "--porcelain"],
+            capture_output=True, text=True, check=True).stdout.strip()
+        return f"{sha}-dirty" if dirty else sha
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def stamp_provenance(out_path: pathlib.Path, git_sha: str) -> None:
+    """Adds bench_schema_version + git_sha to a report, deterministically
+    re-serialized so identical runs still compare byte for byte."""
+    with open(out_path) as fh:
+        report = json.load(fh)
+    report["bench_schema_version"] = BENCH_SCHEMA_VERSION
+    report["git_sha"] = git_sha
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=False)
+        fh.write("\n")
 
 BENCHMARKS = [
     # (binary name, output file, extra args)
@@ -131,6 +166,8 @@ def main() -> int:
     build_dir = pathlib.Path(args.build_dir)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    git_sha = git_revision()
+    print(f"[baseline] git revision: {git_sha}", flush=True)
 
     for name, out_name, extra in BENCHMARKS:
         if args.only and name != args.only:
@@ -142,12 +179,14 @@ def main() -> int:
             bench_filter = "/(1|16)/"
         out_path = out_dir / out_name
         run_one(find_binary(build_dir, name), out_path, extra, bench_filter)
+        stamp_provenance(out_path, git_sha)
         summarize(out_path)
         print(f"[baseline] wrote {out_path}")
 
     if args.only in (None, "coyote_sweep"):
         sweep_path = out_dir / "BENCH_sweep.json"
         run_sweep(build_dir, sweep_path, args.quick)
+        stamp_provenance(sweep_path, git_sha)
         print(f"[baseline] wrote {sweep_path}")
     return 0
 

@@ -8,13 +8,18 @@
 //   coyote_sim --kernel=spmv_row_gather --cores=64
 //       l2.size_kb=512 l2.banks_per_tile=4 l2.mapping=page-to-bank
 //       noc.latency=8 mc.latency=150 --report=csv --trace=out/spmv
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/fastforward.h"
 #include "core/config_io.h"
 #include "core/run_summary.h"
 #include "core/simulator.h"
@@ -30,7 +35,10 @@ struct Options {
   std::string program_path;  ///< assemble & run this .s file instead
   std::string report = "text";
   std::string trace_basename;
-  std::string json_out;    ///< versioned run summary destination
+  std::string json_out;        ///< versioned run summary destination
+  std::string checkpoint_out;  ///< cut a checkpoint here mid-run
+  std::string checkpoint_in;   ///< resume from this checkpoint instead
+  Cycle checkpoint_at = 0;     ///< earliest cycle for the checkpoint cut
   std::uint64_t size = 0;  // problem size; 0 = kernel default
   std::uint64_t seed = 2024;
   simfw::ConfigMap overrides;
@@ -41,7 +49,9 @@ void usage() {
       "usage: coyote_sim [--kernel=K | --program=FILE.s] [--cores=N]\n"
       "                  [--size=S] [--seed=X] [--report=text|csv|json]\n"
       "                  [--json-out=FILE] [--trace=BASENAME]\n"
-      "                  [key=value ...]\n"
+      "                  [--ffwd=N] [--checkpoint-out=FILE]\n"
+      "                  [--checkpoint-at=CYCLE] [--checkpoint-in=FILE]\n"
+      "                  [--list-kernels] [key=value ...]\n"
       "\n"
       "--program assembles a RISC-V source file (GNU-style subset; see\n"
       "src/isa/text_asm.h) and runs it on every core. Programs read their\n"
@@ -51,9 +61,16 @@ void usage() {
       "(schema_version %d: config, result, statistics) alongside the\n"
       "--report stream.\n"
       "\n"
+      "--ffwd=N fast-forwards up to N instructions per core functionally\n"
+      "(Spike-style, warming the caches) before detailed simulation;\n"
+      "shorthand for ckpt.ffwd_instructions=N. --checkpoint-out cuts a\n"
+      "checkpoint at the first quiesce point at or after --checkpoint-at\n"
+      "cycles (default 0), then keeps running; --checkpoint-in resumes a\n"
+      "saved run bit-identically (no kernel/config arguments needed).\n"
+      "\n"
       "--cores=N is shorthand for topo.cores=N.\n"
       "\n"
-      "kernels:",
+      "kernels (see --list-kernels for descriptions):",
       core::kRunSummarySchemaVersion);
   for (const std::string& name : kernels::kernel_names()) {
     std::printf(" %s", name.c_str());
@@ -61,39 +78,99 @@ void usage() {
   std::printf("\n\n%s", core::config_usage().c_str());
 }
 
+void list_kernels() {
+  std::size_t width = 0;
+  for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
+    width = std::max(width, info.name.size());
+  }
+  for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
+    std::printf("%-*s  %s\n", static_cast<int>(width), info.name.c_str(),
+                info.description.c_str());
+  }
+}
+
 int run(const Options& options) {
-  core::SimConfig config = core::config_from_map(options.overrides);
-  if (!options.trace_basename.empty()) {
-    config.enable_trace = true;
-    config.trace_basename = options.trace_basename;
-  }
-  core::Simulator sim(config);
-
+  std::unique_ptr<core::Simulator> sim;
   std::string workload_name = options.kernel;
-  if (!options.program_path.empty()) {
-    workload_name = options.program_path;
-    std::ifstream in(options.program_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open '%s'\n", options.program_path.c_str());
-      return 2;
-    }
-    std::ostringstream source;
-    source << in.rdbuf();
-    const auto assembled = isa::assemble_text(source.str());
-    sim.load_program(assembled.base, assembled.words, assembled.base);
+  core::RunResult prefix;  // cycles/instructions before the final run leg
+
+  if (!options.checkpoint_in.empty()) {
+    ckpt::CheckpointMeta meta;
+    sim = ckpt::restore_checkpoint_file(options.checkpoint_in, &meta);
+    workload_name = meta.workload;
+    std::fprintf(stderr, "# restored %s at cycle %llu (workload %s)\n",
+                 options.checkpoint_in.c_str(),
+                 static_cast<unsigned long long>(meta.cycle),
+                 meta.workload.c_str());
   } else {
-    const kernels::Program program =
-        kernels::build_named_kernel(options.kernel, config.num_cores,
-                                    options.size, options.seed, sim.memory());
-    sim.load_program(program.base, program.words, program.entry);
+    core::SimConfig config = core::config_from_map(options.overrides);
+    if (!options.trace_basename.empty()) {
+      config.enable_trace = true;
+      config.trace_basename = options.trace_basename;
+    }
+    sim = std::make_unique<core::Simulator>(config);
+
+    if (!options.program_path.empty()) {
+      workload_name = options.program_path;
+      std::ifstream in(options.program_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n",
+                     options.program_path.c_str());
+        return 2;
+      }
+      std::ostringstream source;
+      source << in.rdbuf();
+      const auto assembled = isa::assemble_text(source.str());
+      sim->load_program(assembled.base, assembled.words, assembled.base);
+    } else {
+      const kernels::Program program = kernels::build_named_kernel(
+          options.kernel, config.num_cores, options.size, options.seed,
+          sim->memory());
+      sim->load_program(program.base, program.words, program.entry);
+    }
+
+    if (sim->config().ffwd_instructions != 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const ckpt::FfwdResult ffwd = ckpt::fast_forward(*sim);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::fprintf(stderr,
+                   "# fast-forwarded %llu instructions in %.2f s "
+                   "(%.1f host MIPS)%s%s\n",
+                   static_cast<unsigned long long>(ffwd.instructions), secs,
+                   secs > 0 ? static_cast<double>(ffwd.instructions) / secs /
+                                  1e6
+                            : 0.0,
+                   ffwd.roi_reached ? " (stopped at ROI marker)" : "",
+                   ffwd.all_exited ? " (all programs exited)" : "");
+    }
   }
 
-  const auto result = sim.run(~Cycle{0});
+  if (!options.checkpoint_out.empty()) {
+    const auto cut = sim->run_to_quiesce(options.checkpoint_at);
+    prefix.cycles = cut.cycles;
+    prefix.instructions = cut.instructions;
+    if (cut.quiesced) {
+      ckpt::write_checkpoint_file(*sim, workload_name, options.checkpoint_out);
+      std::fprintf(stderr, "# checkpoint written to %s at cycle %llu\n",
+                   options.checkpoint_out.c_str(),
+                   static_cast<unsigned long long>(sim->scheduler().now()));
+    } else {
+      std::fprintf(stderr,
+                   "# no checkpoint: the run ended before quiescing\n");
+    }
+  }
+
+  auto result = sim->run(~Cycle{0});
+  result.cycles += prefix.cycles;
+  result.instructions += prefix.instructions;
+  core::Simulator& sim_ref = *sim;
 
   std::fprintf(stderr,
                "# kernel=%s cores=%u sim_cycles=%llu instructions=%llu "
                "host_MIPS=%.2f\n",
-               workload_name.c_str(), config.num_cores,
+               workload_name.c_str(), sim_ref.config().num_cores,
                static_cast<unsigned long long>(result.cycles),
                static_cast<unsigned long long>(result.instructions),
                result.mips);
@@ -101,7 +178,7 @@ int run(const Options& options) {
   simfw::ReportFormat format = simfw::ReportFormat::kText;
   if (options.report == "csv") format = simfw::ReportFormat::kCsv;
   if (options.report == "json") format = simfw::ReportFormat::kJson;
-  std::fputs(sim.report(format).c_str(), stdout);
+  std::fputs(sim_ref.report(format).c_str(), stdout);
 
   if (!options.json_out.empty()) {
     std::ofstream out(options.json_out);
@@ -109,7 +186,7 @@ int run(const Options& options) {
       std::fprintf(stderr, "cannot write '%s'\n", options.json_out.c_str());
       return 2;
     }
-    out << core::run_summary_json(workload_name, sim, result);
+    out << core::run_summary_json(workload_name, sim_ref, result);
   }
   return result.all_exited ? 0 : 1;
 }
@@ -123,6 +200,10 @@ int main(int argc, char** argv) {
     const auto value_of = [&arg]() { return arg.substr(arg.find('=') + 1); };
     if (arg == "--help" || arg == "-h") {
       usage();
+      return 0;
+    }
+    if (arg == "--list-kernels") {
+      list_kernels();
       return 0;
     }
     try {
@@ -142,6 +223,14 @@ int main(int argc, char** argv) {
         options.json_out = value_of();
       } else if (arg.rfind("--trace=", 0) == 0) {
         options.trace_basename = value_of();
+      } else if (arg.rfind("--ffwd=", 0) == 0) {
+        options.overrides.set("ckpt.ffwd_instructions", value_of());
+      } else if (arg.rfind("--checkpoint-out=", 0) == 0) {
+        options.checkpoint_out = value_of();
+      } else if (arg.rfind("--checkpoint-at=", 0) == 0) {
+        options.checkpoint_at = std::stoull(value_of());
+      } else if (arg.rfind("--checkpoint-in=", 0) == 0) {
+        options.checkpoint_in = value_of();
       } else if (arg.rfind("--", 0) == 0) {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         usage();

@@ -27,6 +27,7 @@ void usage() {
   std::printf(
       "usage: coyote_sweep [--kernel=K] [--size=S] [--seed=X] [--jobs=N]\n"
       "                    [--max-cycles=C] [--retries=R] [--json-out=FILE]\n"
+      "                    [--resume-dir=DIR] [--checkpoint-interval=C]\n"
       "                    [--quiet] [key=value | key=v1,v2,...] ...\n"
       "\n"
       "Runs kernel K on every point of the config grid spanned by the\n"
@@ -40,6 +41,13 @@ void usage() {
       "  --jobs=N        worker threads (default: all host cores)\n"
       "  --max-cycles=C  per-point simulated-cycle budget (default: none)\n"
       "  --retries=R     extra attempts per failing point (default 1)\n"
+      "  --resume-dir=DIR  record per-point results and periodic state\n"
+      "                  checkpoints in DIR; re-running the same campaign\n"
+      "                  with the same DIR skips completed points and\n"
+      "                  continues interrupted ones bit-identically\n"
+      "  --checkpoint-interval=C  simulated cycles between per-point\n"
+      "                  checkpoint cuts (default 5000000; 0 = only record\n"
+      "                  completed points)\n"
       "  --quiet         no progress line, no ranking table\n"
       "\n"
       "kernels:",
@@ -116,6 +124,10 @@ int run(int argc, char** argv) {
       retries = static_cast<std::uint32_t>(std::stoul(value_of()));
     } else if (arg.rfind("--json-out=", 0) == 0) {
       json_out = value_of();
+    } else if (arg.rfind("--resume-dir=", 0) == 0) {
+      options.resume_dir = value_of();
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      options.checkpoint_interval = std::stoull(value_of());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--cores=", 0) == 0) {

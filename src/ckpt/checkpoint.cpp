@@ -1,0 +1,365 @@
+#include "ckpt/checkpoint.h"
+
+#include <fstream>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/error.h"
+#include "core/config_io.h"
+#include "simfw/unit.h"
+
+namespace coyote::ckpt {
+
+namespace {
+
+// ----- SimConfig <-> binary --------------------------------------------
+// The complete typed config, field by field. The map surface (config_io)
+// deliberately cannot express every field — capacities speak whole KiB,
+// trace outputs are not knobs — so restore works from this serialization
+// and the embedded map is provenance only.
+
+void save_config(BinWriter& w, const core::SimConfig& c) {
+  w.u32(c.num_cores);
+  w.u32(c.cores_per_tile);
+  w.u32(c.l2_banks_per_tile);
+  // core (ISS + L1)
+  w.u32(c.core.vector.vlen_bits);
+  w.u64(c.core.l1d_size_bytes);
+  w.u32(c.core.l1d_ways);
+  w.u64(c.core.l1i_size_bytes);
+  w.u32(c.core.l1i_ways);
+  w.u32(c.core.line_bytes);
+  w.u8(static_cast<std::uint8_t>(c.core.l1_replacement));
+  w.b(c.core.model_l1);
+  w.b(c.core.coherent);
+  // L2
+  w.u8(static_cast<std::uint8_t>(c.l2_sharing));
+  w.u64(c.l2_bank.size_bytes);
+  w.u32(c.l2_bank.ways);
+  w.u32(c.l2_bank.line_bytes);
+  w.u64(c.l2_bank.hit_latency);
+  w.u64(c.l2_bank.miss_latency);
+  w.u32(c.l2_bank.mshrs);
+  w.u8(static_cast<std::uint8_t>(c.l2_bank.replacement));
+  w.u8(static_cast<std::uint8_t>(c.l2_bank.prefetch));
+  w.u32(c.l2_bank.prefetch_degree);
+  w.u64(c.l2_bank.prefetch_stride_bytes);
+  w.b(c.l2_bank.coherent);
+  w.u32(c.l2_bank.num_cores);
+  w.u32(c.l2_bank.cores_per_tile);
+  w.u8(static_cast<std::uint8_t>(c.mapping));
+  w.u8(static_cast<std::uint8_t>(c.coherence));
+  // NoC + memory
+  w.u8(static_cast<std::uint8_t>(c.noc.model));
+  w.u64(c.noc.crossbar_latency);
+  w.u64(c.noc.mesh_router_latency);
+  w.u64(c.noc.mesh_hop_latency);
+  w.u32(c.noc.mesh_width);
+  w.u32(c.num_mcs);
+  w.u8(static_cast<std::uint8_t>(c.mc.model));
+  w.u64(c.mc.latency);
+  w.u64(c.mc.cycles_per_request);
+  w.u32(c.mc.dram_banks);
+  w.u64(c.mc.row_bytes);
+  w.u64(c.mc.row_hit_latency);
+  w.u64(c.mc.row_miss_latency);
+  w.u32(c.mc_interleave_bytes);
+  w.b(c.llc.enable);
+  w.u64(c.llc.size_bytes);
+  w.u32(c.llc.ways);
+  w.u32(c.llc.line_bytes);
+  w.u64(c.llc.hit_latency);
+  w.u64(c.llc.miss_latency);
+  w.u8(static_cast<std::uint8_t>(c.llc.replacement));
+  // orchestration
+  w.u32(c.interleave_quantum);
+  w.b(c.fast_forward_idle);
+  w.b(c.batched_stepping);
+  w.u64(c.ffwd_instructions);
+  w.b(c.ffwd_warmup);
+  w.b(c.ffwd_stop_at_roi);
+  w.u64(c.ffwd_warmup_window);
+  // outputs
+  w.b(c.enable_trace);
+  w.str(c.trace_basename);
+}
+
+core::SimConfig load_config(BinReader& r) {
+  core::SimConfig c;
+  c.num_cores = r.u32();
+  c.cores_per_tile = r.u32();
+  c.l2_banks_per_tile = r.u32();
+  c.core.vector.vlen_bits = r.u32();
+  c.core.l1d_size_bytes = r.u64();
+  c.core.l1d_ways = r.u32();
+  c.core.l1i_size_bytes = r.u64();
+  c.core.l1i_ways = r.u32();
+  c.core.line_bytes = r.u32();
+  c.core.l1_replacement = static_cast<memhier::Replacement>(r.u8());
+  c.core.model_l1 = r.b();
+  c.core.coherent = r.b();
+  c.l2_sharing = static_cast<core::L2Sharing>(r.u8());
+  c.l2_bank.size_bytes = r.u64();
+  c.l2_bank.ways = r.u32();
+  c.l2_bank.line_bytes = r.u32();
+  c.l2_bank.hit_latency = r.u64();
+  c.l2_bank.miss_latency = r.u64();
+  c.l2_bank.mshrs = r.u32();
+  c.l2_bank.replacement = static_cast<memhier::Replacement>(r.u8());
+  c.l2_bank.prefetch = static_cast<memhier::PrefetchPolicy>(r.u8());
+  c.l2_bank.prefetch_degree = r.u32();
+  c.l2_bank.prefetch_stride_bytes = r.u64();
+  c.l2_bank.coherent = r.b();
+  c.l2_bank.num_cores = r.u32();
+  c.l2_bank.cores_per_tile = r.u32();
+  c.mapping = static_cast<memhier::MappingPolicy>(r.u8());
+  c.coherence = static_cast<core::Coherence>(r.u8());
+  c.noc.model = static_cast<memhier::NocModel>(r.u8());
+  c.noc.crossbar_latency = r.u64();
+  c.noc.mesh_router_latency = r.u64();
+  c.noc.mesh_hop_latency = r.u64();
+  c.noc.mesh_width = r.u32();
+  c.num_mcs = r.u32();
+  c.mc.model = static_cast<memhier::McModel>(r.u8());
+  c.mc.latency = r.u64();
+  c.mc.cycles_per_request = r.u64();
+  c.mc.dram_banks = r.u32();
+  c.mc.row_bytes = r.u64();
+  c.mc.row_hit_latency = r.u64();
+  c.mc.row_miss_latency = r.u64();
+  c.mc_interleave_bytes = r.u32();
+  c.llc.enable = r.b();
+  c.llc.size_bytes = r.u64();
+  c.llc.ways = r.u32();
+  c.llc.line_bytes = r.u32();
+  c.llc.hit_latency = r.u64();
+  c.llc.miss_latency = r.u64();
+  c.llc.replacement = static_cast<memhier::Replacement>(r.u8());
+  c.interleave_quantum = r.u32();
+  c.fast_forward_idle = r.b();
+  c.batched_stepping = r.b();
+  c.ffwd_instructions = r.u64();
+  c.ffwd_warmup = r.b();
+  c.ffwd_stop_at_roi = r.b();
+  c.ffwd_warmup_window = r.u64();
+  c.enable_trace = r.b();
+  c.trace_basename = r.str();
+  return c;
+}
+
+// ----- statistics tree --------------------------------------------------
+// Generic walk over the Unit tree by pre-order position, with path and
+// counter names cross-checked on load: an identically-configured machine
+// builds an identical tree, so any mismatch means the checkpoint does not
+// belong to this config. StatisticDefs are report-time closures over live
+// state and carry no state of their own.
+
+void save_stats(BinWriter& w, const simfw::Unit& root) {
+  std::uint64_t num_units = 0;
+  root.for_each([&num_units](const simfw::Unit&) { ++num_units; });
+  w.u64(num_units);
+  root.for_each([&w](const simfw::Unit& unit) {
+    w.str(unit.path());
+    const simfw::StatisticSet& stats = unit.stats();
+    w.u64(stats.counters().size());
+    for (const auto& counter : stats.counters()) {
+      w.str(counter->name());
+      w.u64(counter->get());
+    }
+    w.u64(stats.distributions().size());
+    for (const auto& dist : stats.distributions()) {
+      w.str(dist->name());
+      w.u64(dist->count());
+      w.u64(dist->sum());
+      w.u64(dist->raw_min());
+      w.u64(dist->max());
+      for (unsigned i = 0; i < simfw::DistributionStat::kBuckets; ++i) {
+        w.u64(dist->bucket(i));
+      }
+    }
+  });
+}
+
+void load_stats(BinReader& r, simfw::Unit& root) {
+  std::vector<simfw::Unit*> units;
+  root.for_each([&units](simfw::Unit& unit) { units.push_back(&unit); });
+  if (r.u64() != units.size()) {
+    throw SimError("checkpoint: statistics tree shape mismatch");
+  }
+  for (simfw::Unit* unit : units) {
+    if (r.str() != unit->path()) {
+      throw SimError(strfmt("checkpoint: statistics unit mismatch at '%s'",
+                            unit->path().c_str()));
+    }
+    const simfw::StatisticSet& stats = unit->stats();
+    if (r.u64() != stats.counters().size()) {
+      throw SimError(strfmt("checkpoint: counter set mismatch in '%s'",
+                            unit->path().c_str()));
+    }
+    for (const auto& counter : stats.counters()) {
+      if (r.str() != counter->name()) {
+        throw SimError(strfmt("checkpoint: counter name mismatch in '%s'",
+                              unit->path().c_str()));
+      }
+      counter->set(r.u64());
+    }
+    if (r.u64() != stats.distributions().size()) {
+      throw SimError(strfmt("checkpoint: distribution set mismatch in '%s'",
+                            unit->path().c_str()));
+    }
+    for (const auto& dist : stats.distributions()) {
+      if (r.str() != dist->name()) {
+        throw SimError(strfmt("checkpoint: distribution name mismatch in '%s'",
+                              unit->path().c_str()));
+      }
+      const std::uint64_t count = r.u64();
+      const std::uint64_t sum = r.u64();
+      const std::uint64_t min = r.u64();
+      const std::uint64_t max = r.u64();
+      std::uint64_t buckets[simfw::DistributionStat::kBuckets];
+      for (auto& bucket : buckets) bucket = r.u64();
+      dist->restore(count, sum, min, max, buckets);
+    }
+  }
+}
+
+void save_meta(BinWriter& w, const CheckpointMeta& meta) {
+  w.u32(kCheckpointMagic);
+  w.u32(meta.version);
+  w.str(meta.workload);
+  w.u64(meta.config.values().size());
+  for (const auto& [key, value] : meta.config.values()) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u64(meta.cycle);
+}
+
+CheckpointMeta load_meta(BinReader& r) {
+  if (r.u32() != kCheckpointMagic) {
+    throw SimError("checkpoint: bad magic (not a Coyote checkpoint)");
+  }
+  CheckpointMeta meta;
+  meta.version = r.u32();
+  if (meta.version != kCheckpointVersion) {
+    throw SimError(strfmt("checkpoint: format version %u, this build reads %u",
+                          meta.version, kCheckpointVersion));
+  }
+  meta.workload = r.str();
+  const std::uint64_t num_keys = r.count(1 << 20);
+  for (std::uint64_t i = 0; i < num_keys; ++i) {
+    const std::string key = r.str();
+    meta.config.set(key, r.str());
+  }
+  meta.cycle = r.u64();
+  return meta;
+}
+
+}  // namespace
+
+void write_checkpoint(core::Simulator& sim, const std::string& workload,
+                      std::ostream& os) {
+  if (sim.scheduler().has_pending()) {
+    throw SimError(
+        "checkpoint: events pending — checkpoints may only be cut at a "
+        "quiesce point (use Simulator::run_to_quiesce)");
+  }
+  BinWriter w(os);
+
+  CheckpointMeta meta;
+  meta.workload = workload;
+  meta.config = core::config_to_map(sim.config());
+  meta.cycle = sim.scheduler().now();
+  save_meta(w, meta);
+
+  save_config(w, sim.config());
+
+  // Scheduler clock: position, tie-break sequence and the fired count, so
+  // the restored queue continues with identical intra-cycle ordering.
+  w.u64(sim.scheduler().now());
+  w.u64(sim.scheduler().next_sequence());
+  w.u64(sim.scheduler().events_fired());
+
+  sim.memory().save_state(w);
+  for (CoreId id = 0; id < sim.num_cores(); ++id) {
+    sim.core(id).save_state(w);
+  }
+  for (BankId bank = 0; bank < sim.num_l2_banks(); ++bank) {
+    sim.l2_bank(bank).save_state(w);
+  }
+  for (McId mc = 0; mc < sim.config().num_mcs; ++mc) {
+    sim.mc(mc).save_state(w);
+    if (memhier::LlcSlice* llc = sim.llc(mc)) llc->save_state(w);
+  }
+  sim.orchestrator().save_state(w);
+  save_stats(w, sim.root());
+
+  w.b(sim.trace() != nullptr);
+  if (sim.trace() != nullptr) sim.trace()->save_state(w);
+  os.flush();
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void write_checkpoint_file(core::Simulator& sim, const std::string& workload,
+                           const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw SimError("checkpoint: cannot open " + path);
+  write_checkpoint(sim, workload, os);
+}
+
+CheckpointMeta read_checkpoint_meta(std::istream& is) {
+  BinReader r(is);
+  return load_meta(r);
+}
+
+CheckpointMeta read_checkpoint_meta_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SimError("checkpoint: cannot open " + path);
+  return read_checkpoint_meta(is);
+}
+
+std::unique_ptr<core::Simulator> restore_checkpoint(std::istream& is,
+                                                    CheckpointMeta* meta_out) {
+  BinReader r(is);
+  CheckpointMeta meta = load_meta(r);
+  const core::SimConfig config = load_config(r);
+
+  auto sim = std::make_unique<core::Simulator>(config);
+
+  const Cycle now = r.u64();
+  const std::uint64_t next_sequence = r.u64();
+  const std::uint64_t events_fired = r.u64();
+  sim->scheduler().restore_clock(now, next_sequence, events_fired);
+
+  sim->memory().load_state(r);
+  for (CoreId id = 0; id < sim->num_cores(); ++id) {
+    sim->core(id).load_state(r);
+  }
+  for (BankId bank = 0; bank < sim->num_l2_banks(); ++bank) {
+    sim->l2_bank(bank).load_state(r);
+  }
+  for (McId mc = 0; mc < sim->config().num_mcs; ++mc) {
+    sim->mc(mc).load_state(r);
+    if (memhier::LlcSlice* llc = sim->llc(mc)) llc->load_state(r);
+  }
+  sim->orchestrator().load_state(r);
+  load_stats(r, sim->root());
+
+  const bool has_trace = r.b();
+  if (has_trace != (sim->trace() != nullptr)) {
+    throw SimError("checkpoint: trace-presence mismatch");
+  }
+  if (has_trace) sim->trace()->load_state(r);
+
+  if (meta_out != nullptr) *meta_out = std::move(meta);
+  return sim;
+}
+
+std::unique_ptr<core::Simulator> restore_checkpoint_file(
+    const std::string& path, CheckpointMeta* meta_out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SimError("checkpoint: cannot open " + path);
+  return restore_checkpoint(is, meta_out);
+}
+
+}  // namespace coyote::ckpt

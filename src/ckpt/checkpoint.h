@@ -1,0 +1,75 @@
+// Checkpoint / restore of complete simulator state (the tentpole of the
+// sampling subsystem). A checkpoint is a versioned little-endian binary
+// image of everything a run needs to continue bit-identically: the full
+// SimConfig, the scheduler clock, every hart's architectural state, the
+// sparse memory pages and LR/SC reservations, all cache tag arrays and
+// replacement state (L1 I/D, L2 banks, LLC slices), the MESI directory
+// records, the memory controllers' open-row / bandwidth state, the entire
+// statistics tree and — when tracing — the buffered Paraver records.
+//
+// Quiesce invariant: checkpoints are only cut at quiesce points (see
+// Simulator::run_to_quiesce) where the event queue is empty and nothing is
+// in flight anywhere. Event callbacks therefore never need serializing, and
+// every component's transient bookkeeping (MSHRs, probe transactions, RAW
+// scoreboards) is empty by construction. write_checkpoint throws SimError
+// if the invariant does not hold.
+//
+// Bit-identity guarantee: restore_checkpoint(write_checkpoint(S)) yields a
+// simulator whose continuation is cycle-, statistics- and trace-identical
+// to letting S run on uninterrupted.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "core/simulator.h"
+#include "simfw/params.h"
+
+namespace coyote::ckpt {
+
+/// File magic: the bytes "PKYC" when the leading u32 is read little-endian.
+inline constexpr std::uint32_t kCheckpointMagic = 0x43594B50;
+/// Format version. Bumped on any layout change; readers reject mismatches.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// The checkpoint header, readable without reconstructing the simulator
+/// (sweep resume matches points against `config` before restoring).
+struct CheckpointMeta {
+  std::uint32_t version = kCheckpointVersion;
+  /// Free-form workload label (e.g. the kernel spec that was loaded).
+  std::string workload;
+  /// The normalised config map (config_to_map of the captured SimConfig),
+  /// embedded for provenance and sweep-point matching. Restore does NOT
+  /// rebuild the config from this map — the map surface cannot express
+  /// every SimConfig field — but from a complete binary serialization that
+  /// follows it in the stream.
+  simfw::ConfigMap config;
+  /// Simulated cycle at which the checkpoint was cut.
+  Cycle cycle = 0;
+};
+
+/// Serializes `sim` at its current (quiesced) state. Throws SimError if any
+/// event is pending or any component has in-flight work, and
+/// std::runtime_error on stream failure.
+void write_checkpoint(core::Simulator& sim, const std::string& workload,
+                      std::ostream& os);
+void write_checkpoint_file(core::Simulator& sim, const std::string& workload,
+                           const std::string& path);
+
+/// Reads only the header (magic, version, workload, config map, cycle).
+CheckpointMeta read_checkpoint_meta(std::istream& is);
+CheckpointMeta read_checkpoint_meta_file(const std::string& path);
+
+/// Reconstructs a simulator from a checkpoint: builds a fresh machine from
+/// the serialized SimConfig, then loads every component's state and the
+/// scheduler clock. The returned simulator continues bit-identically to the
+/// one that was checkpointed. Throws SimError / std::runtime_error on
+/// corrupt, truncated or version-mismatched input.
+std::unique_ptr<core::Simulator> restore_checkpoint(
+    std::istream& is, CheckpointMeta* meta_out = nullptr);
+std::unique_ptr<core::Simulator> restore_checkpoint_file(
+    const std::string& path, CheckpointMeta* meta_out = nullptr);
+
+}  // namespace coyote::ckpt

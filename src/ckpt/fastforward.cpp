@@ -1,0 +1,295 @@
+#include "ckpt/fastforward.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "memhier/cache_array.h"
+#include "memhier/directory.h"
+
+namespace coyote::ckpt {
+
+namespace {
+
+// Functional cache / directory warm-up. Lines are installed straight into
+// the tag arrays (and owner/sharer records straight into the directory),
+// bypassing the timing model and the probe/ack machinery, so no latency is
+// charged and no counter — core, bank or coherence — moves. The states
+// written are protocol-consistent (one M/E owner, directory sharers cover
+// every holder) but deliberately approximate: warm-up trades the detailed
+// model's exact replacement/state history for functional-mode speed.
+class Warmer {
+ public:
+  explicit Warmer(core::Simulator& sim)
+      : sim_(sim),
+        last_iline_(sim.num_cores(), ~Addr{0}),
+        coherent_(sim.config().coherence == core::Coherence::kMesi),
+        model_l1_(sim.config().core.model_l1) {}
+
+  void touch(CoreId core, const iss::StepInfo& info) {
+    if (!model_l1_) return;  // pure-functional cores: no hierarchy to warm
+    // Straight-line code stays inside one I-line for many instructions;
+    // remembering the last line fetched skips the array lookup for all of
+    // them. Exact, not approximate: only this core inserts into its own
+    // L1I and nothing else probes it, so a line fetched twice in a row
+    // cannot have been evicted in between.
+    const Addr iline = sim_.core(core).l1i_array().line_of(info.pc);
+    if (iline != last_iline_[core]) {
+      last_iline_[core] = iline;
+      touch_ifetch(core, info.pc);
+    }
+    for (const iss::MemAccess& access : info.accesses) {
+      // An access may straddle a line boundary; touch every line it covers.
+      iss::CoreModel& owner = sim_.core(core);
+      const Addr first = owner.l1d_array().line_of(access.addr);
+      const Addr last = owner.l1d_array().line_of(
+          access.addr + (access.size ? access.size - 1 : 0));
+      const std::uint32_t line_bytes = owner.l1d_array().line_bytes();
+      for (Addr line = first; line <= last; line += line_bytes) {
+        touch_data(core, line, access.is_store);
+      }
+    }
+  }
+
+ private:
+  void touch_ifetch(CoreId core, Addr pc) {
+    memhier::CacheArray& l1i = sim_.core(core).l1i_array();
+    const Addr line = l1i.line_of(pc);
+    if (l1i.lookup(line)) return;
+    l1i.insert(line, /*dirty=*/false);  // I-lines are never dirty
+    warm_outer(core, line, /*dirty=*/false);
+  }
+
+  void touch_data(CoreId core, Addr line, bool is_store) {
+    memhier::CacheArray& l1d = sim_.core(core).l1d_array();
+    if (l1d.lookup(line)) {
+      if (!is_store) return;
+      if (!coherent_) {
+        l1d.mark_dirty(line);
+        return;
+      }
+      switch (l1d.coh_state(line)) {
+        case memhier::CohState::kModified:
+          l1d.mark_dirty(line);
+          return;
+        case memhier::CohState::kExclusive:
+          // Silent E -> M upgrade, exactly as the detailed model does.
+          l1d.set_coh_state(line, memhier::CohState::kModified);
+          l1d.mark_dirty(line);
+          return;
+        default: {
+          // S -> M upgrade: invalidate the other sharers.
+          invalidate_others(core, line);
+          l1d.set_coh_state(line, memhier::CohState::kModified);
+          l1d.mark_dirty(line);
+          if (memhier::Directory* dir = directory_of(core, line)) {
+            dir->restore_entry(line, core, 0);
+          }
+          return;
+        }
+      }
+    }
+
+    // L1D miss.
+    if (!coherent_) {
+      install(core, line, is_store, memhier::CohState::kInvalid);
+      warm_outer(core, line, /*dirty=*/false);
+      return;
+    }
+    if (is_store) {
+      invalidate_others(core, line);
+      install(core, line, /*dirty=*/true, memhier::CohState::kModified);
+      if (memhier::Directory* dir = directory_of(core, line)) {
+        dir->restore_entry(line, core, 0);
+      }
+    } else {
+      std::uint64_t holders = demote_others(core, line);
+      const bool shared = holders != 0;
+      install(core, line, /*dirty=*/false,
+              shared ? memhier::CohState::kShared
+                     : memhier::CohState::kExclusive);
+      if (memhier::Directory* dir = directory_of(core, line)) {
+        if (shared) {
+          dir->restore_entry(line, kInvalidCore,
+                             holders | (std::uint64_t{1} << core));
+        } else {
+          dir->restore_entry(line, core, 0);
+        }
+      }
+    }
+    warm_outer(core, line, /*dirty=*/false);
+  }
+
+  /// Inserts into `core`'s L1D; a displaced dirty victim is written back
+  /// functionally (bank line dirtied, directory ownership cleared). Clean
+  /// victims leave silently, as in the detailed model.
+  void install(CoreId core, Addr line, bool dirty, memhier::CohState state) {
+    const auto evicted = sim_.core(core).l1d_array().insert(line, dirty, state);
+    if (!evicted.valid || !evicted.dirty) return;
+    memhier::CacheArray& bank = bank_of(core, evicted.line_addr).array();
+    if (!bank.mark_dirty(evicted.line_addr)) {
+      bank.insert(evicted.line_addr, /*dirty=*/true);
+    }
+    if (memhier::Directory* dir = directory_of(core, evicted.line_addr)) {
+      dir->on_writeback(evicted.line_addr, core);
+    }
+  }
+
+  /// Bitmask of cores (other than `core`) the directory records as holding
+  /// `line`. The directory over-approximates — silent clean evictions leave
+  /// stale records — but never misses a real holder (every L1D copy was
+  /// installed through it, in the detailed model and in this warmer alike),
+  /// so probing only recorded holders is exact and turns the per-miss cost
+  /// from O(cores) into O(actual sharers).
+  std::uint64_t recorded_holders(CoreId core, Addr line) {
+    const memhier::Directory* dir = directory_of(core, line);
+    if (dir == nullptr) return 0;
+    std::uint64_t mask = dir->sharer_mask(line);
+    const CoreId owner = dir->owner_of(line);
+    if (owner != kInvalidCore) mask |= std::uint64_t{1} << owner;
+    return mask & ~(std::uint64_t{1} << core);
+  }
+
+  /// Invalidates every other recorded L1D copy of `line` (GetM semantics).
+  void invalidate_others(CoreId core, Addr line) {
+    std::uint64_t mask = recorded_holders(core, line);
+    while (mask != 0) {
+      const CoreId other = static_cast<CoreId>(std::countr_zero(mask));
+      mask &= mask - 1;
+      sim_.core(other).l1d_array().invalidate(line);
+    }
+  }
+
+  /// Demotes every other recorded M/E holder to S (GetS semantics).
+  /// Returns the bitmask of cores left holding the line in S.
+  std::uint64_t demote_others(CoreId core, Addr line) {
+    std::uint64_t holders = 0;
+    std::uint64_t mask = recorded_holders(core, line);
+    while (mask != 0) {
+      const CoreId other = static_cast<CoreId>(std::countr_zero(mask));
+      mask &= mask - 1;
+      memhier::CacheArray& l1d = sim_.core(other).l1d_array();
+      if (!l1d.probe(line)) continue;  // stale record: silently evicted
+      if (l1d.downgrade(line)) {
+        // The demoted copy was dirty: its data reaches the L2 with the ack.
+        memhier::CacheArray& bank = bank_of(core, line).array();
+        if (!bank.mark_dirty(line)) bank.insert(line, /*dirty=*/true);
+      }
+      holders |= std::uint64_t{1} << other;
+    }
+    return holders;
+  }
+
+  /// Installs `line` into the owning L2 bank and LLC slice if absent
+  /// (clean; displaced lines are dropped — data is functional in
+  /// SparseMemory, so nothing is lost).
+  void warm_outer(CoreId core, Addr line, bool dirty) {
+    memhier::CacheArray& bank = bank_of(core, line).array();
+    if (!bank.lookup(line)) {
+      bank.insert(line, dirty);
+      if (memhier::LlcSlice* llc = sim_.llc(sim_.mc_mapper().mc_of(line))) {
+        if (!llc->array().lookup(line)) llc->array().insert(line, false);
+      }
+    } else if (dirty) {
+      bank.mark_dirty(line);
+    }
+  }
+
+  memhier::L2Bank& bank_of(CoreId core, Addr line) {
+    return sim_.l2_bank(sim_.orchestrator().bank_for(core, line));
+  }
+  memhier::Directory* directory_of(CoreId core, Addr line) {
+    return bank_of(core, line).directory_mut();
+  }
+
+  core::Simulator& sim_;
+  std::vector<Addr> last_iline_;  ///< last I-line fetched, per core
+  bool coherent_;
+  bool model_l1_;
+};
+
+}  // namespace
+
+// Cores rotate every kFfwdQuantum instructions, not every instruction.
+// No simulated time passes in fast-forward, so the quantum only picks one
+// fixed (hence deterministic) functional interleaving among the valid
+// ones — exactly Spike's scheme, which runs each hart for a multi-thousand
+// instruction quantum. The win is host locality: one hart's state stays
+// resident instead of 64 harts thrashing the host caches every round.
+constexpr std::uint64_t kFfwdQuantum = 1024;
+
+FfwdResult fast_forward(core::Simulator& sim) {
+  FfwdResult result;
+  const core::SimConfig& config = sim.config();
+  if (config.ffwd_instructions == 0) return result;
+
+  Warmer warmer(sim);
+  const std::uint32_t num_cores = sim.num_cores();
+  const Cycle now = sim.scheduler().now();
+  std::vector<std::uint64_t> executed(num_cores, 0);
+
+  // SMARTS-style functional-warming window: instructions before warm_from
+  // are executed without touching the cache arrays at all. 0 = warm the
+  // whole skip (also when the window exceeds the budget).
+  const std::uint64_t window = config.ffwd_warmup_window;
+  const std::uint64_t warm_from =
+      (window != 0 && window < config.ffwd_instructions)
+          ? config.ffwd_instructions - window
+          : 0;
+
+  const bool warm = config.ffwd_warmup;
+  const bool stop_at_roi = config.ffwd_stop_at_roi;
+  bool progress = true;
+  while (progress && !result.roi_reached) {
+    progress = false;
+    for (CoreId id = 0; id < num_cores && !result.roi_reached; ++id) {
+      iss::CoreModel& core = sim.core(id);
+      if (core.halted()) continue;
+      std::uint64_t done = executed[id];
+      const std::uint64_t until =
+          std::min(config.ffwd_instructions, done + kFfwdQuantum);
+
+      // Below the warming window nothing is reported per instruction, so
+      // the whole stretch runs in CoreModel's tight batch loop.
+      const std::uint64_t batch_until = warm ? std::min(until, warm_from)
+                                             : until;
+      if (done < batch_until) {
+        done += core.ffwd_run(batch_until - done, now, stop_at_roi);
+        if (core.halted()) {
+          sim.orchestrator().record_ffwd_exit(id,
+                                              core.last_ffwd_info().exit_code);
+        } else if (stop_at_roi && core.hart().roi_marker()) {
+          result.roi_reached = true;
+        }
+      }
+
+      // Inside the window: step one at a time and warm after every
+      // instruction.
+      while (done < until && !core.halted() && !result.roi_reached) {
+        const iss::StepInfo* info = core.ffwd_step(now);
+        if (info == nullptr) break;
+        ++done;
+        warmer.touch(id, *info);
+        if (core.halted()) {
+          sim.orchestrator().record_ffwd_exit(id, info->exit_code);
+          break;
+        }
+        if (stop_at_roi && core.hart().roi_marker()) {
+          result.roi_reached = true;
+          break;
+        }
+      }
+      result.instructions += done - executed[id];
+      if (done != executed[id]) progress = true;
+      executed[id] = done;
+    }
+  }
+
+  result.all_exited = true;
+  for (CoreId id = 0; id < num_cores; ++id) {
+    if (!sim.core(id).halted()) result.all_exited = false;
+  }
+  return result;
+}
+
+}  // namespace coyote::ckpt

@@ -1,0 +1,37 @@
+// Spike-style fast-forward: execute instructions purely functionally (no
+// timing, no stalls, no statistics) to skip initialization phases cheaply,
+// optionally warming the caches and the coherence directory along the way,
+// then hand over to detailed simulation — typically followed by a
+// checkpoint cut so the expensive prefix never has to be re-simulated.
+//
+// Determinism: cores execute round-robin, one instruction each per round,
+// so two fast-forwards of the same program reach the identical state. The
+// run stops when every core has exhausted its per-core instruction budget
+// (SimConfig::ffwd_instructions) or halted, or — when
+// SimConfig::ffwd_stop_at_roi — immediately after any hart writes the
+// roi_begin CSR (csr::kRoiBegin).
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulator.h"
+
+namespace coyote::ckpt {
+
+/// Outcome of one fast_forward() call.
+struct FfwdResult {
+  /// Instructions executed functionally, across all cores.
+  std::uint64_t instructions = 0;
+  /// A hart wrote the roi_begin CSR and ffwd_stop_at_roi was set.
+  bool roi_reached = false;
+  /// Every core ran to program exit during fast-forward.
+  bool all_exited = false;
+};
+
+/// Fast-forwards `sim` per its config (ffwd_instructions per core,
+/// ffwd_warmup, ffwd_stop_at_roi). Call after load_program and before the
+/// first detailed run. No-op when ffwd_instructions == 0. Simulated time
+/// does not advance; detailed simulation continues from cycle now().
+FfwdResult fast_forward(core::Simulator& sim);
+
+}  // namespace coyote::ckpt

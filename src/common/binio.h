@@ -1,0 +1,136 @@
+// Minimal little-endian binary serialization primitives for the checkpoint
+// subsystem. Header-only so every component library can expose
+// save_state(BinWriter&) / load_state(BinReader&) without new link
+// dependencies. Readers are bounds-checked and throw std::runtime_error on
+// truncated or malformed input; writers never fail short of stream errors.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace coyote {
+
+/// Serializes primitives to an ostream in little-endian byte order,
+/// independent of host endianness.
+class BinWriter {
+ public:
+  explicit BinWriter(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    put(s.data(), s.size());
+  }
+
+  void bytes(const void* data, std::size_t n) { put(data, n); }
+
+  /// Length-prefixed byte blob.
+  void blob(const void* data, std::size_t n) {
+    u64(n);
+    put(data, n);
+  }
+
+  std::ostream& stream() { return out_; }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    std::uint8_t buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    put(buf, sizeof(T));
+  }
+
+  void put(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!out_) throw std::runtime_error("binio: write failed");
+  }
+
+  std::ostream& out_;
+};
+
+/// Bounds-checked little-endian reader over an istream.
+class BinReader {
+ public:
+  explicit BinReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    get(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b() { return u8() != 0; }
+
+  std::string str() {
+    std::uint64_t n = u64();
+    check_size(n);
+    std::string s(static_cast<std::size_t>(n), '\0');
+    get(s.data(), s.size());
+    return s;
+  }
+
+  void bytes(void* data, std::size_t n) { get(data, n); }
+
+  std::vector<std::uint8_t> blob() {
+    std::uint64_t n = u64();
+    check_size(n);
+    std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+    get(v.data(), v.size());
+    return v;
+  }
+
+  /// Reads a count that will size a container; rejects absurd values so a
+  /// corrupt stream cannot trigger a huge allocation.
+  std::uint64_t count(std::uint64_t max = (1ULL << 32)) {
+    std::uint64_t n = u64();
+    if (n > max) throw std::runtime_error("binio: implausible element count");
+    return n;
+  }
+
+  std::istream& stream() { return in_; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    std::uint8_t buf[sizeof(T)];
+    get(buf, sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(buf[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  static void check_size(std::uint64_t n) {
+    if (n > (1ULL << 32)) {
+      throw std::runtime_error("binio: implausible blob size");
+    }
+  }
+
+  void get(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n) {
+      throw std::runtime_error("binio: truncated input");
+    }
+  }
+
+  std::istream& in_;
+};
+
+}  // namespace coyote

@@ -19,6 +19,7 @@ struct ConfigParams {
   simfw::ParameterSet llc;
   simfw::ParameterSet mc;
   simfw::ParameterSet sim;
+  simfw::ParameterSet ckpt;
 
   ConfigParams() {
     topo.add("cores", std::uint64_t{8}, "total core count");
@@ -55,17 +56,25 @@ struct ConfigParams {
             "instructions per core per round");
     sim.add("fast_forward", false, "skip all-stalled cycles");
     sim.add("batched_stepping", true, "host-side block-stepping fast paths");
+    ckpt.add("ffwd_instructions", std::uint64_t{0},
+             "functional fast-forward budget per core (0 = off)");
+    ckpt.add("warmup", true, "warm caches/directory while fast-forwarding");
+    ckpt.add("warmup_window", std::uint64_t{0},
+             "warm only the last N instructions of the budget (0 = all)");
+    ckpt.add("stop_at_roi", true,
+             "stop fast-forward at a roi_begin CSR write");
   }
 
   /// Prefix/set pairs in documentation order.
-  std::array<std::pair<const char*, simfw::ParameterSet*>, 7> groups() {
+  std::array<std::pair<const char*, simfw::ParameterSet*>, 8> groups() {
     return {{{"topo", &topo},
              {"core", &core},
              {"l2", &l2},
              {"noc", &noc},
              {"llc", &llc},
              {"mc", &mc},
-             {"sim", &sim}}};
+             {"sim", &sim},
+             {"ckpt", &ckpt}}};
   }
 };
 
@@ -82,10 +91,14 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->description()});
       }
     }
-    // l2.coherence postdates the frozen sweep/results tables; omitting it
-    // at its default keeps those outputs byte-stable (see ConfigKeyInfo).
+    // l2.coherence and the ckpt.* group postdate the frozen sweep/results
+    // tables; omitting them at their defaults keeps those outputs
+    // byte-stable (see ConfigKeyInfo).
     for (ConfigKeyInfo& info : out) {
-      if (info.key == "l2.coherence") info.emit_when_default = false;
+      if (info.key == "l2.coherence" ||
+          info.key.rfind("ckpt.", 0) == 0) {
+        info.emit_when_default = false;
+      }
     }
     return out;
   }();
@@ -223,6 +236,10 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
       params.sim.as<std::uint64_t>("interleave_quantum"));
   config.fast_forward_idle = params.sim.as<bool>("fast_forward");
   config.batched_stepping = params.sim.as<bool>("batched_stepping");
+  config.ffwd_instructions = params.ckpt.as<std::uint64_t>("ffwd_instructions");
+  config.ffwd_warmup = params.ckpt.as<bool>("warmup");
+  config.ffwd_warmup_window = params.ckpt.as<std::uint64_t>("warmup_window");
+  config.ffwd_stop_at_roi = params.ckpt.as<bool>("stop_at_roi");
   config.validate();
   return config;
 }
@@ -277,6 +294,18 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   set_u64("sim.interleave_quantum", config.interleave_quantum);
   set_bool("sim.fast_forward", config.fast_forward_idle);
   set_bool("sim.batched_stepping", config.batched_stepping);
+  // ckpt.* keys postdate the frozen outputs: emit only off-default values so
+  // existing sweep tables and run summaries stay byte-identical.
+  if (config.ffwd_instructions != 0) {
+    set_u64("ckpt.ffwd_instructions", config.ffwd_instructions);
+  }
+  if (!config.ffwd_warmup) set_bool("ckpt.warmup", config.ffwd_warmup);
+  if (config.ffwd_warmup_window != 0) {
+    set_u64("ckpt.warmup_window", config.ffwd_warmup_window);
+  }
+  if (!config.ffwd_stop_at_roi) {
+    set_bool("ckpt.stop_at_roi", config.ffwd_stop_at_roi);
+  }
   return map;
 }
 

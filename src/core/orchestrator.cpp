@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/binio.h"
+
 namespace coyote::core {
 
 using memhier::MemOp;
@@ -221,7 +223,7 @@ void Orchestrator::step_single_active(Cycle stop_cycle,
   sched.advance_to(last_attempt + 1);
 }
 
-RunStats Orchestrator::run(Cycle max_cycles) {
+RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
   auto& sched = scheduler();
   const Cycle start_cycle = sched.now();
   const std::uint64_t start_instret = retired_.get();
@@ -256,6 +258,15 @@ RunStats Orchestrator::run(Cycle max_cycles) {
     // bit-exact reformulations of this loop; keeping it callable lets the
     // determinism tests cross-check them.
     while (live_cores_ > 0 && sched.now() - start_cycle < max_cycles) {
+      // Quiesce stop: the queue is naturally empty at a round boundary —
+      // no MSHR, probe or fill is in flight anywhere, so this is exactly
+      // the state the uninterrupted run passes through here.
+      if (quiesce_after != kNoQuiesce &&
+          sched.now() - start_cycle >= quiesce_after && !sched.has_pending() &&
+          active_cores_ == live_cores_) {
+        stats_out.quiesced = true;
+        break;
+      }
       if (active_cores_ == 0) {
         // Every live core sleeps on a fill.
         if (!sched.has_pending()) {
@@ -305,6 +316,13 @@ RunStats Orchestrator::run(Cycle max_cycles) {
     }
   } else {
     while (live_cores_ > 0 && sched.now() < stop_cycle) {
+      // Quiesce stop (see the literal loop above for the invariant).
+      if (quiesce_after != kNoQuiesce &&
+          sched.now() - start_cycle >= quiesce_after && !sched.has_pending() &&
+          active_cores_ == live_cores_) {
+        stats_out.quiesced = true;
+        break;
+      }
       if (active_cores_ == 0) {
         // Every live core sleeps on a fill.
         if (!sched.has_pending()) {
@@ -368,9 +386,22 @@ RunStats Orchestrator::run(Cycle max_cycles) {
   stats_out.cycles = sched.now() - start_cycle;
   cycles_ += stats_out.cycles;
   stats_out.instructions = retired_.get() - start_instret;
-  stats_out.hit_cycle_limit = !stats_out.all_exited;
+  stats_out.hit_cycle_limit = !stats_out.all_exited && !stats_out.quiesced;
   stats_out.exit_codes = exit_codes_;
   return stats_out;
+}
+
+void Orchestrator::save_state(BinWriter& w) const {
+  w.u64(exit_codes_.size());
+  for (std::int64_t code : exit_codes_) w.i64(code);
+}
+
+void Orchestrator::load_state(BinReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != exit_codes_.size()) {
+    throw SimError("Orchestrator checkpoint core-count mismatch");
+  }
+  for (std::int64_t& code : exit_codes_) code = r.i64();
 }
 
 }  // namespace coyote::core

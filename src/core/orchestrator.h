@@ -31,6 +31,11 @@
 #include "memhier/l2bank.h"
 #include "simfw/port.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::core {
 
 /// Outcome of one run() call.
@@ -39,6 +44,7 @@ struct RunStats {
   std::uint64_t instructions = 0; ///< instructions retired in this run
   bool all_exited = false;        ///< every core ran to completion
   bool hit_cycle_limit = false;
+  bool quiesced = false;          ///< stopped at a quiesce point (see run())
   std::vector<std::int64_t> exit_codes;  ///< per core; 0 until it exits
 };
 
@@ -67,8 +73,30 @@ class Orchestrator : public simfw::Unit {
     return bank / config_.l2_banks_per_tile;
   }
 
-  /// Runs until every core exits or `max_cycles` elapse.
-  RunStats run(Cycle max_cycles);
+  /// No quiesce stop: run() only returns on completion or the cycle limit.
+  static constexpr Cycle kNoQuiesce = ~Cycle{0};
+
+  /// Runs until every core exits or `max_cycles` elapse. When
+  /// `quiesce_after` is set, the run additionally stops — with
+  /// RunStats::quiesced — at the first round boundary at least
+  /// `quiesce_after` cycles in where the event queue is naturally empty
+  /// (no miss, fill or coherence transaction in flight anywhere). The
+  /// simulation is not perturbed in any way to get there: a quiesce stop
+  /// leaves exactly the state the uninterrupted run passes through at that
+  /// round, which is what makes checkpoints bit-identical.
+  RunStats run(Cycle max_cycles, Cycle quiesce_after = kNoQuiesce);
+
+  /// Checkpoint: the per-core exit codes (every other run() bookkeeping is
+  /// re-derived from the cores' halted() state on entry; counters live in
+  /// the statistics tree).
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
+
+  /// A core exited during functional fast-forward (outside run()); records
+  /// its exit code so later RunStats report it like a detailed-mode exit.
+  void record_ffwd_exit(CoreId core, std::int64_t code) {
+    exit_codes_.at(core) = code;
+  }
 
  private:
   /// Upper bound on the cycles one single-active-core block may cover, so

@@ -90,6 +90,27 @@ struct SimConfig {
   /// exists so regression tests can cross-check the two paths.
   bool batched_stepping = true;
 
+  // ----- checkpoint / fast-forward sampling (src/ckpt) -----
+  /// Fast-forward budget: execute up to this many instructions per core
+  /// purely functionally (Spike-style, no timing) before detailed timing
+  /// begins. 0 disables fast-forward. Drivers honouring ffwd_stop_at_roi
+  /// may stop earlier at a roi_begin marker.
+  std::uint64_t ffwd_instructions = 0;
+  /// Warm caches and the directory functionally while fast-forwarding, so
+  /// detailed simulation does not start against cold arrays.
+  bool ffwd_warmup = true;
+  /// SMARTS-style functional-warming window: when non-zero, warm-up applies
+  /// only to the last this-many instructions of each core's budget — state
+  /// installed earlier in a long skip is overwritten before the handover
+  /// anyway, so warming the whole skip is wasted host time. 0 warms the
+  /// entire skip. Only meaningful with an instruction-budget fast-forward
+  /// (the window is anchored at the budget's end, which a roi_begin stop
+  /// may never reach).
+  std::uint64_t ffwd_warmup_window = 0;
+  /// Stop fast-forwarding when any hart writes the roi_begin CSR (0x800)
+  /// even if the instruction budget is not exhausted.
+  bool ffwd_stop_at_roi = true;
+
   // ----- outputs -----
   bool enable_trace = false;
   std::string trace_basename = "coyote_trace";

@@ -169,8 +169,12 @@ void Simulator::load_program(Addr base, const std::vector<std::uint32_t>& words,
 }
 
 RunResult Simulator::run(Cycle max_cycles) {
+  return run_to_quiesce(Orchestrator::kNoQuiesce, max_cycles);
+}
+
+RunResult Simulator::run_to_quiesce(Cycle min_cycles, Cycle max_cycles) {
   const auto wall_start = std::chrono::steady_clock::now();
-  const RunStats stats = orchestrator_->run(max_cycles);
+  const RunStats stats = orchestrator_->run(max_cycles, min_cycles);
   const auto wall_end = std::chrono::steady_clock::now();
 
   RunResult result;
@@ -178,6 +182,7 @@ RunResult Simulator::run(Cycle max_cycles) {
   result.instructions = stats.instructions;
   result.all_exited = stats.all_exited;
   result.hit_cycle_limit = stats.hit_cycle_limit;
+  result.quiesced = stats.quiesced;
   result.exit_codes = stats.exit_codes;
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();

@@ -29,6 +29,10 @@ struct RunResult {
   std::uint64_t instructions = 0;
   bool all_exited = false;
   bool hit_cycle_limit = false;
+  /// True when run_to_quiesce() stopped at a quiesce point (event queue
+  /// empty, nothing in flight). Not emitted by to_json: a quiesce stop is a
+  /// checkpointing artefact, not a simulated outcome.
+  bool quiesced = false;
   std::vector<std::int64_t> exit_codes;
   double wall_seconds = 0.0;
   /// Aggregate simulation throughput in million instructions per second.
@@ -69,6 +73,9 @@ class Simulator {
   }
   Orchestrator& orchestrator() { return *orchestrator_; }
   ParaverTraceWriter* trace() { return trace_.get(); }
+  /// Line-address -> memory-controller mapping (LLC slices are co-located
+  /// with their controller, so this also selects the LLC slice).
+  const memhier::McMapper& mc_mapper() const { return *mc_mapper_; }
 
   /// Copies `words` into simulated memory at `base` and resets every core
   /// to start executing at `entry`.
@@ -77,6 +84,14 @@ class Simulator {
 
   /// Runs until every core's program exits or `max_cycles` elapse.
   RunResult run(Cycle max_cycles = ~Cycle{0});
+
+  /// Runs at least `min_cycles`, then keeps simulating normally until the
+  /// first round boundary where the event queue is naturally empty and
+  /// stops there with RunResult::quiesced set (the checkpoint cut point).
+  /// The run still ends early if every program exits, and unconditionally
+  /// at `max_cycles`. Nothing is drained or perturbed: the stop state is
+  /// exactly what the uninterrupted run passes through at that round.
+  RunResult run_to_quiesce(Cycle min_cycles, Cycle max_cycles = ~Cycle{0});
 
   /// Renders the statistics tree. Per-core statistics are live views of the
   /// CoreModel counters, so the report is always current.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.h"
 #include "common/error.h"
 
 namespace coyote::core {
@@ -18,6 +19,48 @@ void ParaverTraceWriter::record(Cycle cycle, CoreId core, TraceEvent event,
 void ParaverTraceWriter::record_state(Cycle begin, Cycle end, CoreId core,
                                       TraceState state) {
   states_.push_back(StateRecord{begin, end, core, state});
+}
+
+void ParaverTraceWriter::save_state(BinWriter& w) const {
+  w.u64(records_.size());
+  for (const Record& rec : records_) {
+    w.u64(rec.cycle);
+    w.u32(rec.core);
+    w.u32(static_cast<std::uint32_t>(rec.event));
+    w.u64(rec.value);
+  }
+  w.u64(states_.size());
+  for (const StateRecord& rec : states_) {
+    w.u64(rec.begin);
+    w.u64(rec.end);
+    w.u32(rec.core);
+    w.u32(static_cast<std::uint32_t>(rec.state));
+  }
+}
+
+void ParaverTraceWriter::load_state(BinReader& r) {
+  records_.clear();
+  states_.clear();
+  const std::uint64_t num_records = r.count(1ULL << 40);
+  records_.reserve(num_records);
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    Record rec;
+    rec.cycle = r.u64();
+    rec.core = r.u32();
+    rec.event = static_cast<TraceEvent>(r.u32());
+    rec.value = r.u64();
+    records_.push_back(rec);
+  }
+  const std::uint64_t num_states = r.count(1ULL << 40);
+  states_.reserve(num_states);
+  for (std::uint64_t i = 0; i < num_states; ++i) {
+    StateRecord rec;
+    rec.begin = r.u64();
+    rec.end = r.u64();
+    rec.core = r.u32();
+    rec.state = static_cast<TraceState>(r.u32());
+    states_.push_back(rec);
+  }
 }
 
 void ParaverTraceWriter::finish(Cycle total_cycles) {

@@ -15,6 +15,11 @@
 
 #include "common/types.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::core {
 
 /// Paraver event-type ids emitted by Coyote.
@@ -53,6 +58,11 @@ class ParaverTraceWriter {
   /// Writes the .prv/.pcf/.row triple. `total_cycles` becomes the trace
   /// duration in the header.
   void finish(Cycle total_cycles);
+
+  /// Checkpoint: the buffered event/state records, so a restored run's
+  /// final trace is byte-identical to the uninterrupted run's.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
 
  private:
   struct Record {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binio.h"
 #include "common/error.h"
 
 namespace coyote::iss {
@@ -341,6 +342,109 @@ void CoreModel::insert_l1d(Addr line_addr, bool dirty, memhier::CohState state,
     writebacks.push_back(
         LineRequest{evicted.line_addr, true, false, /*is_writeback=*/true});
   }
+}
+
+const StepInfo* CoreModel::ffwd_step(Cycle cycle) {
+  if (halted_) return nullptr;
+  const DecodeEntry& entry = decode_at(hart_.pc());
+  hart_.set_cycle(cycle);
+  step_info_.clear();
+  hart_.execute(entry.inst, step_info_);
+  if (step_info_.exited) halted_ = true;
+  return &step_info_;
+}
+
+std::uint64_t CoreModel::ffwd_run(std::uint64_t n, Cycle cycle,
+                                  bool stop_at_roi) {
+  if (halted_) return 0;
+  hart_.set_cycle(cycle);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const DecodeEntry& entry = decode_at(hart_.pc());
+    step_info_.clear();
+    hart_.execute(entry.inst, step_info_);
+    ++done;
+    if (step_info_.exited) {
+      halted_ = true;
+      break;
+    }
+    if (stop_at_roi && hart_.roi_marker()) break;
+  }
+  return done;
+}
+
+namespace {
+
+void save_counters(BinWriter& w, const CoreCounters& c) {
+  w.u64(c.instructions);
+  w.u64(c.loads);
+  w.u64(c.stores);
+  w.u64(c.l1d_accesses);
+  w.u64(c.l1d_misses);
+  w.u64(c.l1i_accesses);
+  w.u64(c.l1i_misses);
+  w.u64(c.raw_stall_cycles);
+  w.u64(c.ifetch_stall_cycles);
+  w.u64(c.writebacks);
+  w.u64(c.vector_instructions);
+  w.u64(c.branch_instructions);
+  w.u64(c.fp_instructions);
+  w.u64(c.amo_instructions);
+  w.u64(c.coh_upgrades);
+  w.u64(c.coh_invalidations);
+  w.u64(c.coh_downgrades);
+}
+
+void load_counters(BinReader& r, CoreCounters& c) {
+  c.instructions = r.u64();
+  c.loads = r.u64();
+  c.stores = r.u64();
+  c.l1d_accesses = r.u64();
+  c.l1d_misses = r.u64();
+  c.l1i_accesses = r.u64();
+  c.l1i_misses = r.u64();
+  c.raw_stall_cycles = r.u64();
+  c.ifetch_stall_cycles = r.u64();
+  c.writebacks = r.u64();
+  c.vector_instructions = r.u64();
+  c.branch_instructions = r.u64();
+  c.fp_instructions = r.u64();
+  c.amo_instructions = r.u64();
+  c.coh_upgrades = r.u64();
+  c.coh_invalidations = r.u64();
+  c.coh_downgrades = r.u64();
+}
+
+}  // namespace
+
+void CoreModel::save_state(BinWriter& w) const {
+  if (!outstanding_.empty() || waiting_ifetch_) {
+    throw SimError(strfmt("core %u: checkpoint with %zu misses in flight — "
+                          "checkpoints are only legal at quiesce points",
+                          id_, outstanding_.size()));
+  }
+  hart_.save_state(w);
+  l1d_.save_state(w);
+  l1i_.save_state(w);
+  save_counters(w, counters_);
+  w.b(halted_);
+}
+
+void CoreModel::load_state(BinReader& r) {
+  hart_.load_state(r);
+  l1d_.load_state(r);
+  l1i_.load_state(r);
+  load_counters(r, counters_);
+  halted_ = r.b();
+  // Quiesce invariant: nothing in flight at the checkpoint, so the miss /
+  // RAW bookkeeping restores to empty. The decode cache is a pure function
+  // of memory; invalidate it and let it refill.
+  outstanding_.clear();
+  waiting_ifetch_ = false;
+  std::fill(std::begin(pending_x_), std::end(pending_x_), 0);
+  std::fill(std::begin(pending_f_), std::end(pending_f_), 0);
+  std::fill(std::begin(pending_v_), std::end(pending_v_), 0);
+  for (auto& entry : decode_cache_) entry.pc = ~Addr{0};
 }
 
 bool CoreModel::coherence_probe(Addr line_addr, bool to_shared) {

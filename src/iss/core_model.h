@@ -18,6 +18,11 @@
 #include "memhier/cache_array.h"
 #include "memhier/msg.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::iss {
 
 /// Build-time configuration of one core.
@@ -147,6 +152,40 @@ class CoreModel {
   memhier::CohState l1d_state(Addr line_addr) const {
     return l1d_.coh_state(line_addr);
   }
+
+  // ----- fast-forward / checkpoint support -----
+
+  /// Executes one instruction purely functionally — no L1 modelling, no
+  /// stalls, no counters (Spike-style fast-forward). `cycle` feeds the cycle
+  /// CSR. Returns the executed instruction's StepInfo (pc + data accesses,
+  /// for optional cache warm-up), or nullptr when the core is halted. Sets
+  /// halted() on program exit. The pointer is valid until the next step of
+  /// this core.
+  const StepInfo* ffwd_step(Cycle cycle);
+
+  /// Batch variant of ffwd_step() for the stretch of a skip that needs no
+  /// per-instruction reporting (outside the warm-up window): executes up to
+  /// `n` instructions in a tight loop, stopping early on program exit or —
+  /// when `stop_at_roi` — after a roi_begin CSR write. Returns the number
+  /// executed (the exiting / roi-marking instruction included). The last
+  /// instruction's StepInfo is available via last_ffwd_info().
+  std::uint64_t ffwd_run(std::uint64_t n, Cycle cycle, bool stop_at_roi);
+
+  /// StepInfo of the most recent ffwd_step()/ffwd_run() instruction.
+  const StepInfo& last_ffwd_info() const { return step_info_; }
+
+  /// Raw L1 arrays, exposed for fast-forward cache warm-up (which installs
+  /// and demotes lines directly so the coherence counters stay untouched)
+  /// and for checkpointing.
+  memhier::CacheArray& l1d_array() { return l1d_; }
+  memhier::CacheArray& l1i_array() { return l1i_; }
+
+  /// Checkpoint: hart architectural state, both L1 arrays and the event
+  /// counters. Only legal at a quiesce point — throws SimError if any miss
+  /// is outstanding (MSHRs and RAW bookkeeping are then empty by
+  /// construction and are not serialized).
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
 
   /// Attributes `n` additional stalled cycles to this core. Used by the
   /// Orchestrator when it fast-forwards simulated time over a stretch where

@@ -19,4 +19,10 @@ inline constexpr std::uint32_t kMhartid = 0xF14;
 inline constexpr std::uint32_t kMcycle = 0xB00;
 inline constexpr std::uint32_t kMinstret = 0xB02;
 
+/// Custom CSR: writing any value marks the start of the region of interest
+/// (fast-forward mode stops here and cuts a checkpoint). Reads return 0 and
+/// writes are architecturally invisible otherwise, so detailed simulation
+/// treats it as a no-op.
+inline constexpr std::uint32_t kRoiBegin = 0x800;
+
 }  // namespace coyote::iss::csr

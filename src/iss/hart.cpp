@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/binio.h"
 #include "common/bits.h"
 #include "common/error.h"
 #include "isa/disasm.h"
@@ -103,6 +104,43 @@ void Hart::reset(Addr entry_pc) {
   instret_ = 0;
   memory_->clear_reservation(id_);
   console_.clear();
+  roi_marker_ = false;
+}
+
+void Hart::save_state(BinWriter& w) const {
+  w.u64(pc_);
+  for (std::uint64_t reg : x_) w.u64(reg);
+  for (std::uint64_t reg : f_) w.u64(reg);
+  w.u64(v_.size());
+  w.bytes(v_.data(), v_.size());
+  w.u64(vl_);
+  w.u64(vtype_);
+  w.u64(fcsr_);
+  w.u64(mstatus_);
+  w.u64(instret_);
+  w.str(console_);
+  w.b(roi_marker_);
+}
+
+void Hart::load_state(BinReader& r) {
+  pc_ = r.u64();
+  for (std::uint64_t& reg : x_) reg = r.u64();
+  for (std::uint64_t& reg : f_) reg = r.u64();
+  const std::uint64_t vbytes = r.u64();
+  if (vbytes != v_.size()) {
+    throw ExecutionError(strfmt("checkpoint VLEN mismatch: core %u has %zu "
+                                "vector bytes, checkpoint %llu",
+                                id_, v_.size(),
+                                static_cast<unsigned long long>(vbytes)));
+  }
+  r.bytes(v_.data(), v_.size());
+  vl_ = r.u64();
+  vtype_ = r.u64();
+  fcsr_ = r.u64();
+  mstatus_ = r.u64();
+  instret_ = r.u64();
+  console_ = r.str();
+  roi_marker_ = r.b();
 }
 
 double Hart::f64(unsigned index) const { return bits_to_double(f_[index]); }
@@ -125,6 +163,7 @@ std::uint64_t Hart::csr_read(std::uint32_t address) const {
     case csr::kVlenb: return vlenb();
     case csr::kMstatus: return mstatus_;
     case csr::kMhartid: return id_;
+    case csr::kRoiBegin: return 0;
     default:
       throw ExecutionError(strfmt("core %u: read of unsupported CSR 0x%x",
                                   id_, address));
@@ -137,6 +176,7 @@ void Hart::csr_write(std::uint32_t address, std::uint64_t value) {
     case csr::kFrm: fcsr_ = (fcsr_ & 0x1F) | ((value & 0x7) << 5); return;
     case csr::kFcsr: fcsr_ = value & 0xFF; return;
     case csr::kMstatus: mstatus_ = value; return;
+    case csr::kRoiBegin: roi_marker_ = true; return;
     default:
       throw ExecutionError(strfmt("core %u: write of unsupported CSR 0x%x",
                                   id_, address));

@@ -14,6 +14,11 @@
 #include "isa/inst.h"
 #include "iss/memory.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::iss {
 
 /// One recorded data-memory access.
@@ -97,6 +102,17 @@ class Hart {
   /// Current SEW in bits (8, 16, 32 or 64).
   unsigned sew() const { return 8u << ((vtype_ >> 3) & 0x7); }
 
+  /// True once the program wrote the roi_begin CSR (see csr::kRoiBegin).
+  /// Only fast-forward mode inspects this; detailed mode ignores it.
+  bool roi_marker() const { return roi_marker_; }
+  void clear_roi_marker() { roi_marker_ = false; }
+
+  /// Serializes the full architectural state (pc, x/f/v files, vl/vtype,
+  /// fcsr/mstatus, instret, console, ROI marker). The LR/SC reservation
+  /// lives in SparseMemory and is checkpointed there.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
+
  private:
   // Scalar helpers.
   std::uint64_t csr_read(std::uint32_t address) const;
@@ -145,6 +161,7 @@ class Hart {
   std::uint64_t instret_ = 0;
   Cycle cycle_ = 0;
   std::string console_;
+  bool roi_marker_ = false;
 };
 
 }  // namespace coyote::iss

@@ -3,6 +3,7 @@
 // runs baremetal, as Spike does inside the original tool).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/error.h"
 #include "common/types.h"
 
@@ -128,6 +130,44 @@ class SparseMemory {
       out[i] = read<T>(addr + sizeof(T) * i);
     }
     return out;
+  }
+
+  /// Checkpoint: serializes every resident page (sorted by page index so the
+  /// byte stream is independent of hash-map iteration order) plus the live
+  /// LR/SC reservation table.
+  void save_state(BinWriter& w) const {
+    std::vector<Addr> indices;
+    indices.reserve(pages_.size());
+    for (const auto& [index, page] : pages_) indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    w.u64(indices.size());
+    for (Addr index : indices) {
+      w.u64(index);
+      w.bytes(pages_.at(index)->data(), kPageSize);
+    }
+    w.u64(reservations_.size());
+    for (const Reservation& r : reservations_) {
+      w.u32(static_cast<std::uint32_t>(r.hart));
+      w.u64(r.addr);
+    }
+  }
+
+  void load_state(BinReader& r) {
+    pages_.clear();
+    const std::uint64_t num_pages = r.count();
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+      const Addr index = r.u64();
+      auto page = std::make_unique<Page>();
+      r.bytes(page->data(), kPageSize);
+      pages_.emplace(index, std::move(page));
+    }
+    reservations_.clear();
+    const std::uint64_t num_res = r.count(1 << 20);
+    for (std::uint64_t i = 0; i < num_res; ++i) {
+      const unsigned hart = r.u32();
+      const Addr addr = r.u64();
+      reservations_.push_back(Reservation{hart, addr});
+    }
   }
 
  private:

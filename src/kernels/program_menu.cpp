@@ -5,12 +5,43 @@
 
 namespace coyote::kernels {
 
+const std::vector<KernelInfo>& kernel_menu() {
+  static const std::vector<KernelInfo> menu = {
+      {"matmul_scalar",
+       "dense matrix multiply, scalar RV64IMFD inner loop (default n=96)"},
+      {"matmul_vector",
+       "dense matrix multiply, RVV-vectorized inner loop (default n=96)"},
+      {"spmv_scalar",
+       "sparse matrix-vector product, CSR, scalar loop (default 8192 rows)"},
+      {"spmv_row_gather",
+       "sparse matrix-vector product, CSR with vector-gathered rows"},
+      {"spmv_ell",
+       "sparse matrix-vector product, ELLPACK layout, vectorized"},
+      {"spmv_two_phase",
+       "sparse matrix-vector product, gather/compute phase split"},
+      {"stencil_scalar",
+       "1D 3-point stencil, scalar loop (default n=2^18)"},
+      {"stencil_vector",
+       "1D 3-point stencil, RVV-vectorized (default n=2^18)"},
+      {"stencil_sync",
+       "1D stencil, 8 time steps with inter-core barriers (default n=2^16)"},
+      {"stencil2d",
+       "2D 5-point stencil, RVV-vectorized rows (default 512x512)"},
+      {"histogram",
+       "histogram over random keys using AMO increments (default n=2^16)"},
+      {"axpy", "BLAS-1 y = a*x + y, RVV-vectorized (default n=2^18)"},
+      {"dot", "BLAS-1 dot product with tree reduction (default n=2^18)"},
+      {"fft", "radix-2 complex FFT, scalar butterflies (default n=2^14)"},
+  };
+  return menu;
+}
+
 const std::vector<std::string>& kernel_names() {
-  static const std::vector<std::string> names = {
-      "matmul_scalar", "matmul_vector", "spmv_scalar",   "spmv_row_gather",
-      "spmv_ell",      "spmv_two_phase", "stencil_scalar", "stencil_vector",
-      "stencil_sync",  "stencil2d",      "histogram",      "axpy",
-      "dot",           "fft"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all;
+    for (const KernelInfo& info : kernel_menu()) all.push_back(info.name);
+    return all;
+  }();
   return names;
 }
 

@@ -14,7 +14,18 @@
 
 namespace coyote::kernels {
 
-/// Every kernel name build_named_kernel accepts, in documentation order.
+/// One menu entry: a kernel name build_named_kernel accepts plus a one-line
+/// description (surfaced by `coyote_sim --list-kernels`).
+struct KernelInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every kernel build_named_kernel accepts, in documentation order.
+const std::vector<KernelInfo>& kernel_menu();
+
+/// Every kernel name build_named_kernel accepts, in documentation order
+/// (the names column of kernel_menu()).
 const std::vector<std::string>& kernel_names();
 
 /// Generates the named kernel's workload deterministically from `seed`

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/bits.h"
 #include "common/error.h"
 #include "common/types.h"
@@ -196,6 +197,37 @@ class CacheArray {
     std::uint64_t count = 0;
     for (const Entry& entry : entries_) count += entry.valid ? 1 : 0;
     return count;
+  }
+
+  /// Checkpoint: tags, LRU stamps, dirty/coherence bits and the replacement
+  /// clock / RNG stream (geometry is rebuilt from config, not serialized).
+  void save_state(BinWriter& w) const {
+    w.u64(clock_);
+    w.u64(rng_state_);
+    w.u64(entries_.size());
+    for (const Entry& entry : entries_) {
+      w.u64(entry.line_addr);
+      w.u64(entry.lru);
+      w.b(entry.valid);
+      w.b(entry.dirty);
+      w.u8(static_cast<std::uint8_t>(entry.coh));
+    }
+  }
+
+  void load_state(BinReader& r) {
+    clock_ = r.u64();
+    rng_state_ = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n != entries_.size()) {
+      throw SimError("CacheArray checkpoint geometry mismatch");
+    }
+    for (Entry& entry : entries_) {
+      entry.line_addr = r.u64();
+      entry.lru = r.u64();
+      entry.valid = r.b();
+      entry.dirty = r.b();
+      entry.coh = static_cast<CohState>(r.u8());
+    }
   }
 
  private:

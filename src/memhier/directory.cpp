@@ -1,5 +1,9 @@
 #include "memhier/directory.h"
 
+#include <algorithm>
+
+#include "common/binio.h"
+
 namespace coyote::memhier {
 
 namespace {
@@ -133,6 +137,46 @@ bool Directory::has_transaction(Addr line) const {
 }
 
 std::size_t Directory::tracked_lines() const { return lines_.size(); }
+
+void Directory::restore_entry(Addr line, CoreId owner, std::uint64_t sharers) {
+  if (owner == kInvalidCore && sharers == 0) {
+    lines_.erase(line);
+    return;
+  }
+  Entry& e = entry(line);
+  e.owner = owner;
+  e.sharers = sharers;
+}
+
+void Directory::save_state(BinWriter& w) const {
+  if (!transactions_.empty()) {
+    throw SimError("Directory: checkpoint with coherence transactions in "
+                   "flight — checkpoints are only legal at quiesce points");
+  }
+  std::vector<Addr> lines;
+  lines.reserve(lines_.size());
+  for (const auto& [line, e] : lines_) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  w.u64(lines.size());
+  for (Addr line : lines) {
+    const Entry& e = lines_.at(line);
+    w.u64(line);
+    w.u32(e.owner);
+    w.u64(e.sharers);
+  }
+}
+
+void Directory::load_state(BinReader& r) {
+  lines_.clear();
+  transactions_.clear();
+  const std::uint64_t n = r.count();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Addr line = r.u64();
+    const CoreId owner = r.u32();
+    const std::uint64_t sharers = r.u64();
+    restore_entry(line, owner, sharers);
+  }
+}
 
 void Directory::drop_if_empty(Addr line) {
   const auto it = lines_.find(line);

@@ -20,6 +20,11 @@
 #include "common/types.h"
 #include "memhier/msg.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::memhier {
 
 class Directory {
@@ -69,6 +74,16 @@ class Directory {
   std::uint64_t sharer_mask(Addr line) const;
   bool has_transaction(Addr line) const;
   std::size_t tracked_lines() const;
+
+  /// Overwrites one line's owner/sharer record (checkpoint restore and
+  /// fast-forward warm-up). An all-empty entry erases the record.
+  void restore_entry(Addr line, CoreId owner, std::uint64_t sharers);
+
+  /// Checkpoint: owner/sharer records, sorted by line address. Only legal
+  /// when no transaction is in flight (quiesce invariant) — throws SimError
+  /// otherwise.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
 
  private:
   struct Entry {

@@ -1,6 +1,9 @@
 #include "memhier/l2bank.h"
 
+#include <algorithm>
 #include <optional>
+
+#include "common/binio.h"
 
 namespace coyote::memhier {
 
@@ -272,6 +275,36 @@ void L2Bank::on_mem_response(const MemResponse& response) {
     pending_.pop_front();
     data_path(next);
   }
+}
+
+void L2Bank::save_state(BinWriter& w) const {
+  if (!mshrs_.empty() || !pending_.empty()) {
+    throw SimError(strfmt("l2bank%u: checkpoint with %zu MSHRs / %zu queued "
+                          "requests in flight — checkpoints are only legal "
+                          "at quiesce points",
+                          bank_id_, mshrs_.size(), pending_.size()));
+  }
+  array_.save_state(w);
+  std::vector<Addr> prefetched(prefetched_.begin(), prefetched_.end());
+  std::sort(prefetched.begin(), prefetched.end());
+  w.u64(prefetched.size());
+  for (Addr line : prefetched) w.u64(line);
+  w.b(directory_ != nullptr);
+  if (directory_ != nullptr) directory_->save_state(w);
+}
+
+void L2Bank::load_state(BinReader& r) {
+  array_.load_state(r);
+  mshrs_.clear();
+  pending_.clear();
+  prefetched_.clear();
+  const std::uint64_t n = r.count();
+  for (std::uint64_t i = 0; i < n; ++i) prefetched_.insert(r.u64());
+  const bool has_directory = r.b();
+  if (has_directory != (directory_ != nullptr)) {
+    throw SimError("l2bank checkpoint coherence-mode mismatch");
+  }
+  if (directory_ != nullptr) directory_->load_state(r);
 }
 
 }  // namespace coyote::memhier

@@ -19,6 +19,11 @@
 #include "memhier/noc.h"
 #include "simfw/port.h"
 
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
 namespace coyote::memhier {
 
 /// L2-side prefetch policy — the "data management policies such as
@@ -77,6 +82,20 @@ class L2Bank : public simfw::Unit {
   std::size_t queued_requests() const { return pending_.size(); }
   /// The MESI directory; nullptr unless config.coherent.
   const Directory* directory() const { return directory_.get(); }
+
+  // ----- fast-forward / checkpoint support -----
+  /// Raw tag array and mutable directory, exposed for fast-forward warm-up
+  /// (lines are installed directly, bypassing timing and the probe/ack
+  /// machinery) and for checkpointing.
+  CacheArray& array() { return array_; }
+  Directory* directory_mut() { return directory_.get(); }
+
+  /// Checkpoint: tag array, prefetch bookkeeping and directory records.
+  /// Only legal at a quiesce point — throws SimError if an MSHR, queued
+  /// request or coherence transaction is in flight. Counters live in the
+  /// Unit statistics tree and are checkpointed generically there.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
 
  private:
   void on_cpu_request(const MemRequest& request);

@@ -43,6 +43,23 @@ class LlcSlice : public simfw::Unit {
 
   bool contains(Addr line_addr) const { return array_.probe(line_addr); }
 
+  /// Raw tag array, exposed for fast-forward warm-up and checkpointing.
+  CacheArray& array() { return array_; }
+
+  /// Checkpoint: the tag array. Only legal at a quiesce point — throws
+  /// SimError if any miss is in flight. Counters live in the stats tree.
+  void save_state(BinWriter& w) const {
+    if (!mshrs_.empty()) {
+      throw SimError("LlcSlice: checkpoint with misses in flight — "
+                     "checkpoints are only legal at quiesce points");
+    }
+    array_.save_state(w);
+  }
+  void load_state(BinReader& r) {
+    array_.load_state(r);
+    mshrs_.clear();
+  }
+
  private:
   void on_request(const MemRequest& request);
   void on_mem_response(const MemResponse& response);

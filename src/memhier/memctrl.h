@@ -9,7 +9,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/bits.h"
+#include "common/error.h"
 #include "memhier/msg.h"
 #include "memhier/noc.h"
 #include "simfw/port.h"
@@ -42,6 +44,24 @@ class MemoryController : public simfw::Unit {
   /// One response port per L2 bank; bind each to that bank's mem_resp_in.
   simfw::DataOutPort<MemResponse>& resp_out(BankId bank) {
     return *resp_out_.at(bank);
+  }
+
+  /// Checkpoint: bandwidth-slot reservation and per-bank open rows. The
+  /// reservation may extend past the checkpoint cycle (it is a future
+  /// timestamp, not an in-flight event), so it is serialized even though
+  /// the event queue is empty. Counters live in the statistics tree.
+  void save_state(BinWriter& w) const {
+    w.u64(next_free_);
+    w.u64(open_rows_.size());
+    for (Addr row : open_rows_) w.u64(row);
+  }
+  void load_state(BinReader& r) {
+    next_free_ = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n != open_rows_.size()) {
+      throw SimError("MemoryController checkpoint geometry mismatch");
+    }
+    for (Addr& row : open_rows_) row = r.u64();
   }
 
  private:

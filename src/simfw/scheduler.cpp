@@ -164,4 +164,19 @@ Cycle Scheduler::run_to_completion(Cycle max_cycle) {
   return now_;
 }
 
+void Scheduler::restore_clock(Cycle now, std::uint64_t next_sequence,
+                              std::uint64_t events_fired) {
+  if (has_pending()) {
+    throw SimError(
+        "Scheduler::restore_clock: events pending — checkpoints may only be "
+        "restored into a quiesced scheduler");
+  }
+  if (now < now_) {
+    throw SimError("Scheduler::restore_clock: time never moves backwards");
+  }
+  now_ = now;
+  next_sequence_ = next_sequence;
+  events_fired_ = events_fired;
+}
+
 }  // namespace coyote::simfw

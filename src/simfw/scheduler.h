@@ -95,6 +95,9 @@ class Scheduler {
   /// Number of events fired since construction.
   std::uint64_t events_fired() const { return events_fired_; }
 
+  /// Sequence number the next scheduled event will receive (checkpointing).
+  std::uint64_t next_sequence() const { return next_sequence_; }
+
   /// Fires, in deterministic order, every event scheduled at a cycle
   /// <= `cycle`, then sets now() == cycle. Events that reschedule at the
   /// current cycle are honored within the same call. A `cycle` in the past
@@ -108,6 +111,13 @@ class Scheduler {
   /// Runs until the queue drains or `max_cycle` is reached; returns the
   /// final value of now().
   Cycle run_to_completion(Cycle max_cycle = ~Cycle{0});
+
+  /// Checkpoint restore: sets the clock and bookkeeping of a quiesced
+  /// scheduler (queue must be empty — checkpoints are only cut at quiesce
+  /// points, so no event callbacks ever need serializing). Throws SimError
+  /// if any event is pending.
+  void restore_clock(Cycle now, std::uint64_t next_sequence,
+                     std::uint64_t events_fired);
 
  private:
   static constexpr std::size_t kNumLanes = 4;  // one per SchedPriority

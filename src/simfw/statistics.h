@@ -34,6 +34,8 @@ class Counter {
   }
   /// Resets to zero (used between benchmark repetitions).
   void reset() { value_ = 0; }
+  /// Restores an absolute value (checkpoint restore only).
+  void set(std::uint64_t value) { value_ = value; }
 
  private:
   std::string name_;
@@ -98,6 +100,19 @@ class DistributionStat {
     count_ = sum_ = min_ = max_ = 0;
     for (auto& bucket : buckets_) bucket = 0;
   }
+
+  /// Restores raw accumulator state (checkpoint restore only). `min` must be
+  /// the raw internal minimum (0 when count == 0).
+  void restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+               std::uint64_t max, const std::uint64_t (&buckets)[kBuckets]) {
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    for (unsigned i = 0; i < kBuckets; ++i) buckets_[i] = buckets[i];
+  }
+  /// Raw internal minimum regardless of count (checkpoint save only).
+  std::uint64_t raw_min() const { return min_; }
 
  private:
   static unsigned bit_width(std::uint64_t value) {

@@ -1,17 +1,137 @@
 #include "sweep/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "ckpt/checkpoint.h"
+#include "common/binio.h"
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/run_summary.h"
 #include "kernels/program_menu.h"
 
 namespace coyote::sweep {
+
+namespace {
+
+// ----- per-point resume records ----------------------------------------
+// A completed point leaves a `.done` record: its full normalised config
+// (the resume key — a record that does not match is ignored), the
+// RunResult and the collected metrics. In-progress points leave ordinary
+// checkpoints (`.ckpt`, ckpt/checkpoint.h) cut at quiesce points. Both are
+// written to a temp file and renamed, so an interrupted write never leaves
+// a record that parses.
+
+constexpr std::uint32_t kDoneMagic = 0x43594B44;  // "DKYC" little-endian
+constexpr std::uint32_t kDoneVersion = 1;
+
+void write_done_record(
+    const std::string& path, const simfw::ConfigMap& config,
+    const core::RunResult& run,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw SimError("sweep resume: cannot write " + tmp);
+    BinWriter w(os);
+    w.u32(kDoneMagic);
+    w.u32(kDoneVersion);
+    w.u64(config.values().size());
+    for (const auto& [key, value] : config.values()) {
+      w.str(key);
+      w.str(value);
+    }
+    w.u64(run.cycles);
+    w.u64(run.instructions);
+    w.b(run.all_exited);
+    w.u64(run.exit_codes.size());
+    for (std::int64_t code : run.exit_codes) w.i64(code);
+    w.u64(metrics.size());
+    for (const auto& [name, value] : metrics) {
+      w.str(name);
+      std::uint64_t bits;
+      std::memcpy(&bits, &value, sizeof bits);
+      w.u64(bits);
+    }
+    os.flush();
+    if (!os) throw SimError("sweep resume: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<core::RunResult> try_load_done(const std::string& path,
+                                             const simfw::ConfigMap& expect,
+                                             PointResult& point) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  try {
+    BinReader r(is);
+    if (r.u32() != kDoneMagic || r.u32() != kDoneVersion) return std::nullopt;
+    simfw::ConfigMap config;
+    const std::uint64_t num_keys = r.count(1 << 20);
+    for (std::uint64_t i = 0; i < num_keys; ++i) {
+      const std::string key = r.str();
+      config.set(key, r.str());
+    }
+    if (config.values() != expect.values()) return std::nullopt;
+    core::RunResult run;
+    run.cycles = r.u64();
+    run.instructions = r.u64();
+    run.all_exited = r.b();
+    const std::uint64_t num_codes = r.count(1 << 20);
+    run.exit_codes.reserve(num_codes);
+    for (std::uint64_t i = 0; i < num_codes; ++i) {
+      run.exit_codes.push_back(r.i64());
+    }
+    point.metrics.clear();
+    const std::uint64_t num_metrics = r.count(1 << 20);
+    for (std::uint64_t i = 0; i < num_metrics; ++i) {
+      const std::string name = r.str();
+      const std::uint64_t bits = r.u64();
+      double value;
+      std::memcpy(&value, &bits, sizeof value);
+      point.metrics.emplace_back(name, value);
+    }
+    return run;
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated/corrupt record: re-run the point
+  }
+}
+
+std::unique_ptr<core::Simulator> try_restore_point(
+    const std::string& path, const std::string& workload,
+    const simfw::ConfigMap& expect) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return nullptr;
+  try {
+    ckpt::CheckpointMeta meta;
+    auto sim = ckpt::restore_checkpoint(is, &meta);
+    if (meta.workload != workload ||
+        meta.config.values() != expect.values()) {
+      return nullptr;
+    }
+    return sim;
+  } catch (const std::exception&) {
+    return nullptr;  // stale/corrupt checkpoint: restart the point
+  }
+}
+
+void write_point_checkpoint(core::Simulator& sim, const std::string& workload,
+                            const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  ckpt::write_checkpoint_file(sim, workload, tmp);
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
 
 SweepAxis axis_from_token(const std::string& token) {
   const auto eq = token.find('=');
@@ -211,19 +331,82 @@ SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
 SweepReport SweepEngine::run(const SweepSpec& spec) const {
   const Cycle max_cycles = options_.max_cycles;
   const auto& collect = options_.collect;
-  const auto runner = [&spec, max_cycles, &collect](
-                          const core::SimConfig& config, PointResult& point) {
-    core::Simulator sim(config);
-    const kernels::Program program = kernels::build_named_kernel(
-        spec.kernel, config.num_cores, spec.size, spec.seed, sim.memory());
-    sim.load_program(program.base, program.words, program.entry);
-    const core::RunResult result = sim.run(max_cycles);
+  const std::string resume_dir = options_.resume_dir;
+  const Cycle interval = options_.checkpoint_interval;
+  // The resume key also names the workload, so a checkpoint from a
+  // different kernel/size/seed campaign in the same directory never
+  // resumes into this one.
+  const std::string resume_label =
+      strfmt("%s size=%llu seed=%llu", spec.kernel.c_str(),
+             static_cast<unsigned long long>(spec.size),
+             static_cast<unsigned long long>(spec.seed));
+  if (!resume_dir.empty()) {
+    std::filesystem::create_directories(resume_dir);
+  }
+
+  const auto runner = [&](const core::SimConfig& config, PointResult& point) {
+    const std::string stem =
+        resume_dir.empty()
+            ? std::string()
+            : resume_dir + "/point" + std::to_string(point.index);
+    if (!resume_dir.empty()) {
+      // Completed on a previous run: reuse the recorded result verbatim.
+      if (auto done = try_load_done(stem + ".done", point.config, point)) {
+        return *done;
+      }
+    }
+
+    std::unique_ptr<core::Simulator> sim;
+    if (!resume_dir.empty()) {
+      sim = try_restore_point(stem + ".ckpt", resume_label, point.config);
+    }
+    if (sim == nullptr) {
+      sim = std::make_unique<core::Simulator>(config);
+      const kernels::Program program = kernels::build_named_kernel(
+          spec.kernel, config.num_cores, spec.size, spec.seed, sim->memory());
+      sim->load_program(program.base, program.words, program.entry);
+    }
+
+    // Run in checkpoint-interval slices (one slice = the whole budget when
+    // checkpointing is off). Quiesce stops do not perturb the simulation,
+    // so the sliced run is bit-identical to an uninterrupted one.
+    core::RunResult result;
+    while (true) {
+      const Cycle elapsed = sim->scheduler().now();
+      const Cycle remaining =
+          max_cycles == ~Cycle{0}
+              ? ~Cycle{0}
+              : (elapsed < max_cycles ? max_cycles - elapsed : 0);
+      if (resume_dir.empty() || interval == 0) {
+        result = sim->run(remaining);
+      } else {
+        result = sim->run_to_quiesce(std::min(interval, remaining), remaining);
+        if (result.quiesced && !result.all_exited) {
+          write_point_checkpoint(*sim, resume_label, stem + ".ckpt");
+          continue;
+        }
+      }
+      break;
+    }
     if (!result.all_exited) {
       throw SimError(result.hit_cycle_limit
                          ? "point hit the cycle budget before completion"
                          : "point stalled before completion");
     }
-    if (collect) collect(sim, point);
+    // Totals from the authoritative machine state rather than the last run
+    // leg, so a resumed point reports the same numbers as a fresh one.
+    result.cycles = sim->scheduler().now();
+    result.instructions = sim->root()
+                              .find("orchestrator")
+                              ->stats()
+                              .find_counter("instructions")
+                              .get();
+    if (collect) collect(*sim, point);
+    if (!resume_dir.empty()) {
+      write_done_record(stem + ".done", point.config, result, point.metrics);
+      std::error_code ignored;
+      std::filesystem::remove(stem + ".ckpt", ignored);
+    }
     return result;
   };
   return run(spec.expand(), runner, spec.kernel);

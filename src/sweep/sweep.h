@@ -103,6 +103,21 @@ class SweepEngine {
     /// with respect to itself and must derive metrics only from `sim` and
     /// the result, or determinism across jobs counts is lost.
     std::function<void(core::Simulator& sim, PointResult& point)> collect;
+    /// Resume directory (kernel mode only). When set, every completed
+    /// point leaves a result record (`point<i>.done`) and long-running
+    /// points leave periodic state checkpoints (`point<i>.ckpt`, cut at
+    /// quiesce points every `checkpoint_interval` simulated cycles).
+    /// Re-running the same campaign with the same directory skips
+    /// completed points and restores interrupted ones from their last
+    /// checkpoint; per-point outcomes are bit-identical to an
+    /// uninterrupted run. Records that do not match a point's full
+    /// normalised config (or fail to parse) are ignored, so a changed
+    /// campaign never resumes stale state.
+    std::string resume_dir;
+    /// Simulated cycles between per-point checkpoint cuts while
+    /// `resume_dir` is set; 0 disables mid-point checkpoints (completed
+    /// points are still recorded and skipped on resume).
+    Cycle checkpoint_interval = 5'000'000;
   };
 
   /// A custom per-point body: build/run whatever `config` means and return

@@ -1,0 +1,509 @@
+// Tests for the checkpoint/restore + fast-forward sampling subsystem
+// (src/ckpt). The load-bearing property is bit-identity: a run that is cut
+// at a quiesce point, serialized, restored into a fresh process-state
+// simulator and continued must be indistinguishable — same cycle count,
+// same statistics tree, byte-identical Paraver trace — from the run that
+// was never interrupted. The differential tests check that for every menu
+// kernel under both coherence protocols.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/fastforward.h"
+#include "common/error.h"
+#include "core/config_io.h"
+#include "core/simulator.h"
+#include "isa/text_asm.h"
+#include "kernels/program_menu.h"
+#include "sweep/sweep.h"
+
+namespace coyote::ckpt {
+namespace {
+
+using core::SimConfig;
+using core::Simulator;
+
+constexpr std::uint64_t kSeed = 9;
+constexpr Cycle kBudget = 500'000'000;
+
+// Small problem sizes so the full differential matrix (every menu kernel ×
+// both coherence protocols, each cell simulated twice) stays fast.
+std::uint64_t test_size(const std::string& kernel) {
+  if (kernel.rfind("matmul", 0) == 0) return 16;
+  if (kernel.rfind("spmv", 0) == 0) return 48;
+  if (kernel == "stencil_sync") return 512;
+  if (kernel.rfind("stencil2d", 0) == 0) return 24;
+  if (kernel.rfind("stencil", 0) == 0) return 2048;
+  if (kernel == "fft") return 128;
+  return 1024;  // histogram, axpy, dot
+}
+
+SimConfig small_config(bool mesi, const std::string& trace_basename) {
+  SimConfig config;
+  config.num_cores = 4;
+  config.cores_per_tile = 4;
+  config.l2_banks_per_tile = 2;
+  config.num_mcs = 2;
+  if (mesi) config.coherence = core::Coherence::kMesi;
+  if (!trace_basename.empty()) {
+    config.enable_trace = true;
+    config.trace_basename = trace_basename;
+  }
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Outcome {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::vector<std::int64_t> exit_codes;
+  std::string report;
+};
+
+// Totals from the authoritative machine state (absolute clock, the
+// orchestrator's instruction counter), so outcomes of continued runs and
+// uninterrupted runs are directly comparable.
+Outcome collect(Simulator& sim, const core::RunResult& result) {
+  Outcome out;
+  out.cycles = sim.scheduler().now();
+  out.instructions = sim.root()
+                         .find("orchestrator")
+                         ->stats()
+                         .find_counter("instructions")
+                         .get();
+  out.exit_codes = result.exit_codes;
+  out.report = sim.report(simfw::ReportFormat::kText);
+  return out;
+}
+
+Outcome run_full(const SimConfig& config, const std::string& kernel) {
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      kernel, config.num_cores, test_size(kernel), kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited) << kernel;
+  return collect(sim, result);
+}
+
+// Runs to the first quiesce point at/after a midpoint, serializes, restores
+// into a brand-new simulator and continues to completion there. Dense
+// kernels (vector streams that keep the memory system busy end to end) may
+// have no quiesce point late in the run, so the cut is searched from the
+// halfway mark toward the start until one exists.
+Outcome run_split(const SimConfig& config, const std::string& kernel,
+                  Cycle total_cycles) {
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  Cycle cut_cycle = 0;
+  bool cut_ok = false;
+  for (const Cycle midpoint :
+       {total_cycles / 2, total_cycles / 4, total_cycles / 8,
+        total_cycles / 16, Cycle{1}}) {
+    Simulator first(config);
+    const auto program = kernels::build_named_kernel(
+        kernel, config.num_cores, test_size(kernel), kSeed, first.memory());
+    first.load_program(program.base, program.words, program.entry);
+    const auto cut = first.run_to_quiesce(std::max<Cycle>(midpoint, 1),
+                                          kBudget);
+    if (!cut.quiesced) continue;
+    cut_cycle = first.scheduler().now();
+    blob.str(std::string());
+    write_checkpoint(first, kernel, blob);
+    cut_ok = true;
+    break;
+  }  // the cut simulator is gone; only its serialized image survives
+  EXPECT_TRUE(cut_ok) << kernel << ": no quiesce point found anywhere";
+  if (!cut_ok) return run_full(config, kernel);
+
+  CheckpointMeta meta;
+  auto restored = restore_checkpoint(blob, &meta);
+  EXPECT_EQ(meta.version, kCheckpointVersion);
+  EXPECT_EQ(meta.workload, kernel);
+  EXPECT_EQ(meta.cycle, cut_cycle);
+  const auto result = restored->run(kBudget);
+  EXPECT_TRUE(result.all_exited) << kernel;
+  return collect(*restored, result);
+}
+
+void expect_identical(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.exit_codes, b.exit_codes);
+  // The text report renders every counter of every unit — one comparison
+  // covers the whole machine's statistics state.
+  EXPECT_EQ(a.report, b.report);
+}
+
+void differential(const std::string& kernel, bool mesi) {
+  SCOPED_TRACE(kernel + (mesi ? " (mesi)" : " (non-coherent)"));
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = kernel + (mesi ? "_mesi" : "_none");
+  const std::string full_base = dir + "ckpt_full_" + tag;
+  const std::string split_base = dir + "ckpt_split_" + tag;
+
+  const Outcome full = run_full(small_config(mesi, full_base), kernel);
+  const Outcome split =
+      run_split(small_config(mesi, split_base), kernel, full.cycles);
+
+  expect_identical(full, split);
+  EXPECT_EQ(slurp(full_base + ".prv"), slurp(split_base + ".prv"));
+}
+
+TEST(CheckpointDifferential, EveryKernelNonCoherent) {
+  for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
+    differential(info.name, /*mesi=*/false);
+  }
+}
+
+TEST(CheckpointDifferential, EveryKernelMesi) {
+  for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
+    differential(info.name, /*mesi=*/true);
+  }
+}
+
+// ------------------------------------------------------------- header --
+
+TEST(CheckpointMeta, HeaderRoundTripsWithoutRestoring) {
+  const SimConfig config = small_config(false, "");
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 1024, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const auto cut = sim.run_to_quiesce(100, kBudget);
+  ASSERT_TRUE(cut.quiesced);
+
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sim, "axpy n=1024", blob);
+
+  const CheckpointMeta meta = read_checkpoint_meta(blob);
+  EXPECT_EQ(meta.version, kCheckpointVersion);
+  EXPECT_EQ(meta.workload, "axpy n=1024");
+  EXPECT_EQ(meta.cycle, sim.scheduler().now());
+  EXPECT_EQ(meta.config.values(), core::config_to_map(config).values());
+}
+
+TEST(Checkpoint, RefusesToCutWithEventsInFlight) {
+  const SimConfig config = small_config(false, "");
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "matmul_scalar", config.num_cores, 16, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  sim.run(5);  // cold-start ifetch/L1 misses are in flight now
+  ASSERT_TRUE(sim.scheduler().has_pending());
+  std::ostringstream blob(std::ios::binary);
+  EXPECT_THROW(write_checkpoint(sim, "matmul_scalar", blob), SimError);
+}
+
+TEST(Checkpoint, RejectsCorruptInput) {
+  const SimConfig config = small_config(false, "");
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 1024, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run_to_quiesce(100, kBudget).quiesced);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sim, "axpy", blob);
+  const std::string image = blob.str();
+
+  {  // bad magic
+    std::string bad = image;
+    bad[0] ^= 0xFF;
+    std::istringstream is(bad, std::ios::binary);
+    EXPECT_THROW(restore_checkpoint(is), std::exception);
+  }
+  {  // future version
+    std::string bad = image;
+    bad[4] = 99;
+    std::istringstream is(bad, std::ios::binary);
+    EXPECT_THROW(restore_checkpoint(is), std::exception);
+  }
+  {  // truncated mid-stream
+    std::istringstream is(image.substr(0, image.size() / 2),
+                          std::ios::binary);
+    EXPECT_THROW(restore_checkpoint(is), std::exception);
+  }
+}
+
+// ------------------------------------------------------- fast-forward --
+
+TEST(FastForward, FullSkipExecutesExactlyTheDetailedInstructionStream) {
+  // Detailed reference.
+  const Outcome detailed = run_full(small_config(false, ""), "axpy");
+
+  // Functional-only execution of the same program, to completion.
+  SimConfig config = small_config(false, "");
+  config.ffwd_instructions = ~std::uint64_t{0};
+  config.ffwd_stop_at_roi = false;
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 1024, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const FfwdResult ffwd = fast_forward(sim);
+  EXPECT_TRUE(ffwd.all_exited);
+  EXPECT_EQ(ffwd.instructions, detailed.instructions);
+  EXPECT_EQ(sim.scheduler().now(), 0u);  // functional time does not advance
+
+  // The handover run observes the exits and reports the same codes.
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.exit_codes, detailed.exit_codes);
+}
+
+TEST(FastForward, PartialSkipPlusDetailedCoversTheWholeProgram) {
+  const Outcome detailed = run_full(small_config(false, ""), "axpy");
+
+  SimConfig config = small_config(false, "");
+  config.ffwd_instructions = 50;  // per core, well short of the program
+  config.ffwd_stop_at_roi = false;
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 1024, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const FfwdResult ffwd = fast_forward(sim);
+  EXPECT_FALSE(ffwd.all_exited);
+  EXPECT_EQ(ffwd.instructions, 50u * config.num_cores);
+
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.exit_codes, detailed.exit_codes);
+  // Skipped + detailed instructions account for the whole program.
+  const std::uint64_t timed = sim.root()
+                                  .find("orchestrator")
+                                  ->stats()
+                                  .find_counter("instructions")
+                                  .get();
+  EXPECT_EQ(ffwd.instructions + timed, detailed.instructions);
+}
+
+TEST(FastForward, StopsAtRoiMarker) {
+  // ~40 warm-up instructions, then a roi_begin CSR write, then the ROI.
+  const auto assembled = isa::assemble_text(R"(
+    .org 0x1000
+      li   t0, 20
+    warm:
+      addi t0, t0, -1
+      bnez t0, warm
+      csrw 0x800, x0
+      li   t1, 20
+    roi:
+      addi t1, t1, -1
+      bnez t1, roi
+      li   a7, 93
+      li   a0, 0
+      ecall
+  )");
+  SimConfig config = small_config(false, "");
+  config.ffwd_instructions = 100'000;
+  Simulator sim(config);
+  sim.load_program(assembled.base, assembled.words, assembled.base);
+  const FfwdResult ffwd = fast_forward(sim);
+  EXPECT_TRUE(ffwd.roi_reached);
+  EXPECT_FALSE(ffwd.all_exited);
+  // Stopped at the marker, nowhere near the budget.
+  EXPECT_LT(ffwd.instructions, 200u);
+  // Detailed simulation finishes the ROI.
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  for (const std::int64_t code : result.exit_codes) EXPECT_EQ(code, 0);
+}
+
+TEST(FastForward, WarmupReducesColdMissesInTheRoi) {
+  const auto misses_after = [](bool warmup) {
+    SimConfig config = small_config(false, "");
+    config.ffwd_instructions = 5000;
+    config.ffwd_warmup = warmup;
+    config.ffwd_stop_at_roi = false;
+    Simulator sim(config);
+    const auto program = kernels::build_named_kernel(
+        "matmul_scalar", config.num_cores, 16, kSeed, sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
+    fast_forward(sim);
+    EXPECT_TRUE(sim.run(kBudget).all_exited);
+    std::uint64_t misses = 0;
+    for (CoreId id = 0; id < config.num_cores; ++id) {
+      misses += sim.core(id).counters().l1d_misses;
+      misses += sim.core(id).counters().l1i_misses;
+    }
+    return misses;
+  };
+  // matmul re-reads its operand matrices, so warmed arrays must save the
+  // detailed phase a measurable number of cold misses.
+  EXPECT_LT(misses_after(true), misses_after(false));
+}
+
+TEST(FastForward, WarmupWindowBoundsWarmingWork) {
+  // A SMARTS-style window warms only the budget's tail. A window covering
+  // the whole budget is exactly full warming; a tail-only window warms
+  // less state than full warming but still more than none.
+  const auto misses_after = [](std::uint64_t window, bool warmup) {
+    SimConfig config = small_config(false, "");
+    config.ffwd_instructions = 5000;
+    config.ffwd_warmup = warmup;
+    config.ffwd_warmup_window = window;
+    config.ffwd_stop_at_roi = false;
+    Simulator sim(config);
+    const auto program = kernels::build_named_kernel(
+        "matmul_scalar", config.num_cores, 16, kSeed, sim.memory());
+    sim.load_program(program.base, program.words, program.entry);
+    fast_forward(sim);
+    EXPECT_TRUE(sim.run(kBudget).all_exited);
+    std::uint64_t misses = 0;
+    for (CoreId id = 0; id < config.num_cores; ++id) {
+      misses += sim.core(id).counters().l1d_misses;
+      misses += sim.core(id).counters().l1i_misses;
+    }
+    return misses;
+  };
+  const std::uint64_t full = misses_after(0, true);
+  const std::uint64_t whole_budget = misses_after(5000, true);
+  const std::uint64_t oversized = misses_after(1 << 20, true);
+  const std::uint64_t tail = misses_after(200, true);
+  const std::uint64_t cold = misses_after(200, false);
+  EXPECT_EQ(whole_budget, full);  // window == budget: identical warming
+  EXPECT_EQ(oversized, full);     // window > budget clamps to full warming
+  EXPECT_LE(full, tail);          // partial warming can't beat full warming
+  EXPECT_LT(tail, cold);          // but must still beat no warming at all
+}
+
+TEST(FastForward, ComposesWithCheckpointing) {
+  // The intended sampling recipe: skip the prefix functionally, cut a
+  // checkpoint at the handover point, then compare continuing directly
+  // against restoring the checkpoint and continuing.
+  SimConfig config = small_config(false, "");
+  config.ffwd_instructions = 2000;
+  config.ffwd_stop_at_roi = false;
+
+  const auto fresh = [&]() {
+    auto sim = std::make_unique<Simulator>(config);
+    const auto program = kernels::build_named_kernel(
+        "matmul_scalar", config.num_cores, 16, kSeed, sim->memory());
+    sim->load_program(program.base, program.words, program.entry);
+    fast_forward(*sim);
+    return sim;
+  };
+
+  auto direct = fresh();
+  const Outcome a = collect(*direct, direct->run(kBudget));
+
+  auto cut = fresh();
+  ASSERT_TRUE(cut->run_to_quiesce(0, kBudget).quiesced);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(*cut, "matmul_scalar", blob);
+  cut.reset();
+  auto restored = restore_checkpoint(blob);
+  const Outcome b = collect(*restored, restored->run(kBudget));
+
+  expect_identical(a, b);
+}
+
+// ------------------------------------------------------- sweep resume --
+
+// Resume directories persist on purpose (that is the feature), so each
+// test starts from a clean one or earlier invocations' records leak in.
+std::string fresh_resume_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+sweep::SweepSpec resume_spec() {
+  sweep::SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 12;
+  spec.seed = 5;
+  spec.base.set("topo.cores", "4");
+  spec.axes.push_back({"l2.size_kb", {"128", "256"}});
+  return spec;
+}
+
+std::string sweep_json(const sweep::SweepEngine::Options& options) {
+  const auto report = sweep::SweepEngine(options).run(resume_spec());
+  return report.to_json(/*include_host_timing=*/false);
+}
+
+TEST(SweepResume, CompletedAndResumedCampaignsMatchAFreshRun) {
+  sweep::SweepEngine::Options plain;
+  plain.jobs = 1;
+  const std::string fresh = sweep_json(plain);
+
+  const std::string dir = fresh_resume_dir("sweep_resume_done");
+  sweep::SweepEngine::Options resumable = plain;
+  resumable.resume_dir = dir;
+  resumable.checkpoint_interval = 2000;  // force several mid-run cuts
+  EXPECT_EQ(sweep_json(resumable), fresh);
+
+  // Completed points left .done records; a re-run serves them verbatim.
+  EXPECT_TRUE(std::ifstream(dir + "/point0.done").good());
+  EXPECT_TRUE(std::ifstream(dir + "/point1.done").good());
+  EXPECT_FALSE(std::ifstream(dir + "/point0.ckpt").good());
+  EXPECT_EQ(sweep_json(resumable), fresh);
+}
+
+TEST(SweepResume, InterruptedPointsContinueFromTheirCheckpoints) {
+  sweep::SweepEngine::Options plain;
+  plain.jobs = 1;
+  const auto fresh_report = sweep::SweepEngine(plain).run(resume_spec());
+  const std::string fresh = fresh_report.to_json(false);
+  Cycle shortest = ~Cycle{0};
+  for (const auto& point : fresh_report.points) {
+    shortest = std::min(shortest, point.run.cycles);
+  }
+
+  // "Interrupt" the campaign by giving it a cycle budget no point can
+  // meet: every point fails, but leaves its latest quiesce checkpoint.
+  const std::string dir = fresh_resume_dir("sweep_resume_interrupted");
+  sweep::SweepEngine::Options interrupted = plain;
+  interrupted.resume_dir = dir;
+  interrupted.checkpoint_interval = shortest / 10;
+  interrupted.max_cycles = shortest / 2;
+  interrupted.max_attempts = 1;
+  const auto failed = sweep::SweepEngine(interrupted).run(resume_spec());
+  ASSERT_EQ(failed.num_ok(), 0u);
+  ASSERT_TRUE(std::ifstream(dir + "/point0.ckpt").good());
+
+  // Lifting the budget resumes every point from its checkpoint; the final
+  // table is bit-identical to the never-interrupted campaign.
+  sweep::SweepEngine::Options resumed = plain;
+  resumed.resume_dir = dir;
+  resumed.checkpoint_interval = shortest / 10;
+  EXPECT_EQ(sweep_json(resumed), fresh);
+}
+
+TEST(SweepResume, StaleRecordsFromAnotherCampaignAreIgnored) {
+  const std::string dir = fresh_resume_dir("sweep_resume_stale");
+  sweep::SweepEngine::Options options;
+  options.jobs = 1;
+  options.resume_dir = dir;
+  options.checkpoint_interval = 2000;
+  const std::string first = sweep_json(options);
+
+  // Same directory, different campaign: the old point0/point1 records do
+  // not match the new configs and must be re-run, not reused.
+  sweep::SweepSpec other = resume_spec();
+  other.axes[0].values = {"64", "512"};
+  sweep::SweepEngine::Options plain;
+  plain.jobs = 1;
+  const auto fresh_other = sweep::SweepEngine(plain).run(other);
+  const auto resumed_other = sweep::SweepEngine(options).run(other);
+  EXPECT_EQ(resumed_other.to_json(false), fresh_other.to_json(false));
+  // And the original campaign still round-trips from its refreshed records.
+  EXPECT_EQ(sweep_json(options), first);
+}
+
+}  // namespace
+}  // namespace coyote::ckpt

@@ -51,6 +51,10 @@ const std::map<std::string, std::string>& alternate_values() {
       {"sim.interleave_quantum", "16"},
       {"sim.fast_forward", "true"},
       {"sim.batched_stepping", "false"},
+      {"ckpt.ffwd_instructions", "1000"},
+      {"ckpt.warmup", "false"},
+      {"ckpt.warmup_window", "500"},
+      {"ckpt.stop_at_roi", "false"},
   };
   return values;
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -212,6 +214,118 @@ TEST(Scheduler, PoolReuseAcrossManyScheduleFireRounds) {
   }
   EXPECT_EQ(fired, 4000u);
   EXPECT_FALSE(sched.has_pending());
+}
+
+// ----- bucket-ring wraparound at long horizons -----
+// The 512-bucket ring indexes by (cycle mod 512), so cycles C, C+512,
+// C+1024, ... all alias to one bucket. Long-horizon runs cross the
+// wraparound seam thousands of times; these tests pin down that aliased
+// cycles never merge, that migration out of the overflow heap stays correct
+// across many wraps, and that a clock restored deep into a run (checkpoint
+// restore) picks up ring arithmetic exactly where it left off.
+
+TEST(Scheduler, AliasedCyclesInTheSameBucketStayDistinct) {
+  // Three events one full ring apart share a bucket index; each must fire
+  // on its own cycle, not when the bucket first drains.
+  Scheduler sched;
+  std::vector<Cycle> fire_times;
+  const auto note = [&] { fire_times.push_back(sched.now()); };
+  sched.schedule_at(5, SchedPriority::kTick, note);
+  sched.schedule_at(5 + 512, SchedPriority::kTick, note);
+  sched.schedule_at(5 + 1024, SchedPriority::kTick, note);
+  sched.advance_to(5);
+  EXPECT_EQ(fire_times, (std::vector<Cycle>{5}));
+  EXPECT_TRUE(sched.has_pending());
+  EXPECT_EQ(sched.next_event_cycle(), 5u + 512u);
+  sched.run_to_completion();
+  EXPECT_EQ(fire_times, (std::vector<Cycle>{5, 517, 1029}));
+}
+
+TEST(Scheduler, SelfReschedulingChainCrossesManyWraps) {
+  // A 700-cycle period never fits in the ring, so every hop parks in the
+  // overflow heap and migrates in as time advances — 100 hops sweep the
+  // ring seam ~137 times.
+  Scheduler sched;
+  std::vector<Cycle> fire_times;
+  std::function<void()> hop = [&] {
+    fire_times.push_back(sched.now());
+    if (fire_times.size() < 100) {
+      sched.schedule(700, SchedPriority::kTick, hop);
+    }
+  };
+  sched.schedule(700, SchedPriority::kTick, hop);
+  sched.run_to_completion();
+  ASSERT_EQ(fire_times.size(), 100u);
+  for (std::size_t i = 0; i < fire_times.size(); ++i) {
+    EXPECT_EQ(fire_times[i], 700u * (i + 1));
+  }
+  EXPECT_EQ(sched.now(), 70'000u);
+}
+
+TEST(Scheduler, MixedRingAndOverflowTrafficOverLongHorizon) {
+  // Events sprinkled on both sides of the horizon while time advances in
+  // odd-sized steps (so bucket indices hit every alignment): global firing
+  // order must be exactly by (cycle, priority, insertion).
+  Scheduler sched;
+  std::vector<Cycle> fire_times;
+  const auto note = [&] { fire_times.push_back(sched.now()); };
+  std::vector<Cycle> expected;
+  // 40 batches, each scheduling a near event (in-ring), a just-beyond-
+  // horizon event and a far event, then advancing by a prime step.
+  for (Cycle batch = 0; batch < 40; ++batch) {
+    const Cycle base = sched.now();
+    for (const Cycle delay : {Cycle{37}, Cycle{511}, Cycle{512}, Cycle{977}}) {
+      sched.schedule(delay, SchedPriority::kTick, note);
+      expected.push_back(base + delay);
+    }
+    sched.advance_to(base + 271);
+  }
+  sched.run_to_completion();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(fire_times, expected);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(Scheduler, RestoreClockDeepIntoARunKeepsRingArithmeticExact) {
+  // A checkpoint restore sets now() to an arbitrary large cycle (not a
+  // multiple of the ring size). Scheduling after the jump must behave
+  // exactly like a scheduler that walked there cycle by cycle.
+  Scheduler sched;
+  const Cycle restored = 1'000'000'007;  // prime: every bucket alignment off
+  sched.restore_clock(restored, /*next_sequence=*/12345,
+                      /*events_fired=*/999);
+  EXPECT_EQ(sched.now(), restored);
+  EXPECT_EQ(sched.next_sequence(), 12345u);
+  EXPECT_EQ(sched.events_fired(), 999u);
+
+  std::vector<Cycle> fire_times;
+  const auto note = [&] { fire_times.push_back(sched.now()); };
+  sched.schedule(3, SchedPriority::kTick, note);        // in-ring
+  sched.schedule(511, SchedPriority::kTick, note);      // last ring slot
+  sched.schedule(512, SchedPriority::kTick, note);      // first overflow
+  sched.schedule(100'000, SchedPriority::kTick, note);  // far overflow
+  EXPECT_THROW(sched.schedule_at(restored - 1, SchedPriority::kTick, [] {}),
+               SimError);
+  sched.run_to_completion();
+  EXPECT_EQ(fire_times,
+            (std::vector<Cycle>{restored + 3, restored + 511, restored + 512,
+                                restored + 100'000}));
+  EXPECT_EQ(sched.events_fired(), 999u + 4u);
+}
+
+TEST(Scheduler, RestoreClockEnforcesTheQuiesceInvariant) {
+  {  // pending events: not a quiesce point, must refuse
+    Scheduler sched;
+    sched.schedule(10, SchedPriority::kTick, [] {});
+    EXPECT_THROW(sched.restore_clock(100, 1, 0), SimError);
+  }
+  {  // time must never move backwards
+    Scheduler sched;
+    sched.advance_to(500);
+    EXPECT_THROW(sched.restore_clock(499, 1, 0), SimError);
+    sched.restore_clock(500, 1, 0);  // same cycle is fine
+    EXPECT_EQ(sched.now(), 500u);
+  }
 }
 
 // Determinism property: two identical schedules produce identical firing
