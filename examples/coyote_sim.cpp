@@ -20,9 +20,12 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/fastforward.h"
+#include "common/error.h"
 #include "core/config_io.h"
 #include "core/run_summary.h"
 #include "core/simulator.h"
+#include "fault/fault.h"
+#include "fault/watchdog.h"
 #include "isa/text_asm.h"
 #include "kernels/program_menu.h"
 
@@ -39,6 +42,8 @@ struct Options {
   std::string checkpoint_out;  ///< cut a checkpoint here mid-run
   std::string checkpoint_in;   ///< resume from this checkpoint instead
   Cycle checkpoint_at = 0;     ///< earliest cycle for the checkpoint cut
+  /// On a watchdog/deadlock hang, write the last quiesce-point state here.
+  std::string emergency_checkpoint;
   std::uint64_t size = 0;  // problem size; 0 = kernel default
   std::uint64_t seed = 2024;
   simfw::ConfigMap overrides;
@@ -51,6 +56,7 @@ void usage() {
       "                  [--json-out=FILE] [--trace=BASENAME]\n"
       "                  [--ffwd=N] [--checkpoint-out=FILE]\n"
       "                  [--checkpoint-at=CYCLE] [--checkpoint-in=FILE]\n"
+      "                  [--watchdog=N] [--emergency-checkpoint=FILE]\n"
       "                  [--list-kernels] [key=value ...]\n"
       "\n"
       "--program assembles a RISC-V source file (GNU-style subset; see\n"
@@ -68,7 +74,14 @@ void usage() {
       "cycles (default 0), then keeps running; --checkpoint-in resumes a\n"
       "saved run bit-identically (no kernel/config arguments needed).\n"
       "\n"
-      "--cores=N is shorthand for topo.cores=N.\n"
+      "--cores=N is shorthand for topo.cores=N; --watchdog=N for\n"
+      "sim.watchdog_cycles=N (declare a hang after N cycles with no retired\n"
+      "instruction). On a hang the statistics and trace are still emitted,\n"
+      "a structured diagnostic goes to stderr, --emergency-checkpoint=FILE\n"
+      "receives the last quiesce-point state, and the exit code is 3.\n"
+      "fault.* keys arm deterministic fault injection (see README).\n"
+      "\n"
+      "exit codes: 0 ok, 1 execution error, 2 config/usage error, 3 hang.\n"
       "\n"
       "kernels (see --list-kernels for descriptions):",
       core::kRunSummarySchemaVersion);
@@ -147,6 +160,17 @@ int run(const Options& options) {
     }
   }
 
+  // Arm deterministic fault injection when the config asks for it. The
+  // engine implements the memhier hooks, so it must outlive the run.
+  std::unique_ptr<fault::FaultEngine> engine;
+  if (sim->config().fault.enable) {
+    fault::FaultPlan plan = fault::FaultPlan::generate(sim->config());
+    std::fprintf(stderr, "# fault plan (%zu events):\n%s",
+                 plan.events.size(), plan.to_string().c_str());
+    engine = std::make_unique<fault::FaultEngine>(*sim, std::move(plan));
+    engine->arm();
+  }
+
   if (!options.checkpoint_out.empty()) {
     const auto cut = sim->run_to_quiesce(options.checkpoint_at);
     prefix.cycles = cut.cycles;
@@ -162,10 +186,25 @@ int run(const Options& options) {
     }
   }
 
-  auto result = sim->run(~Cycle{0});
+  // run_guarded degrades gracefully on a hang: statistics stay live, the
+  // trace is flushed, and the structured diagnostic comes back instead of
+  // an exception. With no emergency path and the watchdog off this is
+  // exactly sim->run().
+  const fault::GuardedOutcome outcome = fault::run_guarded(
+      *sim, workload_name, ~Cycle{0}, options.emergency_checkpoint);
+  auto result = outcome.result;
   result.cycles += prefix.cycles;
   result.instructions += prefix.instructions;
   core::Simulator& sim_ref = *sim;
+
+  if (engine != nullptr) {
+    for (const std::string& line : engine->log()) {
+      std::fprintf(stderr, "# fault: %s\n", line.c_str());
+    }
+    std::fprintf(stderr, "# fault events: %llu injected, %llu skipped\n",
+                 static_cast<unsigned long long>(engine->injected()),
+                 static_cast<unsigned long long>(engine->skipped()));
+  }
 
   std::fprintf(stderr,
                "# kernel=%s cores=%u sim_cycles=%llu instructions=%llu "
@@ -188,7 +227,16 @@ int run(const Options& options) {
     }
     out << core::run_summary_json(workload_name, sim_ref, result);
   }
-  return result.all_exited ? 0 : 1;
+  if (outcome.hung) {
+    std::fprintf(stderr, "hang: %s\n%s\n", outcome.hang_what.c_str(),
+                 outcome.hang_diagnostic.c_str());
+    if (!outcome.emergency_checkpoint.empty()) {
+      std::fprintf(stderr, "# emergency checkpoint written to %s\n",
+                   outcome.emergency_checkpoint.c_str());
+    }
+    return kExitHang;
+  }
+  return result.all_exited ? kExitOk : kExitExecutionError;
 }
 
 }  // namespace
@@ -231,6 +279,10 @@ int main(int argc, char** argv) {
         options.checkpoint_at = std::stoull(value_of());
       } else if (arg.rfind("--checkpoint-in=", 0) == 0) {
         options.checkpoint_in = value_of();
+      } else if (arg.rfind("--watchdog=", 0) == 0) {
+        options.overrides.set("sim.watchdog_cycles", value_of());
+      } else if (arg.rfind("--emergency-checkpoint=", 0) == 0) {
+        options.emergency_checkpoint = value_of();
       } else if (arg.rfind("--", 0) == 0) {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         usage();
@@ -246,8 +298,11 @@ int main(int argc, char** argv) {
   }
   try {
     return run(options);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "config error: %s\n", error.what());
+    return kExitConfigError;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+    return kExitExecutionError;
   }
 }

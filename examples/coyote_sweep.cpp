@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "core/config_io.h"
 #include "kernels/program_menu.h"
 #include "sweep/sweep.h"
@@ -49,6 +50,19 @@ void usage() {
       "                  checkpoint cuts (default 5000000; 0 = only record\n"
       "                  completed points)\n"
       "  --quiet         no progress line, no ranking table\n"
+      "\n"
+      "Engine tokens (consumed before axis parsing, not config keys):\n"
+      "  sweep.point_timeout_s=S  per-point wall-clock budget in seconds;\n"
+      "                  a point over budget is retried with the budget\n"
+      "                  doubled each attempt, then recorded with\n"
+      "                  status \"timeout\" (default 0 = no timeout)\n"
+      "  sweep.max_retries=R      same as --retries=R\n"
+      "\n"
+      "Resilience campaigns: set fault.enable=true and sweep fault.seed,\n"
+      "e.g. fault.seed=1,2,3,...; each point is classified masked/sdc/due\n"
+      "against a shared golden run (see README).\n"
+      "\n"
+      "exit codes: 0 ok, 1 execution/point failure, 2 config/usage error.\n"
       "\n"
       "kernels:",
       sweep::kSweepSchemaVersion);
@@ -137,7 +151,13 @@ int run(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
-      return 2;
+      return kExitConfigError;
+    } else if (arg.rfind("sweep.point_timeout_s=", 0) == 0) {
+      // Engine knobs, not simulator config keys: intercept before axis
+      // parsing so they never reach config_from_map.
+      options.point_timeout_s = std::stod(value_of());
+    } else if (arg.rfind("sweep.max_retries=", 0) == 0) {
+      retries = static_cast<std::uint32_t>(std::stoul(value_of()));
     } else {
       sweep::SweepAxis axis = sweep::axis_from_token(arg);
       if (axis.values.size() == 1) {
@@ -161,6 +181,17 @@ int run(int argc, char** argv) {
   const sweep::SweepReport report = engine.run(spec);
 
   if (!quiet) print_ranking(report, spec.axes);
+  std::size_t masked = 0, sdc = 0, due = 0;
+  for (const auto& point : report.points) {
+    masked += point.fault_outcome == "masked" ? 1 : 0;
+    sdc += point.fault_outcome == "sdc" ? 1 : 0;
+    due += point.fault_outcome == "due" ? 1 : 0;
+  }
+  if (!quiet && masked + sdc + due > 0) {
+    std::fprintf(stderr,
+                 "[sweep] resilience: %zu masked, %zu sdc, %zu due\n",
+                 masked, sdc, due);
+  }
   const std::string table = report.to_json();
   if (json_out.empty()) {
     std::fputs(table.c_str(), stdout);
@@ -168,7 +199,7 @@ int run(int argc, char** argv) {
     std::ofstream out(json_out);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", json_out.c_str());
-      return 2;
+      return kExitExecutionError;
     }
     out << table;
     if (!quiet) {
@@ -183,8 +214,11 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "config error: %s\n", error.what());
+    return kExitConfigError;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 2;
+    return kExitExecutionError;
   }
 }

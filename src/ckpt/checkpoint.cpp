@@ -79,6 +79,17 @@ void save_config(BinWriter& w, const core::SimConfig& c) {
   w.b(c.ffwd_warmup);
   w.b(c.ffwd_stop_at_roi);
   w.u64(c.ffwd_warmup_window);
+  // robustness (v2)
+  w.u64(c.watchdog_cycles);
+  w.b(c.fault.enable);
+  w.u64(c.fault.seed);
+  w.u32(c.fault.count);
+  w.str(c.fault.targets);
+  w.u64(c.fault.window_begin);
+  w.u64(c.fault.window_end);
+  w.u32(c.fault.noc_retries);
+  w.u64(c.fault.noc_timeout);
+  w.u64(c.fault.mc_stall_cycles);
   // outputs
   w.b(c.enable_trace);
   w.str(c.trace_basename);
@@ -142,6 +153,16 @@ core::SimConfig load_config(BinReader& r) {
   c.ffwd_warmup = r.b();
   c.ffwd_stop_at_roi = r.b();
   c.ffwd_warmup_window = r.u64();
+  c.watchdog_cycles = r.u64();
+  c.fault.enable = r.b();
+  c.fault.seed = r.u64();
+  c.fault.count = r.u32();
+  c.fault.targets = r.str();
+  c.fault.window_begin = r.u64();
+  c.fault.window_end = r.u64();
+  c.fault.noc_retries = r.u32();
+  c.fault.noc_timeout = r.u64();
+  c.fault.mc_stall_cycles = r.u64();
   c.enable_trace = r.b();
   c.trace_basename = r.str();
   return c;
@@ -296,8 +317,13 @@ void write_checkpoint(core::Simulator& sim, const std::string& workload,
 
   w.b(sim.trace() != nullptr);
   if (sim.trace() != nullptr) sim.trace()->save_state(w);
+
+  // Integrity footer: CRC-32 of every byte above. Restore recomputes it and
+  // rejects truncated or bit-flipped files with the failing offset instead
+  // of restoring garbage.
+  w.u32(w.crc());
   os.flush();
-  if (!os) throw std::runtime_error("checkpoint: write failed");
+  if (!os) throw SimError("checkpoint: write failed");
 }
 
 void write_checkpoint_file(core::Simulator& sim, const std::string& workload,
@@ -350,6 +376,18 @@ std::unique_ptr<core::Simulator> restore_checkpoint(std::istream& is,
     throw SimError("checkpoint: trace-presence mismatch");
   }
   if (has_trace) sim->trace()->load_state(r);
+
+  // Integrity footer: the payload CRC must match the stored one. Reading
+  // the footer itself would fold it into r.crc(), so capture first.
+  const std::uint32_t computed = r.crc();
+  const std::uint64_t footer_offset = r.offset();
+  const std::uint32_t stored = r.u32();
+  if (computed != stored) {
+    throw SimError(strfmt(
+        "checkpoint: CRC mismatch at offset %llu (stored 0x%08x, computed "
+        "0x%08x) — the file is corrupt",
+        static_cast<unsigned long long>(footer_offset), stored, computed));
+  }
 
   if (meta_out != nullptr) *meta_out = std::move(meta);
   return sim;

@@ -32,7 +32,8 @@ namespace coyote::ckpt {
 /// File magic: the bytes "PKYC" when the leading u32 is read little-endian.
 inline constexpr std::uint32_t kCheckpointMagic = 0x43594B50;
 /// Format version. Bumped on any layout change; readers reject mismatches.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: watchdog/fault config fields + trailing CRC-32 integrity footer.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// The checkpoint header, readable without reconstructing the simulator
 /// (sweep resume matches points against `config` before restoring).

@@ -1,17 +1,23 @@
 // Minimal little-endian binary serialization primitives for the checkpoint
 // subsystem. Header-only so every component library can expose
 // save_state(BinWriter&) / load_state(BinReader&) without new link
-// dependencies. Readers are bounds-checked and throw std::runtime_error on
-// truncated or malformed input; writers never fail short of stream errors.
+// dependencies. Both endpoints track their byte offset and maintain a
+// running CRC-32 of everything written/read, so container formats can
+// append an integrity footer (see ckpt::write_checkpoint) and truncation
+// errors can name the exact offset. Readers are bounds-checked and throw
+// SimError on truncated or malformed input; writers never fail short of
+// stream errors.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/crc32.h"
+#include "common/error.h"
 
 namespace coyote {
 
@@ -41,6 +47,12 @@ class BinWriter {
     put(data, n);
   }
 
+  /// Bytes written so far.
+  std::uint64_t offset() const { return offset_; }
+
+  /// CRC-32 of every byte written so far.
+  std::uint32_t crc() const { return crc_.value(); }
+
   std::ostream& stream() { return out_; }
 
  private:
@@ -55,10 +67,17 @@ class BinWriter {
 
   void put(const void* data, std::size_t n) {
     out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-    if (!out_) throw std::runtime_error("binio: write failed");
+    if (!out_) {
+      throw SimError(strfmt("binio: write failed at offset %llu",
+                            static_cast<unsigned long long>(offset_)));
+    }
+    crc_.update(data, n);
+    offset_ += n;
   }
 
   std::ostream& out_;
+  std::uint64_t offset_ = 0;
+  Crc32 crc_;
 };
 
 /// Bounds-checked little-endian reader over an istream.
@@ -99,9 +118,20 @@ class BinReader {
   /// corrupt stream cannot trigger a huge allocation.
   std::uint64_t count(std::uint64_t max = (1ULL << 32)) {
     std::uint64_t n = u64();
-    if (n > max) throw std::runtime_error("binio: implausible element count");
+    if (n > max) {
+      throw SimError(strfmt(
+          "binio: implausible element count %llu at offset %llu",
+          static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(offset_ - 8)));
+    }
     return n;
   }
+
+  /// Bytes consumed so far.
+  std::uint64_t offset() const { return offset_; }
+
+  /// CRC-32 of every byte consumed so far.
+  std::uint32_t crc() const { return crc_.value(); }
 
   std::istream& stream() { return in_; }
 
@@ -117,20 +147,32 @@ class BinReader {
     return v;
   }
 
-  static void check_size(std::uint64_t n) {
+  void check_size(std::uint64_t n) const {
     if (n > (1ULL << 32)) {
-      throw std::runtime_error("binio: implausible blob size");
+      throw SimError(strfmt(
+          "binio: implausible blob size %llu at offset %llu",
+          static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(offset_ - 8)));
     }
   }
 
   void get(void* data, std::size_t n) {
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in_.gcount()) != n) {
-      throw std::runtime_error("binio: truncated input");
+      throw SimError(strfmt(
+          "binio: truncated input at offset %llu (wanted %llu more bytes, "
+          "got %llu)",
+          static_cast<unsigned long long>(offset_),
+          static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(in_.gcount())));
     }
+    crc_.update(data, n);
+    offset_ += n;
   }
 
   std::istream& in_;
+  std::uint64_t offset_ = 0;
+  Crc32 crc_;
 };
 
 }  // namespace coyote

@@ -1,0 +1,49 @@
+// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used as
+// the integrity footer of checkpoint files and sweep .done records. Header-
+// only, table-driven, with the table built once at first use; the algorithm
+// matches zlib's crc32() so external tooling can cross-check footers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace coyote {
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    const std::array<std::uint32_t, 256>& t = table();
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      crc = t[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    }
+    state_ = crc;
+  }
+
+  /// The CRC of everything fed to update() so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  static const std::array<std::uint32_t, 256>& table() {
+    static const std::array<std::uint32_t, 256> t = [] {
+      std::array<std::uint32_t, 256> out{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        }
+        out[i] = c;
+      }
+      return out;
+    }();
+    return t;
+  }
+
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace coyote

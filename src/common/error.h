@@ -32,6 +32,31 @@ class ExecutionError : public SimError {
   explicit ExecutionError(std::string what) : SimError(std::move(what)) {}
 };
 
+/// The liveness watchdog (or the deadlock detector) declared the simulated
+/// machine wedged: either every live core is stalled with no event that
+/// could unblock it, or `sim.watchdog_cycles` simulated cycles elapsed with
+/// zero retired instructions. Carries a structured multi-line diagnostic
+/// (per-core blocked-on state, directory transaction table, MSHR contents)
+/// alongside the one-line what().
+class HangError : public SimError {
+ public:
+  HangError(std::string what, std::string diagnostic)
+      : SimError(std::move(what)), diagnostic_(std::move(diagnostic)) {}
+
+  const std::string& diagnostic() const { return diagnostic_; }
+
+ private:
+  std::string diagnostic_;
+};
+
+// Documented process exit codes shared by coyote_sim and coyote_sweep
+// (see README): distinguish "your config is wrong" from "the simulated
+// program failed" from "the machine hung and the watchdog fired".
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitExecutionError = 1;
+inline constexpr int kExitConfigError = 2;
+inline constexpr int kExitHang = 3;
+
 /// printf-style message formatting for exception texts.
 [[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
   va_list args;

@@ -20,6 +20,7 @@ struct ConfigParams {
   simfw::ParameterSet mc;
   simfw::ParameterSet sim;
   simfw::ParameterSet ckpt;
+  simfw::ParameterSet fault;
 
   ConfigParams() {
     topo.add("cores", std::uint64_t{8}, "total core count");
@@ -56,6 +57,8 @@ struct ConfigParams {
             "instructions per core per round");
     sim.add("fast_forward", false, "skip all-stalled cycles");
     sim.add("batched_stepping", true, "host-side block-stepping fast paths");
+    sim.add("watchdog_cycles", std::uint64_t{0},
+            "hang after N zero-retire cycles (0 = watchdog off)");
     ckpt.add("ffwd_instructions", std::uint64_t{0},
              "functional fast-forward budget per core (0 = off)");
     ckpt.add("warmup", true, "warm caches/directory while fast-forwarding");
@@ -63,10 +66,25 @@ struct ConfigParams {
              "warm only the last N instructions of the budget (0 = all)");
     ckpt.add("stop_at_roi", true,
              "stop fast-forward at a roi_begin CSR write");
+    fault.add("enable", false, "deterministic fault injection");
+    fault.add("seed", std::uint64_t{1}, "fault-plan RNG seed");
+    fault.add("count", std::uint64_t{1}, "injections per run");
+    fault.add("targets", std::string("mem"),
+              "'+'-separated: mem|l1d|l2|reg|noc|mc");
+    fault.add("window_begin", std::uint64_t{0},
+              "earliest injection cycle (inclusive)");
+    fault.add("window_end", std::uint64_t{100000},
+              "latest injection cycle (exclusive)");
+    fault.add("noc_retries", std::uint64_t{3},
+              "retransmits before a dropped response is lost");
+    fault.add("noc_timeout", std::uint64_t{512},
+              "base retransmit backoff in cycles (doubles per attempt)");
+    fault.add("mc_stall_cycles", std::uint64_t{256},
+              "transient memory-controller stall length");
   }
 
   /// Prefix/set pairs in documentation order.
-  std::array<std::pair<const char*, simfw::ParameterSet*>, 8> groups() {
+  std::array<std::pair<const char*, simfw::ParameterSet*>, 9> groups() {
     return {{{"topo", &topo},
              {"core", &core},
              {"l2", &l2},
@@ -74,7 +92,8 @@ struct ConfigParams {
              {"llc", &llc},
              {"mc", &mc},
              {"sim", &sim},
-             {"ckpt", &ckpt}}};
+             {"ckpt", &ckpt},
+             {"fault", &fault}}};
   }
 };
 
@@ -91,12 +110,13 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->description()});
       }
     }
-    // l2.coherence and the ckpt.* group postdate the frozen sweep/results
-    // tables; omitting them at their defaults keeps those outputs
-    // byte-stable (see ConfigKeyInfo).
+    // l2.coherence, the ckpt.*/fault.* groups and sim.watchdog_cycles
+    // postdate the frozen sweep/results tables; omitting them at their
+    // defaults keeps those outputs byte-stable (see ConfigKeyInfo).
     for (ConfigKeyInfo& info : out) {
-      if (info.key == "l2.coherence" ||
-          info.key.rfind("ckpt.", 0) == 0) {
+      if (info.key == "l2.coherence" || info.key == "sim.watchdog_cycles" ||
+          info.key.rfind("ckpt.", 0) == 0 ||
+          info.key.rfind("fault.", 0) == 0) {
         info.emit_when_default = false;
       }
     }
@@ -240,6 +260,19 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
   config.ffwd_warmup = params.ckpt.as<bool>("warmup");
   config.ffwd_warmup_window = params.ckpt.as<std::uint64_t>("warmup_window");
   config.ffwd_stop_at_roi = params.ckpt.as<bool>("stop_at_roi");
+  config.watchdog_cycles = params.sim.as<std::uint64_t>("watchdog_cycles");
+  config.fault.enable = params.fault.as<bool>("enable");
+  config.fault.seed = params.fault.as<std::uint64_t>("seed");
+  config.fault.count =
+      static_cast<std::uint32_t>(params.fault.as<std::uint64_t>("count"));
+  config.fault.targets = params.fault.as<std::string>("targets");
+  config.fault.window_begin = params.fault.as<std::uint64_t>("window_begin");
+  config.fault.window_end = params.fault.as<std::uint64_t>("window_end");
+  config.fault.noc_retries = static_cast<std::uint32_t>(
+      params.fault.as<std::uint64_t>("noc_retries"));
+  config.fault.noc_timeout = params.fault.as<std::uint64_t>("noc_timeout");
+  config.fault.mc_stall_cycles =
+      params.fault.as<std::uint64_t>("mc_stall_cycles");
   config.validate();
   return config;
 }
@@ -305,6 +338,36 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   }
   if (!config.ffwd_stop_at_roi) {
     set_bool("ckpt.stop_at_roi", config.ffwd_stop_at_roi);
+  }
+  // sim.watchdog_cycles and fault.* likewise emit only off-default values.
+  if (config.watchdog_cycles != 0) {
+    set_u64("sim.watchdog_cycles", config.watchdog_cycles);
+  }
+  const FaultConfig defaults;
+  if (config.fault.enable) set_bool("fault.enable", config.fault.enable);
+  if (config.fault.seed != defaults.seed) {
+    set_u64("fault.seed", config.fault.seed);
+  }
+  if (config.fault.count != defaults.count) {
+    set_u64("fault.count", config.fault.count);
+  }
+  if (config.fault.targets != defaults.targets) {
+    map.set("fault.targets", config.fault.targets);
+  }
+  if (config.fault.window_begin != defaults.window_begin) {
+    set_u64("fault.window_begin", config.fault.window_begin);
+  }
+  if (config.fault.window_end != defaults.window_end) {
+    set_u64("fault.window_end", config.fault.window_end);
+  }
+  if (config.fault.noc_retries != defaults.noc_retries) {
+    set_u64("fault.noc_retries", config.fault.noc_retries);
+  }
+  if (config.fault.noc_timeout != defaults.noc_timeout) {
+    set_u64("fault.noc_timeout", config.fault.noc_timeout);
+  }
+  if (config.fault.mc_stall_cycles != defaults.mc_stall_cycles) {
+    set_u64("fault.mc_stall_cycles", config.fault.mc_stall_cycles);
   }
   return map;
 }

@@ -1,6 +1,7 @@
 #include "core/orchestrator.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/binio.h"
 
@@ -17,6 +18,7 @@ Orchestrator::Orchestrator(simfw::Unit* parent, const SimConfig& config,
     : simfw::Unit(parent, "orchestrator"),
       config_(config),
       cores_(cores),
+      banks_(banks),
       noc_(noc),
       trace_(trace),
       core_states_(config.num_cores, CoreState::kActive),
@@ -223,6 +225,61 @@ void Orchestrator::step_single_active(Cycle stop_cycle,
   sched.advance_to(last_attempt + 1);
 }
 
+std::string Orchestrator::hang_diagnostic(const char* reason) const {
+  std::ostringstream os;
+  os << "hang diagnostic (" << reason << ") at cycle " << scheduler().now()
+     << "\n";
+  for (CoreId id = 0; id < config_.num_cores; ++id) {
+    const iss::CoreModel& core = *(*cores_)[id];
+    os << "  core " << id << ": ";
+    switch (core_states_[id]) {
+      case CoreState::kActive:
+        os << "active";
+        break;
+      case CoreState::kHalted:
+        os << "halted (exit " << exit_codes_[id] << ")";
+        break;
+      case CoreState::kStalled:
+        os << "stalled since cycle " << stall_since_[id];
+        break;
+    }
+    const std::vector<Addr> waits = core.outstanding_lines();
+    if (!waits.empty()) {
+      os << ", waiting on";
+      for (Addr line : waits) {
+        os << strfmt(" 0x%llx", static_cast<unsigned long long>(line));
+      }
+    }
+    os << "\n";
+  }
+  for (BankId bank = 0; bank < banks_->size(); ++bank) {
+    const memhier::L2Bank& l2 = *(*banks_)[bank];
+    const std::vector<Addr> mshrs = l2.mshr_lines();
+    if (!mshrs.empty() || l2.queued_requests() != 0 ||
+        l2.fault_lost_messages() != 0) {
+      os << "  l2bank " << bank << ": " << mshrs.size() << " MSHRs";
+      for (Addr line : mshrs) {
+        os << strfmt(" 0x%llx", static_cast<unsigned long long>(line));
+      }
+      os << ", " << l2.queued_requests() << " queued, "
+         << l2.fault_lost_messages() << " lost messages\n";
+    }
+    if (l2.directory() != nullptr) {
+      const std::vector<Addr> txns = l2.directory()->transaction_lines();
+      if (!txns.empty()) {
+        os << "  l2bank " << bank << " directory transactions:";
+        for (Addr line : txns) {
+          os << strfmt(" 0x%llx", static_cast<unsigned long long>(line));
+        }
+        os << "\n";
+      }
+    }
+  }
+  os << "  events pending: " << (scheduler().has_pending() ? "yes" : "no")
+     << "\n";
+  return os.str();
+}
+
 RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
   auto& sched = scheduler();
   const Cycle start_cycle = sched.now();
@@ -252,12 +309,43 @@ RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
                                ? ~Cycle{0}
                                : start_cycle + max_cycles;
 
+  // Liveness watchdog (sim.watchdog_cycles): the deadline slides forward
+  // whenever any core retires an instruction; `watchdog` consecutive
+  // zero-retire cycles declare the machine hung. Checked at every round
+  // boundary, so detection lands within one round of the bound.
+  const Cycle watchdog = config_.watchdog_cycles;
+  std::uint64_t wd_last_retired = retired_.get();
+  Cycle wd_progress_cycle = sched.now();
+  const auto wd_deadline = [&]() {
+    return watchdog > ~Cycle{0} - wd_progress_cycle
+               ? ~Cycle{0}
+               : wd_progress_cycle + watchdog;
+  };
+  const auto watchdog_check = [&]() {
+    if (watchdog == 0) return;
+    if (retired_.get() != wd_last_retired) {
+      wd_last_retired = retired_.get();
+      wd_progress_cycle = sched.now();
+      return;
+    }
+    if (sched.now() - wd_progress_cycle >= watchdog) {
+      throw HangError(
+          strfmt("Orchestrator: watchdog — no instruction retired in %llu "
+                 "cycles (sim.watchdog_cycles=%llu)",
+                 static_cast<unsigned long long>(sched.now() -
+                                                 wd_progress_cycle),
+                 static_cast<unsigned long long>(watchdog)),
+          hang_diagnostic("forward-progress watchdog"));
+    }
+  };
+
   if (!config_.batched_stepping) {
     // Paper-literal loop: one step() call per core per round, requests
     // routed as each instruction produces them. The batched paths below are
     // bit-exact reformulations of this loop; keeping it callable lets the
     // determinism tests cross-check them.
     while (live_cores_ > 0 && sched.now() - start_cycle < max_cycles) {
+      watchdog_check();
       // Quiesce stop: the queue is naturally empty at a round boundary —
       // no MSHR, probe or fill is in flight anywhere, so this is exactly
       // the state the uninterrupted run passes through here.
@@ -270,13 +358,16 @@ RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
       if (active_cores_ == 0) {
         // Every live core sleeps on a fill.
         if (!sched.has_pending()) {
-          throw SimError(
+          throw HangError(
               "Orchestrator: deadlock — all cores stalled and no events "
-              "pending");
+              "pending",
+              hang_diagnostic("wedged: all cores stalled, event queue empty"));
         }
         if (config_.fast_forward_idle) {
-          const Cycle wake =
-              std::max(sched.next_event_cycle(), sched.now() + 1);
+          Cycle wake = std::max(sched.next_event_cycle(), sched.now() + 1);
+          if (watchdog != 0) {
+            wake = std::min(wake, std::max(wd_deadline(), sched.now() + 1));
+          }
           fast_forwarded_cycles_ += wake - sched.now() - 1;
           sched.advance_to(wake);
         } else {
@@ -316,6 +407,7 @@ RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
     }
   } else {
     while (live_cores_ > 0 && sched.now() < stop_cycle) {
+      watchdog_check();
       // Quiesce stop (see the literal loop above for the invariant).
       if (quiesce_after != kNoQuiesce &&
           sched.now() - start_cycle >= quiesce_after && !sched.has_pending() &&
@@ -326,22 +418,31 @@ RunStats Orchestrator::run(Cycle max_cycles, Cycle quiesce_after) {
       if (active_cores_ == 0) {
         // Every live core sleeps on a fill.
         if (!sched.has_pending()) {
-          throw SimError(
+          throw HangError(
               "Orchestrator: deadlock — all cores stalled and no events "
-              "pending");
+              "pending",
+              hang_diagnostic("wedged: all cores stalled, event queue empty"));
         }
         if (config_.fast_forward_idle) {
-          const Cycle wake =
-              std::max(sched.next_event_cycle(), sched.now() + 1);
+          Cycle wake = std::max(sched.next_event_cycle(), sched.now() + 1);
+          if (watchdog != 0) {
+            wake = std::min(wake, std::max(wd_deadline(), sched.now() + 1));
+          }
           fast_forwarded_cycles_ += wake - sched.now() - 1;
           sched.advance_to(wake);
         } else {
           // Ticking cycle by cycle through an all-stalled stretch fires
           // nothing and touches no state until the next event, so hopping
-          // straight there (capped at the run limit) is bit-identical.
-          sched.advance_to(std::min(
+          // straight there (capped at the run limit — and at the watchdog
+          // deadline, so a hang is declared within the configured bound
+          // rather than after a hop to a far-future event) is bit-identical.
+          Cycle hop = std::min(
               std::max(sched.next_event_cycle(), sched.now() + 1),
-              stop_cycle));
+              stop_cycle);
+          if (watchdog != 0) {
+            hop = std::min(hop, std::max(wd_deadline(), sched.now() + 1));
+          }
+          sched.advance_to(hop);
         }
         continue;
       }

@@ -122,8 +122,14 @@ class Orchestrator : public simfw::Unit {
   /// addressed to the core reactivates it.
   enum class CoreState : std::uint8_t { kActive, kStalled, kHalted };
 
+  /// Renders the structured hang diagnostic carried by HangError: per-core
+  /// blocked-on state, per-bank MSHR contents and directory transaction
+  /// tables. Pure introspection — safe to call from any wedge state.
+  std::string hang_diagnostic(const char* reason) const;
+
   SimConfig config_;
   std::vector<std::unique_ptr<iss::CoreModel>>* cores_;
+  std::vector<std::unique_ptr<memhier::L2Bank>>* banks_;
   memhier::Noc* noc_;
   ParaverTraceWriter* trace_;
 

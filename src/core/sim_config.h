@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "iss/core_model.h"
@@ -38,6 +39,26 @@ enum class Coherence : std::uint8_t {
 inline const char* coherence_name(Coherence coherence) {
   return coherence == Coherence::kMesi ? "mesi" : "none";
 }
+
+/// Deterministic fault-injection plan knobs (config group `fault.*`,
+/// consumed by src/fault). All state perturbations and message drops are
+/// derived from `seed` alone, so the same plan replays bit-identically.
+struct FaultConfig {
+  bool enable = false;        ///< default off: zero behavioural footprint
+  std::uint64_t seed = 1;     ///< plan RNG seed (a natural sweep axis)
+  std::uint32_t count = 1;    ///< injections drawn per run
+  /// '+'-separated target classes drawn from mem, l1d, l2, reg, noc, mc.
+  /// ('+' rather than ',' so the value survives sweep-axis tokenization.)
+  std::string targets = "mem";
+  Cycle window_begin = 0;        ///< earliest injection cycle (inclusive)
+  Cycle window_end = 100000;     ///< latest injection cycle (exclusive)
+  /// NoC drop protocol: how often a dropped directory response is
+  /// retransmitted before the message is lost for good. 0 = no retransmit
+  /// (a dropped response wedges the requester — the watchdog litmus).
+  std::uint32_t noc_retries = 3;
+  Cycle noc_timeout = 512;       ///< base retransmit backoff (doubles/attempt)
+  Cycle mc_stall_cycles = 256;   ///< transient memory-controller stall length
+};
 
 struct SimConfig {
   // ----- topology -----
@@ -111,6 +132,15 @@ struct SimConfig {
   /// even if the instruction budget is not exhausted.
   bool ffwd_stop_at_roi = true;
 
+  // ----- robustness -----
+  /// Liveness watchdog: declare the machine hung (HangError with a
+  /// structured diagnostic) after this many consecutive simulated cycles
+  /// with zero retired instructions across every core. 0 disables the
+  /// watchdog, keeping seed behaviour bit-identical.
+  Cycle watchdog_cycles = 0;
+  /// Fault-injection plan (src/fault); inert while !fault.enable.
+  FaultConfig fault;
+
   // ----- outputs -----
   bool enable_trace = false;
   std::string trace_basename = "coyote_trace";
@@ -152,6 +182,44 @@ struct SimConfig {
           "SimConfig: coherence=mesi supports at most 64 cores "
           "(directory sharer bitmask)");
     }
+    // The fault plan is validated even while disarmed: a typo'd resilience
+    // campaign spec should die at parse time, not when fault.enable flips.
+    if (fault.count == 0) throw ConfigError("SimConfig: fault.count == 0");
+    if (fault.window_begin >= fault.window_end) {
+      throw ConfigError(strfmt(
+          "SimConfig: fault.window_begin (%llu) must be below "
+          "fault.window_end (%llu)",
+          static_cast<unsigned long long>(fault.window_begin),
+          static_cast<unsigned long long>(fault.window_end)));
+    }
+    for (const std::string& target : fault_target_tokens(fault.targets)) {
+      if (target != "mem" && target != "l1d" && target != "l2" &&
+          target != "reg" && target != "noc" && target != "mc") {
+        throw ConfigError(strfmt(
+            "SimConfig: fault.targets token '%s' not in "
+            "mem|l1d|l2|reg|noc|mc", target.c_str()));
+      }
+    }
+    if (fault_target_tokens(fault.targets).empty()) {
+      throw ConfigError("SimConfig: fault.targets is empty");
+    }
+  }
+
+  /// Splits a fault.targets value into its '+'-separated tokens.
+  static std::vector<std::string> fault_target_tokens(
+      const std::string& targets) {
+    std::vector<std::string> out;
+    std::string token;
+    for (char c : targets) {
+      if (c == '+') {
+        if (!token.empty()) out.push_back(token);
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+    if (!token.empty()) out.push_back(token);
+    return out;
   }
 };
 

@@ -1,0 +1,114 @@
+#include "fault/differential.h"
+
+#include "common/error.h"
+#include "iss/memory.h"
+
+namespace coyote::fault {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kDue: return "due";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, 8); }
+
+}  // namespace
+
+std::uint64_t end_state_digest(core::Simulator& sim) {
+  std::uint64_t h = kFnvOffset;
+  const iss::SparseMemory& memory = sim.memory();
+  for (Addr page : memory.resident_page_indices()) {
+    fnv_u64(h, page);
+    fnv_bytes(h, memory.page_data(page), iss::SparseMemory::kPageSize);
+  }
+  for (CoreId id = 0; id < sim.num_cores(); ++id) {
+    const iss::CoreModel& core = sim.core(id);
+    const iss::Hart& hart = core.hart();
+    fnv_u64(h, hart.pc());
+    for (unsigned reg = 1; reg < 32; ++reg) fnv_u64(h, hart.x(reg));
+    for (unsigned reg = 0; reg < 32; ++reg) fnv_u64(h, hart.f_bits(reg));
+    fnv_u64(h, core.halted() ? 1 : 0);
+  }
+  return h;
+}
+
+std::uint64_t run_golden(core::Simulator& sim, Cycle max_cycles) {
+  const core::RunResult result = sim.run(max_cycles);
+  if (!result.all_exited) {
+    throw SimError(strfmt(
+        "fault: golden run did not complete within %llu cycles — the "
+        "workload itself never finishes, so injections cannot be classified",
+        static_cast<unsigned long long>(max_cycles)));
+  }
+  std::uint64_t h = end_state_digest(sim);
+  for (std::int64_t code : result.exit_codes) {
+    fnv_u64(h, static_cast<std::uint64_t>(code));
+  }
+  return h;
+}
+
+InjectionResult run_injected(core::Simulator& sim, const FaultPlan& plan,
+                             Cycle max_cycles, std::uint64_t golden_digest) {
+  InjectionResult out;
+  FaultEngine engine(sim, plan);
+  engine.arm();
+  try {
+    out.run = sim.run(max_cycles);
+  } catch (const HangError& hang) {
+    out.outcome = Outcome::kDue;
+    out.detail = std::string("hang: ") + hang.what();
+    out.injected = engine.injected();
+    out.skipped = engine.skipped();
+    return out;
+  } catch (const SimError& error) {
+    // Illegal instruction, unmapped access, machine-model invariant blown —
+    // the corruption was *detected*. (ExecutionError is a SimError.)
+    out.outcome = Outcome::kDue;
+    out.detail = std::string("trap: ") + error.what();
+    out.injected = engine.injected();
+    out.skipped = engine.skipped();
+    return out;
+  }
+  out.injected = engine.injected();
+  out.skipped = engine.skipped();
+  if (!out.run.all_exited) {
+    out.outcome = Outcome::kDue;
+    out.detail = strfmt("timeout: not complete after %llu cycles",
+                        static_cast<unsigned long long>(out.run.cycles));
+    return out;
+  }
+  std::uint64_t h = end_state_digest(sim);
+  for (std::int64_t code : out.run.exit_codes) {
+    fnv_u64(h, static_cast<std::uint64_t>(code));
+  }
+  out.digest = h;
+  if (h == golden_digest) {
+    out.outcome = Outcome::kMasked;
+    out.detail = out.injected == 0 ? "no event fired" : "end state identical";
+  } else {
+    out.outcome = Outcome::kSdc;
+    out.detail = strfmt("digest 0x%016llx != golden 0x%016llx",
+                        static_cast<unsigned long long>(h),
+                        static_cast<unsigned long long>(golden_digest));
+  }
+  return out;
+}
+
+}  // namespace coyote::fault

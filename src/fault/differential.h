@@ -1,0 +1,53 @@
+// Golden-run differential harness: classifies one fault injection as
+//   masked — the run completes and the architectural end state (memory +
+//            registers + exit codes) matches the uninjected golden run;
+//   SDC    — silent data corruption: the run completes but the end state
+//            differs from golden;
+//   DUE    — detected/unrecoverable: the injected run traps (SimError /
+//            ExecutionError), hangs (HangError from the watchdog or the
+//            deadlock detector) or exceeds the cycle budget.
+// The caller builds two identically-configured simulators (same kernel,
+// same inputs), runs the golden leg once, then any number of injected legs
+// against its digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulator.h"
+#include "fault/fault.h"
+
+namespace coyote::fault {
+
+enum class Outcome : std::uint8_t { kMasked, kSdc, kDue };
+
+const char* outcome_name(Outcome outcome);
+
+/// Result of one injected leg.
+struct InjectionResult {
+  Outcome outcome = Outcome::kMasked;
+  std::string detail;        ///< what happened (hang message, digest delta…)
+  core::RunResult run;       ///< the leg's run result (zeroed on a trap)
+  std::uint64_t digest = 0;  ///< end-state digest (0 when the leg trapped)
+  std::uint64_t injected = 0;  ///< events that actually fired
+  std::uint64_t skipped = 0;   ///< events that found no live target
+};
+
+/// FNV-1a 64 digest of the architectural end state: every resident memory
+/// page (sorted), each core's pc + x1..x31 + f0..f31 + halted flag, and the
+/// per-core exit codes. Cycle counts are deliberately excluded — a fault
+/// that only perturbs timing (a delayed message, a controller stall) is
+/// masked, not SDC.
+std::uint64_t end_state_digest(core::Simulator& sim);
+
+/// Runs the uninjected golden leg to completion (throws if the workload
+/// does not finish within `max_cycles`) and returns its end-state digest.
+std::uint64_t run_golden(core::Simulator& sim, Cycle max_cycles);
+
+/// Arms `plan` on `sim`, runs up to `max_cycles`, and classifies against
+/// `golden_digest`. Never throws on simulated failure — traps and hangs
+/// are the DUE class, not errors.
+InjectionResult run_injected(core::Simulator& sim, const FaultPlan& plan,
+                             Cycle max_cycles, std::uint64_t golden_digest);
+
+}  // namespace coyote::fault

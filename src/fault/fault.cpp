@@ -1,0 +1,264 @@
+#include "fault/fault.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "iss/memory.h"
+
+namespace coyote::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMemFlip: return "mem";
+    case FaultKind::kL1dFlip: return "l1d";
+    case FaultKind::kL2Flip: return "l2";
+    case FaultKind::kRegFlip: return "reg";
+    case FaultKind::kNocDrop: return "noc_drop";
+    case FaultKind::kNocDelay: return "noc_delay";
+    case FaultKind::kMcStall: return "mc_stall";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(const core::SimConfig& config) {
+  const core::FaultConfig& fc = config.fault;
+  // Expand the target tokens into the kind pool; "noc" contributes both the
+  // drop and the delay kind so a noc campaign exercises the whole protocol.
+  std::vector<FaultKind> pool;
+  for (const std::string& token :
+       core::SimConfig::fault_target_tokens(fc.targets)) {
+    if (token == "mem") pool.push_back(FaultKind::kMemFlip);
+    if (token == "l1d") pool.push_back(FaultKind::kL1dFlip);
+    if (token == "l2") pool.push_back(FaultKind::kL2Flip);
+    if (token == "reg") pool.push_back(FaultKind::kRegFlip);
+    if (token == "noc") {
+      pool.push_back(FaultKind::kNocDrop);
+      pool.push_back(FaultKind::kNocDelay);
+    }
+    if (token == "mc") pool.push_back(FaultKind::kMcStall);
+  }
+  if (pool.empty()) {
+    throw ConfigError("FaultPlan: fault.targets resolves to no fault kinds");
+  }
+
+  FaultPlan plan;
+  Xoshiro256 rng(fc.seed);
+  plan.events.reserve(fc.count);
+  for (std::uint32_t i = 0; i < fc.count; ++i) {
+    FaultEvent event;
+    event.kind = pool[rng.below(pool.size())];
+    event.cycle = fc.window_begin +
+                  rng.below(fc.window_end - fc.window_begin);
+    event.unit = static_cast<std::uint32_t>(rng.below(1u << 30));
+    event.pick = rng.next();
+    event.pick2 = rng.next();
+    event.bit = static_cast<std::uint32_t>(rng.below(64));
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& event : events) {
+    os << fault_kind_name(event.kind) << " @" << event.cycle << " unit="
+       << event.unit << " bit=" << event.bit;
+    if (event.has_explicit_addr) {
+      os << strfmt(" addr=0x%llx",
+                   static_cast<unsigned long long>(event.addr));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultEngine::FaultEngine(core::Simulator& sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {}
+
+void FaultEngine::arm() {
+  if (armed_) throw SimError("FaultEngine: arm() called twice");
+  armed_ = true;
+  const core::FaultConfig& fc = sim_.config().fault;
+  bool net = false;
+  bool mc = false;
+  for (const FaultEvent& event : plan_.events) {
+    switch (event.kind) {
+      case FaultKind::kNocDrop:
+      case FaultKind::kNocDelay:
+        net_faults_.push_back(event);
+        net = true;
+        break;
+      case FaultKind::kMcStall:
+        mc_faults_.push_back(event);
+        mc = true;
+        break;
+      default:
+        // State flips fire as ordinary scheduler events at the lowest
+        // priority lane, which both run loops deliver at identical points
+        // (the batched paths never step across a pending event), so the
+        // injection lands bit-identically however the host executes.
+        sim_.scheduler().schedule_at(
+            event.cycle, simfw::SchedPriority::kCollection,
+            [this, event]() { apply_state_flip(event); });
+        break;
+    }
+  }
+  net_consumed_.assign(net_faults_.size(), false);
+  mc_consumed_.assign(mc_faults_.size(), false);
+  if (net) {
+    for (BankId bank = 0; bank < sim_.num_l2_banks(); ++bank) {
+      sim_.l2_bank(bank).set_fault_hooks(this, fc.noc_retries,
+                                         fc.noc_timeout);
+    }
+  }
+  if (mc) {
+    for (McId id = 0; id < sim_.config().num_mcs; ++id) {
+      sim_.mc(id).set_fault_hooks(this);
+    }
+  }
+}
+
+memhier::NetVerdict FaultEngine::on_response_send(
+    const memhier::MemResponse& resp, BankId bank, std::uint32_t attempt) {
+  memhier::NetVerdict verdict;
+  if (attempt != 0) return verdict;  // retransmits are never re-dropped
+  const Cycle now = sim_.scheduler().now();
+  for (std::size_t i = 0; i < net_faults_.size(); ++i) {
+    if (net_consumed_[i]) continue;
+    const FaultEvent& event = net_faults_[i];
+    if (now < event.cycle) continue;
+    if (event.unit % sim_.num_l2_banks() != bank) continue;
+    net_consumed_[i] = true;
+    ++injected_;
+    if (event.kind == FaultKind::kNocDrop) {
+      verdict.drop = true;
+      log_.push_back(strfmt(
+          "cycle %llu: noc_drop bank %u line 0x%llx (to core %u)",
+          static_cast<unsigned long long>(now), bank,
+          static_cast<unsigned long long>(resp.line_addr), resp.core));
+    } else {
+      verdict.delay =
+          1 + event.pick2 % (sim_.config().fault.noc_timeout == 0
+                                 ? 1
+                                 : sim_.config().fault.noc_timeout);
+      log_.push_back(strfmt(
+          "cycle %llu: noc_delay bank %u line 0x%llx +%llu cycles",
+          static_cast<unsigned long long>(now), bank,
+          static_cast<unsigned long long>(resp.line_addr),
+          static_cast<unsigned long long>(verdict.delay)));
+    }
+    return verdict;
+  }
+  return verdict;
+}
+
+Cycle FaultEngine::mc_extra_delay(McId mc) {
+  const Cycle now = sim_.scheduler().now();
+  for (std::size_t i = 0; i < mc_faults_.size(); ++i) {
+    if (mc_consumed_[i]) continue;
+    const FaultEvent& event = mc_faults_[i];
+    if (now < event.cycle) continue;
+    if (event.unit % sim_.config().num_mcs != mc) continue;
+    mc_consumed_[i] = true;
+    ++injected_;
+    log_.push_back(strfmt("cycle %llu: mc_stall mc %u +%llu cycles",
+                          static_cast<unsigned long long>(now), mc,
+                          static_cast<unsigned long long>(
+                              sim_.config().fault.mc_stall_cycles)));
+    return sim_.config().fault.mc_stall_cycles;
+  }
+  return 0;
+}
+
+void FaultEngine::flip_memory_bit(Addr byte_addr, std::uint32_t bit,
+                                  const char* what) {
+  iss::SparseMemory& memory = sim_.memory();
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit % 8));
+  memory.write_u8(byte_addr, memory.read_u8(byte_addr) ^ mask);
+  ++injected_;
+  log_.push_back(strfmt("cycle %llu: %s flip 0x%llx bit %u",
+                        static_cast<unsigned long long>(
+                            sim_.scheduler().now()),
+                        what, static_cast<unsigned long long>(byte_addr),
+                        bit % 8));
+}
+
+void FaultEngine::apply_state_flip(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kMemFlip: {
+      if (event.has_explicit_addr) {
+        flip_memory_bit(event.addr, event.bit, "mem");
+        return;
+      }
+      const std::vector<Addr> pages = sim_.memory().resident_page_indices();
+      if (pages.empty()) {
+        ++skipped_;
+        log_.push_back("mem flip skipped: no resident pages");
+        return;
+      }
+      const Addr page = pages[event.pick % pages.size()];
+      const Addr byte_addr = (page << iss::SparseMemory::kPageBits) +
+                             (event.pick2 % iss::SparseMemory::kPageSize);
+      flip_memory_bit(byte_addr, event.bit, "mem");
+      return;
+    }
+    case FaultKind::kL1dFlip:
+    case FaultKind::kL2Flip: {
+      // Tags are modelled, data lives in the flat backing memory — so a
+      // "cache line" flip picks a *resident* line of the chosen array and
+      // corrupts its backing bytes (what a particle strike on the data
+      // array would corrupt architecturally).
+      const char* what = event.kind == FaultKind::kL1dFlip ? "l1d" : "l2";
+      memhier::CacheArray* array = nullptr;
+      if (event.kind == FaultKind::kL1dFlip) {
+        array = &sim_.core(event.unit % sim_.num_cores()).l1d_array();
+      } else {
+        array = &sim_.l2_bank(event.unit % sim_.num_l2_banks()).array();
+      }
+      if (event.has_explicit_addr) {
+        flip_memory_bit(event.addr, event.bit, what);
+        return;
+      }
+      const std::uint64_t resident = array->resident_lines();
+      if (resident == 0) {
+        ++skipped_;
+        log_.push_back(strfmt("%s flip skipped: no resident lines", what));
+        return;
+      }
+      const Addr line = array->resident_line_at(event.pick % resident);
+      flip_memory_bit(line + event.pick2 % array->line_bytes(), event.bit,
+                      what);
+      return;
+    }
+    case FaultKind::kRegFlip: {
+      iss::Hart& hart = sim_.core(event.unit % sim_.num_cores()).hart();
+      const std::uint64_t mask = std::uint64_t{1} << (event.bit % 64);
+      // 63 candidate registers: x1..x31 (x0 is hard-wired) then f0..f31.
+      const std::uint64_t slot = event.pick % 63;
+      if (slot < 31) {
+        const unsigned reg = static_cast<unsigned>(slot) + 1;
+        hart.set_x(reg, hart.x(reg) ^ mask);
+        log_.push_back(strfmt(
+            "cycle %llu: reg flip core %u x%u bit %u",
+            static_cast<unsigned long long>(sim_.scheduler().now()),
+            event.unit % sim_.num_cores(), reg, event.bit % 64));
+      } else {
+        const unsigned reg = static_cast<unsigned>(slot - 31);
+        hart.set_f_bits(reg, hart.f_bits(reg) ^ mask);
+        log_.push_back(strfmt(
+            "cycle %llu: reg flip core %u f%u bit %u",
+            static_cast<unsigned long long>(sim_.scheduler().now()),
+            event.unit % sim_.num_cores(), reg, event.bit % 64));
+      }
+      ++injected_;
+      return;
+    }
+    case FaultKind::kNocDrop:
+    case FaultKind::kNocDelay:
+    case FaultKind::kMcStall:
+      throw SimError("FaultEngine: network fault routed to state-flip path");
+  }
+}
+
+}  // namespace coyote::fault

@@ -1,0 +1,101 @@
+// Deterministic fault injection (the resilience axis of design-space
+// exploration): a seeded FaultPlan drawn from `fault.*` config keys, and a
+// FaultEngine that arms the plan on a built Simulator — bit flips in sparse
+// memory, resident L1D/L2 lines and architectural registers as scheduler
+// events at chosen cycles, dropped/delayed directory responses via the
+// memhier::FaultHooks retransmit protocol, and transient memory-controller
+// stalls. Everything is derived from fault.seed plus simulated state, so a
+// campaign replays byte-identically at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/simulator.h"
+#include "memhier/fault_hooks.h"
+
+namespace coyote::fault {
+
+enum class FaultKind : std::uint8_t {
+  kMemFlip,   ///< flip one bit of one byte in a resident memory page
+  kL1dFlip,   ///< flip one bit in the backing word of a resident L1D line
+  kL2Flip,    ///< flip one bit in the backing word of a resident L2 line
+  kRegFlip,   ///< flip one bit of an architectural x/f register
+  kNocDrop,   ///< drop one directory/L2 response (retransmit protocol runs)
+  kNocDelay,  ///< delay one directory/L2 response in flight
+  kMcStall,   ///< transient extra service delay at one memory controller
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One planned injection. State flips (kMemFlip..kRegFlip) fire as
+/// scheduler events at `cycle`; network/controller faults arm at `cycle`
+/// and trigger on the next matching message/request. All selectors are
+/// seeded raw entropy, reduced against the live population at fire time so
+/// the plan never needs to know the machine's contents up front.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kMemFlip;
+  Cycle cycle = 0;
+  std::uint32_t unit = 0;    ///< core/bank/mc selector (mod population)
+  std::uint64_t pick = 0;    ///< victim selector (page/line/register)
+  std::uint64_t pick2 = 0;   ///< byte-offset / delay selector
+  std::uint32_t bit = 0;     ///< bit index to flip (mod width)
+  /// Tests can pin the flip to an exact byte address instead of the seeded
+  /// pick (state flips only).
+  bool has_explicit_addr = false;
+  Addr addr = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Derives the plan from config.fault — same seed, same plan, always.
+  static FaultPlan generate(const core::SimConfig& config);
+
+  /// One line per event, for logs and campaign provenance.
+  std::string to_string() const;
+};
+
+/// Arms a FaultPlan on a Simulator and implements the memhier hook
+/// interface. Construct after the program is loaded, call arm() once
+/// before running. The engine must outlive the run.
+class FaultEngine : public memhier::FaultHooks {
+ public:
+  FaultEngine(core::Simulator& sim, FaultPlan plan);
+
+  /// Schedules state flips as scheduler events and installs the NoC/MC
+  /// hooks (retransmit protocol parameters come from config.fault).
+  void arm();
+
+  // ----- memhier::FaultHooks -----
+  memhier::NetVerdict on_response_send(const memhier::MemResponse& resp,
+                                       BankId bank,
+                                       std::uint32_t attempt) override;
+  Cycle mc_extra_delay(McId mc) override;
+
+  // ----- results -----
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t skipped() const { return skipped_; }
+  /// Human-readable record of what each fired event actually hit.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void apply_state_flip(const FaultEvent& event);
+  void flip_memory_bit(Addr byte_addr, std::uint32_t bit, const char* what);
+
+  core::Simulator& sim_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  /// Armed network/controller faults, consumed in plan order on match.
+  std::vector<FaultEvent> net_faults_;
+  std::vector<bool> net_consumed_;
+  std::vector<FaultEvent> mc_faults_;
+  std::vector<bool> mc_consumed_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace coyote::fault

@@ -1,0 +1,108 @@
+#include "fault/watchdog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/checkpoint.h"
+#include "common/error.h"
+
+namespace coyote::fault {
+
+GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
+                           Cycle max_cycles,
+                           const std::string& emergency_checkpoint_path,
+                           Cycle checkpoint_interval) {
+  GuardedOutcome out;
+  const bool keep_checkpoints = !emergency_checkpoint_path.empty();
+  std::string last_quiesce;  ///< serialized checkpoint at the last cut
+  Cycle last_quiesce_cycle = 0;
+
+  const auto on_hang = [&](const HangError& hang) {
+    out.hung = true;
+    out.hang_what = hang.what();
+    out.hang_diagnostic = hang.diagnostic();
+    // Degrade gracefully: the statistics tree is live (the driver can still
+    // report it), the trace is flushed up to the wedge cycle, and the last
+    // quiesce snapshot — if any — becomes the emergency checkpoint.
+    if (sim.trace() != nullptr) sim.trace()->finish(sim.scheduler().now());
+    if (keep_checkpoints && !last_quiesce.empty()) {
+      std::ofstream os(emergency_checkpoint_path,
+                       std::ios::binary | std::ios::trunc);
+      if (os) {
+        os.write(last_quiesce.data(),
+                 static_cast<std::streamsize>(last_quiesce.size()));
+        os.flush();
+      }
+      if (os) {
+        out.emergency_checkpoint = strfmt(
+            "%s (quiesce point at cycle %llu)",
+            emergency_checkpoint_path.c_str(),
+            static_cast<unsigned long long>(last_quiesce_cycle));
+      }
+    }
+  };
+
+  if (!keep_checkpoints) {
+    // No emergency-checkpoint duty: run in one leg (bit-identical to the
+    // plain path, no quiesce probing at all).
+    try {
+      out.result = sim.run(max_cycles);
+    } catch (const HangError& hang) {
+      on_hang(hang);
+    }
+    return out;
+  }
+
+  // Sliced run: stop at a quiesce point at least every
+  // `checkpoint_interval` cycles and snapshot there. Slicing at natural
+  // quiesce points does not perturb the simulation (PR 4 invariant), so
+  // the overall run stays bit-identical to an unsliced one.
+  core::RunResult total;
+  try {
+    // A fresh (or just-restored) machine has nothing in flight, so the
+    // starting cycle is usually a free snapshot: a hang before the first
+    // interval then still leaves a restorable emergency checkpoint. An
+    // armed fault plan pre-schedules its injection events, in which case
+    // the start is not a quiesce point and the snapshot is skipped.
+    if (!sim.scheduler().has_pending()) {
+      std::ostringstream os(std::ios::binary);
+      ckpt::write_checkpoint(sim, workload, os);
+      last_quiesce = os.str();
+      last_quiesce_cycle = sim.scheduler().now();
+    }
+    while (true) {
+      const Cycle elapsed = total.cycles;
+      if (elapsed >= max_cycles) {
+        total.hit_cycle_limit = true;
+        break;
+      }
+      const Cycle budget = max_cycles - elapsed;
+      const core::RunResult leg =
+          sim.run_to_quiesce(std::min(checkpoint_interval, budget), budget);
+      total.cycles += leg.cycles;
+      total.instructions += leg.instructions;
+      total.all_exited = leg.all_exited;
+      total.hit_cycle_limit = leg.hit_cycle_limit;
+      total.exit_codes = leg.exit_codes;
+      total.wall_seconds += leg.wall_seconds;
+      if (leg.all_exited || leg.hit_cycle_limit) break;
+      if (leg.quiesced) {
+        std::ostringstream os(std::ios::binary);
+        ckpt::write_checkpoint(sim, workload, os);
+        last_quiesce = os.str();
+        last_quiesce_cycle = sim.scheduler().now();
+      }
+    }
+    const double secs = total.wall_seconds;
+    total.mips = secs > 0
+                     ? static_cast<double>(total.instructions) / secs / 1e6
+                     : 0.0;
+    out.result = total;
+  } catch (const HangError& hang) {
+    out.result = total;  // cycles/instructions up to the last completed leg
+    on_hang(hang);
+  }
+  return out;
+}
+
+}  // namespace coyote::fault

@@ -1,0 +1,40 @@
+// Graceful hang handling for CLI drivers: run a simulation under the
+// liveness watchdog, and when it declares the machine wedged, degrade
+// instead of aborting — keep the statistics, flush the Paraver trace, cut
+// an emergency checkpoint at the last quiesce point passed, and hand the
+// structured hang diagnostic back for the driver to print before exiting
+// with kExitHang.
+#pragma once
+
+#include <string>
+
+#include "core/simulator.h"
+
+namespace coyote::fault {
+
+/// Outcome of run_guarded(): either a normal RunResult, or a hang with the
+/// diagnostic attached.
+struct GuardedOutcome {
+  core::RunResult result;
+  bool hung = false;
+  std::string hang_what;        ///< one-line HangError message
+  std::string hang_diagnostic;  ///< multi-line structured diagnostic
+  /// Set when an emergency checkpoint was written on a hang.
+  std::string emergency_checkpoint;
+};
+
+/// Runs `sim` to completion (or `max_cycles`). While running, keeps an
+/// in-memory checkpoint of the most recent quiesce point (refreshed at
+/// least every `checkpoint_interval` cycles); if the run hangs, that buffer
+/// — the last state the machine passed through with nothing in flight — is
+/// written to `emergency_checkpoint_path` (skipped when the path is empty
+/// or no quiesce point was reached), the trace is flushed, and the
+/// diagnostic is returned instead of the exception propagating.
+/// With `emergency_checkpoint_path` empty and the watchdog off this is
+/// behaviourally identical to sim.run(max_cycles).
+GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
+                           Cycle max_cycles,
+                           const std::string& emergency_checkpoint_path,
+                           Cycle checkpoint_interval = 5'000'000);
+
+}  // namespace coyote::fault

@@ -8,6 +8,7 @@
 // The memory hierarchy answers misses through fill().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -105,6 +106,17 @@ class CoreModel {
 
   bool halted() const { return halted_; }
   std::size_t outstanding_misses() const { return outstanding_.size(); }
+  /// Lines this core's MSHRs are waiting on, sorted (hang diagnostics).
+  std::vector<Addr> outstanding_lines() const {
+    std::vector<Addr> lines;
+    lines.reserve(outstanding_.size());
+    for (const auto& [line, miss] : outstanding_) {
+      (void)miss;
+      lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  }
 
   /// Attempts to simulate one instruction for the current cycle.
   /// `cycle` is forwarded to the hart for the cycle CSR.

@@ -32,6 +32,26 @@ class SparseMemory {
   /// Number of resident (touched) pages.
   std::size_t resident_pages() const { return pages_.size(); }
 
+  /// Resident page indices, sorted. Deterministic enumeration for the
+  /// fault engine (a seeded word flip picks page + offset from this list)
+  /// and for the end-state digest of the differential harness.
+  std::vector<Addr> resident_page_indices() const {
+    std::vector<Addr> indices;
+    indices.reserve(pages_.size());
+    for (const auto& [index, page] : pages_) {
+      (void)page;
+      indices.push_back(index);
+    }
+    std::sort(indices.begin(), indices.end());
+    return indices;
+  }
+
+  /// Raw page bytes (nullptr when the page is not resident).
+  const std::uint8_t* page_data(Addr page_index) const {
+    const auto it = pages_.find(page_index);
+    return it == pages_.end() ? nullptr : it->second->data();
+  }
+
   std::uint8_t read_u8(Addr addr) const { return *lookup(addr); }
   void write_u8(Addr addr, std::uint8_t value) {
     if (!reservations_.empty()) note_store(addr, 1);

@@ -199,6 +199,23 @@ class CacheArray {
     return count;
   }
 
+  /// Line address of the `index`-th valid entry in array (set-major) order.
+  /// Deterministic enumeration for the fault engine: a plan picks a victim
+  /// line as a seeded index into [0, resident_lines()). Throws if out of
+  /// range.
+  Addr resident_line_at(std::uint64_t index) const {
+    std::uint64_t seen = 0;
+    for (const Entry& entry : entries_) {
+      if (!entry.valid) continue;
+      if (seen == index) return entry.line_addr;
+      ++seen;
+    }
+    throw SimError(strfmt("CacheArray: resident_line_at(%llu) out of range "
+                          "(%llu resident)",
+                          static_cast<unsigned long long>(index),
+                          static_cast<unsigned long long>(seen)));
+  }
+
   /// Checkpoint: tags, LRU stamps, dirty/coherence bits and the replacement
   /// clock / RNG stream (geometry is rebuilt from config, not serialized).
   void save_state(BinWriter& w) const {

@@ -138,6 +138,17 @@ bool Directory::has_transaction(Addr line) const {
 
 std::size_t Directory::tracked_lines() const { return lines_.size(); }
 
+std::vector<Addr> Directory::transaction_lines() const {
+  std::vector<Addr> lines;
+  lines.reserve(transactions_.size());
+  for (const auto& [line, txn] : transactions_) {
+    (void)txn;
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
 void Directory::restore_entry(Addr line, CoreId owner, std::uint64_t sharers) {
   if (owner == kInvalidCore && sharers == 0) {
     lines_.erase(line);

@@ -74,6 +74,8 @@ class Directory {
   std::uint64_t sharer_mask(Addr line) const;
   bool has_transaction(Addr line) const;
   std::size_t tracked_lines() const;
+  /// Lines with an in-flight transaction, sorted (hang diagnostics).
+  std::vector<Addr> transaction_lines() const;
 
   /// Overwrites one line's owner/sharer record (checkpoint restore and
   /// fast-forward warm-up). An all-empty entry erases the record.

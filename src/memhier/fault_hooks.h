@@ -1,0 +1,37 @@
+// Injection points the memory hierarchy exposes to the fault-injection
+// engine (src/fault). memhier only ever *consults* this interface — the
+// engine implementing it lives in a higher layer, so the dependency points
+// upward and a build without fault support pays nothing (a null hook
+// pointer short-circuits every check).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "memhier/msg.h"
+
+namespace coyote::memhier {
+
+/// What should happen to one response message about to enter the NoC.
+struct NetVerdict {
+  bool drop = false;  ///< lose this copy of the message in flight
+  Cycle delay = 0;    ///< extra in-flight latency (ignored when dropped)
+};
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// An L2 bank (directory) is about to send `resp` towards a core.
+  /// `attempt` is 0 for the original transmission and counts retransmits;
+  /// the engine only ever plans drops against attempt 0, which bounds the
+  /// retransmit protocol.
+  virtual NetVerdict on_response_send(const MemResponse& resp, BankId bank,
+                                      std::uint32_t attempt) = 0;
+
+  /// Extra service delay for one read at memory controller `mc`
+  /// (a transient controller stall); 0 = no fault.
+  virtual Cycle mc_extra_delay(McId mc) = 0;
+};
+
+}  // namespace coyote::memhier

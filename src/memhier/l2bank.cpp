@@ -89,7 +89,35 @@ void L2Bank::respond(const MemRequest& request, Cycle delay) {
                            });
     }
   }
-  cpu_resp_out_.send(response, total);
+  deliver_response(response, total, /*attempt=*/0);
+}
+
+void L2Bank::deliver_response(const MemResponse& response, Cycle delay,
+                              std::uint32_t attempt) {
+  if (fault_hooks_ != nullptr) {
+    const NetVerdict verdict =
+        fault_hooks_->on_response_send(response, bank_id_, attempt);
+    if (verdict.drop) {
+      if (attempt < fault_retries_) {
+        // Sender-side timeout + retransmit with exponential backoff. The
+        // engine never drops attempts > 0, so the protocol is bounded.
+        ++fault_retransmits_;
+        const Cycle backoff = fault_backoff_ << attempt;
+        scheduler().schedule(delay + backoff, simfw::SchedPriority::kUpdate,
+                             [this, response, delay, attempt]() {
+                               deliver_response(response, delay, attempt + 1);
+                             });
+      } else {
+        // Retries exhausted (or disabled): the message is gone. The waiting
+        // core never unblocks — exactly the wedge the liveness watchdog is
+        // there to catch.
+        ++fault_lost_messages_;
+      }
+      return;
+    }
+    delay += verdict.delay;
+  }
+  cpu_resp_out_.send(response, delay);
 }
 
 void L2Bank::start_probe_phase(const MemRequest& request) {
@@ -106,11 +134,12 @@ void L2Bank::start_probe_phase(const MemRequest& request) {
 void L2Bank::send_probe(const Directory::Probe& probe, Addr line_addr) {
   ++(probe.to_shared ? *coh_downgrades_ : *coh_invalidations_);
   const TileId target_tile = probe.target / config_.cores_per_tile;
-  cpu_resp_out_.send(
+  deliver_response(
       MemResponse{line_addr,
                   probe.to_shared ? MemOp::kDowngrade : MemOp::kInv,
                   probe.target},
-      noc_->traverse(noc_->tile_node(tile_), noc_->tile_node(target_tile)));
+      noc_->traverse(noc_->tile_node(tile_), noc_->tile_node(target_tile)),
+      /*attempt=*/0);
 }
 
 void L2Bank::on_coh_ack(const MemRequest& request) {

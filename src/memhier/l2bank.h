@@ -6,6 +6,7 @@
 // controllers.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -14,6 +15,7 @@
 
 #include "memhier/cache_array.h"
 #include "memhier/directory.h"
+#include "memhier/fault_hooks.h"
 #include "memhier/mapping.h"
 #include "memhier/msg.h"
 #include "memhier/noc.h"
@@ -97,11 +99,43 @@ class L2Bank : public simfw::Unit {
   void save_state(BinWriter& w) const;
   void load_state(BinReader& r);
 
+  // ----- fault injection (src/fault) -----
+  /// Routes every response/probe send through `hooks` with a bounded
+  /// retransmit protocol: a dropped message is resent after
+  /// `backoff << attempt` cycles, up to `retries` retransmits, then lost
+  /// for good (the requester wedges — watchdog territory). nullptr
+  /// restores the zero-overhead direct path.
+  void set_fault_hooks(FaultHooks* hooks, std::uint32_t retries,
+                       Cycle backoff) {
+    fault_hooks_ = hooks;
+    fault_retries_ = retries;
+    fault_backoff_ = backoff == 0 ? 1 : backoff;
+  }
+  std::uint64_t fault_retransmits() const { return fault_retransmits_; }
+  std::uint64_t fault_lost_messages() const { return fault_lost_messages_; }
+
+  /// Lines with an MSHR in flight, sorted (hang diagnostics).
+  std::vector<Addr> mshr_lines() const {
+    std::vector<Addr> lines;
+    lines.reserve(mshrs_.size());
+    for (const auto& [line, mshr] : mshrs_) {
+      (void)mshr;
+      lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  }
+
  private:
   void on_cpu_request(const MemRequest& request);
   void on_mem_response(const MemResponse& response);
   void forward_to_mc(const MemRequest& request, Cycle extra_delay);
   void respond(const MemRequest& request, Cycle delay);
+  /// The single exit towards the cores: consults the fault hooks (drop /
+  /// extra delay) and runs the retransmit protocol. With no hooks armed
+  /// this is exactly cpu_resp_out_.send(response, delay).
+  void deliver_response(const MemResponse& response, Cycle delay,
+                        std::uint32_t attempt);
   /// Issues next-line prefetches following a demand miss at `line_addr`.
   void maybe_prefetch(Addr line_addr);
   /// The cache data path (hit / miss / MSHR merge / input queue) shared by
@@ -133,6 +167,16 @@ class L2Bank : public simfw::Unit {
   std::deque<MemRequest> pending_;  ///< requests waiting for a free MSHR
   std::unordered_set<Addr> prefetched_;  ///< resident, not yet demanded
   std::unique_ptr<Directory> directory_;  ///< only when config.coherent
+
+  // Fault-injection state. Plain members, not stats-tree counters: hooks
+  // are armed per-run from outside, and the stats-tree shape must stay
+  // independent of whether a fault engine is attached (checkpoints compare
+  // the tree structurally).
+  FaultHooks* fault_hooks_ = nullptr;
+  std::uint32_t fault_retries_ = 0;
+  Cycle fault_backoff_ = 1;
+  std::uint64_t fault_retransmits_ = 0;
+  std::uint64_t fault_lost_messages_ = 0;
 
   simfw::Counter& accesses_;
   simfw::Counter& hits_;

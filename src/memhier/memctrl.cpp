@@ -74,7 +74,14 @@ void MemoryController::on_request(const MemRequest& request) {
   }
 
   ++reads_;
-  const Cycle latency = queue_delay + service_latency(request.line_addr);
+  Cycle latency = queue_delay + service_latency(request.line_addr);
+  if (fault_hooks_ != nullptr) {
+    const Cycle stall = fault_hooks_->mc_extra_delay(mc_id_);
+    if (stall != 0) {
+      ++fault_stalls_;
+      latency += stall;
+    }
+  }
   resp_out_[request.src_bank]->send(
       MemResponse{request.line_addr, request.op, request.core},
       latency + noc_->traverse(noc_->mc_node(mc_id_),

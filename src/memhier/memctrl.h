@@ -12,6 +12,7 @@
 #include "common/binio.h"
 #include "common/bits.h"
 #include "common/error.h"
+#include "memhier/fault_hooks.h"
 #include "memhier/msg.h"
 #include "memhier/noc.h"
 #include "simfw/port.h"
@@ -64,6 +65,11 @@ class MemoryController : public simfw::Unit {
     for (Addr& row : open_rows_) row = r.u64();
   }
 
+  /// Fault injection: every read consults `hooks` for a transient extra
+  /// service delay (a controller stall). nullptr = zero-overhead path.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+  std::uint64_t fault_stalls() const { return fault_stalls_; }
+
  private:
   void on_request(const MemRequest& request);
   Cycle service_latency(Addr line_addr);
@@ -74,6 +80,9 @@ class MemoryController : public simfw::Unit {
 
   simfw::DataInPort<MemRequest> req_in_;
   std::vector<std::unique_ptr<simfw::DataOutPort<MemResponse>>> resp_out_;
+
+  FaultHooks* fault_hooks_ = nullptr;  ///< plain members: see L2Bank
+  std::uint64_t fault_stalls_ = 0;
 
   Cycle next_free_ = 0;  ///< service-slot reservation (bandwidth model)
   std::vector<Addr> open_rows_;  ///< per internal DRAM bank; ~0 = closed

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -16,6 +18,7 @@
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/run_summary.h"
+#include "fault/differential.h"
 #include "kernels/program_menu.h"
 
 namespace coyote::sweep {
@@ -31,12 +34,13 @@ namespace {
 // a record that parses.
 
 constexpr std::uint32_t kDoneMagic = 0x43594B44;  // "DKYC" little-endian
-constexpr std::uint32_t kDoneVersion = 1;
+// v2: status + fault_outcome/fault_detail fields (v1 records re-run).
+constexpr std::uint32_t kDoneVersion = 2;
 
-void write_done_record(
-    const std::string& path, const simfw::ConfigMap& config,
-    const core::RunResult& run,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+void write_done_record(const std::string& path, const PointResult& point,
+                       const core::RunResult& run) {
+  const simfw::ConfigMap& config = point.config;
+  const std::vector<std::pair<std::string, double>>& metrics = point.metrics;
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -61,6 +65,9 @@ void write_done_record(
       std::memcpy(&bits, &value, sizeof bits);
       w.u64(bits);
     }
+    w.str(point.status);
+    w.str(point.fault_outcome);
+    w.str(point.fault_detail);
     os.flush();
     if (!os) throw SimError("sweep resume: write failed for " + tmp);
   }
@@ -100,6 +107,9 @@ std::optional<core::RunResult> try_load_done(const std::string& path,
       std::memcpy(&value, &bits, sizeof value);
       point.metrics.emplace_back(name, value);
     }
+    point.status = r.str();
+    point.fault_outcome = r.str();
+    point.fault_detail = r.str();
     return run;
   } catch (const std::exception&) {
     return std::nullopt;  // truncated/corrupt record: re-run the point
@@ -221,7 +231,18 @@ std::string PointResult::to_json(bool include_host_timing) const {
     std::snprintf(buffer, sizeof buffer, "%.9g", value);
     os << "\"" << core::json_escape(name) << "\": " << buffer;
   }
-  os << "}}";
+  os << "}";
+  // Robustness fields appear only when set, so ordinary sweep tables stay
+  // byte-identical to the pre-fault schema.
+  if (!status.empty()) {
+    os << ", \"status\": \"" << core::json_escape(status) << "\"";
+  }
+  if (!fault_outcome.empty()) {
+    os << ", \"fault_outcome\": \"" << core::json_escape(fault_outcome)
+       << "\", \"fault_detail\": \"" << core::json_escape(fault_detail)
+       << "\"";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -283,6 +304,9 @@ SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
       for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
         ++point.attempts;
         point.metrics.clear();
+        point.status.clear();
+        point.fault_outcome.clear();
+        point.fault_detail.clear();
         try {
           const core::SimConfig config = core::config_from_map(point.config);
           // Record the *complete* map so every row of the results table
@@ -344,6 +368,42 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
     std::filesystem::create_directories(resume_dir);
   }
 
+  // Golden-run digest cache for resilience campaigns: every point whose
+  // fault-free machine config is identical (the usual case — an injection
+  // campaign sweeps fault.seed over one design point) shares one golden
+  // run. Keyed by the full normalised fault-free config, so the cache can
+  // never alias two different machines. The mutex is held across the golden
+  // run itself: the first arrival computes, everyone else waits and reuses
+  // — identical digests regardless of jobs count or arrival order.
+  std::mutex golden_mutex;
+  std::map<std::string, std::uint64_t> golden_cache;
+  const auto build_point = [&](const core::SimConfig& config) {
+    auto sim = std::make_unique<core::Simulator>(config);
+    const kernels::Program program = kernels::build_named_kernel(
+        spec.kernel, config.num_cores, spec.size, spec.seed, sim->memory());
+    sim->load_program(program.base, program.words, program.entry);
+    return sim;
+  };
+  const auto golden_digest = [&](const core::SimConfig& config) {
+    core::SimConfig golden = config;
+    golden.fault.enable = false;
+    std::string key;
+    const simfw::ConfigMap golden_map = core::config_to_map(golden);
+    for (const auto& [k, v] : golden_map.values()) {
+      key += k;
+      key += '=';
+      key += v;
+      key += '\n';
+    }
+    const std::lock_guard<std::mutex> lock(golden_mutex);
+    const auto it = golden_cache.find(key);
+    if (it != golden_cache.end()) return it->second;
+    auto sim = build_point(golden);
+    const std::uint64_t digest = fault::run_golden(*sim, max_cycles);
+    golden_cache.emplace(key, digest);
+    return digest;
+  };
+
   const auto runner = [&](const core::SimConfig& config, PointResult& point) {
     const std::string stem =
         resume_dir.empty()
@@ -356,20 +416,58 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
       }
     }
 
+    // ----- resilience campaign point ------------------------------------
+    // Golden leg once per unique fault-free config, then the injected leg,
+    // classified masked/sdc/due. A DUE (trap, hang, cycle-budget blow-out)
+    // is a *measured outcome*, not a point failure — the point reports ok
+    // with its class attached.
+    if (config.fault.enable) {
+      const std::uint64_t digest = golden_digest(config);
+      auto sim = build_point(config);
+      const fault::FaultPlan plan = fault::FaultPlan::generate(config);
+      const fault::InjectionResult injected =
+          fault::run_injected(*sim, plan, max_cycles, digest);
+      point.fault_outcome = fault::outcome_name(injected.outcome);
+      point.fault_detail = injected.detail;
+      core::RunResult result = injected.run;
+      if (injected.outcome != fault::Outcome::kDue) {
+        result.cycles = sim->scheduler().now();
+        result.instructions = sim->root()
+                                  .find("orchestrator")
+                                  ->stats()
+                                  .find_counter("instructions")
+                                  .get();
+        if (collect) collect(*sim, point);
+      }
+      if (!resume_dir.empty()) {
+        write_done_record(stem + ".done", point, result);
+      }
+      return result;
+    }
+
     std::unique_ptr<core::Simulator> sim;
     if (!resume_dir.empty()) {
       sim = try_restore_point(stem + ".ckpt", resume_label, point.config);
     }
-    if (sim == nullptr) {
-      sim = std::make_unique<core::Simulator>(config);
-      const kernels::Program program = kernels::build_named_kernel(
-          spec.kernel, config.num_cores, spec.size, spec.seed, sim->memory());
-      sim->load_program(program.base, program.words, program.entry);
-    }
+    if (sim == nullptr) sim = build_point(config);
+
+    // Wall-clock budget for this attempt: exponential backoff doubles it
+    // on every retry, so a point that was merely unlucky (loaded host, cold
+    // caches) gets progressively more headroom before being written off.
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double budget_s =
+        options_.point_timeout_s > 0.0
+            ? options_.point_timeout_s *
+                  static_cast<double>(
+                      1u << std::min<std::uint32_t>(point.attempts - 1, 20))
+            : 0.0;
 
     // Run in checkpoint-interval slices (one slice = the whole budget when
     // checkpointing is off). Quiesce stops do not perturb the simulation,
-    // so the sliced run is bit-identical to an uninterrupted one.
+    // so the sliced run is bit-identical to an uninterrupted one. An armed
+    // timeout additionally caps every leg at kTimeoutProbeCycles so the
+    // wall clock is probed promptly.
+    const bool ckpt_slicing = !resume_dir.empty() && interval != 0;
     core::RunResult result;
     while (true) {
       const Cycle elapsed = sim->scheduler().now();
@@ -377,16 +475,39 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
           max_cycles == ~Cycle{0}
               ? ~Cycle{0}
               : (elapsed < max_cycles ? max_cycles - elapsed : 0);
-      if (resume_dir.empty() || interval == 0) {
-        result = sim->run(remaining);
-      } else {
-        result = sim->run_to_quiesce(std::min(interval, remaining), remaining);
+      const Cycle leg_cap =
+          budget_s > 0.0
+              ? std::min(remaining,
+                         std::max<Cycle>(options_.timeout_probe_cycles, 1))
+              : remaining;
+      if (ckpt_slicing) {
+        result = sim->run_to_quiesce(std::min(interval, leg_cap), leg_cap);
         if (result.quiesced && !result.all_exited) {
           write_point_checkpoint(*sim, resume_label, stem + ".ckpt");
-          continue;
+        }
+      } else if (budget_s > 0.0) {
+        result = sim->run(leg_cap);
+      } else {
+        result = sim->run(remaining);
+        break;
+      }
+      if (result.all_exited) break;
+      if (max_cycles != ~Cycle{0} && sim->scheduler().now() >= max_cycles) {
+        result.hit_cycle_limit = true;
+        break;
+      }
+      if (budget_s > 0.0) {
+        const double spent = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count();
+        if (spent > budget_s) {
+          point.status = "timeout";
+          throw SimError(strfmt(
+              "point exceeded its wall-clock budget (%.3fs > %.3fs, "
+              "attempt %u)",
+              spent, budget_s, point.attempts));
         }
       }
-      break;
     }
     if (!result.all_exited) {
       throw SimError(result.hit_cycle_limit
@@ -403,7 +524,7 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
                               .get();
     if (collect) collect(*sim, point);
     if (!resume_dir.empty()) {
-      write_done_record(stem + ".done", point.config, result, point.metrics);
+      write_done_record(stem + ".done", point, result);
       std::error_code ignored;
       std::filesystem::remove(stem + ".ckpt", ignored);
     }

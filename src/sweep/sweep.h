@@ -66,6 +66,15 @@ struct PointResult {
   bool ok = false;
   std::uint32_t attempts = 0;   ///< 1 on first-try success
   std::string error;            ///< last failure message when !ok
+  /// "timeout" when every attempt blew the wall-clock budget; empty
+  /// otherwise. Emitted to JSON only when set, so pre-existing tables stay
+  /// byte-stable.
+  std::string status;
+  /// Resilience campaigns (fault.enable=true): the differential-harness
+  /// class for this point — "masked", "sdc" or "due" — plus the classifier
+  /// detail (digest delta, hang message, trap…). Empty on ordinary sweeps.
+  std::string fault_outcome;
+  std::string fault_detail;
   core::RunResult run;          ///< valid when ok
   /// Named scalar metrics captured by the collect hook (miss rates, ...).
   std::vector<std::pair<std::string, double>> metrics;
@@ -95,6 +104,15 @@ class SweepEngine {
     std::uint32_t max_attempts = 2;
     /// Per-point simulated-cycle budget; a point that hits it fails.
     Cycle max_cycles = ~Cycle{0};
+    /// Per-point wall-clock budget in seconds; 0 = no timeout. A point that
+    /// exceeds it is abandoned at the next probe boundary and retried with
+    /// a doubled budget (exponential backoff), up to max_attempts tries,
+    /// then recorded failed with status "timeout". Kernel mode only.
+    double point_timeout_s = 0.0;
+    /// Simulated cycles between wall-clock probes while point_timeout_s is
+    /// armed (the budget is only checked at probe boundaries). The default
+    /// is coarse enough that probing costs nothing; tests shrink it.
+    Cycle timeout_probe_cycles = 1'000'000;
     /// Live "\r[sweep] done/total" line on stderr.
     bool progress = false;
     /// Kernel-mode hook run after each successful point (on the worker

@@ -239,6 +239,73 @@ TEST(Checkpoint, RejectsCorruptInput) {
   }
 }
 
+// Integrity footer regressions: the trailing CRC-32 catches corruption the
+// structural parse would swallow, and every failure names a byte offset so
+// a damaged file can actually be triaged.
+TEST(Checkpoint, CorruptionIsDetectedAndNamesTheOffset) {
+  const SimConfig config = small_config(false, "");
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 1024, kSeed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  ASSERT_TRUE(sim.run_to_quiesce(100, kBudget).quiesced);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sim, "axpy", blob);
+  const std::string image = blob.str();
+
+  // The pristine image restores (and its CRC verifies).
+  {
+    std::istringstream is(image, std::ios::binary);
+    EXPECT_NE(restore_checkpoint(is), nullptr);
+  }
+  // A single flipped bit deep in the payload — past the header, where the
+  // structure still parses — must trip the CRC check, not restore quietly.
+  {
+    std::string bad = image;
+    bad[bad.size() / 2] ^= 0x10;
+    std::istringstream is(bad, std::ios::binary);
+    try {
+      restore_checkpoint(is);
+      FAIL() << "bit-flipped checkpoint restored";
+    } catch (const SimError& error) {
+      const std::string what = error.what();
+      // Either a structural field became implausible (message carries the
+      // offending offset) or the payload parsed and the CRC caught it.
+      EXPECT_TRUE(what.find("CRC mismatch") != std::string::npos ||
+                  what.find("offset") != std::string::npos)
+          << what;
+    }
+  }
+  // A flipped byte in the stored footer itself is also corruption.
+  {
+    std::string bad = image;
+    bad[bad.size() - 2] ^= 0xFF;
+    std::istringstream is(bad, std::ios::binary);
+    try {
+      restore_checkpoint(is);
+      FAIL() << "checkpoint with corrupt CRC footer restored";
+    } catch (const SimError& error) {
+      EXPECT_NE(std::string(error.what()).find("CRC mismatch"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+  // Truncation (e.g. a disk that filled up mid-write) names the offset at
+  // which the stream ran dry.
+  {
+    std::istringstream is(image.substr(0, image.size() - 3),
+                          std::ios::binary);
+    try {
+      restore_checkpoint(is);
+      FAIL() << "truncated checkpoint restored";
+    } catch (const SimError& error) {
+      EXPECT_NE(std::string(error.what()).find("truncated input at offset"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
 // ------------------------------------------------------- fast-forward --
 
 TEST(FastForward, FullSkipExecutesExactlyTheDetailedInstructionStream) {

@@ -51,6 +51,16 @@ const std::map<std::string, std::string>& alternate_values() {
       {"sim.interleave_quantum", "16"},
       {"sim.fast_forward", "true"},
       {"sim.batched_stepping", "false"},
+      {"sim.watchdog_cycles", "100000"},
+      {"fault.enable", "true"},
+      {"fault.seed", "7"},
+      {"fault.count", "3"},
+      {"fault.targets", "mem+reg"},
+      {"fault.window_begin", "10"},
+      {"fault.window_end", "999"},
+      {"fault.noc_retries", "2"},
+      {"fault.noc_timeout", "64"},
+      {"fault.mc_stall_cycles", "128"},
       {"ckpt.ffwd_instructions", "1000"},
       {"ckpt.warmup", "false"},
       {"ckpt.warmup_window", "500"},
@@ -174,6 +184,58 @@ TEST(ConfigIo, InvalidValuesThrow) {
   reject("llc.enable", "maybe");
   reject("topo.cores", "0");           // SimConfig::validate
   reject("sim.interleave_quantum", "0");
+}
+
+TEST(ConfigIo, FaultKeysNegativePaths) {
+  const auto reject = [](const char* key, const char* value) {
+    simfw::ConfigMap map;
+    map.set(key, value);
+    EXPECT_THROW(config_from_map(map), ConfigError) << key << "=" << value;
+  };
+  reject("fault.seeed", "1");        // typo'd leaf in the fault group
+  reject("fault.enable", "yes");     // not a bool literal
+  reject("fault.seed", "banana");    // malformed number
+  reject("fault.seed", "");          // empty value
+  reject("fault.count", "0");        // a plan must contain >= 1 event
+  reject("fault.targets", "");       // no targets at all
+  reject("fault.targets", "cosmic"); // unknown target token
+  reject("fault.targets", "mem,reg");// wrong separator (axes own ',')
+  {
+    simfw::ConfigMap map;             // inverted injection window
+    map.set("fault.window_begin", "100");
+    map.set("fault.window_end", "50");
+    EXPECT_THROW(config_from_map(map), ConfigError);
+  }
+  // The offending key is named in the message, so a 40-point campaign
+  // spec that dies tells the user *which* token to fix.
+  try {
+    simfw::ConfigMap map;
+    map.set("fault.targets", "cosmic");
+    config_from_map(map);
+    FAIL() << "bad fault.targets accepted";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("fault.targets"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// Property over the documented surface: every key rejects a mangled
+// spelling and an empty value — nothing is silently ignored or defaulted.
+TEST(ConfigIo, EveryDocumentedKeyRejectsMangledSpellingAndEmptyValue) {
+  for (const ConfigKeyInfo& info : config_keys()) {
+    {
+      simfw::ConfigMap map;
+      map.set(info.key + "_bogus", info.default_value);
+      EXPECT_THROW(config_from_map(map), ConfigError) << info.key;
+    }
+    {
+      simfw::ConfigMap map;
+      map.set(info.key, "");
+      EXPECT_THROW(config_from_map(map), ConfigError)
+          << info.key << " accepted an empty value";
+    }
+  }
 }
 
 TEST(ConfigIo, ParsedConfigBuildsAndRunsDeterministically) {

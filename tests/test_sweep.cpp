@@ -178,6 +178,46 @@ TEST(SweepEngine, CustomRunnerModeCarriesMetrics) {
   EXPECT_NE(report.to_json().find("\"kind\": \"sweep\""), std::string::npos);
 }
 
+TEST(SweepEngine, WallClockTimeoutIsRetriedThenRecorded) {
+  SweepSpec spec = small_spec();
+  spec.axes.clear();
+  spec.extra_points.clear();
+  SweepEngine::Options options;
+  options.jobs = 1;
+  options.max_attempts = 2;
+  options.point_timeout_s = 1e-9;     // impossibly tight: always blows
+  options.timeout_probe_cycles = 256; // probe early so the test is fast
+  const SweepReport report = SweepEngine(options).run(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  const PointResult& point = report.points[0];
+  EXPECT_FALSE(point.ok);
+  EXPECT_EQ(point.attempts, 2u);  // retried once with a doubled budget
+  EXPECT_EQ(point.status, "timeout");
+  EXPECT_NE(point.error.find("wall-clock"), std::string::npos)
+      << point.error;
+  EXPECT_NE(point.to_json().find("\"status\": \"timeout\""),
+            std::string::npos);
+}
+
+TEST(SweepEngine, GenerousWallClockBudgetDoesNotPerturbResults) {
+  SweepSpec spec = small_spec();
+  spec.axes.clear();
+  spec.extra_points.clear();
+  SweepEngine::Options plain;
+  plain.jobs = 1;
+  SweepEngine::Options timed;
+  timed.jobs = 1;
+  timed.point_timeout_s = 3600.0;  // never triggers
+  const SweepReport a = SweepEngine(plain).run(spec);
+  const SweepReport b = SweepEngine(timed).run(spec);
+  ASSERT_EQ(a.points.size(), 1u);
+  ASSERT_TRUE(a.points[0].ok);
+  ASSERT_TRUE(b.points[0].ok);
+  // Probe slicing must not change the simulated outcome or the table.
+  EXPECT_EQ(a.points[0].run.cycles, b.points[0].run.cycles);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
 TEST(SweepReport, JsonExcludesHostTimingByDefault) {
   SweepSpec spec = small_spec();
   spec.axes.clear();
