@@ -59,13 +59,30 @@ def git_revision() -> str:
         return "unknown"
 
 
-def stamp_provenance(out_path: pathlib.Path, git_sha: str) -> None:
-    """Adds bench_schema_version + git_sha to a report, deterministically
-    re-serialized so identical runs still compare byte for byte."""
+def detect_build_type(build_dir: pathlib.Path) -> str:
+    """CMAKE_BUILD_TYPE from the build tree's CMakeCache.txt ("unknown"
+    when the cache is missing or the variable is unset)."""
+    cache = build_dir / "CMakeCache.txt"
+    try:
+        for line in cache.read_text().splitlines():
+            if line.startswith("CMAKE_BUILD_TYPE:"):
+                value = line.split("=", 1)[1].strip()
+                return value or "unknown"
+    except OSError:
+        pass
+    return "unknown"
+
+
+def stamp_provenance(out_path: pathlib.Path, git_sha: str,
+                     build_type: str) -> None:
+    """Adds bench_schema_version + git_sha + build_type to a report,
+    deterministically re-serialized so identical runs still compare byte
+    for byte."""
     with open(out_path) as fh:
         report = json.load(fh)
     report["bench_schema_version"] = BENCH_SCHEMA_VERSION
     report["git_sha"] = git_sha
+    report["build_type"] = build_type
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=False)
         fh.write("\n")
@@ -161,13 +178,26 @@ def main() -> int:
     parser.add_argument("--only",
                         choices=[b[0] for b in BENCHMARKS] + ["coyote_sweep"],
                         help="run a single benchmark binary")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="measure a non-Release build anyway (numbers "
+                             "are not comparable to committed baselines)")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     git_sha = git_revision()
+    build_type = detect_build_type(build_dir)
+    if build_type != "Release" and not args.allow_debug:
+        raise SystemExit(
+            f"error: build tree {build_dir} has CMAKE_BUILD_TYPE="
+            f"{build_type!r}; host-performance baselines are only "
+            "meaningful on Release. Reconfigure with "
+            "-DCMAKE_BUILD_TYPE=Release, or pass --allow-debug to measure "
+            "anyway (the report is stamped with its build_type either way)."
+        )
     print(f"[baseline] git revision: {git_sha}", flush=True)
+    print(f"[baseline] build type: {build_type}", flush=True)
 
     for name, out_name, extra in BENCHMARKS:
         if args.only and name != args.only:
@@ -179,14 +209,14 @@ def main() -> int:
             bench_filter = "/(1|16)/"
         out_path = out_dir / out_name
         run_one(find_binary(build_dir, name), out_path, extra, bench_filter)
-        stamp_provenance(out_path, git_sha)
+        stamp_provenance(out_path, git_sha, build_type)
         summarize(out_path)
         print(f"[baseline] wrote {out_path}")
 
     if args.only in (None, "coyote_sweep"):
         sweep_path = out_dir / "BENCH_sweep.json"
         run_sweep(build_dir, sweep_path, args.quick)
-        stamp_provenance(sweep_path, git_sha)
+        stamp_provenance(sweep_path, git_sha, build_type)
         print(f"[baseline] wrote {sweep_path}")
     return 0
 

@@ -42,6 +42,43 @@ void BM_Fig3_SpMV(benchmark::State& state) {
   }
 }
 
+// Reference points for the decoded-block dispatch speedup: the same runs
+// with iss.dbb_cache=off. Tracked per-commit so the on/off host-MIPS ratio
+// (the cache's whole reason to exist) is visible in BENCH_fig3.json and CI,
+// not just in a one-off experiment table.
+void BM_Fig3_Matmul_NoDbb(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto workload = kernels::MatmulWorkload::generate(128, 42);
+  core::SimConfig config = machine(cores);
+  config.core.dbb_cache = false;
+  for (auto _ : state) {
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_matmul_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
+void BM_Fig3_SpMV_NoDbb(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto workload = kernels::SpmvWorkload::generate(
+      kernels::CsrMatrix::random(65536, 65536, 16, 42), 43);
+  core::SimConfig config = machine(cores);
+  config.core.dbb_cache = false;
+  for (auto _ : state) {
+    const SimRun run = run_kernel(
+        config,
+        [&](core::Simulator& sim) { workload.install(sim.memory()); },
+        [&](std::uint32_t n) {
+          return kernels::build_spmv_scalar(workload, n);
+        });
+    report(state, run);
+  }
+}
+
 BENCHMARK(BM_Fig3_Matmul)
     ->RangeMultiplier(2)
     ->Range(1, 128)
@@ -50,6 +87,16 @@ BENCHMARK(BM_Fig3_Matmul)
 BENCHMARK(BM_Fig3_SpMV)
     ->RangeMultiplier(2)
     ->Range(1, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+// The no-dbb references run 1-core only: that is where the per-instruction
+// dispatch cost dominates (and where the paper's Fig. 3 starts).
+BENCHMARK(BM_Fig3_Matmul_NoDbb)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig3_SpMV_NoDbb)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "isa/assembler.h"
 #include "isa/decoder.h"
+#include "iss/dbbcache.h"
 #include "iss/hart.h"
 #include "iss/memory.h"
 #include "memhier/cache_array.h"
@@ -45,6 +46,78 @@ void BM_OperandExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OperandExtraction);
+
+void BM_DecodeDispatch(benchmark::State& state) {
+  // Per-instruction front-end cost of the two dispatch paths over a
+  // straight-line 32-op block: Arg(0) is the reference interpreter (sparse
+  // memory fetch + decode + operand extraction every instruction), Arg(1)
+  // the decoded-block cache continuation (iss.dbb_cache=on) as it runs in
+  // CoreModel::step_one_dbb.
+  iss::SparseMemory memory;
+  isa::Assembler as(0x1000);
+  const auto top = as.here();
+  for (int i = 0; i < 31; ++i) as.add(isa::a2, isa::a1, isa::a2);
+  as.j(top);
+  const auto words = as.finish();
+  memory.poke_words(0x1000, words);
+  const Addr end = 0x1000 + 4 * static_cast<Addr>(words.size());
+
+  Addr pc = 0x1000;
+  if (state.range(0) == 1) {
+    iss::DbbCache cache(64);
+    const iss::DbbBlock* block = nullptr;
+    std::uint32_t index = 0;
+    for (auto _ : state) {
+      if (block == nullptr || index >= block->ops.size() ||
+          block->ops[index].pc != pc ||
+          *block->gen_ptr != block->gen) {
+        block = cache.acquire(pc, memory);
+        index = 0;
+      }
+      const iss::DbbMicroOp& op = block->ops[index++];
+      benchmark::DoNotOptimize(op.inst.op);
+      benchmark::DoNotOptimize(op.num_srcs + op.num_dsts);
+      pc += 4;
+      if (pc == end) pc = 0x1000;
+    }
+  } else {
+    for (auto _ : state) {
+      const auto inst = isa::decode(memory.read<std::uint32_t>(pc));
+      benchmark::DoNotOptimize(inst.op);
+      benchmark::DoNotOptimize(isa::source_regs(inst).size() +
+                               isa::dest_regs(inst).size());
+      pc += 4;
+      if (pc == end) pc = 0x1000;
+    }
+  }
+  state.counters["instr_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeDispatch)->Arg(0)->Arg(1);
+
+void BM_DbbInvalidate(benchmark::State& state) {
+  // Cost of one self-modifying-code round trip: a store into the code page
+  // (the O(1) write-generation bump every store pays) followed by the
+  // acquire that detects the stale block, retires it and re-decodes.
+  iss::SparseMemory memory;
+  isa::Assembler as(0x1000);
+  const auto top = as.here();
+  for (int i = 0; i < 7; ++i) as.addi(isa::a1, isa::a1, 1);
+  as.j(top);
+  const auto words = as.finish();
+  memory.poke_words(0x1000, words);
+  iss::DbbCache cache(64);
+  benchmark::DoNotOptimize(cache.acquire(0x1000, memory));
+  for (auto _ : state) {
+    memory.write<std::uint32_t>(0x1000, words[0]);  // gen bump
+    benchmark::DoNotOptimize(cache.acquire(0x1000, memory));
+  }
+  state.counters["invalidations_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DbbInvalidate);
 
 void BM_AssembleKernel(benchmark::State& state) {
   for (auto _ : state) {

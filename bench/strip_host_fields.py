@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Normalizes a coyote_sim --json-out report for bit-exact comparison.
+
+Drops everything that legitimately varies between two runs of the same
+simulated machine: host timing (result.wall_seconds / result.mips), the
+iss.dbb_* config echo, and the host-side dbb_* counters the decoded-block
+cache adds to each core's stats. What remains — simulated cycles and
+instructions, exit codes, and every simulated counter of every unit — must
+compare byte for byte between an iss.dbb_cache=on and an off run (CI's
+dbb differential smoke), or between any two runs of a deterministic config.
+
+Handles both report shapes: the full --json-out document (config /
+result / stats sections) and the flat unit→counters map --report=json
+prints on stdout.
+
+Usage: strip_host_fields.py REPORT.json   (normalized JSON on stdout)
+"""
+
+import json
+import sys
+
+
+def strip_dbb_keys(node):
+    """Recursively drops every dict key starting with dbb_ (the host-side
+    decoded-block counters, wherever the report shape puts them)."""
+    if isinstance(node, dict):
+        for key in [k for k in node if k.startswith("dbb_")]:
+            del node[key]
+        for value in node.values():
+            strip_dbb_keys(value)
+    elif isinstance(node, list):
+        for value in node:
+            strip_dbb_keys(value)
+
+
+def main() -> int:
+    with open(sys.argv[1]) as fh:
+        report = json.load(fh)
+    result = report.get("result", {})
+    result.pop("wall_seconds", None)
+    result.pop("mips", None)
+    config = report.get("config", {})
+    for key in [k for k in config if k.startswith("iss.dbb_")]:
+        del config[key]
+    strip_dbb_keys(report)
+    json.dump(report, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -225,6 +225,10 @@ FfwdResult fast_forward(core::Simulator& sim) {
 
   Warmer warmer(sim);
   const std::uint32_t num_cores = sim.num_cores();
+  // The warmer installs and invalidates L1 lines directly (any core's, for
+  // coherence), bypassing the cores' step/fill paths — drop every held
+  // tag-array handle before the first direct mutation.
+  for (CoreId id = 0; id < num_cores; ++id) sim.core(id).flush_host_refs();
   const Cycle now = sim.scheduler().now();
   std::vector<std::uint64_t> executed(num_cores, 0);
 

@@ -19,6 +19,7 @@ struct ConfigParams {
   simfw::ParameterSet llc;
   simfw::ParameterSet mc;
   simfw::ParameterSet sim;
+  simfw::ParameterSet iss;
   simfw::ParameterSet ckpt;
   simfw::ParameterSet fault;
 
@@ -59,6 +60,10 @@ struct ConfigParams {
     sim.add("batched_stepping", true, "host-side block-stepping fast paths");
     sim.add("watchdog_cycles", std::uint64_t{0},
             "hang after N zero-retire cycles (0 = watchdog off)");
+    iss.add("dbb_cache", true,
+            "decoded basic-block dispatch (host speed; bit-identical)");
+    iss.add("dbb_blocks", std::uint64_t{1024},
+            "decoded-block cache capacity per core");
     ckpt.add("ffwd_instructions", std::uint64_t{0},
              "functional fast-forward budget per core (0 = off)");
     ckpt.add("warmup", true, "warm caches/directory while fast-forwarding");
@@ -84,7 +89,7 @@ struct ConfigParams {
   }
 
   /// Prefix/set pairs in documentation order.
-  std::array<std::pair<const char*, simfw::ParameterSet*>, 9> groups() {
+  std::array<std::pair<const char*, simfw::ParameterSet*>, 10> groups() {
     return {{{"topo", &topo},
              {"core", &core},
              {"l2", &l2},
@@ -92,6 +97,7 @@ struct ConfigParams {
              {"llc", &llc},
              {"mc", &mc},
              {"sim", &sim},
+             {"iss", &iss},
              {"ckpt", &ckpt},
              {"fault", &fault}}};
   }
@@ -110,11 +116,12 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->description()});
       }
     }
-    // l2.coherence, the ckpt.*/fault.* groups and sim.watchdog_cycles
+    // l2.coherence, the iss.*/ckpt.*/fault.* groups and sim.watchdog_cycles
     // postdate the frozen sweep/results tables; omitting them at their
     // defaults keeps those outputs byte-stable (see ConfigKeyInfo).
     for (ConfigKeyInfo& info : out) {
       if (info.key == "l2.coherence" || info.key == "sim.watchdog_cycles" ||
+          info.key.rfind("iss.", 0) == 0 ||
           info.key.rfind("ckpt.", 0) == 0 ||
           info.key.rfind("fault.", 0) == 0) {
         info.emit_when_default = false;
@@ -256,6 +263,8 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
       params.sim.as<std::uint64_t>("interleave_quantum"));
   config.fast_forward_idle = params.sim.as<bool>("fast_forward");
   config.batched_stepping = params.sim.as<bool>("batched_stepping");
+  config.core.dbb_cache = params.iss.as<bool>("dbb_cache");
+  config.core.dbb_blocks = params.iss.as<std::uint64_t>("dbb_blocks");
   config.ffwd_instructions = params.ckpt.as<std::uint64_t>("ffwd_instructions");
   config.ffwd_warmup = params.ckpt.as<bool>("warmup");
   config.ffwd_warmup_window = params.ckpt.as<std::uint64_t>("warmup_window");
@@ -327,8 +336,17 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   set_u64("sim.interleave_quantum", config.interleave_quantum);
   set_bool("sim.fast_forward", config.fast_forward_idle);
   set_bool("sim.batched_stepping", config.batched_stepping);
-  // ckpt.* keys postdate the frozen outputs: emit only off-default values so
-  // existing sweep tables and run summaries stay byte-identical.
+  // iss.*/ckpt.* keys postdate the frozen outputs: emit only off-default
+  // values so existing sweep tables and run summaries stay byte-identical.
+  {
+    const iss::CoreConfig core_defaults;
+    if (config.core.dbb_cache != core_defaults.dbb_cache) {
+      set_bool("iss.dbb_cache", config.core.dbb_cache);
+    }
+    if (config.core.dbb_blocks != core_defaults.dbb_blocks) {
+      set_u64("iss.dbb_blocks", config.core.dbb_blocks);
+    }
+  }
   if (config.ffwd_instructions != 0) {
     set_u64("ckpt.ffwd_instructions", config.ffwd_instructions);
   }

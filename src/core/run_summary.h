@@ -22,7 +22,9 @@
 
 namespace coyote::core {
 
-inline constexpr int kRunSummarySchemaVersion = 1;
+// v2: per-core dbb_hits / dbb_misses / dbb_invalidations counters appear
+// under "stats" whenever the decoded-block cache is on (the new default).
+inline constexpr int kRunSummarySchemaVersion = 2;
 
 /// Escapes `text` for embedding inside a JSON string literal.
 std::string json_escape(const std::string& text);

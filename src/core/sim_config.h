@@ -165,6 +165,9 @@ struct SimConfig {
     if (interleave_quantum == 0) {
       throw ConfigError("SimConfig: interleave_quantum == 0");
     }
+    if (core.dbb_blocks == 0) {
+      throw ConfigError("SimConfig: iss.dbb_blocks == 0");
+    }
     if (core.line_bytes != l2_bank.line_bytes) {
       throw ConfigError(strfmt(
           "SimConfig: L1 line (%u) != L2 line (%u)", core.line_bytes,

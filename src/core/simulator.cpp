@@ -149,6 +149,24 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
                       "kDowngrade probes that hit this L1D",
                       live(&iss::CoreCounters::coh_downgrades));
     }
+    if (config_.core.dbb_cache) {
+      // Host-side observability of the decoded-block dispatch; registered
+      // only when the cache is on so iss.dbb_cache=off reports stay
+      // byte-identical to the pre-dbb tool (and differential tests can
+      // compare on-vs-off by stripping dbb_ lines alone).
+      auto dbb = [core](std::uint64_t iss::DbbStats::* member) {
+        return [core, member]() {
+          return static_cast<double>(core->dbb_stats().*member);
+        };
+      };
+      stats.statistic("dbb_hits", "decoded-block dispatches from cache",
+                      dbb(&iss::DbbStats::hits));
+      stats.statistic("dbb_misses", "decoded-block builds",
+                      dbb(&iss::DbbStats::misses));
+      stats.statistic("dbb_invalidations",
+                      "decoded blocks dropped on code-page writes",
+                      dbb(&iss::DbbStats::invalidations));
+    }
     stats.statistic("l1d_miss_rate", "L1D misses / accesses", [core]() {
       const auto& counters = core->counters();
       return counters.l1d_accesses == 0

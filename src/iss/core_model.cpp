@@ -16,52 +16,40 @@ CoreModel::CoreModel(CoreId id, SparseMemory* memory, const CoreConfig& config)
                                        config.l1_replacement}),
       l1i_(memhier::CacheArray::Config{config.l1i_size_bytes, config.l1i_ways,
                                        config.line_bytes,
-                                       config.l1_replacement}),
-      decode_cache_(kDecodeCacheSize) {}
+                                       config.l1_replacement}) {
+  if (config.dbb_cache) dbb_ = std::make_unique<DbbCache>(config.dbb_blocks);
+}
 
 void CoreModel::reset(Addr entry_pc) {
   hart_.reset(entry_pc);
   l1d_.invalidate_all();
   l1i_.invalidate_all();
-  for (auto& entry : decode_cache_) entry.pc = ~Addr{0};
   counters_ = CoreCounters{};
   std::fill(std::begin(pending_x_), std::end(pending_x_), 0);
   std::fill(std::begin(pending_f_), std::end(pending_f_), 0);
   std::fill(std::begin(pending_v_), std::end(pending_v_), 0);
+  pending_total_ = 0;
   outstanding_.clear();
   waiting_ifetch_ = false;
   halted_ = false;
+  flush_host_refs();
+  if (dbb_ != nullptr) dbb_->flush();
 }
 
-const CoreModel::DecodeEntry& CoreModel::decode_at(Addr pc) {
-  DecodeEntry& entry = decode_cache_[(pc >> 2) & (kDecodeCacheSize - 1)];
-  if (entry.pc != pc) {
-    entry.pc = pc;
-    entry.inst = isa::decode(hart_.memory().read<std::uint32_t>(pc));
-    const auto srcs = isa::source_regs(entry.inst);
-    const auto dsts = isa::dest_regs(entry.inst);
-    if (srcs.size() > std::size(entry.srcs) ||
-        dsts.size() > std::size(entry.dsts)) {
-      throw SimError(strfmt("decode cache: operand list overflow for '%s'",
-                            isa::op_name(entry.inst.op)));
+const isa::DecodedInst& CoreModel::decode_ffwd(Addr pc) {
+  if (dbb_ != nullptr) {
+    // Same continuation + page-generation validation as step_one_dbb(): a
+    // patched code page (guest store, host poke, fault flip) re-decodes.
+    if (dbb_block_ == nullptr || dbb_index_ >= dbb_block_->ops.size() ||
+        dbb_block_->ops[dbb_index_].pc != pc ||
+        *dbb_block_->gen_ptr != dbb_block_->gen) {
+      dbb_block_ = dbb_->acquire(pc, hart_.memory());
+      dbb_index_ = 0;
     }
-    entry.num_srcs = static_cast<std::uint8_t>(srcs.size());
-    entry.num_dsts = static_cast<std::uint8_t>(dsts.size());
-    std::copy(srcs.begin(), srcs.end(), entry.srcs);
-    std::copy(dsts.begin(), dsts.end(), entry.dsts);
-    if (isa::is_vector(entry.inst.op)) {
-      entry.op_class = OpClass::kVector;
-    } else if (isa::is_branch_or_jump(entry.inst.op)) {
-      entry.op_class = OpClass::kBranch;
-    } else if (isa::is_fp(entry.inst.op)) {
-      entry.op_class = OpClass::kFp;
-    } else if (isa::is_amo(entry.inst.op)) {
-      entry.op_class = OpClass::kAmo;
-    } else {
-      entry.op_class = OpClass::kOther;
-    }
+    return dbb_block_->ops[dbb_index_++].inst;
   }
-  return entry;
+  ffwd_inst_ = isa::decode(hart_.memory().read<std::uint32_t>(pc));
+  return ffwd_inst_;
 }
 
 unsigned CoreModel::effective_group(const isa::RegRef& reg) const {
@@ -69,9 +57,10 @@ unsigned CoreModel::effective_group(const isa::RegRef& reg) const {
   return reg.file == isa::RegFile::kV ? hart_.lmul() : 1;
 }
 
-bool CoreModel::sources_pending(const DecodeEntry& entry) const {
-  for (std::uint8_t s = 0; s < entry.num_srcs; ++s) {
-    const isa::RegRef& reg = entry.srcs[s];
+bool CoreModel::sources_pending(const isa::RegRef* srcs,
+                                std::uint8_t num_srcs) const {
+  for (std::uint8_t s = 0; s < num_srcs; ++s) {
+    const isa::RegRef& reg = srcs[s];
     const unsigned group = effective_group(reg);
     for (unsigned i = 0; i < group; ++i) {
       const unsigned index = (reg.index + i) & 31;
@@ -102,6 +91,8 @@ void CoreModel::mark_pending(const isa::RegRef& reg, int delta) {
       case isa::RegFile::kV: slot = &pending_v_[index]; break;
     }
     *slot = static_cast<std::uint16_t>(*slot + delta);
+    pending_total_ = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(pending_total_) + delta);
   }
 }
 
@@ -109,7 +100,8 @@ void CoreModel::step(CoreStepResult& out, Cycle cycle) {
   out.requests.clear();
   out.exited = false;
   out.exit_code = 0;
-  out.status = step_one(out, cycle);
+  out.status = dbb_ != nullptr ? step_one_dbb(out, cycle)
+                               : step_one(out, cycle);
 }
 
 std::uint32_t CoreModel::step_block(CoreStepResult& out, Cycle first_cycle,
@@ -121,8 +113,9 @@ std::uint32_t CoreModel::step_block(CoreStepResult& out, Cycle first_cycle,
 
   std::uint32_t retired = 0;
   Cycle cycle = first_cycle;
+  const bool use_dbb = dbb_ != nullptr;
   for (;;) {
-    out.status = step_one(out, cycle);
+    out.status = use_dbb ? step_one_dbb(out, cycle) : step_one(out, cycle);
     if (out.status != StepStatus::kRetired) break;
     ++retired;
     if (out.exited || retired == max_steps) break;
@@ -155,8 +148,8 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
       ++counters_.l1i_misses;
       ++counters_.ifetch_stall_cycles;
       waiting_ifetch_ = true;
-      auto [it, inserted] = outstanding_.try_emplace(fetch_line);
-      it->second.ifetch = true;
+      auto [slot, inserted] = outstanding_.get_or_add(fetch_line);
+      slot->miss.ifetch = true;
       if (inserted) {
         out.requests.push_back(LineRequest{fetch_line, false, true, false});
       }
@@ -164,9 +157,15 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
     }
   }
 
+  // ----- fetch + decode (done afresh every cycle: this is the reference
+  // interpreter the decoded-block cache is measured against) -----
+  const isa::DecodedInst inst =
+      isa::decode(hart_.memory().read<std::uint32_t>(pc));
+  const std::vector<isa::RegRef> srcs = isa::source_regs(inst);
+  const std::vector<isa::RegRef> dsts = isa::dest_regs(inst);
+
   // ----- RAW-dependency check against in-flight fills -----
-  const DecodeEntry& entry = decode_at(pc);
-  if (sources_pending(entry)) {
+  if (sources_pending(srcs.data(), static_cast<std::uint8_t>(srcs.size()))) {
     ++counters_.raw_stall_cycles;
     return StepStatus::kRawStall;
   }
@@ -174,9 +173,9 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
   // ----- functional execution -----
   hart_.set_cycle(cycle);
   step_info_.clear();
-  hart_.execute(entry.inst, step_info_);
+  hart_.execute(inst, step_info_);
   ++counters_.instructions;
-  switch (entry.op_class) {
+  switch (classify_op(inst.op)) {
     case OpClass::kVector: ++counters_.vector_instructions; break;
     case OpClass::kBranch: ++counters_.branch_instructions; break;
     case OpClass::kFp: ++counters_.fp_instructions; break;
@@ -211,9 +210,9 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
                 // Upgrade miss: the line stays readable but the store needs
                 // Modified permission — emit a GetM and dirty on its fill.
                 ++counters_.coh_upgrades;
-                auto [it, inserted] = outstanding_.try_emplace(line);
-                it->second.data = true;
-                it->second.dirty_on_fill = true;
+                auto [slot, inserted] = outstanding_.get_or_add(line);
+                slot->miss.data = true;
+                slot->miss.dirty_on_fill = true;
                 if (inserted) {
                   out.requests.push_back(LineRequest{line, true, false, false});
                 }
@@ -229,16 +228,184 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
           continue;
         }
         ++counters_.l1d_misses;
-        auto [it, inserted] = outstanding_.try_emplace(line);
-        Outstanding& miss = it->second;
+        auto [slot, inserted] = outstanding_.get_or_add(line);
+        Outstanding& miss = slot->miss;
         miss.data = true;
         if (access.is_store) miss.dirty_on_fill = true;
         if (!access.is_store) {
           // The destination registers become available when this line (and
           // any other line feeding them) is filled.
-          for (std::uint8_t d = 0; d < entry.num_dsts; ++d) {
-            miss.dest_regs.push_back(entry.dsts[d]);
-            mark_pending(entry.dsts[d], +1);
+          for (const isa::RegRef& d : dsts) {
+            miss.dest_regs.push_back(d);
+            mark_pending(d, +1);
+          }
+        }
+        if (inserted) {
+          out.requests.push_back(
+              LineRequest{line, access.is_store, false, false});
+        }
+      }
+    }
+  } else {
+    for (const MemAccess& access : step_info_.accesses) {
+      if (access.is_store) {
+        ++counters_.stores;
+      } else {
+        ++counters_.loads;
+      }
+    }
+  }
+
+  return StepStatus::kRetired;
+}
+
+StepStatus CoreModel::step_one_dbb(CoreStepResult& out, Cycle cycle) {
+  // Mirror of step_one() dispatching pre-decoded micro-ops. Invariant: the
+  // observable effects — counter bumps, LRU clock ticks, MSHR/request
+  // traffic, stall classification, architectural state — are bit-identical
+  // to step_one()'s for every input; only host work is elided. Any edit
+  // here must keep the two paths in lockstep (the determinism suite
+  // cross-checks them over every kernel).
+  if (halted_) {
+    return StepStatus::kHalted;
+  }
+  if (waiting_ifetch_) {
+    ++counters_.ifetch_stall_cycles;
+    return StepStatus::kIFetchStall;
+  }
+
+  const Addr pc = hart_.pc();
+
+  // ----- instruction fetch through the L1I -----
+  // Straight-line runs fetch the same line back to back; the held hit
+  // handle turns the repeat lookup into one recency bump (identical array
+  // state to a scanning lookup() hit).
+  if (config_.model_l1) {
+    const Addr fetch_line = l1i_.line_of(pc);
+    ++counters_.l1i_accesses;
+    if (fetch_line == hot_ifetch_line_) {
+      l1i_.refresh(hot_ifetch_);
+    } else {
+      memhier::CacheArray::Entry* hit = l1i_.lookup_entry(fetch_line);
+      if (hit == nullptr) {
+        ++counters_.l1i_misses;
+        ++counters_.ifetch_stall_cycles;
+        waiting_ifetch_ = true;
+        auto [slot, inserted] = outstanding_.get_or_add(fetch_line);
+        slot->miss.ifetch = true;
+        if (inserted) {
+          out.requests.push_back(LineRequest{fetch_line, false, true, false});
+        }
+        return StepStatus::kIFetchStall;
+      }
+      hot_ifetch_ = hit;
+      hot_ifetch_line_ = fetch_line;
+    }
+  }
+
+  // ----- micro-op resolution from the decoded-block cache -----
+  // Continuation fast path: still inside the current block and its code
+  // page unwritten since decode. The per-op generation check is what makes
+  // self-modifying code exact — a store this very block performed over its
+  // own page forces the next dispatch back through acquire().
+  const DbbMicroOp* op;
+  if (dbb_block_ != nullptr && dbb_index_ < dbb_block_->ops.size() &&
+      dbb_block_->ops[dbb_index_].pc == pc &&
+      *dbb_block_->gen_ptr == dbb_block_->gen) {
+    op = &dbb_block_->ops[dbb_index_];
+  } else {
+    dbb_block_ = dbb_->acquire(pc, hart_.memory());
+    dbb_index_ = 0;
+    op = &dbb_block_->ops[0];
+  }
+
+  // ----- RAW-dependency check against in-flight fills -----
+  // pending_total_ == 0 (the overwhelmingly common case) skips the
+  // per-source scan; sources_pending() is pure, so the shortcut cannot
+  // change any observable state.
+  if (pending_total_ != 0 && sources_pending(op->srcs, op->num_srcs)) {
+    ++counters_.raw_stall_cycles;
+    return StepStatus::kRawStall;
+  }
+
+  // ----- functional execution -----
+  hart_.set_cycle(cycle);
+  step_info_.clear();
+  hart_.execute(op->inst, step_info_);
+  ++counters_.instructions;
+  switch (op->op_class) {
+    case OpClass::kVector: ++counters_.vector_instructions; break;
+    case OpClass::kBranch: ++counters_.branch_instructions; break;
+    case OpClass::kFp: ++counters_.fp_instructions; break;
+    case OpClass::kAmo: ++counters_.amo_instructions; break;
+    case OpClass::kOther: break;
+  }
+  ++dbb_index_;
+
+  if (step_info_.exited) {
+    halted_ = true;
+    out.exited = true;
+    out.exit_code = step_info_.exit_code;
+  }
+
+  // ----- play the data accesses against the L1D -----
+  if (config_.model_l1) {
+    for (const MemAccess& access : step_info_.accesses) {
+      if (access.is_store) {
+        ++counters_.stores;
+      } else {
+        ++counters_.loads;
+      }
+      // An access can straddle a line boundary; handle each touched line.
+      Addr line = l1d_.line_of(access.addr);
+      const Addr last_line = l1d_.line_of(access.addr + access.size - 1);
+      for (; line <= last_line; line += config_.line_bytes) {
+        ++counters_.l1d_accesses;
+        memhier::CacheArray::Entry* hit;
+        if (line == hot_data_line_) {
+          hit = hot_data_;
+          l1d_.refresh(hit);
+        } else {
+          hit = l1d_.lookup_entry(line);
+        }
+        if (hit != nullptr) {
+          hot_data_ = hit;
+          hot_data_line_ = line;
+          if (access.is_store) {
+            if (config_.coherent) {
+              const memhier::CohState state = hit->coh;
+              if (state == memhier::CohState::kShared) {
+                // Upgrade miss: the line stays readable but the store needs
+                // Modified permission — emit a GetM and dirty on its fill.
+                ++counters_.coh_upgrades;
+                auto [slot, inserted] = outstanding_.get_or_add(line);
+                slot->miss.data = true;
+                slot->miss.dirty_on_fill = true;
+                if (inserted) {
+                  out.requests.push_back(LineRequest{line, true, false, false});
+                }
+                continue;
+              }
+              if (state == memhier::CohState::kExclusive) {
+                // Silent E -> M upgrade; no traffic.
+                hit->coh = memhier::CohState::kModified;
+              }
+            }
+            l1d_.mark_dirty_entry(hit);
+          }
+          continue;
+        }
+        ++counters_.l1d_misses;
+        auto [slot, inserted] = outstanding_.get_or_add(line);
+        Outstanding& miss = slot->miss;
+        miss.data = true;
+        if (access.is_store) miss.dirty_on_fill = true;
+        if (!access.is_store) {
+          // The destination registers become available when this line (and
+          // any other line feeding them) is filled.
+          for (std::uint8_t d = 0; d < op->num_dsts; ++d) {
+            miss.dest_regs.push_back(op->dsts[d]);
+            mark_pending(op->dsts[d], +1);
           }
         }
         if (inserted) {
@@ -262,15 +429,22 @@ StepStatus CoreModel::step_one(CoreStepResult& out, Cycle cycle) {
 
 void CoreModel::fill(Addr line_addr, memhier::CohGrant grant,
                      std::vector<LineRequest>& writebacks) {
-  const auto it = outstanding_.find(line_addr);
-  if (it == outstanding_.end()) {
+  // Inserts (and the probes a fill can trigger) may move tag-array entries.
+  drop_hot_refs();
+  MshrTable::Slot* slot = outstanding_.find(line_addr);
+  if (slot == nullptr) {
     throw SimError(strfmt("core %u: fill of line 0x%llx with no MSHR", id_,
                           static_cast<unsigned long long>(line_addr)));
   }
-  const Outstanding miss = std::move(it->second);
-  outstanding_.erase(it);
-
-  for (const isa::RegRef& reg : miss.dest_regs) mark_pending(reg, -1);
+  for (const isa::RegRef& reg : slot->miss.dest_regs) mark_pending(reg, -1);
+  // Snapshot, then recycle the slot before the Shared-grant path below
+  // re-allocates one for the same line (the old try_emplace-after-erase).
+  struct {
+    bool ifetch, data, dirty_on_fill;
+    std::uint8_t deferred_probe;
+  } const miss{slot->miss.ifetch, slot->miss.data, slot->miss.dirty_on_fill,
+               slot->miss.deferred_probe};
+  outstanding_.release(slot);
 
   if (miss.ifetch) {
     const auto evicted = l1i_.insert(line_addr, /*dirty=*/false);
@@ -312,7 +486,7 @@ void CoreModel::fill(Addr line_addr, memhier::CohGrant grant,
         // A store merged into the read miss but only Shared was granted:
         // re-issue the write as an upgrade request.
         ++counters_.coh_upgrades;
-        Outstanding& upgrade = outstanding_[line_addr];
+        Outstanding& upgrade = outstanding_.get_or_add(line_addr).first->miss;
         upgrade.data = true;
         upgrade.dirty_on_fill = true;
         writebacks.push_back(LineRequest{line_addr, true, false, false});
@@ -346,10 +520,10 @@ void CoreModel::insert_l1d(Addr line_addr, bool dirty, memhier::CohState state,
 
 const StepInfo* CoreModel::ffwd_step(Cycle cycle) {
   if (halted_) return nullptr;
-  const DecodeEntry& entry = decode_at(hart_.pc());
+  const isa::DecodedInst& inst = decode_ffwd(hart_.pc());
   hart_.set_cycle(cycle);
   step_info_.clear();
-  hart_.execute(entry.inst, step_info_);
+  hart_.execute(inst, step_info_);
   if (step_info_.exited) halted_ = true;
   return &step_info_;
 }
@@ -360,9 +534,9 @@ std::uint64_t CoreModel::ffwd_run(std::uint64_t n, Cycle cycle,
   hart_.set_cycle(cycle);
   std::uint64_t done = 0;
   while (done < n) {
-    const DecodeEntry& entry = decode_at(hart_.pc());
+    const isa::DecodedInst& inst = decode_ffwd(hart_.pc());
     step_info_.clear();
-    hart_.execute(entry.inst, step_info_);
+    hart_.execute(inst, step_info_);
     ++done;
     if (step_info_.exited) {
       halted_ = true;
@@ -418,10 +592,10 @@ void load_counters(BinReader& r, CoreCounters& c) {
 }  // namespace
 
 void CoreModel::save_state(BinWriter& w) const {
-  if (!outstanding_.empty() || waiting_ifetch_) {
+  if (outstanding_.live_count() != 0 || waiting_ifetch_) {
     throw SimError(strfmt("core %u: checkpoint with %zu misses in flight — "
                           "checkpoints are only legal at quiesce points",
-                          id_, outstanding_.size()));
+                          id_, outstanding_.live_count()));
   }
   hart_.save_state(w);
   l1d_.save_state(w);
@@ -437,14 +611,17 @@ void CoreModel::load_state(BinReader& r) {
   load_counters(r, counters_);
   halted_ = r.b();
   // Quiesce invariant: nothing in flight at the checkpoint, so the miss /
-  // RAW bookkeeping restores to empty. The decode cache is a pure function
-  // of memory; invalidate it and let it refill.
+  // RAW bookkeeping restores to empty.
   outstanding_.clear();
   waiting_ifetch_ = false;
   std::fill(std::begin(pending_x_), std::end(pending_x_), 0);
   std::fill(std::begin(pending_f_), std::end(pending_f_), 0);
   std::fill(std::begin(pending_v_), std::end(pending_v_), 0);
-  for (auto& entry : decode_cache_) entry.pc = ~Addr{0};
+  pending_total_ = 0;
+  // Decoded blocks and L1 hit handles are host state over the pre-restore
+  // memory image and tag arrays: rebuild both cold.
+  flush_host_refs();
+  if (dbb_ != nullptr) dbb_->flush();
 }
 
 bool CoreModel::coherence_probe(Addr line_addr, bool to_shared) {
@@ -455,15 +632,18 @@ bool CoreModel::coherence_probe(Addr line_addr, bool to_shared) {
   // our fill; an invalidation subsumes a downgrade. This covers both a
   // plain miss in flight (line absent) and an upgrade in flight (line
   // still resident in Shared).
-  const auto it = outstanding_.find(line_addr);
-  if (it != outstanding_.end() && it->second.data) {
-    it->second.deferred_probe = std::max<std::uint8_t>(
-        it->second.deferred_probe, to_shared ? std::uint8_t{1}
+  MshrTable::Slot* slot = outstanding_.find(line_addr);
+  if (slot != nullptr && slot->miss.data) {
+    slot->miss.deferred_probe = std::max<std::uint8_t>(
+        slot->miss.deferred_probe, to_shared ? std::uint8_t{1}
                                              : std::uint8_t{2});
     return false;
   }
   // Truly absent (silently evicted) lines ack as a miss.
   if (!l1d_.probe(line_addr)) return false;
+  // The probe is about to change (or clear) a resident entry out from under
+  // any held hit handle.
+  drop_hot_refs();
   if (to_shared) {
     ++counters_.coh_downgrades;
     return l1d_.downgrade(line_addr);

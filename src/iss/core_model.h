@@ -10,11 +10,14 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include <memory>
 
 #include "common/types.h"
 #include "isa/decoder.h"
+#include "iss/dbbcache.h"
 #include "iss/hart.h"
 #include "memhier/cache_array.h"
 #include "memhier/msg.h"
@@ -39,6 +42,13 @@ struct CoreConfig {
   /// MESI mode: L1D lines carry coherence states, stores to Shared lines
   /// become upgrade misses, and the L1 answers directory probes.
   bool coherent = false;
+  /// Decoded basic-block cache (iss.dbb_cache): dispatch pre-decoded
+  /// micro-op blocks instead of re-decoding every retire. Host-side speed
+  /// only — simulated cycles, counters and traces are bit-identical either
+  /// way (the determinism suite cross-checks the two paths).
+  bool dbb_cache = true;
+  /// Block-count bound of the decoded-block cache (iss.dbb_blocks).
+  std::uint64_t dbb_blocks = 1024;
 };
 
 /// An L1 line-fill request (or dirty writeback) for the memory hierarchy.
@@ -105,18 +115,9 @@ class CoreModel {
   void reset(Addr entry_pc);
 
   bool halted() const { return halted_; }
-  std::size_t outstanding_misses() const { return outstanding_.size(); }
+  std::size_t outstanding_misses() const { return outstanding_.live_count(); }
   /// Lines this core's MSHRs are waiting on, sorted (hang diagnostics).
-  std::vector<Addr> outstanding_lines() const {
-    std::vector<Addr> lines;
-    lines.reserve(outstanding_.size());
-    for (const auto& [line, miss] : outstanding_) {
-      (void)miss;
-      lines.push_back(line);
-    }
-    std::sort(lines.begin(), lines.end());
-    return lines;
-  }
+  std::vector<Addr> outstanding_lines() const { return outstanding_.lines(); }
 
   /// Attempts to simulate one instruction for the current cycle.
   /// `cycle` is forwarded to the hart for the cycle CSR.
@@ -199,6 +200,26 @@ class CoreModel {
   void save_state(BinWriter& w) const;
   void load_state(BinReader& r);
 
+  /// Decoded-block cache counters (zero while iss.dbb_cache=off; surfaced
+  /// to the statistics tree only when the cache is on). Host-side
+  /// observability, deliberately outside the serialized CoreCounters.
+  const DbbStats& dbb_stats() const {
+    static const DbbStats kNone;
+    return dbb_ != nullptr ? dbb_->stats() : kNone;
+  }
+
+  /// Drops every host-side handle into the L1 tag arrays plus the
+  /// decoded-block continuation. Anything that mutates the arrays without
+  /// going through this core's own step/fill/probe path — the fast-forward
+  /// cache warmer installs and invalidates lines directly — must call this
+  /// on every core first. Behaviour-neutral: the handles only elide way
+  /// scans.
+  void flush_host_refs() {
+    drop_hot_refs();
+    dbb_block_ = nullptr;
+    dbb_index_ = 0;
+  }
+
   /// Attributes `n` additional stalled cycles to this core. Used by the
   /// Orchestrator when it fast-forwards simulated time over a stretch where
   /// every live core is blocked (pure bookkeeping; behaviour-neutral).
@@ -212,23 +233,6 @@ class CoreModel {
   }
 
  private:
-  /// Instruction-class buckets for the per-retire mix counters, resolved
-  /// once at decode time instead of via predicate chains on every retire.
-  enum class OpClass : std::uint8_t { kOther, kVector, kBranch, kFp, kAmo };
-
-  /// Cached decode + operand metadata. Kept small and inline: the decode
-  /// cache is the per-core hot data structure and its footprint bounds how
-  /// many cores fit in the host cache (it dominates Figure 3 scaling).
-  struct DecodeEntry {
-    Addr pc = ~Addr{0};
-    isa::DecodedInst inst;
-    std::uint8_t num_srcs = 0;
-    std::uint8_t num_dsts = 0;
-    OpClass op_class = OpClass::kOther;
-    isa::RegRef srcs[5];  ///< max: masked indexed vector store (4) + slack
-    isa::RegRef dsts[2];  ///< every supported shape writes at most 1
-  };
-
   /// One in-flight L1 miss (per line, i.e. an MSHR).
   struct Outstanding {
     bool data = false;          ///< some data access waits on this line
@@ -242,15 +246,106 @@ class CoreModel {
     std::vector<isa::RegRef> dest_regs;  ///< regs made available by the fill
   };
 
-  static constexpr std::size_t kDecodeCacheSize = 2048;
+  /// Pooled MSHR table. A core has at most a handful of misses in flight,
+  /// so a linear scan over reusable slots beats a node-based hash map —
+  /// crucially, retiring a miss no longer frees its node (and its
+  /// dest_regs buffer): slots are recycled, so the steady-state miss path
+  /// allocates nothing. This is the per-miss hot structure on miss-heavy
+  /// kernels (matmul/spmv sustain one miss every ~7 instructions).
+  class MshrTable {
+   public:
+    struct Slot {
+      Addr line = 0;
+      bool live = false;
+      Outstanding miss;
+    };
 
-  const DecodeEntry& decode_at(Addr pc);
+    /// Live entry for `line`, or nullptr.
+    Slot* find(Addr line) {
+      for (Slot& slot : slots_) {
+        if (slot.live && slot.line == line) return &slot;
+      }
+      return nullptr;
+    }
+
+    /// try_emplace semantics: the live entry for `line`, allocating a
+    /// fresh (default-state) one if absent. `second` is true on insertion.
+    std::pair<Slot*, bool> get_or_add(Addr line) {
+      Slot* free = nullptr;
+      for (Slot& slot : slots_) {
+        if (slot.live) {
+          if (slot.line == line) return {&slot, false};
+        } else if (free == nullptr) {
+          free = &slot;
+        }
+      }
+      if (free == nullptr) {
+        // Growth moves slots; callers never hold Slot* across get_or_add.
+        free = &slots_.emplace_back();
+      }
+      free->line = line;
+      free->live = true;
+      ++live_count_;
+      return {free, true};
+    }
+
+    /// Retires a slot, keeping its dest_regs capacity for reuse.
+    void release(Slot* slot) {
+      slot->live = false;
+      slot->miss.data = false;
+      slot->miss.ifetch = false;
+      slot->miss.dirty_on_fill = false;
+      slot->miss.deferred_probe = 0;
+      slot->miss.dest_regs.clear();
+      --live_count_;
+    }
+
+    void clear() {
+      for (Slot& slot : slots_) {
+        if (slot.live) release(&slot);
+      }
+    }
+
+    std::size_t live_count() const { return live_count_; }
+
+    /// Live line addresses, sorted (diagnostics).
+    std::vector<Addr> lines() const {
+      std::vector<Addr> out;
+      out.reserve(live_count_);
+      for (const Slot& slot : slots_) {
+        if (slot.live) out.push_back(slot.line);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+
+   private:
+    std::vector<Slot> slots_;
+    std::size_t live_count_ = 0;
+  };
+
+  /// Decode for the fast-forward (functional-only) paths: reuses the
+  /// decoded-block cache when it is on, otherwise decodes in place — the
+  /// same two variants as the detailed step paths.
+  const isa::DecodedInst& decode_ffwd(Addr pc);
   /// One step() attempt that appends requests instead of clearing them —
   /// the shared core of step() and step_block().
   StepStatus step_one(CoreStepResult& out, Cycle cycle);
+  /// Bit-identical reformulation of step_one() dispatching from the decoded
+  /// basic-block cache (iss.dbb_cache=on). Every counter bump, LRU clock
+  /// tick, request emission and stall decision replicates step_one()'s.
+  StepStatus step_one_dbb(CoreStepResult& out, Cycle cycle);
+  /// Drops the intra-dispatch L1 hit handles. Must run whenever tag-array
+  /// entries may have moved or changed (fills, probes, reset, restore).
+  void drop_hot_refs() {
+    hot_ifetch_ = nullptr;
+    hot_ifetch_line_ = ~Addr{0};
+    hot_data_ = nullptr;
+    hot_data_line_ = ~Addr{0};
+  }
   void insert_l1d(Addr line_addr, bool dirty, memhier::CohState state,
                   std::vector<LineRequest>& writebacks);
-  bool sources_pending(const DecodeEntry& entry) const;
+  bool sources_pending(const isa::RegRef* srcs, std::uint8_t num_srcs) const;
   void mark_pending(const isa::RegRef& reg, int delta);
   unsigned effective_group(const isa::RegRef& reg) const;
 
@@ -261,15 +356,28 @@ class CoreModel {
   memhier::CacheArray l1i_;
   CoreCounters counters_;
 
-  std::vector<DecodeEntry> decode_cache_;
   StepInfo step_info_;
+  isa::DecodedInst ffwd_inst_;  ///< decode_ffwd scratch when the dbb is off
 
-  // Per-register in-flight fill counts (RAW tracking).
+  // ----- decoded-block dispatch state (iss.dbb_cache; all host-side) -----
+  std::unique_ptr<DbbCache> dbb_;      ///< null when the cache is off
+  const DbbBlock* dbb_block_ = nullptr;  ///< continuation: current block
+  std::uint32_t dbb_index_ = 0;          ///< next micro-op within it
+  /// L1 hit handles for back-to-back same-line accesses. Valid only while
+  /// no fill/probe/restore has run since they were taken (drop_hot_refs).
+  memhier::CacheArray::Entry* hot_ifetch_ = nullptr;
+  Addr hot_ifetch_line_ = ~Addr{0};
+  memhier::CacheArray::Entry* hot_data_ = nullptr;
+  Addr hot_data_line_ = ~Addr{0};
+
+  // Per-register in-flight fill counts (RAW tracking). pending_total_
+  // mirrors the sum so the no-fill-in-flight fast path is one compare.
   std::uint16_t pending_x_[32] = {};
   std::uint16_t pending_f_[32] = {};
   std::uint16_t pending_v_[32] = {};
+  std::uint32_t pending_total_ = 0;
 
-  std::unordered_map<Addr, Outstanding> outstanding_;
+  MshrTable outstanding_;
   bool waiting_ifetch_ = false;
   bool halted_ = true;
 };

@@ -1,0 +1,107 @@
+#include "iss/dbbcache.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "isa/decoder.h"
+
+namespace coyote::iss {
+
+OpClass classify_op(isa::Op op) {
+  if (isa::is_vector(op)) return OpClass::kVector;
+  if (isa::is_branch_or_jump(op)) return OpClass::kBranch;
+  if (isa::is_fp(op)) return OpClass::kFp;
+  if (isa::is_amo(op)) return OpClass::kAmo;
+  return OpClass::kOther;
+}
+
+DbbCache::DbbCache(std::uint64_t max_blocks)
+    : max_blocks_(std::max<std::uint64_t>(max_blocks, 1)) {}
+
+const DbbBlock* DbbCache::acquire(Addr pc, const SparseMemory& memory) {
+  const auto it = blocks_.find(pc);
+  if (it != blocks_.end()) {
+    DbbBlock& block = it->second;
+    if (*block.gen_ptr == block.gen) {
+      ++stats_.hits;
+      block.stamp = ++stamp_;
+      return &block;
+    }
+    // The code page was written since this block was decoded (guest store,
+    // host poke or fault flip): drop it and re-decode the current bytes.
+    ++stats_.invalidations;
+    blocks_.erase(it);
+  }
+  ++stats_.misses;
+  return build(pc, memory);
+}
+
+void DbbCache::flush() {
+  blocks_.clear();
+  // stats_ deliberately survives a flush: flushes happen at program load and
+  // checkpoint restore, and the counters describe the whole process run.
+}
+
+DbbBlock* DbbCache::build(Addr pc, const SparseMemory& memory) {
+  if (blocks_.size() >= max_blocks_) {
+    // Evict the least-recently-acquired block. Stamps are unique, so the
+    // victim is deterministic regardless of hash iteration order — not that
+    // it could matter: eviction only costs a future re-decode, it has no
+    // simulated-side effect.
+    auto victim = blocks_.begin();
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (it->second.stamp < victim->second.stamp) victim = it;
+    }
+    blocks_.erase(victim);
+  }
+
+  DbbBlock& block = blocks_[pc];
+  block.start_pc = pc;
+  block.stamp = ++stamp_;
+  const Addr page_index = pc >> SparseMemory::kPageBits;
+  block.gen_ptr = memory.page_write_gen_ptr(page_index);
+  if (block.gen_ptr == nullptr) {
+    // Executing a never-written page: its bytes read as zero, which decodes
+    // to an illegal instruction — build the one-op block from the shared
+    // zero generation. Any later write allocates the page (generation 1),
+    // and the mismatch against 0 retires the block as usual.
+    static const std::uint64_t kZeroGen = 0;
+    block.gen_ptr = &kZeroGen;
+    block.gen = 0;
+  } else {
+    block.gen = *block.gen_ptr;
+  }
+  block.ops.reserve(8);
+
+  const Addr page_end = (page_index + 1) << SparseMemory::kPageBits;
+  Addr cursor = pc;
+  while (block.ops.size() < kMaxOps && cursor < page_end) {
+    DbbMicroOp op;
+    op.pc = cursor;
+    op.inst = isa::decode(memory.read<std::uint32_t>(cursor));
+    const auto srcs = isa::source_regs(op.inst);
+    const auto dsts = isa::dest_regs(op.inst);
+    if (srcs.size() > std::size(op.srcs) || dsts.size() > std::size(op.dsts)) {
+      throw SimError(strfmt("dbb cache: operand list overflow for '%s'",
+                            isa::op_name(op.inst.op)));
+    }
+    op.num_srcs = static_cast<std::uint8_t>(srcs.size());
+    op.num_dsts = static_cast<std::uint8_t>(dsts.size());
+    std::copy(srcs.begin(), srcs.end(), op.srcs);
+    std::copy(dsts.begin(), dsts.end(), op.dsts);
+    op.op_class = classify_op(op.inst.op);
+    block.ops.push_back(op);
+    // Control transfers and environment calls end the straight-line run
+    // (the terminating op itself is part of the block). An undecodable word
+    // also ends it: execution throws there, so nothing beyond is reachable.
+    if (op.op_class == OpClass::kBranch || op.inst.op == isa::Op::kEcall ||
+        op.inst.op == isa::Op::kEbreak ||
+        op.inst.op == isa::Op::kIllegal) {
+      break;
+    }
+    cursor += 4;
+  }
+  return &block;
+}
+
+}  // namespace coyote::iss

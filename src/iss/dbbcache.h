@@ -1,0 +1,103 @@
+// Decoded basic-block cache (the riscv-vp++ "dbbcache" idea): the first
+// execution of a straight-line run of instructions decodes it once into a
+// block of pre-decoded micro-ops — operand registers resolved, immediates
+// extracted, instruction-mix class assigned — and every later visit
+// dispatches from the block, skipping fetch-path decode work entirely.
+//
+// Blocks are pure host-side state derived from guest memory: they are never
+// serialized into checkpoints (a restored run rebuilds them cold), carry no
+// timing, and have zero effect on simulated results. Staleness is detected
+// with the page-granular write generations SparseMemory maintains: a block
+// records the generation of the (single) code page it decoded from, and any
+// mismatch — a guest store over the code, a host poke, a fault-injection
+// bit flip — retires the block so the next visit re-decodes the current
+// bytes. The common data-store path therefore stays O(1): stores bump a
+// counter they already own; no block lookup happens on the store side.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/inst.h"
+#include "iss/memory.h"
+
+namespace coyote::iss {
+
+/// Instruction-class buckets for the per-retire mix counters, resolved once
+/// at decode time instead of via predicate chains on every retire.
+enum class OpClass : std::uint8_t { kOther, kVector, kBranch, kFp, kAmo };
+
+/// Classifies `op` into its retire-mix bucket.
+OpClass classify_op(isa::Op op);
+
+/// One pre-decoded micro-op of a block.
+struct DbbMicroOp {
+  isa::DecodedInst inst;
+  Addr pc = 0;
+  std::uint8_t num_srcs = 0;
+  std::uint8_t num_dsts = 0;
+  OpClass op_class = OpClass::kOther;
+  isa::RegRef srcs[5];  ///< max: masked indexed vector store (4) + slack
+  isa::RegRef dsts[2];  ///< every supported shape writes at most 1
+};
+
+/// One decoded basic block: a straight-line run starting at `start_pc`,
+/// ending at the first branch/jump or environment call (included), at the
+/// code page's edge, or at the op-count cap. All ops live on one guest
+/// page, so a single write-generation pair validates the whole block.
+struct DbbBlock {
+  Addr start_pc = 0;
+  /// Write generation of the code page when the block was decoded, and a
+  /// stable pointer to the live counter (SparseMemory's page table is
+  /// node-based and pages are never individually dropped, so the pointer
+  /// outlives the block short of a checkpoint restore — which flushes the
+  /// whole cache).
+  std::uint64_t gen = 0;
+  const std::uint64_t* gen_ptr = nullptr;
+  std::uint64_t stamp = 0;  ///< last-acquired tick, drives eviction
+  std::vector<DbbMicroOp> ops;
+};
+
+/// Host-visibility counters (surfaced to the statistics tree when the
+/// cache is enabled; deliberately not part of the serialized CoreCounters
+/// so the checkpoint byte stream is identical with the cache on or off).
+struct DbbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+};
+
+class DbbCache {
+ public:
+  /// `max_blocks` bounds the cache (>= 1); the least-recently-acquired
+  /// block is evicted when a build would exceed it.
+  explicit DbbCache(std::uint64_t max_blocks);
+
+  /// The block starting at `pc`, decoding it from `memory` on a miss.
+  /// Validates the page generation first: a stale block is dropped
+  /// (counted as an invalidation) and rebuilt from the current bytes.
+  /// The returned pointer stays valid until the next acquire()/flush().
+  const DbbBlock* acquire(Addr pc, const SparseMemory& memory);
+
+  /// Drops every block (checkpoint restore, program load).
+  void flush();
+
+  const DbbStats& stats() const { return stats_; }
+  std::size_t size() const { return blocks_.size(); }
+
+  /// Maximum instructions decoded into one block.
+  static constexpr std::size_t kMaxOps = 64;
+
+ private:
+  DbbBlock* build(Addr pc, const SparseMemory& memory);
+
+  std::unordered_map<Addr, DbbBlock> blocks_;
+  std::uint64_t max_blocks_;
+  std::uint64_t stamp_ = 0;
+  DbbStats stats_;
+};
+
+}  // namespace coyote::iss

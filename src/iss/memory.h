@@ -49,7 +49,30 @@ class SparseMemory {
   /// Raw page bytes (nullptr when the page is not resident).
   const std::uint8_t* page_data(Addr page_index) const {
     const auto it = pages_.find(page_index);
-    return it == pages_.end() ? nullptr : it->second->data();
+    return it == pages_.end() ? nullptr : it->second->data.data();
+  }
+
+  // ----- page write generations -----
+  // Every write bumps the touched page's generation counter. Decoded-state
+  // caches (the per-core decode cache and the decoded-basic-block cache)
+  // record the generation of the code page they decoded from and treat a
+  // mismatch as "the bytes may have changed — re-decode". The counter is
+  // host-side bookkeeping, not guest state: it is never serialized, so the
+  // checkpoint byte stream is unchanged and a restored run starts every
+  // page back at generation zero (with all decoded caches flushed cold).
+
+  /// Stable pointer to `page_index`'s write generation, or nullptr when the
+  /// page is not resident. The pointer stays valid until load_state()
+  /// replaces the page table (node-based map; pages are never erased).
+  const std::uint64_t* page_write_gen_ptr(Addr page_index) const {
+    const auto it = pages_.find(page_index);
+    return it == pages_.end() ? nullptr : &it->second->write_gen;
+  }
+
+  /// Write generation of the page holding `addr` (0 when not resident).
+  std::uint64_t page_write_gen_of(Addr addr) const {
+    const std::uint64_t* gen = page_write_gen_ptr(addr >> kPageBits);
+    return gen == nullptr ? 0 : *gen;
   }
 
   std::uint8_t read_u8(Addr addr) const { return *lookup(addr); }
@@ -163,7 +186,7 @@ class SparseMemory {
     w.u64(indices.size());
     for (Addr index : indices) {
       w.u64(index);
-      w.bytes(pages_.at(index)->data(), kPageSize);
+      w.bytes(pages_.at(index)->data.data(), kPageSize);
     }
     w.u64(reservations_.size());
     for (const Reservation& r : reservations_) {
@@ -177,8 +200,8 @@ class SparseMemory {
     const std::uint64_t num_pages = r.count();
     for (std::uint64_t i = 0; i < num_pages; ++i) {
       const Addr index = r.u64();
-      auto page = std::make_unique<Page>();
-      r.bytes(page->data(), kPageSize);
+      auto page = std::make_unique<PageRec>();
+      r.bytes(page->data.data(), kPageSize);
       pages_.emplace(index, std::move(page));
     }
     reservations_.clear();
@@ -192,6 +215,14 @@ class SparseMemory {
 
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
+
+  /// One resident page plus its write generation (see above). The
+  /// generation lives beside the data so bumping it on a store touches the
+  /// same allocation the store already brought into the host cache.
+  struct PageRec {
+    Page data{};
+    std::uint64_t write_gen = 0;
+  };
 
   struct Reservation {
     unsigned hart;
@@ -220,20 +251,20 @@ class SparseMemory {
     const Addr page_index = addr >> kPageBits;
     const auto it = pages_.find(page_index);
     if (it == pages_.end()) return zero_page_.data() + (addr & (kPageSize - 1));
-    return it->second->data() + (addr & (kPageSize - 1));
+    return it->second->data.data() + (addr & (kPageSize - 1));
   }
 
   std::uint8_t* touch(Addr addr) {
     const Addr page_index = addr >> kPageBits;
     auto it = pages_.find(page_index);
     if (it == pages_.end()) {
-      it = pages_.emplace(page_index, std::make_unique<Page>()).first;
-      it->second->fill(0);
+      it = pages_.emplace(page_index, std::make_unique<PageRec>()).first;
     }
-    return it->second->data() + (addr & (kPageSize - 1));
+    ++it->second->write_gen;
+    return it->second->data.data() + (addr & (kPageSize - 1));
   }
 
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  std::unordered_map<Addr, std::unique_ptr<PageRec>> pages_;
   /// Live LR reservations; tiny (≤ one per hart), scanned linearly. Kernels
   /// without LR in flight pay only an empty() check per store.
   std::vector<Reservation> reservations_;

@@ -65,6 +65,20 @@ class CacheArray {
     Addr line_addr = 0;
   };
 
+  /// One tag-array slot. Public so hot callers (the ISS decoded-block
+  /// dispatch) can hold a hit handle across back-to-back accesses to the
+  /// same line and skip the way scan. A handle is invalidated by anything
+  /// that can move or clear entries — insert(), invalidate(),
+  /// invalidate_all(), load_state() — so holders must drop theirs whenever
+  /// one of those may have run.
+  struct Entry {
+    Addr line_addr = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+    CohState coh = CohState::kInvalid;
+  };
+
   explicit CacheArray(const Config& config) : config_(config) {
     if (!is_pow2(config.line_bytes) || !is_pow2(config.size_bytes) ||
         config.ways == 0) {
@@ -95,6 +109,29 @@ class CacheArray {
     if (entry == nullptr) return false;
     if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
     return true;
+  }
+
+  /// lookup() returning the hit entry (nullptr on miss) instead of a bool,
+  /// with the identical recency update — `lookup(a)` and
+  /// `lookup_entry(a) != nullptr` leave the array in the same state.
+  Entry* lookup_entry(Addr line_addr) {
+    Entry* entry = find(line_addr);
+    if (entry == nullptr) return nullptr;
+    if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
+    return entry;
+  }
+
+  /// Re-touches a held hit handle: the exact recency update a fresh
+  /// lookup() hit would apply, without the way scan.
+  void refresh(Entry* entry) {
+    if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
+  }
+
+  /// mark_dirty() on a held hit handle — same dirty bit and recency bump as
+  /// the scanning version, which the handle makes redundant.
+  void mark_dirty_entry(Entry* entry) {
+    entry->dirty = true;
+    if (config_.replacement == Replacement::kLru) entry->lru = ++clock_;
   }
 
   /// Lookup without LRU update (for tests / probing).
@@ -248,14 +285,6 @@ class CacheArray {
   }
 
  private:
-  struct Entry {
-    Addr line_addr = 0;
-    std::uint64_t lru = 0;
-    bool valid = false;
-    bool dirty = false;
-    CohState coh = CohState::kInvalid;
-  };
-
   std::size_t set_of(Addr line_addr) const {
     return (line_addr >> line_shift_) & set_mask_;
   }

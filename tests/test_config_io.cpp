@@ -65,6 +65,8 @@ const std::map<std::string, std::string>& alternate_values() {
       {"ckpt.warmup", "false"},
       {"ckpt.warmup_window", "500"},
       {"ckpt.stop_at_roi", "false"},
+      {"iss.dbb_cache", "false"},
+      {"iss.dbb_blocks", "256"},
   };
   return values;
 }

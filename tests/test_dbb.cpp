@@ -1,0 +1,255 @@
+// Decoded-block cache litmus tests around self-modifying code: the page
+// write-generation invalidation must make iss.dbb_cache=on bit-identical to
+// the reference interpreter even when executed code is overwritten mid-run —
+// by a guest store or by an injected fault flipping a bit of a code page.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "fault/differential.h"
+#include "fault/fault.h"
+#include "isa/text_asm.h"
+
+namespace coyote::iss {
+namespace {
+
+using core::SimConfig;
+using core::Simulator;
+
+constexpr Cycle kBudget = 10'000'000;
+
+SimConfig one_core_config(bool dbb) {
+  SimConfig config;
+  config.num_cores = 1;
+  config.cores_per_tile = 1;
+  config.core.dbb_cache = dbb;
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string strip_dbb_lines(const std::string& report) {
+  std::istringstream in(report);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("dbb_") == std::string::npos) out << line << '\n';
+  }
+  return out.str();
+}
+
+// A loop whose body instruction is overwritten *by the loop itself*: pass 1
+// executes `addi a0, a0, 1`, then stores the encoding of `addi a0, a0, 2`
+// over it, so later passes must re-decode the patched word. Exit code is
+// a0, which distinguishes stale decode (3) from correct re-decode (5).
+isa::AssembledText assemble_smc_program() {
+  const std::uint32_t patched_word =
+      isa::assemble_text("addi a0, a0, 2").words.at(0);
+  const auto source = [&](Addr patch_addr) {
+    std::ostringstream os;
+    os << R"(
+      .org 0x1000
+        li   a0, 0
+        li   t2, 0
+        li   t3, 3
+        li   t0, )"
+       << patch_addr << R"(
+        li   t1, )"
+       << patched_word << R"(
+      loop:
+      patch:
+        addi a0, a0, 1
+        sw   t1, 0(t0)
+        addi t2, t2, 1
+        blt  t2, t3, loop
+        li   a7, 93
+        ecall
+    )";
+    return os.str();
+  };
+  // Two-pass: assemble with a placeholder of the same magnitude to learn
+  // where `patch:` lands (li expansion width depends on the immediate),
+  // then substitute the real address.
+  const Addr placeholder = 0x1FFF;
+  const Addr patch_addr =
+      isa::assemble_text(source(placeholder)).symbols.at("patch");
+  const auto assembled = isa::assemble_text(source(patch_addr));
+  EXPECT_EQ(assembled.symbols.at("patch"), patch_addr)
+      << "li expansion width changed between passes";
+  return assembled;
+}
+
+struct SmcOutcome {
+  core::RunResult result;
+  std::string report;
+  std::uint64_t invalidations = 0;
+  std::string trace;
+};
+
+SmcOutcome run_smc(bool dbb, const std::string& trace_tag) {
+  SimConfig config = one_core_config(dbb);
+  const std::string dir = ::testing::TempDir();
+  config.enable_trace = true;
+  config.trace_basename = dir + trace_tag;
+  Simulator sim(config);
+  const auto assembled = assemble_smc_program();
+  sim.load_program(assembled.base, assembled.words, assembled.base);
+  SmcOutcome out;
+  out.result = sim.run(kBudget);
+  out.report = sim.report(simfw::ReportFormat::kText);
+  out.invalidations = sim.core(0).dbb_stats().invalidations;
+  out.trace = slurp(dir + trace_tag + ".prv");
+  return out;
+}
+
+TEST(DbbSelfModifyingCode, StoreOverExecutedBlockReDecodes) {
+  const SmcOutcome on = run_smc(true, "smc_on");
+  const SmcOutcome off = run_smc(false, "smc_off");
+
+  // Correct SMC semantics: 1 (first pass) + 2 + 2 (patched passes).
+  ASSERT_TRUE(on.result.all_exited);
+  EXPECT_EQ(on.result.exit_codes.at(0), 5);
+  EXPECT_EQ(off.result.exit_codes.at(0), 5);
+
+  // The store over the cached block actually retired a decoded block.
+  EXPECT_GT(on.invalidations, 0u);
+  EXPECT_EQ(off.invalidations, 0u);  // cache off: nothing to invalidate
+
+  // Every simulated observable matches the reference interpreter.
+  EXPECT_EQ(on.result.cycles, off.result.cycles);
+  EXPECT_EQ(on.result.instructions, off.result.instructions);
+  EXPECT_EQ(strip_dbb_lines(on.report), strip_dbb_lines(off.report));
+  EXPECT_EQ(on.trace, off.trace);
+}
+
+// ----- fault flip into a code page --------------------------------------
+
+// Sum 1..2000; long enough that a mid-run flip lands while the loop block
+// is decoded and cached.
+const char* kSumSource = R"(
+  .org 0x1000
+    li   a0, 0
+    li   t0, 1
+    li   t1, 2000
+  loop:
+  body:
+    add  a0, a0, t0
+    addi t0, t0, 1
+    ble  t0, t1, loop
+    li   a7, 93
+    ecall
+)";
+
+fault::InjectionResult run_flipped(bool dbb, std::uint64_t golden_digest,
+                                   Addr flip_byte, std::uint32_t flip_bit,
+                                   std::uint64_t* invalidations) {
+  Simulator sim(one_core_config(dbb));
+  const auto assembled = isa::assemble_text(kSumSource);
+  sim.load_program(assembled.base, assembled.words, assembled.base);
+  fault::FaultPlan plan;
+  fault::FaultEvent event;
+  event.kind = fault::FaultKind::kMemFlip;
+  event.cycle = 500;  // mid-loop: the block is decoded and hot
+  event.has_explicit_addr = true;
+  event.addr = flip_byte;
+  event.bit = flip_bit;
+  plan.events.push_back(event);
+  const auto result = fault::run_injected(sim, plan, kBudget, golden_digest);
+  if (invalidations != nullptr) {
+    *invalidations = sim.core(0).dbb_stats().invalidations;
+  }
+  return result;
+}
+
+TEST(DbbSelfModifyingCode, FaultFlipIntoCodePageMatchesReference) {
+  const auto assembled = isa::assemble_text(kSumSource);
+  // Flip bit 30 of the `add a0, a0, t0` word: it becomes `sub`, a valid
+  // instruction with a different result — deterministic SDC, and the run
+  // still terminates.
+  const Addr add_addr = assembled.symbols.at("body");
+  const Addr flip_byte = add_addr + 3;
+  const std::uint32_t flip_bit = 6;
+
+  const auto golden_digest = [&](bool dbb) {
+    Simulator sim(one_core_config(dbb));
+    sim.load_program(assembled.base, assembled.words, assembled.base);
+    return fault::run_golden(sim, kBudget);
+  };
+  const std::uint64_t digest_on = golden_digest(true);
+  const std::uint64_t digest_off = golden_digest(false);
+  EXPECT_EQ(digest_on, digest_off);
+
+  std::uint64_t invalidations_on = 0;
+  const auto on =
+      run_flipped(true, digest_on, flip_byte, flip_bit, &invalidations_on);
+  const auto off = run_flipped(false, digest_off, flip_byte, flip_bit, nullptr);
+
+  // The flip corrupted an executed code page: the cached block retired.
+  EXPECT_EQ(on.injected, 1u);
+  EXPECT_GT(invalidations_on, 0u);
+
+  // Identical classification and end state with the cache on or off.
+  EXPECT_EQ(on.outcome, off.outcome);
+  EXPECT_EQ(on.outcome, fault::Outcome::kSdc);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.detail, off.detail);
+  EXPECT_EQ(on.run.cycles, off.run.cycles);
+  EXPECT_EQ(on.run.instructions, off.run.instructions);
+}
+
+// ----- seeded 50-injection campaign -------------------------------------
+
+TEST(DbbFaultCampaign, FiftyInjectionsMatchReference) {
+  // One seeded 50-event plan (memory + register flips across the whole
+  // machine) replayed against both dispatch paths: classification, digest
+  // and fired/skipped counts must agree event for event.
+  SimConfig config;
+  config.num_cores = 4;
+  config.cores_per_tile = 4;
+  config.fault.enable = true;
+  config.fault.seed = 17;
+  config.fault.count = 50;
+  config.fault.targets = "mem+reg";
+  config.fault.window_begin = 100;
+  config.fault.window_end = 20'000;
+  const fault::FaultPlan plan = fault::FaultPlan::generate(config);
+  ASSERT_EQ(plan.events.size(), 50u);
+
+  const auto leg = [&](bool dbb, std::uint64_t golden) {
+    SimConfig leg_config = config;
+    leg_config.core.dbb_cache = dbb;
+    Simulator sim(leg_config);
+    const auto assembled = isa::assemble_text(kSumSource);
+    sim.load_program(assembled.base, assembled.words, assembled.base);
+    if (golden == 0) return std::pair{fault::InjectionResult{},
+                                      fault::run_golden(sim, kBudget)};
+    return std::pair{fault::run_injected(sim, plan, kBudget, golden),
+                     golden};
+  };
+
+  const std::uint64_t digest_on = leg(true, 0).second;
+  const std::uint64_t digest_off = leg(false, 0).second;
+  EXPECT_EQ(digest_on, digest_off);
+
+  const auto on = leg(true, digest_on).first;
+  const auto off = leg(false, digest_off).first;
+  EXPECT_EQ(on.outcome, off.outcome);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.detail, off.detail);
+  EXPECT_EQ(on.injected, off.injected);
+  EXPECT_EQ(on.skipped, off.skipped);
+  EXPECT_EQ(on.run.cycles, off.run.cycles);
+  EXPECT_EQ(on.run.instructions, off.run.instructions);
+}
+
+}  // namespace
+}  // namespace coyote::iss

@@ -12,6 +12,7 @@
 
 #include "core/simulator.h"
 #include "kernels/kernels.h"
+#include "kernels/program_menu.h"
 #include "sweep/sweep.h"
 
 namespace coyote::core {
@@ -215,6 +216,94 @@ TEST(Determinism, MesiTraceIsByteIdenticalAcrossPaths) {
   run_traced(true, "mesi_fast");
   run_traced(false, "mesi_slow");
   EXPECT_EQ(slurp(dir + "mesi_fast.prv"), slurp(dir + "mesi_slow.prv"));
+}
+
+// ---------------------------------------- decoded-block dispatch (dbb) --
+// iss.dbb_cache=on (the default) dispatches pre-decoded micro-op blocks;
+// off is the reference fetch+decode interpreter. The two must be
+// bit-identical in every simulated observable for every kernel, coherence
+// protocol and stepping mode — the only permitted report difference is the
+// host-side dbb_* counters, which exist only while the cache is on.
+
+std::string strip_dbb_lines(const std::string& report) {
+  std::istringstream in(report);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("dbb_") == std::string::npos) out << line << '\n';
+  }
+  return out.str();
+}
+
+// Small problem sizes so the full matrix (every menu kernel × coherence ×
+// stepping × dbb, each cell simulated twice) stays fast.
+std::uint64_t dbb_test_size(const std::string& kernel) {
+  if (kernel.rfind("matmul", 0) == 0) return 16;
+  if (kernel.rfind("spmv", 0) == 0) return 48;
+  if (kernel == "stencil_sync") return 512;
+  if (kernel.rfind("stencil2d", 0) == 0) return 24;
+  if (kernel.rfind("stencil", 0) == 0) return 2048;
+  if (kernel == "fft") return 128;
+  return 1024;  // histogram, axpy, dot
+}
+
+Outcome run_named(SimConfig config, const std::string& kernel) {
+  Simulator sim(config);
+  const auto program = kernels::build_named_kernel(
+      kernel, config.num_cores, dbb_test_size(kernel), 9, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  const auto result = sim.run(500'000'000);
+  EXPECT_TRUE(result.all_exited) << kernel;
+  Outcome out;
+  out.report = sim.report(simfw::ReportFormat::kText);
+  out.cycles = result.cycles;
+  out.instructions = result.instructions;
+  out.exit_codes = result.exit_codes;
+  return out;
+}
+
+void expect_identical_modulo_dbb(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.exit_codes, b.exit_codes);
+  EXPECT_EQ(strip_dbb_lines(a.report), strip_dbb_lines(b.report));
+}
+
+TEST(Determinism, DbbOnMatchesOffEveryKernelEveryMode) {
+  for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
+    for (const bool mesi : {false, true}) {
+      for (const bool batched : {true, false}) {
+        SCOPED_TRACE(info.name + std::string(mesi ? " mesi" : " none") +
+                     (batched ? " batched" : " literal"));
+        SimConfig on = base_config(2);
+        on.batched_stepping = batched;
+        if (mesi) on.coherence = Coherence::kMesi;
+        SimConfig off = on;
+        off.core.dbb_cache = false;
+        expect_identical_modulo_dbb(run_named(on, info.name),
+                                    run_named(off, info.name));
+      }
+    }
+  }
+}
+
+TEST(Determinism, DbbTraceIsByteIdenticalOnOrOff) {
+  const std::string dir = ::testing::TempDir();
+  const auto run_traced = [&](bool dbb, const std::string& basename) {
+    SimConfig config = base_config(2);
+    config.core.dbb_cache = dbb;
+    config.enable_trace = true;
+    config.trace_basename = dir + basename;
+    Simulator sim(config);
+    const auto workload = MatmulWorkload::generate(16, 7);
+    workload.install(sim.memory());
+    const auto program = kernels::build_matmul_scalar(workload, 2);
+    sim.load_program(program.base, program.words, program.entry);
+    EXPECT_TRUE(sim.run(200'000'000).all_exited);
+  };
+  run_traced(true, "dbb_on");
+  run_traced(false, "dbb_off");
+  EXPECT_EQ(slurp(dir + "dbb_on.prv"), slurp(dir + "dbb_off.prv"));
 }
 
 TEST(Determinism, MesiSweepIsIdenticalAcrossJobCounts) {
