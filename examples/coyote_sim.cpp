@@ -1,10 +1,12 @@
-// coyote_sim — the command-line front end: pick a kernel, a core count and
-// any memory-hierarchy parameters, run the simulation and get statistics
+// coyote_sim — the command-line front end: pick a workload (an ELF64
+// binary, a menu kernel or an assembly listing), a core count and any
+// memory-hierarchy parameters, run the simulation and get statistics
 // (text/CSV/JSON) plus an optional Paraver trace. This is the binary a
 // downstream user runs; every option maps to one SimConfig knob via the
 // library's config API (core/config_io.h), the same surface the sweep
 // engine and every example consume.
 //
+//   coyote_sim program.elf --cores=64 --report=csv
 //   coyote_sim --kernel=spmv_row_gather --cores=64
 //       l2.size_kb=512 l2.banks_per_tile=4 l2.mapping=page-to-bank
 //       noc.latency=8 mc.latency=150 --report=csv --trace=out/spmv
@@ -24,18 +26,22 @@
 #include "core/config_io.h"
 #include "core/run_summary.h"
 #include "core/simulator.h"
+#include "core/workload_info.h"
 #include "fault/fault.h"
 #include "fault/watchdog.h"
 #include "isa/text_asm.h"
 #include "kernels/program_menu.h"
+#include "loader/elf.h"
+#include "loader/workload.h"
 
 using namespace coyote;
 
 namespace {
 
 struct Options {
-  std::string kernel = "matmul_scalar";
   std::string program_path;  ///< assemble & run this .s file instead
+  std::string elf_path;      ///< positional ELF argument (workload.elf)
+  bool kernel_flag = false;  ///< --kernel was given explicitly
   std::string report = "text";
   std::string trace_basename;
   std::string json_out;        ///< versioned run summary destination
@@ -44,35 +50,38 @@ struct Options {
   Cycle checkpoint_at = 0;     ///< earliest cycle for the checkpoint cut
   /// On a watchdog/deadlock hang, write the last quiesce-point state here.
   std::string emergency_checkpoint;
-  std::uint64_t size = 0;  // problem size; 0 = kernel default
-  std::uint64_t seed = 2024;
   simfw::ConfigMap overrides;
 };
 
 void usage() {
   std::printf(
-      "usage: coyote_sim [--kernel=K | --program=FILE.s] [--cores=N]\n"
+      "usage: coyote_sim [PROGRAM.elf | --kernel=K | PROGRAM.s] [--cores=N]\n"
       "                  [--size=S] [--seed=X] [--report=text|csv|json]\n"
       "                  [--json-out=FILE] [--trace=BASENAME]\n"
       "                  [--ffwd=N] [--checkpoint-out=FILE]\n"
       "                  [--checkpoint-at=CYCLE] [--checkpoint-in=FILE]\n"
       "                  [--watchdog=N] [--emergency-checkpoint=FILE]\n"
-      "                  [--list-kernels] [key=value ...]\n"
+      "                  [--list-workloads] [key=value ...]\n"
       "\n"
-      "--program assembles a RISC-V source file (GNU-style subset; see\n"
-      "src/isa/text_asm.h) and runs it on every core. Programs read their\n"
-      "core id from the mhartid CSR and exit via the exit syscall.\n"
+      "The workload is one of: a positional statically linked RV64 ELF64\n"
+      "executable (shorthand for workload.elf=FILE; syscalls — write, exit,\n"
+      "brk, fstat, clock_gettime/gettimeofday — are served by the built-in\n"
+      "proxy kernel, via ecall or an HTIF tohost symbol), a --kernel menu\n"
+      "entry (workload.kernel=K, problem size/seed via --size/--seed), or a\n"
+      "positional .s file assembled with the built-in assembler (GNU-style\n"
+      "subset; see src/isa/text_asm.h) and run on every core.\n"
       "\n"
       "--json-out writes a versioned machine-readable run summary\n"
-      "(schema_version %d: config, result, statistics) alongside the\n"
-      "--report stream.\n"
+      "(schema_version %d: config, workload_source, result, guest_status,\n"
+      "statistics) alongside the --report stream.\n"
       "\n"
       "--ffwd=N fast-forwards up to N instructions per core functionally\n"
       "(Spike-style, warming the caches) before detailed simulation;\n"
       "shorthand for ckpt.ffwd_instructions=N. --checkpoint-out cuts a\n"
       "checkpoint at the first quiesce point at or after --checkpoint-at\n"
       "cycles (default 0), then keeps running; --checkpoint-in resumes a\n"
-      "saved run bit-identically (no kernel/config arguments needed).\n"
+      "saved run bit-identically (no workload/config arguments needed; an\n"
+      "ELF checkpoint is refused if the binary on disk changed).\n"
       "\n"
       "--cores=N is shorthand for topo.cores=N; --watchdog=N for\n"
       "sim.watchdog_cycles=N (declare a hang after N cycles with no retired\n"
@@ -81,9 +90,10 @@ void usage() {
       "receives the last quiesce-point state, and the exit code is 3.\n"
       "fault.* keys arm deterministic fault injection (see README).\n"
       "\n"
-      "exit codes: 0 ok, 1 execution error, 2 config/usage error, 3 hang.\n"
+      "exit codes: 0 ok, 1 execution error, 2 config/usage error, 3 hang;\n"
+      "64+(status mod 64) when the guest itself called exit(status != 0).\n"
       "\n"
-      "kernels (see --list-kernels for descriptions):",
+      "kernels (see --list-workloads for descriptions):",
       core::kRunSummarySchemaVersion);
   for (const std::string& name : kernels::kernel_names()) {
     std::printf(" %s", name.c_str());
@@ -91,7 +101,7 @@ void usage() {
   std::printf("\n\n%s", core::config_usage().c_str());
 }
 
-void list_kernels() {
+void list_workloads() {
   std::size_t width = 0;
   for (const kernels::KernelInfo& info : kernels::kernel_menu()) {
     width = std::max(width, info.name.size());
@@ -100,17 +110,52 @@ void list_kernels() {
     std::printf("%-*s  %s\n", static_cast<int>(width), info.name.c_str(),
                 info.description.c_str());
   }
+  std::printf(
+      "\nAny statically linked RV64 ELF64 executable also runs directly:\n"
+      "  coyote_sim path/to/program.elf   (or workload.elf=PATH)\n");
+}
+
+/// Folds a finished run into the process exit code (see README):
+/// harness codes 0-3 stay reserved; a guest exit(status != 0) maps into
+/// the disjoint 64..127 band.
+int exit_code_for(const core::RunResult& result) {
+  if (!result.all_exited) return kExitExecutionError;
+  const std::int64_t status = result.guest_status();
+  if (status != 0) {
+    return kExitGuestBase + static_cast<int>(status & 63);
+  }
+  return kExitOk;
 }
 
 int run(const Options& options) {
   std::unique_ptr<core::Simulator> sim;
-  std::string workload_name = options.kernel;
+  core::WorkloadInfo workload;
   core::RunResult prefix;  // cycles/instructions before the final run leg
 
   if (!options.checkpoint_in.empty()) {
     ckpt::CheckpointMeta meta;
     sim = ckpt::restore_checkpoint_file(options.checkpoint_in, &meta);
-    workload_name = meta.workload;
+    workload.kind = meta.workload_kind;
+    workload.ref = meta.workload_ref;
+    workload.label = meta.workload;
+    workload.content_hash = meta.workload_hash;
+    if (meta.workload_kind == "elf") {
+      // Mismatched-binary guard: restoring the machine state is always
+      // self-contained, but silently continuing under a binary that was
+      // rebuilt on disk invites confusion — refuse unless the image (the
+      // positional path if given, else the recorded one) still matches.
+      const std::string image_path =
+          !options.elf_path.empty() ? options.elf_path : meta.workload_ref;
+      if (!options.elf_path.empty() ||
+          std::ifstream(image_path, std::ios::binary).good()) {
+        loader::verify_elf_matches(image_path, meta.workload_hash);
+      }
+    } else if (!options.elf_path.empty()) {
+      throw ConfigError(strfmt(
+          "--checkpoint-in holds a %s workload ('%s'); it cannot resume "
+          "under ELF image '%s'", meta.workload_kind.c_str(),
+          meta.workload.c_str(), options.elf_path.c_str()));
+    }
     std::fprintf(stderr, "# restored %s at cycle %llu (workload %s)\n",
                  options.checkpoint_in.c_str(),
                  static_cast<unsigned long long>(meta.cycle),
@@ -124,22 +169,24 @@ int run(const Options& options) {
     sim = std::make_unique<core::Simulator>(config);
 
     if (!options.program_path.empty()) {
-      workload_name = options.program_path;
       std::ifstream in(options.program_path);
       if (!in) {
         std::fprintf(stderr, "cannot open '%s'\n",
                      options.program_path.c_str());
-        return 2;
+        return kExitConfigError;
       }
       std::ostringstream source;
       source << in.rdbuf();
-      const auto assembled = isa::assemble_text(source.str());
+      const std::string text = source.str();
+      const auto assembled = isa::assemble_text(text);
       sim->load_program(assembled.base, assembled.words, assembled.base);
+      workload.kind = "asm";
+      workload.ref = options.program_path;
+      workload.label = options.program_path;
+      workload.content_hash = loader::fnv1a64(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
     } else {
-      const kernels::Program program = kernels::build_named_kernel(
-          options.kernel, config.num_cores, options.size, options.seed,
-          sim->memory());
-      sim->load_program(program.base, program.words, program.entry);
+      workload = loader::load_workload(*sim);
     }
 
     if (sim->config().ffwd_instructions != 0) {
@@ -176,7 +223,7 @@ int run(const Options& options) {
     prefix.cycles = cut.cycles;
     prefix.instructions = cut.instructions;
     if (cut.quiesced) {
-      ckpt::write_checkpoint_file(*sim, workload_name, options.checkpoint_out);
+      ckpt::write_checkpoint_file(*sim, workload, options.checkpoint_out);
       std::fprintf(stderr, "# checkpoint written to %s at cycle %llu\n",
                    options.checkpoint_out.c_str(),
                    static_cast<unsigned long long>(sim->scheduler().now()));
@@ -191,7 +238,7 @@ int run(const Options& options) {
   // an exception. With no emergency path and the watchdog off this is
   // exactly sim->run().
   const fault::GuardedOutcome outcome = fault::run_guarded(
-      *sim, workload_name, ~Cycle{0}, options.emergency_checkpoint);
+      *sim, workload, ~Cycle{0}, options.emergency_checkpoint);
   auto result = outcome.result;
   result.cycles += prefix.cycles;
   result.instructions += prefix.instructions;
@@ -207,12 +254,19 @@ int run(const Options& options) {
   }
 
   std::fprintf(stderr,
-               "# kernel=%s cores=%u sim_cycles=%llu instructions=%llu "
+               "# workload=%s cores=%u sim_cycles=%llu instructions=%llu "
                "host_MIPS=%.2f\n",
-               workload_name.c_str(), sim_ref.config().num_cores,
+               workload.label.c_str(), sim_ref.config().num_cores,
                static_cast<unsigned long long>(result.cycles),
                static_cast<unsigned long long>(result.instructions),
                result.mips);
+
+  // Guest console output (syscall write to stdout/stderr) goes to stdout
+  // ahead of the statistics report, core by core.
+  for (CoreId id = 0; id < sim_ref.num_cores(); ++id) {
+    const std::string& console = sim_ref.core(id).hart().console();
+    if (!console.empty()) std::fputs(console.c_str(), stdout);
+  }
 
   simfw::ReportFormat format = simfw::ReportFormat::kText;
   if (options.report == "csv") format = simfw::ReportFormat::kCsv;
@@ -223,9 +277,9 @@ int run(const Options& options) {
     std::ofstream out(options.json_out);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", options.json_out.c_str());
-      return 2;
+      return kExitConfigError;
     }
-    out << core::run_summary_json(workload_name, sim_ref, result);
+    out << core::run_summary_json(workload, sim_ref, result);
   }
   if (outcome.hung) {
     std::fprintf(stderr, "hang: %s\n%s\n", outcome.hang_what.c_str(),
@@ -236,7 +290,12 @@ int run(const Options& options) {
     }
     return kExitHang;
   }
-  return result.all_exited ? kExitOk : kExitExecutionError;
+  return exit_code_for(result);
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -250,21 +309,29 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
-    if (arg == "--list-kernels") {
-      list_kernels();
+    if (arg == "--list-workloads" || arg == "--list-kernels") {
+      if (arg == "--list-kernels") {
+        std::fprintf(stderr,
+                     "# --list-kernels is deprecated; use --list-workloads\n");
+      }
+      list_workloads();
       return 0;
     }
     try {
       if (arg.rfind("--kernel=", 0) == 0) {
-        options.kernel = value_of();
+        options.overrides.set("workload.kernel", value_of());
+        options.kernel_flag = true;
       } else if (arg.rfind("--program=", 0) == 0) {
+        std::fprintf(stderr,
+                     "# --program=FILE is deprecated; pass the .s file as a "
+                     "positional argument\n");
         options.program_path = value_of();
       } else if (arg.rfind("--cores=", 0) == 0) {
         options.overrides.set("topo.cores", value_of());
       } else if (arg.rfind("--size=", 0) == 0) {
-        options.size = std::stoull(value_of());
+        options.overrides.set("workload.size", value_of());
       } else if (arg.rfind("--seed=", 0) == 0) {
-        options.seed = std::stoull(value_of());
+        options.overrides.set("workload.seed", value_of());
       } else if (arg.rfind("--report=", 0) == 0) {
         options.report = value_of();
       } else if (arg.rfind("--json-out=", 0) == 0) {
@@ -287,14 +354,38 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         usage();
         return 2;
-      } else {
+      } else if (arg.find('=') != std::string::npos) {
         options.overrides.set_from_token(arg);
+      } else if (ends_with(arg, ".s") || ends_with(arg, ".S")) {
+        options.program_path = arg;  // positional assembly listing
+      } else {
+        // Positional workload: an ELF64 executable.
+        if (!options.elf_path.empty()) {
+          std::fprintf(stderr, "more than one positional program ('%s', '%s')\n",
+                       options.elf_path.c_str(), arg.c_str());
+          return 2;
+        }
+        options.elf_path = arg;
+        options.overrides.set("workload.elf", arg);
       }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "bad argument '%s': %s\n", arg.c_str(),
                    error.what());
       return 2;
     }
+  }
+  if (options.kernel_flag && !options.elf_path.empty()) {
+    std::fprintf(stderr,
+                 "--kernel and a positional ELF are mutually exclusive; "
+                 "pick one workload\n");
+    return 2;
+  }
+  if (!options.program_path.empty() &&
+      (options.kernel_flag || !options.elf_path.empty())) {
+    std::fprintf(stderr,
+                 "an assembly listing cannot be combined with --kernel or an "
+                 "ELF workload\n");
+    return 2;
   }
   try {
     return run(options);

@@ -26,14 +26,18 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: coyote_sweep [--kernel=K] [--size=S] [--seed=X] [--jobs=N]\n"
-      "                    [--max-cycles=C] [--retries=R] [--json-out=FILE]\n"
-      "                    [--resume-dir=DIR] [--checkpoint-interval=C]\n"
-      "                    [--quiet] [key=value | key=v1,v2,...] ...\n"
+      "usage: coyote_sweep [PROGRAM.elf | --kernel=K] [--size=S] [--seed=X]\n"
+      "                    [--jobs=N] [--max-cycles=C] [--retries=R]\n"
+      "                    [--json-out=FILE] [--resume-dir=DIR]\n"
+      "                    [--checkpoint-interval=C] [--quiet]\n"
+      "                    [key=value | key=v1,v2,...] ...\n"
       "\n"
-      "Runs kernel K on every point of the config grid spanned by the\n"
-      "comma-valued axes (cartesian product), N points at a time on host\n"
-      "threads. Results are reported in SweepSpec::expand() order no matter\n"
+      "Runs one workload — a positional RV64 ELF64 executable (shorthand\n"
+      "for workload.elf=FILE) or menu kernel K — on every point of the\n"
+      "config grid spanned by the comma-valued axes (cartesian product),\n"
+      "N points at a time on host threads. workload.* keys are sweepable\n"
+      "like any other (e.g. workload.elf=a.elf,b.elf compares binaries).\n"
+      "Results are reported in SweepSpec::expand() order no matter\n"
       "how the host schedules them; a failing point is retried R extra\n"
       "times, then recorded in the table without stopping the campaign.\n"
       "The JSON table (schema_version %d) goes to --json-out or stdout;\n"
@@ -158,6 +162,10 @@ int run(int argc, char** argv) {
       options.point_timeout_s = std::stod(value_of());
     } else if (arg.rfind("sweep.max_retries=", 0) == 0) {
       retries = static_cast<std::uint32_t>(std::stoul(value_of()));
+    } else if (arg.find('=') == std::string::npos) {
+      // Positional workload: an ELF64 executable shared by every point.
+      spec.base.set("workload.elf", arg);
+      spec.kernel = arg;  // campaign label in the report/progress line
     } else {
       sweep::SweepAxis axis = sweep::axis_from_token(arg);
       if (axis.values.size() == 1) {

@@ -6,6 +6,7 @@
 #include "common/binio.h"
 #include "common/error.h"
 #include "core/config_io.h"
+#include "loader/workload.h"
 #include "simfw/unit.h"
 
 namespace coyote::ckpt {
@@ -79,6 +80,11 @@ void save_config(BinWriter& w, const core::SimConfig& c) {
   w.b(c.ffwd_warmup);
   w.b(c.ffwd_stop_at_roi);
   w.u64(c.ffwd_warmup_window);
+  // workload (v3)
+  w.str(c.workload.kernel);
+  w.str(c.workload.elf);
+  w.u64(c.workload.size);
+  w.u64(c.workload.seed);
   // robustness (v2)
   w.u64(c.watchdog_cycles);
   w.b(c.fault.enable);
@@ -153,6 +159,10 @@ core::SimConfig load_config(BinReader& r) {
   c.ffwd_warmup = r.b();
   c.ffwd_stop_at_roi = r.b();
   c.ffwd_warmup_window = r.u64();
+  c.workload.kernel = r.str();
+  c.workload.elf = r.str();
+  c.workload.size = r.u64();
+  c.workload.seed = r.u64();
   c.watchdog_cycles = r.u64();
   c.fault.enable = r.b();
   c.fault.seed = r.u64();
@@ -248,6 +258,9 @@ void save_meta(BinWriter& w, const CheckpointMeta& meta) {
   w.u32(kCheckpointMagic);
   w.u32(meta.version);
   w.str(meta.workload);
+  w.str(meta.workload_kind);
+  w.str(meta.workload_ref);
+  w.u64(meta.workload_hash);
   w.u64(meta.config.values().size());
   for (const auto& [key, value] : meta.config.values()) {
     w.str(key);
@@ -267,6 +280,9 @@ CheckpointMeta load_meta(BinReader& r) {
                           meta.version, kCheckpointVersion));
   }
   meta.workload = r.str();
+  meta.workload_kind = r.str();
+  meta.workload_ref = r.str();
+  meta.workload_hash = r.u64();
   const std::uint64_t num_keys = r.count(1 << 20);
   for (std::uint64_t i = 0; i < num_keys; ++i) {
     const std::string key = r.str();
@@ -278,7 +294,7 @@ CheckpointMeta load_meta(BinReader& r) {
 
 }  // namespace
 
-void write_checkpoint(core::Simulator& sim, const std::string& workload,
+void write_checkpoint(core::Simulator& sim, const core::WorkloadInfo& workload,
                       std::ostream& os) {
   if (sim.scheduler().has_pending()) {
     throw SimError(
@@ -288,7 +304,10 @@ void write_checkpoint(core::Simulator& sim, const std::string& workload,
   BinWriter w(os);
 
   CheckpointMeta meta;
-  meta.workload = workload;
+  meta.workload = workload.label;
+  meta.workload_kind = workload.kind;
+  meta.workload_ref = workload.ref;
+  meta.workload_hash = workload.content_hash;
   meta.config = core::config_to_map(sim.config());
   meta.cycle = sim.scheduler().now();
   save_meta(w, meta);
@@ -313,6 +332,15 @@ void write_checkpoint(core::Simulator& sim, const std::string& workload,
     if (memhier::LlcSlice* llc = sim.llc(mc)) llc->save_state(w);
   }
   sim.orchestrator().save_state(w);
+
+  // Proxy-kernel emulator state (v3): presence flag + brk/layout payload.
+  // Restore reattaches the emulator from this flag alone, so checkpoints
+  // stay self-contained even when workload config and machine state were
+  // wired up by hand (tests, embedders).
+  const iss::SyscallEmulatorIf* emulator = sim.syscall_emulator();
+  w.b(emulator != nullptr);
+  if (emulator != nullptr) emulator->save_state(w);
+
   save_stats(w, sim.root());
 
   w.b(sim.trace() != nullptr);
@@ -326,11 +354,22 @@ void write_checkpoint(core::Simulator& sim, const std::string& workload,
   if (!os) throw SimError("checkpoint: write failed");
 }
 
-void write_checkpoint_file(core::Simulator& sim, const std::string& workload,
+void write_checkpoint_file(core::Simulator& sim,
+                           const core::WorkloadInfo& workload,
                            const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw SimError("checkpoint: cannot open " + path);
   write_checkpoint(sim, workload, os);
+}
+
+void write_checkpoint(core::Simulator& sim, const std::string& workload,
+                      std::ostream& os) {
+  write_checkpoint(sim, core::WorkloadInfo::from_label(workload), os);
+}
+
+void write_checkpoint_file(core::Simulator& sim, const std::string& workload,
+                           const std::string& path) {
+  write_checkpoint_file(sim, core::WorkloadInfo::from_label(workload), path);
 }
 
 CheckpointMeta read_checkpoint_meta(std::istream& is) {
@@ -369,6 +408,13 @@ std::unique_ptr<core::Simulator> restore_checkpoint(std::istream& is,
     if (memhier::LlcSlice* llc = sim->llc(mc)) llc->load_state(r);
   }
   sim->orchestrator().load_state(r);
+
+  const bool has_emulator = r.b();
+  if (has_emulator) {
+    loader::attach_proxy_kernel(*sim);
+    sim->syscall_emulator()->load_state(r);
+  }
+
   load_stats(r, sim->root());
 
   const bool has_trace = r.b();

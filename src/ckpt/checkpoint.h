@@ -25,6 +25,7 @@
 
 #include "common/types.h"
 #include "core/simulator.h"
+#include "core/workload_info.h"
 #include "simfw/params.h"
 
 namespace coyote::ckpt {
@@ -33,7 +34,9 @@ namespace coyote::ckpt {
 inline constexpr std::uint32_t kCheckpointMagic = 0x43594B50;
 /// Format version. Bumped on any layout change; readers reject mismatches.
 /// v2: watchdog/fault config fields + trailing CRC-32 integrity footer.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// v3: workload-source metadata (kind/ref/content hash), workload.* config
+///     fields, per-hart tohost addresses and proxy-kernel emulator state.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// The checkpoint header, readable without reconstructing the simulator
 /// (sweep resume matches points against `config` before restoring).
@@ -41,6 +44,12 @@ struct CheckpointMeta {
   std::uint32_t version = kCheckpointVersion;
   /// Free-form workload label (e.g. the kernel spec that was loaded).
   std::string workload;
+  /// Workload source identity (v3): "kernel" / "elf" / "asm", the name or
+  /// path it came from, and — for ELF images — the FNV-1a 64 hash of the
+  /// binary, so a restore against a rebuilt binary can be refused.
+  std::string workload_kind = "kernel";
+  std::string workload_ref;
+  std::uint64_t workload_hash = 0;
   /// The normalised config map (config_to_map of the captured SimConfig),
   /// embedded for provenance and sweep-point matching. Restore does NOT
   /// rebuild the config from this map — the map surface cannot express
@@ -54,6 +63,12 @@ struct CheckpointMeta {
 /// Serializes `sim` at its current (quiesced) state. Throws SimError if any
 /// event is pending or any component has in-flight work, and
 /// std::runtime_error on stream failure.
+void write_checkpoint(core::Simulator& sim, const core::WorkloadInfo& workload,
+                      std::ostream& os);
+void write_checkpoint_file(core::Simulator& sim,
+                           const core::WorkloadInfo& workload,
+                           const std::string& path);
+/// Label-only conveniences (kind/ref derived via WorkloadInfo::from_label).
 void write_checkpoint(core::Simulator& sim, const std::string& workload,
                       std::ostream& os);
 void write_checkpoint_file(core::Simulator& sim, const std::string& workload,

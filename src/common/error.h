@@ -56,6 +56,10 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitExecutionError = 1;
 inline constexpr int kExitConfigError = 2;
 inline constexpr int kExitHang = 3;
+/// A guest program that ran to completion but called exit(status != 0)
+/// maps to kExitGuestBase + (status mod 64): disjoint from the harness
+/// codes above, wraparound-free within the 8-bit POSIX exit range.
+inline constexpr int kExitGuestBase = 64;
 
 /// printf-style message formatting for exception texts.
 [[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {

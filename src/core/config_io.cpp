@@ -22,6 +22,7 @@ struct ConfigParams {
   simfw::ParameterSet iss;
   simfw::ParameterSet ckpt;
   simfw::ParameterSet fault;
+  simfw::ParameterSet workload;
 
   ConfigParams() {
     topo.add("cores", std::uint64_t{8}, "total core count");
@@ -86,10 +87,17 @@ struct ConfigParams {
               "base retransmit backoff in cycles (doubles per attempt)");
     fault.add("mc_stall_cycles", std::uint64_t{256},
               "transient memory-controller stall length");
+    workload.add("kernel", std::string("matmul_scalar"),
+                 "menu kernel to run (see --list-workloads)");
+    workload.add("elf", std::string("none"),
+                 "ELF64 image path ('none' = run workload.kernel)");
+    workload.add("size", std::uint64_t{0},
+                 "kernel problem size (0 = kernel default)");
+    workload.add("seed", std::uint64_t{2024}, "kernel workload seed");
   }
 
   /// Prefix/set pairs in documentation order.
-  std::array<std::pair<const char*, simfw::ParameterSet*>, 10> groups() {
+  std::array<std::pair<const char*, simfw::ParameterSet*>, 11> groups() {
     return {{{"topo", &topo},
              {"core", &core},
              {"l2", &l2},
@@ -99,7 +107,8 @@ struct ConfigParams {
              {"sim", &sim},
              {"iss", &iss},
              {"ckpt", &ckpt},
-             {"fault", &fault}}};
+             {"fault", &fault},
+             {"workload", &workload}}};
   }
 };
 
@@ -116,14 +125,16 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->description()});
       }
     }
-    // l2.coherence, the iss.*/ckpt.*/fault.* groups and sim.watchdog_cycles
-    // postdate the frozen sweep/results tables; omitting them at their
-    // defaults keeps those outputs byte-stable (see ConfigKeyInfo).
+    // l2.coherence, the iss.*/ckpt.*/fault.*/workload.* groups and
+    // sim.watchdog_cycles postdate the frozen sweep/results tables;
+    // omitting them at their defaults keeps those outputs byte-stable
+    // (see ConfigKeyInfo).
     for (ConfigKeyInfo& info : out) {
       if (info.key == "l2.coherence" || info.key == "sim.watchdog_cycles" ||
           info.key.rfind("iss.", 0) == 0 ||
           info.key.rfind("ckpt.", 0) == 0 ||
-          info.key.rfind("fault.", 0) == 0) {
+          info.key.rfind("fault.", 0) == 0 ||
+          info.key.rfind("workload.", 0) == 0) {
         info.emit_when_default = false;
       }
     }
@@ -282,6 +293,10 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
   config.fault.noc_timeout = params.fault.as<std::uint64_t>("noc_timeout");
   config.fault.mc_stall_cycles =
       params.fault.as<std::uint64_t>("mc_stall_cycles");
+  config.workload.kernel = params.workload.as<std::string>("kernel");
+  config.workload.elf = params.workload.as<std::string>("elf");
+  config.workload.size = params.workload.as<std::uint64_t>("size");
+  config.workload.seed = params.workload.as<std::uint64_t>("seed");
   config.validate();
   return config;
 }
@@ -386,6 +401,22 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   }
   if (config.fault.mc_stall_cycles != defaults.mc_stall_cycles) {
     set_u64("fault.mc_stall_cycles", config.fault.mc_stall_cycles);
+  }
+  // workload.* likewise emits only off-default values, so configs using the
+  // classic matmul_scalar menu default produce byte-identical maps to the
+  // pre-Workload-API tool.
+  const WorkloadConfig workload_defaults;
+  if (config.workload.kernel != workload_defaults.kernel) {
+    map.set("workload.kernel", config.workload.kernel);
+  }
+  if (config.workload.elf != workload_defaults.elf) {
+    map.set("workload.elf", config.workload.elf);
+  }
+  if (config.workload.size != workload_defaults.size) {
+    set_u64("workload.size", config.workload.size);
+  }
+  if (config.workload.seed != workload_defaults.seed) {
+    set_u64("workload.seed", config.workload.seed);
   }
   return map;
 }

@@ -59,14 +59,24 @@ std::string RunResult::to_json(bool include_host_timing) const {
   return os.str();
 }
 
-std::string run_summary_json(const std::string& workload,
+std::string run_summary_json(const WorkloadInfo& workload,
                              const Simulator& sim, const RunResult& result,
                              bool include_host_timing) {
   std::ostringstream os;
   os << "{\n"
      << "  \"schema_version\": " << kRunSummarySchemaVersion << ",\n"
      << "  \"kind\": \"run\",\n"
-     << "  \"workload\": \"" << json_escape(workload) << "\",\n"
+     << "  \"workload\": \"" << json_escape(workload.label) << "\",\n"
+     << "  \"workload_source\": {\"kind\": \"" << json_escape(workload.kind)
+     << "\", \"ref\": \"" << json_escape(workload.ref)
+     << "\", \"content_hash\": \"";
+  {
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "0x%016llx",
+                  static_cast<unsigned long long>(workload.content_hash));
+    os << hash;
+  }
+  os << "\"},\n"
      << "  \"config\": {";
   const simfw::ConfigMap map = config_to_map(sim.config());
   bool first = true;
@@ -78,8 +88,16 @@ std::string run_summary_json(const std::string& workload,
   }
   os << "\n  },\n"
      << "  \"result\": " << result.to_json(include_host_timing) << ",\n"
+     << "  \"guest_status\": " << result.guest_status() << ",\n"
      << "  \"stats\": " << sim.report(simfw::ReportFormat::kJson) << "}\n";
   return os.str();
+}
+
+std::string run_summary_json(const std::string& workload,
+                             const Simulator& sim, const RunResult& result,
+                             bool include_host_timing) {
+  return run_summary_json(WorkloadInfo::from_label(workload), sim, result,
+                          include_host_timing);
 }
 
 }  // namespace coyote::core

@@ -19,12 +19,15 @@
 
 #include "core/sim_config.h"
 #include "core/simulator.h"
+#include "core/workload_info.h"
 
 namespace coyote::core {
 
 // v2: per-core dbb_hits / dbb_misses / dbb_invalidations counters appear
 // under "stats" whenever the decoded-block cache is on (the new default).
-inline constexpr int kRunSummarySchemaVersion = 2;
+// v3: "workload_source" object (kind / ref / content_hash — the Workload
+// API identity) and "guest_status" (first non-zero guest exit(status)).
+inline constexpr int kRunSummarySchemaVersion = 3;
 
 /// Escapes `text` for embedding inside a JSON string literal.
 std::string json_escape(const std::string& text);
@@ -32,6 +35,11 @@ std::string json_escape(const std::string& text);
 /// Builds the full summary document for one finished run. `sim` supplies
 /// the statistics tree; pass `include_host_timing=false` for reproducible
 /// output (drops wall_seconds/mips).
+std::string run_summary_json(const WorkloadInfo& workload,
+                             const Simulator& sim, const RunResult& result,
+                             bool include_host_timing = true);
+
+/// Label-only convenience (treated as a kernel-kind workload source).
 std::string run_summary_json(const std::string& workload,
                              const Simulator& sim, const RunResult& result,
                              bool include_host_timing = true);

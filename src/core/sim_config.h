@@ -60,6 +60,23 @@ struct FaultConfig {
   Cycle mc_stall_cycles = 256;   ///< transient memory-controller stall length
 };
 
+/// Workload selection (config group `workload.*`), resolved by
+/// loader::load_workload: either a program_menu kernel by name or an ELF64
+/// image by path. Carried inside SimConfig so every consumer of a config —
+/// CLI runs, sweep points, checkpoints — names its workload the same way.
+struct WorkloadConfig {
+  /// Menu kernel to build when no ELF is given.
+  std::string kernel = "matmul_scalar";
+  /// Path to an ELF64 image; the sentinel "none" (the default) selects the
+  /// kernel path instead. When both are set explicitly, the ELF wins (the
+  /// CLI additionally rejects conflicting flags up front).
+  std::string elf = "none";
+  std::uint64_t size = 0;     ///< kernel problem size; 0 = kernel default
+  std::uint64_t seed = 2024;  ///< kernel workload-generation seed
+
+  bool is_elf() const { return !elf.empty() && elf != "none"; }
+};
+
 struct SimConfig {
   // ----- topology -----
   std::uint32_t num_cores = 1;
@@ -141,6 +158,12 @@ struct SimConfig {
   /// Fault-injection plan (src/fault); inert while !fault.enable.
   FaultConfig fault;
 
+  // ----- workload -----
+  /// What to run (src/loader resolves it); defaults reproduce the classic
+  /// matmul_scalar menu path, so configs predating the Workload API behave
+  /// unchanged.
+  WorkloadConfig workload;
+
   // ----- outputs -----
   bool enable_trace = false;
   std::string trace_basename = "coyote_trace";
@@ -205,6 +228,16 @@ struct SimConfig {
     }
     if (fault_target_tokens(fault.targets).empty()) {
       throw ConfigError("SimConfig: fault.targets is empty");
+    }
+    // Kernel-name validity is checked at resolution time (core does not
+    // link the kernel menu); here only structural emptiness is rejected.
+    if (workload.kernel.empty()) {
+      throw ConfigError("SimConfig: workload.kernel is empty");
+    }
+    if (workload.elf.empty()) {
+      throw ConfigError(
+          "SimConfig: workload.elf is empty (use \"none\" for the kernel "
+          "path)");
     }
   }
 

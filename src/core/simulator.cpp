@@ -183,7 +183,19 @@ Simulator::~Simulator() = default;
 void Simulator::load_program(Addr base, const std::vector<std::uint32_t>& words,
                              Addr entry) {
   memory_.poke_words(base, words);
+  reset_cores(entry);
+}
+
+void Simulator::reset_cores(Addr entry) {
   for (auto& core : cores_) core->reset(entry);
+}
+
+void Simulator::set_syscall_emulator(
+    std::unique_ptr<iss::SyscallEmulatorIf> emulator) {
+  syscall_emulator_ = std::move(emulator);
+  for (auto& core : cores_) {
+    core->hart().set_syscall_emulator(syscall_emulator_.get());
+  }
 }
 
 RunResult Simulator::run(Cycle max_cycles) {

@@ -38,6 +38,17 @@ struct RunResult {
   /// Aggregate simulation throughput in million instructions per second.
   double mips = 0.0;
 
+  /// The guest's aggregate exit status: the first non-zero exit(status)
+  /// across the cores in core order, or 0 when every program exited
+  /// cleanly. This is the value the CLI folds into its process exit code
+  /// (64 + (status & 63); see README).
+  std::int64_t guest_status() const {
+    for (std::int64_t code : exit_codes) {
+      if (code != 0) return code;
+    }
+    return 0;
+  }
+
   /// Renders the result as one JSON object. Simulated quantities (cycles,
   /// instructions, exit state) are always present; `include_host_timing`
   /// adds wall_seconds/mips, which vary run to run and are therefore
@@ -82,6 +93,20 @@ class Simulator {
   void load_program(Addr base, const std::vector<std::uint32_t>& words,
                     Addr entry);
 
+  /// Resets every core to start executing at `entry` (the reset half of
+  /// load_program; ELF loading writes memory directly and then calls this).
+  void reset_cores(Addr entry);
+
+  /// Installs a host-side syscall emulator (src/loader's proxy kernel) and
+  /// attaches it to every hart; while attached, `ecall` and HTIF `tohost`
+  /// stores route to it. The simulator owns the emulator so checkpoint
+  /// code can serialize its state alongside the machine. nullptr detaches.
+  void set_syscall_emulator(std::unique_ptr<iss::SyscallEmulatorIf> emulator);
+  iss::SyscallEmulatorIf* syscall_emulator() { return syscall_emulator_.get(); }
+  const iss::SyscallEmulatorIf* syscall_emulator() const {
+    return syscall_emulator_.get();
+  }
+
   /// Runs until every core's program exits or `max_cycles` elapse.
   RunResult run(Cycle max_cycles = ~Cycle{0});
 
@@ -114,6 +139,7 @@ class Simulator {
   std::vector<std::unique_ptr<memhier::LlcSlice>> llcs_;
   std::unique_ptr<ParaverTraceWriter> trace_;
   std::unique_ptr<Orchestrator> orchestrator_;
+  std::unique_ptr<iss::SyscallEmulatorIf> syscall_emulator_;
 };
 
 }  // namespace coyote::core

@@ -1,0 +1,39 @@
+// The resolved identity of a loaded workload — the vocabulary type every
+// subsystem (CLI, sweep, checkpoint, fault harness, run summaries) shares
+// so kernel-menu programs, assembled .s files and ELF binaries are treated
+// uniformly. Resolution itself (name -> builder, path -> image) lives in
+// src/loader; this header stays dependency-free so core can speak the type
+// without linking the loader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coyote::core {
+
+/// Where a workload came from and how to recognise it again.
+struct WorkloadInfo {
+  /// Source class: "kernel" (program_menu name), "elf" (ELF64 image) or
+  /// "asm" (text-assembled .s file).
+  std::string kind = "kernel";
+  /// The reference that resolves the workload: kernel name or file path.
+  std::string ref;
+  /// Human-readable label (defaults to `ref`); shown in reports and
+  /// checkpoint banners.
+  std::string label;
+  /// FNV-1a 64 over the image file bytes for "elf"/"asm" sources, so a
+  /// checkpoint can refuse restoration against a binary that changed on
+  /// disk. 0 for menu kernels (regenerated from name/size/seed).
+  std::uint64_t content_hash = 0;
+
+  /// Back-compat shim: the free-form labels older call sites pass become a
+  /// kernel-kind WorkloadInfo.
+  static WorkloadInfo from_label(const std::string& text) {
+    WorkloadInfo info;
+    info.ref = text;
+    info.label = text;
+    return info;
+  }
+};
+
+}  // namespace coyote::core

@@ -8,7 +8,8 @@
 
 namespace coyote::fault {
 
-GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
+GuardedOutcome run_guarded(core::Simulator& sim,
+                           const core::WorkloadInfo& workload,
                            Cycle max_cycles,
                            const std::string& emergency_checkpoint_path,
                            Cycle checkpoint_interval) {
@@ -103,6 +104,14 @@ GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
     on_hang(hang);
   }
   return out;
+}
+
+GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
+                           Cycle max_cycles,
+                           const std::string& emergency_checkpoint_path,
+                           Cycle checkpoint_interval) {
+  return run_guarded(sim, core::WorkloadInfo::from_label(workload), max_cycles,
+                     emergency_checkpoint_path, checkpoint_interval);
 }
 
 }  // namespace coyote::fault

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/simulator.h"
+#include "core/workload_info.h"
 
 namespace coyote::fault {
 
@@ -32,6 +33,12 @@ struct GuardedOutcome {
 /// diagnostic is returned instead of the exception propagating.
 /// With `emergency_checkpoint_path` empty and the watchdog off this is
 /// behaviourally identical to sim.run(max_cycles).
+GuardedOutcome run_guarded(core::Simulator& sim,
+                           const core::WorkloadInfo& workload,
+                           Cycle max_cycles,
+                           const std::string& emergency_checkpoint_path,
+                           Cycle checkpoint_interval = 5'000'000);
+/// Label-only convenience (workload identity via WorkloadInfo::from_label).
 GuardedOutcome run_guarded(core::Simulator& sim, const std::string& workload,
                            Cycle max_cycles,
                            const std::string& emergency_checkpoint_path,

@@ -120,6 +120,7 @@ void Hart::save_state(BinWriter& w) const {
   w.u64(instret_);
   w.str(console_);
   w.b(roi_marker_);
+  w.u64(tohost_addr_);
 }
 
 void Hart::load_state(BinReader& r) {
@@ -141,6 +142,7 @@ void Hart::load_state(BinReader& r) {
   instret_ = r.u64();
   console_ = r.str();
   roi_marker_ = r.b();
+  tohost_addr_ = r.u64();
 }
 
 double Hart::f64(unsigned index) const { return bits_to_double(f_[index]); }
@@ -183,7 +185,51 @@ void Hart::csr_write(std::uint32_t address, std::uint64_t value) {
   }
 }
 
+namespace {
+
+/// Per-trap stack adapter giving the emulator its narrow window onto the
+/// hart (IssSyscallIf): registers, memory, cycle, console and the exit
+/// latch of the in-flight instruction.
+class HartSyscallWindow final : public IssSyscallIf {
+ public:
+  HartSyscallWindow(Hart& hart, StepInfo& info) : hart_(hart), info_(info) {}
+
+  unsigned hart_id() const override { return hart_.id(); }
+  std::uint64_t read_register(unsigned idx) const override {
+    return hart_.x(idx);
+  }
+  void write_register(unsigned idx, std::uint64_t value) override {
+    hart_.set_x(idx, value);
+  }
+  SparseMemory& guest_memory() override { return hart_.memory(); }
+  Cycle cycle() const override { return hart_.cycle_csr(); }
+  void console_write(std::string_view text) override {
+    hart_.console_append(text);
+  }
+  void sys_exit(std::int64_t status) override {
+    info_.exited = true;
+    info_.exit_code = status;
+  }
+
+ private:
+  Hart& hart_;
+  StepInfo& info_;
+};
+
+}  // namespace
+
+void Hart::note_tohost(std::uint64_t value, StepInfo& info) {
+  if (syscall_emulator_ == nullptr) return;
+  HartSyscallWindow window(*this, info);
+  syscall_emulator_->handle_tohost(window, value);
+}
+
 void Hart::do_syscall(StepInfo& info) {
+  if (syscall_emulator_ != nullptr) {
+    HartSyscallWindow window(*this, info);
+    syscall_emulator_->execute_syscall(window);
+    return;
+  }
   const std::uint64_t number = x_[17];  // a7
   switch (number) {
     case kSysExit:

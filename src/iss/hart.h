@@ -13,6 +13,7 @@
 #include "common/types.h"
 #include "isa/inst.h"
 #include "iss/memory.h"
+#include "iss/syscall_if.h"
 
 namespace coyote {
 class BinWriter;
@@ -85,10 +86,25 @@ class Hart {
   std::uint64_t instret() const { return instret_; }
   /// Simulated-cycle count, provided by the orchestrator for the cycle CSR.
   void set_cycle(Cycle cycle) { cycle_ = cycle; }
+  Cycle cycle_csr() const { return cycle_; }
 
   /// Console text accumulated through the write syscall / putchar HTIF.
   const std::string& console() const { return console_; }
   void clear_console() { console_.clear(); }
+  void console_append(std::string_view text) { console_.append(text); }
+
+  /// Attaches a host-side syscall emulator (src/loader's proxy kernel).
+  /// While attached, `ecall` delegates to it instead of the built-in
+  /// exit/write handling. nullptr detaches (the default).
+  void set_syscall_emulator(SyscallEmulatorIf* emulator) {
+    syscall_emulator_ = emulator;
+  }
+  SyscallEmulatorIf* syscall_emulator() const { return syscall_emulator_; }
+
+  /// Address of the image's HTIF `tohost` word; stores to it are routed to
+  /// the attached emulator. 0 (the default) disables the hook.
+  void set_tohost_addr(Addr addr) { tohost_addr_ = addr; }
+  Addr tohost_addr() const { return tohost_addr_; }
 
   SparseMemory& memory() { return *memory_; }
 
@@ -129,7 +145,11 @@ class Hart {
     info.accesses.push_back(
         MemAccess{addr, static_cast<std::uint8_t>(sizeof(T)), true});
     memory_->write<T>(addr, value);
+    if (tohost_addr_ != 0 && addr == tohost_addr_) {
+      note_tohost(static_cast<std::uint64_t>(value), info);
+    }
   }
+  void note_tohost(std::uint64_t value, StepInfo& info);
 
   // Vector engine (vexec.cpp).
   void exec_vector(const isa::DecodedInst& inst, StepInfo& info);
@@ -162,6 +182,11 @@ class Hart {
   Cycle cycle_ = 0;
   std::string console_;
   bool roi_marker_ = false;
+  /// Host-side pointers, re-attached (not serialized) on restore.
+  SyscallEmulatorIf* syscall_emulator_ = nullptr;
+  /// Serialized with the architectural state: the hook must survive a
+  /// checkpoint for HTIF workloads to keep exiting after restore.
+  Addr tohost_addr_ = 0;
 };
 
 }  // namespace coyote::iss

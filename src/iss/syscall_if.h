@@ -1,0 +1,71 @@
+// Narrow interfaces between a hart and a host-side syscall emulator,
+// following the riscv-vp++ `iss_syscall_if` / `syscall_emulator_if` split:
+// the emulator sees one hart only through a small window (registers, guest
+// memory, cycle, console, exit), and the hart sees the emulator only as an
+// opaque handler for `ecall` and HTIF `tohost` stores. CoreModel and Hart
+// therefore stay loader-agnostic — src/loader implements the emulator side
+// (the proxy kernel) without either of them knowing it exists.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
+namespace coyote::iss {
+
+class SparseMemory;
+
+/// What a syscall emulator may do to the hart that trapped: the riscv-vp++
+/// iss_syscall_if shape (register window + memory + exit), extended with
+/// the simulated cycle (for deterministic time syscalls) and the hart's
+/// console sink. Implementations are stack adapters created per trap.
+class IssSyscallIf {
+ public:
+  virtual ~IssSyscallIf() = default;
+
+  virtual unsigned hart_id() const = 0;
+  /// x-register window (idx 0..31; writes to x0 are ignored).
+  virtual std::uint64_t read_register(unsigned idx) const = 0;
+  virtual void write_register(unsigned idx, std::uint64_t value) = 0;
+  /// Guest memory, for buffer transfers. Accesses made through this window
+  /// are host-side (untimed): the trapping instruction's timing footprint
+  /// is the ecall / tohost store itself, exactly like the built-in path.
+  virtual SparseMemory& guest_memory() = 0;
+  /// Simulated cycle at the trap — the only clock a deterministic
+  /// gettimeofday/clock_gettime may derive from.
+  virtual Cycle cycle() const = 0;
+  /// Appends to the hart's console capture (the write-syscall sink).
+  virtual void console_write(std::string_view text) = 0;
+  /// Marks the hart exited with `status` after the current instruction.
+  virtual void sys_exit(std::int64_t status) = 0;
+};
+
+/// The emulator side: handles `ecall` traps and HTIF `tohost` stores for
+/// any hart, through the window above. One emulator instance is shared by
+/// every hart of a machine (per-hart state must key off hart_id()).
+class SyscallEmulatorIf {
+ public:
+  virtual ~SyscallEmulatorIf() = default;
+
+  /// Handles the ecall whose number is in a7 and arguments in a0..a5;
+  /// writes the result to a0 (or calls sys_exit). Throws ExecutionError
+  /// for syscalls the emulator does not implement.
+  virtual void execute_syscall(IssSyscallIf& hart) = 0;
+  /// Handles a store of `value` to the image's `tohost` symbol (the HTIF
+  /// protocol: LSB set = exit(value >> 1), else a pk-style magic-mem
+  /// syscall block).
+  virtual void handle_tohost(IssSyscallIf& hart, std::uint64_t value) = 0;
+
+  /// Checkpoint hooks: host-visible emulator state (brk cursor, ...) that
+  /// must survive a save/restore cycle bit-identically.
+  virtual void save_state(BinWriter& w) const = 0;
+  virtual void load_state(BinReader& r) = 0;
+};
+
+}  // namespace coyote::iss

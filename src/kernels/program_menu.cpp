@@ -45,6 +45,13 @@ const std::vector<std::string>& kernel_names() {
   return names;
 }
 
+bool has_kernel(const std::string& name) {
+  for (const KernelInfo& info : kernel_menu()) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
 Program build_named_kernel(const std::string& name, std::uint32_t num_cores,
                            std::uint64_t size, std::uint64_t seed,
                            iss::SparseMemory& memory) {

@@ -28,6 +28,9 @@ const std::vector<KernelInfo>& kernel_menu();
 /// (the names column of kernel_menu()).
 const std::vector<std::string>& kernel_names();
 
+/// True when `name` is on the menu (what build_named_kernel accepts).
+bool has_kernel(const std::string& name);
+
 /// Generates the named kernel's workload deterministically from `seed`
 /// (`size == 0` selects the kernel's default problem size), installs it
 /// into `memory`, and returns the ready-to-load program partitioned over

@@ -1,0 +1,262 @@
+#include "loader/elf.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.h"
+#include "iss/memory.h"
+
+namespace coyote::loader {
+
+namespace {
+
+// ELF constants (only what the validator needs).
+constexpr std::uint8_t kClass64 = 2;
+constexpr std::uint8_t kDataLsb = 1;
+constexpr std::uint16_t kEtExec = 2;
+constexpr std::uint16_t kEtDyn = 3;
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::size_t kEhdrSize = 64;
+constexpr std::size_t kPhdrSize = 56;
+constexpr std::size_t kShdrSize = 64;
+constexpr std::size_t kSymSize = 24;
+
+class ByteReader {
+ public:
+  ByteReader(const std::vector<std::uint8_t>& bytes, const std::string& name)
+      : bytes_(bytes), name_(name) {}
+
+  std::uint8_t u8(std::size_t off) const {
+    check(off, 1);
+    return bytes_[off];
+  }
+  std::uint16_t u16(std::size_t off) const { return read<std::uint16_t>(off); }
+  std::uint32_t u32(std::size_t off) const { return read<std::uint32_t>(off); }
+  std::uint64_t u64(std::size_t off) const { return read<std::uint64_t>(off); }
+
+  void check(std::size_t off, std::size_t count) const {
+    if (off + count < off || off + count > bytes_.size()) {
+      throw ConfigError(strfmt(
+          "%s: truncated ELF: need bytes [%zu, %zu) but the file is only "
+          "%zu bytes long (was the download or copy cut short?)",
+          name_.c_str(), off, off + count, bytes_.size()));
+    }
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  template <typename T>
+  T read(std::size_t off) const {
+    check(off, sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + off, sizeof(T));
+    return value;  // host is little-endian; EI_DATA checked before use.
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  const std::string& name_;
+};
+
+std::string machine_name(std::uint16_t machine) {
+  switch (machine) {
+    case 3: return "x86 (EM_386)";
+    case 40: return "ARM (EM_ARM)";
+    case 62: return "x86-64 (EM_X86_64)";
+    case 183: return "AArch64 (EM_AARCH64)";
+    default: return strfmt("e_machine=%u", machine);
+  }
+}
+
+// Pulls named, defined symbols out of the first SHT_SYMTAB section, if the
+// image carries one. Symbol tables are optional; parse failures here are
+// still hard errors because a damaged section header table means a damaged
+// file.
+void read_symbols(const ByteReader& r, ElfImage& image,
+                  const std::string& name) {
+  const std::uint64_t shoff = r.u64(0x28);
+  const std::uint16_t shentsize = r.u16(0x3a);
+  const std::uint16_t shnum = r.u16(0x3c);
+  if (shoff == 0 || shnum == 0) return;
+  if (shentsize != kShdrSize) {
+    throw ConfigError(strfmt(
+        "%s: unexpected section header size %u (ELF64 requires %zu)",
+        name.c_str(), shentsize, kShdrSize));
+  }
+  for (std::uint16_t i = 0; i < shnum; ++i) {
+    const std::size_t sh = shoff + std::size_t{i} * kShdrSize;
+    if (r.u32(sh + 0x04) != kShtSymtab) continue;
+    const std::uint64_t sym_off = r.u64(sh + 0x18);
+    const std::uint64_t sym_size = r.u64(sh + 0x20);
+    const std::uint32_t strtab_index = r.u32(sh + 0x28);
+    if (strtab_index >= shnum) {
+      throw ConfigError(strfmt("%s: symtab links to missing strtab section %u",
+                               name.c_str(), strtab_index));
+    }
+    const std::size_t st = shoff + std::size_t{strtab_index} * kShdrSize;
+    const std::uint64_t str_off = r.u64(st + 0x18);
+    const std::uint64_t str_size = r.u64(st + 0x20);
+    r.check(str_off, str_size);
+    for (std::uint64_t off = 0; off + kSymSize <= sym_size; off += kSymSize) {
+      const std::size_t sym = sym_off + off;
+      const std::uint32_t name_off = r.u32(sym + 0x00);
+      if (name_off == 0 || name_off >= str_size) continue;
+      std::string sym_name;
+      for (std::uint64_t c = str_off + name_off; c < str_off + str_size; ++c) {
+        const char ch = static_cast<char>(r.u8(c));
+        if (ch == '\0') break;
+        sym_name.push_back(ch);
+      }
+      if (!sym_name.empty()) {
+        image.symbols[sym_name] = static_cast<Addr>(r.u64(sym + 0x08));
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t count,
+                      std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw ConfigError(strfmt(
+        "cannot open '%s': no such file or unreadable (workload.elf must "
+        "name an existing ELF64 image; run with --list-workloads for the "
+        "built-in kernel menu)", path.c_str()));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+ElfImage parse_elf64(const std::vector<std::uint8_t>& bytes,
+                     const std::string& name) {
+  const ByteReader r(bytes, name);
+  if (bytes.size() < kEhdrSize) {
+    throw ConfigError(strfmt(
+        "%s: not an ELF file: only %zu bytes, smaller than the %zu-byte "
+        "ELF64 header", name.c_str(), bytes.size(), kEhdrSize));
+  }
+  if (!(bytes[0] == 0x7f && bytes[1] == 'E' && bytes[2] == 'L' &&
+        bytes[3] == 'F')) {
+    throw ConfigError(strfmt(
+        "%s: not an ELF file (bad magic %02x %02x %02x %02x; expected "
+        "7f 45 4c 46). Pass an ELF executable or a kernel name via "
+        "--kernel.", name.c_str(), bytes[0], bytes[1], bytes[2], bytes[3]));
+  }
+  if (bytes[4] != kClass64) {
+    throw ConfigError(strfmt(
+        "%s: 32-bit ELF (ELFCLASS32); this simulator executes RV64 only — "
+        "rebuild with a 64-bit target (e.g. -march=rv64imad -mabi=lp64d)",
+        name.c_str()));
+  }
+  if (bytes[5] != kDataLsb) {
+    throw ConfigError(strfmt(
+        "%s: big-endian ELF; RISC-V images must be little-endian "
+        "(EI_DATA=ELFDATA2LSB)", name.c_str()));
+  }
+  const std::uint16_t machine = r.u16(0x12);
+  if (machine != kEmRiscv) {
+    throw ConfigError(strfmt(
+        "%s: built for %s, not RISC-V (e_machine=%u); cross-compile with a "
+        "riscv64 toolchain", name.c_str(), machine_name(machine).c_str(),
+        machine));
+  }
+  const std::uint16_t type = r.u16(0x10);
+  if (type != kEtExec) {
+    const char* hint = type == kEtDyn
+        ? " (position-independent / dynamic image; relink with "
+          "-static -no-pie)"
+        : "";
+    throw ConfigError(strfmt(
+        "%s: not a statically linked executable (e_type=%u, need "
+        "ET_EXEC=2)%s", name.c_str(), type, hint));
+  }
+
+  ElfImage image;
+  image.entry = static_cast<Addr>(r.u64(0x18));
+  image.content_hash = fnv1a64(bytes.data(), bytes.size());
+
+  const std::uint64_t phoff = r.u64(0x20);
+  const std::uint16_t phentsize = r.u16(0x36);
+  const std::uint16_t phnum = r.u16(0x38);
+  if (phnum == 0) {
+    throw ConfigError(strfmt("%s: no program headers — nothing to load",
+                             name.c_str()));
+  }
+  if (phentsize != kPhdrSize) {
+    throw ConfigError(strfmt(
+        "%s: unexpected program header size %u (ELF64 requires %zu)",
+        name.c_str(), phentsize, kPhdrSize));
+  }
+  image.load_min = ~Addr{0};
+  image.load_max = 0;
+  for (std::uint16_t i = 0; i < phnum; ++i) {
+    const std::size_t ph = phoff + std::size_t{i} * kPhdrSize;
+    if (r.u32(ph + 0x00) != kPtLoad) continue;
+    ElfSegment seg;
+    seg.flags = r.u32(ph + 0x04);
+    seg.file_offset = r.u64(ph + 0x08);
+    seg.vaddr = static_cast<Addr>(r.u64(ph + 0x10));
+    seg.filesz = r.u64(ph + 0x20);
+    seg.memsz = r.u64(ph + 0x28);
+    if (seg.memsz < seg.filesz) {
+      throw ConfigError(strfmt(
+          "%s: PT_LOAD %u has memsz (%llu) < filesz (%llu) — corrupt "
+          "program header", name.c_str(), i,
+          static_cast<unsigned long long>(seg.memsz),
+          static_cast<unsigned long long>(seg.filesz)));
+    }
+    r.check(seg.file_offset, seg.filesz);  // truncated-segment guard
+    if (seg.memsz == 0) continue;
+    image.load_min = std::min(image.load_min, seg.vaddr);
+    image.load_max = std::max(image.load_max, seg.vaddr + seg.memsz);
+    image.segments.push_back(seg);
+  }
+  if (image.segments.empty()) {
+    throw ConfigError(strfmt(
+        "%s: no non-empty PT_LOAD segments — the image carries no code or "
+        "data to map", name.c_str()));
+  }
+  if (image.entry < image.load_min || image.entry >= image.load_max) {
+    throw ConfigError(strfmt(
+        "%s: entry point 0x%llx lies outside the loaded range "
+        "[0x%llx, 0x%llx)", name.c_str(),
+        static_cast<unsigned long long>(image.entry),
+        static_cast<unsigned long long>(image.load_min),
+        static_cast<unsigned long long>(image.load_max)));
+  }
+  read_symbols(r, image, name);
+  return image;
+}
+
+ElfImage load_elf64(const std::vector<std::uint8_t>& bytes,
+                    iss::SparseMemory& memory, const std::string& name) {
+  const ElfImage image = parse_elf64(bytes, name);
+  for (const ElfSegment& seg : image.segments) {
+    if (seg.filesz > 0) {
+      memory.write_bytes(seg.vaddr, bytes.data() + seg.file_offset,
+                         static_cast<std::size_t>(seg.filesz));
+    }
+  }
+  return image;
+}
+
+}  // namespace coyote::loader

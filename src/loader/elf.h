@@ -1,0 +1,68 @@
+// ELF64 executable loading: parses statically linked RV64 ET_EXEC images,
+// maps their PT_LOAD segments into SparseMemory, and surfaces the symbols
+// the proxy kernel needs (tohost/fromhost). Deliberately minimal — no
+// relocation, no dynamic linking, no interpreter — matching what a
+// `-static -nostartfiles` RISC-V cross build (or this repo's own
+// elf_writer) produces. Every malformed-input path throws ConfigError
+// with an actionable message naming the file and the fix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace coyote::iss {
+class SparseMemory;
+}  // namespace coyote::iss
+
+namespace coyote::loader {
+
+/// e_machine for RISC-V.
+inline constexpr std::uint16_t kEmRiscv = 243;
+
+/// One PT_LOAD program header, in file order.
+struct ElfSegment {
+  Addr vaddr = 0;
+  std::uint64_t file_offset = 0;
+  std::uint64_t filesz = 0;
+  std::uint64_t memsz = 0;  ///< >= filesz; the tail is zero-initialised.
+  std::uint32_t flags = 0;  ///< PF_X|PF_W|PF_R bits (informational).
+};
+
+/// A parsed (not yet mapped) image.
+struct ElfImage {
+  Addr entry = 0;
+  std::vector<ElfSegment> segments;
+  Addr load_min = 0;  ///< Lowest PT_LOAD vaddr.
+  Addr load_max = 0;  ///< One past the highest PT_LOAD vaddr+memsz.
+  /// Defined, named .symtab entries (HTIF needs tohost/fromhost).
+  std::map<std::string, Addr> symbols;
+  /// FNV-1a 64 over the whole file — the Workload API content identity
+  /// stamped into run summaries and checkpoint metadata.
+  std::uint64_t content_hash = 0;
+};
+
+/// FNV-1a 64-bit over a byte range (same parameters as the fault
+/// campaign's end-state digest).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t count,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Slurps a file; throws ConfigError when it cannot be opened.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Parses and validates an ELF64 little-endian RV64 ET_EXEC image.
+/// `name` labels error messages (pass the file path).
+ElfImage parse_elf64(const std::vector<std::uint8_t>& bytes,
+                     const std::string& name = "<elf>");
+
+/// parse_elf64 + copies every PT_LOAD's file bytes into `memory` at its
+/// vaddr. The memsz > filesz tail (bss) is left untouched: SparseMemory
+/// reads unwritten bytes as zero, so the image must not overlay segments.
+ElfImage load_elf64(const std::vector<std::uint8_t>& bytes,
+                    iss::SparseMemory& memory,
+                    const std::string& name = "<elf>");
+
+}  // namespace coyote::loader

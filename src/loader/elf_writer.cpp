@@ -1,0 +1,165 @@
+#include "loader/elf_writer.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "loader/elf.h"
+
+namespace coyote::loader {
+
+namespace {
+
+class ByteSink {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void raw(const void* data, std::size_t count) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + count);
+  }
+  void pad_to(std::size_t offset) {
+    if (bytes_.size() > offset) {
+      throw SimError("elf_writer: layout overrun");
+    }
+    bytes_.resize(offset, 0);
+  }
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+std::size_t align8(std::size_t offset) { return (offset + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+std::vector<std::uint8_t> write_elf64(const ElfWriterSpec& spec) {
+  if (spec.segments.empty()) {
+    throw ConfigError("elf_writer: an image needs at least one segment");
+  }
+  constexpr std::size_t kEhdrSize = 64;
+  constexpr std::size_t kPhdrSize = 56;
+  constexpr std::size_t kShdrSize = 64;
+  constexpr std::size_t kSymSize = 24;
+  const std::size_t num_segments = spec.segments.size();
+
+  // Layout: ehdr | phdrs | segment bytes | .symtab | .strtab | .shstrtab
+  // | shdrs. Everything position-computed up front so headers can point
+  // forward.
+  std::size_t offset = kEhdrSize + num_segments * kPhdrSize;
+  std::vector<std::size_t> seg_offsets;
+  for (const ElfWriterSegment& seg : spec.segments) {
+    offset = align8(offset);
+    seg_offsets.push_back(offset);
+    offset += seg.bytes.size();
+  }
+  const std::size_t symtab_offset = align8(offset);
+  const std::size_t num_syms = 1 + spec.symbols.size();  // + null symbol
+  const std::size_t symtab_size = num_syms * kSymSize;
+
+  std::string strtab("\0", 1);
+  std::vector<std::uint32_t> name_offsets;
+  for (const auto& [name, addr] : spec.symbols) {
+    (void)addr;
+    name_offsets.push_back(static_cast<std::uint32_t>(strtab.size()));
+    strtab += name;
+    strtab.push_back('\0');
+  }
+  const std::size_t strtab_offset = symtab_offset + symtab_size;
+
+  const std::string shstrtab = std::string("\0", 1) + ".symtab" + '\0' +
+                               ".strtab" + '\0' + ".shstrtab" + '\0';
+  const std::uint32_t shname_symtab = 1;
+  const std::uint32_t shname_strtab = 1 + 8;
+  const std::uint32_t shname_shstrtab = 1 + 8 + 8;
+  const std::size_t shstrtab_offset = strtab_offset + strtab.size();
+  const std::size_t shoff = align8(shstrtab_offset + shstrtab.size());
+
+  ByteSink out;
+  // ELF header.
+  const std::uint8_t ident[16] = {0x7f, 'E', 'L', 'F', 2, 1, 1, 0,
+                                  0,    0,   0,   0,   0, 0, 0, 0};
+  out.raw(ident, sizeof ident);
+  out.u16(2);                 // e_type = ET_EXEC
+  out.u16(kEmRiscv);          // e_machine
+  out.u32(1);                 // e_version
+  out.u64(spec.entry);        // e_entry
+  out.u64(kEhdrSize);         // e_phoff
+  out.u64(shoff);             // e_shoff
+  out.u32(0);                 // e_flags
+  out.u16(kEhdrSize);         // e_ehsize
+  out.u16(kPhdrSize);         // e_phentsize
+  out.u16(static_cast<std::uint16_t>(num_segments));  // e_phnum
+  out.u16(kShdrSize);         // e_shentsize
+  out.u16(4);                 // e_shnum (null, symtab, strtab, shstrtab)
+  out.u16(3);                 // e_shstrndx
+
+  // Program headers.
+  for (std::size_t i = 0; i < num_segments; ++i) {
+    const ElfWriterSegment& seg = spec.segments[i];
+    const std::uint64_t memsz =
+        seg.memsz != 0 ? seg.memsz : seg.bytes.size();
+    out.u32(1);                       // p_type = PT_LOAD
+    out.u32(seg.flags);               // p_flags
+    out.u64(seg_offsets[i]);          // p_offset
+    out.u64(seg.vaddr);               // p_vaddr
+    out.u64(seg.vaddr);               // p_paddr
+    out.u64(seg.bytes.size());        // p_filesz
+    out.u64(memsz);                   // p_memsz
+    out.u64(8);                       // p_align
+  }
+
+  // Segment payloads.
+  for (std::size_t i = 0; i < num_segments; ++i) {
+    out.pad_to(seg_offsets[i]);
+    out.raw(spec.segments[i].bytes.data(), spec.segments[i].bytes.size());
+  }
+
+  // .symtab: null entry then one global absolute symbol per map entry.
+  out.pad_to(symtab_offset);
+  for (std::size_t i = 0; i < kSymSize; ++i) out.u8(0);
+  std::size_t sym_index = 0;
+  for (const auto& [name, addr] : spec.symbols) {
+    (void)name;
+    out.u32(name_offsets[sym_index++]);  // st_name
+    out.u8(0x10);                        // st_info = GLOBAL | NOTYPE
+    out.u8(0);                           // st_other
+    out.u16(0xfff1);                     // st_shndx = SHN_ABS
+    out.u64(addr);                       // st_value
+    out.u64(0);                          // st_size
+  }
+
+  out.raw(strtab.data(), strtab.size());
+  out.pad_to(shstrtab_offset);
+  out.raw(shstrtab.data(), shstrtab.size());
+
+  // Section headers.
+  out.pad_to(shoff);
+  auto shdr = [&out](std::uint32_t name, std::uint32_t type,
+                     std::uint64_t file_offset, std::uint64_t size,
+                     std::uint32_t link, std::uint32_t info,
+                     std::uint64_t entsize) {
+    out.u32(name);
+    out.u32(type);
+    out.u64(0);            // sh_flags
+    out.u64(0);            // sh_addr
+    out.u64(file_offset);  // sh_offset
+    out.u64(size);         // sh_size
+    out.u32(link);
+    out.u32(info);
+    out.u64(type == 2 ? 8 : 1);  // sh_addralign
+    out.u64(entsize);
+  };
+  shdr(0, 0, 0, 0, 0, 0, 0);  // SHN_UNDEF
+  shdr(shname_symtab, 2, symtab_offset, symtab_size, /*link=strtab*/ 2,
+       /*info: first global*/ 1, kSymSize);
+  shdr(shname_strtab, 3, strtab_offset, strtab.size(), 0, 0, 0);
+  shdr(shname_shstrtab, 3, shstrtab_offset, shstrtab.size(), 0, 0, 0);
+
+  return out.take();
+}
+
+}  // namespace coyote::loader

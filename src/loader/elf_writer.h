@@ -1,0 +1,36 @@
+// Minimal ELF64 writer: enough of the format (header, PT_LOAD program
+// headers, a .symtab/.strtab pair) to produce statically linked RV64
+// ET_EXEC images that parse_elf64 round-trips bit-faithfully. This is how
+// the committed test fixtures are generated (the container has no RISC-V
+// cross toolchain) and how the differential test wraps a menu-built kernel
+// image into an ELF.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace coyote::loader {
+
+struct ElfWriterSegment {
+  Addr vaddr = 0;
+  std::vector<std::uint8_t> bytes;
+  /// Total in-memory size; 0 means bytes.size() (no bss tail).
+  std::uint64_t memsz = 0;
+  std::uint32_t flags = 7;  ///< PF_R|PF_W|PF_X by default.
+};
+
+struct ElfWriterSpec {
+  Addr entry = 0;
+  std::vector<ElfWriterSegment> segments;
+  /// Emitted as global absolute .symtab entries (tohost, fromhost, ...).
+  std::map<std::string, Addr> symbols;
+};
+
+/// Serialises `spec` into an ELF64/RV64/ET_EXEC image.
+std::vector<std::uint8_t> write_elf64(const ElfWriterSpec& spec);
+
+}  // namespace coyote::loader

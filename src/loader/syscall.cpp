@@ -1,0 +1,200 @@
+#include "loader/syscall.h"
+
+#include <string>
+
+#include "common/binio.h"
+#include "common/error.h"
+#include "iss/memory.h"
+
+namespace coyote::loader {
+
+namespace {
+
+// Linux errno values, returned negated.
+constexpr std::int64_t kEbadf = 9;
+constexpr std::int64_t kEspipe = 29;
+
+// Simulated wall clock: one cycle == 1 ns (a 1 GHz nominal core), so time
+// syscalls are pure functions of the simulated cycle and runs are
+// bit-reproducible.
+constexpr std::uint64_t kCyclesPerSecond = 1'000'000'000ull;
+
+// Guardrail: a write() count beyond this is treated as a corrupt guest
+// argument rather than a transfer to attempt.
+constexpr std::uint64_t kMaxWriteBytes = 16ull << 20;
+
+std::uint64_t read_guest_u64(iss::SparseMemory& memory, Addr addr) {
+  std::uint8_t raw[8];
+  memory.read_bytes(addr, raw, sizeof raw);
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | raw[i];
+  return value;
+}
+
+void write_guest_u64(iss::SparseMemory& memory, Addr addr,
+                     std::uint64_t value) {
+  std::uint8_t raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  memory.write_bytes(addr, raw, sizeof raw);
+}
+
+void write_guest_u32(iss::SparseMemory& memory, Addr addr,
+                     std::uint32_t value) {
+  std::uint8_t raw[4];
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  memory.write_bytes(addr, raw, sizeof raw);
+}
+
+}  // namespace
+
+ProxyKernel::ProxyKernel(GuestLayout layout)
+    : layout_(layout), brk_(layout.heap_base) {}
+
+Addr ProxyKernel::initial_sp(unsigned hart_id) const {
+  const Addr sp =
+      layout_.stack_top - std::uint64_t{hart_id} * layout_.stack_bytes_per_hart;
+  return sp & ~Addr{15};
+}
+
+void ProxyKernel::execute_syscall(iss::IssSyscallIf& hart) {
+  const std::uint64_t number = hart.read_register(17);  // a7
+  const std::uint64_t a0 = hart.read_register(10);
+  const std::uint64_t a1 = hart.read_register(11);
+  const std::uint64_t a2 = hart.read_register(12);
+  bool exited = false;
+  std::int64_t status = 0;
+  const std::int64_t result =
+      dispatch(hart, number, a0, a1, a2, &exited, &status);
+  if (exited) {
+    hart.sys_exit(status);
+    return;
+  }
+  hart.write_register(10, static_cast<std::uint64_t>(result));
+}
+
+void ProxyKernel::handle_tohost(iss::IssSyscallIf& hart, std::uint64_t value) {
+  if (value == 0) return;  // fromhost acknowledgement pattern; nothing to do
+  if (value & 1) {
+    // HTIF exit: tohost = (code << 1) | 1.
+    hart.sys_exit(static_cast<std::int64_t>(value >> 1));
+    return;
+  }
+  // riscv-pk magic memory: tohost holds the address of an 8-u64 block
+  // {n, a0, a1, a2, ...}; the result goes back into block[0] and the
+  // fromhost doorbell (when the image exports one) is rung with 1.
+  iss::SparseMemory& memory = hart.guest_memory();
+  const Addr block = static_cast<Addr>(value);
+  const std::uint64_t number = read_guest_u64(memory, block);
+  const std::uint64_t a0 = read_guest_u64(memory, block + 8);
+  const std::uint64_t a1 = read_guest_u64(memory, block + 16);
+  const std::uint64_t a2 = read_guest_u64(memory, block + 24);
+  bool exited = false;
+  std::int64_t status = 0;
+  const std::int64_t result =
+      dispatch(hart, number, a0, a1, a2, &exited, &status);
+  if (exited) {
+    hart.sys_exit(status);
+    return;
+  }
+  write_guest_u64(memory, block, static_cast<std::uint64_t>(result));
+  if (fromhost_addr_ != 0) write_guest_u64(memory, fromhost_addr_, 1);
+}
+
+std::int64_t ProxyKernel::dispatch(iss::IssSyscallIf& hart,
+                                   std::uint64_t number, std::uint64_t a0,
+                                   std::uint64_t a1, std::uint64_t a2,
+                                   bool* exited, std::int64_t* exit_status) {
+  switch (number) {
+    case kSysExit:
+    case kSysExitGroup:
+      *exited = true;
+      *exit_status = static_cast<std::int64_t>(a0);
+      return 0;
+    case kSysWrite: {
+      if (a0 != 1 && a0 != 2) return -kEbadf;
+      if (a2 > kMaxWriteBytes) {
+        throw ExecutionError(strfmt(
+            "proxy kernel: hart %u write(fd=%llu) with implausible count "
+            "%llu bytes — corrupt guest arguments", hart.hart_id(),
+            static_cast<unsigned long long>(a0),
+            static_cast<unsigned long long>(a2)));
+      }
+      std::string text(static_cast<std::size_t>(a2), '\0');
+      hart.guest_memory().read_bytes(
+          static_cast<Addr>(a1),
+          reinterpret_cast<std::uint8_t*>(text.data()), text.size());
+      hart.console_write(text);
+      return static_cast<std::int64_t>(a2);
+    }
+    case kSysRead:
+      return 0;  // EOF: no input devices exist in the simulated machine
+    case kSysClose:
+      return 0;
+    case kSysLseek:
+      return -kEspipe;  // the console fds are not seekable
+    case kSysFstat: {
+      if (a0 > 2) return -kEbadf;
+      // Zeroed riscv64 `struct stat` (128 bytes) describing a character
+      // device, which makes newlib treat the fd as an unbuffered tty.
+      std::uint8_t zero[128] = {};
+      iss::SparseMemory& memory = hart.guest_memory();
+      memory.write_bytes(static_cast<Addr>(a1), zero, sizeof zero);
+      write_guest_u32(memory, static_cast<Addr>(a1) + 16, 0x2190);  // st_mode
+      write_guest_u32(memory, static_cast<Addr>(a1) + 20, 1);       // st_nlink
+      write_guest_u32(memory, static_cast<Addr>(a1) + 56, 1024);  // st_blksize
+      return 0;
+    }
+    case kSysClockGettime: {
+      const Cycle now = hart.cycle();
+      iss::SparseMemory& memory = hart.guest_memory();
+      write_guest_u64(memory, static_cast<Addr>(a1), now / kCyclesPerSecond);
+      write_guest_u64(memory, static_cast<Addr>(a1) + 8,
+                      now % kCyclesPerSecond);
+      return 0;
+    }
+    case kSysGettimeofday: {
+      const Cycle now = hart.cycle();
+      iss::SparseMemory& memory = hart.guest_memory();
+      write_guest_u64(memory, static_cast<Addr>(a0), now / kCyclesPerSecond);
+      write_guest_u64(memory, static_cast<Addr>(a0) + 8,
+                      (now % kCyclesPerSecond) / 1000);
+      return 0;
+    }
+    case kSysBrk: {
+      const Addr requested = static_cast<Addr>(a0);
+      if (requested >= layout_.heap_base &&
+          (layout_.heap_limit == 0 || requested <= layout_.heap_limit)) {
+        brk_ = requested;
+      }
+      return static_cast<std::int64_t>(brk_);  // Linux brk: new (or old) break
+    }
+    default:
+      throw ExecutionError(strfmt(
+          "proxy kernel: hart %u raised unimplemented syscall %llu "
+          "(a0=0x%llx); supported: write(64) read(63) close(57) lseek(62) "
+          "fstat(80) brk(214) clock_gettime(113) gettimeofday(169) "
+          "exit(93) exit_group(94)", hart.hart_id(),
+          static_cast<unsigned long long>(number),
+          static_cast<unsigned long long>(a0)));
+  }
+}
+
+void ProxyKernel::save_state(BinWriter& w) const {
+  w.u64(layout_.stack_top);
+  w.u64(layout_.stack_bytes_per_hart);
+  w.u64(layout_.heap_base);
+  w.u64(layout_.heap_limit);
+  w.u64(brk_);
+  w.u64(fromhost_addr_);
+}
+
+void ProxyKernel::load_state(BinReader& r) {
+  layout_.stack_top = r.u64();
+  layout_.stack_bytes_per_hart = r.u64();
+  layout_.heap_base = r.u64();
+  layout_.heap_limit = r.u64();
+  brk_ = r.u64();
+  fromhost_addr_ = r.u64();
+}
+
+}  // namespace coyote::loader

@@ -1,0 +1,71 @@
+// The proxy kernel: a host-side emulation of the handful of Linux/newlib
+// syscalls a statically linked RV64 program needs to run bare inside the
+// simulator — write, exit/exit_group, brk, fstat, read/close/lseek stubs,
+// and cycle-derived (deterministic) clock_gettime/gettimeofday. Programs
+// reach it through `ecall` or through HTIF `tohost` stores (LSB set =
+// exit(value >> 1), LSB clear = a riscv-pk magic-memory syscall block).
+// Implements iss::SyscallEmulatorIf, so harts and CoreModel never see this
+// header; only the loader and checkpoint restore construct one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "iss/syscall_if.h"
+
+namespace coyote::loader {
+
+/// The guest address-space layout the proxy kernel manages. Stacks grow
+/// down from stack_top (one stack_bytes_per_hart slot per hart); the brk
+/// heap grows up from heap_base (end of the loaded image) and is capped at
+/// heap_limit (below the lowest stack).
+struct GuestLayout {
+  Addr stack_top = 0x7FFF'F000;
+  std::uint64_t stack_bytes_per_hart = 1ull << 20;
+  Addr heap_base = 0;
+  Addr heap_limit = 0;
+};
+
+/// Linux RV64 syscall numbers the proxy kernel implements.
+inline constexpr std::uint64_t kSysClose = 57;
+inline constexpr std::uint64_t kSysLseek = 62;
+inline constexpr std::uint64_t kSysRead = 63;
+inline constexpr std::uint64_t kSysWrite = 64;
+inline constexpr std::uint64_t kSysFstat = 80;
+inline constexpr std::uint64_t kSysExit = 93;
+inline constexpr std::uint64_t kSysExitGroup = 94;
+inline constexpr std::uint64_t kSysClockGettime = 113;
+inline constexpr std::uint64_t kSysGettimeofday = 169;
+inline constexpr std::uint64_t kSysBrk = 214;
+
+class ProxyKernel final : public iss::SyscallEmulatorIf {
+ public:
+  explicit ProxyKernel(GuestLayout layout = {});
+
+  const GuestLayout& layout() const { return layout_; }
+  /// Initial stack pointer for `hart_id` (16-byte aligned, one descending
+  /// slot per hart).
+  Addr initial_sp(unsigned hart_id) const;
+  /// Arms the fromhost side of the HTIF channel (0 = absent: magic-mem
+  /// completions then skip the fromhost doorbell write).
+  void set_fromhost_addr(Addr addr) { fromhost_addr_ = addr; }
+  Addr brk_cursor() const { return brk_; }
+
+  void execute_syscall(iss::IssSyscallIf& hart) override;
+  void handle_tohost(iss::IssSyscallIf& hart, std::uint64_t value) override;
+  void save_state(BinWriter& w) const override;
+  void load_state(BinReader& r) override;
+
+ private:
+  /// Shared core of both trap paths. Returns the syscall result (negative
+  /// errno on failure, Linux-style); sets *exited for exit/exit_group.
+  std::int64_t dispatch(iss::IssSyscallIf& hart, std::uint64_t number,
+                        std::uint64_t a0, std::uint64_t a1, std::uint64_t a2,
+                        bool* exited, std::int64_t* exit_status);
+
+  GuestLayout layout_;
+  Addr brk_ = 0;
+  Addr fromhost_addr_ = 0;
+};
+
+}  // namespace coyote::loader

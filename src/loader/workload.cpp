@@ -1,0 +1,126 @@
+#include "loader/workload.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/simulator.h"
+#include "kernels/program_menu.h"
+#include "loader/elf.h"
+#include "loader/syscall.h"
+
+namespace coyote::loader {
+
+namespace {
+
+constexpr Addr kPageMask = 0xFFF;
+
+GuestLayout layout_for(const ElfImage& image, std::uint32_t num_cores,
+                       const std::string& name) {
+  GuestLayout layout;
+  const Addr stack_bottom =
+      layout.stack_top -
+      std::uint64_t{num_cores} * layout.stack_bytes_per_hart;
+  if (image.load_max + kPageMask + 1 > stack_bottom) {
+    throw ConfigError(strfmt(
+        "%s: image extends to 0x%llx, colliding with the %u hart stacks "
+        "growing down from 0x%llx — link the program lower (the menu "
+        "kernels load at 0x10000)", name.c_str(),
+        static_cast<unsigned long long>(image.load_max), num_cores,
+        static_cast<unsigned long long>(layout.stack_top)));
+  }
+  layout.heap_base = (image.load_max + kPageMask) & ~kPageMask;
+  layout.heap_limit = stack_bottom - (kPageMask + 1);  // one guard page
+  return layout;
+}
+
+}  // namespace
+
+core::WorkloadInfo resolve_workload_info(const core::SimConfig& config) {
+  core::WorkloadInfo info;
+  if (config.workload.is_elf()) {
+    const std::vector<std::uint8_t> bytes = read_file(config.workload.elf);
+    info.kind = "elf";
+    info.ref = config.workload.elf;
+    info.label = config.workload.elf;
+    info.content_hash = fnv1a64(bytes.data(), bytes.size());
+  } else {
+    info.kind = "kernel";
+    info.ref = config.workload.kernel;
+    info.label = config.workload.kernel;
+  }
+  return info;
+}
+
+core::WorkloadInfo load_workload(core::Simulator& sim) {
+  const core::SimConfig& config = sim.config();
+  const core::WorkloadConfig& wl = config.workload;
+  core::WorkloadInfo info;
+
+  if (wl.is_elf()) {
+    const std::vector<std::uint8_t> bytes = read_file(wl.elf);
+    const ElfImage image = load_elf64(bytes, sim.memory(), wl.elf);
+    const GuestLayout layout = layout_for(image, config.num_cores, wl.elf);
+    auto kernel = std::make_unique<ProxyKernel>(layout);
+    const auto fromhost = image.symbols.find("fromhost");
+    if (fromhost != image.symbols.end()) {
+      kernel->set_fromhost_addr(fromhost->second);
+    }
+    const auto tohost = image.symbols.find("tohost");
+    const Addr tohost_addr =
+        tohost != image.symbols.end() ? tohost->second : 0;
+    const ProxyKernel* pk = kernel.get();
+    sim.set_syscall_emulator(std::move(kernel));
+    sim.reset_cores(image.entry);
+    for (CoreId id = 0; id < sim.num_cores(); ++id) {
+      iss::Hart& hart = sim.core(id).hart();
+      hart.set_tohost_addr(tohost_addr);
+      hart.set_x(2, pk->initial_sp(id));  // sp: per-hart stack slot
+      hart.set_x(10, id);                 // a0: hart id
+    }
+    info.kind = "elf";
+    info.ref = wl.elf;
+    info.label = wl.elf;
+    info.content_hash = image.content_hash;
+    return info;
+  }
+
+  const kernels::Program program = kernels::build_named_kernel(
+      wl.kernel, config.num_cores, wl.size, wl.seed, sim.memory());
+  sim.load_program(program.base, program.words, program.entry);
+  info.kind = "kernel";
+  info.ref = wl.kernel;
+  info.label = wl.kernel;
+  return info;
+}
+
+void attach_proxy_kernel(core::Simulator& sim) {
+  sim.set_syscall_emulator(std::make_unique<ProxyKernel>());
+}
+
+std::string resume_label(const core::SimConfig& config) {
+  if (config.workload.is_elf()) {
+    const std::vector<std::uint8_t> bytes = read_file(config.workload.elf);
+    return strfmt("elf:%s#%016llx", config.workload.elf.c_str(),
+                  static_cast<unsigned long long>(
+                      fnv1a64(bytes.data(), bytes.size())));
+  }
+  return strfmt("%s size=%llu seed=%llu", config.workload.kernel.c_str(),
+                static_cast<unsigned long long>(config.workload.size),
+                static_cast<unsigned long long>(config.workload.seed));
+}
+
+void verify_elf_matches(const std::string& elf_path,
+                        std::uint64_t expected_hash) {
+  const std::vector<std::uint8_t> bytes = read_file(elf_path);
+  const std::uint64_t actual = fnv1a64(bytes.data(), bytes.size());
+  if (actual != expected_hash) {
+    throw ConfigError(strfmt(
+        "checkpoint was taken from a different build of '%s' (image hash "
+        "0x%016llx, checkpoint expects 0x%016llx) — restore with the "
+        "original binary or rerun from scratch", elf_path.c_str(),
+        static_cast<unsigned long long>(actual),
+        static_cast<unsigned long long>(expected_hash)));
+  }
+}
+
+}  // namespace coyote::loader

@@ -1,0 +1,50 @@
+// The unified Workload API: one resolution path from a SimConfig's
+// `workload.*` keys to a machine ready to run, shared by every front end
+// (coyote_sim, coyote_sweep, the sweep engine, checkpoint restore and the
+// fault campaign's golden runs). `workload.elf` names an ELF64 image
+// (loaded via src/loader/elf and given a proxy kernel for syscalls);
+// otherwise `workload.kernel` names a menu kernel built by src/kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/sim_config.h"
+#include "core/workload_info.h"
+
+namespace coyote::core {
+class Simulator;
+}  // namespace coyote::core
+
+namespace coyote::loader {
+
+/// Identity of the workload `config` selects, without touching a
+/// simulator: kind/ref/label plus, for ELF workloads, the image's current
+/// content hash (the file is read and hashed).
+core::WorkloadInfo resolve_workload_info(const core::SimConfig& config);
+
+/// Loads the workload selected by `sim.config().workload` into the
+/// machine and resets every core to its entry point. Menu kernels go
+/// through kernels::build_named_kernel + load_program; ELF images are
+/// mapped segment by segment, get a ProxyKernel attached for ecall/HTIF
+/// handling, and each hart starts with sp in its own stack slot and
+/// a0 = hart id. Returns the workload's identity for labelling.
+core::WorkloadInfo load_workload(core::Simulator& sim);
+
+/// Attaches a default-constructed ProxyKernel to `sim` (checkpoint
+/// restore: the serialized emulator state is loaded over it afterwards,
+/// and each hart's tohost address travels in the hart's own state).
+void attach_proxy_kernel(core::Simulator& sim);
+
+/// Stable label for checkpoint resume matching: menu kernels render as
+/// "<name> size=<n> seed=<n>" (the historical sweep label), ELF workloads
+/// as "elf:<path>#<content-hash>" so a rebuilt binary never resumes a
+/// stale checkpoint.
+std::string resume_label(const core::SimConfig& config);
+
+/// Refuses (throws ConfigError) when the file at `elf_path` no longer
+/// hashes to `expected_hash` — the mismatched-binary restore guard.
+void verify_elf_matches(const std::string& elf_path,
+                        std::uint64_t expected_hash);
+
+}  // namespace coyote::loader

@@ -19,7 +19,7 @@
 #include "core/config_io.h"
 #include "core/run_summary.h"
 #include "fault/differential.h"
-#include "kernels/program_menu.h"
+#include "loader/workload.h"
 
 namespace coyote::sweep {
 
@@ -357,15 +357,33 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
   const auto& collect = options_.collect;
   const std::string resume_dir = options_.resume_dir;
   const Cycle interval = options_.checkpoint_interval;
-  // The resume key also names the workload, so a checkpoint from a
-  // different kernel/size/seed campaign in the same directory never
-  // resumes into this one.
-  const std::string resume_label =
-      strfmt("%s size=%llu seed=%llu", spec.kernel.c_str(),
-             static_cast<unsigned long long>(spec.size),
-             static_cast<unsigned long long>(spec.seed));
   if (!resume_dir.empty()) {
     std::filesystem::create_directories(resume_dir);
+  }
+
+  // Fold the spec's kernel/size/seed into the workload.* config keys so
+  // every point's config map is self-describing (the unified Workload API)
+  // and workload.elf / workload.kernel work as sweep axes. A key already
+  // pinned by the base, an axis or an extra point wins over the spec field.
+  SweepSpec effective = spec;
+  const auto point_sets = [&spec](const std::string& key) {
+    if (spec.base.has(key)) return true;
+    for (const SweepAxis& axis : spec.axes) {
+      if (axis.key == key) return true;
+    }
+    for (const simfw::ConfigMap& extra : spec.extra_points) {
+      if (extra.has(key)) return true;
+    }
+    return false;
+  };
+  if (!point_sets("workload.kernel") && !point_sets("workload.elf")) {
+    effective.base.set("workload.kernel", spec.kernel);
+  }
+  if (!point_sets("workload.size") && spec.size != 0) {
+    effective.base.set("workload.size", std::to_string(spec.size));
+  }
+  if (!point_sets("workload.seed")) {
+    effective.base.set("workload.seed", std::to_string(spec.seed));
   }
 
   // Golden-run digest cache for resilience campaigns: every point whose
@@ -379,9 +397,7 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
   std::map<std::string, std::uint64_t> golden_cache;
   const auto build_point = [&](const core::SimConfig& config) {
     auto sim = std::make_unique<core::Simulator>(config);
-    const kernels::Program program = kernels::build_named_kernel(
-        spec.kernel, config.num_cores, spec.size, spec.seed, sim->memory());
-    sim->load_program(program.base, program.words, program.entry);
+    loader::load_workload(*sim);
     return sim;
   };
   const auto golden_digest = [&](const core::SimConfig& config) {
@@ -445,6 +461,11 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
       return result;
     }
 
+    // The resume key names the workload (kernel/size/seed, or the ELF path
+    // plus its content hash), so a checkpoint from a different campaign —
+    // or from a rebuilt binary — in the same directory never resumes into
+    // this point. Per point, because workload.* keys are sweepable.
+    const std::string resume_label = loader::resume_label(config);
     std::unique_ptr<core::Simulator> sim;
     if (!resume_dir.empty()) {
       sim = try_restore_point(stem + ".ckpt", resume_label, point.config);
@@ -530,7 +551,7 @@ SweepReport SweepEngine::run(const SweepSpec& spec) const {
     }
     return result;
   };
-  return run(spec.expand(), runner, spec.kernel);
+  return run(effective.expand(), runner, spec.kernel);
 }
 
 }  // namespace coyote::sweep

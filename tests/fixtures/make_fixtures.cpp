@@ -1,0 +1,78 @@
+// Regenerates the committed RV64 ELF fixtures in tests/fixtures/ from
+// their .S sources using the in-repo text assembler and ELF writer — no
+// cross-toolchain required. The output is deterministic (fixed section
+// layout, symbols emitted in map order), so re-running this tool on an
+// unchanged source tree reproduces the committed binaries byte for byte.
+//
+//   build/tests/coyote_make_fixtures        # rewrite tests/fixtures/*.elf
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "isa/text_asm.h"
+#include "loader/elf_writer.h"
+
+namespace {
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw coyote::SimError("cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void make_fixture(const std::string& stem) {
+  const std::string dir = COYOTE_FIXTURE_DIR;
+  const coyote::isa::AssembledText assembled =
+      coyote::isa::assemble_text(read_text(dir + "/" + stem + ".S"));
+  const auto entry = assembled.symbols.find("_start");
+  if (entry == assembled.symbols.end()) {
+    throw coyote::SimError(stem + ".S: no _start label");
+  }
+
+  coyote::loader::ElfWriterSegment segment;
+  segment.vaddr = assembled.base;
+  segment.bytes.reserve(assembled.words.size() * 4);
+  for (const std::uint32_t word : assembled.words) {
+    segment.bytes.push_back(static_cast<std::uint8_t>(word));
+    segment.bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+    segment.bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+    segment.bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+  }
+
+  coyote::loader::ElfWriterSpec spec;
+  spec.entry = entry->second;
+  spec.segments.push_back(std::move(segment));
+  spec.symbols = assembled.symbols;
+  const std::vector<std::uint8_t> elf = coyote::loader::write_elf64(spec);
+
+  const std::string out_path = dir + "/" + stem + ".elf";
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    throw coyote::SimError("cannot write '" + out_path + "'");
+  }
+  out.write(reinterpret_cast<const char*>(elf.data()),
+            static_cast<std::streamsize>(elf.size()));
+  std::printf("wrote %s (%zu bytes, entry 0x%llx)\n", out_path.c_str(),
+              elf.size(), static_cast<unsigned long long>(entry->second));
+}
+
+}  // namespace
+
+int main() {
+  try {
+    make_fixture("hello");
+    make_fixture("syscalls");
+    make_fixture("tohost42");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "make_fixtures: %s\n", error.what());
+    return 1;
+  }
+}

@@ -67,6 +67,10 @@ const std::map<std::string, std::string>& alternate_values() {
       {"ckpt.stop_at_roi", "false"},
       {"iss.dbb_cache", "false"},
       {"iss.dbb_blocks", "256"},
+      {"workload.kernel", "axpy"},
+      {"workload.elf", "tests/fixtures/hello.elf"},
+      {"workload.size", "48"},
+      {"workload.seed", "7"},
   };
   return values;
 }

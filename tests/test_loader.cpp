@@ -1,0 +1,431 @@
+// Tests for the ELF64 loader + proxy-kernel syscall layer (src/loader).
+// Covers the writer<->parser round trip, actionable rejection of malformed
+// images, the committed RV64 fixtures running to guest exit through the
+// Workload API, a menu-kernel-vs-ELF cycle-for-cycle differential, v3
+// checkpoints that carry the proxy-kernel state and refuse a rebuilt
+// binary, and sweep determinism over a workload.elf axis.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "common/error.h"
+#include "core/config_io.h"
+#include "core/simulator.h"
+#include "isa/text_asm.h"
+#include "kernels/program_menu.h"
+#include "loader/elf.h"
+#include "loader/elf_writer.h"
+#include "loader/syscall.h"
+#include "loader/workload.h"
+#include "sweep/sweep.h"
+
+namespace coyote::loader {
+namespace {
+
+using core::SimConfig;
+using core::Simulator;
+
+constexpr Cycle kBudget = 100'000'000;
+
+std::string fixture(const std::string& name) {
+  return std::string(COYOTE_FIXTURE_DIR) + "/" + name;
+}
+
+SimConfig small_config(std::uint32_t cores = 2) {
+  SimConfig config;
+  config.num_cores = cores;
+  config.cores_per_tile = cores;
+  config.l2_banks_per_tile = 1;
+  config.num_mcs = 1;
+  return config;
+}
+
+std::vector<std::uint8_t> words_to_bytes(
+    const std::vector<std::uint32_t>& words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (const std::uint32_t word : words) {
+    bytes.push_back(static_cast<std::uint8_t>(word));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+  }
+  return bytes;
+}
+
+/// Assembles `source` and wraps it into an ELF64 image (entry = _start).
+std::vector<std::uint8_t> elf_from_asm(const std::string& source) {
+  const isa::AssembledText assembled = isa::assemble_text(source);
+  ElfWriterSpec spec;
+  spec.entry = assembled.symbols.at("_start");
+  ElfWriterSegment segment;
+  segment.vaddr = assembled.base;
+  segment.bytes = words_to_bytes(assembled.words);
+  spec.segments.push_back(std::move(segment));
+  spec.symbols = assembled.symbols;
+  return write_elf64(spec);
+}
+
+std::string write_temp_elf(const std::string& name,
+                           const std::vector<std::uint8_t>& bytes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ElfWriter, RoundTripsThroughParser) {
+  ElfWriterSpec spec;
+  spec.entry = 0x10010;
+  ElfWriterSegment segment;
+  segment.vaddr = 0x10000;
+  segment.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  segment.memsz = 32;  // 24-byte bss tail
+  spec.segments.push_back(segment);
+  spec.symbols["tohost"] = 0x11000;
+  spec.symbols["_start"] = 0x10010;
+
+  ElfWriterSegment bss_home;  // keeps 0x11000 inside the load span
+  bss_home.vaddr = 0x11000;
+  bss_home.bytes = {0, 0, 0, 0, 0, 0, 0, 0};
+  spec.segments.push_back(bss_home);
+
+  const std::vector<std::uint8_t> bytes = write_elf64(spec);
+  const ElfImage image = parse_elf64(bytes, "round-trip");
+
+  EXPECT_EQ(image.entry, 0x10010u);
+  ASSERT_EQ(image.segments.size(), 2u);
+  EXPECT_EQ(image.segments[0].vaddr, 0x10000u);
+  EXPECT_EQ(image.segments[0].filesz, 8u);
+  EXPECT_EQ(image.segments[0].memsz, 32u);
+  EXPECT_EQ(image.load_min, 0x10000u);
+  EXPECT_EQ(image.load_max, 0x11008u);
+  EXPECT_EQ(image.symbols.at("tohost"), 0x11000u);
+  EXPECT_EQ(image.symbols.at("_start"), 0x10010u);
+  EXPECT_EQ(image.content_hash, fnv1a64(bytes.data(), bytes.size()));
+  EXPECT_NE(image.content_hash, 0u);
+}
+
+TEST(ElfParser, RejectsMalformedImagesWithActionableErrors) {
+  ElfWriterSpec spec;
+  spec.entry = 0x10000;
+  ElfWriterSegment segment;
+  segment.vaddr = 0x10000;
+  segment.bytes = {0x13, 0x00, 0x00, 0x00};  // nop
+  spec.segments.push_back(segment);
+  const std::vector<std::uint8_t> good = write_elf64(spec);
+  ASSERT_NO_THROW(parse_elf64(good, "good"));
+
+  const auto expect_error = [&](std::vector<std::uint8_t> bytes,
+                                const std::string& needle) {
+    try {
+      parse_elf64(bytes, "bad.elf");
+      FAIL() << "expected ConfigError containing '" << needle << "'";
+    } catch (const ConfigError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "message was: " << error.what();
+    }
+  };
+
+  std::vector<std::uint8_t> truncated(good.begin(), good.begin() + 10);
+  expect_error(truncated, "smaller than the 64-byte ELF64 header");
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] = 0x00;
+  expect_error(bad_magic, "not an ELF");
+
+  std::vector<std::uint8_t> elf32 = good;
+  elf32[4] = 1;  // ELFCLASS32
+  expect_error(elf32, "64-bit");
+
+  std::vector<std::uint8_t> big_endian = good;
+  big_endian[5] = 2;  // ELFDATA2MSB
+  expect_error(big_endian, "little-endian");
+
+  std::vector<std::uint8_t> x86 = good;
+  x86[0x12] = 62;  // EM_X86_64
+  x86[0x13] = 0;
+  expect_error(x86, "x86-64");
+
+  std::vector<std::uint8_t> pie = good;
+  pie[0x10] = 3;  // ET_DYN
+  expect_error(pie, "-static -no-pie");
+
+  std::vector<std::uint8_t> no_load = good;
+  no_load[0x38] = 0;  // e_phnum = 0
+  expect_error(no_load, "nothing to load");
+}
+
+TEST(ElfParser, ReadFileRejectsMissingPath) {
+  EXPECT_THROW(read_file("/nonexistent/no-such-file.elf"), ConfigError);
+}
+
+// --------------------------------------------------- fixtures end to end
+
+TEST(Workload, HelloFixtureRunsToGuestExit) {
+  SimConfig config = small_config();
+  config.workload.elf = fixture("hello.elf");
+  Simulator sim(config);
+  const core::WorkloadInfo info = load_workload(sim);
+  EXPECT_EQ(info.kind, "elf");
+  EXPECT_NE(info.content_hash, 0u);
+
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.guest_status(), 0);
+  for (std::uint32_t id = 0; id < config.num_cores; ++id) {
+    EXPECT_EQ(sim.core(id).hart().console(), "hello from coyote elf\n");
+  }
+}
+
+TEST(Workload, SyscallsFixtureExercisesProxyKernel) {
+  SimConfig config = small_config();
+  config.workload.elf = fixture("syscalls.elf");
+  Simulator sim(config);
+  load_workload(sim);
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.guest_status(), 0)
+      << "console: " << sim.core(0).hart().console();
+  EXPECT_EQ(sim.core(0).hart().console(), "syscalls ok\n");
+}
+
+TEST(Workload, TohostFixtureExitsThroughHtif) {
+  SimConfig config = small_config(1);
+  config.workload.elf = fixture("tohost42.elf");
+  Simulator sim(config);
+  load_workload(sim);
+  const auto result = sim.run(kBudget);
+  EXPECT_TRUE(result.all_exited);
+  EXPECT_EQ(result.guest_status(), 42);
+}
+
+TEST(Workload, ElfRunsAreDeterministic) {
+  SimConfig config = small_config();
+  config.workload.elf = fixture("syscalls.elf");
+  Simulator first(config);
+  load_workload(first);
+  const auto a = first.run(kBudget);
+  Simulator second(config);
+  load_workload(second);
+  const auto b = second.run(kBudget);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(Workload, MenuKernelAndElfImageRunCycleForCycle) {
+  // Build a menu kernel the normal way, snapshot its full memory image
+  // (code + generated workload data) into an ELF, reload through the ELF
+  // path, and demand a cycle-for-cycle identical run.
+  const SimConfig config = small_config();
+  Simulator menu_sim(config);
+  const kernels::Program program = kernels::build_named_kernel(
+      "axpy", config.num_cores, 64, 7, menu_sim.memory());
+
+  ElfWriterSpec spec;
+  spec.entry = program.entry;
+  ElfWriterSegment code;
+  code.vaddr = program.base;
+  code.bytes = words_to_bytes(program.words);
+  spec.segments.push_back(std::move(code));
+  for (const Addr page : menu_sim.memory().resident_page_indices()) {
+    ElfWriterSegment data;
+    data.vaddr = page * iss::SparseMemory::kPageSize;
+    const std::uint8_t* bytes = menu_sim.memory().page_data(page);
+    data.bytes.assign(bytes, bytes + iss::SparseMemory::kPageSize);
+    spec.segments.push_back(std::move(data));
+  }
+  const std::vector<std::uint8_t> elf = write_elf64(spec);
+
+  menu_sim.load_program(program.base, program.words, program.entry);
+  const auto menu_result = menu_sim.run(kBudget);
+  ASSERT_TRUE(menu_result.all_exited);
+
+  Simulator elf_sim(config);
+  const ElfImage image = parse_elf64(elf, "menu.elf");
+  load_elf64(elf, elf_sim.memory(), "menu.elf");
+  elf_sim.reset_cores(image.entry);
+  const auto elf_result = elf_sim.run(kBudget);
+
+  EXPECT_TRUE(elf_result.all_exited);
+  EXPECT_EQ(elf_result.cycles, menu_result.cycles);
+  EXPECT_EQ(elf_result.instructions, menu_result.instructions);
+  EXPECT_EQ(elf_result.exit_codes, menu_result.exit_codes);
+}
+
+// --------------------------------------------------------- checkpointing
+
+// A guest that parks state in the proxy kernel (a grown brk) before a long
+// ALU loop, then checks the break survived. If a checkpoint cut inside the
+// loop dropped the emulator state, the restored run exits 1, not 0.
+const char* const kBrkLoopSource = R"(
+.org 0x10000
+_start:
+    li a0, 0
+    li a7, 214
+    ecall                  # brk(0) -> s1
+    mv s1, a0
+    li t0, 8192
+    add a0, s1, t0
+    li a7, 214
+    ecall                  # grow the heap two pages
+    li s0, 20000
+loop:
+    addi s0, s0, -1
+    bnez s0, loop
+    li a0, 0
+    li a7, 214
+    ecall                  # brk(0) must still be s1 + 8192
+    li t0, 8192
+    add t1, s1, t0
+    bne a0, t1, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+)";
+
+TEST(Checkpoint, ElfWorkloadRestoresBitIdentically) {
+  const std::vector<std::uint8_t> elf = elf_from_asm(kBrkLoopSource);
+  const std::string path = write_temp_elf("coyote_brk_loop.elf", elf);
+
+  SimConfig config = small_config();
+  config.workload.elf = path;
+
+  // Uninterrupted reference run.
+  Simulator reference(config);
+  load_workload(reference);
+  const auto reference_result = reference.run(kBudget);
+  ASSERT_TRUE(reference_result.all_exited);
+  ASSERT_EQ(reference_result.guest_status(), 0);
+
+  // Cut mid-loop, serialize, restore, continue.
+  Simulator first(config);
+  const core::WorkloadInfo info = load_workload(first);
+  const auto cut = first.run_to_quiesce(1000, kBudget);
+  ASSERT_TRUE(cut.quiesced);
+  ASSERT_FALSE(cut.all_exited);
+
+  std::stringstream stream;
+  ckpt::write_checkpoint(first, info, stream);
+
+  ckpt::CheckpointMeta meta;
+  auto restored = ckpt::restore_checkpoint(stream, &meta);
+  EXPECT_EQ(meta.version, ckpt::kCheckpointVersion);
+  EXPECT_EQ(meta.workload_kind, "elf");
+  EXPECT_EQ(meta.workload_ref, path);
+  EXPECT_EQ(meta.workload_hash, fnv1a64(elf.data(), elf.size()));
+  ASSERT_NE(restored->syscall_emulator(), nullptr)
+      << "restore must re-attach the proxy kernel";
+
+  const auto first_rest = first.run(kBudget);
+  const auto restored_rest = restored->run(kBudget);
+  EXPECT_TRUE(restored_rest.all_exited);
+  EXPECT_EQ(restored_rest.cycles, first_rest.cycles);
+  EXPECT_EQ(restored_rest.instructions, first_rest.instructions);
+  EXPECT_EQ(restored_rest.guest_status(), 0)
+      << "brk state was lost across the checkpoint";
+  EXPECT_EQ(cut.cycles + restored_rest.cycles, reference_result.cycles);
+
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, VerifyElfMatchesRefusesRebuiltBinary) {
+  const std::vector<std::uint8_t> elf = elf_from_asm(kBrkLoopSource);
+  const std::string path = write_temp_elf("coyote_verify.elf", elf);
+  const std::uint64_t hash = fnv1a64(elf.data(), elf.size());
+
+  EXPECT_NO_THROW(verify_elf_matches(path, hash));
+  try {
+    verify_elf_matches(path, hash ^ 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("different build"),
+              std::string::npos)
+        << "message was: " << error.what();
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------ workload plumbing
+
+TEST(Workload, ResumeLabelDistinguishesBinaries) {
+  SimConfig kernel_config;
+  kernel_config.workload.kernel = "axpy";
+  kernel_config.workload.size = 64;
+  kernel_config.workload.seed = 7;
+  EXPECT_EQ(resume_label(kernel_config), "axpy size=64 seed=7");
+
+  SimConfig elf_config;
+  elf_config.workload.elf = fixture("hello.elf");
+  const std::string label = resume_label(elf_config);
+  EXPECT_EQ(label.rfind("elf:", 0), 0u) << label;
+  EXPECT_NE(label.find("hello.elf#"), std::string::npos) << label;
+
+  // A different binary at the same path must yield a different label.
+  SimConfig other_config;
+  other_config.workload.elf = fixture("tohost42.elf");
+  EXPECT_NE(resume_label(elf_config), resume_label(other_config));
+}
+
+TEST(Workload, ElfTakesPrecedenceOverKernelKey) {
+  SimConfig config;
+  config.workload.kernel = "axpy";
+  config.workload.elf = fixture("hello.elf");
+  EXPECT_EQ(resolve_workload_info(config).kind, "elf");
+}
+
+TEST(Workload, ConfigIoRoundTripsWorkloadKeys) {
+  SimConfig config;
+  config.workload.kernel = "fft";
+  config.workload.elf = "a/b/c.elf";
+  config.workload.size = 48;
+  config.workload.seed = 7;
+  const SimConfig back = core::config_from_map(core::config_to_map(config));
+  EXPECT_EQ(back.workload.kernel, "fft");
+  EXPECT_EQ(back.workload.elf, "a/b/c.elf");
+  EXPECT_EQ(back.workload.size, 48u);
+  EXPECT_EQ(back.workload.seed, 7u);
+}
+
+// ----------------------------------------------------------------- sweep
+
+TEST(Sweep, WorkloadElfAxisIsDeterministicAcrossJobs) {
+  sweep::SweepSpec spec;
+  spec.kernel = "elf-smoke";
+  spec.base.set("topo.cores", "2");
+  spec.base.set("topo.cores_per_tile", "2");
+  spec.base.set("l2.banks_per_tile", "1");
+  spec.base.set("mc.count", "1");
+  spec.base.set("workload.elf", fixture("hello.elf"));
+  spec.axes.push_back(sweep::axis_from_token("core.l1d_kb=16,32"));
+
+  sweep::SweepEngine::Options serial;
+  serial.jobs = 1;
+  serial.progress = false;
+  sweep::SweepEngine::Options wide;
+  wide.jobs = 4;
+  wide.progress = false;
+
+  const std::string a = sweep::SweepEngine(serial).run(spec).to_json();
+  const std::string b = sweep::SweepEngine(wide).run(spec).to_json();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"all_exited\": true"), std::string::npos) << a;
+}
+
+}  // namespace
+}  // namespace coyote::loader
