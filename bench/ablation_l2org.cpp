@@ -19,8 +19,9 @@ void run_l2org(benchmark::State& state, core::L2Sharing sharing,
     core::SimConfig config = machine(cores);
     config.l2_sharing = sharing;
     config.fast_forward_idle = true;
-    // Use a mesh NoC so remote-bank distance actually costs cycles.
-    config.noc.model = memhier::NocModel::kMesh2D;
+    // Use a mesh-oracle NoC so remote-bank distance costs cycles without
+    // contention noise (keeps the committed baseline numbers comparable).
+    config.noc.model = memhier::NocModel::kMeshOracle;
     config.noc.mesh_width = 4;
     const SimRun run = run_kernel(
         config,

@@ -45,7 +45,7 @@ void BM_NocMesh(benchmark::State& state) {
   for (auto _ : state) {
     core::SimConfig config = machine(64);
     config.fast_forward_idle = true;
-    config.noc.model = memhier::NocModel::kMesh2D;
+    config.noc.model = memhier::NocModel::kMeshOracle;
     config.noc.mesh_width = 4;
     config.noc.mesh_hop_latency = hop;
     report(state, run_spmv(config));

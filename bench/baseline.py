@@ -4,7 +4,7 @@
 Runs the two host-performance benchmarks that guard the simulation loop —
 fig3_throughput (end-to-end simulated-MIPS, the paper's Figure 3 metric) and
 micro_substrates (decode / cache-array / scheduler / hart hot paths) — with
-Google Benchmark's JSON output, plus a 16-point design-space sweep through
+Google Benchmark's JSON output, plus a 32-point design-space sweep through
 the coyote_sweep CLI (the unified config/run API; schema_version-stamped
 JSON, host timings excluded so the table is bit-reproducible), and drops
 the reports at the repository root:
@@ -94,11 +94,13 @@ BENCHMARKS = [
 ]
 
 # The design-space baseline: an 8-core SpMV swept across L2 capacity, bank
-# count and mapping policy — 16 points in full mode, 4 in --quick.
+# count, mapping policy and NoC model (ideal crossbar vs the contended
+# 2D mesh on a 2x2 grid) — 32 points in full mode, 8 in --quick.
 SWEEP_ARGS = [
     "--kernel=spmv_scalar", "--size=512", "--seed=2024", "--quiet",
-    "topo.cores=8", "core.l1d_kb=4",
+    "topo.cores=8", "core.l1d_kb=4", "topo.mesh=2x2",
     "l2.banks_per_tile=1,2", "l2.mapping=set-interleave,page-to-bank",
+    "noc.model=crossbar,mesh",
 ]
 SWEEP_AXIS_FULL = "l2.size_kb=16,32,64,128"
 SWEEP_AXIS_QUICK = "l2.size_kb=16,32"

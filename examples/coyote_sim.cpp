@@ -56,7 +56,8 @@ struct Options {
 void usage() {
   std::printf(
       "usage: coyote_sim [PROGRAM.elf | --kernel=K | PROGRAM.s] [--cores=N]\n"
-      "                  [--size=S] [--seed=X] [--report=text|csv|json]\n"
+      "                  [--size=S] [--seed=X] [--mesh=WxH]\n"
+      "                  [--report=text|csv|json]\n"
       "                  [--json-out=FILE] [--trace=BASENAME]\n"
       "                  [--ffwd=N] [--checkpoint-out=FILE]\n"
       "                  [--checkpoint-at=CYCLE] [--checkpoint-in=FILE]\n"
@@ -82,6 +83,13 @@ void usage() {
       "cycles (default 0), then keeps running; --checkpoint-in resumes a\n"
       "saved run bit-identically (no workload/config arguments needed; an\n"
       "ELF checkpoint is refused if the binary on disk changed).\n"
+      "\n"
+      "--mesh=WxH is shorthand for noc.model=mesh topo.mesh=WxH: the\n"
+      "contended 2D-mesh NoC (per-link bandwidth/buffering, XY routing,\n"
+      "round-robin arbitration, credit backpressure) on a WxH grid that\n"
+      "must seat every tile and memory controller (topo.mesh=auto derives\n"
+      "the height). noc.link_bandwidth / noc.buffer_flits / noc.flit_bytes\n"
+      "tune the links; the default noc.model=crossbar is unchanged.\n"
       "\n"
       "--cores=N is shorthand for topo.cores=N; --watchdog=N for\n"
       "sim.watchdog_cycles=N (declare a hang after N cycles with no retired\n"
@@ -332,6 +340,9 @@ int main(int argc, char** argv) {
         options.overrides.set("workload.size", value_of());
       } else if (arg.rfind("--seed=", 0) == 0) {
         options.overrides.set("workload.seed", value_of());
+      } else if (arg.rfind("--mesh=", 0) == 0) {
+        options.overrides.set("noc.model", "mesh");
+        options.overrides.set("topo.mesh", value_of());
       } else if (arg.rfind("--report=", 0) == 0) {
         options.report = value_of();
       } else if (arg.rfind("--json-out=", 0) == 0) {

@@ -56,6 +56,14 @@ void save_config(BinWriter& w, const core::SimConfig& c) {
   w.u64(c.noc.mesh_router_latency);
   w.u64(c.noc.mesh_hop_latency);
   w.u32(c.noc.mesh_width);
+  if (c.noc.model == memhier::NocModel::kMesh2D) {
+    // Contended-mesh knobs, gated on the model byte so crossbar and
+    // mesh-oracle checkpoints keep their exact v3 byte layout.
+    w.u32(c.noc.mesh_height);
+    w.u64(c.noc.link_bandwidth);
+    w.u32(c.noc.buffer_flits);
+    w.u32(c.noc.flit_bytes);
+  }
   w.u32(c.num_mcs);
   w.u8(static_cast<std::uint8_t>(c.mc.model));
   w.u64(c.mc.latency);
@@ -136,6 +144,12 @@ core::SimConfig load_config(BinReader& r) {
   c.noc.mesh_router_latency = r.u64();
   c.noc.mesh_hop_latency = r.u64();
   c.noc.mesh_width = r.u32();
+  if (c.noc.model == memhier::NocModel::kMesh2D) {
+    c.noc.mesh_height = r.u32();
+    c.noc.link_bandwidth = r.u64();
+    c.noc.buffer_flits = r.u32();
+    c.noc.flit_bytes = r.u32();
+  }
   c.num_mcs = r.u32();
   c.mc.model = static_cast<memhier::McModel>(r.u8());
   c.mc.latency = r.u64();
@@ -333,6 +347,13 @@ void write_checkpoint(core::Simulator& sim, const core::WorkloadInfo& workload,
   }
   sim.orchestrator().save_state(w);
 
+  // Contended-mesh router state (quiesce guarantees no messages in flight;
+  // what remains is link pacing: next-free cycles and round-robin pointers).
+  // Gated on the model so crossbar/oracle files keep their v3 layout.
+  if (sim.config().noc.model == memhier::NocModel::kMesh2D) {
+    sim.noc().save_state(w);
+  }
+
   // Proxy-kernel emulator state (v3): presence flag + brk/layout payload.
   // Restore reattaches the emulator from this flag alone, so checkpoints
   // stay self-contained even when workload config and machine state were
@@ -408,6 +429,10 @@ std::unique_ptr<core::Simulator> restore_checkpoint(std::istream& is,
     if (memhier::LlcSlice* llc = sim->llc(mc)) llc->load_state(r);
   }
   sim->orchestrator().load_state(r);
+
+  if (sim->config().noc.model == memhier::NocModel::kMesh2D) {
+    sim->noc().load_state(r);
+  }
 
   const bool has_emulator = r.b();
   if (has_emulator) {

@@ -27,6 +27,8 @@ struct ConfigParams {
   ConfigParams() {
     topo.add("cores", std::uint64_t{8}, "total core count");
     topo.add("cores_per_tile", std::uint64_t{8}, "cores per tile");
+    topo.add("mesh", std::string("auto"),
+             "mesh geometry WxH, e.g. 4x4 ('auto' fits the node count)");
     core.add("vlen_bits", std::uint64_t{512}, "VLEN in bits");
     core.add("l1d_kb", std::uint64_t{32}, "L1D capacity");
     core.add("l1i_kb", std::uint64_t{32}, "L1I capacity");
@@ -43,10 +45,18 @@ struct ConfigParams {
     l2.add("prefetch_degree", std::uint64_t{1}, "lines fetched ahead");
     l2.add("replacement", std::string("lru"), "lru|fifo|random");
     l2.add("coherence", std::string("none"), "none|mesi (L1 coherence)");
-    noc.add("model", std::string("crossbar"), "crossbar|mesh");
+    noc.add("model", std::string("crossbar"), "crossbar|mesh-oracle|mesh");
     noc.add("latency", std::uint64_t{4}, "crossbar latency");
     noc.add("mesh_width", std::uint64_t{4}, "mesh columns");
     noc.add("mesh_hop_latency", std::uint64_t{1}, "per-hop latency");
+    noc.add("mesh_router_latency", std::uint64_t{2},
+            "per-message router pipeline latency (mesh models)");
+    noc.add("link_bandwidth", std::uint64_t{1},
+            "mesh link bandwidth in flits/cycle (0 = infinite)");
+    noc.add("buffer_flits", std::uint64_t{8},
+            "per-link input buffer depth in flits (0 = infinite)");
+    noc.add("flit_bytes", std::uint64_t{16},
+            "flit size for message serialization (mesh)");
     llc.add("enable", false, "LLC slice per memory controller");
     llc.add("size_kb", std::uint64_t{2048}, "per-slice capacity");
     llc.add("ways", std::uint64_t{16}, "associativity");
@@ -125,12 +135,16 @@ const std::vector<ConfigKeyInfo>& config_keys() {
                                     param->description()});
       }
     }
-    // l2.coherence, the iss.*/ckpt.*/fault.*/workload.* groups and
-    // sim.watchdog_cycles postdate the frozen sweep/results tables;
-    // omitting them at their defaults keeps those outputs byte-stable
-    // (see ConfigKeyInfo).
+    // l2.coherence, the iss.*/ckpt.*/fault.*/workload.* groups,
+    // sim.watchdog_cycles, topo.mesh and the contended-mesh noc.* knobs
+    // postdate the frozen sweep/results tables; omitting them at their
+    // defaults keeps those outputs byte-stable (see ConfigKeyInfo).
     for (ConfigKeyInfo& info : out) {
       if (info.key == "l2.coherence" || info.key == "sim.watchdog_cycles" ||
+          info.key == "topo.mesh" ||
+          info.key == "noc.mesh_router_latency" ||
+          info.key == "noc.link_bandwidth" ||
+          info.key == "noc.buffer_flits" || info.key == "noc.flit_bytes" ||
           info.key.rfind("iss.", 0) == 0 ||
           info.key.rfind("ckpt.", 0) == 0 ||
           info.key.rfind("fault.", 0) == 0 ||
@@ -242,16 +256,57 @@ SimConfig config_from_map(const simfw::ConfigMap& map) {
   const std::string noc_model = params.noc.as<std::string>("model");
   if (noc_model == "crossbar") {
     config.noc.model = memhier::NocModel::kIdealCrossbar;
+  } else if (noc_model == "mesh-oracle") {
+    config.noc.model = memhier::NocModel::kMeshOracle;
   } else if (noc_model == "mesh") {
     config.noc.model = memhier::NocModel::kMesh2D;
   } else {
-    throw ConfigError("noc.model must be crossbar|mesh");
+    throw ConfigError("noc.model must be crossbar|mesh-oracle|mesh");
   }
   config.noc.crossbar_latency = params.noc.as<std::uint64_t>("latency");
   config.noc.mesh_width =
       static_cast<std::uint32_t>(params.noc.as<std::uint64_t>("mesh_width"));
   config.noc.mesh_hop_latency =
       params.noc.as<std::uint64_t>("mesh_hop_latency");
+  config.noc.mesh_router_latency =
+      params.noc.as<std::uint64_t>("mesh_router_latency");
+  config.noc.link_bandwidth = params.noc.as<std::uint64_t>("link_bandwidth");
+  config.noc.buffer_flits = static_cast<std::uint32_t>(
+      params.noc.as<std::uint64_t>("buffer_flits"));
+  config.noc.flit_bytes =
+      static_cast<std::uint32_t>(params.noc.as<std::uint64_t>("flit_bytes"));
+  // topo.mesh=WxH pins the full mesh rectangle, overriding noc.mesh_width;
+  // the default "auto" keeps the width knob and derives the height.
+  const std::string mesh_geometry = params.topo.as<std::string>("mesh");
+  if (mesh_geometry != "auto") {
+    std::uint64_t width = 0;
+    std::uint64_t height = 0;
+    std::size_t pos = 0;
+    while (pos < mesh_geometry.size() && mesh_geometry[pos] >= '0' &&
+           mesh_geometry[pos] <= '9') {
+      width = width * 10 + static_cast<std::uint64_t>(mesh_geometry[pos] - '0');
+      ++pos;
+    }
+    const std::size_t width_digits = pos;
+    const bool has_x = pos < mesh_geometry.size() && mesh_geometry[pos] == 'x';
+    if (has_x) ++pos;
+    const std::size_t height_start = pos;
+    while (pos < mesh_geometry.size() && mesh_geometry[pos] >= '0' &&
+           mesh_geometry[pos] <= '9') {
+      height =
+          height * 10 + static_cast<std::uint64_t>(mesh_geometry[pos] - '0');
+      ++pos;
+    }
+    if (width_digits == 0 || !has_x || pos == height_start ||
+        pos != mesh_geometry.size() || width == 0 || height == 0 ||
+        width > 0xFFFFFFFFULL || height > 0xFFFFFFFFULL) {
+      throw ConfigError(strfmt(
+          "topo.mesh must be WxH (e.g. 4x4) or auto, got '%s'",
+          mesh_geometry.c_str()));
+    }
+    config.noc.mesh_width = static_cast<std::uint32_t>(width);
+    config.noc.mesh_height = static_cast<std::uint32_t>(height);
+  }
   config.llc.enable = params.llc.as<bool>("enable");
   config.llc.size_bytes = params.llc.as<std::uint64_t>("size_kb") * 1024;
   config.llc.ways =
@@ -332,12 +387,36 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
   if (config.coherence != Coherence::kNone) {
     map.set("l2.coherence", coherence_name(config.coherence));
   }
-  map.set("noc.model", config.noc.model == memhier::NocModel::kMesh2D
-                           ? "mesh"
-                           : "crossbar");
+  map.set("noc.model",
+          config.noc.model == memhier::NocModel::kMesh2D
+              ? "mesh"
+              : (config.noc.model == memhier::NocModel::kMeshOracle
+                     ? "mesh-oracle"
+                     : "crossbar"));
   set_u64("noc.latency", config.noc.crossbar_latency);
   set_u64("noc.mesh_width", config.noc.mesh_width);
   set_u64("noc.mesh_hop_latency", config.noc.mesh_hop_latency);
+  // topo.mesh and the contended-mesh knobs postdate the frozen outputs:
+  // emit only off-default values (same contract as iss.*/ckpt.* below).
+  {
+    const memhier::NocConfig noc_defaults;
+    if (config.noc.mesh_height != 0) {
+      map.set("topo.mesh", strfmt("%ux%u", config.noc.mesh_width,
+                                  config.noc.mesh_height));
+    }
+    if (config.noc.mesh_router_latency != noc_defaults.mesh_router_latency) {
+      set_u64("noc.mesh_router_latency", config.noc.mesh_router_latency);
+    }
+    if (config.noc.link_bandwidth != noc_defaults.link_bandwidth) {
+      set_u64("noc.link_bandwidth", config.noc.link_bandwidth);
+    }
+    if (config.noc.buffer_flits != noc_defaults.buffer_flits) {
+      set_u64("noc.buffer_flits", config.noc.buffer_flits);
+    }
+    if (config.noc.flit_bytes != noc_defaults.flit_bytes) {
+      set_u64("noc.flit_bytes", config.noc.flit_bytes);
+    }
+  }
   set_bool("llc.enable", config.llc.enable);
   set_u64("llc.size_kb", config.llc.size_bytes / 1024);
   set_u64("llc.ways", config.llc.ways);

@@ -102,11 +102,19 @@ void Orchestrator::route_request(CoreId core,
                                      : TraceEvent::kL1DMiss,
                    request.line_addr);
   }
+  const MemRequest message{request.line_addr, op, core, src_tile, bank};
+  if (noc_->contended()) {
+    auto* port = req_out_[bank].get();
+    noc_->transmit(noc_->tile_node(src_tile),
+                   noc_->tile_node(tile_of_bank(bank)),
+                   noc_->message_bytes(message), 0, core,
+                   [port, message]() { port->deliver_now(message); });
+    return;
+  }
   const std::size_t route =
       static_cast<std::size_t>(src_tile) * num_l2_banks_ + bank;
   noc_->record_traversal(req_hops_[route]);
-  req_out_[bank]->send(MemRequest{request.line_addr, op, core, src_tile, bank},
-                       req_delay_[route]);
+  req_out_[bank]->send(message, req_delay_[route]);
 }
 
 void Orchestrator::on_response(const MemResponse& response) {
@@ -156,13 +164,21 @@ void Orchestrator::handle_probe(const MemResponse& probe) {
   // this core); a dirty copy travels home folded into the ack.
   const BankId bank = bank_for(probe.core, probe.line_addr);
   const TileId src_tile = tile_of_core(probe.core);
+  const MemRequest ack{probe.line_addr,
+                       to_shared ? MemOp::kWbAck : MemOp::kInvAck,
+                       probe.core, src_tile, bank, dirty};
+  if (noc_->contended()) {
+    auto* port = req_out_[bank].get();
+    noc_->transmit(noc_->tile_node(src_tile),
+                   noc_->tile_node(tile_of_bank(bank)),
+                   noc_->message_bytes(ack), 0, probe.core,
+                   [port, ack]() { port->deliver_now(ack); });
+    return;
+  }
   const std::size_t route =
       static_cast<std::size_t>(src_tile) * num_l2_banks_ + bank;
   noc_->record_traversal(req_hops_[route]);
-  req_out_[bank]->send(
-      MemRequest{probe.line_addr, to_shared ? MemOp::kWbAck : MemOp::kInvAck,
-                 probe.core, src_tile, bank, dirty},
-      req_delay_[route]);
+  req_out_[bank]->send(ack, req_delay_[route]);
 }
 
 void Orchestrator::step_single_active(Cycle stop_cycle,

@@ -62,9 +62,12 @@ std::string RunResult::to_json(bool include_host_timing) const {
 std::string run_summary_json(const WorkloadInfo& workload,
                              const Simulator& sim, const RunResult& result,
                              bool include_host_timing) {
+  const bool mesh = sim.noc().contended();
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema_version\": " << kRunSummarySchemaVersion << ",\n"
+     << "  \"schema_version\": "
+     << (mesh ? kRunSummaryMeshSchemaVersion : kRunSummarySchemaVersion)
+     << ",\n"
      << "  \"kind\": \"run\",\n"
      << "  \"workload\": \"" << json_escape(workload.label) << "\",\n"
      << "  \"workload_source\": {\"kind\": \"" << json_escape(workload.kind)
@@ -88,8 +91,9 @@ std::string run_summary_json(const WorkloadInfo& workload,
   }
   os << "\n  },\n"
      << "  \"result\": " << result.to_json(include_host_timing) << ",\n"
-     << "  \"guest_status\": " << result.guest_status() << ",\n"
-     << "  \"stats\": " << sim.report(simfw::ReportFormat::kJson) << "}\n";
+     << "  \"guest_status\": " << result.guest_status() << ",\n";
+  if (mesh) os << "  \"noc\": " << sim.noc().summary_json() << ",\n";
+  os << "  \"stats\": " << sim.report(simfw::ReportFormat::kJson) << "}\n";
   return os.str();
 }
 

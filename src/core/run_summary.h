@@ -27,7 +27,11 @@ namespace coyote::core {
 // under "stats" whenever the decoded-block cache is on (the new default).
 // v3: "workload_source" object (kind / ref / content_hash — the Workload
 // API identity) and "guest_status" (first non-zero guest exit(status)).
+// v4: "noc" object (mesh geometry + aggregate link counters) — emitted,
+// and the version advanced, only for contended-mesh runs; crossbar and
+// mesh-oracle summaries remain byte-identical v3 documents.
 inline constexpr int kRunSummarySchemaVersion = 3;
+inline constexpr int kRunSummaryMeshSchemaVersion = 4;
 
 /// Escapes `text` for embedding inside a JSON string literal.
 std::string json_escape(const std::string& text);

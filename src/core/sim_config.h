@@ -208,6 +208,40 @@ struct SimConfig {
           "SimConfig: coherence=mesi supports at most 64 cores "
           "(directory sharer bitmask)");
     }
+    if (noc.model != memhier::NocModel::kIdealCrossbar &&
+        noc.mesh_width == 0) {
+      throw ConfigError("SimConfig: noc.mesh_width == 0");
+    }
+    if (noc.model == memhier::NocModel::kMesh2D) {
+      if (noc.mesh_router_latency == 0) {
+        throw ConfigError(
+            "SimConfig: noc.mesh_router_latency must be >= 1 for "
+            "noc.model=mesh");
+      }
+      if (noc.flit_bytes == 0) {
+        throw ConfigError("SimConfig: noc.flit_bytes == 0");
+      }
+      const std::uint32_t nodes = num_tiles() + num_mcs;
+      const std::uint32_t height =
+          noc.mesh_height != 0
+              ? noc.mesh_height
+              : (nodes + noc.mesh_width - 1) / noc.mesh_width;
+      if (static_cast<std::uint64_t>(noc.mesh_width) * height < nodes) {
+        throw ConfigError(strfmt(
+            "SimConfig: topo.mesh=%ux%u seats %u nodes but the machine has "
+            "%u (%u tiles + %u MCs) — enlarge the mesh or use topo.mesh=auto",
+            noc.mesh_width, height, noc.mesh_width * height, nodes,
+            num_tiles(), num_mcs));
+      }
+      const std::uint32_t data_flits = memhier::flits_for(
+          memhier::kMsgHeaderBytes + core.line_bytes, noc.flit_bytes);
+      if (noc.buffer_flits != 0 && noc.buffer_flits < data_flits) {
+        throw ConfigError(strfmt(
+            "SimConfig: noc.buffer_flits=%u cannot hold a full data message "
+            "(%u flits of %u bytes) — raise it or use 0 for infinite buffers",
+            noc.buffer_flits, data_flits, noc.flit_bytes));
+      }
+    }
     // The fault plan is validated even while disarmed: a typo'd resilience
     // campaign spec should die at parse time, not when fault.enable flips.
     if (fault.count == 0) throw ConfigError("SimConfig: fault.count == 0");

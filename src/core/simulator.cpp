@@ -11,7 +11,8 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
   mc_mapper_ = std::make_unique<memhier::McMapper>(config_.num_mcs,
                                                    config_.mc_interleave_bytes);
   noc_ = std::make_unique<memhier::Noc>(root_.get(), config_.noc,
-                                        config_.num_tiles(), config_.num_mcs);
+                                        config_.num_tiles(), config_.num_mcs,
+                                        config_.core.line_bytes);
 
   // Memory controllers, optionally fronted by an LLC slice each.
   mcs_.reserve(config_.num_mcs);
@@ -90,6 +91,15 @@ Simulator::Simulator(const SimConfig& config) : config_(config) {
   if (config_.enable_trace) {
     trace_ = std::make_unique<ParaverTraceWriter>(config_.trace_basename,
                                                   config_.num_cores);
+    if (noc_->contended()) {
+      // Link-grant waits become Paraver congestion events attributed to the
+      // waiting message's originating core.
+      ParaverTraceWriter* trace = trace_.get();
+      noc_->set_congestion_sink(
+          [trace](Cycle cycle, CoreId core, std::uint64_t waited) {
+            trace->record(cycle, core, TraceEvent::kNocCongestion, waited);
+          });
+    }
   }
 
   orchestrator_ = std::make_unique<Orchestrator>(

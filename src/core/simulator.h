@@ -73,6 +73,7 @@ class Simulator {
   std::uint32_t num_cores() const { return config_.num_cores; }
   iss::CoreModel& core(CoreId id) { return *cores_.at(id); }
   memhier::Noc& noc() { return *noc_; }
+  const memhier::Noc& noc() const { return *noc_; }
   memhier::L2Bank& l2_bank(BankId id) { return *banks_.at(id); }
   std::uint32_t num_l2_banks() const {
     return static_cast<std::uint32_t>(banks_.size());

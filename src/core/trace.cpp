@@ -122,6 +122,8 @@ void ParaverTraceWriter::finish(Cycle total_cycles) {
     emit(TraceEvent::kInstrRetired, "Coyote retired (value: instructions)");
     emit(TraceEvent::kCohInv,
          "Coyote coherence invalidation (value: line address)");
+    emit(TraceEvent::kNocCongestion,
+         "Coyote NoC congestion (value: cycles waited for a link)");
   }
   // ----- .row -----
   {

@@ -30,6 +30,7 @@ enum class TraceEvent : std::uint32_t {
   kL2MissFill = 42001004,  ///< fill observed by the core (service completed)
   kInstrRetired = 42001005,
   kCohInv = 42001006,  ///< coherence probe delivered to the core's L1
+  kNocCongestion = 42001007,  ///< mesh link-grant wait (value: cycles)
 
 };
 

@@ -72,6 +72,16 @@ L2Bank::L2Bank(simfw::Unit* parent, std::string name, BankId bank_id,
 
 void L2Bank::respond(const MemRequest& request, Cycle delay) {
   MemResponse response{request.line_addr, request.op, request.core};
+  if (noc_->contended()) {
+    std::optional<MemRequest> promoted;
+    if (directory_ != nullptr &&
+        (request.op == MemOp::kGetS || request.op == MemOp::kGetM)) {
+      response.grant = directory_->complete(request, promoted);
+    }
+    deliver_response_mesh(response, noc_->tile_node(request.src_tile), delay,
+                          /*attempt=*/0, std::move(promoted));
+    return;
+  }
   const Cycle total = delay + noc_->traverse(noc_->tile_node(tile_),
                                              noc_->tile_node(request.src_tile));
   if (directory_ != nullptr &&
@@ -120,6 +130,56 @@ void L2Bank::deliver_response(const MemResponse& response, Cycle delay,
   cpu_resp_out_.send(response, delay);
 }
 
+void L2Bank::deliver_response_mesh(const MemResponse& response,
+                                   std::uint32_t dst_node, Cycle delay,
+                                   std::uint32_t attempt,
+                                   std::optional<MemRequest> promoted) {
+  if (fault_hooks_ != nullptr) {
+    const NetVerdict verdict =
+        fault_hooks_->on_response_send(response, bank_id_, attempt);
+    if (verdict.drop) {
+      if (attempt < fault_retries_) {
+        ++fault_retransmits_;
+        const Cycle backoff = fault_backoff_ << attempt;
+        scheduler().schedule(delay + backoff, simfw::SchedPriority::kUpdate,
+                             [this, response, dst_node, delay, attempt,
+                              promoted = std::move(promoted)]() {
+                               deliver_response_mesh(response, dst_node, delay,
+                                                     attempt + 1, promoted);
+                             });
+      } else {
+        ++fault_lost_messages_;
+        // The grant is gone, but the directory transaction it unblocked
+        // must still start (at the uncontended arrival estimate) or every
+        // later request on the line wedges behind it — mirroring the
+        // fixed-latency path, which schedules the promoted transaction
+        // independently of the grant's fate.
+        if (promoted.has_value()) {
+          scheduler().schedule(
+              delay + noc_->latency(noc_->tile_node(tile_), dst_node),
+              simfw::SchedPriority::kUpdate,
+              [this, p = *promoted]() { start_probe_phase(p); });
+        }
+      }
+      return;
+    }
+    delay += verdict.delay;
+  }
+  noc_->transmit(noc_->tile_node(tile_), dst_node,
+                 noc_->message_bytes(response), delay, response.core,
+                 [this, response, promoted = std::move(promoted)]() {
+                   cpu_resp_out_.deliver_now(response);
+                   if (promoted.has_value()) {
+                     // Same ordering contract as the fixed-latency path:
+                     // the probe phase starts in the update phase of the
+                     // cycle the grant landed, never before it.
+                     scheduler().schedule(
+                         0, simfw::SchedPriority::kUpdate,
+                         [this, p = *promoted]() { start_probe_phase(p); });
+                   }
+                 });
+}
+
 void L2Bank::start_probe_phase(const MemRequest& request) {
   std::vector<Directory::Probe> probes;
   if (directory_->activate(request, probes) == Directory::Action::kProceed) {
@@ -134,10 +194,16 @@ void L2Bank::start_probe_phase(const MemRequest& request) {
 void L2Bank::send_probe(const Directory::Probe& probe, Addr line_addr) {
   ++(probe.to_shared ? *coh_downgrades_ : *coh_invalidations_);
   const TileId target_tile = probe.target / config_.cores_per_tile;
+  const MemResponse message{line_addr,
+                            probe.to_shared ? MemOp::kDowngrade : MemOp::kInv,
+                            probe.target};
+  if (noc_->contended()) {
+    deliver_response_mesh(message, noc_->tile_node(target_tile), 0,
+                          /*attempt=*/0, std::nullopt);
+    return;
+  }
   deliver_response(
-      MemResponse{line_addr,
-                  probe.to_shared ? MemOp::kDowngrade : MemOp::kInv,
-                  probe.target},
+      message,
       noc_->traverse(noc_->tile_node(tile_), noc_->tile_node(target_tile)),
       /*attempt=*/0);
 }
@@ -165,6 +231,14 @@ void L2Bank::forward_to_mc(const MemRequest& request, Cycle extra_delay) {
   MemRequest forwarded = request;
   forwarded.src_bank = bank_id_;
   forwarded.src_tile = tile_;
+  if (noc_->contended()) {
+    auto* port = mem_req_out_[mc].get();
+    noc_->transmit(noc_->tile_node(tile_), noc_->mc_node(mc),
+                   noc_->message_bytes(forwarded), extra_delay,
+                   forwarded.core,
+                   [port, forwarded]() { port->deliver_now(forwarded); });
+    return;
+  }
   mem_req_out_[mc]->send(
       forwarded,
       extra_delay + noc_->traverse(noc_->tile_node(tile_), noc_->mc_node(mc)));

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -136,6 +137,16 @@ class L2Bank : public simfw::Unit {
   /// this is exactly cpu_resp_out_.send(response, delay).
   void deliver_response(const MemResponse& response, Cycle delay,
                         std::uint32_t attempt);
+  /// Contended-mesh twin of deliver_response(): runs the same fault /
+  /// retransmit protocol, then injects the message into the mesh.
+  /// `promoted` (a directory transaction unblocked by this grant) starts
+  /// once the grant actually lands — or, if the grant is lost for good, at
+  /// the uncontended arrival estimate so the directory never wedges on a
+  /// transaction the oracle model would have started.
+  void deliver_response_mesh(const MemResponse& response,
+                             std::uint32_t dst_node, Cycle delay,
+                             std::uint32_t attempt,
+                             std::optional<MemRequest> promoted);
   /// Issues next-line prefetches following a demand miss at `line_addr`.
   void maybe_prefetch(Addr line_addr);
   /// The cache data path (hit / miss / MSHR merge / input queue) shared by

@@ -42,10 +42,17 @@ LlcSlice::LlcSlice(simfw::Unit* parent, std::string name, McId mc_id,
 void LlcSlice::respond(const MemRequest& request, Cycle delay) {
   // The slice sits at its controller's NoC node; the response crosses the
   // NoC back to the requesting bank's tile.
+  const MemResponse response{request.line_addr, request.op, request.core};
+  if (noc_->contended()) {
+    auto* port = resp_out_[request.src_bank].get();
+    noc_->transmit(noc_->mc_node(mc_id_), noc_->tile_node(request.src_tile),
+                   noc_->message_bytes(response), delay, response.core,
+                   [port, response]() { port->deliver_now(response); });
+    return;
+  }
   resp_out_[request.src_bank]->send(
-      MemResponse{request.line_addr, request.op, request.core},
-      delay + noc_->traverse(noc_->mc_node(mc_id_),
-                             noc_->tile_node(request.src_tile)));
+      response, delay + noc_->traverse(noc_->mc_node(mc_id_),
+                                       noc_->tile_node(request.src_tile)));
 }
 
 void LlcSlice::insert_line(Addr line_addr, bool dirty) {

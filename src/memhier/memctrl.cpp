@@ -82,10 +82,17 @@ void MemoryController::on_request(const MemRequest& request) {
       latency += stall;
     }
   }
+  const MemResponse response{request.line_addr, request.op, request.core};
+  if (noc_->contended()) {
+    auto* port = resp_out_[request.src_bank].get();
+    noc_->transmit(noc_->mc_node(mc_id_), noc_->tile_node(request.src_tile),
+                   noc_->message_bytes(response), latency, response.core,
+                   [port, response]() { port->deliver_now(response); });
+    return;
+  }
   resp_out_[request.src_bank]->send(
-      MemResponse{request.line_addr, request.op, request.core},
-      latency + noc_->traverse(noc_->mc_node(mc_id_),
-                               noc_->tile_node(request.src_tile)));
+      response, latency + noc_->traverse(noc_->mc_node(mc_id_),
+                                         noc_->tile_node(request.src_tile)));
 }
 
 }  // namespace coyote::memhier

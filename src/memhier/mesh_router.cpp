@@ -1,0 +1,276 @@
+#include "memhier/mesh_router.h"
+
+#include <algorithm>
+
+#include "common/binio.h"
+#include "common/error.h"
+
+namespace coyote::memhier {
+
+namespace {
+constexpr const char* kDirName[4] = {"e", "w", "n", "s"};
+}  // namespace
+
+MeshRouterNet::MeshRouterNet(simfw::Scheduler* scheduler, const Config& config,
+                             simfw::StatisticSet& stats)
+    : sched_(scheduler), config_(config) {
+  if (config_.width == 0 || config_.height == 0) {
+    throw ConfigError("MeshRouterNet: zero mesh dimension");
+  }
+  if (config_.router_latency == 0) {
+    throw ConfigError("MeshRouterNet: router_latency must be >= 1");
+  }
+  num_nodes_ = config_.width * config_.height;
+  links_.resize(static_cast<std::size_t>(num_nodes_) * 4);
+  delivered_ = &stats.counter("delivered", "messages delivered by the mesh");
+  total_flits_ = &stats.counter("flits", "flits forwarded over all links");
+  total_wait_ =
+      &stats.counter("wait_cycles", "message-cycles spent waiting for links");
+  peak_queue_ =
+      &stats.counter("peak_queue_flits", "peak flits queued at any one link");
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    const std::uint32_t x = node_x(n);
+    const std::uint32_t y = node_y(n);
+    for (std::uint8_t d = 0; d < 4; ++d) {
+      Link& l = links_[link_id(n, d)];
+      switch (d) {
+        case kEast:
+          if (x + 1 >= config_.width) continue;
+          l.to = n + 1;
+          break;
+        case kWest:
+          if (x == 0) continue;
+          l.to = n - 1;
+          break;
+        case kNorth:
+          if (y == 0) continue;
+          l.to = n - config_.width;
+          break;
+        case kSouth:
+          if (y + 1 >= config_.height) continue;
+          l.to = n + config_.width;
+          break;
+      }
+      l.exists = true;
+      l.credits = config_.buffer_flits;
+      ++num_links_;
+      const std::string base =
+          "link" + std::to_string(n) + "_" + kDirName[d] + "_";
+      l.flits = &stats.counter(base + "flits", "flits forwarded");
+      l.busy_cycles =
+          &stats.counter(base + "busy_cycles", "cycles transmitting");
+      l.wait_cycles =
+          &stats.counter(base + "wait_cycles", "message-cycles waited");
+      l.peak_queue = &stats.counter(base + "peak_queue_flits",
+                                    "peak flits queued for this link");
+    }
+  }
+}
+
+MeshRouterNet::~MeshRouterNet() {
+  for (Msg* m : in_flight_) delete m;
+}
+
+void MeshRouterNet::inject(std::uint32_t src, std::uint32_t dst,
+                           std::uint32_t flits, Cycle pre_delay, CoreId core,
+                           std::function<void()> deliver) {
+  if (src >= num_nodes_ || dst >= num_nodes_) {
+    throw SimError(strfmt("MeshRouterNet: node out of range (src %u dst %u, "
+                          "%u nodes)",
+                          src, dst, num_nodes_));
+  }
+  Msg* m = new Msg;
+  m->dst = dst;
+  m->flits = flits == 0 ? 1 : flits;
+  m->core = core;
+  m->deliver = std::move(deliver);
+  m->seq = next_seq_++;
+  in_flight_.insert(m);
+  sched_->schedule(pre_delay + config_.router_latency,
+                   simfw::SchedPriority::kPortDelivery,
+                   [this, m, src] { on_arrival(m, src); });
+}
+
+std::uint8_t MeshRouterNet::next_dir(std::uint32_t node,
+                                     std::uint32_t dst) const {
+  const std::uint32_t x = node_x(node);
+  const std::uint32_t y = node_y(node);
+  const std::uint32_t dx = node_x(dst);
+  const std::uint32_t dy = node_y(dst);
+  if (x < dx) return kEast;
+  if (x > dx) return kWest;
+  if (y > dy) return kNorth;
+  return kSouth;
+}
+
+bool MeshRouterNet::has_queued(const Link& l) const {
+  for (const auto& q : l.queues) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void MeshRouterNet::on_arrival(Msg* m, std::uint32_t node) {
+  if (node == m->dst) {
+    release_held(m, sched_->now());
+    push_ready(m);
+    return;
+  }
+  const std::uint8_t dir = next_dir(node, m->dst);
+  const std::uint8_t in_port = m->held_link == kNoLink
+                                   ? kLocal
+                                   : static_cast<std::uint8_t>(
+                                         (m->held_link & 3) ^ 1);
+  request_link(m, node, dir, in_port);
+}
+
+void MeshRouterNet::request_link(Msg* m, std::uint32_t node, std::uint8_t dir,
+                                 std::uint8_t in_port) {
+  const std::uint32_t lid = link_id(node, dir);
+  Link& l = links_[lid];
+  if (!l.exists) {
+    throw SimError(strfmt("MeshRouterNet: route off the mesh at node %u "
+                          "(dir %s towards node %u)",
+                          node, kDirName[dir], m->dst));
+  }
+  m->enqueued_at = sched_->now();
+  l.queues[in_port].push_back(m);
+  l.queued_flits += m->flits;
+  if (l.queued_flits > l.peak_queue->get()) {
+    l.peak_queue->set(l.queued_flits);
+    if (l.queued_flits > peak_queue_->get()) peak_queue_->set(l.queued_flits);
+  }
+  schedule_arb(lid, sched_->now());
+}
+
+void MeshRouterNet::schedule_arb(std::uint32_t lid, Cycle at) {
+  Link& l = links_[lid];
+  if (at < sched_->now()) at = sched_->now();
+  if (l.arb_at != kNoCycle && l.arb_at <= at) return;
+  l.arb_at = at;
+  sched_->schedule_at(at, simfw::SchedPriority::kPortDelivery,
+                      [this, lid, at] {
+                        Link& link = links_[lid];
+                        if (link.arb_at == at) link.arb_at = kNoCycle;
+                        arbitrate(lid);
+                      });
+}
+
+void MeshRouterNet::arbitrate(std::uint32_t lid) {
+  Link& l = links_[lid];
+  const Cycle now = sched_->now();
+  while (true) {
+    if (config_.link_bandwidth != 0 && l.next_free > now) break;
+    int pick = -1;
+    for (int i = 0; i < static_cast<int>(kNumInPorts); ++i) {
+      const int q = (l.rr + i) % static_cast<int>(kNumInPorts);
+      if (l.queues[q].empty()) continue;
+      const Msg* head = l.queues[q].front();
+      if (config_.buffer_flits != 0 && l.credits < head->flits) continue;
+      pick = q;
+      break;
+    }
+    if (pick < 0) break;
+    Msg* m = l.queues[pick].front();
+    l.queues[pick].pop_front();
+    l.rr = static_cast<std::uint8_t>((pick + 1) % kNumInPorts);
+    grant(lid, m, now);
+  }
+  // Bandwidth-limited: come back the cycle the link frees up if work waits.
+  if (config_.link_bandwidth != 0 && l.next_free > now && has_queued(l)) {
+    schedule_arb(lid, l.next_free);
+  }
+}
+
+void MeshRouterNet::grant(std::uint32_t lid, Msg* m, Cycle now) {
+  Link& l = links_[lid];
+  const Cycle waited = now - m->enqueued_at;
+  if (waited != 0) {
+    *l.wait_cycles += waited;
+    *total_wait_ += waited;
+    if (congestion_sink_ && m->core != kInvalidCore) {
+      congestion_sink_(now, m->core, waited);
+    }
+  }
+  if (config_.buffer_flits != 0) l.credits -= m->flits;
+  release_held(m, now);
+  m->held_link = lid;
+  const Cycle occupancy =
+      config_.link_bandwidth == 0
+          ? 0
+          : (m->flits + config_.link_bandwidth - 1) / config_.link_bandwidth;
+  if (occupancy != 0) {
+    l.next_free = now + occupancy;
+    *l.busy_cycles += occupancy;
+  }
+  *l.flits += m->flits;
+  *total_flits_ += m->flits;
+  l.queued_flits -= m->flits;
+  const std::uint32_t to = l.to;
+  sched_->schedule(config_.hop_latency, simfw::SchedPriority::kPortDelivery,
+                   [this, m, to] { on_arrival(m, to); });
+}
+
+void MeshRouterNet::release_held(Msg* m, Cycle now) {
+  if (m->held_link == kNoLink) return;
+  if (config_.buffer_flits != 0) {
+    Link& upstream = links_[m->held_link];
+    upstream.credits += m->flits;
+    // Freed buffer space may unblock a credit-starved head upstream.
+    if (has_queued(upstream)) schedule_arb(m->held_link, now);
+  }
+  m->held_link = kNoLink;
+}
+
+void MeshRouterNet::push_ready(Msg* m) {
+  ready_.push_back(m);
+  const Cycle now = sched_->now();
+  if (drain_scheduled_for_ == now) return;
+  drain_scheduled_for_ = now;
+  sched_->schedule(0, simfw::SchedPriority::kPortDelivery, [this, now] {
+    if (drain_scheduled_for_ == now) drain_scheduled_for_ = kNoCycle;
+    drain();
+  });
+}
+
+void MeshRouterNet::drain() {
+  // Same-cycle deliveries run in injection order, which is exactly the order
+  // the fixed-latency models' per-message events would fire in — keeping the
+  // degenerate (infinite buffers + bandwidth) mesh handler-for-handler
+  // identical to the hop-latency oracle.
+  std::vector<Msg*> batch;
+  batch.swap(ready_);
+  std::sort(batch.begin(), batch.end(),
+            [](const Msg* a, const Msg* b) { return a->seq < b->seq; });
+  for (Msg* m : batch) {
+    ++*delivered_;
+    auto deliver = std::move(m->deliver);
+    in_flight_.erase(m);
+    delete m;
+    deliver();
+  }
+}
+
+void MeshRouterNet::save_state(BinWriter& w) const {
+  if (!quiescent()) {
+    throw SimError("MeshRouterNet: checkpoint with messages in flight");
+  }
+  for (const Link& l : links_) {
+    if (!l.exists) continue;
+    w.u64(l.next_free);
+    w.u8(l.rr);
+  }
+}
+
+void MeshRouterNet::load_state(BinReader& r) {
+  for (Link& l : links_) {
+    if (!l.exists) continue;
+    l.next_free = r.u64();
+    l.rr = r.u8();
+    if (l.rr >= kNumInPorts) {
+      throw SimError("MeshRouterNet: corrupt round-robin pointer");
+    }
+  }
+}
+
+}  // namespace coyote::memhier

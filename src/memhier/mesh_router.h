@@ -1,0 +1,171 @@
+// Event-driven contended 2D-mesh network (noc.model=mesh). Models a W x H
+// grid of routers connected by directed links; every node is either a tile,
+// a memory controller (seated row-major after the tiles, which lands the MCs
+// on the bottom edge of the rectangle) or an unused pass-through router.
+//
+// Model, per message (virtual cut-through at message granularity):
+//   - injection: pre_delay + router_latency cycles after transmit(), the
+//     message appears at its source router's local input port;
+//   - routing: dimension-ordered XY (X first, then Y) — deadlock-free;
+//   - per directed link: finite input buffer (`buffer_flits`, credit-based
+//     backpressure) and finite bandwidth (`link_bandwidth` flits/cycle; a
+//     message of F flits occupies the link ceil(F / bw) cycles);
+//   - arbitration: deterministic round-robin over the five input ports
+//     (E, W, N, S, local) contending for each output link;
+//   - hop: a granted message arrives at the next router `hop_latency`
+//     cycles later.
+// With buffer_flits=0 (infinite) and link_bandwidth=0 (infinite) every
+// message is granted the cycle it requests, reproducing the uncontended
+// hop-latency oracle cycle-for-cycle: delivery at
+// send + pre_delay + router_latency + hop_latency * manhattan(src, dst).
+//
+// Determinism: everything runs on the calendar queue (priority
+// kPortDelivery), ties broken by scheduling sequence, round-robin pointers
+// advanced in grant order. Same-cycle deliveries at a destination are
+// drained by ONE event per cycle in message *injection* order — exactly the
+// order the fixed-latency models deliver in — so the contended mesh in its
+// degenerate configuration is indistinguishable from the oracle, and every
+// mesh run is bit-reproducible at any host thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "simfw/scheduler.h"
+#include "simfw/statistics.h"
+
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
+
+namespace coyote::memhier {
+
+class MeshRouterNet {
+ public:
+  struct Config {
+    std::uint32_t width = 4;
+    std::uint32_t height = 1;
+    Cycle router_latency = 2;     ///< injection pipeline depth (>= 1)
+    Cycle hop_latency = 1;        ///< per-link traversal latency
+    std::uint64_t link_bandwidth = 1;  ///< flits/cycle per link; 0 = infinite
+    std::uint32_t buffer_flits = 8;    ///< per-link input buffer; 0 = infinite
+  };
+
+  /// `stats` receives the aggregate and per-link counters (registered once,
+  /// at construction, so the stats-tree shape is a pure function of config).
+  MeshRouterNet(simfw::Scheduler* scheduler, const Config& config,
+                simfw::StatisticSet& stats);
+  ~MeshRouterNet();
+
+  MeshRouterNet(const MeshRouterNet&) = delete;
+  MeshRouterNet& operator=(const MeshRouterNet&) = delete;
+
+  /// Injects a message of `flits` flits. `deliver` runs when the message is
+  /// ejected at `dst` (same-cycle ejections run in injection order). `core`
+  /// attributes congestion-trace events (kInvalidCore: not attributed).
+  void inject(std::uint32_t src, std::uint32_t dst, std::uint32_t flits,
+              Cycle pre_delay, CoreId core, std::function<void()> deliver);
+
+  /// Observer called at every grant that waited >= 1 cycle for a link:
+  /// (grant cycle, originating core, cycles waited).
+  void set_congestion_sink(
+      std::function<void(Cycle, CoreId, std::uint64_t)> sink) {
+    congestion_sink_ = std::move(sink);
+  }
+
+  /// True iff no message is buffered, in flight on a link, or awaiting its
+  /// delivery drain.
+  bool quiescent() const { return in_flight_.empty() && ready_.empty(); }
+
+  std::uint64_t delivered() const { return delivered_->get(); }
+
+  /// Serializes the residual link state (next-free cycles, round-robin
+  /// pointers). Requires quiescent(); throws SimError otherwise. Buffers and
+  /// credits are empty/full by the quiesce invariant and are not written.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
+
+  std::uint32_t width() const { return config_.width; }
+  std::uint32_t height() const { return config_.height; }
+  std::uint32_t num_links() const { return num_links_; }
+
+ private:
+  // Directions out of a node; opposite(d) == d ^ 1.
+  static constexpr std::uint8_t kEast = 0;
+  static constexpr std::uint8_t kWest = 1;
+  static constexpr std::uint8_t kNorth = 2;  // towards y-1
+  static constexpr std::uint8_t kSouth = 3;  // towards y+1
+  static constexpr std::uint8_t kLocal = 4;  // injection port
+  static constexpr std::size_t kNumInPorts = 5;
+  static constexpr std::uint32_t kNoLink = ~std::uint32_t{0};
+  static constexpr Cycle kNoCycle = ~Cycle{0};
+
+  struct Msg {
+    std::uint32_t dst = 0;
+    std::uint32_t flits = 1;
+    CoreId core = kInvalidCore;
+    std::function<void()> deliver;
+    std::uint64_t seq = 0;         ///< injection order; drives drain order
+    std::uint32_t held_link = kNoLink;  ///< link whose buffer this occupies
+    Cycle enqueued_at = 0;         ///< when it last requested a link
+  };
+
+  /// One directed link node->neighbor plus the downstream input buffer it
+  /// feeds (credit accounting) and the output arbitration state at `from`.
+  struct Link {
+    bool exists = false;
+    std::uint32_t to = 0;
+    std::uint64_t credits = 0;     ///< free flits downstream (finite buffers)
+    Cycle next_free = 0;           ///< link busy until here (finite bandwidth)
+    std::uint8_t rr = 0;           ///< next input port round-robin offset
+    Cycle arb_at = kNoCycle;       ///< earliest scheduled arbitration event
+    std::uint64_t queued_flits = 0;
+    std::deque<Msg*> queues[kNumInPorts];
+    simfw::Counter* flits = nullptr;       ///< flits forwarded
+    simfw::Counter* busy_cycles = nullptr; ///< cycles spent transmitting
+    simfw::Counter* wait_cycles = nullptr; ///< message-cycles waited here
+    simfw::Counter* peak_queue = nullptr;  ///< peak queued flits
+  };
+
+  std::uint32_t node_x(std::uint32_t n) const { return n % config_.width; }
+  std::uint32_t node_y(std::uint32_t n) const { return n / config_.width; }
+  std::uint32_t link_id(std::uint32_t node, std::uint8_t dir) const {
+    return node * 4 + dir;
+  }
+  std::uint8_t next_dir(std::uint32_t node, std::uint32_t dst) const;
+  bool has_queued(const Link& l) const;
+
+  void on_arrival(Msg* m, std::uint32_t node);
+  void request_link(Msg* m, std::uint32_t node, std::uint8_t dir,
+                    std::uint8_t in_port);
+  void schedule_arb(std::uint32_t lid, Cycle at);
+  void arbitrate(std::uint32_t lid);
+  void grant(std::uint32_t lid, Msg* m, Cycle now);
+  void release_held(Msg* m, Cycle now);
+  void push_ready(Msg* m);
+  void drain();
+
+  simfw::Scheduler* sched_;
+  Config config_;
+  std::uint32_t num_nodes_ = 0;
+  std::uint32_t num_links_ = 0;
+  std::vector<Link> links_;
+
+  std::uint64_t next_seq_ = 0;
+  std::unordered_set<Msg*> in_flight_;
+  std::vector<Msg*> ready_;
+  Cycle drain_scheduled_for_ = kNoCycle;
+
+  simfw::Counter* delivered_ = nullptr;
+  simfw::Counter* total_flits_ = nullptr;
+  simfw::Counter* total_wait_ = nullptr;
+  simfw::Counter* peak_queue_ = nullptr;
+  std::function<void(Cycle, CoreId, std::uint64_t)> congestion_sink_;
+};
+
+}  // namespace coyote::memhier

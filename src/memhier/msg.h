@@ -80,4 +80,42 @@ struct MemResponse {
   CohGrant grant = CohGrant::kNone;
 };
 
+// ----- message sizing (contended-NoC flit model) ------------------------
+// Every message carries a fixed header (address, op, routing metadata); data
+// messages additionally carry one cache line. The contended mesh serializes
+// messages into flits of NocConfig::flit_bytes each.
+
+inline constexpr std::uint32_t kMsgHeaderBytes = 16;
+
+/// Requests carrying a full line of data: dirty evictions and probe acks
+/// that fold a dirty copy into the ack.
+inline bool request_carries_data(const MemRequest& request) {
+  if (request.op == MemOp::kWriteback) return true;
+  return (request.op == MemOp::kInvAck || request.op == MemOp::kWbAck) &&
+         request.dirty_data;
+}
+
+/// Responses carrying a full line: every fill. Probes (kInv / kDowngrade)
+/// are control-only.
+inline bool response_carries_data(const MemResponse& response) {
+  return response.op != MemOp::kInv && response.op != MemOp::kDowngrade;
+}
+
+inline std::uint32_t message_bytes(const MemRequest& request,
+                                   std::uint32_t line_bytes) {
+  return kMsgHeaderBytes + (request_carries_data(request) ? line_bytes : 0);
+}
+
+inline std::uint32_t message_bytes(const MemResponse& response,
+                                   std::uint32_t line_bytes) {
+  return kMsgHeaderBytes + (response_carries_data(response) ? line_bytes : 0);
+}
+
+/// Flits needed for `bytes` of message at `flit_bytes` per flit (>= 1).
+inline std::uint32_t flits_for(std::uint32_t bytes, std::uint32_t flit_bytes) {
+  if (flit_bytes == 0) return 1;
+  const std::uint32_t flits = (bytes + flit_bytes - 1) / flit_bytes;
+  return flits == 0 ? 1 : flits;
+}
+
 }  // namespace coyote::memhier

@@ -1,0 +1,120 @@
+#include "memhier/noc.h"
+
+#include "common/binio.h"
+#include "memhier/mesh_router.h"
+
+namespace coyote::memhier {
+
+Noc::Noc(simfw::Unit* parent, const NocConfig& config, std::uint32_t num_tiles,
+         std::uint32_t num_mcs, std::uint32_t line_bytes)
+    : simfw::Unit(parent, "noc"),
+      config_(config),
+      num_tiles_(num_tiles),
+      num_mcs_(num_mcs),
+      line_bytes_(line_bytes),
+      messages_(stats().counter("messages", "messages traversing the NoC")),
+      hops_(stats().counter("hops", "total router hops (mesh models)")) {
+  if (config_.model == NocModel::kIdealCrossbar) return;
+  if (config_.mesh_width == 0) {
+    throw ConfigError("Noc: mesh_width must be nonzero");
+  }
+  const std::uint32_t nodes = num_tiles_ + num_mcs_;
+  mesh_height_ = config_.mesh_height != 0
+                     ? config_.mesh_height
+                     : (nodes + config_.mesh_width - 1) / config_.mesh_width;
+  if (!contended()) return;
+  if (static_cast<std::uint64_t>(config_.mesh_width) * mesh_height_ < nodes) {
+    throw ConfigError(strfmt(
+        "Noc: topo.mesh=%ux%u seats %u nodes but the machine has %u "
+        "(%u tiles + %u MCs) — enlarge the mesh or use topo.mesh=auto",
+        config_.mesh_width, mesh_height_,
+        config_.mesh_width * mesh_height_, nodes, num_tiles_, num_mcs_));
+  }
+  if (config_.flit_bytes == 0) {
+    throw ConfigError("Noc: flit_bytes must be nonzero");
+  }
+  if (config_.mesh_router_latency == 0) {
+    throw ConfigError("Noc: mesh_router_latency must be >= 1 for noc.model=mesh");
+  }
+  const std::uint32_t max_flits =
+      flits_for(kMsgHeaderBytes + line_bytes_, config_.flit_bytes);
+  if (config_.buffer_flits != 0 && config_.buffer_flits < max_flits) {
+    throw ConfigError(strfmt(
+        "Noc: buffer_flits=%u cannot hold a full data message (%u flits of "
+        "%u bytes) — raise it or use 0 for infinite buffers",
+        config_.buffer_flits, max_flits, config_.flit_bytes));
+  }
+  MeshRouterNet::Config net_config;
+  net_config.width = config_.mesh_width;
+  net_config.height = mesh_height_;
+  net_config.router_latency = config_.mesh_router_latency;
+  net_config.hop_latency = config_.mesh_hop_latency;
+  net_config.link_bandwidth = config_.link_bandwidth;
+  net_config.buffer_flits = config_.buffer_flits;
+  net_ = std::make_unique<MeshRouterNet>(&scheduler(), net_config, stats());
+}
+
+Noc::~Noc() = default;
+
+Cycle Noc::traverse(std::uint32_t src, std::uint32_t dst) {
+  if (contended()) {
+    throw SimError(
+        "Noc: traverse() called on the contended mesh — use transmit()");
+  }
+  ++messages_;
+  if (config_.model == NocModel::kIdealCrossbar) {
+    return config_.crossbar_latency;
+  }
+  const std::uint32_t nhops = manhattan(src, dst);
+  hops_ += nhops;
+  return config_.mesh_router_latency +
+         config_.mesh_hop_latency * static_cast<Cycle>(nhops);
+}
+
+void Noc::transmit(std::uint32_t src, std::uint32_t dst, std::uint32_t bytes,
+                   Cycle pre_delay, CoreId core,
+                   std::function<void()> deliver) {
+  if (!contended()) {
+    throw SimError("Noc: transmit() requires noc.model=mesh");
+  }
+  ++messages_;
+  const std::uint32_t nhops = manhattan(src, dst);
+  if (nhops != 0) hops_ += nhops;
+  net_->inject(src, dst, flits_for(bytes, config_.flit_bytes), pre_delay,
+               core, std::move(deliver));
+}
+
+void Noc::set_congestion_sink(
+    std::function<void(Cycle, CoreId, std::uint64_t)> sink) {
+  if (net_) net_->set_congestion_sink(std::move(sink));
+}
+
+bool Noc::quiescent() const { return net_ == nullptr || net_->quiescent(); }
+
+void Noc::save_state(BinWriter& w) const {
+  if (net_) net_->save_state(w);
+}
+
+void Noc::load_state(BinReader& r) {
+  if (net_) net_->load_state(r);
+}
+
+std::string Noc::summary_json() const {
+  if (!contended()) {
+    throw SimError("Noc: summary_json() requires noc.model=mesh");
+  }
+  const auto find = [this](const char* name) {
+    return stats().find_counter(name).get();
+  };
+  return strfmt(
+      "{\"model\": \"mesh\", \"width\": %u, \"height\": %u, \"links\": %u, "
+      "\"delivered\": %llu, \"flits\": %llu, \"wait_cycles\": %llu, "
+      "\"peak_queue_flits\": %llu}",
+      config_.mesh_width, mesh_height_, net_->num_links(),
+      static_cast<unsigned long long>(find("delivered")),
+      static_cast<unsigned long long>(find("flits")),
+      static_cast<unsigned long long>(find("wait_cycles")),
+      static_cast<unsigned long long>(find("peak_queue_flits")));
+}
+
+}  // namespace coyote::memhier

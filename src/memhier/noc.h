@@ -1,29 +1,54 @@
 // Network-on-chip model. As in the paper, the default is a highly idealized
 // crossbar with fixed, configurable latencies: the NoC acts as a latency
 // oracle (every port send through the hierarchy asks it for a delay) and as
-// a statistics collector. A 2D-mesh hop-latency model is provided as the
-// extension the paper lists as work-in-progress.
+// a statistics collector. Two mesh models extend it: `mesh-oracle`, the
+// uncontended Manhattan-distance hop-latency formula the paper lists as
+// work-in-progress, and `mesh`, an event-driven contended 2D mesh with
+// per-link buffering, bandwidth, XY routing, round-robin arbitration and
+// credit-based backpressure (see mesh_router.h).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 
 #include "common/error.h"
+#include "memhier/msg.h"
 #include "simfw/unit.h"
+
+namespace coyote {
+class BinWriter;
+class BinReader;
+}  // namespace coyote
 
 namespace coyote::memhier {
 
-enum class NocModel : std::uint8_t { kIdealCrossbar, kMesh2D };
+class MeshRouterNet;
+
+enum class NocModel : std::uint8_t {
+  kIdealCrossbar = 0,
+  kMeshOracle = 1,  ///< uncontended hop-latency formula (legacy kMesh2D)
+  kMesh2D = 2,      ///< contended mesh: buffers, bandwidth, arbitration
+};
 
 struct NocConfig {
   NocModel model = NocModel::kIdealCrossbar;
   /// Crossbar: every traversal costs this many cycles.
   Cycle crossbar_latency = 4;
-  /// Mesh: cost = router_latency + hop_latency * manhattan-distance.
+  /// Mesh: uncontended cost = router_latency + hop_latency * manhattan.
   Cycle mesh_router_latency = 2;
   Cycle mesh_hop_latency = 1;
-  /// Mesh geometry: nodes are tiles plus MCs laid out on a rectangle edge;
-  /// mesh_width is the number of columns of the tile grid.
+  /// Mesh geometry: nodes are tiles plus MCs laid out row-major on a
+  /// mesh_width x mesh_height rectangle (MCs land on the bottom edge);
+  /// mesh_height == 0 derives the minimal height that seats every node.
   std::uint32_t mesh_width = 4;
+  std::uint32_t mesh_height = 0;
+  /// Contended mesh only: per-link bandwidth in flits/cycle (0 = infinite),
+  /// per-link input-buffer depth in flits (0 = infinite), flit payload size.
+  std::uint64_t link_bandwidth = 1;
+  std::uint32_t buffer_flits = 8;
+  std::uint32_t flit_bytes = 16;
 };
 
 /// Logical NoC endpoints. Tiles occupy node ids [0, num_tiles); memory
@@ -31,38 +56,22 @@ struct NocConfig {
 class Noc : public simfw::Unit {
  public:
   Noc(simfw::Unit* parent, const NocConfig& config, std::uint32_t num_tiles,
-      std::uint32_t num_mcs)
-      : simfw::Unit(parent, "noc"),
-        config_(config),
-        num_tiles_(num_tiles),
-        num_mcs_(num_mcs),
-        messages_(stats().counter("messages", "messages traversing the NoC")),
-        hops_(stats().counter("hops", "total router hops (mesh model)")) {
-    if (config.model == NocModel::kMesh2D && config.mesh_width == 0) {
-      throw ConfigError("Noc: mesh_width must be nonzero");
-    }
-  }
+      std::uint32_t num_mcs, std::uint32_t line_bytes = 64);
+  ~Noc() override;
 
   const NocConfig& config() const { return config_; }
 
   std::uint32_t tile_node(TileId tile) const { return tile; }
   std::uint32_t mc_node(McId mc) const { return num_tiles_ + mc; }
 
+  /// True for the contended mesh: call sites must route messages through
+  /// transmit() instead of adding a traverse() latency to a port send.
+  bool contended() const { return config_.model == NocModel::kMesh2D; }
+
   /// Latency of one message from `src` to `dst` node; records statistics.
-  Cycle traverse(std::uint32_t src, std::uint32_t dst) {
-    ++messages_;
-    switch (config_.model) {
-      case NocModel::kIdealCrossbar:
-        return config_.crossbar_latency;
-      case NocModel::kMesh2D: {
-        const std::uint32_t hops = manhattan(src, dst);
-        hops_ += hops;
-        return config_.mesh_router_latency +
-               config_.mesh_hop_latency * static_cast<Cycle>(hops);
-      }
-    }
-    return config_.crossbar_latency;
-  }
+  /// Only meaningful for the fixed-latency models — throws on the contended
+  /// mesh, where delivery time is an emergent property of the network state.
+  Cycle traverse(std::uint32_t src, std::uint32_t dst);
 
   /// Statistics half of traverse() for callers that cached the latency via
   /// latency()/hops(): hot paths precompute per-route delay tables once and
@@ -76,20 +85,55 @@ class Noc : public simfw::Unit {
   /// Router hops charged to the hops statistic for one src->dst message
   /// (zero for the crossbar model, matching traverse()).
   std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const {
-    return config_.model == NocModel::kMesh2D ? manhattan(src, dst) : 0;
+    return config_.model == NocModel::kIdealCrossbar ? 0 : manhattan(src, dst);
   }
 
-  /// Pure latency query (no statistics side effect).
+  /// Pure latency query (no statistics side effect). For the contended mesh
+  /// this is the uncontended floor (empty-network delivery time).
   Cycle latency(std::uint32_t src, std::uint32_t dst) const {
-    switch (config_.model) {
-      case NocModel::kIdealCrossbar:
-        return config_.crossbar_latency;
-      case NocModel::kMesh2D:
-        return config_.mesh_router_latency +
-               config_.mesh_hop_latency * static_cast<Cycle>(manhattan(src, dst));
+    if (config_.model == NocModel::kIdealCrossbar) {
+      return config_.crossbar_latency;
     }
-    return config_.crossbar_latency;
+    return config_.mesh_router_latency +
+           config_.mesh_hop_latency * static_cast<Cycle>(manhattan(src, dst));
   }
+
+  // ----- contended mesh -------------------------------------------------
+
+  /// Message size in bytes under the flit model (header + line for data).
+  std::uint32_t message_bytes(const MemRequest& request) const {
+    return memhier::message_bytes(request, line_bytes_);
+  }
+  std::uint32_t message_bytes(const MemResponse& response) const {
+    return memhier::message_bytes(response, line_bytes_);
+  }
+
+  /// Injects a message into the contended mesh `pre_delay` cycles from now;
+  /// `deliver` runs at the (emergent) delivery cycle. Counts the same
+  /// messages/hops statistics as traverse(). Requires contended().
+  void transmit(std::uint32_t src, std::uint32_t dst, std::uint32_t bytes,
+                Cycle pre_delay, CoreId core, std::function<void()> deliver);
+
+  /// Observer for link-contention events (Paraver congestion trace):
+  /// (grant cycle, originating core, cycles waited). Requires contended().
+  void set_congestion_sink(
+      std::function<void(Cycle, CoreId, std::uint64_t)> sink);
+
+  /// True iff no message is anywhere in the network (always true for the
+  /// fixed-latency models, whose messages live on the calendar queue).
+  bool quiescent() const;
+
+  /// Contended-mesh residual state (per-link next-free cycles, round-robin
+  /// pointers) for checkpoints cut at quiesce. No-ops for other models.
+  void save_state(BinWriter& w) const;
+  void load_state(BinReader& r);
+
+  /// Resolved mesh height (explicit, or derived from the node count).
+  std::uint32_t mesh_height() const { return mesh_height_; }
+
+  /// Aggregate mesh statistics as a JSON object (run-summary "noc" block).
+  /// Requires contended().
+  std::string summary_json() const;
 
  private:
   std::uint32_t manhattan(std::uint32_t src, std::uint32_t dst) const {
@@ -103,8 +147,11 @@ class Noc : public simfw::Unit {
   NocConfig config_;
   std::uint32_t num_tiles_;
   std::uint32_t num_mcs_;
+  std::uint32_t line_bytes_;
+  std::uint32_t mesh_height_ = 0;
   simfw::Counter& messages_;
   simfw::Counter& hops_;
+  std::unique_ptr<MeshRouterNet> net_;  ///< non-null iff contended()
 };
 
 }  // namespace coyote::memhier

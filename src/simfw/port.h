@@ -42,6 +42,19 @@ class DataOutPort {
   /// cycle, in the port-delivery phase).
   void send(T payload, Cycle delay = 0);
 
+  /// Delivers `payload` synchronously, bypassing the scheduler. Used by the
+  /// contended-NoC drain, which already runs in the port-delivery phase and
+  /// owns the ordering of same-cycle deliveries.
+  void deliver_now(const T& payload) {
+    if (destinations_.empty()) {
+      throw SimError(strfmt("port '%s.%s': deliver_now on unbound port",
+                            owner_->path().c_str(), name_.c_str()));
+    }
+    for (DataInPort<T>* destination : destinations_) {
+      destination->deliver(payload);
+    }
+  }
+
  private:
   Unit* owner_;
   std::string name_;

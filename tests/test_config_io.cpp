@@ -36,10 +36,15 @@ const std::map<std::string, std::string>& alternate_values() {
       {"l2.prefetch_degree", "3"},
       {"l2.replacement", "fifo"},
       {"l2.coherence", "mesi"},
+      {"topo.mesh", "2x4"},
       {"noc.model", "mesh"},
       {"noc.latency", "9"},
       {"noc.mesh_width", "2"},
       {"noc.mesh_hop_latency", "2"},
+      {"noc.mesh_router_latency", "3"},
+      {"noc.link_bandwidth", "2"},
+      {"noc.buffer_flits", "16"},
+      {"noc.flit_bytes", "32"},
       {"llc.enable", "true"},
       {"llc.size_kb", "4096"},
       {"llc.ways", "8"},

@@ -22,7 +22,7 @@ TEST(Noc, MeshLatencyScalesWithDistance) {
   simfw::Scheduler sched;
   simfw::Unit root(&sched, "top");
   NocConfig config;
-  config.model = NocModel::kMesh2D;
+  config.model = NocModel::kMeshOracle;
   config.mesh_router_latency = 2;
   config.mesh_hop_latency = 3;
   config.mesh_width = 4;
@@ -39,12 +39,25 @@ TEST(Noc, MeshCountsHops) {
   simfw::Scheduler sched;
   simfw::Unit root(&sched, "top");
   NocConfig config;
-  config.model = NocModel::kMesh2D;
+  config.model = NocModel::kMeshOracle;
   config.mesh_width = 2;
   Noc noc(&root, config, 4, 1);
   noc.traverse(0, 3);  // 2 hops
   noc.traverse(1, 2);  // 2 hops
   EXPECT_EQ(root.find("noc")->stats().find_counter("hops").get(), 4u);
+}
+
+TEST(Noc, ContendedMeshRejectsTraverse) {
+  // The contended mesh delivers through transmit(); any surviving
+  // traverse() call site is a wiring bug and must fail loudly.
+  simfw::Scheduler sched;
+  simfw::Unit root(&sched, "top");
+  NocConfig config;
+  config.model = NocModel::kMesh2D;
+  config.mesh_width = 2;
+  Noc noc(&root, config, 4, 0);
+  EXPECT_TRUE(noc.contended());
+  EXPECT_THROW(noc.traverse(0, 3), SimError);
 }
 
 TEST(Noc, McNodesFollowTileNodes) {
