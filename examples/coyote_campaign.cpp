@@ -1,0 +1,293 @@
+// coyote_campaign — the distributed face of coyote_sweep: shard one
+// campaign's points across worker processes, on this host or over TCP
+// across several, and emit the exact same JSON results table the
+// in-process engine would. Three verbs:
+//
+//   serve   own the campaign: expand the spec, listen for workers, hand
+//           out points, collect results, write the table.
+//             coyote_campaign serve --listen=0.0.0.0:7700
+//                 --kernel=spmv_row_gather l2.size_kb=128,256,512
+//                 --state-dir=state --json-out=table.json
+//
+//   work    execute points for a broker somewhere else:
+//             coyote_campaign work --connect=bighost:7700 --jobs=8
+//
+//   run     single-host convenience: loopback broker plus N forked
+//           worker processes of this same binary, then the table.
+//             coyote_campaign run --workers=4 --kernel=... axes...
+//
+// The table is byte-identical (host timings excluded) to
+// `coyote_sweep --jobs=1` on the same spec, no matter how many workers
+// serve it, die during it, or replay points from the memo store.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/broker.h"
+#include "campaign/worker.h"
+#include "common/error.h"
+#include "core/config_io.h"
+#include "sweep/sweep.h"
+
+using namespace coyote;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: coyote_campaign serve --listen=HOST:PORT [SPEC...] [OPTIONS]\n"
+      "       coyote_campaign work  --connect=HOST:PORT [--jobs=N] "
+      "[--name=S]\n"
+      "       coyote_campaign run   --workers=N [SPEC...] [OPTIONS]\n"
+      "\n"
+      "SPEC is coyote_sweep's campaign grammar: [PROGRAM.elf | --kernel=K]\n"
+      "[--size=S] [--seed=X] and any mix of key=value overrides and\n"
+      "key=v1,v2,... axes (cartesian product).\n"
+      "\n"
+      "serve/run options:\n"
+      "  --max-cycles=C     per-point simulated-cycle budget\n"
+      "  --retries=R        extra attempts per failing point (default 1)\n"
+      "  --lease-ms=T       worker lease duration (default 10000); a point\n"
+      "                     whose worker goes silent this long is requeued\n"
+      "  --heartbeat-ms=T   lease-renewal cadence workers follow (2000)\n"
+      "  --state-dir=DIR    per-point result records; a restarted broker\n"
+      "                     resumes from them\n"
+      "  --memo-dir=DIR     content-addressed result store shared across\n"
+      "                     campaigns; points whose normalised config was\n"
+      "                     already run anywhere replay instead of running\n"
+      "  --json-out=FILE    results table destination (default stdout)\n"
+      "  --progress=M       line | json | none (default line)\n"
+      "\n"
+      "The results table is byte-identical (host timings excluded) to\n"
+      "`coyote_sweep --jobs=1` on the same SPEC, regardless of worker\n"
+      "count, worker crashes, or memo replays.\n"
+      "\n"
+      "exit codes: 0 ok, 1 execution/point failure, 2 config/usage "
+      "error.\n");
+}
+
+struct CommonArgs {
+  sweep::SweepSpec spec;
+  campaign::Broker::Options broker;
+  std::string listen;
+  std::string connect;
+  std::string name;
+  unsigned jobs = 1;
+  unsigned workers = 2;
+  std::uint32_t retries = 1;
+  std::string json_out;
+};
+
+void split_hostport(const std::string& text, std::string& host,
+                    std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    throw ConfigError("expected HOST:PORT, got '" + text + "'");
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(std::stoul(text.substr(colon + 1)));
+  if (host.empty()) host = "127.0.0.1";
+}
+
+CommonArgs parse_args(int argc, char** argv) {
+  CommonArgs args;
+  args.broker.progress = sweep::ProgressMode::kLine;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      args.spec.kernel = value_of();
+    } else if (arg.rfind("--size=", 0) == 0) {
+      args.spec.size = std::stoull(value_of());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.spec.seed = std::stoull(value_of());
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      args.listen = value_of();
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      args.connect = value_of();
+    } else if (arg.rfind("--name=", 0) == 0) {
+      args.name = value_of();
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      args.workers = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      args.broker.max_cycles = std::stoull(value_of());
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      args.retries = static_cast<std::uint32_t>(std::stoul(value_of()));
+    } else if (arg.rfind("--lease-ms=", 0) == 0) {
+      args.broker.lease = std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--heartbeat-ms=", 0) == 0) {
+      args.broker.heartbeat =
+          std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      args.broker.state_dir = value_of();
+    } else if (arg.rfind("--memo-dir=", 0) == 0) {
+      args.broker.memo_dir = value_of();
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      args.json_out = value_of();
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      args.broker.progress = sweep::progress_mode_from_string(value_of());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      std::exit(kExitConfigError);
+    } else if (arg.find('=') == std::string::npos) {
+      args.spec.base.set("workload.elf", arg);
+      args.spec.kernel = arg;
+    } else {
+      sweep::SweepAxis axis = sweep::axis_from_token(arg);
+      if (axis.values.size() == 1) {
+        args.spec.base.set(axis.key, axis.values.front());
+      } else {
+        args.spec.axes.push_back(std::move(axis));
+      }
+    }
+  }
+  args.broker.max_attempts = args.retries + 1;
+  return args;
+}
+
+int emit_report(const sweep::SweepReport& report, const std::string& json_out,
+                bool progress) {
+  const std::string table = report.to_json();
+  if (json_out.empty()) {
+    std::fputs(table.c_str(), stdout);
+  } else {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_out.c_str());
+      return kExitExecutionError;
+    }
+    out << table;
+    if (progress) {
+      std::fprintf(stderr, "[campaign] wrote %s\n", json_out.c_str());
+    }
+  }
+  return report.num_failed() == 0 ? 0 : 1;
+}
+
+int cmd_serve(CommonArgs args) {
+  if (args.listen.empty()) {
+    std::fprintf(stderr, "serve: --listen=HOST:PORT is required\n");
+    return kExitConfigError;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  split_hostport(args.listen, host, port);
+  const bool progress = args.broker.progress != sweep::ProgressMode::kNone;
+  campaign::Broker broker(args.spec, std::move(args.broker));
+  const std::uint16_t bound = broker.listen(host, port);
+  if (progress) {
+    std::fprintf(stderr,
+                 "[campaign] %zu points (%zu already resolved); listening "
+                 "on %s:%u\n",
+                 broker.num_points(), broker.num_done(), host.c_str(),
+                 bound);
+  }
+  const sweep::SweepReport report = broker.serve();
+  return emit_report(report, args.json_out, progress);
+}
+
+int cmd_work(const CommonArgs& args) {
+  if (args.connect.empty()) {
+    std::fprintf(stderr, "work: --connect=HOST:PORT is required\n");
+    return kExitConfigError;
+  }
+  campaign::Worker::Options options;
+  split_hostport(args.connect, options.host, options.port);
+  options.name = args.name;
+  options.jobs = args.jobs;
+  campaign::Worker worker(std::move(options));
+  const std::size_t executed = worker.run();
+  std::fprintf(stderr, "[campaign] worker done, %zu point%s executed\n",
+               executed, executed == 1 ? "" : "s");
+  return 0;
+}
+
+// run: loopback broker in this process plus N forked `work` subprocesses
+// of this same binary — real process isolation (a worker crash cannot
+// take the broker down) with single-command ergonomics.
+int cmd_run(CommonArgs args) {
+  const std::string json_out = args.json_out;
+  const bool progress = args.broker.progress != sweep::ProgressMode::kNone;
+  campaign::Broker broker(args.spec, std::move(args.broker));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  if (progress) {
+    std::fprintf(stderr,
+                 "[campaign] %zu points (%zu already resolved), %u worker "
+                 "processes on 127.0.0.1:%u\n",
+                 broker.num_points(), broker.num_done(), args.workers, port);
+  }
+  const std::string connect = "--connect=127.0.0.1:" + std::to_string(port);
+  std::vector<pid_t> children;
+  for (unsigned w = 0; w < args.workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+      break;
+    }
+    if (pid == 0) {
+      const std::string name = "--name=worker" + std::to_string(w);
+      const char* child_argv[] = {"/proc/self/exe", "work", connect.c_str(),
+                                  name.c_str(), "--jobs=1", nullptr};
+      ::execv(child_argv[0], const_cast<char* const*>(child_argv));
+      std::fprintf(stderr, "exec failed: %s\n", std::strerror(errno));
+      ::_exit(127);
+    }
+    children.push_back(pid);
+  }
+  if (children.empty()) {
+    std::fprintf(stderr, "run: no worker process could be started\n");
+    return kExitExecutionError;
+  }
+  const sweep::SweepReport report = broker.serve();
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) == pid &&
+        (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      // The campaign already completed (serve returned a full table), so a
+      // misbehaving worker is worth a warning, not a failed run.
+      std::fprintf(stderr, "[campaign] worker pid %d exited abnormally\n",
+                   static_cast<int>(pid));
+    }
+  }
+  return emit_report(report, json_out, progress);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return kExitConfigError;
+  }
+  const std::string verb = argv[1];
+  try {
+    if (verb == "--help" || verb == "-h") {
+      usage();
+      return 0;
+    }
+    const CommonArgs args = parse_args(argc, argv);
+    if (verb == "serve") return cmd_serve(args);
+    if (verb == "work") return cmd_work(args);
+    if (verb == "run") return cmd_run(args);
+    std::fprintf(stderr, "unknown verb '%s'\n", verb.c_str());
+    usage();
+    return kExitConfigError;
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "config error: %s\n", error.what());
+    return kExitConfigError;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return kExitExecutionError;
+  }
+}

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,7 +30,8 @@ void usage() {
       "usage: coyote_sweep [PROGRAM.elf | --kernel=K] [--size=S] [--seed=X]\n"
       "                    [--jobs=N] [--max-cycles=C] [--retries=R]\n"
       "                    [--json-out=FILE] [--resume-dir=DIR]\n"
-      "                    [--checkpoint-interval=C] [--quiet]\n"
+      "                    [--checkpoint-interval=C] [--quiet] [--dry-run]\n"
+      "                    [--progress=line|json|none]\n"
       "                    [key=value | key=v1,v2,...] ...\n"
       "\n"
       "Runs one workload — a positional RV64 ELF64 executable (shorthand\n"
@@ -54,6 +56,14 @@ void usage() {
       "                  checkpoint cuts (default 5000000; 0 = only record\n"
       "                  completed points)\n"
       "  --quiet         no progress line, no ranking table\n"
+      "  --progress=M    per-point completion reporting on stderr: 'line'\n"
+      "                  (default; the overwriting done/total ticker),\n"
+      "                  'json' (one machine-readable event per point, for\n"
+      "                  monitoring long campaigns), or 'none'\n"
+      "  --dry-run       expand and validate the campaign without running\n"
+      "                  it: print the axes and every point's normalised\n"
+      "                  config hash (the campaign memo key), flag invalid\n"
+      "                  points and hash collisions, then exit\n"
       "\n"
       "Engine tokens (consumed before axis parsing, not config keys):\n"
       "  sweep.point_timeout_s=S  per-point wall-clock budget in seconds;\n"
@@ -113,13 +123,81 @@ void print_ranking(const sweep::SweepReport& report,
   }
 }
 
+// --dry-run: expand and validate the campaign without simulating anything.
+// Each line names a point, its normalised-config hash (the key the campaign
+// memo store files it under) and its swept coordinates, so operators can
+// audit what a campaign will visit — and spot the two failure modes that
+// are otherwise silent: points whose config does not parse, and distinct
+// design points whose hashes collide (which would make the memo store
+// treat them as one; collisions are detected and rejected at load time,
+// this just names them up front).
+int dry_run_report(const sweep::SweepSpec& spec) {
+  const sweep::SweepSpec expanded = spec.with_workload_keys();
+  const auto points = expanded.expand();
+  std::printf("[sweep] dry run: %zu points, workload=%s\n", points.size(),
+              spec.kernel.c_str());
+  for (const sweep::SweepAxis& axis : spec.axes) {
+    std::string values;
+    for (const std::string& value : axis.values) {
+      if (!values.empty()) values += ",";
+      values += value;
+    }
+    std::printf("[sweep] axis %s = %s\n", axis.key.c_str(), values.c_str());
+  }
+  const auto label = [&spec](const simfw::ConfigMap& point) {
+    std::string text;
+    for (const sweep::SweepAxis& axis : spec.axes) {
+      if (axis.values.size() < 2) continue;
+      if (!text.empty()) text += " ";
+      text += axis.key + "=" + point.get(axis.key);
+    }
+    return text;
+  };
+  std::map<std::uint64_t, std::string> seen;  // hash -> canonical text
+  std::size_t invalid = 0;
+  std::size_t collisions = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    try {
+      const simfw::ConfigMap norm =
+          core::config_to_map(core::config_from_map(points[i]));
+      const std::uint64_t hash = core::config_map_hash(norm);
+      std::printf("point %-6zu %s  %s\n", i,
+                  core::config_hash_hex(hash).c_str(),
+                  label(points[i]).c_str());
+      const std::string text = core::canonical_config_text(norm);
+      const auto [it, inserted] = seen.emplace(hash, text);
+      if (!inserted && it->second != text) {
+        ++collisions;
+        std::fprintf(stderr,
+                     "[sweep] WARNING: point %zu collides with an earlier "
+                     "point under hash %s — the campaign memo store will "
+                     "treat the later one as a verification miss\n",
+                     i, core::config_hash_hex(hash).c_str());
+      }
+    } catch (const std::exception& e) {
+      ++invalid;
+      std::printf("point %-6zu %-16s  INVALID: %s\n", i, "-", e.what());
+    }
+  }
+  if (invalid > 0) {
+    std::fprintf(stderr, "[sweep] dry run: %zu invalid point%s\n", invalid,
+                 invalid == 1 ? "" : "s");
+  }
+  if (collisions > 0) {
+    std::fprintf(stderr, "[sweep] dry run: %zu hash collision%s\n",
+                 collisions, collisions == 1 ? "" : "s");
+  }
+  return invalid > 0 ? kExitConfigError : 0;
+}
+
 int run(int argc, char** argv) {
   sweep::SweepSpec spec;
   sweep::SweepEngine::Options options;
-  options.progress = true;
+  options.progress = sweep::ProgressMode::kLine;
   std::uint32_t retries = 1;
   std::string json_out;
   bool quiet = false;
+  bool dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +226,10 @@ int run(int argc, char** argv) {
       options.checkpoint_interval = std::stoull(value_of());
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      options.progress = sweep::progress_mode_from_string(value_of());
     } else if (arg.rfind("--cores=", 0) == 0) {
       // Familiar coyote_sim spelling; topo.cores is the canonical key.
       spec.axes.push_back(
@@ -176,7 +258,9 @@ int run(int argc, char** argv) {
     }
   }
   options.max_attempts = retries + 1;
-  if (quiet) options.progress = false;
+  if (quiet) options.progress = sweep::ProgressMode::kNone;
+
+  if (dry_run) return dry_run_report(spec);
 
   const auto points = spec.expand();
   if (!quiet) {

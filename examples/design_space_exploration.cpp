@@ -90,7 +90,7 @@ int main() {
   sweep::SweepEngine::Options options;
   options.jobs = 0;  // all host cores
   options.max_cycles = 2'000'000'000ULL;
-  options.progress = true;
+  options.progress = sweep::ProgressMode::kLine;
   options.collect = collect_metrics;
 
   const auto points = spec.expand();

@@ -1,0 +1,361 @@
+#include "campaign/broker.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "core/config_io.h"
+#include "sweep/point_runner.h"
+
+namespace coyote::campaign {
+
+namespace {
+
+bool send_frame(Socket& sock, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  return sock.write_all(wire.data(), wire.size());
+}
+
+}  // namespace
+
+Broker::Broker(const sweep::SweepSpec& spec, Options options)
+    : options_(std::move(options)),
+      spec_(spec.with_workload_keys()),
+      points_(spec_.expand()),
+      lease_(points_.size(), options_.lease),
+      sink_(options_.progress, points_.size(), options_.progress_out) {
+  if (!options_.clock) options_.clock = steady_clock();
+  report_.workload = spec.kernel;
+  report_.points.resize(points_.size());
+  normalized_.resize(points_.size());
+  memo_key_.resize(points_.size(), 0);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    report_.points[i].index = i;
+    report_.points[i].config = points_[i];
+    try {
+      simfw::ConfigMap norm =
+          core::config_to_map(core::config_from_map(points_[i]));
+      memo_key_[i] = core::config_map_hash(norm);
+      normalized_[i] = std::move(norm);
+    } catch (const std::exception&) {
+      // Unparseable point: it still goes to a worker, fails there with the
+      // same error the in-process engine records, and lands in the table.
+      // Only persistence and memoisation need the normalised map.
+    }
+  }
+  if (!options_.state_dir.empty()) {
+    std::filesystem::create_directories(options_.state_dir);
+  }
+  if (!options_.memo_dir.empty()) {
+    memo_ = std::make_unique<MemoStore>(options_.memo_dir);
+  }
+  prefill_from_records();
+}
+
+std::string Broker::done_path(std::size_t index) const {
+  return options_.state_dir + "/point" + std::to_string(index) + ".done";
+}
+
+void Broker::prefill_from_records() {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!normalized_[i]) continue;
+    sweep::PointResult point;
+    point.index = i;
+    point.config = points_[i];
+    std::string source;
+    if (!options_.state_dir.empty() &&
+        sweep::try_load_done_record(done_path(i), *normalized_[i], point)) {
+      source = "resume";
+    } else if (memo_ && memo_->try_load(memo_key_[i], *normalized_[i], point)) {
+      source = "memo";
+      point.index = i;
+      // Promote the memo hit to campaign state so a broker restart resumes
+      // it locally without consulting the store again.
+      if (!options_.state_dir.empty()) {
+        try {
+          sweep::write_done_record(done_path(i), point);
+        } catch (const std::exception& e) {
+          COYOTE_WARN("campaign: cannot persist memo hit for point %zu: %s",
+                      i, e.what());
+        }
+      }
+    } else {
+      continue;
+    }
+    lease_.complete(i);
+    report_.points[i] = std::move(point);
+    sink_.point_done(report_.points[i], source);
+  }
+}
+
+std::uint16_t Broker::listen(const std::string& host, std::uint16_t port) {
+  listener_ = Socket::listen_tcp(host, port);
+  return listener_.local_port();
+}
+
+int Broker::poll_timeout_ms() const {
+  int timeout = 200;
+  if (const auto deadline = lease_.next_deadline()) {
+    const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           *deadline - options_.clock())
+                           .count();
+    timeout = static_cast<int>(std::clamp<long long>(delta, 0, 200));
+  }
+  return timeout;
+}
+
+sweep::SweepReport Broker::serve() {
+  if (!listener_.valid()) {
+    throw SimError("campaign: serve() called before listen()");
+  }
+  while (!stop_.load(std::memory_order_relaxed) && !lease_.all_done()) {
+    tick(poll_timeout_ms());
+  }
+  // Linger briefly so a worker that connects just as the campaign resolves
+  // (memo-warm runs can finish before any worker joins) hears a clean
+  // NO_WORK instead of a connection reset — and so connected workers get
+  // their goodbye before the listener closes.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  while (!stop_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < until) {
+    if (any_helloed_ && conns_.empty()) break;
+    tick(50);
+  }
+  const Frame no_work = encode_no_work();
+  for (auto& [id, conn] : conns_) {
+    if (conn.helloed) send_frame(conn.sock, no_work);
+  }
+  conns_.clear();
+  wait_queue_.clear();
+  return report_;
+}
+
+void Broker::tick(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;
+  fds.reserve(conns_.size() + 1);
+  ids.reserve(conns_.size());
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  for (auto& [id, conn] : conns_) {
+    fds.push_back(pollfd{conn.sock.fd(), POLLIN, 0});
+    ids.push_back(id);
+  }
+  ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  const TimePoint now = options_.clock();
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    while (true) {
+      Socket sock = listener_.accept_conn();
+      if (!sock.valid()) break;
+      sock.set_nonblocking(true);
+      const std::uint64_t id = next_conn_id_++;
+      Conn conn;
+      conn.sock = std::move(sock);
+      conn.id = id;
+      conns_.emplace(id, std::move(conn));
+    }
+  }
+
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    if ((fds[k + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const std::uint64_t id = ids[k];
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    bool drop = false;
+    bool eof = false;
+    std::string why;
+    try {
+      char buf[4096];
+      while (true) {
+        const long n = conn.sock.read_some(buf, sizeof buf);
+        if (n == 0) break;  // drained
+        if (n < 0) {
+          eof = true;
+          break;
+        }
+        conn.decoder.feed(buf, static_cast<std::size_t>(n));
+      }
+      // Frames already buffered are handled even when the peer has since
+      // closed — a worker may deliver its last RESULT and exit.
+      while (!drop) {
+        const auto frame = conn.decoder.next();
+        if (!frame) break;
+        if (!handle_frame(conn, *frame, now)) {
+          drop = true;
+          why = "send failed";
+        }
+      }
+    } catch (const std::exception& e) {
+      drop = true;
+      why = e.what();
+    }
+    if (eof && !drop) {
+      drop = true;
+      if (conn.point) why = "disconnected mid-point";
+    }
+    if (drop) drop_conn(id, why);
+  }
+
+  for (const std::size_t point : lease_.expire(now)) {
+    sink_.note(strfmt("lease on point %zu expired; requeueing", point));
+    for (auto& [id, conn] : conns_) {
+      if (conn.point && *conn.point == point) conn.point.reset();
+    }
+  }
+  dispatch_waiting(now);
+}
+
+bool Broker::handle_frame(Conn& conn, const Frame& frame, TimePoint now) {
+  if (!conn.helloed) {
+    const HelloFrame hello = parse_hello(frame);
+    if (hello.protocol != kProtocolVersion) {
+      throw ProtocolError(strfmt(
+          "worker '%s' speaks protocol %u, this broker speaks %u",
+          hello.worker.c_str(), hello.protocol, kProtocolVersion));
+    }
+    conn.name = hello.worker.empty() ? "conn#" + std::to_string(conn.id)
+                                     : hello.worker;
+    conn.helloed = true;
+    any_helloed_ = true;
+    WelcomeFrame welcome;
+    welcome.campaign = spec_.kernel;
+    welcome.heartbeat_ms =
+        static_cast<std::uint64_t>(options_.heartbeat.count());
+    welcome.lease_ms = static_cast<std::uint64_t>(options_.lease.count());
+    welcome.max_cycles = static_cast<std::uint64_t>(options_.max_cycles);
+    welcome.max_attempts = options_.max_attempts;
+    return send_frame(conn.sock, encode_welcome(welcome));
+  }
+  switch (frame.type) {
+    case FrameType::kRequest: {
+      if (lease_.all_done()) return send_frame(conn.sock, encode_no_work());
+      return assign_point(conn, now);
+    }
+    case FrameType::kHeartbeat: {
+      const IndexFrame heartbeat = parse_heartbeat(frame);
+      // Renewal is owner-checked; a heartbeat for a point this worker no
+      // longer holds is acked anyway (the worker finishes and its late
+      // result is dropped as a duplicate).
+      lease_.renew(static_cast<std::size_t>(heartbeat.index), conn.id, now);
+      return send_frame(conn.sock,
+                        encode_heartbeat_ack({heartbeat.index}));
+    }
+    case FrameType::kProgress: {
+      const ProgressFrame progress = parse_progress(frame);
+      sink_.point_progress(static_cast<std::size_t>(progress.index),
+                           progress.phase, progress.value, conn.name);
+      return true;
+    }
+    case FrameType::kResult: {
+      ResultFrame result = parse_result(frame);
+      const auto index = static_cast<std::size_t>(result.index);
+      if (index >= points_.size()) {
+        throw ProtocolError(strfmt(
+            "worker '%s' sent a result for point %zu of %zu",
+            conn.name.c_str(), index, points_.size()));
+      }
+      if (conn.point && *conn.point == index) conn.point.reset();
+      if (lease_.complete(index)) {
+        finalize_result(index, std::move(result.point), conn.name);
+      } else {
+        sink_.note(strfmt("dropping duplicate result for point %zu from '%s'",
+                          index, conn.name.c_str()));
+      }
+      return true;
+    }
+    default:
+      throw ProtocolError(strfmt("unexpected frame type %u from worker '%s'",
+                                 static_cast<unsigned>(frame.type),
+                                 conn.name.c_str()));
+  }
+}
+
+bool Broker::assign_point(Conn& conn, TimePoint now) {
+  const auto point = lease_.acquire(conn.id, now);
+  if (!point) {
+    // All remaining points are leased out; park the request until a lease
+    // expires or a worker drops.
+    if (!conn.waiting) {
+      conn.waiting = true;
+      wait_queue_.push_back(conn.id);
+    }
+    return true;
+  }
+  conn.point = *point;
+  AssignFrame assign;
+  assign.index = static_cast<std::uint64_t>(*point);
+  assign.config = points_[*point];
+  return send_frame(conn.sock, encode_assign(assign));
+}
+
+void Broker::dispatch_waiting(TimePoint now) {
+  while (!wait_queue_.empty()) {
+    if (!lease_.all_done() && lease_.num_pending() == 0) return;
+    const std::uint64_t id = wait_queue_.front();
+    wait_queue_.erase(wait_queue_.begin());
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    conn.waiting = false;
+    const bool sent = lease_.all_done()
+                          ? send_frame(conn.sock, encode_no_work())
+                          : assign_point(conn, now);
+    if (!sent) drop_conn(id, "send failed");
+  }
+}
+
+void Broker::finalize_result(std::size_t index, sweep::PointResult point,
+                             const std::string& source) {
+  point.index = index;
+  if (point.ok && normalized_[index] &&
+      point.config.values() != normalized_[index]->values()) {
+    COYOTE_WARN(
+        "campaign: worker '%s' normalised point %zu differently than this "
+        "broker — mismatched builds? table may not match --jobs=1",
+        source.c_str(), index);
+  }
+  if (point.ok && normalized_[index]) {
+    if (!options_.state_dir.empty()) {
+      try {
+        sweep::write_done_record(done_path(index), point);
+      } catch (const std::exception& e) {
+        COYOTE_WARN("campaign: cannot persist point %zu record: %s", index,
+                    e.what());
+      }
+    }
+    if (memo_) {
+      try {
+        memo_->store(memo_key_[index], point);
+      } catch (const std::exception& e) {
+        COYOTE_WARN("campaign: cannot memoise point %zu: %s", index, e.what());
+      }
+    }
+  }
+  report_.points[index] = std::move(point);
+  sink_.point_done(report_.points[index], source);
+}
+
+void Broker::drop_conn(std::uint64_t id, const std::string& why) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const std::string name = it->second.name.empty()
+                               ? "conn#" + std::to_string(id)
+                               : it->second.name;
+  wait_queue_.erase(std::remove(wait_queue_.begin(), wait_queue_.end(), id),
+                    wait_queue_.end());
+  conns_.erase(it);
+  if (const auto point = lease_.release_worker(id)) {
+    sink_.note(strfmt("worker '%s' lost (%s); point %zu requeued",
+                      name.c_str(), why.empty() ? "gone" : why.c_str(),
+                      *point));
+  } else if (!why.empty()) {
+    sink_.note(strfmt("worker '%s' dropped: %s", name.c_str(), why.c_str()));
+  }
+}
+
+}  // namespace coyote::campaign

@@ -1,0 +1,133 @@
+// The campaign broker: owns the SweepSpec, serves its points to any number
+// of worker processes over the wire protocol, and assembles the final
+// results table. The broker is the only writer of campaign state — workers
+// are stateless executors — which is what makes the whole service
+// crash-tolerant and byte-deterministic:
+//
+//  * Every point's result is persisted as a `.done` record (the sweep
+//    engine's resume format) the moment it arrives; a restarted broker
+//    resumes from those records exactly like `coyote_sweep --resume-dir`.
+//  * Results of successful points are also published to a shared
+//    content-addressed memo store keyed by normalized-config hash, so a
+//    *different* campaign that visits the same design point replays it.
+//  * Workers lease points with heartbeat-renewed deadlines; a crash,
+//    disconnect or missed deadline returns the point to the pending pool,
+//    lowest index first, and whoever asks next runs it. Results are a pure
+//    function of the point, so reassignment (and late duplicate results)
+//    cannot change the table.
+//
+// The event loop is single-threaded (poll over the listener and every
+// connection), so broker state needs no locks and every decision is made
+// in one deterministic place.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/lease.h"
+#include "campaign/memo.h"
+#include "campaign/net.h"
+#include "campaign/protocol.h"
+#include "sweep/progress.h"
+#include "sweep/sweep.h"
+
+namespace coyote::campaign {
+
+class Broker {
+ public:
+  struct Options {
+    /// Lease duration: a worker that neither heartbeats nor delivers for
+    /// this long forfeits its point.
+    std::chrono::milliseconds lease{10'000};
+    /// Heartbeat cadence advertised to workers (the lease is renewed on
+    /// every heartbeat, so lease > 2-3 heartbeats tolerates jitter).
+    std::chrono::milliseconds heartbeat{2'000};
+    /// Per-point execution options, shipped to workers in WELCOME so
+    /// remote execution matches `coyote_sweep --jobs=1` exactly.
+    Cycle max_cycles = ~Cycle{0};
+    std::uint32_t max_attempts = 2;
+    /// Campaign state directory: per-point `.done` records for restart
+    /// and reassignment. Empty = in-memory only.
+    std::string state_dir;
+    /// Content-addressed memo store for cross-campaign reuse. Empty = off.
+    std::string memo_dir;
+    sweep::ProgressMode progress = sweep::ProgressMode::kNone;
+    /// Progress stream override (tests); nullptr = stderr.
+    std::FILE* progress_out = nullptr;
+    /// Injected time source for lease bookkeeping.
+    Clock clock;
+  };
+
+  /// Expands the spec and pre-resolves points from `.done` records and the
+  /// memo store. Points resolved here never reach a worker.
+  Broker(const sweep::SweepSpec& spec, Options options);
+
+  /// Binds the service socket (port 0 = kernel-assigned).
+  std::uint16_t listen(const std::string& host, std::uint16_t port);
+  std::uint16_t port() const { return listener_.local_port(); }
+
+  std::size_t num_points() const { return points_.size(); }
+  /// Points already resolved (resume/memo prefill, plus results so far).
+  std::size_t num_done() const { return lease_.num_done(); }
+
+  /// Runs the event loop until every point has a result (or request_stop),
+  /// then releases every worker with NO_WORK and returns the table —
+  /// byte-identical (host timings excluded) to SweepEngine jobs=1 on the
+  /// same spec.
+  sweep::SweepReport serve();
+
+  /// Asks a serve() running on another thread to wind down after its
+  /// current poll tick (tests, signal handlers).
+  void request_stop() { stop_.store(true); }
+
+ private:
+  struct Conn {
+    Socket sock;
+    FrameDecoder decoder;
+    std::uint64_t id = 0;
+    std::string name;
+    bool helloed = false;
+    bool waiting = false;                ///< parked REQUEST
+    std::optional<std::size_t> point;    ///< what this conn is running
+  };
+
+  void prefill_from_records();
+  /// One event-loop iteration: poll, accept, read/handle frames, expire
+  /// leases, dispatch parked requests.
+  void tick(int timeout_ms);
+  int poll_timeout_ms() const;
+  void dispatch_waiting(TimePoint now);
+  bool assign_point(Conn& conn, TimePoint now);
+  /// Returns false when the connection must be dropped.
+  bool handle_frame(Conn& conn, const Frame& frame, TimePoint now);
+  void finalize_result(std::size_t index, sweep::PointResult point,
+                       const std::string& source);
+  void drop_conn(std::uint64_t id, const std::string& why);
+  std::string done_path(std::size_t index) const;
+
+  Options options_;
+  sweep::SweepSpec spec_;
+  std::vector<simfw::ConfigMap> points_;  ///< raw expanded maps
+  /// Per-point normalized map + content hash; nullopt when the point's
+  /// config does not parse (it still runs — and fails — on a worker, just
+  /// like in process; only persistence/memoisation are skipped).
+  std::vector<std::optional<simfw::ConfigMap>> normalized_;
+  std::vector<std::uint64_t> memo_key_;
+  sweep::SweepReport report_;
+  LeaseTable lease_;
+  std::unique_ptr<MemoStore> memo_;
+  sweep::ProgressSink sink_;
+  Socket listener_;
+  std::map<std::uint64_t, Conn> conns_;
+  std::vector<std::uint64_t> wait_queue_;  ///< FIFO of parked conn ids
+  std::uint64_t next_conn_id_ = 1;
+  bool any_helloed_ = false;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace coyote::campaign

@@ -1,0 +1,75 @@
+#include "campaign/lease.h"
+
+namespace coyote::campaign {
+
+Clock steady_clock() {
+  return [] { return std::chrono::steady_clock::now(); };
+}
+
+LeaseTable::LeaseTable(std::size_t num_points,
+                       std::chrono::milliseconds lease_duration)
+    : num_points_(num_points), lease_duration_(lease_duration) {
+  for (std::size_t i = 0; i < num_points; ++i) pending_.insert(i);
+}
+
+std::optional<std::size_t> LeaseTable::acquire(std::uint64_t worker,
+                                               TimePoint now) {
+  if (pending_.empty()) return std::nullopt;
+  const std::size_t point = *pending_.begin();
+  pending_.erase(pending_.begin());
+  leased_[point] = Lease{worker, now + lease_duration_};
+  return point;
+}
+
+bool LeaseTable::renew(std::size_t point, std::uint64_t worker,
+                       TimePoint now) {
+  const auto it = leased_.find(point);
+  if (it == leased_.end() || it->second.worker != worker) return false;
+  it->second.deadline = now + lease_duration_;
+  return true;
+}
+
+bool LeaseTable::complete(std::size_t point) {
+  if (point >= num_points_) return false;
+  if (pending_.erase(point) == 0 && leased_.erase(point) == 0) {
+    return false;  // already done: a forfeited worker's duplicate result
+  }
+  ++num_done_;
+  return true;
+}
+
+std::optional<std::size_t> LeaseTable::release_worker(std::uint64_t worker) {
+  for (auto it = leased_.begin(); it != leased_.end(); ++it) {
+    if (it->second.worker == worker) {
+      const std::size_t point = it->first;
+      leased_.erase(it);
+      pending_.insert(point);
+      return point;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> LeaseTable::expire(TimePoint now) {
+  std::vector<std::size_t> expired;
+  for (auto it = leased_.begin(); it != leased_.end();) {
+    if (it->second.deadline <= now) {
+      expired.push_back(it->first);
+      pending_.insert(it->first);
+      it = leased_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;  // map order: already ascending
+}
+
+std::optional<TimePoint> LeaseTable::next_deadline() const {
+  std::optional<TimePoint> earliest;
+  for (const auto& [point, lease] : leased_) {
+    if (!earliest || lease.deadline < *earliest) earliest = lease.deadline;
+  }
+  return earliest;
+}
+
+}  // namespace coyote::campaign

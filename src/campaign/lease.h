@@ -1,0 +1,79 @@
+// The broker's point-ownership ledger. Every campaign point is in exactly
+// one of three states — pending, leased (to one worker, with a deadline),
+// or done — and every transition is driven either by a worker frame
+// (acquire on ASSIGN, renew on HEARTBEAT, complete on RESULT, release on
+// disconnect) or by the clock (expire). Reassignment is deterministic:
+// pending points are handed out lowest index first, and an expired lease
+// simply returns its point to the pending pool.
+//
+// Time is injected (a Clock callable) so lease-expiry behaviour is unit
+// tested with a fake clock instead of sleeps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace coyote::campaign {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Injected time source; defaults to std::chrono::steady_clock::now.
+using Clock = std::function<TimePoint()>;
+
+Clock steady_clock();
+
+class LeaseTable {
+ public:
+  LeaseTable(std::size_t num_points, std::chrono::milliseconds lease_duration);
+
+  /// Leases the lowest-index pending point to `worker`; nullopt when
+  /// nothing is pending (all leased or done).
+  std::optional<std::size_t> acquire(std::uint64_t worker, TimePoint now);
+
+  /// Extends the lease on `point` by the lease duration. False (no-op)
+  /// unless `worker` currently holds it — a heartbeat racing its own
+  /// expiry must not resurrect a reassigned point's old lease.
+  bool renew(std::size_t point, std::uint64_t worker, TimePoint now);
+
+  /// Marks `point` done from any state. Returns false if it already was
+  /// (a forfeited worker's late duplicate result) — the caller drops the
+  /// duplicate. An active lease on the point, whoever holds it, is
+  /// cleared: results are deterministic, so the first arrival wins and
+  /// is identical to whatever the other worker would have sent.
+  bool complete(std::size_t point);
+
+  /// Returns `worker`'s leased point (if any) to the pending pool —
+  /// disconnect handling.
+  std::optional<std::size_t> release_worker(std::uint64_t worker);
+
+  /// Moves every lease whose deadline has passed back to pending;
+  /// returns the expired points in ascending order.
+  std::vector<std::size_t> expire(TimePoint now);
+
+  /// The earliest lease deadline, for sizing the broker's poll timeout.
+  std::optional<TimePoint> next_deadline() const;
+
+  std::size_t num_pending() const { return pending_.size(); }
+  std::size_t num_leased() const { return leased_.size(); }
+  std::size_t num_done() const { return num_done_; }
+  bool all_done() const { return num_done_ == num_points_; }
+
+ private:
+  struct Lease {
+    std::uint64_t worker = 0;
+    TimePoint deadline{};
+  };
+
+  std::size_t num_points_;
+  std::chrono::milliseconds lease_duration_;
+  std::set<std::size_t> pending_;        // ordered: lowest index first
+  std::map<std::size_t, Lease> leased_;  // point -> holder
+  std::size_t num_done_ = 0;
+};
+
+}  // namespace coyote::campaign

@@ -1,0 +1,87 @@
+#include "campaign/memo.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/binio.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "core/config_io.h"
+#include "sweep/point_record.h"
+
+namespace coyote::campaign {
+
+namespace {
+constexpr std::uint32_t kMemoMagic = 0x43594B4D;  // "MKYC" little-endian
+}  // namespace
+
+MemoStore::MemoStore(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string MemoStore::entry_path(std::uint64_t key) const {
+  return dir_ + "/" + core::config_hash_hex(key) + ".memo";
+}
+
+bool MemoStore::try_load(std::uint64_t key, const simfw::ConfigMap& expect,
+                         sweep::PointResult& point) const {
+  const std::string path = entry_path(key);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  sweep::PointResult loaded;
+  try {
+    BinReader r(is);
+    if (r.u32() != kMemoMagic) {
+      COYOTE_WARN("memo: %s is not a memo entry; ignoring", path.c_str());
+      return false;
+    }
+    if (r.u32() != sweep::kPointRecordVersion) return false;  // old format
+    if (const std::uint64_t stored_key = r.u64(); stored_key != key) {
+      COYOTE_WARN("memo: %s holds key %s; ignoring", path.c_str(),
+                  core::config_hash_hex(stored_key).c_str());
+      return false;
+    }
+    sweep::read_point_record(r, loaded);
+  } catch (const std::exception& e) {
+    COYOTE_WARN("memo: corrupt entry %s (%s); treating as a miss",
+                path.c_str(), e.what());
+    return false;
+  }
+  if (loaded.config.values() != expect.values()) {
+    // A genuine 64-bit hash collision between two distinct design points.
+    COYOTE_WARN(
+        "memo: key collision on %s — stored config differs from the "
+        "requested one; treating as a miss (debug with coyote_sweep "
+        "--dry-run)",
+        path.c_str());
+    return false;
+  }
+  const std::size_t index = point.index;
+  point = std::move(loaded);
+  point.index = index;
+  return true;
+}
+
+void MemoStore::store(std::uint64_t key,
+                      const sweep::PointResult& point) const {
+  const std::string path = entry_path(key);
+  // Pid-suffixed temp name: two brokers sharing one store may race on the
+  // same key, and their records are identical anyway.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw SimError("memo: cannot write " + tmp);
+    BinWriter w(os);
+    w.u32(kMemoMagic);
+    w.u32(sweep::kPointRecordVersion);
+    w.u64(key);
+    sweep::write_point_record(w, point);
+    os.flush();
+    if (!os) throw SimError("memo: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace coyote::campaign

@@ -1,0 +1,53 @@
+// Content-addressed memoisation of campaign point results. Every entry is
+// one file named by the point's normalized-config hash (the PR 5 golden
+// cache's keying, promoted to a content address — see
+// core::config_map_hash), holding the shared point record. A campaign that
+// revisits a design point any other campaign already ran — common when
+// resilience studies and capacity sweeps share a baseline machine — replays
+// the stored record instead of simulating, and because the record carries
+// everything the results table renders, memo-warm tables are byte-identical
+// to cold ones.
+//
+// Hash collisions cannot poison results: the stored record carries its
+// full config map, a load verifies it against the expected normalized map,
+// and a mismatch is a miss (plus a warning naming both configs — the
+// situation `coyote_sweep --dry-run` exists to debug). Corrupt or
+// truncated entries are likewise misses with a warning, never errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simfw/params.h"
+#include "sweep/sweep.h"
+
+namespace coyote::campaign {
+
+class MemoStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.
+  explicit MemoStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Loads the entry for `key` into `point` (all fields except index) iff
+  /// it exists, parses, and its stored config equals `expect`. Returns
+  /// false — a miss — otherwise.
+  bool try_load(std::uint64_t key, const simfw::ConfigMap& expect,
+                sweep::PointResult& point) const;
+
+  /// Records `point` under `key` (crash-safe tmp + rename; concurrent
+  /// writers of the same key are deterministic-equal, so last-wins is
+  /// fine). Only successful points are worth memoising; callers skip
+  /// failures and timeouts.
+  void store(std::uint64_t key, const sweep::PointResult& point) const;
+
+  /// The entry path for `key` ("<dir>/<16-hex>.memo"); tests and --dry-run
+  /// use it to name collisions.
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace coyote::campaign

@@ -1,0 +1,155 @@
+#include "campaign/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace coyote::campaign {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw SimError(strfmt("net: %s failed: %s", what, std::strerror(errno)));
+}
+
+sockaddr_in resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return addr;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  // Fall back to name resolution (IPv4 only — the protocol is address
+  // family agnostic, the CLI surface keeps to v4 for now).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &results) != 0 ||
+      results == nullptr) {
+    throw SimError(strfmt("net: cannot resolve host '%s'", host.c_str()));
+  }
+  addr.sin_addr =
+      reinterpret_cast<sockaddr_in*>(results->ai_addr)->sin_addr;
+  freeaddrinfo(results);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_tcp(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = resolve(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(sock.fd(), 64) != 0) throw_errno("listen");
+  sock.set_nonblocking(true);
+  return sock;
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const sockaddr_in addr = resolve(host, port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+Socket Socket::accept_conn() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw_errno("accept");
+  }
+  Socket conn(fd);
+  const int one = 1;
+  ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return conn;
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+void Socket::set_nonblocking(bool nonblocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+long Socket::read_some(void* buffer, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, size, 0);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) return -1;  // orderly shutdown
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;  // reset, broken pipe, ...
+  }
+}
+
+bool Socket::write_all(const void* buffer, std::size_t size) {
+  const char* data = static_cast<const char*>(buffer);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;  // peer gone
+  }
+  return true;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  return ready > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+}  // namespace coyote::campaign

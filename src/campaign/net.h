@@ -1,0 +1,69 @@
+// Thin RAII layer over POSIX TCP sockets — just enough for the campaign
+// service's broker/worker links: listen/accept/connect on loopback or real
+// interfaces, non-blocking reads feeding the frame decoder, and a write
+// helper that finishes whole frames even on a non-blocking descriptor.
+// Errors throw SimError with the failing call and errno text; the campaign
+// layer decides which errors are fatal for a connection vs the campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace coyote::campaign {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Binds and listens on host:port (port 0 = kernel-assigned; read it
+  /// back with local_port). The listener is non-blocking.
+  static Socket listen_tcp(const std::string& host, std::uint16_t port);
+
+  /// Blocking connect to host:port. The returned socket is blocking;
+  /// callers flip it as needed.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+  /// Accepts one pending connection (non-blocking listener); the returned
+  /// socket is invalid when none is pending.
+  Socket accept_conn();
+
+  std::uint16_t local_port() const;
+
+  void set_nonblocking(bool nonblocking);
+
+  /// Reads what is available: >0 bytes read, 0 = would-block (no data on a
+  /// non-blocking socket), -1 = connection closed or failed.
+  long read_some(void* buffer, std::size_t size);
+
+  /// Writes all `size` bytes, polling for writability on a non-blocking
+  /// socket. Returns false when the peer is gone (EPIPE/reset).
+  bool write_all(const void* buffer, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// poll(2) on a single fd for readability; returns true when readable
+/// within `timeout_ms` (-1 = wait forever).
+bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace coyote::campaign

@@ -1,0 +1,265 @@
+#include "campaign/protocol.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/binio.h"
+#include "sweep/point_record.h"
+
+namespace coyote::campaign {
+
+namespace {
+
+/// Wraps a BinWriter-built payload into a typed frame.
+class PayloadWriter {
+ public:
+  PayloadWriter() : writer_(stream_) {}
+  BinWriter& w() { return writer_; }
+  Frame finish(FrameType type) && {
+    return Frame{type, std::move(stream_).str()};
+  }
+
+ private:
+  std::ostringstream stream_;
+  BinWriter writer_;
+};
+
+/// Bounds-checked reader over a frame's payload; verifies the type first
+/// and full consumption last, so a short or over-long payload is always a
+/// ProtocolError, never silent garbage.
+class PayloadReader {
+ public:
+  PayloadReader(const Frame& frame, FrameType expect)
+      : stream_(frame.payload), reader_(stream_), size_(frame.payload.size()) {
+    if (frame.type != expect) {
+      throw ProtocolError(strfmt("unexpected frame type %u (wanted %u)",
+                                 static_cast<unsigned>(frame.type),
+                                 static_cast<unsigned>(expect)));
+    }
+  }
+
+  BinReader& r() { return reader_; }
+
+  void finish() {
+    if (reader_.offset() != size_) {
+      throw ProtocolError(strfmt(
+          "frame payload has %llu trailing bytes",
+          static_cast<unsigned long long>(size_ - reader_.offset())));
+    }
+  }
+
+ private:
+  std::istringstream stream_;
+  BinReader reader_;
+  std::uint64_t size_;
+};
+
+void write_config_map(BinWriter& w, const simfw::ConfigMap& map) {
+  w.u64(map.values().size());
+  for (const auto& [key, value] : map.values()) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+simfw::ConfigMap read_config_map(BinReader& r) {
+  simfw::ConfigMap map;
+  const std::uint64_t num_keys = r.count(1 << 20);
+  for (std::uint64_t i = 0; i < num_keys; ++i) {
+    const std::string key = r.str();
+    map.set(key, r.str());
+  }
+  return map;
+}
+
+template <typename Fn>
+auto parse_payload(const Frame& frame, FrameType expect, Fn&& body) {
+  try {
+    PayloadReader payload(frame, expect);
+    auto value = body(payload.r());
+    payload.finish();
+    return value;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Truncated payloads surface as binio SimErrors; rebrand them so the
+    // caller knows the *connection* is bad, not the campaign.
+    throw ProtocolError(std::string("malformed frame payload: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  const std::uint64_t length = frame.payload.size() + 1;
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError(strfmt("frame too large (%llu bytes)",
+                               static_cast<unsigned long long>(length)));
+  }
+  std::string wire;
+  wire.reserve(4 + length);
+  for (unsigned i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((length >> (8 * i)) & 0xFF));
+  }
+  wire.push_back(static_cast<char>(frame.type));
+  wire += frame.payload;
+  return wire;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  // Reclaim consumed prefix occasionally so a long-lived connection never
+  // grows the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (1u << 20)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(buffer_[consumed_ + i]))
+              << (8 * i);
+  }
+  if (length == 0) {
+    throw ProtocolError("zero-length frame");
+  }
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError(strfmt("oversized frame (%u bytes > %u max)",
+                               length, kMaxFrameBytes));
+  }
+  if (available < 4u + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(buffer_[consumed_ + 4]);
+  frame.payload.assign(buffer_, consumed_ + 5, length - 1);
+  consumed_ += 4u + length;
+  return frame;
+}
+
+Frame encode_hello(const HelloFrame& hello) {
+  PayloadWriter p;
+  p.w().u32(hello.protocol);
+  p.w().str(hello.worker);
+  return std::move(p).finish(FrameType::kHello);
+}
+
+Frame encode_welcome(const WelcomeFrame& welcome) {
+  PayloadWriter p;
+  p.w().u32(welcome.protocol);
+  p.w().str(welcome.campaign);
+  p.w().u64(welcome.heartbeat_ms);
+  p.w().u64(welcome.lease_ms);
+  p.w().u64(welcome.max_cycles);
+  p.w().u32(welcome.max_attempts);
+  return std::move(p).finish(FrameType::kWelcome);
+}
+
+Frame encode_request() { return Frame{FrameType::kRequest, {}}; }
+
+Frame encode_assign(const AssignFrame& assign) {
+  PayloadWriter p;
+  p.w().u64(assign.index);
+  write_config_map(p.w(), assign.config);
+  return std::move(p).finish(FrameType::kAssign);
+}
+
+Frame encode_no_work() { return Frame{FrameType::kNoWork, {}}; }
+
+Frame encode_heartbeat(const IndexFrame& heartbeat) {
+  PayloadWriter p;
+  p.w().u64(heartbeat.index);
+  return std::move(p).finish(FrameType::kHeartbeat);
+}
+
+Frame encode_heartbeat_ack(const IndexFrame& ack) {
+  PayloadWriter p;
+  p.w().u64(ack.index);
+  return std::move(p).finish(FrameType::kHeartbeatAck);
+}
+
+Frame encode_progress(const ProgressFrame& progress) {
+  PayloadWriter p;
+  p.w().u64(progress.index);
+  p.w().str(progress.phase);
+  p.w().u64(progress.value);
+  return std::move(p).finish(FrameType::kProgress);
+}
+
+Frame encode_result(const ResultFrame& result) {
+  PayloadWriter p;
+  p.w().u64(result.index);
+  sweep::write_point_record(p.w(), result.point);
+  return std::move(p).finish(FrameType::kResult);
+}
+
+HelloFrame parse_hello(const Frame& frame) {
+  return parse_payload(frame, FrameType::kHello, [](BinReader& r) {
+    HelloFrame hello;
+    hello.protocol = r.u32();
+    hello.worker = r.str();
+    return hello;
+  });
+}
+
+WelcomeFrame parse_welcome(const Frame& frame) {
+  return parse_payload(frame, FrameType::kWelcome, [](BinReader& r) {
+    WelcomeFrame welcome;
+    welcome.protocol = r.u32();
+    welcome.campaign = r.str();
+    welcome.heartbeat_ms = r.u64();
+    welcome.lease_ms = r.u64();
+    welcome.max_cycles = r.u64();
+    welcome.max_attempts = r.u32();
+    return welcome;
+  });
+}
+
+AssignFrame parse_assign(const Frame& frame) {
+  return parse_payload(frame, FrameType::kAssign, [](BinReader& r) {
+    AssignFrame assign;
+    assign.index = r.u64();
+    assign.config = read_config_map(r);
+    return assign;
+  });
+}
+
+IndexFrame parse_heartbeat(const Frame& frame) {
+  return parse_payload(frame, FrameType::kHeartbeat, [](BinReader& r) {
+    return IndexFrame{r.u64()};
+  });
+}
+
+IndexFrame parse_heartbeat_ack(const Frame& frame) {
+  return parse_payload(frame, FrameType::kHeartbeatAck, [](BinReader& r) {
+    return IndexFrame{r.u64()};
+  });
+}
+
+ProgressFrame parse_progress(const Frame& frame) {
+  return parse_payload(frame, FrameType::kProgress, [](BinReader& r) {
+    ProgressFrame progress;
+    progress.index = r.u64();
+    progress.phase = r.str();
+    progress.value = r.u64();
+    return progress;
+  });
+}
+
+ResultFrame parse_result(const Frame& frame) {
+  return parse_payload(frame, FrameType::kResult, [](BinReader& r) {
+    ResultFrame result;
+    result.index = r.u64();
+    sweep::read_point_record(r, result.point);
+    result.point.index = result.index;
+    return result;
+  });
+}
+
+}  // namespace coyote::campaign

@@ -1,0 +1,163 @@
+// The campaign service's wire protocol: a plain length-prefixed framing
+// over TCP (or any byte stream), carrying the broker/worker conversation
+// that shards campaign points across processes and hosts.
+//
+//   frame := u32 length (LE, bytes after this field, 1..kMaxFrameBytes)
+//            u8  type   (FrameType)
+//            payload    (length-1 bytes, BinWriter little-endian encoding)
+//
+// The conversation:
+//
+//   worker                           broker
+//   ------                           ------
+//   HELLO {proto, name}        →
+//                              ←     WELCOME {proto, campaign, timings,
+//                                             execution options}
+//   REQUEST                    →
+//                              ←     ASSIGN {index, raw config map}
+//                                    (or parked until work frees up;
+//                                     NO_WORK once the campaign is done)
+//   HEARTBEAT {index}          →     (every heartbeat_ms while running —
+//                              ←     HEARTBEAT_ACK {index}    renews the
+//                                    point's lease)
+//   PROGRESS {index, phase,    →     (status stream for long points)
+//             value}
+//   RESULT {index, record}     →     (the shared point record; then the
+//                                     worker REQUESTs again)
+//
+// A worker that disconnects or misses its lease deadline forfeits the
+// point; the broker deterministically reassigns it (lowest index first) to
+// the next requesting worker. Both endpoints treat any malformed frame as
+// fatal for that connection only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "simfw/params.h"
+#include "sweep/sweep.h"
+
+namespace coyote::campaign {
+
+/// Bumped on any incompatible frame-layout change; HELLO/WELCOME carry it
+/// and mismatched peers refuse each other with a clear error.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame's declared size. Configs and point records are
+/// kilobytes; anything bigger is a corrupt or hostile stream and the
+/// connection is dropped before allocating.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// A malformed or out-of-contract frame. Fatal for the connection that
+/// produced it, never for the campaign.
+class ProtocolError : public SimError {
+ public:
+  explicit ProtocolError(std::string what) : SimError(std::move(what)) {}
+};
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kRequest = 3,
+  kAssign = 4,
+  kNoWork = 5,
+  kHeartbeat = 6,
+  kHeartbeatAck = 7,
+  kProgress = 8,
+  kResult = 9,
+};
+
+struct Frame {
+  FrameType type{};
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Renders `frame` in wire format (length prefix + type + payload).
+/// Throws ProtocolError if the payload exceeds kMaxFrameBytes.
+std::string encode_frame(const Frame& frame);
+
+/// Incremental frame parser tolerant of arbitrary byte chunking — TCP
+/// gives no message boundaries, so bytes are fed as they arrive and whole
+/// frames pop out as they complete. Oversized or zero-length declared
+/// frames throw ProtocolError immediately (before buffering the body).
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(const void* data, std::size_t size);
+
+  /// Pops the next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes currently buffered (tests).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+// ----- typed payloads ----------------------------------------------------
+
+struct HelloFrame {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string worker;  ///< display name, e.g. "host:pid"
+};
+
+struct WelcomeFrame {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string campaign;  ///< workload label, for logs
+  std::uint64_t heartbeat_ms = 2000;
+  std::uint64_t lease_ms = 10000;
+  /// Execution options every worker must share with the broker's
+  /// in-process equivalent, or tables diverge:
+  std::uint64_t max_cycles = ~std::uint64_t{0};
+  std::uint32_t max_attempts = 2;
+};
+
+struct AssignFrame {
+  std::uint64_t index = 0;
+  simfw::ConfigMap config;  ///< the raw (pre-normalisation) point map
+};
+
+/// HEARTBEAT / HEARTBEAT_ACK payload.
+struct IndexFrame {
+  std::uint64_t index = 0;
+};
+
+struct ProgressFrame {
+  std::uint64_t index = 0;
+  std::string phase;        ///< e.g. "running"
+  std::uint64_t value = 0;  ///< phase-specific (elapsed host ms)
+};
+
+struct ResultFrame {
+  std::uint64_t index = 0;
+  sweep::PointResult point;  ///< full outcome; index field mirrors `index`
+};
+
+Frame encode_hello(const HelloFrame& hello);
+Frame encode_welcome(const WelcomeFrame& welcome);
+Frame encode_request();
+Frame encode_assign(const AssignFrame& assign);
+Frame encode_no_work();
+Frame encode_heartbeat(const IndexFrame& heartbeat);
+Frame encode_heartbeat_ack(const IndexFrame& ack);
+Frame encode_progress(const ProgressFrame& progress);
+Frame encode_result(const ResultFrame& result);
+
+/// Each parser throws ProtocolError when `frame` has the wrong type or a
+/// malformed payload.
+HelloFrame parse_hello(const Frame& frame);
+WelcomeFrame parse_welcome(const Frame& frame);
+AssignFrame parse_assign(const Frame& frame);
+IndexFrame parse_heartbeat(const Frame& frame);
+IndexFrame parse_heartbeat_ack(const Frame& frame);
+ProgressFrame parse_progress(const Frame& frame);
+ResultFrame parse_result(const Frame& frame);
+
+}  // namespace coyote::campaign

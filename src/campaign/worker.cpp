@@ -1,0 +1,165 @@
+#include "campaign/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "campaign/net.h"
+#include "campaign/protocol.h"
+#include "common/error.h"
+
+namespace coyote::campaign {
+
+namespace {
+
+bool send_frame(Socket& sock, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  return sock.write_all(wire.data(), wire.size());
+}
+
+/// Blocking read of the next frame; nullopt on EOF or reset — the broker
+/// is gone, which a worker treats as "campaign over", not an error.
+std::optional<Frame> read_frame(Socket& sock, FrameDecoder& decoder) {
+  while (true) {
+    if (auto frame = decoder.next()) return frame;
+    char buf[4096];
+    const long n = sock.read_some(buf, sizeof buf);
+    if (n < 0) return std::nullopt;
+    if (n == 0) {
+      wait_readable(sock.fd(), -1);
+      continue;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+Worker::Worker(Options options) : options_(std::move(options)) {
+  if (options_.name.empty()) {
+    options_.name = "pid" + std::to_string(::getpid());
+  }
+  if (options_.jobs == 0) options_.jobs = 1;
+}
+
+sweep::PointExecutor& Worker::executor(std::uint64_t max_cycles,
+                                       std::uint32_t max_attempts) {
+  const std::lock_guard<std::mutex> lock(executor_mutex_);
+  if (!executor_) {
+    sweep::PointExecutor::Options exec;
+    exec.max_cycles = static_cast<Cycle>(max_cycles);
+    exec.max_attempts = max_attempts;
+    // No resume_dir: persistence is the broker's job; workers stay
+    // stateless so killing one loses nothing.
+    executor_ = std::make_unique<sweep::PointExecutor>(std::move(exec));
+  }
+  return *executor_;
+}
+
+std::size_t Worker::run() {
+  if (options_.jobs == 1) return run_connection(0);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::string> errors(options_.jobs);
+  threads.reserve(options_.jobs);
+  for (unsigned slot = 0; slot < options_.jobs; ++slot) {
+    threads.emplace_back([this, slot, &executed, &errors] {
+      try {
+        executed += run_connection(slot);
+      } catch (const std::exception& e) {
+        errors[slot] = e.what();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (!error.empty()) throw SimError("campaign worker: " + error);
+  }
+  return executed.load();
+}
+
+std::size_t Worker::run_connection(unsigned slot) {
+  Socket sock = Socket::connect_tcp(options_.host, options_.port);
+  FrameDecoder decoder;
+
+  HelloFrame hello;
+  hello.worker = options_.jobs > 1
+                     ? options_.name + "#" + std::to_string(slot)
+                     : options_.name;
+  if (!send_frame(sock, encode_hello(hello))) return 0;
+  const auto welcome_frame = read_frame(sock, decoder);
+  if (!welcome_frame) return 0;  // broker finished before we joined
+  const WelcomeFrame welcome = parse_welcome(*welcome_frame);
+  if (welcome.protocol != kProtocolVersion) {
+    throw ProtocolError(strfmt(
+        "broker speaks protocol %u, this worker speaks %u", welcome.protocol,
+        kProtocolVersion));
+  }
+  sweep::PointExecutor& exec =
+      executor(welcome.max_cycles, welcome.max_attempts);
+
+  std::size_t executed = 0;
+  while (true) {
+    if (!send_frame(sock, encode_request())) break;
+    std::optional<Frame> frame;
+    do {  // acks for heartbeats sent during the previous point queue up
+      frame = read_frame(sock, decoder);
+    } while (frame && frame->type == FrameType::kHeartbeatAck);
+    if (!frame || frame->type == FrameType::kNoWork) break;
+    const AssignFrame assign = parse_assign(*frame);
+
+    sweep::PointResult point;
+    point.index = static_cast<std::size_t>(assign.index);
+    point.config = assign.config;
+
+    // Heartbeat pump: renews the lease and streams elapsed-time progress
+    // while the point runs. Joined before RESULT goes out, so the socket
+    // never sees interleaved writes.
+    std::atomic<bool> done{false};
+    std::mutex pump_mutex;
+    std::condition_variable pump_cv;
+    std::thread pump([&] {
+      const auto cadence = std::chrono::milliseconds(
+          std::max<std::uint64_t>(welcome.heartbeat_ms, 1));
+      const auto start = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(pump_mutex);
+      while (!pump_cv.wait_for(lock, cadence, [&] { return done.load(); })) {
+        if (!send_frame(sock, encode_heartbeat({assign.index}))) return;
+        ProgressFrame progress;
+        progress.index = assign.index;
+        progress.phase = "running";
+        progress.value = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (!send_frame(sock, encode_progress(progress))) return;
+      }
+    });
+    exec.run_point(point);
+    ++executed;
+    {
+      const std::lock_guard<std::mutex> lock(pump_mutex);
+      done.store(true);
+    }
+    pump_cv.notify_all();
+    pump.join();
+
+    if (options_.crash_before_result &&
+        options_.crash_before_result(point.index)) {
+      sock.close();  // simulated crash: no RESULT, no goodbye
+      return executed;
+    }
+    ResultFrame result;
+    result.index = assign.index;
+    result.point = std::move(point);
+    if (!send_frame(sock, encode_result(result))) break;
+  }
+  return executed;
+}
+
+}  // namespace coyote::campaign

@@ -1,0 +1,57 @@
+// A campaign worker: connects to a broker, leases points, executes each
+// through the shared PointExecutor (the sweep engine's own per-point seam,
+// so rows it produces are byte-identical to in-process ones), heartbeats
+// while a point runs, and ships the result record back. Workers hold no
+// campaign state — kill one at any moment and the broker reassigns its
+// point; start another and it just asks for work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sweep/point_runner.h"
+
+namespace coyote::campaign {
+
+class Worker {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Display name sent in HELLO; defaults to "pid<pid>".
+    std::string name;
+    /// Parallel broker connections, each executing one point at a time
+    /// (the process-level analogue of SweepEngine jobs).
+    unsigned jobs = 1;
+    /// Test hook: called with the point index just before its RESULT would
+    /// be sent; returning true hard-closes the connection instead — a
+    /// simulated worker crash at the worst possible moment.
+    std::function<bool(std::size_t index)> crash_before_result;
+  };
+
+  explicit Worker(Options options);
+
+  /// Serves the broker until it answers NO_WORK or goes away (EOF — the
+  /// campaign ended). Returns the number of points executed locally: 0 on
+  /// a memo-warm campaign where the broker resolved everything itself.
+  /// Throws SimError on connect failure or a protocol violation.
+  std::size_t run();
+
+ private:
+  std::size_t run_connection(unsigned slot);
+  sweep::PointExecutor& executor(std::uint64_t max_cycles,
+                                 std::uint32_t max_attempts);
+
+  Options options_;
+  /// One executor for every connection so fault campaigns share the
+  /// golden-run digest cache across this process's slots (it is
+  /// thread-safe); built from the first WELCOME, which every connection
+  /// receives identically.
+  std::mutex executor_mutex_;
+  std::unique_ptr<sweep::PointExecutor> executor_;
+};
+
+}  // namespace coyote::campaign

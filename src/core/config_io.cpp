@@ -1,6 +1,7 @@
 #include "core/config_io.h"
 
 #include <array>
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.h"
@@ -498,6 +499,39 @@ simfw::ConfigMap config_to_map(const SimConfig& config) {
     set_u64("workload.seed", config.workload.seed);
   }
   return map;
+}
+
+std::string canonical_config_text(const simfw::ConfigMap& map) {
+  std::string text;
+  for (const auto& [key, value] : map.values()) {
+    text += key;
+    text += '=';
+    text += value;
+    text += '\n';
+  }
+  return text;
+}
+
+std::uint64_t config_map_hash(const simfw::ConfigMap& map) {
+  // FNV-1a 64, the same digest family the fault harness uses for
+  // architectural-state digests.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char byte : canonical_config_text(map)) {
+    hash ^= static_cast<std::uint8_t>(byte);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t config_hash(const SimConfig& config) {
+  return config_map_hash(config_to_map(config));
+}
+
+std::string config_hash_hex(std::uint64_t hash) {
+  char text[17];
+  std::snprintf(text, sizeof text, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return text;
 }
 
 }  // namespace coyote::core

@@ -57,4 +57,27 @@ SimConfig config_from_map(const simfw::ConfigMap& map);
 /// default). Inverse of config_from_map under the guarantee above.
 simfw::ConfigMap config_to_map(const SimConfig& config);
 
+/// The canonical textual rendering of a config map: one "key=value\n" line
+/// per entry in map (i.e. sorted-key) order. Two maps render identically
+/// iff they hold the same entries, so this text is the collision-free key
+/// for caches indexed by configuration (the fault harness's golden cache,
+/// the campaign memo store's verification payload).
+std::string canonical_config_text(const simfw::ConfigMap& map);
+
+/// FNV-1a 64 digest of canonical_config_text(map) — the content address
+/// used to key cross-campaign memoisation and printed by
+/// `coyote_sweep --dry-run`. Equal maps always hash equal; distinct maps
+/// hash equal only on a 64-bit collision, which consumers must guard
+/// against by verifying the stored map (see campaign::MemoStore).
+std::uint64_t config_map_hash(const simfw::ConfigMap& map);
+
+/// Hash of the *normalised* config: config_map_hash(config_to_map(config)).
+/// Two spellings of the same design point ("8" vs "0x8", omitted defaults)
+/// therefore share one content address.
+std::uint64_t config_hash(const SimConfig& config);
+
+/// Renders a config hash as the fixed-width 16-digit lowercase hex string
+/// used in memo-store filenames and --dry-run output.
+std::string config_hash_hex(std::uint64_t hash);
+
 }  // namespace coyote::core

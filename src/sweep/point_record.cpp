@@ -1,0 +1,70 @@
+#include "sweep/point_record.h"
+
+#include <cstring>
+
+namespace coyote::sweep {
+
+void write_point_record(BinWriter& w, const PointResult& point) {
+  w.u64(point.config.values().size());
+  for (const auto& [key, value] : point.config.values()) {
+    w.str(key);
+    w.str(value);
+  }
+  w.b(point.ok);
+  w.u32(point.attempts);
+  w.str(point.error);
+  w.str(point.status);
+  w.str(point.fault_outcome);
+  w.str(point.fault_detail);
+  w.u64(point.run.cycles);
+  w.u64(point.run.instructions);
+  w.b(point.run.all_exited);
+  w.b(point.run.hit_cycle_limit);
+  w.u64(point.run.exit_codes.size());
+  for (std::int64_t code : point.run.exit_codes) w.i64(code);
+  w.u64(point.metrics.size());
+  for (const auto& [name, value] : point.metrics) {
+    w.str(name);
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    w.u64(bits);
+  }
+}
+
+void read_point_record(BinReader& r, PointResult& point) {
+  simfw::ConfigMap config;
+  const std::uint64_t num_keys = r.count(1 << 20);
+  for (std::uint64_t i = 0; i < num_keys; ++i) {
+    const std::string key = r.str();
+    config.set(key, r.str());
+  }
+  point.config = std::move(config);
+  point.ok = r.b();
+  point.attempts = r.u32();
+  point.error = r.str();
+  point.status = r.str();
+  point.fault_outcome = r.str();
+  point.fault_detail = r.str();
+  point.run = core::RunResult{};
+  point.run.cycles = r.u64();
+  point.run.instructions = r.u64();
+  point.run.all_exited = r.b();
+  point.run.hit_cycle_limit = r.b();
+  const std::uint64_t num_codes = r.count(1 << 20);
+  point.run.exit_codes.clear();
+  point.run.exit_codes.reserve(num_codes);
+  for (std::uint64_t i = 0; i < num_codes; ++i) {
+    point.run.exit_codes.push_back(r.i64());
+  }
+  point.metrics.clear();
+  const std::uint64_t num_metrics = r.count(1 << 20);
+  for (std::uint64_t i = 0; i < num_metrics; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t bits = r.u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    point.metrics.emplace_back(name, value);
+  }
+}
+
+}  // namespace coyote::sweep

@@ -1,0 +1,33 @@
+// The serialized form of one completed campaign point, shared by every
+// consumer that persists or transports point outcomes: the sweep engine's
+// per-point `.done` resume records, the campaign memo store's
+// content-addressed entries, and the broker/worker protocol's RESULT
+// frames. One format means a point that completed anywhere — in process,
+// on a remote worker, or in a previous campaign — replays into a results
+// table byte-identical to running it fresh.
+//
+// The record carries everything PointResult::to_json renders except the
+// point index (ownership of the slot stays with the reader): the full
+// normalised config map, ok/attempts/error, status and fault
+// classification, the RunResult, and the collected metrics.
+#pragma once
+
+#include "common/binio.h"
+#include "sweep/sweep.h"
+
+namespace coyote::sweep {
+
+/// Bump on any layout change; readers treat other versions as "no record".
+inline constexpr std::uint32_t kPointRecordVersion = 3;
+
+/// Serializes `point` (config, outcome flags, run result, metrics) minus
+/// its index. The version tag is NOT written here — container formats
+/// (done files, memo entries, frames) carry their own magic/version.
+void write_point_record(BinWriter& w, const PointResult& point);
+
+/// Reads a record into `point`, leaving `point.index` untouched. Throws
+/// SimError on truncated or malformed input; callers treat that as "no
+/// usable record" (re-run the point), never as a fatal campaign error.
+void read_point_record(BinReader& r, PointResult& point);
+
+}  // namespace coyote::sweep

@@ -1,0 +1,310 @@
+#include "sweep/point_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "ckpt/checkpoint.h"
+#include "common/binio.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "core/config_io.h"
+#include "fault/differential.h"
+#include "fault/fault.h"
+#include "loader/workload.h"
+#include "sweep/point_record.h"
+
+namespace coyote::sweep {
+
+namespace {
+
+constexpr std::uint32_t kDoneMagic = 0x43594B44;  // "DKYC" little-endian
+
+std::unique_ptr<core::Simulator> build_point(const core::SimConfig& config) {
+  auto sim = std::make_unique<core::Simulator>(config);
+  loader::load_workload(*sim);
+  return sim;
+}
+
+std::unique_ptr<core::Simulator> try_restore_point(
+    const std::string& path, const std::string& workload,
+    const simfw::ConfigMap& expect) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return nullptr;
+  try {
+    ckpt::CheckpointMeta meta;
+    auto sim = ckpt::restore_checkpoint(is, &meta);
+    if (meta.workload != workload ||
+        meta.config.values() != expect.values()) {
+      return nullptr;
+    }
+    return sim;
+  } catch (const std::exception& e) {
+    // Stale or corrupt checkpoint: restart the point (from its last good
+    // record if any, else from scratch). Never fatal.
+    COYOTE_WARN("sweep resume: ignoring unusable checkpoint %s (%s)",
+                path.c_str(), e.what());
+    return nullptr;
+  }
+}
+
+void write_point_checkpoint(core::Simulator& sim, const std::string& workload,
+                            const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  ckpt::write_checkpoint_file(sim, workload, tmp);
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+void run_point_with_retries(
+    PointResult& point, std::uint32_t max_attempts,
+    const std::function<core::RunResult(const core::SimConfig&,
+                                        PointResult&)>& body) {
+  if (max_attempts == 0) max_attempts = 1;
+  point.attempts = 0;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++point.attempts;
+    point.metrics.clear();
+    point.status.clear();
+    point.fault_outcome.clear();
+    point.fault_detail.clear();
+    try {
+      const core::SimConfig config = core::config_from_map(point.config);
+      // Record the *complete* map so every row of the results table names
+      // its full design point, not just the swept keys.
+      point.config = core::config_to_map(config);
+      point.run = body(config, point);
+      point.ok = true;
+      point.error.clear();
+      break;
+    } catch (const std::exception& e) {
+      point.ok = false;
+      point.error = e.what();
+    } catch (...) {
+      point.ok = false;
+      point.error = "unknown error";
+    }
+  }
+}
+
+void write_done_record(const std::string& path, const PointResult& point) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw SimError("sweep resume: cannot write " + tmp);
+    BinWriter w(os);
+    w.u32(kDoneMagic);
+    w.u32(kPointRecordVersion);
+    write_point_record(w, point);
+    os.flush();
+    if (!os) throw SimError("sweep resume: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+bool try_load_done_record(const std::string& path,
+                          const simfw::ConfigMap& expect,
+                          PointResult& point) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  PointResult loaded;
+  try {
+    BinReader r(is);
+    if (r.u32() != kDoneMagic) {
+      COYOTE_WARN("sweep resume: %s is not a done record; re-running point",
+                  path.c_str());
+      return false;
+    }
+    if (const std::uint32_t version = r.u32();
+        version != kPointRecordVersion) {
+      // Old-format records are expected after an upgrade; re-run quietly.
+      return false;
+    }
+    read_point_record(r, loaded);
+  } catch (const std::exception& e) {
+    // Truncated or unparseable — the machine died mid-write, the disk
+    // lied, someone chopped bytes. The point is simply "not done".
+    COYOTE_WARN("sweep resume: corrupt record %s (%s); re-running point",
+                path.c_str(), e.what());
+    return false;
+  }
+  if (loaded.config.values() != expect.values()) return false;
+  const std::size_t index = point.index;
+  point = std::move(loaded);
+  point.index = index;
+  return true;
+}
+
+std::uint64_t PointExecutor::golden_digest(const core::SimConfig& config) {
+  core::SimConfig golden = config;
+  golden.fault.enable = false;
+  const std::string key =
+      core::canonical_config_text(core::config_to_map(golden));
+  // The mutex is held across the golden run itself: the first arrival
+  // computes, everyone else waits and reuses — identical digests
+  // regardless of jobs count or arrival order.
+  const std::lock_guard<std::mutex> lock(golden_mutex_);
+  const auto it = golden_cache_.find(key);
+  if (it != golden_cache_.end()) return it->second;
+  auto sim = build_point(golden);
+  const std::uint64_t digest = fault::run_golden(*sim, options_.max_cycles);
+  golden_cache_.emplace(key, digest);
+  return digest;
+}
+
+void PointExecutor::run_point(PointResult& point) {
+  run_point_with_retries(
+      point, options_.max_attempts,
+      [this](const core::SimConfig& config, PointResult& p) {
+        return execute(config, p);
+      });
+}
+
+core::RunResult PointExecutor::execute(const core::SimConfig& config,
+                                       PointResult& point) {
+  const Cycle max_cycles = options_.max_cycles;
+  const std::string& resume_dir = options_.resume_dir;
+  const Cycle interval = options_.checkpoint_interval;
+  const std::string stem =
+      resume_dir.empty()
+          ? std::string()
+          : resume_dir + "/point" + std::to_string(point.index);
+  if (!resume_dir.empty()) {
+    // Completed on a previous run: reuse the recorded result verbatim.
+    if (try_load_done_record(stem + ".done", point.config, point)) {
+      return point.run;
+    }
+  }
+
+  // ----- resilience campaign point --------------------------------------
+  // Golden leg once per unique fault-free config, then the injected leg,
+  // classified masked/sdc/due. A DUE (trap, hang, cycle-budget blow-out)
+  // is a *measured outcome*, not a point failure — the point reports ok
+  // with its class attached.
+  if (config.fault.enable) {
+    const std::uint64_t digest = golden_digest(config);
+    auto sim = build_point(config);
+    const fault::FaultPlan plan = fault::FaultPlan::generate(config);
+    const fault::InjectionResult injected =
+        fault::run_injected(*sim, plan, max_cycles, digest);
+    point.fault_outcome = fault::outcome_name(injected.outcome);
+    point.fault_detail = injected.detail;
+    core::RunResult result = injected.run;
+    if (injected.outcome != fault::Outcome::kDue) {
+      result.cycles = sim->scheduler().now();
+      result.instructions = sim->root()
+                                .find("orchestrator")
+                                ->stats()
+                                .find_counter("instructions")
+                                .get();
+      if (options_.collect) options_.collect(*sim, point);
+    }
+    if (!resume_dir.empty()) {
+      PointResult record = point;
+      record.ok = true;
+      record.error.clear();
+      record.run = result;
+      write_done_record(stem + ".done", record);
+    }
+    return result;
+  }
+
+  // The resume key names the workload (kernel/size/seed, or the ELF path
+  // plus its content hash), so a checkpoint from a different campaign —
+  // or from a rebuilt binary — in the same directory never resumes into
+  // this point. Per point, because workload.* keys are sweepable.
+  const std::string resume_label = loader::resume_label(config);
+  std::unique_ptr<core::Simulator> sim;
+  if (!resume_dir.empty()) {
+    sim = try_restore_point(stem + ".ckpt", resume_label, point.config);
+  }
+  if (sim == nullptr) sim = build_point(config);
+
+  // Wall-clock budget for this attempt: exponential backoff doubles it
+  // on every retry, so a point that was merely unlucky (loaded host, cold
+  // caches) gets progressively more headroom before being written off.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double budget_s =
+      options_.point_timeout_s > 0.0
+          ? options_.point_timeout_s *
+                static_cast<double>(
+                    1u << std::min<std::uint32_t>(point.attempts - 1, 20))
+          : 0.0;
+
+  // Run in checkpoint-interval slices (one slice = the whole budget when
+  // checkpointing is off). Quiesce stops do not perturb the simulation,
+  // so the sliced run is bit-identical to an uninterrupted one. An armed
+  // timeout additionally caps every leg at timeout_probe_cycles so the
+  // wall clock is probed promptly.
+  const bool ckpt_slicing = !resume_dir.empty() && interval != 0;
+  core::RunResult result;
+  while (true) {
+    const Cycle elapsed = sim->scheduler().now();
+    const Cycle remaining =
+        max_cycles == ~Cycle{0}
+            ? ~Cycle{0}
+            : (elapsed < max_cycles ? max_cycles - elapsed : 0);
+    const Cycle leg_cap =
+        budget_s > 0.0
+            ? std::min(remaining,
+                       std::max<Cycle>(options_.timeout_probe_cycles, 1))
+            : remaining;
+    if (ckpt_slicing) {
+      result = sim->run_to_quiesce(std::min(interval, leg_cap), leg_cap);
+      if (result.quiesced && !result.all_exited) {
+        write_point_checkpoint(*sim, resume_label, stem + ".ckpt");
+      }
+    } else if (budget_s > 0.0) {
+      result = sim->run(leg_cap);
+    } else {
+      result = sim->run(remaining);
+      break;
+    }
+    if (result.all_exited) break;
+    if (max_cycles != ~Cycle{0} && sim->scheduler().now() >= max_cycles) {
+      result.hit_cycle_limit = true;
+      break;
+    }
+    if (budget_s > 0.0) {
+      const double spent = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+      if (spent > budget_s) {
+        point.status = "timeout";
+        throw SimError(strfmt(
+            "point exceeded its wall-clock budget (%.3fs > %.3fs, "
+            "attempt %u)",
+            spent, budget_s, point.attempts));
+      }
+    }
+  }
+  if (!result.all_exited) {
+    throw SimError(result.hit_cycle_limit
+                       ? "point hit the cycle budget before completion"
+                       : "point stalled before completion");
+  }
+  // Totals from the authoritative machine state rather than the last run
+  // leg, so a resumed point reports the same numbers as a fresh one.
+  result.cycles = sim->scheduler().now();
+  result.instructions = sim->root()
+                            .find("orchestrator")
+                            ->stats()
+                            .find_counter("instructions")
+                            .get();
+  if (options_.collect) options_.collect(*sim, point);
+  if (!resume_dir.empty()) {
+    PointResult record = point;
+    record.ok = true;
+    record.error.clear();
+    record.run = result;
+    write_done_record(stem + ".done", record);
+    std::error_code ignored;
+    std::filesystem::remove(stem + ".ckpt", ignored);
+  }
+  return result;
+}
+
+}  // namespace coyote::sweep

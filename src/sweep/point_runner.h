@@ -1,0 +1,90 @@
+// The per-point execution seam shared by the in-process sweep engine and
+// the campaign service's workers. Everything that decides *what a point
+// computes* — config normalisation, the retry loop, golden-run
+// differentials for fault points, checkpoint resume, wall-clock budgets —
+// lives here, behind one class, so a point produces byte-identical table
+// rows whether SweepEngine ran it on a host thread or a remote worker ran
+// it and shipped the record back over TCP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "sweep/sweep.h"
+
+namespace coyote::sweep {
+
+/// Runs `body` against the point's config with the engine's retry
+/// discipline: up to `max_attempts` tries, each attempt re-normalising the
+/// config (config_from_map → config_to_map, so the table names the full
+/// design point), capturing failures into point.error instead of throwing.
+/// `point.index` and `point.config` (raw map) must be set on entry; every
+/// other field is (re)written.
+void run_point_with_retries(
+    PointResult& point, std::uint32_t max_attempts,
+    const std::function<core::RunResult(const core::SimConfig&,
+                                        PointResult&)>& body);
+
+/// Writes `point` as a crash-safe `.done` record (tmp + rename): container
+/// magic/version plus the shared point record. The record is the resume
+/// and reassignment ground truth — a point with a parseable, config-matching
+/// record is done; anything else is not.
+void write_done_record(const std::string& path, const PointResult& point);
+
+/// Loads a `.done` record into `point` iff it parses and its stored config
+/// equals `expect` (the point's full normalised map). A record that exists
+/// but is truncated or unparseable is treated as "not done": the function
+/// warns (COYOTE_WARN) and returns false so the point re-runs — corrupt
+/// state never crashes a campaign or poisons the table. A clean record for
+/// a *different* config (stale directory) is ignored silently.
+bool try_load_done_record(const std::string& path,
+                          const simfw::ConfigMap& expect, PointResult& point);
+
+/// Executes campaign points one at a time. Stateless across points except
+/// for the golden-run digest cache (fault campaigns share one golden run
+/// per unique fault-free config, exactly like PR 5's in-engine cache) —
+/// thread-safe, so one executor may serve every engine worker thread.
+class PointExecutor {
+ public:
+  struct Options {
+    /// Runs per point before recording it as failed.
+    std::uint32_t max_attempts = 2;
+    /// Per-point simulated-cycle budget; a point that hits it fails.
+    Cycle max_cycles = ~Cycle{0};
+    /// Per-point wall-clock budget (0 = none); doubled on every retry.
+    double point_timeout_s = 0.0;
+    /// Simulated cycles between wall-clock probes when the budget is armed.
+    Cycle timeout_probe_cycles = 1'000'000;
+    /// Post-success metrics hook (see SweepEngine::Options::collect).
+    std::function<void(core::Simulator& sim, PointResult& point)> collect;
+    /// Resume directory: per-point `.done` records and periodic `.ckpt`
+    /// checkpoints. Empty = no persistence (campaign workers run with this
+    /// empty; the broker persists records centrally instead).
+    std::string resume_dir;
+    /// Simulated cycles between checkpoint cuts while resume_dir is set.
+    Cycle checkpoint_interval = 5'000'000;
+  };
+
+  PointExecutor() = default;
+  explicit PointExecutor(Options options) : options_(std::move(options)) {}
+
+  const Options& options() const { return options_; }
+
+  /// The full per-point body: retry loop + execution. Fills every field of
+  /// `point` except index; never throws. Thread-safe.
+  void run_point(PointResult& point);
+
+ private:
+  core::RunResult execute(const core::SimConfig& config, PointResult& point);
+  std::uint64_t golden_digest(const core::SimConfig& config);
+
+  Options options_{};
+  std::mutex golden_mutex_;
+  std::map<std::string, std::uint64_t> golden_cache_;
+};
+
+}  // namespace coyote::sweep

@@ -1,0 +1,86 @@
+#include "sweep/progress.h"
+
+#include "common/error.h"
+#include "core/run_summary.h"
+#include "sweep/sweep.h"
+
+namespace coyote::sweep {
+
+ProgressMode progress_mode_from_string(const std::string& text) {
+  if (text == "none") return ProgressMode::kNone;
+  if (text == "line") return ProgressMode::kLine;
+  if (text == "json") return ProgressMode::kJson;
+  throw ConfigError(strfmt("bad progress mode '%s' (want line, json or none)",
+                           text.c_str()));
+}
+
+ProgressSink::ProgressSink(ProgressMode mode, std::size_t total,
+                           std::FILE* out)
+    : mode_(mode), total_(total), out_(out ? out : stderr) {}
+
+void ProgressSink::point_done(const PointResult& point,
+                              const std::string& source) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (!point.ok) ++failed_;
+  if (mode_ == ProgressMode::kLine) {
+    std::fprintf(out_, "\r[sweep] %zu/%zu points done, %zu failed%s", done_,
+                 total_, failed_, done_ == total_ ? "\n" : "");
+    std::fflush(out_);
+  } else if (mode_ == ProgressMode::kJson) {
+    std::string line = "{\"event\": \"point\", \"index\": " +
+                       std::to_string(point.index) +
+                       ", \"ok\": " + (point.ok ? "true" : "false") +
+                       ", \"done\": " + std::to_string(done_) +
+                       ", \"total\": " + std::to_string(total_) +
+                       ", \"failed\": " + std::to_string(failed_);
+    if (!point.status.empty()) {
+      line += ", \"status\": \"" + core::json_escape(point.status) + "\"";
+    }
+    if (!point.fault_outcome.empty()) {
+      line += ", \"fault_outcome\": \"" +
+              core::json_escape(point.fault_outcome) + "\"";
+    }
+    line += ", \"source\": \"" + core::json_escape(source) + "\"}\n";
+    std::fputs(line.c_str(), out_);
+    std::fflush(out_);
+  }
+}
+
+void ProgressSink::note(const std::string& text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ == ProgressMode::kLine) {
+    std::fprintf(out_, "[campaign] %s\n", text.c_str());
+    std::fflush(out_);
+  } else if (mode_ == ProgressMode::kJson) {
+    std::fprintf(out_, "{\"event\": \"note\", \"text\": \"%s\"}\n",
+                 core::json_escape(text).c_str());
+    std::fflush(out_);
+  }
+}
+
+void ProgressSink::point_progress(std::size_t index, const std::string& phase,
+                                  std::uint64_t value,
+                                  const std::string& source) {
+  if (mode_ != ProgressMode::kJson) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(out_,
+               "{\"event\": \"progress\", \"index\": %zu, \"phase\": \"%s\", "
+               "\"value\": %llu, \"source\": \"%s\"}\n",
+               index, core::json_escape(phase).c_str(),
+               static_cast<unsigned long long>(value),
+               core::json_escape(source).c_str());
+  std::fflush(out_);
+}
+
+std::size_t ProgressSink::done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+std::size_t ProgressSink::failed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+}  // namespace coyote::sweep

@@ -1,0 +1,63 @@
+// Shared campaign progress sink. The sweep engine's worker threads and the
+// campaign broker's event loop both report per-point completions here
+// instead of hand-rolling stderr writes, so every front end offers the
+// same three surfaces (--progress=line|json|none):
+//
+//   line  the classic single overwriting "\r[sweep] done/total" ticker
+//   json  one machine-readable event object per line (long campaigns are
+//         monitored by tools, not eyeballs)
+//   none  silence
+//
+// Thread-safe: completions arrive from any engine worker thread; each call
+// emits at most one whole line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace coyote::sweep {
+
+struct PointResult;
+
+enum class ProgressMode { kNone, kLine, kJson };
+
+/// Parses "none" / "line" / "json"; throws ConfigError otherwise.
+ProgressMode progress_mode_from_string(const std::string& text);
+
+class ProgressSink {
+ public:
+  /// `total` is the campaign's point count; `out` defaults to stderr and is
+  /// overridable so tests can capture the stream.
+  ProgressSink(ProgressMode mode, std::size_t total, std::FILE* out = nullptr);
+
+  /// Records one finished point. `source` names who produced the result —
+  /// "run" (executed here), "memo", "resume", or a worker id — and is
+  /// emitted in json mode so campaign logs attribute every completion.
+  void point_done(const PointResult& point, const std::string& source);
+
+  /// Free-form campaign lifecycle line (worker joined, lease expired, ...).
+  /// Rendered as "[campaign] text" in line mode, a {"event": "note"} object
+  /// in json mode, nothing in none mode.
+  void note(const std::string& text);
+
+  /// Mid-point status stream (the broker forwards workers' PROGRESS
+  /// frames here). Emitted in json mode only — the line ticker shows
+  /// completions, not partial work.
+  void point_progress(std::size_t index, const std::string& phase,
+                      std::uint64_t value, const std::string& source);
+
+  std::size_t done() const;
+  std::size_t failed() const;
+
+ private:
+  const ProgressMode mode_;
+  const std::size_t total_;
+  std::FILE* const out_;
+  mutable std::mutex mutex_;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace coyote::sweep

@@ -1,147 +1,18 @@
 #include "sweep/sweep.h"
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <mutex>
-#include <optional>
 #include <sstream>
 #include <thread>
 
-#include "ckpt/checkpoint.h"
-#include "common/binio.h"
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/run_summary.h"
-#include "fault/differential.h"
-#include "loader/workload.h"
+#include "sweep/point_runner.h"
 
 namespace coyote::sweep {
-
-namespace {
-
-// ----- per-point resume records ----------------------------------------
-// A completed point leaves a `.done` record: its full normalised config
-// (the resume key — a record that does not match is ignored), the
-// RunResult and the collected metrics. In-progress points leave ordinary
-// checkpoints (`.ckpt`, ckpt/checkpoint.h) cut at quiesce points. Both are
-// written to a temp file and renamed, so an interrupted write never leaves
-// a record that parses.
-
-constexpr std::uint32_t kDoneMagic = 0x43594B44;  // "DKYC" little-endian
-// v2: status + fault_outcome/fault_detail fields (v1 records re-run).
-constexpr std::uint32_t kDoneVersion = 2;
-
-void write_done_record(const std::string& path, const PointResult& point,
-                       const core::RunResult& run) {
-  const simfw::ConfigMap& config = point.config;
-  const std::vector<std::pair<std::string, double>>& metrics = point.metrics;
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw SimError("sweep resume: cannot write " + tmp);
-    BinWriter w(os);
-    w.u32(kDoneMagic);
-    w.u32(kDoneVersion);
-    w.u64(config.values().size());
-    for (const auto& [key, value] : config.values()) {
-      w.str(key);
-      w.str(value);
-    }
-    w.u64(run.cycles);
-    w.u64(run.instructions);
-    w.b(run.all_exited);
-    w.u64(run.exit_codes.size());
-    for (std::int64_t code : run.exit_codes) w.i64(code);
-    w.u64(metrics.size());
-    for (const auto& [name, value] : metrics) {
-      w.str(name);
-      std::uint64_t bits;
-      std::memcpy(&bits, &value, sizeof bits);
-      w.u64(bits);
-    }
-    w.str(point.status);
-    w.str(point.fault_outcome);
-    w.str(point.fault_detail);
-    os.flush();
-    if (!os) throw SimError("sweep resume: write failed for " + tmp);
-  }
-  std::filesystem::rename(tmp, path);
-}
-
-std::optional<core::RunResult> try_load_done(const std::string& path,
-                                             const simfw::ConfigMap& expect,
-                                             PointResult& point) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
-  try {
-    BinReader r(is);
-    if (r.u32() != kDoneMagic || r.u32() != kDoneVersion) return std::nullopt;
-    simfw::ConfigMap config;
-    const std::uint64_t num_keys = r.count(1 << 20);
-    for (std::uint64_t i = 0; i < num_keys; ++i) {
-      const std::string key = r.str();
-      config.set(key, r.str());
-    }
-    if (config.values() != expect.values()) return std::nullopt;
-    core::RunResult run;
-    run.cycles = r.u64();
-    run.instructions = r.u64();
-    run.all_exited = r.b();
-    const std::uint64_t num_codes = r.count(1 << 20);
-    run.exit_codes.reserve(num_codes);
-    for (std::uint64_t i = 0; i < num_codes; ++i) {
-      run.exit_codes.push_back(r.i64());
-    }
-    point.metrics.clear();
-    const std::uint64_t num_metrics = r.count(1 << 20);
-    for (std::uint64_t i = 0; i < num_metrics; ++i) {
-      const std::string name = r.str();
-      const std::uint64_t bits = r.u64();
-      double value;
-      std::memcpy(&value, &bits, sizeof value);
-      point.metrics.emplace_back(name, value);
-    }
-    point.status = r.str();
-    point.fault_outcome = r.str();
-    point.fault_detail = r.str();
-    return run;
-  } catch (const std::exception&) {
-    return std::nullopt;  // truncated/corrupt record: re-run the point
-  }
-}
-
-std::unique_ptr<core::Simulator> try_restore_point(
-    const std::string& path, const std::string& workload,
-    const simfw::ConfigMap& expect) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return nullptr;
-  try {
-    ckpt::CheckpointMeta meta;
-    auto sim = ckpt::restore_checkpoint(is, &meta);
-    if (meta.workload != workload ||
-        meta.config.values() != expect.values()) {
-      return nullptr;
-    }
-    return sim;
-  } catch (const std::exception&) {
-    return nullptr;  // stale/corrupt checkpoint: restart the point
-  }
-}
-
-void write_point_checkpoint(core::Simulator& sim, const std::string& workload,
-                            const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  ckpt::write_checkpoint_file(sim, workload, tmp);
-  std::filesystem::rename(tmp, path);
-}
-
-}  // namespace
 
 SweepAxis axis_from_token(const std::string& token) {
   const auto eq = token.find('=');
@@ -201,6 +72,30 @@ std::vector<simfw::ConfigMap> SweepSpec::expand() const {
     points.push_back(std::move(point));
   }
   return points;
+}
+
+SweepSpec SweepSpec::with_workload_keys() const {
+  SweepSpec effective = *this;
+  const auto point_sets = [this](const std::string& key) {
+    if (base.has(key)) return true;
+    for (const SweepAxis& axis : axes) {
+      if (axis.key == key) return true;
+    }
+    for (const simfw::ConfigMap& extra : extra_points) {
+      if (extra.has(key)) return true;
+    }
+    return false;
+  };
+  if (!point_sets("workload.kernel") && !point_sets("workload.elf")) {
+    effective.base.set("workload.kernel", kernel);
+  }
+  if (!point_sets("workload.size") && size != 0) {
+    effective.base.set("workload.size", std::to_string(size));
+  }
+  if (!point_sets("workload.seed")) {
+    effective.base.set("workload.seed", std::to_string(seed));
+  }
+  return effective;
 }
 
 std::string PointResult::to_json(bool include_host_timing) const {
@@ -277,9 +172,10 @@ std::string SweepReport::to_json(bool include_host_timing) const {
   return os.str();
 }
 
-SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
-                             const PointRunner& runner,
-                             std::string workload_label) const {
+SweepReport SweepEngine::run_indexed(
+    std::vector<simfw::ConfigMap> points,
+    const std::function<void(PointResult& point)>& body,
+    std::string workload_label) const {
   SweepReport report;
   report.workload = std::move(workload_label);
   report.points.resize(points.size());
@@ -288,12 +184,8 @@ SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
   // next unclaimed point. Results land in a slot per point, so the report
   // is independent of which worker ran what and when.
   std::atomic<std::size_t> cursor{0};
-  std::atomic<std::size_t> done{0};
-  std::atomic<std::size_t> failed{0};
-  std::mutex progress_mutex;
+  ProgressSink sink(options_.progress, points.size());
 
-  const std::uint32_t max_attempts =
-      options_.max_attempts ? options_.max_attempts : 1;
   const auto worker = [&]() {
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -301,39 +193,8 @@ SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
       PointResult& point = report.points[i];
       point.index = i;
       point.config = points[i];
-      for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
-        ++point.attempts;
-        point.metrics.clear();
-        point.status.clear();
-        point.fault_outcome.clear();
-        point.fault_detail.clear();
-        try {
-          const core::SimConfig config = core::config_from_map(point.config);
-          // Record the *complete* map so every row of the results table
-          // names its full design point, not just the swept keys.
-          point.config = core::config_to_map(config);
-          point.run = runner(config, point);
-          point.ok = true;
-          point.error.clear();
-          break;
-        } catch (const std::exception& e) {
-          point.ok = false;
-          point.error = e.what();
-        } catch (...) {
-          point.ok = false;
-          point.error = "unknown error";
-        }
-      }
-      const std::size_t now_done = done.fetch_add(1) + 1;
-      const std::size_t now_failed =
-          failed.fetch_add(point.ok ? 0 : 1) + (point.ok ? 0 : 1);
-      if (options_.progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        std::fprintf(stderr, "\r[sweep] %zu/%zu points done, %zu failed%s",
-                     now_done, points.size(), now_failed,
-                     now_done == points.size() ? "\n" : "");
-        std::fflush(stderr);
-      }
+      body(point);
+      sink.point_done(point, "run");
     }
   };
 
@@ -352,206 +213,35 @@ SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
   return report;
 }
 
+SweepReport SweepEngine::run(std::vector<simfw::ConfigMap> points,
+                             const PointRunner& runner,
+                             std::string workload_label) const {
+  const std::uint32_t max_attempts = options_.max_attempts;
+  return run_indexed(
+      std::move(points),
+      [&runner, max_attempts](PointResult& point) {
+        run_point_with_retries(point, max_attempts, runner);
+      },
+      std::move(workload_label));
+}
+
 SweepReport SweepEngine::run(const SweepSpec& spec) const {
-  const Cycle max_cycles = options_.max_cycles;
-  const auto& collect = options_.collect;
-  const std::string resume_dir = options_.resume_dir;
-  const Cycle interval = options_.checkpoint_interval;
-  if (!resume_dir.empty()) {
-    std::filesystem::create_directories(resume_dir);
+  PointExecutor::Options exec;
+  exec.max_attempts = options_.max_attempts;
+  exec.max_cycles = options_.max_cycles;
+  exec.point_timeout_s = options_.point_timeout_s;
+  exec.timeout_probe_cycles = options_.timeout_probe_cycles;
+  exec.collect = options_.collect;
+  exec.resume_dir = options_.resume_dir;
+  exec.checkpoint_interval = options_.checkpoint_interval;
+  if (!exec.resume_dir.empty()) {
+    std::filesystem::create_directories(exec.resume_dir);
   }
-
-  // Fold the spec's kernel/size/seed into the workload.* config keys so
-  // every point's config map is self-describing (the unified Workload API)
-  // and workload.elf / workload.kernel work as sweep axes. A key already
-  // pinned by the base, an axis or an extra point wins over the spec field.
-  SweepSpec effective = spec;
-  const auto point_sets = [&spec](const std::string& key) {
-    if (spec.base.has(key)) return true;
-    for (const SweepAxis& axis : spec.axes) {
-      if (axis.key == key) return true;
-    }
-    for (const simfw::ConfigMap& extra : spec.extra_points) {
-      if (extra.has(key)) return true;
-    }
-    return false;
-  };
-  if (!point_sets("workload.kernel") && !point_sets("workload.elf")) {
-    effective.base.set("workload.kernel", spec.kernel);
-  }
-  if (!point_sets("workload.size") && spec.size != 0) {
-    effective.base.set("workload.size", std::to_string(spec.size));
-  }
-  if (!point_sets("workload.seed")) {
-    effective.base.set("workload.seed", std::to_string(spec.seed));
-  }
-
-  // Golden-run digest cache for resilience campaigns: every point whose
-  // fault-free machine config is identical (the usual case — an injection
-  // campaign sweeps fault.seed over one design point) shares one golden
-  // run. Keyed by the full normalised fault-free config, so the cache can
-  // never alias two different machines. The mutex is held across the golden
-  // run itself: the first arrival computes, everyone else waits and reuses
-  // — identical digests regardless of jobs count or arrival order.
-  std::mutex golden_mutex;
-  std::map<std::string, std::uint64_t> golden_cache;
-  const auto build_point = [&](const core::SimConfig& config) {
-    auto sim = std::make_unique<core::Simulator>(config);
-    loader::load_workload(*sim);
-    return sim;
-  };
-  const auto golden_digest = [&](const core::SimConfig& config) {
-    core::SimConfig golden = config;
-    golden.fault.enable = false;
-    std::string key;
-    const simfw::ConfigMap golden_map = core::config_to_map(golden);
-    for (const auto& [k, v] : golden_map.values()) {
-      key += k;
-      key += '=';
-      key += v;
-      key += '\n';
-    }
-    const std::lock_guard<std::mutex> lock(golden_mutex);
-    const auto it = golden_cache.find(key);
-    if (it != golden_cache.end()) return it->second;
-    auto sim = build_point(golden);
-    const std::uint64_t digest = fault::run_golden(*sim, max_cycles);
-    golden_cache.emplace(key, digest);
-    return digest;
-  };
-
-  const auto runner = [&](const core::SimConfig& config, PointResult& point) {
-    const std::string stem =
-        resume_dir.empty()
-            ? std::string()
-            : resume_dir + "/point" + std::to_string(point.index);
-    if (!resume_dir.empty()) {
-      // Completed on a previous run: reuse the recorded result verbatim.
-      if (auto done = try_load_done(stem + ".done", point.config, point)) {
-        return *done;
-      }
-    }
-
-    // ----- resilience campaign point ------------------------------------
-    // Golden leg once per unique fault-free config, then the injected leg,
-    // classified masked/sdc/due. A DUE (trap, hang, cycle-budget blow-out)
-    // is a *measured outcome*, not a point failure — the point reports ok
-    // with its class attached.
-    if (config.fault.enable) {
-      const std::uint64_t digest = golden_digest(config);
-      auto sim = build_point(config);
-      const fault::FaultPlan plan = fault::FaultPlan::generate(config);
-      const fault::InjectionResult injected =
-          fault::run_injected(*sim, plan, max_cycles, digest);
-      point.fault_outcome = fault::outcome_name(injected.outcome);
-      point.fault_detail = injected.detail;
-      core::RunResult result = injected.run;
-      if (injected.outcome != fault::Outcome::kDue) {
-        result.cycles = sim->scheduler().now();
-        result.instructions = sim->root()
-                                  .find("orchestrator")
-                                  ->stats()
-                                  .find_counter("instructions")
-                                  .get();
-        if (collect) collect(*sim, point);
-      }
-      if (!resume_dir.empty()) {
-        write_done_record(stem + ".done", point, result);
-      }
-      return result;
-    }
-
-    // The resume key names the workload (kernel/size/seed, or the ELF path
-    // plus its content hash), so a checkpoint from a different campaign —
-    // or from a rebuilt binary — in the same directory never resumes into
-    // this point. Per point, because workload.* keys are sweepable.
-    const std::string resume_label = loader::resume_label(config);
-    std::unique_ptr<core::Simulator> sim;
-    if (!resume_dir.empty()) {
-      sim = try_restore_point(stem + ".ckpt", resume_label, point.config);
-    }
-    if (sim == nullptr) sim = build_point(config);
-
-    // Wall-clock budget for this attempt: exponential backoff doubles it
-    // on every retry, so a point that was merely unlucky (loaded host, cold
-    // caches) gets progressively more headroom before being written off.
-    const auto wall_start = std::chrono::steady_clock::now();
-    const double budget_s =
-        options_.point_timeout_s > 0.0
-            ? options_.point_timeout_s *
-                  static_cast<double>(
-                      1u << std::min<std::uint32_t>(point.attempts - 1, 20))
-            : 0.0;
-
-    // Run in checkpoint-interval slices (one slice = the whole budget when
-    // checkpointing is off). Quiesce stops do not perturb the simulation,
-    // so the sliced run is bit-identical to an uninterrupted one. An armed
-    // timeout additionally caps every leg at kTimeoutProbeCycles so the
-    // wall clock is probed promptly.
-    const bool ckpt_slicing = !resume_dir.empty() && interval != 0;
-    core::RunResult result;
-    while (true) {
-      const Cycle elapsed = sim->scheduler().now();
-      const Cycle remaining =
-          max_cycles == ~Cycle{0}
-              ? ~Cycle{0}
-              : (elapsed < max_cycles ? max_cycles - elapsed : 0);
-      const Cycle leg_cap =
-          budget_s > 0.0
-              ? std::min(remaining,
-                         std::max<Cycle>(options_.timeout_probe_cycles, 1))
-              : remaining;
-      if (ckpt_slicing) {
-        result = sim->run_to_quiesce(std::min(interval, leg_cap), leg_cap);
-        if (result.quiesced && !result.all_exited) {
-          write_point_checkpoint(*sim, resume_label, stem + ".ckpt");
-        }
-      } else if (budget_s > 0.0) {
-        result = sim->run(leg_cap);
-      } else {
-        result = sim->run(remaining);
-        break;
-      }
-      if (result.all_exited) break;
-      if (max_cycles != ~Cycle{0} && sim->scheduler().now() >= max_cycles) {
-        result.hit_cycle_limit = true;
-        break;
-      }
-      if (budget_s > 0.0) {
-        const double spent = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - wall_start)
-                                 .count();
-        if (spent > budget_s) {
-          point.status = "timeout";
-          throw SimError(strfmt(
-              "point exceeded its wall-clock budget (%.3fs > %.3fs, "
-              "attempt %u)",
-              spent, budget_s, point.attempts));
-        }
-      }
-    }
-    if (!result.all_exited) {
-      throw SimError(result.hit_cycle_limit
-                         ? "point hit the cycle budget before completion"
-                         : "point stalled before completion");
-    }
-    // Totals from the authoritative machine state rather than the last run
-    // leg, so a resumed point reports the same numbers as a fresh one.
-    result.cycles = sim->scheduler().now();
-    result.instructions = sim->root()
-                              .find("orchestrator")
-                              ->stats()
-                              .find_counter("instructions")
-                              .get();
-    if (collect) collect(*sim, point);
-    if (!resume_dir.empty()) {
-      write_done_record(stem + ".done", point, result);
-      std::error_code ignored;
-      std::filesystem::remove(stem + ".ckpt", ignored);
-    }
-    return result;
-  };
-  return run(effective.expand(), runner, spec.kernel);
+  PointExecutor executor(std::move(exec));
+  return run_indexed(
+      spec.with_workload_keys().expand(),
+      [&executor](PointResult& point) { executor.run_point(point); },
+      spec.kernel);
 }
 
 }  // namespace coyote::sweep

@@ -24,6 +24,7 @@
 #include "core/sim_config.h"
 #include "core/simulator.h"
 #include "simfw/params.h"
+#include "sweep/progress.h"
 
 namespace coyote::sweep {
 
@@ -57,6 +58,13 @@ struct SweepSpec {
   /// Expands the grid + extras into the ordered point list the engine
   /// visits. Deterministic: axis order × value order, then extras.
   std::vector<simfw::ConfigMap> expand() const;
+
+  /// Returns a copy with the spec-level kernel/size/seed fields folded into
+  /// `workload.*` base keys (unless a base key, axis or extra point already
+  /// pins them), so every expanded point's config map is self-describing.
+  /// Both the in-process engine and the campaign broker expand through
+  /// this, which is what makes their tables comparable byte for byte.
+  SweepSpec with_workload_keys() const;
 };
 
 /// Outcome of one configuration point.
@@ -113,8 +121,10 @@ class SweepEngine {
     /// armed (the budget is only checked at probe boundaries). The default
     /// is coarse enough that probing costs nothing; tests shrink it.
     Cycle timeout_probe_cycles = 1'000'000;
-    /// Live "\r[sweep] done/total" line on stderr.
-    bool progress = false;
+    /// Per-point completion reporting on stderr: the classic overwriting
+    /// "\r[sweep] done/total" line, machine-readable JSON events for long
+    /// campaigns, or silence. See sweep/progress.h.
+    ProgressMode progress = ProgressMode::kNone;
     /// Kernel-mode hook run after each successful point (on the worker
     /// thread, one caller at a time per point) to harvest statistics from
     /// the finished machine into PointResult::metrics. Must be thread-safe
@@ -160,6 +170,14 @@ class SweepEngine {
                   std::string workload_label = "custom") const;
 
  private:
+  /// Thread-pool scheduling shared by both modes: an atomic cursor over
+  /// the point list, `body` invoked once per point (point.index and the
+  /// raw point.config pre-set), completions fed to the progress sink.
+  SweepReport run_indexed(
+      std::vector<simfw::ConfigMap> points,
+      const std::function<void(PointResult& point)>& body,
+      std::string workload_label) const;
+
   Options options_{};
 };
 

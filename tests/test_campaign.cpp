@@ -1,0 +1,406 @@
+// Campaign service unit tests: the wire protocol's framing and typed
+// payloads (round-trip under arbitrary byte chunkings — TCP guarantees no
+// message boundaries, so the decoder must not care how bytes arrive), the
+// lease table's deadline machinery under a fake clock, the
+// content-addressed memo store's corruption and collision defences, and
+// the canonical config hash the store keys by.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/lease.h"
+#include "campaign/memo.h"
+#include "campaign/protocol.h"
+#include "common/binio.h"
+#include "common/rng.h"
+#include "core/config_io.h"
+#include "sweep/point_record.h"
+#include "sweep/point_runner.h"
+
+namespace coyote::campaign {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ------------------------------------------------------------ framing --
+
+sweep::PointResult sample_point(std::size_t index) {
+  sweep::PointResult point;
+  point.index = index;
+  point.config.set("topo.cores", "4");
+  point.config.set("l2.size_kb", std::to_string(64 << (index % 3)));
+  point.ok = index % 4 != 3;
+  point.attempts = 1 + static_cast<std::uint32_t>(index % 2);
+  if (!point.ok) point.error = "synthetic failure #" + std::to_string(index);
+  if (index % 5 == 0) {
+    point.fault_outcome = "masked";
+    point.fault_detail = "digest match";
+  }
+  point.run.cycles = 1000 + index * 37;
+  point.run.instructions = 500 + index * 13;
+  point.run.all_exited = point.ok;
+  point.run.exit_codes = {0, static_cast<std::int64_t>(index)};
+  point.metrics.emplace_back("l2_miss_rate", 0.125 * static_cast<double>(index));
+  return point;
+}
+
+std::vector<Frame> sample_conversation() {
+  std::vector<Frame> frames;
+  frames.push_back(encode_hello({kProtocolVersion, "host:1234"}));
+  WelcomeFrame welcome;
+  welcome.campaign = "matmul_scalar";
+  welcome.heartbeat_ms = 250;
+  welcome.lease_ms = 1500;
+  welcome.max_cycles = 123456789;
+  welcome.max_attempts = 3;
+  frames.push_back(encode_welcome(welcome));
+  frames.push_back(encode_request());
+  AssignFrame assign;
+  assign.index = 7;
+  assign.config.set("l2.size_kb", "256");
+  assign.config.set("workload.kernel", "axpy");
+  frames.push_back(encode_assign(assign));
+  frames.push_back(encode_heartbeat({7}));
+  frames.push_back(encode_heartbeat_ack({7}));
+  ProgressFrame progress;
+  progress.index = 7;
+  progress.phase = "running";
+  progress.value = 4200;
+  frames.push_back(encode_progress(progress));
+  ResultFrame result;
+  result.index = 7;
+  result.point = sample_point(7);
+  frames.push_back(encode_result(result));
+  frames.push_back(encode_no_work());
+  return frames;
+}
+
+TEST(CampaignProtocol, FramesRoundTripThroughTheDecoderInOnePiece) {
+  const std::vector<Frame> frames = sample_conversation();
+  std::string wire;
+  for (const Frame& frame : frames) wire += encode_frame(frame);
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  for (const Frame& expect : frames) {
+    const auto got = decoder.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(CampaignProtocol, FramesSurviveArbitraryByteChunking) {
+  const std::vector<Frame> frames = sample_conversation();
+  std::string wire;
+  for (const Frame& frame : frames) wire += encode_frame(frame);
+
+  // Property test: many random chunkings, including a pure 1-byte drip,
+  // must reproduce the identical frame sequence.
+  Xoshiro256 rng(0xC0FFEE);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameDecoder decoder;
+    std::vector<Frame> got;
+    std::size_t cursor = 0;
+    while (cursor < wire.size()) {
+      const std::size_t chunk =
+          trial == 0 ? 1
+                     : 1 + static_cast<std::size_t>(
+                               rng.below(std::min<std::uint64_t>(
+                                   wire.size() - cursor, 97)));
+      decoder.feed(wire.data() + cursor, chunk);
+      cursor += chunk;
+      while (const auto frame = decoder.next()) got.push_back(*frame);
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(got[i], frames[i]) << "trial " << trial << " frame " << i;
+    }
+  }
+}
+
+TEST(CampaignProtocol, TypedPayloadsRoundTrip) {
+  const HelloFrame hello = parse_hello(encode_hello({kProtocolVersion, "w9"}));
+  EXPECT_EQ(hello.protocol, kProtocolVersion);
+  EXPECT_EQ(hello.worker, "w9");
+
+  WelcomeFrame welcome;
+  welcome.campaign = "spmv";
+  welcome.heartbeat_ms = 111;
+  welcome.lease_ms = 999;
+  welcome.max_cycles = ~std::uint64_t{0};
+  welcome.max_attempts = 5;
+  const WelcomeFrame welcome2 = parse_welcome(encode_welcome(welcome));
+  EXPECT_EQ(welcome2.campaign, "spmv");
+  EXPECT_EQ(welcome2.heartbeat_ms, 111u);
+  EXPECT_EQ(welcome2.lease_ms, 999u);
+  EXPECT_EQ(welcome2.max_cycles, ~std::uint64_t{0});
+  EXPECT_EQ(welcome2.max_attempts, 5u);
+
+  AssignFrame assign;
+  assign.index = 42;
+  assign.config.set("a", "1");
+  assign.config.set("b", "two");
+  const AssignFrame assign2 = parse_assign(encode_assign(assign));
+  EXPECT_EQ(assign2.index, 42u);
+  EXPECT_EQ(assign2.config.values(), assign.config.values());
+
+  const ResultFrame result2 =
+      parse_result(encode_result({13, sample_point(13)}));
+  EXPECT_EQ(result2.index, 13u);
+  const sweep::PointResult& expect = sample_point(13);
+  EXPECT_EQ(result2.point.to_json(false), expect.to_json(false));
+}
+
+TEST(CampaignProtocol, ZeroLengthFramesAreRejected) {
+  FrameDecoder decoder;
+  const char zero[4] = {0, 0, 0, 0};  // u32 length = 0: no type byte
+  EXPECT_THROW(
+      {
+        decoder.feed(zero, sizeof zero);
+        decoder.next();
+      },
+      ProtocolError);
+}
+
+TEST(CampaignProtocol, OversizedFramesAreRejectedBeforeBuffering) {
+  // Declare a body far over kMaxFrameBytes; the decoder must throw on the
+  // header alone instead of waiting for (or allocating) 4 GiB.
+  std::uint32_t huge = kMaxFrameBytes + 1;
+  char header[5];
+  std::memcpy(header, &huge, 4);
+  header[4] = 1;
+  FrameDecoder decoder;
+  EXPECT_THROW(
+      {
+        decoder.feed(header, sizeof header);
+        decoder.next();
+      },
+      ProtocolError);
+
+  Frame frame;
+  frame.type = FrameType::kResult;
+  frame.payload.assign(kMaxFrameBytes, 'x');
+  EXPECT_THROW(encode_frame(frame), ProtocolError);
+}
+
+TEST(CampaignProtocol, TrailingPayloadBytesAreAProtocolError) {
+  Frame frame = encode_request();
+  frame.payload = "junk the parser must not ignore";
+  EXPECT_THROW(parse_hello(frame), ProtocolError);  // wrong type
+  frame.type = FrameType::kHello;
+  EXPECT_THROW(parse_hello(frame), ProtocolError);  // malformed payload
+}
+
+TEST(CampaignProtocol, PointRecordRoundTripsThroughBinaryForm) {
+  const sweep::PointResult point = sample_point(3);
+  std::ostringstream os;
+  {
+    BinWriter writer(os);
+    sweep::write_point_record(writer, point);
+  }
+  std::istringstream is(os.str());
+  BinReader reader(is);
+  sweep::PointResult loaded;
+  sweep::read_point_record(reader, loaded);
+  loaded.index = point.index;  // records do not carry the slot
+  EXPECT_EQ(loaded.to_json(false), point.to_json(false));
+  EXPECT_EQ(loaded.attempts, point.attempts);
+}
+
+// ------------------------------------------------------------- leases --
+
+struct FakeClock {
+  TimePoint now{};
+  Clock clock() {
+    return [this] { return now; };
+  }
+  void advance(milliseconds delta) { now += delta; }
+};
+
+TEST(CampaignLease, PointsAreHandedOutLowestIndexFirst) {
+  FakeClock clock;
+  LeaseTable table(3, milliseconds(100));
+  EXPECT_EQ(table.acquire(1, clock.now), 0u);
+  EXPECT_EQ(table.acquire(2, clock.now), 1u);
+  EXPECT_EQ(table.acquire(1, clock.now), 2u);
+  EXPECT_EQ(table.acquire(3, clock.now), std::nullopt);
+  EXPECT_EQ(table.num_leased(), 3u);
+}
+
+TEST(CampaignLease, ExpiryRequeuesAndReassignsDeterministically) {
+  FakeClock clock;
+  LeaseTable table(2, milliseconds(100));
+  ASSERT_EQ(table.acquire(1, clock.now), 0u);
+  ASSERT_EQ(table.acquire(2, clock.now), 1u);
+
+  clock.advance(milliseconds(99));
+  EXPECT_TRUE(table.expire(clock.now).empty());
+
+  // Worker 2 heartbeats, worker 1 goes silent: only point 0 expires.
+  EXPECT_TRUE(table.renew(1, 2, clock.now));
+  clock.advance(milliseconds(2));
+  EXPECT_EQ(table.expire(clock.now), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(table.num_pending(), 1u);
+
+  // The freed point goes to the next requester.
+  EXPECT_EQ(table.acquire(3, clock.now), 0u);
+}
+
+TEST(CampaignLease, RenewIsOwnerChecked) {
+  FakeClock clock;
+  LeaseTable table(1, milliseconds(50));
+  ASSERT_EQ(table.acquire(1, clock.now), 0u);
+  EXPECT_FALSE(table.renew(0, 99, clock.now));  // not the holder
+  clock.advance(milliseconds(51));
+  ASSERT_EQ(table.expire(clock.now), (std::vector<std::size_t>{0}));
+  // The old holder's heartbeat after expiry must not resurrect the lease.
+  EXPECT_FALSE(table.renew(0, 1, clock.now));
+  EXPECT_EQ(table.acquire(2, clock.now), 0u);
+}
+
+TEST(CampaignLease, CompleteDropsDuplicatesAndFinishesTheCampaign) {
+  FakeClock clock;
+  LeaseTable table(2, milliseconds(100));
+  ASSERT_EQ(table.acquire(1, clock.now), 0u);
+  EXPECT_TRUE(table.complete(0));
+  EXPECT_FALSE(table.complete(0));  // late duplicate from a forfeited worker
+  EXPECT_FALSE(table.all_done());
+  EXPECT_TRUE(table.complete(1));  // completes straight from pending
+  EXPECT_TRUE(table.all_done());
+  EXPECT_EQ(table.acquire(1, clock.now), std::nullopt);
+}
+
+TEST(CampaignLease, ReleaseWorkerReturnsOnlyItsPoint) {
+  FakeClock clock;
+  LeaseTable table(2, milliseconds(100));
+  ASSERT_EQ(table.acquire(1, clock.now), 0u);
+  ASSERT_EQ(table.acquire(2, clock.now), 1u);
+  EXPECT_EQ(table.release_worker(1), 0u);
+  EXPECT_EQ(table.release_worker(1), std::nullopt);
+  EXPECT_EQ(table.num_pending(), 1u);
+  EXPECT_EQ(table.num_leased(), 1u);
+}
+
+TEST(CampaignLease, NextDeadlineTracksTheEarliestLease) {
+  FakeClock clock;
+  LeaseTable table(2, milliseconds(100));
+  EXPECT_EQ(table.next_deadline(), std::nullopt);
+  ASSERT_EQ(table.acquire(1, clock.now), 0u);
+  const TimePoint first = *table.next_deadline();
+  clock.advance(milliseconds(40));
+  ASSERT_EQ(table.acquire(2, clock.now), 1u);
+  EXPECT_EQ(*table.next_deadline(), first);  // older lease expires sooner
+  ASSERT_TRUE(table.renew(0, 1, clock.now));
+  EXPECT_GT(*table.next_deadline(), first);
+}
+
+// -------------------------------------------------------- config hash --
+
+TEST(CampaignHash, CanonicalTextIsSortedAndStable) {
+  simfw::ConfigMap a;
+  a.set("zeta", "1");
+  a.set("alpha", "2");
+  EXPECT_EQ(core::canonical_config_text(a), "alpha=2\nzeta=1\n");
+
+  simfw::ConfigMap b;
+  b.set("alpha", "2");
+  b.set("zeta", "1");
+  EXPECT_EQ(core::config_map_hash(a), core::config_map_hash(b));
+
+  b.set("zeta", "3");
+  EXPECT_NE(core::config_map_hash(a), core::config_map_hash(b));
+  EXPECT_EQ(core::config_hash_hex(0x1234abcdu), "000000001234abcd");
+}
+
+TEST(CampaignHash, NormalisedConfigHashIsIndependentOfSpelling) {
+  simfw::ConfigMap sparse;
+  sparse.set("topo.cores", "4");
+  const auto full = core::config_to_map(core::config_from_map(sparse));
+  // The normalised map names every knob; hashing it keys the *complete*
+  // design point, so two spellings of the same machine collide on purpose.
+  simfw::ConfigMap padded = sparse;
+  padded.set("l2.size_kb", full.get("l2.size_kb"));
+  const auto full2 = core::config_to_map(core::config_from_map(padded));
+  EXPECT_EQ(core::config_map_hash(full), core::config_map_hash(full2));
+}
+
+// --------------------------------------------------------- memo store --
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CampaignMemo, StoreAndLoadRoundTrip) {
+  const MemoStore store(fresh_dir("memo_roundtrip"));
+  const sweep::PointResult point = sample_point(2);
+  const std::uint64_t key = core::config_map_hash(point.config);
+  store.store(key, point);
+
+  sweep::PointResult loaded;
+  loaded.index = 2;
+  ASSERT_TRUE(store.try_load(key, point.config, loaded));
+  EXPECT_EQ(loaded.to_json(false), point.to_json(false));
+  EXPECT_FALSE(store.try_load(key + 1, point.config, loaded));
+}
+
+TEST(CampaignMemo, CorruptEntriesAreMissesNotErrors) {
+  const MemoStore store(fresh_dir("memo_corrupt"));
+  const sweep::PointResult point = sample_point(4);
+  const std::uint64_t key = core::config_map_hash(point.config);
+  store.store(key, point);
+
+  // Chop the entry at several byte offsets; every truncation must load as
+  // a miss, never throw, never return garbage.
+  std::ifstream in(store.entry_path(key), std::ios::binary);
+  std::stringstream whole;
+  whole << in.rdbuf();
+  const std::string bytes = whole.str();
+  ASSERT_GT(bytes.size(), 16u);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{7}, std::size_t{15},
+        bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(store.entry_path(key),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    sweep::PointResult loaded;
+    EXPECT_FALSE(store.try_load(key, point.config, loaded))
+        << "truncated to " << keep << " bytes";
+  }
+
+  // Pure garbage under the right name is also just a miss.
+  std::ofstream out(store.entry_path(key),
+                    std::ios::binary | std::ios::trunc);
+  out << "not a memo entry at all";
+  out.close();
+  sweep::PointResult loaded;
+  EXPECT_FALSE(store.try_load(key, point.config, loaded));
+}
+
+TEST(CampaignMemo, HashCollisionsAreDetectedByConfigComparison) {
+  const MemoStore store(fresh_dir("memo_collision"));
+  const sweep::PointResult point = sample_point(6);
+  const std::uint64_t key = core::config_map_hash(point.config);
+  store.store(key, point);
+
+  // A different design point that (hypothetically) hashed to the same key
+  // must verify the stored config and miss, not replay the wrong result.
+  simfw::ConfigMap other = point.config;
+  other.set("topo.cores", "64");
+  sweep::PointResult loaded;
+  EXPECT_FALSE(store.try_load(key, other, loaded));
+  // The original still hits.
+  EXPECT_TRUE(store.try_load(key, point.config, loaded));
+}
+
+}  // namespace
+}  // namespace coyote::campaign

@@ -1,0 +1,276 @@
+// Campaign service integration tests: a real broker and real workers over
+// loopback TCP, asserting the contract the whole subsystem exists for —
+// the final results table is byte-identical (host timings excluded) to
+// the in-process engine at --jobs=1, no matter how many workers serve the
+// campaign, whether one of them is killed mid-point, whether a lease
+// expires and the point is reassigned, or whether every point replays
+// from the memo store.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/broker.h"
+#include "campaign/net.h"
+#include "campaign/protocol.h"
+#include "campaign/worker.h"
+#include "sweep/sweep.h"
+
+namespace coyote::campaign {
+namespace {
+
+sweep::SweepSpec service_spec() {
+  sweep::SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 12;
+  spec.seed = 5;
+  spec.base.set("topo.cores", "4");
+  spec.axes.push_back({"l2.size_kb", {"128", "256"}});
+  spec.axes.push_back({"l2.banks_per_tile", {"1", "2"}});
+  return spec;
+}
+
+// A resilience campaign: exercises the golden-run differential path on
+// workers (golden digest computed worker-side, DUE/masked/sdc classes in
+// the table) rather than only plain runs.
+sweep::SweepSpec fault_spec() {
+  sweep::SweepSpec spec = service_spec();
+  spec.axes = {{"fault.seed", {"1", "2", "3"}}};
+  spec.base.set("fault.enable", "true");
+  return spec;
+}
+
+std::string engine_json(const sweep::SweepSpec& spec) {
+  sweep::SweepEngine::Options options;
+  options.jobs = 1;
+  return sweep::SweepEngine(options).run(spec).to_json(false);
+}
+
+struct ServiceRun {
+  std::string table;
+  std::vector<std::size_t> executed;  // per worker
+};
+
+/// Broker on a loopback ephemeral port, `workers` Worker instances on
+/// threads, everything joined before returning.
+ServiceRun run_service(const sweep::SweepSpec& spec,
+                       Broker::Options broker_options, unsigned workers,
+                       const std::function<bool(std::size_t)>& crash_hook =
+                           nullptr) {
+  Broker broker(spec, std::move(broker_options));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+
+  sweep::SweepReport report;
+  std::thread server([&] { report = broker.serve(); });
+
+  ServiceRun outcome;
+  outcome.executed.assign(workers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Worker::Options options;
+      options.port = port;
+      options.name = "w" + std::to_string(w);
+      if (w == 0) options.crash_before_result = crash_hook;
+      Worker worker(std::move(options));
+      outcome.executed[w] = worker.run();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  server.join();
+  outcome.table = report.to_json(false);
+  return outcome;
+}
+
+TEST(CampaignService, OneWorkerMatchesTheInProcessEngineByteForByte) {
+  const sweep::SweepSpec spec = service_spec();
+  const ServiceRun run = run_service(spec, {}, 1);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_EQ(run.executed[0], spec.expand().size());
+}
+
+TEST(CampaignService, FourWorkersMatchTheInProcessEngineByteForByte) {
+  const sweep::SweepSpec spec = service_spec();
+  const ServiceRun run = run_service(spec, {}, 4);
+  EXPECT_EQ(run.table, engine_json(spec));
+  std::size_t total = 0;
+  for (const std::size_t executed : run.executed) total += executed;
+  EXPECT_EQ(total, spec.expand().size());
+}
+
+TEST(CampaignService, FaultCampaignClassesMatchAcrossTheWire) {
+  const sweep::SweepSpec spec = fault_spec();
+  const ServiceRun run = run_service(spec, {}, 2);
+  EXPECT_EQ(run.table, engine_json(spec));
+}
+
+TEST(CampaignService, KilledWorkerForfeitsItsPointAndTheTableIsIdentical) {
+  const sweep::SweepSpec spec = service_spec();
+
+  // Worker 0 hard-closes its connection instead of delivering its first
+  // result — the classic mid-campaign kill. The broker requeues the point
+  // on the disconnect and worker 1 (started after 0 died, like an
+  // operator re-launching) picks up everything, including the forfeited
+  // point.
+  Broker broker(spec, {});
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  sweep::SweepReport report;
+  std::thread server([&] { report = broker.serve(); });
+
+  Worker::Options crash_options;
+  crash_options.port = port;
+  crash_options.name = "doomed";
+  crash_options.crash_before_result = [](std::size_t) { return true; };
+  Worker doomed(std::move(crash_options));
+  EXPECT_EQ(doomed.run(), 1u);  // executed one point, delivered nothing
+
+  Worker::Options rescue_options;
+  rescue_options.port = port;
+  rescue_options.name = "rescue";
+  Worker rescue(std::move(rescue_options));
+  EXPECT_EQ(rescue.run(), spec.expand().size());  // every point, again
+
+  server.join();
+  EXPECT_EQ(report.to_json(false), engine_json(spec));
+}
+
+TEST(CampaignService, ExpiredLeaseIsReassignedOverTheWire) {
+  const sweep::SweepSpec spec = service_spec();
+  Broker::Options options;
+  options.lease = std::chrono::milliseconds(300);
+  options.heartbeat = std::chrono::milliseconds(100);
+  Broker broker(spec, std::move(options));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  sweep::SweepReport report;
+  std::thread server([&] { report = broker.serve(); });
+
+  // A hand-rolled client leases point 0 and then goes silent — no
+  // heartbeat, no result. Holding the socket open keeps the broker from
+  // treating it as a disconnect; only lease expiry can free the point.
+  Socket stalled = Socket::connect_tcp("127.0.0.1", port);
+  FrameDecoder decoder;
+  const auto send = [&stalled](const Frame& frame) {
+    const std::string wire = encode_frame(frame);
+    ASSERT_TRUE(stalled.write_all(wire.data(), wire.size()));
+  };
+  const auto receive = [&stalled, &decoder]() {
+    while (true) {
+      if (auto frame = decoder.next()) return *frame;
+      char buf[4096];
+      const long n = stalled.read_some(buf, sizeof buf);
+      if (n <= 0) {
+        ADD_FAILURE() << "broker hung up on the stalled client";
+        return Frame{};
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  };
+  send(encode_hello({kProtocolVersion, "stalled"}));
+  ASSERT_EQ(receive().type, FrameType::kWelcome);
+  send(encode_request());
+  const Frame assigned = receive();
+  ASSERT_EQ(assigned.type, FrameType::kAssign);
+  EXPECT_EQ(parse_assign(assigned).index, 0u);
+
+  // A live worker drains the rest, parks, and inherits point 0 when the
+  // stalled client's lease lapses.
+  Worker::Options live_options;
+  live_options.port = port;
+  live_options.name = "live";
+  Worker live(std::move(live_options));
+  EXPECT_EQ(live.run(), spec.expand().size());
+
+  server.join();
+  stalled.close();
+  EXPECT_EQ(report.to_json(false), engine_json(spec));
+}
+
+TEST(CampaignService, MemoWarmRerunExecutesNothingAndMatches) {
+  const sweep::SweepSpec spec = service_spec();
+  const std::string memo_dir = ::testing::TempDir() + "campaign_memo_warm";
+  std::filesystem::remove_all(memo_dir);
+
+  Broker::Options cold_options;
+  cold_options.memo_dir = memo_dir;
+  const ServiceRun cold = run_service(spec, std::move(cold_options), 2);
+  EXPECT_EQ(cold.table, engine_json(spec));
+
+  // Same campaign, fresh broker, same store: every point is resolved at
+  // construction and the worker is sent away without executing anything.
+  Broker::Options warm_options;
+  warm_options.memo_dir = memo_dir;
+  Broker warm(spec, std::move(warm_options));
+  EXPECT_EQ(warm.num_done(), warm.num_points());
+
+  const std::uint16_t port = warm.listen("127.0.0.1", 0);
+  sweep::SweepReport report;
+  std::thread server([&] { report = warm.serve(); });
+  Worker::Options options;
+  options.port = port;
+  Worker worker(std::move(options));
+  EXPECT_EQ(worker.run(), 0u);
+  server.join();
+  EXPECT_EQ(report.to_json(false), cold.table);
+}
+
+TEST(CampaignService, BrokerRestartResumesFromStateDir) {
+  const sweep::SweepSpec spec = service_spec();
+  const std::string state_dir = ::testing::TempDir() + "campaign_state";
+  std::filesystem::remove_all(state_dir);
+
+  Broker::Options first_options;
+  first_options.state_dir = state_dir;
+  const ServiceRun first = run_service(spec, std::move(first_options), 2);
+  EXPECT_EQ(first.table, engine_json(spec));
+
+  // "Restart" the broker against the same state directory: the .done
+  // records resolve every point before any worker is needed.
+  Broker::Options second_options;
+  second_options.state_dir = state_dir;
+  Broker restarted(spec, std::move(second_options));
+  EXPECT_EQ(restarted.num_done(), restarted.num_points());
+}
+
+TEST(CampaignService, JsonProgressStreamsPointEventsWithSources) {
+  const sweep::SweepSpec spec = service_spec();
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+
+  Broker::Options options;
+  options.progress = sweep::ProgressMode::kJson;
+  options.progress_out = capture;
+  const ServiceRun run = run_service(spec, std::move(options), 1);
+  EXPECT_EQ(run.table, engine_json(spec));
+
+  std::rewind(capture);
+  std::vector<std::string> lines;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, capture) != nullptr) {
+    lines.emplace_back(buf);
+  }
+  std::fclose(capture);
+
+  std::size_t point_events = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("{\"event\": ", 0), 0u) << line;
+    if (line.rfind("{\"event\": \"point\"", 0) == 0) {
+      ++point_events;
+      EXPECT_NE(line.find("\"source\": \"w0\""), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(point_events, spec.expand().size());
+  ASSERT_FALSE(lines.empty());
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("\"done\": " + std::to_string(spec.expand().size())),
+            std::string::npos)
+      << last;
+}
+
+}  // namespace
+}  // namespace coyote::campaign

@@ -416,10 +416,10 @@ TEST(Sweep, WorkloadElfAxisIsDeterministicAcrossJobs) {
 
   sweep::SweepEngine::Options serial;
   serial.jobs = 1;
-  serial.progress = false;
+  serial.progress = sweep::ProgressMode::kNone;
   sweep::SweepEngine::Options wide;
   wide.jobs = 4;
-  wide.progress = false;
+  wide.progress = sweep::ProgressMode::kNone;
 
   const std::string a = sweep::SweepEngine(serial).run(spec).to_json();
   const std::string b = sweep::SweepEngine(wide).run(spec).to_json();

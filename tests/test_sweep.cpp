@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "core/config_io.h"
+#include "sweep/point_record.h"
 #include "sweep/sweep.h"
 
 namespace coyote::sweep {
@@ -216,6 +220,82 @@ TEST(SweepEngine, GenerousWallClockBudgetDoesNotPerturbResults) {
   // Probe slicing must not change the simulated outcome or the table.
   EXPECT_EQ(a.points[0].run.cycles, b.points[0].run.cycles);
   EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+// ------------------------------------------------- corrupt .done records --
+// A resume directory is campaign state that survives crashes — which is
+// exactly when half-written files happen. Chopped, garbage or stolen
+// records must demote the point to "re-run", never crash the campaign or
+// leak a wrong row into the table.
+
+SweepSpec chop_spec() {
+  SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 12;
+  spec.seed = 5;
+  spec.base.set("topo.cores", "4");
+  spec.axes.push_back({"l2.size_kb", {"128", "256"}});
+  return spec;
+}
+
+TEST(SweepResumeCorruption, ByteChoppedDoneRecordsReRunCleanly) {
+  const std::string dir = ::testing::TempDir() + "sweep_chopped_done";
+  std::filesystem::remove_all(dir);
+  SweepEngine::Options options;
+  options.jobs = 1;
+  options.resume_dir = dir;
+  const SweepSpec spec = chop_spec();
+  const std::string fresh = SweepEngine(options).run(spec).to_json(false);
+
+  const std::string path = dir + "/point0.done";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream whole;
+  whole << in.rdbuf();
+  const std::string bytes = whole.str();
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+
+  // Truncate the record at a spread of offsets: mid-magic, mid-version,
+  // mid-config, mid-metrics, one byte short of complete. Every variant
+  // must re-run point 0 and still produce the identical table.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{2}, std::size_t{6}, std::size_t{11},
+        bytes.size() / 3, bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_EQ(SweepEngine(options).run(spec).to_json(false), fresh)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST(SweepResumeCorruption, GarbageDoneRecordReRunsCleanly) {
+  const std::string dir = ::testing::TempDir() + "sweep_garbage_done";
+  std::filesystem::remove_all(dir);
+  SweepEngine::Options options;
+  options.jobs = 1;
+  options.resume_dir = dir;
+  const SweepSpec spec = chop_spec();
+  const std::string fresh = SweepEngine(options).run(spec).to_json(false);
+
+  {
+    std::ofstream out(dir + "/point0.done",
+                      std::ios::binary | std::ios::trunc);
+    out << "this was never a done record";
+  }
+  {
+    // Right magic, hostile body: a declared string length far past EOF.
+    std::ofstream out(dir + "/point1.done",
+                      std::ios::binary | std::ios::trunc);
+    const std::uint32_t magic = 0x43594B44;
+    const std::uint32_t version = kPointRecordVersion;
+    const std::uint32_t huge = 0x7fffffff;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&huge), 4);
+  }
+  EXPECT_EQ(SweepEngine(options).run(spec).to_json(false), fresh);
 }
 
 TEST(SweepReport, JsonExcludesHostTimingByDefault) {
