@@ -16,12 +16,24 @@
 //           worker processes of this same binary, then the table.
 //             coyote_campaign run --workers=4 --kernel=... axes...
 //
+//   chaos   deterministic TCP fault injector for drills: sits between
+//           workers and a broker, corrupting the wire per a seed.
+//             coyote_campaign chaos --listen=:7701 --connect=host:7700
+//                 --chaos-seed=42 --reset-pmil=5 --bitflip-pmil=5
+//
 // The table is byte-identical (host timings excluded) to
 // `coyote_sweep --jobs=1` on the same spec, no matter how many workers
 // serve it, die during it, or replay points from the memo store.
+//
+// SIGTERM/SIGINT ask a serve/run broker to drain gracefully: stop
+// assigning, wait --drain-grace-ms for in-flight points, persist state,
+// tell the fleet, exit 4. Restarting the same command with the same
+// --state-dir resumes where the drain left off.
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +41,7 @@
 #include <vector>
 
 #include "campaign/broker.h"
+#include "campaign/chaosproxy.h"
 #include "campaign/worker.h"
 #include "common/error.h"
 #include "core/config_io.h"
@@ -44,6 +57,8 @@ void usage() {
       "       coyote_campaign work  --connect=HOST:PORT [--jobs=N] "
       "[--name=S]\n"
       "       coyote_campaign run   --workers=N [SPEC...] [OPTIONS]\n"
+      "       coyote_campaign chaos --listen=HOST:PORT --connect=HOST:PORT\n"
+      "                             [--chaos-seed=N] [--RATE-pmil=P ...]\n"
       "\n"
       "SPEC is coyote_sweep's campaign grammar: [PROGRAM.elf | --kernel=K]\n"
       "[--size=S] [--seed=X] and any mix of key=value overrides and\n"
@@ -62,26 +77,70 @@ void usage() {
       "                     already run anywhere replay instead of running\n"
       "  --json-out=FILE    results table destination (default stdout)\n"
       "  --progress=M       line | json | none (default line)\n"
+      "  --drain-grace-ms=T on SIGTERM/SIGINT, wait this long for in-flight\n"
+      "                     points before exiting 4 (default 5000)\n"
+      "  --max-conns=N      concurrent-connection cap; excess accepts park\n"
+      "                     in the listen backlog (default 256)\n"
+      "  --quarantine-strikes=N  refuse an address after N protocol errors\n"
+      "                     for --quarantine-cooldown-ms; 0 disables (4)\n"
+      "  --quarantine-cooldown-ms=T  quarantine duration (default 10000)\n"
+      "  --idle-timeout-ms=T drop a silent worker connection after this\n"
+      "                     long; 0 = 3x the lease (default 0)\n"
+      "\n"
+      "work options:\n"
+      "  --reconnect-ms=T   keep re-dialing a lost broker (with jittered\n"
+      "                     exponential backoff) for this long before\n"
+      "                     giving up (default 30000; 0 = no reconnect)\n"
+      "\n"
+      "chaos options (rates are per forwarded chunk, parts-per-thousand):\n"
+      "  --chaos-seed=N     RNG seed driving every fault decision (1)\n"
+      "  --delay-pmil=P --delay-max-ms=T --reset-pmil=P\n"
+      "  --partition-pmil=P --truncate-pmil=P --duplicate-pmil=P\n"
+      "  --bitflip-pmil=P\n"
       "\n"
       "The results table is byte-identical (host timings excluded) to\n"
       "`coyote_sweep --jobs=1` on the same SPEC, regardless of worker\n"
-      "count, worker crashes, or memo replays.\n"
+      "count, worker crashes, memo replays, or wire corruption (corrupt\n"
+      "frames are detected by checksum and the connection is retried).\n"
       "\n"
-      "exit codes: 0 ok, 1 execution/point failure, 2 config/usage "
-      "error.\n");
+      "exit codes: 0 ok, 1 execution/point/worker failure, 2 config/usage\n"
+      "error, 4 drained before completion (SIGTERM/SIGINT; state saved,\n"
+      "restart to resume).\n");
 }
 
 struct CommonArgs {
   sweep::SweepSpec spec;
   campaign::Broker::Options broker;
+  campaign::ChaosProxy::Options chaos;
   std::string listen;
   std::string connect;
   std::string name;
   unsigned jobs = 1;
   unsigned workers = 2;
   std::uint32_t retries = 1;
+  std::chrono::milliseconds reconnect{30'000};
   std::string json_out;
 };
+
+// Signal plumbing: the first SIGTERM/SIGINT asks the broker to drain (or
+// the chaos proxy to stop) — both are one atomic store, so async-signal
+// safe. A second signal gives up on grace and exits immediately.
+std::atomic<campaign::Broker*> g_broker{nullptr};
+std::atomic<campaign::ChaosProxy*> g_proxy{nullptr};
+std::atomic<int> g_signal_count{0};
+
+void on_signal(int) {
+  if (g_signal_count.fetch_add(1) > 0) ::_exit(kExitDrained);
+  if (campaign::Broker* broker = g_broker.load()) broker->request_drain();
+  if (campaign::ChaosProxy* proxy = g_proxy.load()) proxy->stop();
+}
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
 
 void split_hostport(const std::string& text, std::string& host,
                     std::uint16_t& port) {
@@ -136,6 +195,40 @@ CommonArgs parse_args(int argc, char** argv) {
       args.json_out = value_of();
     } else if (arg.rfind("--progress=", 0) == 0) {
       args.broker.progress = sweep::progress_mode_from_string(value_of());
+    } else if (arg.rfind("--drain-grace-ms=", 0) == 0) {
+      args.broker.drain_grace =
+          std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--max-conns=", 0) == 0) {
+      args.broker.max_conns = std::stoul(value_of());
+    } else if (arg.rfind("--quarantine-strikes=", 0) == 0) {
+      args.broker.quarantine_strikes =
+          static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--quarantine-cooldown-ms=", 0) == 0) {
+      args.broker.quarantine_cooldown =
+          std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      args.broker.idle_timeout =
+          std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--reconnect-ms=", 0) == 0) {
+      args.reconnect = std::chrono::milliseconds(std::stoll(value_of()));
+    } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+      args.chaos.seed = std::stoull(value_of());
+    } else if (arg.rfind("--delay-pmil=", 0) == 0) {
+      args.chaos.delay_pmil = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--delay-max-ms=", 0) == 0) {
+      args.chaos.delay_max_ms = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--reset-pmil=", 0) == 0) {
+      args.chaos.reset_pmil = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--partition-pmil=", 0) == 0) {
+      args.chaos.partition_pmil =
+          static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--truncate-pmil=", 0) == 0) {
+      args.chaos.truncate_pmil = static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--duplicate-pmil=", 0) == 0) {
+      args.chaos.duplicate_pmil =
+          static_cast<unsigned>(std::stoul(value_of()));
+    } else if (arg.rfind("--bitflip-pmil=", 0) == 0) {
+      args.chaos.bitflip_pmil = static_cast<unsigned>(std::stoul(value_of()));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -184,6 +277,7 @@ int cmd_serve(CommonArgs args) {
   std::uint16_t port = 0;
   split_hostport(args.listen, host, port);
   const bool progress = args.broker.progress != sweep::ProgressMode::kNone;
+  const std::string state_dir = args.broker.state_dir;
   campaign::Broker broker(args.spec, std::move(args.broker));
   const std::uint16_t bound = broker.listen(host, port);
   if (progress) {
@@ -193,7 +287,23 @@ int cmd_serve(CommonArgs args) {
                  broker.num_points(), broker.num_done(), host.c_str(),
                  bound);
   }
+  g_broker.store(&broker);
+  install_signal_handlers();
   const sweep::SweepReport report = broker.serve();
+  g_broker.store(nullptr);
+  if (broker.drained_incomplete()) {
+    // No table: a partial one would be mistaken for results. State (if
+    // --state-dir) holds everything finished; rerunning resumes.
+    std::fprintf(stderr,
+                 "[campaign] drained with %zu/%zu points done%s\n",
+                 broker.num_done(), broker.num_points(),
+                 state_dir.empty()
+                     ? "; no --state-dir, undone work is lost"
+                     : ("; restart with --state-dir=" + state_dir +
+                        " to resume")
+                           .c_str());
+    return kExitDrained;
+  }
   return emit_report(report, args.json_out, progress);
 }
 
@@ -206,6 +316,7 @@ int cmd_work(const CommonArgs& args) {
   split_hostport(args.connect, options.host, options.port);
   options.name = args.name;
   options.jobs = args.jobs;
+  options.reconnect_window = args.reconnect;
   campaign::Worker worker(std::move(options));
   const std::size_t executed = worker.run();
   std::fprintf(stderr, "[campaign] worker done, %zu point%s executed\n",
@@ -228,6 +339,8 @@ int cmd_run(CommonArgs args) {
                  broker.num_points(), broker.num_done(), args.workers, port);
   }
   const std::string connect = "--connect=127.0.0.1:" + std::to_string(port);
+  const std::string reconnect =
+      "--reconnect-ms=" + std::to_string(args.reconnect.count());
   std::vector<pid_t> children;
   for (unsigned w = 0; w < args.workers; ++w) {
     const pid_t pid = ::fork();
@@ -237,8 +350,10 @@ int cmd_run(CommonArgs args) {
     }
     if (pid == 0) {
       const std::string name = "--name=worker" + std::to_string(w);
-      const char* child_argv[] = {"/proc/self/exe", "work", connect.c_str(),
-                                  name.c_str(), "--jobs=1", nullptr};
+      const char* child_argv[] = {"/proc/self/exe",  "work",
+                                  connect.c_str(),   name.c_str(),
+                                  "--jobs=1",        reconnect.c_str(),
+                                  nullptr};
       ::execv(child_argv[0], const_cast<char* const*>(child_argv));
       std::fprintf(stderr, "exec failed: %s\n", std::strerror(errno));
       ::_exit(127);
@@ -249,18 +364,84 @@ int cmd_run(CommonArgs args) {
     std::fprintf(stderr, "run: no worker process could be started\n");
     return kExitExecutionError;
   }
+  g_broker.store(&broker);
+  install_signal_handlers();
   const sweep::SweepReport report = broker.serve();
+  g_broker.store(nullptr);
+  if (broker.drained_incomplete()) {
+    // Forward the drain: the broker is gone, so standing-by workers would
+    // only burn their reconnect windows against a closed port.
+    for (const pid_t pid : children) ::kill(pid, SIGTERM);
+    for (const pid_t pid : children) ::waitpid(pid, nullptr, 0);
+    std::fprintf(stderr, "[campaign] drained with %zu/%zu points done\n",
+                 broker.num_done(), broker.num_points());
+    return kExitDrained;
+  }
+  // Reap every worker and remember the first failure: the table decides
+  // first (a failed point is exit 1 even if workers exited 0), but a full
+  // table with a crashed worker still surfaces that worker's status —
+  // silent worker deaths are how fleets rot.
+  int worker_status = 0;
   for (const pid_t pid : children) {
     int status = 0;
-    if (::waitpid(pid, &status, 0) == pid &&
-        (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
-      // The campaign already completed (serve returned a full table), so a
-      // misbehaving worker is worth a warning, not a failed run.
-      std::fprintf(stderr, "[campaign] worker pid %d exited abnormally\n",
-                   static_cast<int>(pid));
+    if (::waitpid(pid, &status, 0) != pid) continue;
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (code != 0) {
+      std::fprintf(stderr,
+                   "[campaign] worker pid %d exited with status %d\n",
+                   static_cast<int>(pid), code);
+      if (worker_status == 0) worker_status = code;
     }
   }
-  return emit_report(report, json_out, progress);
+  const int table_status = emit_report(report, json_out, progress);
+  return table_status != 0 ? table_status : worker_status;
+}
+
+// chaos: a standalone wire-fault injector for operational drills — point
+// workers at it instead of the broker and watch the fleet shrug.
+int cmd_chaos(CommonArgs args) {
+  if (args.listen.empty() || args.connect.empty()) {
+    std::fprintf(stderr,
+                 "chaos: --listen=HOST:PORT and --connect=HOST:PORT are "
+                 "required\n");
+    return kExitConfigError;
+  }
+  std::string listen_host;
+  std::uint16_t listen_port = 0;
+  split_hostport(args.listen, listen_host, listen_port);
+  split_hostport(args.connect, args.chaos.upstream_host,
+                 args.chaos.upstream_port);
+  campaign::ChaosProxy proxy(args.chaos);
+  const std::uint16_t bound = proxy.listen(listen_host, listen_port);
+  std::fprintf(stderr,
+               "[chaos] forwarding %s:%u -> %s:%u, seed %llu\n",
+               listen_host.c_str(), bound, args.chaos.upstream_host.c_str(),
+               args.chaos.upstream_port,
+               static_cast<unsigned long long>(args.chaos.seed));
+  g_proxy.store(&proxy);
+  install_signal_handlers();
+  proxy.run();
+  g_proxy.store(nullptr);
+  const auto stats = proxy.stats();
+  std::fprintf(stderr,
+               "[chaos] %llu connections, %llu chunks, %llu bytes; "
+               "%llu delays, %llu resets, %llu partitions, %llu "
+               "truncations, %llu duplications, %llu bitflips\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.chunks),
+               static_cast<unsigned long long>(stats.bytes),
+               static_cast<unsigned long long>(stats.delays),
+               static_cast<unsigned long long>(stats.resets),
+               static_cast<unsigned long long>(stats.partitions),
+               static_cast<unsigned long long>(stats.truncations),
+               static_cast<unsigned long long>(stats.duplications),
+               static_cast<unsigned long long>(stats.bitflips));
+  return 0;
 }
 
 }  // namespace
@@ -280,6 +461,7 @@ int main(int argc, char** argv) {
     if (verb == "serve") return cmd_serve(args);
     if (verb == "work") return cmd_work(args);
     if (verb == "run") return cmd_run(args);
+    if (verb == "chaos") return cmd_chaos(args);
     std::fprintf(stderr, "unknown verb '%s'\n", verb.c_str());
     usage();
     return kExitConfigError;

@@ -107,16 +107,57 @@ int Broker::poll_timeout_ms() const {
   return timeout;
 }
 
+std::chrono::milliseconds Broker::idle_timeout() const {
+  if (options_.idle_timeout.count() > 0) return options_.idle_timeout;
+  return options_.lease * 3;
+}
+
+void Broker::broadcast_shutdown(ShutdownReason reason,
+                                const std::string& message) {
+  const Frame bye = encode_shutdown({reason, message});
+  for (auto& [id, conn] : conns_) {
+    if (conn.helloed) send_frame(conn.sock, bye);
+  }
+  conns_.clear();
+  wait_queue_.clear();
+}
+
 sweep::SweepReport Broker::serve() {
   if (!listener_.valid()) {
     throw SimError("campaign: serve() called before listen()");
   }
+  drain_deadline_.reset();
   while (!stop_.load(std::memory_order_relaxed) && !lease_.all_done()) {
+    const TimePoint now = options_.clock();
+    if (draining() && !drain_deadline_) {
+      drain_deadline_ = now + options_.drain_grace;
+      sink_.note(strfmt(
+          "draining: no new assignments, waiting up to %lld ms for %zu "
+          "in-flight point%s",
+          static_cast<long long>(options_.drain_grace.count()),
+          lease_.num_leased(), lease_.num_leased() == 1 ? "" : "s"));
+      dispatch_waiting(now);  // parked requests hear NO_WORK immediately
+    }
+    if (drain_deadline_ &&
+        (lease_.num_leased() == 0 || now >= *drain_deadline_)) {
+      break;
+    }
     tick(poll_timeout_ms());
+  }
+  drained_incomplete_ = !lease_.all_done();
+  if (drained_incomplete_) {
+    broadcast_shutdown(ShutdownReason::kDraining,
+                       "broker draining; campaign incomplete");
+    sink_.note(strfmt("drained with %zu/%zu points done%s",
+                      lease_.num_done(), points_.size(),
+                      options_.state_dir.empty()
+                          ? " (no --state-dir: undone work is lost)"
+                          : "; restart from --state-dir to resume"));
+    return report_;
   }
   // Linger briefly so a worker that connects just as the campaign resolves
   // (memo-warm runs can finish before any worker joins) hears a clean
-  // NO_WORK instead of a connection reset — and so connected workers get
+  // SHUTDOWN instead of a connection reset — and so connected workers get
   // their goodbye before the listener closes.
   const auto until =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
@@ -125,12 +166,7 @@ sweep::SweepReport Broker::serve() {
     if (any_helloed_ && conns_.empty()) break;
     tick(50);
   }
-  const Frame no_work = encode_no_work();
-  for (auto& [id, conn] : conns_) {
-    if (conn.helloed) send_frame(conn.sock, no_work);
-  }
-  conns_.clear();
-  wait_queue_.clear();
+  broadcast_shutdown(ShutdownReason::kCampaignComplete, "campaign complete");
   return report_;
 }
 
@@ -148,14 +184,28 @@ void Broker::tick(int timeout_ms) {
   const TimePoint now = options_.clock();
 
   if ((fds[0].revents & POLLIN) != 0) {
-    while (true) {
+    // Overload shedding: admit connections only up to the cap; the rest
+    // wait in the kernel's listen backlog instead of growing broker state.
+    while (conns_.size() < options_.max_conns) {
       Socket sock = listener_.accept_conn();
       if (!sock.valid()) break;
+      const std::string addr = sock.peer_address();
+      if (quarantined(addr, now)) {
+        sock.set_nonblocking(true);
+        send_frame(sock, encode_error(
+                             {ErrorCode::kQuarantined,
+                              strfmt("address %s quarantined for repeated "
+                                     "protocol errors",
+                                     addr.c_str())}));
+        continue;  // close on scope exit
+      }
       sock.set_nonblocking(true);
       const std::uint64_t id = next_conn_id_++;
       Conn conn;
       conn.sock = std::move(sock);
       conn.id = id;
+      conn.addr = addr;
+      conn.last_activity = now;
       conns_.emplace(id, std::move(conn));
     }
   }
@@ -169,6 +219,7 @@ void Broker::tick(int timeout_ms) {
     bool drop = false;
     bool eof = false;
     std::string why;
+    std::optional<ErrorCode> offence;
     try {
       char buf[4096];
       while (true) {
@@ -178,6 +229,7 @@ void Broker::tick(int timeout_ms) {
           eof = true;
           break;
         }
+        conn.last_activity = now;
         conn.decoder.feed(buf, static_cast<std::size_t>(n));
       }
       // Frames already buffered are handled even when the peer has since
@@ -190,6 +242,14 @@ void Broker::tick(int timeout_ms) {
           why = "send failed";
         }
       }
+    } catch (const PeerMisbehaved& misbehaved) {
+      drop = true;
+      why = misbehaved.what;
+      offence = misbehaved.code;
+    } catch (const ProtocolError& e) {
+      drop = true;
+      why = e.what();
+      offence = ErrorCode::kMalformedFrame;
     } catch (const std::exception& e) {
       drop = true;
       why = e.what();
@@ -198,8 +258,29 @@ void Broker::tick(int timeout_ms) {
       drop = true;
       if (conn.point) why = "disconnected mid-point";
     }
-    if (drop) drop_conn(id, why);
+    if (drop) {
+      if (offence) {
+        // Reply-then-close: the peer learns *why* it is being refused
+        // (best effort — it may already be gone), and its address earns a
+        // quarantine strike so a looping bad client is eventually refused
+        // at accept instead of spinning the event loop.
+        send_frame(conn.sock, encode_error({*offence, why}));
+        strike(conn.addr, now);
+      }
+      drop_conn(id, why);
+    }
   }
+
+  // Dead-peer reaping: a half-open connection (peer's host died without a
+  // FIN) never POLLHUPs, so silence is the only signal. Helloed workers
+  // heartbeat every heartbeat_ms; several missed lease durations means the
+  // peer is gone. Pre-HELLO connections get one lease duration to speak.
+  std::vector<std::uint64_t> idle;
+  for (auto& [id, conn] : conns_) {
+    const auto limit = conn.helloed ? idle_timeout() : options_.lease;
+    if (now - conn.last_activity > limit) idle.push_back(id);
+  }
+  for (const std::uint64_t id : idle) drop_conn(id, "idle; presumed dead");
 
   for (const std::size_t point : lease_.expire(now)) {
     sink_.note(strfmt("lease on point %zu expired; requeueing", point));
@@ -210,13 +291,41 @@ void Broker::tick(int timeout_ms) {
   dispatch_waiting(now);
 }
 
+void Broker::strike(const std::string& addr, TimePoint now) {
+  if (options_.quarantine_strikes == 0 || addr == "?") return;
+  Offender& offender = offenders_[addr];
+  ++offender.strikes;
+  offender.until = now + options_.quarantine_cooldown;
+  if (offender.strikes == options_.quarantine_strikes) {
+    sink_.note(strfmt(
+        "quarantining %s for %lld ms after %u protocol errors",
+        addr.c_str(),
+        static_cast<long long>(options_.quarantine_cooldown.count()),
+        offender.strikes));
+  }
+}
+
+bool Broker::quarantined(const std::string& addr, TimePoint now) {
+  if (options_.quarantine_strikes == 0) return false;
+  const auto it = offenders_.find(addr);
+  if (it == offenders_.end()) return false;
+  if (now >= it->second.until) {
+    offenders_.erase(it);  // cooldown served; clean slate
+    return false;
+  }
+  return it->second.strikes >= options_.quarantine_strikes;
+}
+
 bool Broker::handle_frame(Conn& conn, const Frame& frame, TimePoint now) {
   if (!conn.helloed) {
     const HelloFrame hello = parse_hello(frame);
     if (hello.protocol != kProtocolVersion) {
-      throw ProtocolError(strfmt(
-          "worker '%s' speaks protocol %u, this broker speaks %u",
-          hello.worker.c_str(), hello.protocol, kProtocolVersion));
+      // Reply-then-close (via the PeerMisbehaved path) so a mismatched
+      // worker prints *why* instead of retrying a dead handshake forever.
+      throw PeerMisbehaved{
+          ErrorCode::kProtocolMismatch,
+          strfmt("worker '%s' speaks protocol %u, this broker speaks %u",
+                 hello.worker.c_str(), hello.protocol, kProtocolVersion)};
     }
     conn.name = hello.worker.empty() ? "conn#" + std::to_string(conn.id)
                                      : hello.worker;
@@ -233,7 +342,15 @@ bool Broker::handle_frame(Conn& conn, const Frame& frame, TimePoint now) {
   }
   switch (frame.type) {
     case FrameType::kRequest: {
-      if (lease_.all_done()) return send_frame(conn.sock, encode_no_work());
+      if (lease_.all_done()) {
+        return send_frame(
+            conn.sock, encode_shutdown({ShutdownReason::kCampaignComplete,
+                                        "campaign complete"}));
+      }
+      // Draining: NO_WORK means "stand by" — the worker parks and waits for
+      // either more work (never, here) or the SHUTDOWN{kDraining} broadcast
+      // that tells it to reconnect-with-backoff to the restarted broker.
+      if (draining()) return send_frame(conn.sock, encode_no_work());
       return assign_point(conn, now);
     }
     case FrameType::kHeartbeat: {
@@ -255,9 +372,10 @@ bool Broker::handle_frame(Conn& conn, const Frame& frame, TimePoint now) {
       ResultFrame result = parse_result(frame);
       const auto index = static_cast<std::size_t>(result.index);
       if (index >= points_.size()) {
-        throw ProtocolError(strfmt(
-            "worker '%s' sent a result for point %zu of %zu",
-            conn.name.c_str(), index, points_.size()));
+        throw PeerMisbehaved{
+            ErrorCode::kUnexpectedFrame,
+            strfmt("worker '%s' sent a result for point %zu of %zu",
+                   conn.name.c_str(), index, points_.size())};
       }
       if (conn.point && *conn.point == index) conn.point.reset();
       if (lease_.complete(index)) {
@@ -269,9 +387,10 @@ bool Broker::handle_frame(Conn& conn, const Frame& frame, TimePoint now) {
       return true;
     }
     default:
-      throw ProtocolError(strfmt("unexpected frame type %u from worker '%s'",
-                                 static_cast<unsigned>(frame.type),
-                                 conn.name.c_str()));
+      throw PeerMisbehaved{
+          ErrorCode::kUnexpectedFrame,
+          strfmt("unexpected frame type %u from worker '%s'",
+                 static_cast<unsigned>(frame.type), conn.name.c_str())};
   }
 }
 
@@ -295,16 +414,26 @@ bool Broker::assign_point(Conn& conn, TimePoint now) {
 
 void Broker::dispatch_waiting(TimePoint now) {
   while (!wait_queue_.empty()) {
-    if (!lease_.all_done() && lease_.num_pending() == 0) return;
+    const bool done = lease_.all_done();
+    // Nothing to hand out and nothing to announce: leave requests parked
+    // until a lease expires or a worker drops.
+    if (!done && !draining() && lease_.num_pending() == 0) return;
     const std::uint64_t id = wait_queue_.front();
     wait_queue_.erase(wait_queue_.begin());
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
     Conn& conn = it->second;
     conn.waiting = false;
-    const bool sent = lease_.all_done()
-                          ? send_frame(conn.sock, encode_no_work())
-                          : assign_point(conn, now);
+    bool sent = false;
+    if (done) {
+      sent = send_frame(conn.sock,
+                        encode_shutdown({ShutdownReason::kCampaignComplete,
+                                         "campaign complete"}));
+    } else if (draining()) {
+      sent = send_frame(conn.sock, encode_no_work());
+    } else {
+      sent = assign_point(conn, now);
+    }
     if (!sent) drop_conn(id, "send failed");
   }
 }

@@ -61,6 +61,25 @@ class Broker {
     std::FILE* progress_out = nullptr;
     /// Injected time source for lease bookkeeping.
     Clock clock;
+    /// Graceful-drain grace period: after request_drain() the broker stops
+    /// assigning, answers REQUEST with NO_WORK, and waits this long for
+    /// in-flight leases to deliver before broadcasting SHUTDOWN and
+    /// returning. A lease that expires during the drain goes back to
+    /// pending (resumable), never to another worker.
+    std::chrono::milliseconds drain_grace{5'000};
+    /// Concurrent-connection cap: accepts beyond it are parked in the
+    /// kernel's listen backlog instead of growing broker state unboundedly;
+    /// they are admitted as existing connections drop.
+    std::size_t max_conns = 256;
+    /// A helloed connection silent for this long is presumed dead and
+    /// dropped (its lease is requeued); a connection that never completes
+    /// HELLO gets one lease duration to speak. 0 = 3x the lease duration.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Quarantine: an address racking up this many protocol errors is
+    /// refused (typed ERROR, then close) for `quarantine_cooldown`, so one
+    /// bad client cannot spin the accept loop. 0 disables quarantining.
+    unsigned quarantine_strikes = 4;
+    std::chrono::milliseconds quarantine_cooldown{10'000};
   };
 
   /// Expands the spec and pre-resolves points from `.done` records and the
@@ -85,20 +104,49 @@ class Broker {
   /// current poll tick (tests, signal handlers).
   void request_stop() { stop_.store(true); }
 
+  /// Flips the broker into graceful drain (async-signal-safe: one atomic
+  /// store): stop assigning, answer REQUEST with NO_WORK, wait up to
+  /// drain_grace for in-flight leases, persist what arrives, broadcast
+  /// SHUTDOWN{kDraining}, and return from serve(). A broker restarted from
+  /// the same --state-dir resumes exactly where the drain left off.
+  void request_drain() { drain_.store(true); }
+
+  /// True when the last serve() returned without a full table — it was
+  /// drained or stopped mid-campaign. Callers map this to a distinct exit
+  /// code so scripts can tell "drained, restart me" from "failed".
+  bool drained_incomplete() const { return drained_incomplete_; }
+
  private:
   struct Conn {
     Socket sock;
     FrameDecoder decoder;
     std::uint64_t id = 0;
     std::string name;
+    std::string addr;                    ///< peer IPv4, quarantine key
     bool helloed = false;
     bool waiting = false;                ///< parked REQUEST
     std::optional<std::size_t> point;    ///< what this conn is running
+    TimePoint last_activity{};           ///< last byte received
+  };
+
+  /// A peer's protocol-offence ledger entry.
+  struct Offender {
+    unsigned strikes = 0;
+    TimePoint until{};  ///< refused while now < until (once over threshold)
+  };
+
+  /// Thrown by handle_frame for contract violations that deserve a typed
+  /// ERROR reply (protocol mismatch, out-of-contract frames) before the
+  /// connection is closed and the address striked.
+  struct PeerMisbehaved {
+    ErrorCode code;
+    std::string what;
   };
 
   void prefill_from_records();
-  /// One event-loop iteration: poll, accept, read/handle frames, expire
-  /// leases, dispatch parked requests.
+  /// One event-loop iteration: poll, accept (quarantine + cap checks),
+  /// read/handle frames, reap idle peers, expire leases, dispatch parked
+  /// requests.
   void tick(int timeout_ms);
   int poll_timeout_ms() const;
   void dispatch_waiting(TimePoint now);
@@ -109,6 +157,13 @@ class Broker {
                        const std::string& source);
   void drop_conn(std::uint64_t id, const std::string& why);
   std::string done_path(std::size_t index) const;
+  /// Records a protocol offence by `addr`; over the threshold the address
+  /// is refused for the cooldown.
+  void strike(const std::string& addr, TimePoint now);
+  bool quarantined(const std::string& addr, TimePoint now);
+  std::chrono::milliseconds idle_timeout() const;
+  void broadcast_shutdown(ShutdownReason reason, const std::string& message);
+  bool draining() const { return drain_.load(std::memory_order_relaxed); }
 
   Options options_;
   sweep::SweepSpec spec_;
@@ -125,9 +180,13 @@ class Broker {
   Socket listener_;
   std::map<std::uint64_t, Conn> conns_;
   std::vector<std::uint64_t> wait_queue_;  ///< FIFO of parked conn ids
+  std::map<std::string, Offender> offenders_;
   std::uint64_t next_conn_id_ = 1;
   bool any_helloed_ = false;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
+  std::optional<TimePoint> drain_deadline_;
+  bool drained_incomplete_ = false;
 };
 
 }  // namespace coyote::campaign

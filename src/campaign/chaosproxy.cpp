@@ -1,0 +1,173 @@
+#include "campaign/chaosproxy.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace coyote::campaign {
+
+namespace {
+
+/// Closes with SO_LINGER 0 so the peer sees a genuine RST, not a tidy FIN
+/// — the difference between "campaign over" and "connection yanked".
+void abort_close(Socket& sock) {
+  if (!sock.valid()) return;
+  const linger hard{1, 0};
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  sock.close();
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+std::uint16_t ChaosProxy::listen(const std::string& host,
+                                 std::uint16_t port) {
+  listener_ = Socket::listen_tcp(host, port);
+  return listener_.local_port();
+}
+
+void ChaosProxy::run() {
+  if (!listener_.valid()) {
+    throw SimError("chaos proxy: run() called before listen()");
+  }
+  while (!stop_.load(std::memory_order_relaxed)) tick(50);
+  for (auto& [id, link] : links_) reset_link(link);
+  links_.clear();
+}
+
+void ChaosProxy::reset_link(Link& link) {
+  abort_close(link.client);
+  abort_close(link.upstream);
+}
+
+bool ChaosProxy::shuttle(Socket& src, Socket& dst, bool& cut,
+                         bool* reset_out) {
+  char buf[4096];
+  const long n = src.read_some(buf, sizeof buf);
+  if (n == 0) return true;   // spurious wakeup
+  if (n < 0) return false;   // endpoint closed: tear the link down
+  auto size = static_cast<std::size_t>(n);
+  ++stats_.chunks;
+  stats_.bytes += size;
+
+  // Draw every decision every chunk, enabled or not, so the decision
+  // sequence is a pure function of the seed — turning one fault class on
+  // does not reshuffle the others.
+  const bool delay = rng_.below(1000) < options_.delay_pmil;
+  const bool reset = rng_.below(1000) < options_.reset_pmil;
+  const bool partition = rng_.below(1000) < options_.partition_pmil;
+  const bool truncate = rng_.below(1000) < options_.truncate_pmil;
+  const bool duplicate = rng_.below(1000) < options_.duplicate_pmil;
+  const bool bitflip = rng_.below(1000) < options_.bitflip_pmil;
+  const std::uint64_t delay_ms = 1 + rng_.below(
+      std::max<std::uint64_t>(options_.delay_max_ms, 1));
+  const std::uint64_t cut_at = rng_.below(size);
+  const std::uint64_t flip_bit = rng_.below(size * 8);
+
+  if (delay) {
+    ++stats_.delays;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (reset) {
+    ++stats_.resets;
+    *reset_out = true;
+    return false;
+  }
+  if (partition && !cut) {
+    // Half-open from here on: this direction silently swallows everything
+    // (this chunk included); the reverse direction keeps flowing.
+    ++stats_.partitions;
+    cut = true;
+  }
+  if (cut) return true;
+  if (bitflip) {
+    ++stats_.bitflips;
+    buf[flip_bit / 8] ^= static_cast<char>(1u << (flip_bit % 8));
+  }
+  if (truncate) {
+    // Forward an arbitrary prefix — possibly zero bytes, possibly cutting
+    // a length word or payload in half — then yank the connection.
+    ++stats_.truncations;
+    *reset_out = true;
+    if (cut_at > 0) dst.write_all(buf, static_cast<std::size_t>(cut_at));
+    return false;
+  }
+  if (!dst.write_all(buf, size)) return false;
+  if (duplicate) {
+    ++stats_.duplications;
+    if (!dst.write_all(buf, size)) return false;
+  }
+  return true;
+}
+
+void ChaosProxy::tick(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;
+  fds.reserve(links_.size() * 2 + 1);
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  for (auto& [id, link] : links_) {
+    fds.push_back(pollfd{link.client.fd(), POLLIN, 0});
+    fds.push_back(pollfd{link.upstream.fd(), POLLIN, 0});
+    ids.push_back(id);
+  }
+  ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    while (true) {
+      Socket client = listener_.accept_conn();
+      if (!client.valid()) break;
+      Link link;
+      link.client = std::move(client);
+      try {
+        link.upstream = Socket::connect_tcp(options_.upstream_host,
+                                            options_.upstream_port);
+      } catch (const std::exception&) {
+        abort_close(link.client);  // broker down: client sees a reset
+        continue;
+      }
+      link.client.set_nonblocking(true);
+      link.upstream.set_nonblocking(true);
+      ++stats_.connections;
+      links_.emplace(next_link_id_++, std::move(link));
+    }
+  }
+
+  std::vector<std::uint64_t> dead;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const auto it = links_.find(ids[k]);
+    if (it == links_.end()) continue;
+    Link& link = it->second;
+    bool alive = true;
+    bool reset = false;
+    if ((fds[1 + 2 * k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      alive = shuttle(link.client, link.upstream,
+                      link.client_to_upstream_cut, &reset);
+    }
+    if (alive &&
+        (fds[2 + 2 * k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      alive = shuttle(link.upstream, link.client,
+                      link.upstream_to_client_cut, &reset);
+    }
+    if (!alive) {
+      if (reset) {
+        reset_link(link);
+      } else {
+        // One endpoint closed normally: propagate the FIN rather than
+        // faking a fault the seed did not ask for.
+        link.client.close();
+        link.upstream.close();
+      }
+      dead.push_back(ids[k]);
+    }
+  }
+  for (const std::uint64_t id : dead) links_.erase(id);
+}
+
+}  // namespace coyote::campaign

@@ -1,0 +1,102 @@
+// A deterministic TCP chaos proxy for torturing the campaign wire
+// protocol in-process. It sits between workers and the broker, shuttling
+// bytes both ways, and — driven by a seeded xoshiro256** stream — injects
+// the failures real networks produce:
+//
+//   * delays        : hold a chunk for a few milliseconds
+//   * resets        : SO_LINGER-0 close (a genuine RST) of both sides
+//   * partitions    : half-open link — one direction silently eats bytes
+//                     while the other keeps flowing (the classic
+//                     "switch died holding the connection up" failure)
+//   * truncation    : forward a prefix of a chunk, cut at an arbitrary
+//                     byte offset (mid-length-prefix, mid-payload), reset
+//   * duplication   : forward the same chunk twice
+//   * bit flips     : corrupt one random bit in transit
+//
+// Every decision is drawn from the single seeded stream in a fixed order,
+// so a scenario is replayed by its seed. Rates are parts-per-thousand per
+// forwarded chunk; all default to 0 (a faithful proxy).
+//
+// Single-threaded poll loop, same shape as the broker's: run() serves
+// until stop(). Tests run it on a thread next to the broker and point
+// workers at proxy.port().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "campaign/net.h"
+#include "common/rng.h"
+
+namespace coyote::campaign {
+
+class ChaosProxy {
+ public:
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    std::uint16_t upstream_port = 0;
+    std::uint64_t seed = 1;
+    /// Per-chunk fault rates, parts-per-thousand.
+    unsigned delay_pmil = 0;
+    unsigned delay_max_ms = 20;  ///< delays are uniform in [1, delay_max_ms]
+    unsigned reset_pmil = 0;
+    unsigned partition_pmil = 0;
+    unsigned truncate_pmil = 0;
+    unsigned duplicate_pmil = 0;
+    unsigned bitflip_pmil = 0;
+  };
+
+  /// What the proxy actually did — tests assert chaos really happened.
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t truncations = 0;
+    std::uint64_t duplications = 0;
+    std::uint64_t bitflips = 0;
+  };
+
+  explicit ChaosProxy(Options options);
+
+  /// Binds the client-facing socket (port 0 = kernel-assigned).
+  std::uint16_t listen(const std::string& host, std::uint16_t port);
+  std::uint16_t port() const { return listener_.local_port(); }
+
+  /// Serves until stop(); run it on its own thread.
+  void run();
+  void stop() { stop_.store(true); }
+
+  /// Snapshot of fault counters. Safe to call after run() returns; while
+  /// it runs, counters are only written by the proxy thread.
+  Stats stats() const { return stats_; }
+
+ private:
+  /// One proxied worker<->broker connection pair.
+  struct Link {
+    Socket client;
+    Socket upstream;
+    bool client_to_upstream_cut = false;  ///< half-open: direction eats bytes
+    bool upstream_to_client_cut = false;
+  };
+
+  void tick(int timeout_ms);
+  /// Forwards one chunk from `src` to `dst`, applying chaos. Returns false
+  /// when the link must be torn down.
+  bool shuttle(Socket& src, Socket& dst, bool& cut, bool* reset_out);
+  void reset_link(Link& link);
+
+  Options options_;
+  Socket listener_;
+  std::map<std::uint64_t, Link> links_;
+  std::uint64_t next_link_id_ = 1;
+  std::atomic<bool> stop_{false};
+  Stats stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace coyote::campaign

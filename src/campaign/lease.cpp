@@ -34,7 +34,7 @@ bool LeaseTable::complete(std::size_t point) {
   if (pending_.erase(point) == 0 && leased_.erase(point) == 0) {
     return false;  // already done: a forfeited worker's duplicate result
   }
-  ++num_done_;
+  num_done_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

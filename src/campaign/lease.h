@@ -10,6 +10,7 @@
 // tested with a fake clock instead of sleeps.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -60,8 +61,12 @@ class LeaseTable {
 
   std::size_t num_pending() const { return pending_.size(); }
   std::size_t num_leased() const { return leased_.size(); }
-  std::size_t num_done() const { return num_done_; }
-  bool all_done() const { return num_done_ == num_points_; }
+  /// Safe to read from other threads (progress monitors, drain logic);
+  /// everything else on this class belongs to the broker thread alone.
+  std::size_t num_done() const {
+    return num_done_.load(std::memory_order_relaxed);
+  }
+  bool all_done() const { return num_done() == num_points_; }
 
  private:
   struct Lease {
@@ -73,7 +78,7 @@ class LeaseTable {
   std::chrono::milliseconds lease_duration_;
   std::set<std::size_t> pending_;        // ordered: lowest index first
   std::map<std::size_t, Lease> leased_;  // point -> holder
-  std::size_t num_done_ = 0;
+  std::atomic<std::size_t> num_done_{0};
 };
 
 }  // namespace coyote::campaign

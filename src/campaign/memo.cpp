@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "core/config_io.h"
 #include "sweep/point_record.h"
+#include "sweep/point_runner.h"
 
 namespace coyote::campaign {
 
@@ -81,7 +82,9 @@ void MemoStore::store(std::uint64_t key,
     os.flush();
     if (!os) throw SimError("memo: write failed for " + tmp);
   }
-  std::filesystem::rename(tmp, path);
+  // fsync-then-rename-then-dir-fsync: a memo entry either exists complete
+  // and durable or not at all, even across a power cut.
+  sweep::rename_durable(tmp, path);
 }
 
 }  // namespace coyote::campaign

@@ -81,6 +81,7 @@ Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sock.set_keepalive();
   return sock;
 }
 
@@ -96,7 +97,36 @@ Socket Socket::accept_conn() {
   Socket conn(fd);
   const int one = 1;
   ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  conn.set_keepalive();
   return conn;
+}
+
+std::string Socket::peer_address() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "?";
+  }
+  char text[INET_ADDRSTRLEN] = {};
+  if (inet_ntop(AF_INET, &addr.sin_addr, text, sizeof text) == nullptr) {
+    return "?";
+  }
+  return text;
+}
+
+void Socket::set_keepalive(int idle_s, int interval_s, int count) {
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof one);
+#ifdef TCP_KEEPIDLE
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPIDLE, &idle_s, sizeof idle_s);
+#endif
+#ifdef TCP_KEEPINTVL
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPINTVL, &interval_s,
+               sizeof interval_s);
+#endif
+#ifdef TCP_KEEPCNT
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof count);
+#endif
 }
 
 std::uint16_t Socket::local_port() const {

@@ -48,7 +48,18 @@ class Socket {
 
   std::uint16_t local_port() const;
 
+  /// The peer's numeric IPv4 address ("?" when unknown) — the quarantine
+  /// ledger's key.
+  std::string peer_address() const;
+
   void set_nonblocking(bool nonblocking);
+
+  /// Arms TCP keepalive: probe after `idle_s` seconds of silence, every
+  /// `interval_s` after that, declare the peer dead after `count` unanswered
+  /// probes. A peer whose host vanished without a FIN (power loss, cable
+  /// pull, half-open partition) surfaces as a read error instead of a
+  /// connection that hangs forever. Best effort — failures are ignored.
+  void set_keepalive(int idle_s = 30, int interval_s = 10, int count = 3);
 
   /// Reads what is available: >0 bytes read, 0 = would-block (no data on a
   /// non-blocking socket), -1 = connection closed or failed.

@@ -88,10 +88,28 @@ auto parse_payload(const Frame& frame, FrameType expect, Fn&& body) {
   }
 }
 
+/// FNV-1a-32 over the frame's type byte and payload — the per-frame
+/// integrity check. Not cryptographic; it exists to turn wire corruption
+/// (flipped bits, spliced streams) into a loud ProtocolError instead of a
+/// silently wrong result record.
+std::uint32_t frame_checksum(FrameType type, const std::string& payload) {
+  std::uint32_t hash = 2166136261u;
+  const auto mix = [&hash](std::uint8_t byte) {
+    hash ^= byte;
+    hash *= 16777619u;
+  };
+  mix(static_cast<std::uint8_t>(type));
+  for (const char c : payload) mix(static_cast<std::uint8_t>(c));
+  return hash;
+}
+
+/// Frame overhead after the length prefix: type byte + trailing checksum.
+constexpr std::uint32_t kFrameOverhead = 1 + 4;
+
 }  // namespace
 
 std::string encode_frame(const Frame& frame) {
-  const std::uint64_t length = frame.payload.size() + 1;
+  const std::uint64_t length = frame.payload.size() + kFrameOverhead;
   if (length > kMaxFrameBytes) {
     throw ProtocolError(strfmt("frame too large (%llu bytes)",
                                static_cast<unsigned long long>(length)));
@@ -103,6 +121,10 @@ std::string encode_frame(const Frame& frame) {
   }
   wire.push_back(static_cast<char>(frame.type));
   wire += frame.payload;
+  const std::uint32_t checksum = frame_checksum(frame.type, frame.payload);
+  for (unsigned i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((checksum >> (8 * i)) & 0xFF));
+  }
   return wire;
 }
 
@@ -128,8 +150,9 @@ std::optional<Frame> FrameDecoder::next() {
                   static_cast<std::uint8_t>(buffer_[consumed_ + i]))
               << (8 * i);
   }
-  if (length == 0) {
-    throw ProtocolError("zero-length frame");
+  if (length < kFrameOverhead) {
+    throw ProtocolError(strfmt("undersized frame (%u bytes < %u minimum)",
+                               length, kFrameOverhead));
   }
   if (length > kMaxFrameBytes) {
     throw ProtocolError(strfmt("oversized frame (%u bytes > %u max)",
@@ -138,7 +161,20 @@ std::optional<Frame> FrameDecoder::next() {
   if (available < 4u + length) return std::nullopt;
   Frame frame;
   frame.type = static_cast<FrameType>(buffer_[consumed_ + 4]);
-  frame.payload.assign(buffer_, consumed_ + 5, length - 1);
+  frame.payload.assign(buffer_, consumed_ + 5, length - kFrameOverhead);
+  std::uint32_t declared = 0;
+  const std::size_t checksum_at = consumed_ + 4 + length - 4;
+  for (unsigned i = 0; i < 4; ++i) {
+    declared |= static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(buffer_[checksum_at + i]))
+                << (8 * i);
+  }
+  if (declared != frame_checksum(frame.type, frame.payload)) {
+    throw ProtocolError(
+        strfmt("frame checksum mismatch (type %u, %zu payload bytes) — "
+               "corrupt stream",
+               static_cast<unsigned>(frame.type), frame.payload.size()));
+  }
   consumed_ += 4u + length;
   return frame;
 }
@@ -197,6 +233,20 @@ Frame encode_result(const ResultFrame& result) {
   p.w().u64(result.index);
   sweep::write_point_record(p.w(), result.point);
   return std::move(p).finish(FrameType::kResult);
+}
+
+Frame encode_error(const ErrorFrame& error) {
+  PayloadWriter p;
+  p.w().u32(static_cast<std::uint32_t>(error.code));
+  p.w().str(error.message);
+  return std::move(p).finish(FrameType::kError);
+}
+
+Frame encode_shutdown(const ShutdownFrame& shutdown) {
+  PayloadWriter p;
+  p.w().u32(static_cast<std::uint32_t>(shutdown.reason));
+  p.w().str(shutdown.message);
+  return std::move(p).finish(FrameType::kShutdown);
 }
 
 HelloFrame parse_hello(const Frame& frame) {
@@ -259,6 +309,24 @@ ResultFrame parse_result(const Frame& frame) {
     sweep::read_point_record(r, result.point);
     result.point.index = result.index;
     return result;
+  });
+}
+
+ErrorFrame parse_error(const Frame& frame) {
+  return parse_payload(frame, FrameType::kError, [](BinReader& r) {
+    ErrorFrame error;
+    error.code = static_cast<ErrorCode>(r.u32());
+    error.message = r.str();
+    return error;
+  });
+}
+
+ShutdownFrame parse_shutdown(const Frame& frame) {
+  return parse_payload(frame, FrameType::kShutdown, [](BinReader& r) {
+    ShutdownFrame shutdown;
+    shutdown.reason = static_cast<ShutdownReason>(r.u32());
+    shutdown.message = r.str();
+    return shutdown;
   });
 }
 

@@ -1,10 +1,16 @@
-// The campaign service's wire protocol: a plain length-prefixed framing
-// over TCP (or any byte stream), carrying the broker/worker conversation
-// that shards campaign points across processes and hosts.
+// The campaign service's wire protocol: a checksummed length-prefixed
+// framing over TCP (or any byte stream), carrying the broker/worker
+// conversation that shards campaign points across processes and hosts.
 //
-//   frame := u32 length (LE, bytes after this field, 1..kMaxFrameBytes)
-//            u8  type   (FrameType)
-//            payload    (length-1 bytes, BinWriter little-endian encoding)
+//   frame := u32 length   (LE, bytes after this field, 5..kMaxFrameBytes)
+//            u8  type     (FrameType)
+//            payload      (length-5 bytes, BinWriter little-endian encoding)
+//            u32 checksum (LE FNV-1a-32 over type byte + payload)
+//
+// The checksum is the campaign's integrity floor: a payload bit flipped
+// anywhere between two healthy peers (bad NIC, misbehaving middlebox, the
+// chaos proxy in tests) is a ProtocolError for that connection, never a
+// silently corrupted result record in the table.
 //
 // The conversation:
 //
@@ -13,22 +19,34 @@
 //   HELLO {proto, name}        →
 //                              ←     WELCOME {proto, campaign, timings,
 //                                             execution options}
+//                                    (or ERROR {code, message} and close —
+//                                     protocol mismatch, quarantine)
 //   REQUEST                    →
 //                              ←     ASSIGN {index, raw config map}
-//                                    (or parked until work frees up;
-//                                     NO_WORK once the campaign is done)
+//                                    (no point free → parked until work
+//                                     frees up; NO_WORK while the broker
+//                                     is draining — "stand by, nothing for
+//                                     you"; SHUTDOWN {complete} once the
+//                                     campaign is done)
 //   HEARTBEAT {index}          →     (every heartbeat_ms while running —
 //                              ←     HEARTBEAT_ACK {index}    renews the
-//                                    point's lease)
+//                                    point's lease; index == kPingIndex is
+//                                    a liveness probe from a parked worker
+//                                    and renews nothing)
 //   PROGRESS {index, phase,    →     (status stream for long points)
 //             value}
 //   RESULT {index, record}     →     (the shared point record; then the
 //                                     worker REQUESTs again)
+//                              ←     SHUTDOWN {reason, message}
+//                                    (broadcast: kCampaignComplete = go
+//                                     home happy; kDraining = the broker
+//                                     is restarting, re-dial with backoff)
 //
 // A worker that disconnects or misses its lease deadline forfeits the
 // point; the broker deterministically reassigns it (lowest index first) to
 // the next requesting worker. Both endpoints treat any malformed frame as
-// fatal for that connection only.
+// fatal for that connection only — the broker answers with a typed ERROR
+// before closing, and quarantines addresses that repeat-offend.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +61,15 @@
 namespace coyote::campaign {
 
 /// Bumped on any incompatible frame-layout change; HELLO/WELCOME carry it
-/// and mismatched peers refuse each other with a clear error.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// and mismatched peers refuse each other with a typed ERROR frame (sent
+/// before close, so the refused side knows *why*) instead of a silent
+/// drop. v2 added the per-frame checksum and the ERROR/SHUTDOWN pair.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// HEARTBEAT index used by a parked worker as a pure liveness probe: the
+/// broker acks it without renewing any lease. Lets an idle worker tell "my
+/// broker is slow" from "my broker's host silently died".
+inline constexpr std::uint64_t kPingIndex = ~std::uint64_t{0};
 
 /// Upper bound on a frame's declared size. Configs and point records are
 /// kilobytes; anything bigger is a corrupt or hostile stream and the
@@ -68,6 +93,24 @@ enum class FrameType : std::uint8_t {
   kHeartbeatAck = 7,
   kProgress = 8,
   kResult = 9,
+  kError = 10,     ///< typed refusal, sent before the sender closes
+  kShutdown = 11,  ///< broker is going away: campaign done, or draining
+};
+
+/// Why a peer is being refused. Carried in ERROR so the refused side can
+/// decide between "give up with this diagnosis" (mismatch, quarantine) and
+/// "the wire is bad, reconnect" (malformed frame on an established link).
+enum class ErrorCode : std::uint32_t {
+  kProtocolMismatch = 1,  ///< HELLO/WELCOME version disagreement
+  kMalformedFrame = 2,    ///< undecodable or checksum-failed bytes
+  kUnexpectedFrame = 3,   ///< well-formed but out of contract
+  kQuarantined = 4,       ///< address refused for repeat offences
+};
+
+/// Why the broker is disconnecting everyone.
+enum class ShutdownReason : std::uint32_t {
+  kCampaignComplete = 1,  ///< every point has a result; exit cleanly
+  kDraining = 2,          ///< broker restarting; re-dial with backoff
 };
 
 struct Frame {
@@ -83,8 +126,10 @@ std::string encode_frame(const Frame& frame);
 
 /// Incremental frame parser tolerant of arbitrary byte chunking — TCP
 /// gives no message boundaries, so bytes are fed as they arrive and whole
-/// frames pop out as they complete. Oversized or zero-length declared
-/// frames throw ProtocolError immediately (before buffering the body).
+/// frames pop out as they complete. Oversized or undersized declared
+/// frames throw ProtocolError immediately (before buffering the body);
+/// a frame whose trailing checksum does not match its bytes throws once
+/// the body is complete.
 class FrameDecoder {
  public:
   /// Appends raw bytes from the stream.
@@ -140,6 +185,16 @@ struct ResultFrame {
   sweep::PointResult point;  ///< full outcome; index field mirrors `index`
 };
 
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kMalformedFrame;
+  std::string message;
+};
+
+struct ShutdownFrame {
+  ShutdownReason reason = ShutdownReason::kCampaignComplete;
+  std::string message;
+};
+
 Frame encode_hello(const HelloFrame& hello);
 Frame encode_welcome(const WelcomeFrame& welcome);
 Frame encode_request();
@@ -149,6 +204,8 @@ Frame encode_heartbeat(const IndexFrame& heartbeat);
 Frame encode_heartbeat_ack(const IndexFrame& ack);
 Frame encode_progress(const ProgressFrame& progress);
 Frame encode_result(const ResultFrame& result);
+Frame encode_error(const ErrorFrame& error);
+Frame encode_shutdown(const ShutdownFrame& shutdown);
 
 /// Each parser throws ProtocolError when `frame` has the wrong type or a
 /// malformed payload.
@@ -159,5 +216,7 @@ IndexFrame parse_heartbeat(const Frame& frame);
 IndexFrame parse_heartbeat_ack(const Frame& frame);
 ProgressFrame parse_progress(const Frame& frame);
 ResultFrame parse_result(const Frame& frame);
+ErrorFrame parse_error(const Frame& frame);
+ShutdownFrame parse_shutdown(const Frame& frame);
 
 }  // namespace coyote::campaign

@@ -12,6 +12,7 @@
 #include "campaign/net.h"
 #include "campaign/protocol.h"
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace coyote::campaign {
 
@@ -22,20 +23,58 @@ bool send_frame(Socket& sock, const Frame& frame) {
   return sock.write_all(wire.data(), wire.size());
 }
 
-/// Blocking read of the next frame; nullopt on EOF or reset — the broker
-/// is gone, which a worker treats as "campaign over", not an error.
-std::optional<Frame> read_frame(Socket& sock, FrameDecoder& decoder) {
+enum class ReadStatus { kFrame, kEof, kTimeout };
+
+/// Reads the next frame with a deadline: kFrame fills `out`, kEof means
+/// the broker closed or reset, kTimeout means `timeout_ms` of silence.
+/// Decoder exceptions (corrupt stream) propagate to the caller.
+ReadStatus read_frame_within(Socket& sock, FrameDecoder& decoder,
+                             int timeout_ms, Frame* out) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   while (true) {
-    if (auto frame = decoder.next()) return frame;
+    if (auto frame = decoder.next()) {
+      *out = std::move(*frame);
+      return ReadStatus::kFrame;
+    }
     char buf[4096];
     const long n = sock.read_some(buf, sizeof buf);
-    if (n < 0) return std::nullopt;
-    if (n == 0) {
-      wait_readable(sock.fd(), -1);
+    if (n < 0) return ReadStatus::kEof;
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
       continue;
     }
-    decoder.feed(buf, static_cast<std::size_t>(n));
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0) return ReadStatus::kTimeout;
+    wait_readable(sock.fd(), static_cast<int>(remaining));
   }
+}
+
+/// After a failed send, the broker may already have said goodbye: drain
+/// whatever is buffered (without waiting) and report a SHUTDOWN reason if
+/// one is in there, so "broker finished while my RESULT was in flight"
+/// resolves as completion, not loss.
+std::optional<ShutdownReason> drain_for_shutdown(Socket& sock,
+                                                 FrameDecoder& decoder) {
+  try {
+    char buf[4096];
+    while (true) {
+      const long n = sock.read_some(buf, sizeof buf);
+      if (n <= 0) break;
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+    while (auto frame = decoder.next()) {
+      if (frame->type == FrameType::kShutdown) {
+        return parse_shutdown(*frame).reason;
+      }
+    }
+  } catch (const std::exception&) {
+    // Corrupt trailing bytes: no goodbye, then.
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -45,6 +84,12 @@ Worker::Worker(Options options) : options_(std::move(options)) {
     options_.name = "pid" + std::to_string(::getpid());
   }
   if (options_.jobs == 0) options_.jobs = 1;
+  if (options_.backoff_base.count() <= 0) {
+    options_.backoff_base = std::chrono::milliseconds(1);
+  }
+  if (options_.backoff_max < options_.backoff_base) {
+    options_.backoff_max = options_.backoff_base;
+  }
 }
 
 sweep::PointExecutor& Worker::executor(std::uint64_t max_cycles,
@@ -84,82 +129,234 @@ std::size_t Worker::run() {
 }
 
 std::size_t Worker::run_connection(unsigned slot) {
-  Socket sock = Socket::connect_tcp(options_.host, options_.port);
+  // Jitter stream: seeded so chaos tests replay identical reconnect
+  // schedules, slot-mixed so a multi-job worker's slots don't stampede in
+  // lockstep.
+  SplitMix64 mix(options_.backoff_seed);
+  Xoshiro256 rng(mix.next() ^ (0x9E3779B97F4A7C15ULL * (slot + 1)));
+
+  std::size_t executed = 0;
+  std::optional<std::chrono::steady_clock::time_point> lost_since;
+  unsigned attempt = 0;
+  while (true) {
+    const SessionOutcome outcome = run_session(slot, executed);
+    if (outcome.kind == SessionOutcome::Kind::kComplete) return executed;
+    if (outcome.kind == SessionOutcome::Kind::kFatal) {
+      throw SimError("campaign worker: " + outcome.detail);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (outcome.welcomed || !lost_since) {
+      // A completed handshake proves the broker was reachable: this loss
+      // is fresh, so it earns a full reconnect window and reset backoff.
+      lost_since = now;
+      if (outcome.welcomed) attempt = 0;
+    }
+    if (now - *lost_since >= options_.reconnect_window) {
+      throw SimError(strfmt(
+          "campaign worker: broker lost and not back within %lld ms (%s)",
+          static_cast<long long>(options_.reconnect_window.count()),
+          outcome.detail.empty() ? "gone" : outcome.detail.c_str()));
+    }
+    const std::uint64_t shift = std::min<unsigned>(attempt, 20);
+    const auto ceiling = std::min<std::int64_t>(
+        options_.backoff_base.count() << shift, options_.backoff_max.count());
+    const double jitter = 0.5 + rng.uniform() * 0.5;  // [0.5, 1.0)
+    const auto delay = std::chrono::milliseconds(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                      static_cast<double>(ceiling) * jitter)));
+    ++attempt;
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+Worker::SessionOutcome Worker::run_session(unsigned slot,
+                                           std::size_t& executed) {
+  SessionOutcome outcome;
+  Socket sock;
+  try {
+    sock = Socket::connect_tcp(options_.host, options_.port);
+  } catch (const std::exception& e) {
+    outcome.detail = e.what();
+    return outcome;
+  }
+  sock.set_nonblocking(true);
   FrameDecoder decoder;
 
   HelloFrame hello;
   hello.worker = options_.jobs > 1
                      ? options_.name + "#" + std::to_string(slot)
                      : options_.name;
-  if (!send_frame(sock, encode_hello(hello))) return 0;
-  const auto welcome_frame = read_frame(sock, decoder);
-  if (!welcome_frame) return 0;  // broker finished before we joined
-  const WelcomeFrame welcome = parse_welcome(*welcome_frame);
-  if (welcome.protocol != kProtocolVersion) {
-    throw ProtocolError(strfmt(
-        "broker speaks protocol %u, this worker speaks %u", welcome.protocol,
-        kProtocolVersion));
+  if (!send_frame(sock, encode_hello(hello))) {
+    outcome.detail = "HELLO send failed";
+    return outcome;
   }
-  sweep::PointExecutor& exec =
-      executor(welcome.max_cycles, welcome.max_attempts);
+  Frame frame;
+  try {
+    const ReadStatus status = read_frame_within(
+        sock, decoder, static_cast<int>(options_.handshake_timeout.count()),
+        &frame);
+    if (status == ReadStatus::kEof) {
+      outcome.detail = "broker closed during handshake";
+      return outcome;
+    }
+    if (status == ReadStatus::kTimeout) {
+      outcome.detail = "handshake timeout";
+      return outcome;
+    }
+    if (frame.type == FrameType::kError) {
+      const ErrorFrame error = parse_error(frame);
+      outcome.kind = SessionOutcome::Kind::kFatal;
+      outcome.detail = "broker refused: " + error.message;
+      return outcome;
+    }
+    const WelcomeFrame welcome = parse_welcome(frame);
+    if (welcome.protocol != kProtocolVersion) {
+      outcome.kind = SessionOutcome::Kind::kFatal;
+      outcome.detail = strfmt(
+          "broker speaks protocol %u, this worker speaks %u",
+          welcome.protocol, kProtocolVersion);
+      return outcome;
+    }
+    outcome.welcomed = true;
 
-  std::size_t executed = 0;
-  while (true) {
-    if (!send_frame(sock, encode_request())) break;
-    std::optional<Frame> frame;
-    do {  // acks for heartbeats sent during the previous point queue up
-      frame = read_frame(sock, decoder);
-    } while (frame && frame->type == FrameType::kHeartbeatAck);
-    if (!frame || frame->type == FrameType::kNoWork) break;
-    const AssignFrame assign = parse_assign(*frame);
-
-    sweep::PointResult point;
-    point.index = static_cast<std::size_t>(assign.index);
-    point.config = assign.config;
-
-    // Heartbeat pump: renews the lease and streams elapsed-time progress
-    // while the point runs. Joined before RESULT goes out, so the socket
-    // never sees interleaved writes.
-    std::atomic<bool> done{false};
-    std::mutex pump_mutex;
-    std::condition_variable pump_cv;
-    std::thread pump([&] {
-      const auto cadence = std::chrono::milliseconds(
-          std::max<std::uint64_t>(welcome.heartbeat_ms, 1));
-      const auto start = std::chrono::steady_clock::now();
-      std::unique_lock<std::mutex> lock(pump_mutex);
-      while (!pump_cv.wait_for(lock, cadence, [&] { return done.load(); })) {
-        if (!send_frame(sock, encode_heartbeat({assign.index}))) return;
-        ProgressFrame progress;
-        progress.index = assign.index;
-        progress.phase = "running";
-        progress.value = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count());
-        if (!send_frame(sock, encode_progress(progress))) return;
+    sweep::PointExecutor& exec =
+        executor(welcome.max_cycles, welcome.max_attempts);
+    // Read deadline: the broker heartbeats nothing on its own, but it acks
+    // every HEARTBEAT — so after this much silence we probe with a ping
+    // (kPingIndex renews no lease) and after two silent deadlines in a row
+    // declare the broker lost. Generous enough that a legitimately parked
+    // worker (all points leased elsewhere) never false-positives.
+    const int deadline_ms = static_cast<int>(
+        std::max<std::uint64_t>(3 * welcome.heartbeat_ms, 500));
+    unsigned silent = 0;
+    bool standby = false;  // true after NO_WORK: wait, don't re-request
+    while (true) {
+      if (!standby && !send_frame(sock, encode_request())) {
+        if (drain_for_shutdown(sock, decoder) ==
+            ShutdownReason::kCampaignComplete) {
+          outcome.kind = SessionOutcome::Kind::kComplete;
+          return outcome;
+        }
+        outcome.detail = "REQUEST send failed";
+        return outcome;
       }
-    });
-    exec.run_point(point);
-    ++executed;
-    {
-      const std::lock_guard<std::mutex> lock(pump_mutex);
-      done.store(true);
-    }
-    pump_cv.notify_all();
-    pump.join();
+      // Await the broker's answer, skipping queued heartbeat acks and
+      // probing through silence.
+      while (true) {
+        const ReadStatus status =
+            read_frame_within(sock, decoder, deadline_ms, &frame);
+        if (status == ReadStatus::kEof) {
+          outcome.detail = "broker closed connection";
+          return outcome;
+        }
+        if (status == ReadStatus::kTimeout) {
+          if (++silent >= 2) {
+            outcome.detail = "broker silent past read deadline";
+            return outcome;
+          }
+          if (!send_frame(sock, encode_heartbeat({kPingIndex}))) {
+            outcome.detail = "ping send failed";
+            return outcome;
+          }
+          continue;
+        }
+        silent = 0;
+        if (frame.type != FrameType::kHeartbeatAck) break;
+      }
+      if (frame.type == FrameType::kNoWork) {
+        // Draining broker: stand by for its SHUTDOWN instead of spamming
+        // REQUEST; pings keep the link's liveness check running.
+        standby = true;
+        continue;
+      }
+      if (frame.type == FrameType::kShutdown) {
+        const ShutdownFrame shutdown = parse_shutdown(frame);
+        if (shutdown.reason == ShutdownReason::kCampaignComplete) {
+          outcome.kind = SessionOutcome::Kind::kComplete;
+          return outcome;
+        }
+        outcome.detail = "broker draining: " + shutdown.message;
+        return outcome;
+      }
+      if (frame.type == FrameType::kError) {
+        const ErrorFrame error = parse_error(frame);
+        if (error.code == ErrorCode::kProtocolMismatch ||
+            error.code == ErrorCode::kQuarantined) {
+          outcome.kind = SessionOutcome::Kind::kFatal;
+          outcome.detail = "broker refused: " + error.message;
+          return outcome;
+        }
+        // kMalformedFrame / kUnexpectedFrame: our bytes got mangled in
+        // transit — reconnect with a clean stream and carry on.
+        outcome.detail = "broker dropped us: " + error.message;
+        return outcome;
+      }
+      standby = false;
+      const AssignFrame assign = parse_assign(frame);
 
-    if (options_.crash_before_result &&
-        options_.crash_before_result(point.index)) {
-      sock.close();  // simulated crash: no RESULT, no goodbye
-      return executed;
+      sweep::PointResult point;
+      point.index = static_cast<std::size_t>(assign.index);
+      point.config = assign.config;
+
+      // Heartbeat pump: renews the lease and streams elapsed-time progress
+      // while the point runs. Joined before RESULT goes out, so the socket
+      // never sees interleaved writes.
+      std::atomic<bool> done{false};
+      std::mutex pump_mutex;
+      std::condition_variable pump_cv;
+      std::thread pump([&] {
+        const auto cadence = std::chrono::milliseconds(
+            std::max<std::uint64_t>(welcome.heartbeat_ms, 1));
+        const auto start = std::chrono::steady_clock::now();
+        std::unique_lock<std::mutex> lock(pump_mutex);
+        while (
+            !pump_cv.wait_for(lock, cadence, [&] { return done.load(); })) {
+          if (!send_frame(sock, encode_heartbeat({assign.index}))) return;
+          ProgressFrame progress;
+          progress.index = assign.index;
+          progress.phase = "running";
+          progress.value = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          if (!send_frame(sock, encode_progress(progress))) return;
+        }
+      });
+      exec.run_point(point);
+      ++executed;
+      {
+        const std::lock_guard<std::mutex> lock(pump_mutex);
+        done.store(true);
+      }
+      pump_cv.notify_all();
+      pump.join();
+
+      if (options_.crash_before_result &&
+          options_.crash_before_result(point.index)) {
+        sock.close();  // simulated crash: no RESULT, no goodbye, no retry
+        outcome.kind = SessionOutcome::Kind::kComplete;
+        return outcome;
+      }
+      ResultFrame result;
+      result.index = assign.index;
+      result.point = std::move(point);
+      if (!send_frame(sock, encode_result(result))) {
+        if (drain_for_shutdown(sock, decoder) ==
+            ShutdownReason::kCampaignComplete) {
+          outcome.kind = SessionOutcome::Kind::kComplete;
+          return outcome;
+        }
+        outcome.detail = "RESULT send failed";
+        return outcome;
+      }
     }
-    ResultFrame result;
-    result.index = assign.index;
-    result.point = std::move(point);
-    if (!send_frame(sock, encode_result(result))) break;
+  } catch (const ProtocolError& e) {
+    // Corrupt inbound stream (chaos, splice, truncation): the session is
+    // unusable but a fresh connection starts clean.
+    outcome.detail = std::string("corrupt stream from broker: ") + e.what();
+    outcome.kind = SessionOutcome::Kind::kLost;
+    return outcome;
   }
-  return executed;
 }
 
 }  // namespace coyote::campaign

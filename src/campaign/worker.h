@@ -4,8 +4,17 @@
 // while a point runs, and ships the result record back. Workers hold no
 // campaign state — kill one at any moment and the broker reassigns its
 // point; start another and it just asks for work.
+//
+// Losing the broker is not fatal: on EOF, reset, read deadline, or a
+// SHUTDOWN{kDraining} frame the worker re-dials with seeded, jittered
+// exponential backoff for a bounded reconnect window, re-HELLOs, and
+// resumes — a broker restarted from the same --state-dir picks the fleet
+// back up transparently. Only SHUTDOWN{kCampaignComplete} (or a typed
+// ERROR naming an unrecoverable offence: protocol mismatch, quarantine)
+// ends a worker for good.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -26,6 +35,22 @@ class Worker {
     /// Parallel broker connections, each executing one point at a time
     /// (the process-level analogue of SweepEngine jobs).
     unsigned jobs = 1;
+    /// How long to keep re-dialing after the broker is lost (connect
+    /// refused, EOF/reset, read deadline, SHUTDOWN{kDraining}). The window
+    /// restarts at each successful WELCOME, so a flaky link gets the full
+    /// window every time it drops. 0 = give up on first loss.
+    std::chrono::milliseconds reconnect_window{30'000};
+    /// Exponential backoff between re-dials: delay n is
+    /// min(backoff_base * 2^n, backoff_max) scaled by a jitter factor in
+    /// [0.5, 1.0) drawn from a Xoshiro256 stream seeded with backoff_seed
+    /// (mixed with the slot id) — deterministic under test, thundering-herd
+    /// safe in production.
+    std::chrono::milliseconds backoff_base{100};
+    std::chrono::milliseconds backoff_max{2'000};
+    std::uint64_t backoff_seed = 0;
+    /// How long to wait for WELCOME after sending HELLO before treating
+    /// the connection as dead.
+    std::chrono::milliseconds handshake_timeout{10'000};
     /// Test hook: called with the point index just before its RESULT would
     /// be sent; returning true hard-closes the connection instead — a
     /// simulated worker crash at the worst possible moment.
@@ -34,14 +59,29 @@ class Worker {
 
   explicit Worker(Options options);
 
-  /// Serves the broker until it answers NO_WORK or goes away (EOF — the
-  /// campaign ended). Returns the number of points executed locally: 0 on
-  /// a memo-warm campaign where the broker resolved everything itself.
-  /// Throws SimError on connect failure or a protocol violation.
+  /// Serves the broker until SHUTDOWN{kCampaignComplete} or until the
+  /// reconnect window closes without reaching it. Returns the number of
+  /// points executed locally: 0 on a memo-warm campaign where the broker
+  /// resolved everything itself. Throws SimError when the broker stays
+  /// unreachable past the window or names this worker unrecoverable
+  /// (protocol mismatch, quarantined).
   std::size_t run();
 
  private:
+  /// Why one broker session (dial → HELLO → serve) ended.
+  struct SessionOutcome {
+    enum class Kind {
+      kComplete,  ///< SHUTDOWN{kCampaignComplete} (or simulated crash hook)
+      kLost,      ///< broker gone/draining/silent — reconnect may succeed
+      kFatal,     ///< typed refusal (mismatch, quarantine) — do not retry
+    };
+    Kind kind = Kind::kLost;
+    bool welcomed = false;  ///< handshake completed (resets the window)
+    std::string detail;
+  };
+
   std::size_t run_connection(unsigned slot);
+  SessionOutcome run_session(unsigned slot, std::size_t& executed);
   sweep::PointExecutor& executor(std::uint64_t max_cycles,
                                  std::uint32_t max_attempts);
 

@@ -56,6 +56,12 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitExecutionError = 1;
 inline constexpr int kExitConfigError = 2;
 inline constexpr int kExitHang = 3;
+/// A campaign broker (or `coyote_campaign run` fleet) that was asked to
+/// drain (SIGTERM/SIGINT) and exited before the campaign completed. The
+/// state directory holds everything done so far; restarting the same
+/// command resumes. Distinct from 1/2/3 so orchestration scripts can tell
+/// "drained, restart me" from "failed".
+inline constexpr int kExitDrained = 4;
 /// A guest program that ran to completion but called exit(status != 0)
 /// maps to kExitGuestBase + (status mod 64): disjoint from the harness
 /// codes above, wraparound-free within the 8-bit POSIX exit range.

@@ -1,5 +1,8 @@
 #include "sweep/point_runner.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -90,6 +93,22 @@ void run_point_with_retries(
   }
 }
 
+void rename_durable(const std::string& tmp, const std::string& path) {
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  std::filesystem::rename(tmp, path);
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int dirfd = ::open(dir.empty() ? "." : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // the rename itself must reach disk
+    ::close(dirfd);
+  }
+}
+
 void write_done_record(const std::string& path, const PointResult& point) {
   const std::string tmp = path + ".tmp";
   {
@@ -102,7 +121,7 @@ void write_done_record(const std::string& path, const PointResult& point) {
     os.flush();
     if (!os) throw SimError("sweep resume: write failed for " + tmp);
   }
-  std::filesystem::rename(tmp, path);
+  rename_durable(tmp, path);
 }
 
 bool try_load_done_record(const std::string& path,

@@ -29,10 +29,17 @@ void run_point_with_retries(
     const std::function<core::RunResult(const core::SimConfig&,
                                         PointResult&)>& body);
 
-/// Writes `point` as a crash-safe `.done` record (tmp + rename): container
-/// magic/version plus the shared point record. The record is the resume
-/// and reassignment ground truth — a point with a parseable, config-matching
-/// record is done; anything else is not.
+/// Durable commit of a fully-written temp file: fsync the file, rename it
+/// over `path`, fsync the containing directory. Rename alone survives a
+/// process crash but not a power cut — without the syncs, a machine dying
+/// after rename can leave a zero-length or half-written "committed" file,
+/// which campaign restart would then warn about and silently re-run.
+void rename_durable(const std::string& tmp, const std::string& path);
+
+/// Writes `point` as a crash-safe `.done` record (tmp + fsync + rename +
+/// dir fsync): container magic/version plus the shared point record. The
+/// record is the resume and reassignment ground truth — a point with a
+/// parseable, config-matching record is done; anything else is not.
 void write_done_record(const std::string& path, const PointResult& point);
 
 /// Loads a `.done` record into `point` iff it parses and its stored config

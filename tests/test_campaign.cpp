@@ -13,14 +13,20 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
+#include "campaign/broker.h"
 #include "campaign/lease.h"
 #include "campaign/memo.h"
+#include "campaign/net.h"
 #include "campaign/protocol.h"
 #include "common/binio.h"
 #include "common/rng.h"
 #include "core/config_io.h"
 #include "sweep/point_record.h"
 #include "sweep/point_runner.h"
+#include "sweep/sweep.h"
 
 namespace coyote::campaign {
 namespace {
@@ -77,6 +83,10 @@ std::vector<Frame> sample_conversation() {
   result.point = sample_point(7);
   frames.push_back(encode_result(result));
   frames.push_back(encode_no_work());
+  frames.push_back(encode_error(
+      {ErrorCode::kProtocolMismatch, "worker speaks protocol 1"}));
+  frames.push_back(encode_shutdown(
+      {ShutdownReason::kCampaignComplete, "campaign complete"}));
   return frames;
 }
 
@@ -156,6 +166,68 @@ TEST(CampaignProtocol, TypedPayloadsRoundTrip) {
   EXPECT_EQ(result2.index, 13u);
   const sweep::PointResult& expect = sample_point(13);
   EXPECT_EQ(result2.point.to_json(false), expect.to_json(false));
+}
+
+TEST(CampaignProtocol, ControlFramesRoundTrip) {
+  const ErrorFrame error = parse_error(encode_error(
+      {ErrorCode::kQuarantined, "address 10.0.0.9 quarantined"}));
+  EXPECT_EQ(error.code, ErrorCode::kQuarantined);
+  EXPECT_EQ(error.message, "address 10.0.0.9 quarantined");
+
+  const ShutdownFrame shutdown = parse_shutdown(
+      encode_shutdown({ShutdownReason::kDraining, "broker draining"}));
+  EXPECT_EQ(shutdown.reason, ShutdownReason::kDraining);
+  EXPECT_EQ(shutdown.message, "broker draining");
+
+  // Empty messages are legal — SHUTDOWN is sometimes all the broker has
+  // time to say.
+  const ShutdownFrame terse = parse_shutdown(
+      encode_shutdown({ShutdownReason::kCampaignComplete, ""}));
+  EXPECT_EQ(terse.reason, ShutdownReason::kCampaignComplete);
+  EXPECT_TRUE(terse.message.empty());
+
+  // Cross-parsing is a typed error, not garbage.
+  EXPECT_THROW(parse_shutdown(encode_error({ErrorCode::kMalformedFrame, ""})),
+               ProtocolError);
+  EXPECT_THROW(parse_error(encode_no_work()), ProtocolError);
+}
+
+TEST(CampaignProtocol, ChecksumCatchesEverySingleBitFlip) {
+  // Flip every bit of the frame body (type byte, payload, checksum — all
+  // bytes past the length prefix) one at a time: each flip must surface as
+  // a ProtocolError, never as a silently different frame. This is the
+  // integrity floor the chaos suite's bitflip scenarios stand on.
+  ResultFrame result;
+  result.index = 3;
+  result.point = sample_point(3);
+  const std::string wire = encode_frame(encode_result(result));
+  ASSERT_GT(wire.size(), 4u);
+  for (std::size_t byte = 4; byte < wire.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[byte] ^= static_cast<char>(1u << bit);
+      FrameDecoder decoder;
+      decoder.feed(corrupt.data(), corrupt.size());
+      EXPECT_THROW(decoder.next(), ProtocolError)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+  // The pristine frame still decodes — the loop above really was the flip.
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(CampaignProtocol, UndersizedFrameLengthsAreRejected) {
+  // v2 frames carry at least a type byte and a 4-byte checksum; a declared
+  // length of 1..4 can only come from corruption or an old peer.
+  for (std::uint32_t length = 1; length <= 4; ++length) {
+    char header[4];
+    std::memcpy(header, &length, 4);
+    FrameDecoder decoder;
+    decoder.feed(header, sizeof header);
+    EXPECT_THROW(decoder.next(), ProtocolError) << "length " << length;
+  }
 }
 
 TEST(CampaignProtocol, ZeroLengthFramesAreRejected) {
@@ -301,6 +373,148 @@ TEST(CampaignLease, NextDeadlineTracksTheEarliestLease) {
   EXPECT_GT(*table.next_deadline(), first);
 }
 
+// ------------------------------------------------- drain vs lease race --
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// FakeClock whose now() can be advanced from the test thread while the
+/// broker thread reads it: one atomic, no torn reads.
+struct SharedFakeClock {
+  std::atomic<std::int64_t> ms{0};
+  Clock clock() {
+    return [this] { return TimePoint{} + milliseconds(ms.load()); };
+  }
+  void advance(milliseconds delta) { ms += delta.count(); }
+};
+
+/// A hand-rolled worker connection for broker-level tests: blocking
+/// socket, synchronous send/receive.
+struct RawClient {
+  Socket sock;
+  FrameDecoder decoder;
+
+  explicit RawClient(std::uint16_t port)
+      : sock(Socket::connect_tcp("127.0.0.1", port)) {}
+
+  void send(const Frame& frame) {
+    const std::string wire = encode_frame(frame);
+    ASSERT_TRUE(sock.write_all(wire.data(), wire.size()));
+  }
+
+  Frame receive() {
+    while (true) {
+      if (auto frame = decoder.next()) return *frame;
+      char buf[4096];
+      const long n = sock.read_some(buf, sizeof buf);
+      if (n <= 0) {
+        ADD_FAILURE() << "broker hung up";
+        return Frame{};
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+sweep::SweepSpec one_point_spec() {
+  sweep::SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 12;
+  spec.seed = 5;
+  spec.base.set("topo.cores", "4");
+  return spec;
+}
+
+TEST(CampaignDrain, LeaseExpiringDuringDrainLeavesThePointResumable) {
+  // A worker leases the only point, the broker is told to drain, and the
+  // lease expires inside the grace window: the point must come back as
+  // *unassigned* — not handed to anyone, not recorded done — so a broker
+  // restart from the same state dir runs it exactly once.
+  const std::string state_dir = fresh_dir("campaign_drain_race");
+  SharedFakeClock clock;
+  Broker::Options options;
+  options.clock = clock.clock();
+  options.lease = milliseconds(1'000);
+  options.heartbeat = milliseconds(200);
+  options.drain_grace = milliseconds(60'000);  // expiry races grace, wins
+  options.state_dir = state_dir;
+  Broker broker(one_point_spec(), std::move(options));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  std::thread server([&] { broker.serve(); });
+
+  RawClient worker(port);
+  worker.send(encode_hello({kProtocolVersion, "doomed"}));
+  ASSERT_EQ(worker.receive().type, FrameType::kWelcome);
+  worker.send(encode_request());
+  const Frame assigned = worker.receive();
+  ASSERT_EQ(assigned.type, FrameType::kAssign);
+  EXPECT_EQ(parse_assign(assigned).index, 0u);
+
+  broker.request_drain();
+  clock.advance(milliseconds(1'001));  // past the lease, far from grace
+  server.join();
+
+  EXPECT_TRUE(broker.drained_incomplete());
+  // Never recorded: the .done file must not exist for the in-flight point.
+  EXPECT_FALSE(std::filesystem::exists(state_dir + "/point0.done"));
+  // And a restarted broker sees exactly one pending point — not zero (the
+  // point survived), not a duplicate record.
+  Broker::Options restart;
+  restart.state_dir = state_dir;
+  Broker resumed(one_point_spec(), std::move(restart));
+  EXPECT_EQ(resumed.num_points(), 1u);
+  EXPECT_EQ(resumed.num_done(), 0u);
+}
+
+TEST(CampaignDrain, ResultDeliveredDuringGraceIsPersistedOnce) {
+  // The flip side of the race: the worker beats its lease and delivers
+  // during the drain grace. The result must be persisted and the campaign
+  // counted complete — drain never discards a finished point.
+  const std::string state_dir = fresh_dir("campaign_drain_delivered");
+  SharedFakeClock clock;
+  Broker::Options options;
+  options.clock = clock.clock();
+  options.lease = milliseconds(60'000);
+  options.drain_grace = milliseconds(60'000);
+  options.state_dir = state_dir;
+  const sweep::SweepSpec spec = one_point_spec();
+  Broker broker(spec, std::move(options));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  std::thread server([&] { broker.serve(); });
+
+  RawClient worker(port);
+  worker.send(encode_hello({kProtocolVersion, "prompt"}));
+  ASSERT_EQ(worker.receive().type, FrameType::kWelcome);
+  worker.send(encode_request());
+  const Frame assigned = worker.receive();
+  ASSERT_EQ(assigned.type, FrameType::kAssign);
+
+  broker.request_drain();
+  // Build a result whose config is the broker's own normalisation of the
+  // point, as a real worker would return.
+  sweep::PointResult point;
+  point.index = 0;
+  point.config = core::config_to_map(
+      core::config_from_map(parse_assign(assigned).config));
+  point.ok = true;
+  point.attempts = 1;
+  point.run.cycles = 1234;
+  point.run.all_exited = true;
+  worker.send(encode_result({0, point}));
+  worker.sock.close();  // RESULT then FIN: broker finishes without linger
+  server.join();
+
+  EXPECT_FALSE(broker.drained_incomplete());  // completed *during* drain
+  EXPECT_TRUE(std::filesystem::exists(state_dir + "/point0.done"));
+  Broker::Options restart;
+  restart.state_dir = state_dir;
+  Broker resumed(spec, std::move(restart));
+  EXPECT_EQ(resumed.num_done(), 1u);
+}
+
 // -------------------------------------------------------- config hash --
 
 TEST(CampaignHash, CanonicalTextIsSortedAndStable) {
@@ -332,12 +546,6 @@ TEST(CampaignHash, NormalisedConfigHashIsIndependentOfSpelling) {
 }
 
 // --------------------------------------------------------- memo store --
-
-std::string fresh_dir(const std::string& name) {
-  const std::string dir = ::testing::TempDir() + name;
-  std::filesystem::remove_all(dir);
-  return dir;
-}
 
 TEST(CampaignMemo, StoreAndLoadRoundTrip) {
   const MemoStore store(fresh_dir("memo_roundtrip"));

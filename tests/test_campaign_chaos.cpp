@@ -1,0 +1,381 @@
+// Wire-chaos tests: the campaign service run through a deterministic TCP
+// fault injector (ChaosProxy) that resets connections, partitions them
+// half-open, truncates frames at arbitrary byte offsets, duplicates
+// frames, and flips payload bits — each scenario seeded, each asserting
+// the same contract: the final campaign table is byte-identical to the
+// in-process engine at --jobs=1, and every record the broker persisted
+// loads cleanly. Chaos may slow a campaign down; it must never corrupt
+// it, hang it, or crash it.
+//
+// Every run is bounded by a watchdog that stops the broker and proxy if a
+// deadline passes — a hang surfaces as a failed table comparison plus a
+// timed_out flag, not a stuck test suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/broker.h"
+#include "campaign/chaosproxy.h"
+#include "campaign/memo.h"
+#include "campaign/net.h"
+#include "campaign/protocol.h"
+#include "campaign/worker.h"
+#include "core/config_io.h"
+#include "sweep/point_runner.h"
+#include "sweep/sweep.h"
+
+namespace coyote::campaign {
+namespace {
+
+using std::chrono::milliseconds;
+
+sweep::SweepSpec chaos_spec() {
+  sweep::SweepSpec spec;
+  spec.kernel = "matmul_scalar";
+  spec.size = 12;
+  spec.seed = 5;
+  spec.base.set("topo.cores", "4");
+  spec.axes.push_back({"l2.size_kb", {"128", "256"}});
+  spec.axes.push_back({"l2.banks_per_tile", {"1", "2"}});
+  return spec;
+}
+
+std::string engine_json(const sweep::SweepSpec& spec) {
+  sweep::SweepEngine::Options options;
+  options.jobs = 1;
+  return sweep::SweepEngine(options).run(spec).to_json(false);
+}
+
+/// Broker options tuned for chaos: fast heartbeats (short worker read
+/// deadlines), short leases (fast requeue of partitioned points), and —
+/// critically — quarantine off, because every proxied connection shares
+/// 127.0.0.1 and chaos-induced protocol errors would otherwise lock the
+/// whole fleet out.
+Broker::Options chaos_broker_options() {
+  Broker::Options options;
+  options.heartbeat = milliseconds(150);
+  options.lease = milliseconds(1'500);
+  options.quarantine_strikes = 0;
+  return options;
+}
+
+Worker::Options chaos_worker_options(std::uint16_t port, unsigned id) {
+  Worker::Options options;
+  options.port = port;
+  options.name = "chaos" + std::to_string(id);
+  options.reconnect_window = milliseconds(10'000);
+  options.backoff_base = milliseconds(20);
+  options.backoff_max = milliseconds(200);
+  options.backoff_seed = 0xB0FF + id;
+  options.handshake_timeout = milliseconds(1'000);
+  return options;
+}
+
+struct ChaosRun {
+  std::string table;
+  ChaosProxy::Stats stats;
+  std::vector<std::string> worker_errors;
+  bool timed_out = false;
+};
+
+/// Full fleet through the proxy: broker and proxy on their own threads,
+/// `workers` Worker instances dialing the proxy port, everything joined,
+/// watchdog-bounded.
+ChaosRun run_chaos(const sweep::SweepSpec& spec,
+                   Broker::Options broker_options,
+                   ChaosProxy::Options chaos, unsigned workers,
+                   std::chrono::seconds deadline = std::chrono::seconds(90)) {
+  Broker broker(spec, std::move(broker_options));
+  chaos.upstream_port = broker.listen("127.0.0.1", 0);
+  ChaosProxy proxy(chaos);
+  const std::uint16_t proxy_port = proxy.listen("127.0.0.1", 0);
+  std::thread proxy_thread([&] { proxy.run(); });
+
+  sweep::SweepReport report;
+  std::thread server([&] { report = broker.serve(); });
+
+  ChaosRun outcome;
+  std::atomic<bool> finished{false};
+  std::thread watchdog([&] {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (!finished.load() && std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(milliseconds(100));
+    }
+    if (!finished.load()) {
+      outcome.timed_out = true;
+      broker.request_stop();
+      proxy.stop();
+    }
+  });
+
+  outcome.worker_errors.assign(workers, "");
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        Worker worker(chaos_worker_options(proxy_port, w));
+        worker.run();
+      } catch (const std::exception& e) {
+        outcome.worker_errors[w] = e.what();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  server.join();
+  finished.store(true);
+  proxy.stop();
+  proxy_thread.join();
+  watchdog.join();
+  outcome.table = report.to_json(false);
+  outcome.stats = proxy.stats();
+  return outcome;
+}
+
+/// Every `.done` record and memo entry a chaos run persisted must load
+/// cleanly for its point — a record that exists but does not parse (or
+/// parses to the wrong config) means corruption leaked to disk.
+void expect_records_clean(const sweep::SweepSpec& spec,
+                          const std::string& state_dir,
+                          const std::string& memo_dir) {
+  const sweep::SweepSpec full = spec.with_workload_keys();
+  const auto points = full.expand();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const simfw::ConfigMap norm =
+        core::config_to_map(core::config_from_map(points[i]));
+    if (!state_dir.empty()) {
+      const std::string path =
+          state_dir + "/point" + std::to_string(i) + ".done";
+      if (std::filesystem::exists(path)) {
+        sweep::PointResult loaded;
+        loaded.index = i;
+        EXPECT_TRUE(sweep::try_load_done_record(path, norm, loaded))
+            << "corrupt .done record for point " << i;
+      }
+    }
+    if (!memo_dir.empty()) {
+      const MemoStore store(memo_dir);
+      const std::uint64_t key = core::config_map_hash(norm);
+      if (std::filesystem::exists(store.entry_path(key))) {
+        sweep::PointResult loaded;
+        loaded.index = i;
+        EXPECT_TRUE(store.try_load(key, norm, loaded))
+            << "corrupt memo entry for point " << i;
+      }
+    }
+  }
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CampaignChaos, BitFlipsAreDetectedAndNeverReachTheTable) {
+  const sweep::SweepSpec spec = chaos_spec();
+  ChaosProxy::Options chaos;
+  chaos.seed = 11;
+  chaos.bitflip_pmil = 80;
+  const ChaosRun run = run_chaos(spec, chaos_broker_options(), chaos, 2);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_GT(run.stats.bitflips, 0u) << "chaos never fired; weaken the seed";
+}
+
+TEST(CampaignChaos, ConnectionResetsAreRiddenOutByReconnect) {
+  const sweep::SweepSpec spec = chaos_spec();
+  ChaosProxy::Options chaos;
+  chaos.seed = 22;
+  chaos.reset_pmil = 150;
+  const ChaosRun run = run_chaos(spec, chaos_broker_options(), chaos, 2);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_GT(run.stats.resets, 0u);
+}
+
+TEST(CampaignChaos, TruncatedFramesAtArbitraryOffsetsAreSurvivable) {
+  const sweep::SweepSpec spec = chaos_spec();
+  ChaosProxy::Options chaos;
+  chaos.seed = 33;
+  chaos.truncate_pmil = 100;
+  const ChaosRun run = run_chaos(spec, chaos_broker_options(), chaos, 2);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_GT(run.stats.truncations, 0u);
+}
+
+TEST(CampaignChaos, DuplicatedFramesNeverDoublePoints) {
+  const sweep::SweepSpec spec = chaos_spec();
+  ChaosProxy::Options chaos;
+  chaos.seed = 44;
+  chaos.duplicate_pmil = 200;
+  const ChaosRun run = run_chaos(spec, chaos_broker_options(), chaos, 2);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_GT(run.stats.duplications, 0u);
+}
+
+TEST(CampaignChaos, HalfOpenPartitionsAreDetectedByDeadlines) {
+  const sweep::SweepSpec spec = chaos_spec();
+  ChaosProxy::Options chaos;
+  chaos.seed = 55;
+  chaos.partition_pmil = 60;
+  const ChaosRun run = run_chaos(spec, chaos_broker_options(), chaos, 2);
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.table, engine_json(spec));
+  EXPECT_GT(run.stats.partitions, 0u);
+}
+
+TEST(CampaignChaos, EverythingAtOnceAcrossFiveSeeds) {
+  const sweep::SweepSpec spec = chaos_spec();
+  const std::string golden = engine_json(spec);
+  for (const std::uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {
+    const std::string state_dir =
+        fresh_dir("chaos_all_state_" + std::to_string(seed));
+    const std::string memo_dir =
+        fresh_dir("chaos_all_memo_" + std::to_string(seed));
+    Broker::Options broker_options = chaos_broker_options();
+    broker_options.state_dir = state_dir;
+    broker_options.memo_dir = memo_dir;
+    ChaosProxy::Options chaos;
+    chaos.seed = seed;
+    chaos.delay_pmil = 15;
+    chaos.delay_max_ms = 5;
+    chaos.reset_pmil = 8;
+    chaos.partition_pmil = 5;
+    chaos.truncate_pmil = 8;
+    chaos.duplicate_pmil = 15;
+    chaos.bitflip_pmil = 10;
+    const ChaosRun run = run_chaos(spec, std::move(broker_options), chaos, 3);
+    EXPECT_FALSE(run.timed_out) << "seed " << seed;
+    EXPECT_EQ(run.table, golden) << "seed " << seed;
+    expect_records_clean(spec, state_dir, memo_dir);
+  }
+}
+
+TEST(CampaignChaos, BrokerDrainAndRestartResumesTheFleetDirect) {
+  // No proxy: SIGTERM-analogue drain mid-campaign, then a new broker on
+  // the *same port* resumes from the state dir while the original workers
+  // ride their reconnect windows across the gap.
+  const sweep::SweepSpec spec = chaos_spec();
+  const std::string state_dir = fresh_dir("chaos_restart_direct");
+  Broker::Options first_options = chaos_broker_options();
+  first_options.state_dir = state_dir;
+  first_options.drain_grace = milliseconds(300);
+  auto first = std::make_unique<Broker>(spec, std::move(first_options));
+  const std::uint16_t port = first->listen("127.0.0.1", 0);
+  std::thread first_server([&] { first->serve(); });
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(2);
+  for (unsigned w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        Worker worker(chaos_worker_options(port, w));
+        worker.run();
+      } catch (const std::exception& e) {
+        errors[w] = e.what();
+      }
+    });
+  }
+
+  // Drain once at least one point landed (mid-campaign, not before work
+  // started and not after it all finished — though either extreme would
+  // still pass the final assertions).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (first->num_done() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  first->request_drain();
+  first_server.join();
+  const std::size_t done_at_drain = first->num_done();
+  first.reset();  // releases the port for the restart
+
+  Broker::Options second_options = chaos_broker_options();
+  second_options.state_dir = state_dir;
+  Broker second(spec, std::move(second_options));
+  ASSERT_EQ(second.listen("127.0.0.1", port), port);
+  EXPECT_EQ(second.num_done(), done_at_drain);  // resumed, nothing lost
+  sweep::SweepReport report;
+  std::thread second_server([&] { report = second.serve(); });
+  for (auto& thread : threads) thread.join();
+  second_server.join();
+
+  for (const auto& error : errors) EXPECT_EQ(error, "");
+  EXPECT_EQ(report.to_json(false), engine_json(spec));
+  expect_records_clean(spec, state_dir, "");
+}
+
+TEST(CampaignChaos, BrokerDrainAndRestartThroughChaosProxy) {
+  // The CI smoke scenario in miniature: fleet through the chaos proxy at
+  // a fixed seed, broker drained mid-campaign and restarted from its
+  // state dir on the same port, final table still byte-identical.
+  const sweep::SweepSpec spec = chaos_spec();
+  const std::string state_dir = fresh_dir("chaos_restart_proxied");
+  Broker::Options first_options = chaos_broker_options();
+  first_options.state_dir = state_dir;
+  first_options.drain_grace = milliseconds(300);
+  auto first = std::make_unique<Broker>(spec, std::move(first_options));
+  const std::uint16_t broker_port = first->listen("127.0.0.1", 0);
+
+  ChaosProxy::Options chaos;
+  chaos.seed = 777;
+  chaos.reset_pmil = 8;
+  chaos.duplicate_pmil = 10;
+  chaos.bitflip_pmil = 8;
+  chaos.upstream_port = broker_port;
+  ChaosProxy proxy(chaos);
+  const std::uint16_t proxy_port = proxy.listen("127.0.0.1", 0);
+  std::thread proxy_thread([&] { proxy.run(); });
+
+  std::thread first_server([&] { first->serve(); });
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(2);
+  for (unsigned w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        Worker worker(chaos_worker_options(proxy_port, w));
+        worker.run();
+      } catch (const std::exception& e) {
+        errors[w] = e.what();
+      }
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (first->num_done() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  first->request_drain();
+  first_server.join();
+  first.reset();
+
+  Broker::Options second_options = chaos_broker_options();
+  second_options.state_dir = state_dir;
+  Broker second(spec, std::move(second_options));
+  ASSERT_EQ(second.listen("127.0.0.1", broker_port), broker_port);
+  sweep::SweepReport report;
+  std::thread second_server([&] { report = second.serve(); });
+  for (auto& thread : threads) thread.join();
+  second_server.join();
+  proxy.stop();
+  proxy_thread.join();
+
+  for (const auto& error : errors) EXPECT_EQ(error, "");
+  EXPECT_EQ(report.to_json(false), engine_json(spec));
+  expect_records_clean(spec, state_dir, "");
+}
+
+}  // namespace
+}  // namespace coyote::campaign

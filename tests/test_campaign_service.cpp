@@ -237,6 +237,92 @@ TEST(CampaignService, BrokerRestartResumesFromStateDir) {
   EXPECT_EQ(restarted.num_done(), restarted.num_points());
 }
 
+TEST(CampaignService, ProtocolMismatchGetsATypedErrorReplyThenClose) {
+  const sweep::SweepSpec spec = service_spec();
+  Broker broker(spec, {});
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  std::thread server([&] { broker.serve(); });
+
+  Socket old_worker = Socket::connect_tcp("127.0.0.1", port);
+  const Frame hello = encode_hello({kProtocolVersion - 1, "antique"});
+  const std::string wire = encode_frame(hello);
+  ASSERT_TRUE(old_worker.write_all(wire.data(), wire.size()));
+
+  // Reply-then-close: first a typed ERROR naming the mismatch, then EOF.
+  FrameDecoder decoder;
+  std::optional<ErrorFrame> error;
+  char buf[4096];
+  while (true) {
+    const long n = old_worker.read_some(buf, sizeof buf);
+    if (n < 0) break;  // closed
+    if (n == 0) {
+      wait_readable(old_worker.fd(), 1000);
+      continue;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    if (const auto frame = decoder.next()) {
+      error = parse_error(*frame);
+      break;
+    }
+  }
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, ErrorCode::kProtocolMismatch);
+  EXPECT_NE(error->message.find("protocol"), std::string::npos);
+
+  broker.request_stop();
+  server.join();
+}
+
+TEST(CampaignService, RepeatOffendersAreQuarantined) {
+  const sweep::SweepSpec spec = service_spec();
+  Broker::Options options;
+  options.quarantine_strikes = 2;
+  options.quarantine_cooldown = std::chrono::milliseconds(60'000);
+  Broker broker(spec, std::move(options));
+  const std::uint16_t port = broker.listen("127.0.0.1", 0);
+  std::thread server([&] { broker.serve(); });
+
+  const auto offend = [port] {
+    Socket bad = Socket::connect_tcp("127.0.0.1", port);
+    // An undersized frame: instant ProtocolError, one strike.
+    const char junk[] = {4, 0, 0, 0, 9, 9, 9, 9};
+    ASSERT_TRUE(bad.write_all(junk, sizeof junk));
+    char buf[256];
+    while (bad.read_some(buf, sizeof buf) >= 0) {
+      wait_readable(bad.fd(), 1000);
+    }
+  };
+  offend();
+  offend();
+
+  // Third connection from this address is refused at accept with a typed
+  // ERROR{kQuarantined} before close.
+  Socket refused = Socket::connect_tcp("127.0.0.1", port);
+  FrameDecoder decoder;
+  std::optional<ErrorFrame> error;
+  char buf[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const long n = refused.read_some(buf, sizeof buf);
+    if (n < 0) break;
+    if (n == 0) {
+      wait_readable(refused.fd(), 200);
+      continue;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    if (const auto frame = decoder.next()) {
+      error = parse_error(*frame);
+      break;
+    }
+  }
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, ErrorCode::kQuarantined);
+
+  broker.request_stop();
+  server.join();
+}
+
 TEST(CampaignService, JsonProgressStreamsPointEventsWithSources) {
   const sweep::SweepSpec spec = service_spec();
   std::FILE* capture = std::tmpfile();
